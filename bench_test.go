@@ -1,0 +1,248 @@
+package lbsq
+
+// Benchmark harness: one benchmark per evaluation figure of the paper
+// (delegating to internal/experiments, which prints the same series the
+// paper plots), plus micro-benchmarks for the individual operations.
+//
+//	go test -bench=Fig -benchtime=1x        # regenerate every figure once
+//	LBSQ_FULL=1 go test -bench=Fig22a ...   # paper-scale cardinalities
+//	go test -bench=Op -benchmem             # per-operation costs
+//
+// Figure benchmarks report headline numbers via b.ReportMetric so the
+// trends are visible straight from the bench output.
+
+import (
+	"io"
+	"math/rand"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"lbsq/internal/experiments"
+)
+
+func benchConfig() experiments.Config {
+	cfg := experiments.Config{Queries: 30, Seed: 2003}
+	if os.Getenv("LBSQ_FULL") == "1" {
+		cfg.Full = true
+		cfg.Queries = 500
+	}
+	return cfg
+}
+
+// lastRowMetric extracts column col of the last row of the first table
+// as a float metric (the "largest x-axis value" data point).
+func lastRowMetric(tables []experiments.Table, col int) float64 {
+	if len(tables) == 0 || len(tables[0].Rows) == 0 {
+		return 0
+	}
+	row := tables[0].Rows[len(tables[0].Rows)-1]
+	if col >= len(row) {
+		return 0
+	}
+	v, err := strconv.ParseFloat(row[col], 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+func benchFigure(b *testing.B, id string, metricCol int, metricName string) {
+	b.Helper()
+	e, ok := experiments.Find(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	cfg := benchConfig()
+	var tables []experiments.Table
+	for i := 0; i < b.N; i++ {
+		tables = e.Run(cfg)
+	}
+	for _, t := range tables {
+		if testing.Verbose() {
+			t.Fprint(os.Stderr)
+		} else {
+			t.Fprint(io.Discard)
+		}
+	}
+	if m := lastRowMetric(tables, metricCol); m != 0 {
+		b.ReportMetric(m, metricName)
+	}
+}
+
+func BenchmarkFig22a(b *testing.B) { benchFigure(b, "22a", 1, "area") }
+func BenchmarkFig22b(b *testing.B) { benchFigure(b, "22b", 1, "area") }
+func BenchmarkFig23(b *testing.B)  { benchFigure(b, "23", 1, "area_m2") }
+func BenchmarkFig24(b *testing.B)  { benchFigure(b, "24", 1, "edges") }
+func BenchmarkFig25(b *testing.B)  { benchFigure(b, "25", 1, "sinf") }
+func BenchmarkFig26(b *testing.B)  { benchFigure(b, "26", 1, "sinf") }
+func BenchmarkFig27(b *testing.B)  { benchFigure(b, "27", 2, "tpnnNA") }
+func BenchmarkFig28(b *testing.B)  { benchFigure(b, "28", 2, "tpnnNA") }
+func BenchmarkFig29(b *testing.B)  { benchFigure(b, "29", 1, "area") }
+func BenchmarkFig30(b *testing.B)  { benchFigure(b, "30", 1, "area_m2") }
+func BenchmarkFig31(b *testing.B)  { benchFigure(b, "31", 1, "inner") }
+func BenchmarkFig32(b *testing.B)  { benchFigure(b, "32", 1, "inner") }
+func BenchmarkFig34(b *testing.B)  { benchFigure(b, "34", 1, "resultNA") }
+func BenchmarkFig35(b *testing.B)  { benchFigure(b, "35", 1, "resultPA") }
+
+func BenchmarkClientSavings(b *testing.B) { benchFigure(b, "savings", 1, "queries") }
+
+// Extension and ablation experiments (no paper figure to match).
+func BenchmarkRangeExtension(b *testing.B) { benchFigure(b, "range", 1, "area") }
+func BenchmarkDeltaExtension(b *testing.B) { benchFigure(b, "delta", 2, "kbPlain") }
+func BenchmarkAblations(b *testing.B)      { benchFigure(b, "ablation", 1, "bfNA") }
+
+// --- per-operation micro-benchmarks --------------------------------------
+
+var (
+	benchOnce sync.Once
+	benchDB   *DB
+)
+
+func benchDatabase(b *testing.B) *DB {
+	b.Helper()
+	benchOnce.Do(func() {
+		items, uni := UniformDataset(100_000, 2003)
+		db, err := Open(items, uni, nil)
+		if err != nil {
+			panic(err)
+		}
+		benchDB = db
+	})
+	return benchDB
+}
+
+func benchPoints(n int) []Point {
+	rng := rand.New(rand.NewSource(77))
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Pt(rng.Float64(), rng.Float64())
+	}
+	return pts
+}
+
+// BenchmarkOpKNearest measures a plain best-first k-NN query (k=1).
+func BenchmarkOpKNearest(b *testing.B) {
+	db := benchDatabase(b)
+	pts := benchPoints(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.KNearest(pts[i%len(pts)], 1)
+	}
+}
+
+// BenchmarkOpNNValidity measures a full location-based 1NN query: the
+// NN search plus the TPNN influence-set computation.
+func BenchmarkOpNNValidity(b *testing.B) {
+	db := benchDatabase(b)
+	pts := benchPoints(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := db.NN(pts[i%len(pts)], 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOpNNValidityK10 is the k=10 variant.
+func BenchmarkOpNNValidityK10(b *testing.B) {
+	db := benchDatabase(b)
+	pts := benchPoints(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := db.NN(pts[i%len(pts)], 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOpWindowValidity measures a location-based window query
+// (window = 0.1% of the universe).
+func BenchmarkOpWindowValidity(b *testing.B) {
+	db := benchDatabase(b)
+	pts := benchPoints(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.WindowAt(pts[i%len(pts)], 0.0316, 0.0316)
+	}
+}
+
+// BenchmarkOpRangeSearch measures the plain window query underneath.
+func BenchmarkOpRangeSearch(b *testing.B) {
+	db := benchDatabase(b)
+	pts := benchPoints(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.RangeSearch(squareAt(pts[i%len(pts)], 0.0316))
+	}
+}
+
+// squareAt builds the square window for the bench above.
+func squareAt(c Point, side float64) Rect {
+	return R(c.X-side/2, c.Y-side/2, c.X+side/2, c.Y+side/2)
+}
+
+// BenchmarkOpEncodeNN measures response serialization.
+func BenchmarkOpEncodeNN(b *testing.B) {
+	db := benchDatabase(b)
+	v, _, err := db.NN(Pt(0.5, 0.5), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := EncodeNN(v)
+		if i == 0 {
+			b.SetBytes(int64(len(buf)))
+		}
+	}
+}
+
+// BenchmarkOpDecodeNN measures response parsing (the client side).
+func BenchmarkOpDecodeNN(b *testing.B) {
+	db := benchDatabase(b)
+	v, _, err := db.NN(Pt(0.5, 0.5), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := EncodeNN(v)
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeNN(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOpValidityCheck measures the client-side half-plane test —
+// the work a mobile device does per position update.
+func BenchmarkOpValidityCheck(b *testing.B) {
+	db := benchDatabase(b)
+	v, _, err := db.NN(Pt(0.5, 0.5), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts := benchPoints(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Valid(pts[i%len(pts)])
+	}
+}
+
+// BenchmarkOpInsert measures dynamic R*-tree insertion.
+func BenchmarkOpInsert(b *testing.B) {
+	items, uni := UniformDataset(10_000, 5)
+	db, err := Open(items, uni, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Insert(Item{ID: int64(100_000 + i), P: Pt(rng.Float64(), rng.Float64())}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Command datagen generates the evaluation datasets (uniform, GR-like,
+// NA-like) and writes them in the binary format understood by
+// lbsq-server -load and dataset.LoadFile.
+//
+// Usage:
+//
+//	datagen -kind gr -out gr.lbsq
+//	datagen -kind uniform -n 1000000 -seed 7 -out uni1m.lbsq
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"lbsq/internal/dataset"
+)
+
+func main() {
+	var (
+		kind   = flag.String("kind", "uniform", "dataset kind: uniform | gr | na")
+		n      = flag.Int("n", 0, "cardinality (0 = kind default)")
+		seed   = flag.Int64("seed", 2003, "random seed")
+		out    = flag.String("out", "", "output file (required)")
+		format = flag.String("format", "binary", "output format: binary | csv")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "datagen: -out is required")
+		os.Exit(2)
+	}
+
+	var d *dataset.Dataset
+	switch *kind {
+	case "uniform":
+		if *n == 0 {
+			*n = 100_000
+		}
+		d = dataset.Uniform(*n, *seed)
+	case "gr":
+		if *n == 0 {
+			*n = dataset.GRCardinality
+		}
+		d = dataset.GRLike(*n, *seed)
+	case "na":
+		if *n == 0 {
+			*n = dataset.NACardinality
+		}
+		d = dataset.NALike(*n, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "datagen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+
+	switch *format {
+	case "binary":
+		if err := dataset.SaveFile(*out, d); err != nil {
+			log.Fatalf("datagen: %v", err)
+		}
+	case "csv":
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("datagen: %v", err)
+		}
+		if err := dataset.SaveCSV(f, d); err != nil {
+			log.Fatalf("datagen: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("datagen: %v", err)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "datagen: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+	fmt.Printf("wrote %s: %d points (%s) in %v\n", *out, len(d.Items), d.Name, d.Universe)
+}

@@ -1,0 +1,75 @@
+// Command lbsq-bench regenerates the paper's evaluation (Section 6):
+// one experiment per figure, printed as aligned tables of the same
+// series the paper plots.
+//
+// Usage:
+//
+//	lbsq-bench                 # run everything at reduced (quick) scale
+//	lbsq-bench -fig 22a        # one experiment
+//	lbsq-bench -full           # paper-scale cardinalities (up to 1000k)
+//	lbsq-bench -list           # list experiment ids
+//	lbsq-bench -queries 500    # workload size per data point
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lbsq/internal/experiments"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "", "experiment id to run (default: all); see -list")
+		full    = flag.Bool("full", false, "paper-scale cardinalities (slow)")
+		queries = flag.Int("queries", 0, "queries per workload (default 200, 500 with -full)")
+		seed    = flag.Int64("seed", 2003, "random seed")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		csvOut  = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Figure)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Full: *full, Queries: *queries, Seed: *seed}
+	start := time.Now()
+	print := func(t experiments.Table) {
+		if *csvOut {
+			t.Fcsv(os.Stdout)
+		} else {
+			t.Fprint(os.Stdout)
+		}
+	}
+	run := func(e experiments.Experiment) {
+		if !*csvOut {
+			fmt.Printf("=== %s ===\n", e.Figure)
+		}
+		for _, t := range e.Run(cfg) {
+			print(t)
+		}
+	}
+	if *fig == "" {
+		for _, e := range experiments.All() {
+			run(e)
+		}
+	} else {
+		e, ok := experiments.Find(*fig)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "lbsq-bench: unknown experiment %q (use -list)\n", *fig)
+			os.Exit(2)
+		}
+		run(e)
+	}
+	if *csvOut {
+		fmt.Printf("# total wall time: %v\n", time.Since(start).Round(time.Millisecond))
+	} else {
+		fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,66 @@
+// Command lbsq-client simulates a mobile client against an lbsq-server:
+// it follows a random-waypoint trajectory, asks for its nearest
+// neighbor at every position update, and uses cached validity regions
+// to decide locally whether the previous answer still holds — the
+// paper's protocol end to end over a real network connection.
+//
+// Usage:
+//
+//	lbsq-client -server http://localhost:8080 -steps 1000 -k 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"lbsq"
+	"lbsq/internal/trajectory"
+)
+
+func main() {
+	var (
+		server = flag.String("server", "http://localhost:8080", "lbsq-server base URL")
+		steps  = flag.Int("steps", 1000, "trajectory length (position updates)")
+		k      = flag.Int("k", 1, "number of nearest neighbors")
+		seed   = flag.Int64("seed", 1, "trajectory seed")
+		stepF  = flag.Float64("step", 0.0005, "step length as a fraction of the universe width")
+	)
+	flag.Parse()
+
+	rc := &lbsq.RemoteClient{Base: *server}
+	count, universe, err := rc.Info()
+	if err != nil {
+		log.Fatalf("lbsq-client: %v", err)
+	}
+	fmt.Printf("server holds %d points in %v\n", count, universe)
+
+	path := trajectory.RandomWaypoint(universe, universe.Width()**stepF, *steps, *seed)
+
+	var cached *lbsq.NNValidity
+	queries, hits, bytes := 0, 0, 0
+	for _, p := range path {
+		if cached != nil && cached.Valid(p) {
+			hits++
+			continue
+		}
+		v, err := rc.NN(p, *k)
+		if err != nil {
+			log.Fatalf("lbsq-client: %v", err)
+		}
+		cached = v
+		queries++
+		bytes += len(lbsq.EncodeNN(v))
+	}
+	fmt.Printf("position updates : %d\n", len(path))
+	fmt.Printf("server queries   : %d (%.2f%% of updates)\n",
+		queries, 100*float64(queries)/float64(len(path)))
+	fmt.Printf("cache hits       : %d\n", hits)
+	fmt.Printf("bytes received   : %d (%.1f per update)\n",
+		bytes, float64(bytes)/float64(len(path)))
+	if cached != nil {
+		region := cached.RegionPolygon(universe)
+		fmt.Printf("last answer      : %d neighbors, %d influence objects, region area %.3g\n",
+			len(cached.Neighbors), len(cached.Influence), region.Area())
+	}
+}

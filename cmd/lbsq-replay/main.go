@@ -1,0 +1,161 @@
+// Command lbsq-replay drives a mobile-client simulation: a chosen
+// trajectory model against a chosen protocol, reporting the server
+// queries, cache hits and network volume — the research harness behind
+// the motivation experiment, exposed as a flexible CLI.
+//
+// Usage:
+//
+//	lbsq-replay -protocol vr -k 1 -steps 5000
+//	lbsq-replay -protocol sr01 -m 8 -traj manhattan
+//	lbsq-replay -protocol all -dataset gr -steps 3000
+//
+// Protocols: vr (validity regions, this paper) | vr-delta | sr01 | tp02
+// | zl01 | window | range | naive | all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"lbsq"
+	"lbsq/internal/geom"
+	"lbsq/internal/trajectory"
+)
+
+func main() {
+	var (
+		kind     = flag.String("dataset", "uniform", "dataset: uniform | gr | na")
+		n        = flag.Int("n", 100_000, "synthetic cardinality")
+		seed     = flag.Int64("seed", 2003, "random seed")
+		protocol = flag.String("protocol", "all", "vr | vr-delta | sr01 | tp02 | zl01 | window | range | naive | all")
+		k        = flag.Int("k", 1, "neighbors for NN protocols")
+		m        = flag.Int("m", 8, "buffered neighbors for sr01")
+		traj     = flag.String("traj", "waypoint", "trajectory: waypoint | manhattan | directed")
+		steps    = flag.Int("steps", 3000, "position updates")
+		stepFrac = flag.Float64("step", 0.0005, "step length as a fraction of universe width")
+		qsFrac   = flag.Float64("qs", 0.001, "window area fraction for the window protocol")
+		radFrac  = flag.Float64("radius", 0.005, "radius fraction for the range protocol")
+		regions  = flag.Int("regions", 1, "semantic-cache depth for vr/window")
+	)
+	flag.Parse()
+
+	var items []lbsq.Item
+	var uni lbsq.Rect
+	switch *kind {
+	case "uniform":
+		items, uni = lbsq.UniformDataset(*n, *seed)
+	case "gr":
+		items, uni = lbsq.GRLikeDataset(*n, *seed)
+	case "na":
+		items, uni = lbsq.NALikeDataset(*n, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "lbsq-replay: unknown dataset %q\n", *kind)
+		os.Exit(2)
+	}
+	db, err := lbsq.Open(items, uni, &lbsq.Options{BufferFraction: 0.10})
+	if err != nil {
+		log.Fatalf("lbsq-replay: %v", err)
+	}
+
+	step := uni.Width() * *stepFrac
+	var path []geom.Point
+	switch *traj {
+	case "waypoint":
+		path = trajectory.RandomWaypoint(uni, step, *steps, *seed+1)
+	case "manhattan":
+		path = trajectory.Manhattan(uni, uni.Width()/50, step, *steps, *seed+1)
+	case "directed":
+		path = trajectory.Directed(uni, uni.Center(), geom.Pt(1, 0.37).Unit(), step, *steps)
+	default:
+		fmt.Fprintf(os.Stderr, "lbsq-replay: unknown trajectory %q\n", *traj)
+		os.Exit(2)
+	}
+	headings := trajectory.Headings(path)
+
+	fmt.Printf("dataset=%s n=%d traj=%s steps=%d step=%.3g\n\n",
+		*kind, db.Len(), *traj, len(path), step)
+	fmt.Printf("%-12s %14s %10s %12s\n", "protocol", "server queries", "rate", "KB received")
+
+	report := func(name string, st lbsq.ClientStats) {
+		fmt.Printf("%-12s %14d %9.2f%% %12.1f\n",
+			name, st.ServerQueries, 100*st.QueryRate(), float64(st.BytesReceived)/1024)
+	}
+	want := func(p string) bool { return *protocol == p || *protocol == "all" }
+
+	if want("naive") {
+		c := db.NewNaiveClient(*k)
+		for _, p := range path {
+			must1(c.At(p))
+		}
+		report("naive", c.Stats)
+	}
+	if want("vr") {
+		c := db.NewNNClient(*k)
+		c.Regions = *regions
+		for _, p := range path {
+			must1(c.At(p))
+		}
+		report("vr", c.Stats)
+	}
+	if want("vr-delta") {
+		c := db.NewNNClient(*k)
+		c.Delta = true
+		c.Regions = *regions
+		for _, p := range path {
+			must1(c.At(p))
+		}
+		report("vr-delta", c.Stats)
+	}
+	if want("sr01") {
+		c := db.NewSR01Client(*k, *m)
+		for _, p := range path {
+			must1(c.At(p))
+		}
+		report(fmt.Sprintf("sr01(m=%d)", *m), c.Stats)
+	}
+	if want("tp02") {
+		c := db.NewTP02Client(*k)
+		for i, p := range path {
+			must1(c.At(p, headings[i]))
+		}
+		report("tp02", c.Stats)
+	}
+	if want("zl01") {
+		zc, err := db.NewZL01Client(step)
+		if err != nil {
+			log.Fatalf("lbsq-replay: %v", err)
+		}
+		for i, p := range path {
+			if _, err := zc.At(p, float64(i)); err != nil {
+				log.Fatalf("lbsq-replay: %v", err)
+			}
+		}
+		report("zl01", zc.Stats)
+	}
+	if want("window") {
+		side := uni.Width() * math.Sqrt(*qsFrac)
+		c := db.NewWindowClient(side, side)
+		c.Regions = *regions
+		for _, p := range path {
+			must1(c.At(p))
+		}
+		report("window", c.Stats)
+	}
+	if want("range") {
+		c := db.NewRangeClient(uni.Width() * *radFrac)
+		for _, p := range path {
+			must1(c.At(p))
+		}
+		report("range", c.Stats)
+	}
+}
+
+func must1(items []lbsq.Item, err error) []lbsq.Item {
+	if err != nil {
+		log.Fatalf("lbsq-replay: %v", err)
+	}
+	return items
+}

@@ -1,0 +1,79 @@
+// Command lbsq-server serves a location-based spatial query processor
+// over HTTP: the server half of the paper's mobile client/server
+// architecture. Clients receive compact binary responses containing the
+// query result plus its validity region (influence objects).
+//
+// Usage:
+//
+//	lbsq-server -n 100000 -seed 7 -addr :8080       # synthetic uniform data
+//	lbsq-server -dataset gr                          # GR-like dataset
+//	lbsq-server -load points.lbsq                    # dataset file (see datagen)
+//
+// Endpoints: /nn?x=&y=&k=   /window?x=&y=&qx=&qy=   /info
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"lbsq"
+	"lbsq/internal/dataset"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", ":8080", "listen address")
+		n    = flag.Int("n", 100_000, "synthetic dataset cardinality")
+		kind = flag.String("dataset", "uniform", "synthetic dataset: uniform | gr | na")
+		seed = flag.Int64("seed", 2003, "random seed")
+		load = flag.String("load", "", "load a dataset file instead of generating")
+		buf  = flag.Float64("buffer", 0.10, "LRU buffer fraction of tree size (0 disables)")
+	)
+	flag.Parse()
+
+	var items []lbsq.Item
+	var universe lbsq.Rect
+	var name string
+	if *load != "" {
+		var d *dataset.Dataset
+		var err error
+		if strings.HasSuffix(*load, ".csv") {
+			f, ferr := os.Open(*load)
+			if ferr != nil {
+				log.Fatalf("lbsq-server: %v", ferr)
+			}
+			d, err = dataset.LoadCSV(f, *load, lbsq.Rect{})
+			f.Close()
+		} else {
+			d, err = dataset.LoadFile(*load)
+		}
+		if err != nil {
+			log.Fatalf("lbsq-server: %v", err)
+		}
+		items, universe, name = d.Items, d.Universe, d.Name
+	} else {
+		switch *kind {
+		case "uniform":
+			items, universe = lbsq.UniformDataset(*n, *seed)
+		case "gr":
+			items, universe = lbsq.GRLikeDataset(*n, *seed)
+		case "na":
+			items, universe = lbsq.NALikeDataset(*n, *seed)
+		default:
+			fmt.Fprintf(os.Stderr, "lbsq-server: unknown dataset %q\n", *kind)
+			os.Exit(2)
+		}
+		name = *kind
+	}
+
+	db, err := lbsq.Open(items, universe, &lbsq.Options{BufferFraction: *buf})
+	if err != nil {
+		log.Fatalf("lbsq-server: %v", err)
+	}
+	log.Printf("serving %d points (%s) in %v on %s", db.Len(), name, universe, *addr)
+	log.Fatal(http.ListenAndServe(*addr, db.Handler()))
+}

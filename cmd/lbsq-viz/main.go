@@ -1,0 +1,151 @@
+// Command lbsq-viz renders a location-based query and its validity
+// region as SVG — live regenerations of the paper's figures from real
+// data structures.
+//
+// Usage:
+//
+//	lbsq-viz -query nn -k 1 -x 0.4 -y 0.6 -out nn.svg
+//	lbsq-viz -query window -qs 0.001 -out window.svg
+//	lbsq-viz -query range -radius 0.03 -out range.svg
+//	lbsq-viz -dataset gr -query nn -out gr.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"lbsq"
+	"lbsq/internal/geom"
+	"lbsq/internal/viz"
+)
+
+func main() {
+	var (
+		kind   = flag.String("dataset", "uniform", "dataset: uniform | gr | na")
+		n      = flag.Int("n", 20_000, "synthetic cardinality")
+		seed   = flag.Int64("seed", 2003, "random seed")
+		query  = flag.String("query", "nn", "query type: nn | window | range")
+		k      = flag.Int("k", 1, "neighbors for nn queries")
+		qs     = flag.Float64("qs", 0.001, "window area as a fraction of the universe")
+		radius = flag.Float64("radius", 0.03, "range radius as a fraction of universe width")
+		qx     = flag.Float64("x", 0.5, "query x as a fraction of universe width")
+		qy     = flag.Float64("y", 0.5, "query y as a fraction of universe height")
+		width  = flag.Int("width", 900, "SVG pixel width")
+		out    = flag.String("out", "query.svg", "output file")
+	)
+	flag.Parse()
+
+	var items []lbsq.Item
+	var uni lbsq.Rect
+	switch *kind {
+	case "uniform":
+		items, uni = lbsq.UniformDataset(*n, *seed)
+	case "gr":
+		items, uni = lbsq.GRLikeDataset(*n, *seed)
+	case "na":
+		items, uni = lbsq.NALikeDataset(*n, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "lbsq-viz: unknown dataset %q\n", *kind)
+		os.Exit(2)
+	}
+	db, err := lbsq.Open(items, uni, nil)
+	if err != nil {
+		log.Fatalf("lbsq-viz: %v", err)
+	}
+	q := lbsq.Pt(uni.MinX+*qx*uni.Width(), uni.MinY+*qy*uni.Height())
+
+	// Zoomed scene around the query; extent adapts to the query type.
+	var view lbsq.Rect
+	scene := func(extent float64) *viz.Scene {
+		view = geom.RectCenteredAt(q, extent*uni.Width(), extent*uni.Width())
+		view = view.Intersect(uni)
+		return viz.NewScene(view, *width)
+	}
+
+	var sc *viz.Scene
+	switch *query {
+	case "nn":
+		v, _, err := db.NN(q, *k)
+		if err != nil {
+			log.Fatalf("lbsq-viz: %v", err)
+		}
+		bb := v.Region.Bounds()
+		sc = scene(3 * math.Max(bb.Width(), bb.Height()) / uni.Width())
+		sc.Polygon(v.Region, "fill:#cfe8ff;stroke:#1f6fb2;stroke-width:2;fill-opacity:0.7")
+		drawData(sc, items, view)
+		for _, pr := range v.Pairs {
+			sc.Segment(pr.Member.P, pr.Obj.P, "stroke:#bbbbbb;stroke-width:1;stroke-dasharray:4 3")
+		}
+		for _, it := range v.Influence {
+			sc.Marker(it.P, 5, "fill:none;stroke:#d62728;stroke-width:2")
+		}
+		for _, nb := range v.Neighbors {
+			sc.Marker(nb.Item.P, 5, "fill:#2ca02c")
+		}
+		sc.Marker(q, 5, "fill:#1f6fb2")
+		sc.Text(q.Add(lbsq.Pt(view.Width()/80, view.Width()/80)), "q", "font-size:16px;fill:#1f6fb2")
+	case "window":
+		side := math.Sqrt(*qs) * uni.Width()
+		wv, _ := db.WindowAt(q, side, side)
+		ext := 3 * math.Max(wv.InnerRect.Width(), side) / uni.Width()
+		sc = scene(ext)
+		sc.RectRegion(wv.Region,
+			"fill:#cfe8ff;stroke:#1f6fb2;stroke-width:2;fill-opacity:0.7",
+			"fill:#ffd4d4;stroke:#d62728;stroke-width:1;fill-opacity:0.8")
+		sc.Rect(geom.RectCenteredAt(q, side, side), "fill:none;stroke:#2ca02c;stroke-width:2;stroke-dasharray:6 4")
+		drawData(sc, items, view)
+		for _, it := range wv.InnerInfluence {
+			sc.Marker(it.P, 5, "fill:#2ca02c")
+		}
+		for _, it := range wv.OuterInfluence {
+			sc.Marker(it.P, 5, "fill:none;stroke:#d62728;stroke-width:2")
+		}
+		sc.Marker(q, 5, "fill:#1f6fb2")
+	case "range":
+		r := *radius * uni.Width()
+		rv, _ := db.Range(q, r)
+		sc = scene(6 * *radius)
+		for _, d := range rv.Inner.Disks {
+			sc.Circle(d.C, d.R, "fill:#cfe8ff;stroke:none;fill-opacity:0.25")
+		}
+		sc.Circle(q, r, "fill:none;stroke:#2ca02c;stroke-width:2;stroke-dasharray:6 4")
+		drawData(sc, items, view)
+		for _, it := range rv.InnerInfluence {
+			sc.Marker(it.P, 5, "fill:#2ca02c")
+		}
+		for _, it := range rv.OuterInfluence {
+			sc.Circle(it.P, r, "fill:#ffd4d4;stroke:#d62728;stroke-width:1;fill-opacity:0.3")
+			sc.Marker(it.P, 4, "fill:none;stroke:#d62728;stroke-width:2")
+		}
+		sc.Marker(q, 5, "fill:#1f6fb2")
+	default:
+		fmt.Fprintf(os.Stderr, "lbsq-viz: unknown query %q\n", *query)
+		os.Exit(2)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatalf("lbsq-viz: %v", err)
+	}
+	if err := sc.WriteSVG(f); err != nil {
+		log.Fatalf("lbsq-viz: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatalf("lbsq-viz: %v", err)
+	}
+	fmt.Printf("wrote %s (%s query at %v)\n", *out, *query, q)
+}
+
+// drawData plots the dataset points inside the viewport.
+func drawData(sc *viz.Scene, items []lbsq.Item, view lbsq.Rect) {
+	var pts []geom.Point
+	for _, it := range items {
+		if view.Contains(it.P) {
+			pts = append(pts, it.P)
+		}
+	}
+	sc.Points(pts, 2, "fill:#777777")
+}

@@ -1,0 +1,104 @@
+package lbsq
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentQueries exercises parallel location-based queries of
+// every kind against a shared DB (run with -race to verify the
+// synchronization claims in the DB doc comment).
+func TestConcurrentQueries(t *testing.T) {
+	items, uni := UniformDataset(20000, 1)
+	db, err := Open(items, uni, &Options{BufferFraction: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 50; i++ {
+				p := Pt(rng.Float64(), rng.Float64())
+				switch i % 4 {
+				case 0:
+					if _, _, err := db.NN(p, 1+rng.Intn(5)); err != nil {
+						errs <- err
+						return
+					}
+				case 1:
+					db.WindowAt(p, 0.03, 0.03)
+				case 2:
+					db.Range(p, 0.02)
+				case 3:
+					db.KNearest(p, 3)
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentQueriesWithUpdates interleaves queries with inserts and
+// deletes; results must stay consistent with the brute-force truth of
+// whatever snapshot the query observed (here we only assert no crashes,
+// invariant validity, and final count).
+func TestConcurrentQueriesWithUpdates(t *testing.T) {
+	items, uni := UniformDataset(10000, 2)
+	db, err := Open(items, uni, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	// Readers.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 100; i++ {
+				p := Pt(rng.Float64(), rng.Float64())
+				if got := db.KNearest(p, 2); len(got) < 2 {
+					t.Errorf("KNearest returned %d", len(got))
+					return
+				}
+			}
+		}(int64(w))
+	}
+	// One writer inserting and deleting its own ids.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(99))
+		for i := 0; i < 200; i++ {
+			it := Item{ID: int64(1_000_000 + i), P: Pt(rng.Float64(), rng.Float64())}
+			if err := db.Insert(it); err != nil {
+				t.Error(err)
+				return
+			}
+			if i%2 == 0 {
+				if !db.Delete(it) {
+					t.Error("delete of just-inserted item failed")
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	want := 10000 + 100 // 200 inserted, 100 deleted
+	if db.Len() != want {
+		t.Fatalf("final count %d, want %d", db.Len(), want)
+	}
+	if err := db.Server().Tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+// Capacity: use the Section-5 analytical models to answer deployment
+// questions without running a workload — how large will validity
+// regions be, how often will clients re-query, and what I/O will the
+// server pay per query? Then verify the predictions against a measured
+// workload on a skewed dataset via the Minskew histogram.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"lbsq"
+	"lbsq/internal/costmodel"
+	"lbsq/internal/dataset"
+	"lbsq/internal/histogram"
+)
+
+func main() {
+	// Plan for an NA-like deployment: 120k populated places.
+	d := dataset.NALike(120_000, 5)
+	db, err := lbsq.Open(d.Items, d.Universe, nil)
+	if err != nil {
+		panic(err)
+	}
+	hist, err := histogram.Build(d.Points(), d.Universe, 100, 100, 500)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("--- model predictions (no queries executed) ---")
+	globalDensity := float64(len(d.Items)) / d.Universe.Area()
+	for _, spot := range []struct {
+		name string
+		q    lbsq.Point
+	}{
+		{"dense metro", densestSpot(hist)},
+		{"average", d.Universe.Center()},
+	} {
+		rho := hist.DensityForNN(spot.q, 1)
+		if rho == 0 {
+			rho = globalDensity
+		}
+		area := costmodel.NNValidityArea(rho, 1)
+		// A client re-queries roughly every sqrt(area) of travel.
+		fmt.Printf("%-12s: local density %.3g pts/m², expected 1NN validity "+
+			"region %.3g m² (~%.1f km between re-queries)\n",
+			spot.name, rho, area, math.Sqrt(area)/1000)
+	}
+
+	// Window query planning: a 50 km × 50 km viewport.
+	side := 50_000.0
+	rho := globalDensity
+	wArea := costmodel.WindowValidityArea(rho, side, side)
+	dx, dy := costmodel.InnerRectExtents(rho, side, side)
+	stats := db.Server().Tree.Stats()
+	na1 := costmodel.WindowNodeAccesses(stats, side, side, d.Universe.Area())
+	na2 := costmodel.LocationWindowSecondQueryNA(stats, rho, side, side, d.Universe.Area())
+	fmt.Printf("\n50 km viewport: expected validity area %.3g m² "+
+		"(inner rect ±%.0f m × ±%.0f m)\n", wArea, dx, dy)
+	fmt.Printf("predicted I/O: %.1f node accesses for the result + %.1f for influence objects\n", na1, na2)
+
+	// --- verify against a measured workload -----------------------------
+	fmt.Println("\n--- measured (500-query workload) ---")
+	queries := dataset.QueryPoints(d, 500, 99)
+	var sumArea, sumNA1, sumNA2 float64
+	for _, q := range queries {
+		wv, cost := db.WindowAt(q, side, side)
+		sumArea += wv.Region.Area()
+		sumNA1 += float64(cost.ResultNA)
+		sumNA2 += float64(cost.InfNA)
+	}
+	n := float64(len(queries))
+	fmt.Printf("mean window validity area: %.3g m²\n", sumArea/n)
+	fmt.Printf("mean I/O: %.1f + %.1f node accesses\n", sumNA1/n, sumNA2/n)
+	fmt.Println("\n(the skew-aware per-query estimate is exercised in Fig. 30:")
+	fmt.Println(" run `go run ./cmd/lbsq-bench -fig 30`)")
+}
+
+// densestSpot returns the center of the densest histogram bucket.
+func densestSpot(h *histogram.Histogram) lbsq.Point {
+	best, bestD := lbsq.Point{}, -1.0
+	for _, b := range h.Buckets {
+		if d := b.Density(); d > bestD {
+			bestD, best = d, b.Rect.Center()
+		}
+	}
+	return best
+}

@@ -1,0 +1,63 @@
+// Mapwindow: a moving map viewport over a population dataset. The
+// client renders all points inside a fixed-size window centered on its
+// position (think "places on screen while panning a map"). With
+// location-based window queries the server also returns the validity
+// region of the current screen contents, so most panning motions redraw
+// from cache.
+package main
+
+import (
+	"fmt"
+
+	"lbsq"
+	"lbsq/internal/trajectory"
+)
+
+func main() {
+	items, universe := lbsq.NALikeDataset(120_000, 5)
+	db, err := lbsq.Open(items, universe, &lbsq.Options{BufferFraction: 0.10})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("dataset: %d populated places in %.0f km x %.0f km\n\n",
+		db.Len(), universe.Width()/1000, universe.Height()/1000)
+
+	// Viewport: 60 km × 40 km (a regional map view); the user pans in
+	// 500 m steps along a random-waypoint path.
+	const qx, qy = 60_000.0, 40_000.0
+	path := trajectory.RandomWaypoint(universe, 500, 4000, 3)
+
+	client := db.NewWindowClient(qx, qy)
+	redraws, cached := 0, 0
+	var lastCount int
+	for _, f := range path {
+		result, err := client.At(f)
+		if err != nil {
+			panic(err)
+		}
+		if client.Stats.ServerQueries > redraws {
+			redraws = client.Stats.ServerQueries
+			lastCount = len(result)
+		} else {
+			cached++
+		}
+	}
+
+	fmt.Printf("position updates  : %d\n", client.Stats.PositionUpdates)
+	fmt.Printf("server refreshes  : %d (%.2f%% of updates)\n",
+		client.Stats.ServerQueries, 100*client.Stats.QueryRate())
+	fmt.Printf("served from cache : %d\n", cached)
+	fmt.Printf("network volume    : %.1f KB total, %.1f bytes per update\n",
+		float64(client.Stats.BytesReceived)/1024,
+		float64(client.Stats.BytesReceived)/float64(client.Stats.PositionUpdates))
+	fmt.Printf("last screen holds : %d places\n", lastCount)
+
+	if wv := client.Cached(); wv != nil {
+		fmt.Printf("\ncurrent validity region: inner rect %.1f x %.1f km, "+
+			"%d inner / %d outer influence objects\n",
+			wv.InnerRect.Width()/1000, wv.InnerRect.Height()/1000,
+			len(wv.InnerInfluence), len(wv.OuterInfluence))
+		fmt.Printf("conservative safe rectangle: %.1f x %.1f km\n",
+			wv.Conservative.Width()/1000, wv.Conservative.Height()/1000)
+	}
+}

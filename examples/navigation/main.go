@@ -1,0 +1,83 @@
+// Navigation: the paper's motivating scenario. A driver moves through a
+// road network (GR-like dataset of street-segment centroids) asking
+// "where is my nearest point of interest?" at every position update.
+// Compare how many updates actually reach the server under each
+// protocol: naive re-querying, the paper's validity regions, SR01 m-NN
+// buffering, TP02 time-parameterized queries, and ZL01 precomputed
+// Voronoi cells.
+package main
+
+import (
+	"fmt"
+
+	"lbsq"
+	"lbsq/internal/trajectory"
+)
+
+func main() {
+	items, universe := lbsq.GRLikeDataset(23_268, 7)
+	db, err := lbsq.Open(items, universe, &lbsq.Options{BufferFraction: 0.10})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("dataset: %d street-segment centroids in %.0f km x %.0f km\n\n",
+		db.Len(), universe.Width()/1000, universe.Height()/1000)
+
+	const steps = 3000
+	const stepLen = 250.0 // meters per position update (~city driving at 1 Hz)
+	path := trajectory.Manhattan(universe, 2000, stepLen, steps, 11)
+	headings := trajectory.Headings(path)
+
+	fmt.Printf("%-32s %14s %10s %12s\n", "client", "server queries", "rate", "KB received")
+
+	report := func(name string, st lbsq.ClientStats) {
+		fmt.Printf("%-32s %14d %9.2f%% %12.1f\n",
+			name, st.ServerQueries, 100*st.QueryRate(), float64(st.BytesReceived)/1024)
+	}
+
+	naive := db.NewNaiveClient(1)
+	for _, p := range path {
+		must(naive.At(p))
+	}
+	report("naive (re-query every update)", naive.Stats)
+
+	vr := db.NewNNClient(1)
+	for _, p := range path {
+		must(vr.At(p))
+	}
+	report("validity region (this paper)", vr.Stats)
+
+	sr := db.NewSR01Client(1, 8)
+	for _, p := range path {
+		must(sr.At(p))
+	}
+	report("SR01 (m=8 buffered neighbors)", sr.Stats)
+
+	tp := db.NewTP02Client(1)
+	for i, p := range path {
+		must(tp.At(p, headings[i]))
+	}
+	report("TP02 (straight-line validity)", tp.Stats)
+
+	zl, err := db.NewZL01Client(stepLen)
+	if err != nil {
+		panic(err)
+	}
+	for i, p := range path {
+		if _, err := zl.At(p, float64(i)); err != nil {
+			panic(err)
+		}
+	}
+	report("ZL01 (Voronoi, max-speed time)", zl.Stats)
+
+	fmt.Println("\nThe validity-region client needs no tuning parameter (unlike")
+	fmt.Println("SR01's m and ZL01's max speed) and survives turns (unlike TP02,")
+	fmt.Println("which must re-query whenever the heading changes).")
+}
+
+func must(items []lbsq.Item, err error) []lbsq.Item {
+	if err != nil {
+		panic(err)
+	}
+	return items
+}

@@ -1,0 +1,53 @@
+// Proximity: the paper's future-work extension (Sec. 7) in action —
+// region queries like "all restaurants within 5 km", whose validity
+// regions are bounded by circular arcs. A courier rides through a city
+// with a 5 km proximity list; the server returns, along with the list,
+// the arc-bounded region within which the list provably cannot change,
+// so the client checks validity with a handful of distance comparisons.
+package main
+
+import (
+	"fmt"
+
+	"lbsq"
+	"lbsq/internal/trajectory"
+)
+
+func main() {
+	items, universe := lbsq.GRLikeDataset(23_268, 7)
+	db, err := lbsq.Open(items, universe, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("dataset: %d points in %.0f km x %.0f km\n\n",
+		db.Len(), universe.Width()/1000, universe.Height()/1000)
+
+	// A single query, inspected.
+	me := lbsq.Pt(400_000, 400_000)
+	const radius = 5_000.0 // 5 km
+	rv, cost := db.Range(me, radius)
+	fmt.Printf("within 5 km of %v: %d points (%d node accesses)\n",
+		me, len(rv.Result), cost.Total())
+	fmt.Printf("validity region: %d inner + %d outer influence objects, "+
+		"safe travel %.0f m in any direction\n",
+		len(rv.InnerInfluence), len(rv.OuterInfluence), rv.SafeDistance(me))
+	fmt.Printf("estimated region area: %.3g m² (grid quadrature)\n\n", rv.AreaEstimate(300))
+
+	// The courier's ride: 3000 position updates at 100 m steps.
+	client := db.NewRangeClient(radius)
+	path := trajectory.Manhattan(universe, 1000, 100, 3000, 11)
+	for _, p := range path {
+		if _, err := client.At(p); err != nil {
+			panic(err)
+		}
+	}
+	st := client.Stats
+	fmt.Printf("ride: %d updates, %d server queries (%.2f%%), %d cache hits\n",
+		st.PositionUpdates, st.ServerQueries, 100*st.QueryRate(), st.CacheHits)
+	fmt.Printf("network: %.1f KB total (%.0f bytes per update)\n",
+		float64(st.BytesReceived)/1024, float64(st.BytesReceived)/float64(st.PositionUpdates))
+	if rv := client.Cached(); rv != nil {
+		fmt.Printf("current list: %d points, next guaranteed-safe travel %.0f m\n",
+			len(rv.Result), rv.SafeDistance(path[len(path)-1]))
+	}
+}

@@ -1,0 +1,3 @@
+module lbsq
+
+go 1.22

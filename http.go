@@ -1,0 +1,263 @@
+package lbsq
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"lbsq/internal/core"
+)
+
+// HTTP transport for the client/server architecture of the paper: a DB
+// can be served over the wire protocol, and RemoteClient mirrors the
+// local query API from another process. Responses use the compact
+// binary encodings of EncodeNN / EncodeWindow — the representation whose
+// size the paper argues must stay small.
+
+// Handler returns an http.Handler exposing the query server:
+//
+//	GET /nn?x=..&y=..&k=..       → binary NN response (EncodeNN)
+//	GET /window?x=..&y=..&qx=..&qy=.. → binary window response
+//	GET /info                    → JSON {"count":..,"universe":[minx,miny,maxx,maxy]}
+func (db *DB) Handler() http.Handler {
+	sessions := &sessionStore{known: make(map[string]map[int64]bool)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/nn", func(w http.ResponseWriter, r *http.Request) {
+		q, err := parsePoint(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		k, err := parseInt(r, "k", 1)
+		if err != nil || k < 1 {
+			http.Error(w, "bad k", http.StatusBadRequest)
+			return
+		}
+		v, _, err := db.NN(q, k)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		if sid := r.URL.Query().Get("session"); sid != "" {
+			// Delta transfer: items this session already received are
+			// referenced by id only.
+			known, add := sessions.acquire(sid)
+			defer sessions.release()
+			w.Write(core.EncodeNNDelta(v, known))
+			for _, nb := range v.Neighbors {
+				add(nb.Item.ID)
+			}
+			for _, it := range v.Influence {
+				add(it.ID)
+			}
+			return
+		}
+		w.Write(EncodeNN(v))
+	})
+	mux.HandleFunc("/route", func(w http.ResponseWriter, r *http.Request) {
+		x1, e1 := parseFloat(r, "x1")
+		y1, e2 := parseFloat(r, "y1")
+		x2, e3 := parseFloat(r, "x2")
+		y2, e4 := parseFloat(r, "y2")
+		if e1 != nil || e2 != nil || e3 != nil || e4 != nil {
+			http.Error(w, "bad route endpoints", http.StatusBadRequest)
+			return
+		}
+		ivs := db.RouteNN(Pt(x1, y1), Pt(x2, y2))
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(core.EncodeRoute(ivs))
+	})
+	mux.HandleFunc("/window", func(w http.ResponseWriter, r *http.Request) {
+		q, err := parsePoint(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		qx, err1 := parseFloat(r, "qx")
+		qy, err2 := parseFloat(r, "qy")
+		if err1 != nil || err2 != nil || qx <= 0 || qy <= 0 {
+			http.Error(w, "bad window extents", http.StatusBadRequest)
+			return
+		}
+		wv, _ := db.WindowAt(q, qx, qy)
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(EncodeWindow(wv))
+	})
+	mux.HandleFunc("/range", func(w http.ResponseWriter, r *http.Request) {
+		q, err := parsePoint(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		radius, err := parseFloat(r, "r")
+		if err != nil || radius <= 0 {
+			http.Error(w, "bad radius", http.StatusBadRequest)
+			return
+		}
+		rv, _ := db.Range(q, radius)
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(EncodeRange(rv))
+	})
+	mux.HandleFunc("/info", func(w http.ResponseWriter, r *http.Request) {
+		u := db.Universe()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]interface{}{
+			"count":    db.Len(),
+			"universe": [4]float64{u.MinX, u.MinY, u.MaxX, u.MaxY},
+		})
+	})
+	return mux
+}
+
+func parsePoint(r *http.Request) (Point, error) {
+	x, err1 := parseFloat(r, "x")
+	y, err2 := parseFloat(r, "y")
+	if err1 != nil || err2 != nil {
+		return Point{}, fmt.Errorf("lbsq: bad x/y coordinates")
+	}
+	return Pt(x, y), nil
+}
+
+func parseFloat(r *http.Request, name string) (float64, error) {
+	return strconv.ParseFloat(r.URL.Query().Get(name), 64)
+}
+
+func parseInt(r *http.Request, name string, def int) (int, error) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		return def, nil
+	}
+	return strconv.Atoi(s)
+}
+
+// sessionStore tracks which item ids each delta session has received.
+// Sessions are unbounded for the demo server; production deployments
+// would expire them.
+type sessionStore struct {
+	mu    sync.Mutex
+	known map[string]map[int64]bool
+}
+
+// acquire locks the store and returns a membership test plus an adder
+// for the session; release with release().
+func (s *sessionStore) acquire(sid string) (func(int64) bool, func(int64)) {
+	s.mu.Lock()
+	m := s.known[sid]
+	if m == nil {
+		m = make(map[int64]bool)
+		s.known[sid] = m
+	}
+	return func(id int64) bool { return m[id] }, func(id int64) { m[id] = true }
+}
+
+func (s *sessionStore) release() { s.mu.Unlock() }
+
+// RemoteClient issues location-based queries against a DB served by
+// Handler.
+type RemoteClient struct {
+	// Base is the server URL, e.g. "http://localhost:8080".
+	Base string
+	// HTTP is the client to use; nil selects http.DefaultClient.
+	HTTP *http.Client
+	// Universe must match the server's (fetch it with Info); needed to
+	// rebuild window validity regions client-side.
+	Universe Rect
+	// Session, when non-empty, enables incremental (delta) NN transfer:
+	// the server remembers which items this session has seen.
+	Session string
+
+	items core.ItemCache
+}
+
+func (c *RemoteClient) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *RemoteClient) get(path string) ([]byte, error) {
+	resp, err := c.httpClient().Get(c.Base + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("lbsq: server returned %s: %s", resp.Status, body)
+	}
+	return body, nil
+}
+
+// Info fetches the served dataset size and universe, storing the
+// universe on the client.
+func (c *RemoteClient) Info() (int, Rect, error) {
+	body, err := c.get("/info")
+	if err != nil {
+		return 0, Rect{}, err
+	}
+	var out struct {
+		Count    int        `json:"count"`
+		Universe [4]float64 `json:"universe"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		return 0, Rect{}, err
+	}
+	c.Universe = R(out.Universe[0], out.Universe[1], out.Universe[2], out.Universe[3])
+	return out.Count, c.Universe, nil
+}
+
+// NN issues a location-based k-NN query. With Session set, responses
+// use the incremental (delta) encoding: items already received in this
+// session travel as bare ids resolved from the client's item cache.
+func (c *RemoteClient) NN(q Point, k int) (*NNValidity, error) {
+	if c.Session != "" {
+		if c.items == nil {
+			c.items = make(core.ItemCache)
+		}
+		body, err := c.get(fmt.Sprintf("/nn?x=%g&y=%g&k=%d&session=%s", q.X, q.Y, k, c.Session))
+		if err != nil {
+			return nil, err
+		}
+		return core.DecodeNNDelta(body, c.items)
+	}
+	body, err := c.get(fmt.Sprintf("/nn?x=%g&y=%g&k=%d", q.X, q.Y, k))
+	if err != nil {
+		return nil, err
+	}
+	return DecodeNN(body)
+}
+
+// RouteNN fetches the continuous-NN partition of the segment a→b.
+func (c *RemoteClient) RouteNN(a, b Point) ([]RouteInterval, error) {
+	body, err := c.get(fmt.Sprintf("/route?x1=%g&y1=%g&x2=%g&y2=%g", a.X, a.Y, b.X, b.Y))
+	if err != nil {
+		return nil, err
+	}
+	return core.DecodeRoute(body)
+}
+
+// Window issues a location-based window query centered at the focus.
+func (c *RemoteClient) Window(focus Point, qx, qy float64) (*WindowValidity, error) {
+	body, err := c.get(fmt.Sprintf("/window?x=%g&y=%g&qx=%g&qy=%g", focus.X, focus.Y, qx, qy))
+	if err != nil {
+		return nil, err
+	}
+	return DecodeWindow(body, c.Universe)
+}
+
+// Range issues a location-based range query around the center.
+func (c *RemoteClient) Range(center Point, radius float64) (*RangeValidity, error) {
+	body, err := c.get(fmt.Sprintf("/range?x=%g&y=%g&r=%g", center.X, center.Y, radius))
+	if err != nil {
+		return nil, err
+	}
+	return DecodeRange(body)
+}

@@ -1,0 +1,97 @@
+// Package buffer provides the LRU page buffer used to report the paper's
+// page-access (PA) metric: node accesses that miss the buffer count as
+// page faults. The experiments of Section 6 use a buffer sized at 10% of
+// the R-tree.
+package buffer
+
+import (
+	"container/list"
+	"sync"
+)
+
+// LRU is a fixed-capacity least-recently-used page buffer. The zero
+// value is unusable; construct with NewLRU. LRU implements
+// rtree.PageTracker.
+type LRU struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List              // front = most recently used
+	pages    map[int64]*list.Element // page id → list element
+	hits     int64
+	faults   int64
+}
+
+// NewLRU returns a buffer holding up to capacity pages. A capacity ≤ 0
+// yields a buffer where every access faults (the unbuffered NA metric).
+func NewLRU(capacity int) *LRU {
+	return &LRU{
+		capacity: capacity,
+		order:    list.New(),
+		pages:    make(map[int64]*list.Element),
+	}
+}
+
+// Access touches a page, returning true on a buffer hit. On a miss the
+// page is loaded, evicting the least recently used page if full.
+func (b *LRU) Access(page int64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if el, ok := b.pages[page]; ok {
+		b.order.MoveToFront(el)
+		b.hits++
+		return true
+	}
+	b.faults++
+	if b.capacity <= 0 {
+		return false
+	}
+	if b.order.Len() >= b.capacity {
+		oldest := b.order.Back()
+		b.order.Remove(oldest)
+		delete(b.pages, oldest.Value.(int64))
+	}
+	b.pages[page] = b.order.PushFront(page)
+	return false
+}
+
+// Hits returns the cumulative hit count.
+func (b *LRU) Hits() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.hits
+}
+
+// Faults returns the cumulative fault (page access) count.
+func (b *LRU) Faults() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.faults
+}
+
+// Len returns the number of resident pages.
+func (b *LRU) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.order.Len()
+}
+
+// Capacity returns the buffer capacity in pages.
+func (b *LRU) Capacity() int { return b.capacity }
+
+// ResetCounters zeroes the hit and fault counters, keeping the buffer
+// contents (the paper warms the buffer with the workload itself; per-query
+// measurements reset only the counters).
+func (b *LRU) ResetCounters() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.hits, b.faults = 0, 0
+}
+
+// Flush empties the buffer and zeroes the counters.
+func (b *LRU) Flush() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.order.Init()
+	b.pages = make(map[int64]*list.Element)
+	b.hits, b.faults = 0, 0
+}

@@ -1,0 +1,118 @@
+package buffer
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLRUBasic(t *testing.T) {
+	b := NewLRU(2)
+	if b.Access(1) {
+		t.Error("first access must fault")
+	}
+	if !b.Access(1) {
+		t.Error("second access must hit")
+	}
+	b.Access(2) // fault, buffer now {2,1}
+	b.Access(3) // fault, evicts 1 → {3,2}
+	if b.Access(1) {
+		t.Error("evicted page must fault")
+	}
+	// Now buffer {1,3}; 2 was evicted.
+	if b.Access(2) {
+		t.Error("page 2 should have been evicted")
+	}
+	if b.Len() != 2 {
+		t.Errorf("Len = %d", b.Len())
+	}
+	if b.Hits() != 1 || b.Faults() != 5 {
+		t.Errorf("hits=%d faults=%d", b.Hits(), b.Faults())
+	}
+}
+
+func TestLRURecencyOrder(t *testing.T) {
+	b := NewLRU(3)
+	b.Access(1)
+	b.Access(2)
+	b.Access(3)
+	b.Access(1) // 1 becomes most recent
+	b.Access(4) // evicts 2
+	if !b.Access(1) || !b.Access(3) || !b.Access(4) {
+		t.Error("1, 3, 4 must be resident")
+	}
+	if b.Access(2) {
+		t.Error("2 must have been evicted")
+	}
+}
+
+func TestZeroCapacityAlwaysFaults(t *testing.T) {
+	b := NewLRU(0)
+	for i := 0; i < 10; i++ {
+		if b.Access(1) {
+			t.Fatal("zero-capacity buffer must always fault")
+		}
+	}
+	if b.Faults() != 10 || b.Hits() != 0 {
+		t.Errorf("hits=%d faults=%d", b.Hits(), b.Faults())
+	}
+}
+
+func TestResetCountersKeepsContents(t *testing.T) {
+	b := NewLRU(4)
+	b.Access(1)
+	b.Access(2)
+	b.ResetCounters()
+	if b.Hits() != 0 || b.Faults() != 0 {
+		t.Error("counters not reset")
+	}
+	if !b.Access(1) {
+		t.Error("contents must survive ResetCounters")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	b := NewLRU(4)
+	b.Access(1)
+	b.Flush()
+	if b.Len() != 0 {
+		t.Error("Flush must empty the buffer")
+	}
+	if b.Access(1) {
+		t.Error("page must fault after Flush")
+	}
+}
+
+func TestLRUNeverExceedsCapacity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := NewLRU(16)
+	for i := 0; i < 10000; i++ {
+		b.Access(int64(rng.Intn(100)))
+		if b.Len() > 16 {
+			t.Fatalf("buffer grew to %d", b.Len())
+		}
+	}
+	if b.Hits()+b.Faults() != 10000 {
+		t.Error("hit+fault accounting broken")
+	}
+}
+
+func TestLocalityImprovesHitRate(t *testing.T) {
+	// Repeated access to a small working set should mostly hit; uniform
+	// access over a large set should mostly fault. Sanity for the
+	// buffered-TPNN claim of the paper (Fig. 27b).
+	local := NewLRU(32)
+	for i := 0; i < 5000; i++ {
+		local.Access(int64(i % 16))
+	}
+	uniform := NewLRU(32)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		uniform.Access(int64(rng.Intn(10000)))
+	}
+	if float64(local.Hits())/5000 < 0.9 {
+		t.Errorf("local hit rate too low: %d", local.Hits())
+	}
+	if float64(uniform.Hits())/5000 > 0.2 {
+		t.Errorf("uniform hit rate implausibly high: %d", uniform.Hits())
+	}
+}

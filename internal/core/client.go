@@ -1,0 +1,196 @@
+package core
+
+import (
+	"lbsq/internal/geom"
+	"lbsq/internal/rtree"
+)
+
+// ClientStats accumulates the client-side metrics of the motivation
+// experiment: how many position updates were absorbed by the cached
+// validity region versus forwarded to the server, and the network volume.
+type ClientStats struct {
+	PositionUpdates int
+	ServerQueries   int
+	CacheHits       int
+	BytesReceived   int64
+}
+
+// QueryRate returns the fraction of position updates that reached the
+// server (1.0 for the naive client that re-queries every time).
+func (s ClientStats) QueryRate() float64 {
+	if s.PositionUpdates == 0 {
+		return 0
+	}
+	return float64(s.ServerQueries) / float64(s.PositionUpdates)
+}
+
+// NNClient is a mobile client issuing k-nearest-neighbor queries against
+// a Server, caching the latest result with its validity region and
+// re-querying only after leaving it (the paper's proposed protocol).
+type NNClient struct {
+	Server *Server
+	K      int
+	// Delta enables incremental result transfer (Sec. 7 future work):
+	// items the client already holds travel as bare ids.
+	Delta bool
+	// Regions sets the semantic-cache depth: how many past validity
+	// regions the client retains (≥1). A client that re-enters a
+	// previously visited region answers from cache without any server
+	// contact — the semantic-caching idea of [ZL01], realized with the
+	// paper's exact regions. Zero means 1.
+	Regions int
+	Stats   ClientStats
+
+	cached []*NNValidity // most recent first
+	items  ItemCache
+}
+
+// NewNNClient returns a client for k-NN queries.
+func NewNNClient(s *Server, k int) *NNClient {
+	return &NNClient{Server: s, K: k, items: make(ItemCache)}
+}
+
+func (c *NNClient) regions() int {
+	if c.Regions < 1 {
+		return 1
+	}
+	return c.Regions
+}
+
+// At reports the k nearest neighbors of position p, consulting the
+// cached validity region first. The returned slice is ordered by
+// distance to the *original* query point of the cached response; the
+// set — which is what the validity region guarantees — is exact.
+func (c *NNClient) At(p geom.Point) ([]rtree.Item, error) {
+	c.Stats.PositionUpdates++
+	for i, v := range c.cached {
+		if v.Valid(p) {
+			c.Stats.CacheHits++
+			if i != 0 { // move to front
+				copy(c.cached[1:i+1], c.cached[:i])
+				c.cached[0] = v
+			}
+			return v.Result(), nil
+		}
+	}
+	v, _, err := c.Server.NNQuery(p, c.K)
+	if err != nil {
+		return nil, err
+	}
+	// The client receives the wire form; account for it and use the
+	// decoded copy so tests exercise the round trip.
+	var decoded *NNValidity
+	if c.Delta {
+		if c.items == nil {
+			c.items = make(ItemCache)
+		}
+		wire := EncodeNNDelta(v, func(id int64) bool { _, ok := c.items[id]; return ok })
+		c.Stats.BytesReceived += int64(len(wire))
+		decoded, err = DecodeNNDelta(wire, c.items)
+	} else {
+		wire := EncodeNN(v)
+		c.Stats.BytesReceived += int64(len(wire))
+		decoded, err = DecodeNN(wire)
+	}
+	c.Stats.ServerQueries++
+	if err != nil {
+		return nil, err
+	}
+	c.cached = append([]*NNValidity{decoded}, c.cached...)
+	if len(c.cached) > c.regions() {
+		c.cached = c.cached[:c.regions()]
+	}
+	return decoded.Result(), nil
+}
+
+// Cached exposes the most recent cached response (nil before the first
+// query), letting simulations inspect the validity region.
+func (c *NNClient) Cached() *NNValidity {
+	if len(c.cached) == 0 {
+		return nil
+	}
+	return c.cached[0]
+}
+
+// WindowClient is a mobile client maintaining a window query of fixed
+// extents centered at its position (e.g. a moving map viewport).
+//
+// With Delta enabled, responses use the incremental encoding of the
+// Sec. 7 future-work proposal: items the client already holds travel as
+// bare ids. The item cache grows with the session; call ResetItems on
+// memory pressure (the next response simply sends full records again).
+type WindowClient struct {
+	Server *Server
+	Qx, Qy float64 // window extents
+	Delta  bool    // incremental (delta) result transfer
+	// Regions sets the semantic-cache depth (past validity regions
+	// retained); zero means 1. See NNClient.Regions.
+	Regions int
+	Stats   ClientStats
+
+	cached []*WindowValidity // most recent first
+	items  ItemCache
+}
+
+// NewWindowClient returns a client whose window has extents qx×qy.
+func NewWindowClient(s *Server, qx, qy float64) *WindowClient {
+	return &WindowClient{Server: s, Qx: qx, Qy: qy, items: make(ItemCache)}
+}
+
+// ResetItems drops the delta-transfer item cache.
+func (c *WindowClient) ResetItems() { c.items = make(ItemCache) }
+
+func (c *WindowClient) regions() int {
+	if c.Regions < 1 {
+		return 1
+	}
+	return c.Regions
+}
+
+// At reports the window-query result when the client's focus is at f.
+func (c *WindowClient) At(f geom.Point) ([]rtree.Item, error) {
+	c.Stats.PositionUpdates++
+	for i, w := range c.cached {
+		if w.Valid(f) {
+			c.Stats.CacheHits++
+			if i != 0 {
+				copy(c.cached[1:i+1], c.cached[:i])
+				c.cached[0] = w
+			}
+			return w.Result, nil
+		}
+	}
+	w, _ := c.Server.WindowQueryAt(f, c.Qx, c.Qy)
+	var decoded *WindowValidity
+	var err error
+	if c.Delta {
+		if c.items == nil {
+			c.items = make(ItemCache)
+		}
+		wire := EncodeWindowDelta(w, func(id int64) bool { _, ok := c.items[id]; return ok })
+		c.Stats.BytesReceived += int64(len(wire))
+		decoded, err = DecodeWindowDelta(wire, c.items, c.Server.Universe)
+	} else {
+		wire := EncodeWindow(w)
+		c.Stats.BytesReceived += int64(len(wire))
+		decoded, err = DecodeWindow(wire, c.Server.Universe)
+	}
+	c.Stats.ServerQueries++
+	if err != nil {
+		return nil, err
+	}
+	c.cached = append([]*WindowValidity{decoded}, c.cached...)
+	if len(c.cached) > c.regions() {
+		c.cached = c.cached[:c.regions()]
+	}
+	return decoded.Result, nil
+}
+
+// Cached exposes the most recent cached response (nil before the first
+// query).
+func (c *WindowClient) Cached() *WindowValidity {
+	if len(c.cached) == 0 {
+		return nil
+	}
+	return c.cached[0]
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"lbsq/internal/geom"
+	"lbsq/internal/nn"
+	"lbsq/internal/rtree"
+)
+
+// Incremental result transfer — the second future-work item of Sec. 7:
+// a client re-querying just after leaving a validity region usually
+// receives a result that overlaps its previous one heavily, so the
+// server can send the delta. The delta codecs below encode each item
+// either as a full record (24 bytes) or, when the client already holds
+// it, as a bare id (8 bytes + 1 flag byte); the client resolves ids
+// from its item cache. Correctness is unchanged — only the wire volume
+// shrinks (measured by the "delta" experiment).
+
+const (
+	deltaMagic   = 'D'
+	flagFullItem = 1
+	flagKnownID  = 0
+)
+
+// ItemCache is the client-side store of previously received items.
+type ItemCache map[int64]rtree.Item
+
+// Absorb records all items of a decoded response.
+func (c ItemCache) Absorb(items ...rtree.Item) {
+	for _, it := range items {
+		c[it.ID] = it
+	}
+}
+
+func appendDeltaItem(b []byte, it rtree.Item, known func(int64) bool) []byte {
+	if known != nil && known(it.ID) {
+		b = append(b, flagKnownID)
+		return binary.LittleEndian.AppendUint64(b, uint64(it.ID))
+	}
+	b = append(b, flagFullItem)
+	return appendItem(b, it)
+}
+
+func readDeltaItem(b []byte, cache ItemCache) (rtree.Item, int, error) {
+	if len(b) < 1 {
+		return rtree.Item{}, 0, fmt.Errorf("core: truncated delta item")
+	}
+	switch b[0] {
+	case flagFullItem:
+		if len(b) < 1+itemBytes {
+			return rtree.Item{}, 0, fmt.Errorf("core: truncated delta item body")
+		}
+		return readItem(b[1:]), 1 + itemBytes, nil
+	case flagKnownID:
+		if len(b) < 9 {
+			return rtree.Item{}, 0, fmt.Errorf("core: truncated delta item id")
+		}
+		id := int64(binary.LittleEndian.Uint64(b[1:]))
+		it, ok := cache[id]
+		if !ok {
+			return rtree.Item{}, 0, fmt.Errorf("core: delta references unknown item %d", id)
+		}
+		return it, 9, nil
+	default:
+		return rtree.Item{}, 0, fmt.Errorf("core: bad delta item flag %d", b[0])
+	}
+}
+
+// EncodeNNDelta serializes an NN response, sending items the client
+// already holds (per known) as bare ids.
+func EncodeNNDelta(v *NNValidity, known func(int64) bool) []byte {
+	b := make([]byte, 0, 32+25*(len(v.Neighbors)+len(v.Influence))+4*len(v.Pairs))
+	b = append(b, deltaMagic, nnMagic, byte(v.K), 0)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(v.Neighbors)))
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(v.Influence)))
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(v.Pairs)))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v.Query.X))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v.Query.Y))
+	nbrIdx := make(map[int64]uint16, len(v.Neighbors))
+	for i, nb := range v.Neighbors {
+		b = appendDeltaItem(b, nb.Item, known)
+		nbrIdx[nb.Item.ID] = uint16(i)
+	}
+	infIdx := make(map[int64]uint16, len(v.Influence))
+	for i, it := range v.Influence {
+		b = appendDeltaItem(b, it, known)
+		infIdx[it.ID] = uint16(i)
+	}
+	for _, pr := range v.Pairs {
+		b = binary.LittleEndian.AppendUint16(b, infIdx[pr.Obj.ID])
+		b = binary.LittleEndian.AppendUint16(b, nbrIdx[pr.Member.ID])
+	}
+	return b
+}
+
+// DecodeNNDelta parses a delta NN response, resolving known ids from
+// the cache, and absorbs the new items into it.
+func DecodeNNDelta(b []byte, cache ItemCache) (*NNValidity, error) {
+	if len(b) < 26 || b[0] != deltaMagic || b[1] != nnMagic {
+		return nil, fmt.Errorf("core: bad delta NN header")
+	}
+	v := &NNValidity{K: int(b[2])}
+	nNbr := int(binary.LittleEndian.Uint16(b[4:]))
+	nInf := int(binary.LittleEndian.Uint16(b[6:]))
+	nPair := int(binary.LittleEndian.Uint16(b[8:]))
+	v.Query = geom.Pt(
+		math.Float64frombits(binary.LittleEndian.Uint64(b[10:])),
+		math.Float64frombits(binary.LittleEndian.Uint64(b[18:])),
+	)
+	off := 26
+	for i := 0; i < nNbr; i++ {
+		it, n, err := readDeltaItem(b[off:], cache)
+		if err != nil {
+			return nil, err
+		}
+		v.Neighbors = append(v.Neighbors, nn.Neighbor{Item: it, Dist: it.P.Dist(v.Query)})
+		off += n
+	}
+	for i := 0; i < nInf; i++ {
+		it, n, err := readDeltaItem(b[off:], cache)
+		if err != nil {
+			return nil, err
+		}
+		v.Influence = append(v.Influence, it)
+		off += n
+	}
+	if len(b)-off != 4*nPair {
+		return nil, fmt.Errorf("core: delta NN pair section length %d, want %d", len(b)-off, 4*nPair)
+	}
+	for i := 0; i < nPair; i++ {
+		oi := int(binary.LittleEndian.Uint16(b[off:]))
+		mi := int(binary.LittleEndian.Uint16(b[off+2:]))
+		if oi >= nInf || mi >= nNbr {
+			return nil, fmt.Errorf("core: delta NN pair index out of range")
+		}
+		v.Pairs = append(v.Pairs, InfluencePair{Obj: v.Influence[oi], Member: v.Neighbors[mi].Item})
+		off += 4
+	}
+	for _, nb := range v.Neighbors {
+		cache.Absorb(nb.Item)
+	}
+	cache.Absorb(v.Influence...)
+	return v, nil
+}
+
+// EncodeWindowDelta serializes a window response with known items as
+// bare ids — where delta transfer pays off most, since window results
+// are large and consecutive windows overlap heavily.
+func EncodeWindowDelta(w *WindowValidity, known func(int64) bool) []byte {
+	b := make([]byte, 0, 80+25*(len(w.Result)+len(w.OuterInfluence))+2*len(w.InnerInfluence))
+	b = append(b, deltaMagic, windowMagic)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(w.Result)))
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(w.InnerInfluence)))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(w.OuterInfluence)))
+	for _, f := range []float64{
+		w.Window.MinX, w.Window.MinY, w.Window.MaxX, w.Window.MaxY,
+		w.InnerRect.MinX, w.InnerRect.MinY, w.InnerRect.MaxX, w.InnerRect.MaxY,
+	} {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+	}
+	resIdx := make(map[int64]uint16, len(w.Result))
+	for i, it := range w.Result {
+		b = appendDeltaItem(b, it, known)
+		resIdx[it.ID] = uint16(i)
+	}
+	for _, it := range w.InnerInfluence {
+		b = binary.LittleEndian.AppendUint16(b, resIdx[it.ID])
+	}
+	for _, it := range w.OuterInfluence {
+		b = appendDeltaItem(b, it, known)
+	}
+	return b
+}
+
+// DecodeWindowDelta parses a delta window response.
+func DecodeWindowDelta(b []byte, cache ItemCache, universe geom.Rect) (*WindowValidity, error) {
+	if len(b) < 76 || b[0] != deltaMagic || b[1] != windowMagic {
+		return nil, fmt.Errorf("core: bad delta window header")
+	}
+	nRes := int(binary.LittleEndian.Uint32(b[2:]))
+	nInner := int(binary.LittleEndian.Uint16(b[6:]))
+	nOuter := int(binary.LittleEndian.Uint32(b[8:]))
+	w := &WindowValidity{}
+	w.Window = geom.R(
+		math.Float64frombits(binary.LittleEndian.Uint64(b[12:])),
+		math.Float64frombits(binary.LittleEndian.Uint64(b[20:])),
+		math.Float64frombits(binary.LittleEndian.Uint64(b[28:])),
+		math.Float64frombits(binary.LittleEndian.Uint64(b[36:])),
+	)
+	w.InnerRect = geom.R(
+		math.Float64frombits(binary.LittleEndian.Uint64(b[44:])),
+		math.Float64frombits(binary.LittleEndian.Uint64(b[52:])),
+		math.Float64frombits(binary.LittleEndian.Uint64(b[60:])),
+		math.Float64frombits(binary.LittleEndian.Uint64(b[68:])),
+	)
+	w.Focus = w.Window.Center()
+	off := 76
+	for i := 0; i < nRes; i++ {
+		it, n, err := readDeltaItem(b[off:], cache)
+		if err != nil {
+			return nil, err
+		}
+		w.Result = append(w.Result, it)
+		off += n
+	}
+	for i := 0; i < nInner; i++ {
+		if off+2 > len(b) {
+			return nil, fmt.Errorf("core: truncated delta window inner section")
+		}
+		idx := int(binary.LittleEndian.Uint16(b[off:]))
+		if idx >= nRes {
+			return nil, fmt.Errorf("core: delta window inner index out of range")
+		}
+		w.InnerInfluence = append(w.InnerInfluence, w.Result[idx])
+		off += 2
+	}
+	for i := 0; i < nOuter; i++ {
+		it, n, err := readDeltaItem(b[off:], cache)
+		if err != nil {
+			return nil, err
+		}
+		w.OuterInfluence = append(w.OuterInfluence, it)
+		off += n
+	}
+	if off != len(b) {
+		return nil, fmt.Errorf("core: delta window trailing bytes")
+	}
+	cache.Absorb(w.Result...)
+	cache.Absorb(w.OuterInfluence...)
+
+	qx, qy := w.Window.Width(), w.Window.Height()
+	w.Region = geom.NewRectRegion(w.InnerRect.Intersect(universe))
+	for _, it := range w.OuterInfluence {
+		w.Region.Subtract(geom.RectCenteredAt(it.P, qx, qy))
+	}
+	w.Conservative = w.Region.ConservativeRect(w.Focus)
+	return w, nil
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"lbsq/internal/geom"
+	"lbsq/internal/nn"
+	"lbsq/internal/rtree"
+	"lbsq/internal/tp"
+)
+
+func TestNNDeltaRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tree, _ := buildTree(rng, 2000)
+	s := NewServer(tree, universe)
+	v, _, err := s.NNQuery(geom.Pt(0.4, 0.6), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First transfer: nothing known, everything full.
+	cache := make(ItemCache)
+	full := EncodeNNDelta(v, func(int64) bool { return false })
+	got, err := DecodeNNDelta(full, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Neighbors) != len(v.Neighbors) || len(got.Pairs) != len(v.Pairs) {
+		t.Fatal("first transfer mangled")
+	}
+	// Second transfer of the same response: everything known → smaller.
+	delta := EncodeNNDelta(v, func(id int64) bool { _, ok := cache[id]; return ok })
+	if len(delta) >= len(full) {
+		t.Fatalf("delta (%d bytes) not smaller than full (%d)", len(delta), len(full))
+	}
+	got2, err := DecodeNNDelta(delta, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		p := geom.Pt(rng.Float64(), rng.Float64())
+		if got2.Valid(p) != v.Valid(p) {
+			t.Fatalf("delta-decoded validity differs at %v", p)
+		}
+	}
+}
+
+func TestWindowDeltaRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tree, _ := buildTree(rng, 5000)
+	s := NewServer(tree, universe)
+	w, _ := s.WindowQueryAt(geom.Pt(0.5, 0.5), 0.08, 0.08)
+	cache := make(ItemCache)
+	full := EncodeWindowDelta(w, func(int64) bool { return false })
+	got, err := DecodeWindowDelta(full, cache, universe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Result) != len(w.Result) {
+		t.Fatal("first transfer mangled")
+	}
+	// Overlapping second window: most items already cached.
+	w2, _ := s.WindowQueryAt(geom.Pt(0.505, 0.5), 0.08, 0.08)
+	known := func(id int64) bool { _, ok := cache[id]; return ok }
+	delta := EncodeWindowDelta(w2, known)
+	fullSize := len(EncodeWindow(w2))
+	if len(delta) >= fullSize/2 {
+		t.Fatalf("delta %d bytes, full %d: expected ≥2x saving on overlap", len(delta), fullSize)
+	}
+	got2, err := DecodeWindowDelta(delta, cache, universe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got2.Result) != len(w2.Result) {
+		t.Fatal("delta result mangled")
+	}
+	for i := 0; i < 200; i++ {
+		p := geom.Pt(rng.Float64(), rng.Float64())
+		if got2.Valid(p) != w2.Valid(p) && !nearRegionBoundary(w2.Region, p) {
+			t.Fatalf("delta-decoded window validity differs at %v", p)
+		}
+	}
+}
+
+func TestDeltaErrors(t *testing.T) {
+	cache := make(ItemCache)
+	if _, err := DecodeNNDelta(nil, cache); err == nil {
+		t.Error("nil delta must error")
+	}
+	if _, err := DecodeWindowDelta([]byte{deltaMagic, windowMagic}, cache, universe); err == nil {
+		t.Error("truncated delta window must error")
+	}
+	// A reference to an unknown id must fail loudly, not silently
+	// fabricate an item.
+	v := &NNValidity{K: 1, Query: geom.Pt(0.5, 0.5)}
+	it := rtree.Item{ID: 42, P: geom.Pt(0.1, 0.1)}
+	v.Neighbors = append(v.Neighbors, nn.Neighbor{Item: it, Dist: it.P.Dist(v.Query)})
+	b := EncodeNNDelta(v, func(int64) bool { return true }) // claim known
+	if _, err := DecodeNNDelta(b, make(ItemCache)); err == nil {
+		t.Error("unknown id reference must error")
+	}
+	// Bad flag byte.
+	bad := EncodeNNDelta(v, func(int64) bool { return false })
+	bad[26] = 7
+	if _, err := DecodeNNDelta(bad, cache); err == nil {
+		t.Error("bad flag must error")
+	}
+}
+
+func TestDeltaClientsSaveBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tree, items := buildTree(rng, 5000)
+	s := NewServer(tree, universe)
+	path := walk(rng, 400, 0.002)
+
+	plain := NewWindowClient(s, 0.08, 0.08)
+	delta := NewWindowClient(s, 0.08, 0.08)
+	delta.Delta = true
+	for _, p := range path {
+		a, err := plain.At(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := delta.At(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Same answers.
+		if !idsEqual(sortedIDs(a), sortedIDs(b)) {
+			t.Fatalf("delta client answer differs at %v", p)
+		}
+		if !idsEqual(sortedIDs(b), windowResultIDs(items, geom.RectCenteredAt(p, 0.08, 0.08))) {
+			t.Fatalf("delta client wrong at %v", p)
+		}
+	}
+	if plain.Stats.ServerQueries != delta.Stats.ServerQueries {
+		t.Fatalf("query counts differ: %d vs %d",
+			plain.Stats.ServerQueries, delta.Stats.ServerQueries)
+	}
+	if delta.Stats.BytesReceived*3 > plain.Stats.BytesReceived*2 {
+		t.Errorf("delta transfer saved too little: %d vs %d bytes",
+			delta.Stats.BytesReceived, plain.Stats.BytesReceived)
+	}
+	// Cache reset keeps working (full records are re-sent).
+	delta.ResetItems()
+	if _, err := delta.At(geom.Pt(0.9, 0.9)); err != nil {
+		t.Fatal(err)
+	}
+
+	// NN delta client agrees with the plain one too.
+	nnPlain := NewNNClient(s, 2)
+	nnDelta := NewNNClient(s, 2)
+	nnDelta.Delta = true
+	for _, p := range path[:200] {
+		a, err := nnPlain.At(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := nnDelta.At(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !idsEqual(sortedIDs(a), sortedIDs(b)) {
+			t.Fatalf("NN delta answer differs at %v", p)
+		}
+	}
+	if nnDelta.Stats.BytesReceived >= nnPlain.Stats.BytesReceived {
+		t.Errorf("NN delta saved nothing: %d vs %d",
+			nnDelta.Stats.BytesReceived, nnPlain.Stats.BytesReceived)
+	}
+}
+
+func tpCNN(tree *rtree.Tree) []tp.CNNInterval {
+	return tp.CNN(tree, geom.Pt(0.1, 0.4), geom.Pt(0.9, 0.6))
+}
+
+func TestRouteWireRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tree, _ := buildTree(rng, 1500)
+	ivs := tpCNN(tree)
+	b := EncodeRoute(ivs)
+	got, err := DecodeRoute(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ivs) {
+		t.Fatalf("route round trip %d vs %d intervals", len(got), len(ivs))
+	}
+	for i := range ivs {
+		if got[i] != ivs[i] {
+			t.Fatalf("interval %d mangled: %+v vs %+v", i, got[i], ivs[i])
+		}
+	}
+	if _, err := DecodeRoute(nil); err == nil {
+		t.Fatal("nil route must error")
+	}
+	if _, err := DecodeRoute(b[:len(b)-3]); err == nil {
+		t.Fatal("truncated route must error")
+	}
+	if _, err := DecodeRoute([]byte{'X', 0, 0, 0, 0, 0}); err == nil {
+		t.Fatal("bad magic must error")
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"lbsq/internal/geom"
+	"lbsq/internal/rtree"
+)
+
+// Fuzz targets: the wire decoders parse untrusted bytes from the
+// network and must reject garbage with errors, never panic or hand back
+// out-of-bounds structures. Seed corpora come from real encodings.
+
+func fuzzSeedNN(t interface{ Fatal(...interface{}) }) []byte {
+	rng := rand.New(rand.NewSource(1))
+	tree, _ := buildTree(rng, 500)
+	s := NewServer(tree, universe)
+	v, _, err := s.NNQuery(geom.Pt(0.4, 0.6), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return EncodeNN(v)
+}
+
+func FuzzDecodeNN(f *testing.F) {
+	f.Add(fuzzSeedNN(f))
+	f.Add([]byte{})
+	f.Add([]byte{nnMagic})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		v, err := DecodeNN(b)
+		if err != nil {
+			return
+		}
+		// A successful decode must be internally consistent.
+		if len(v.Pairs) > 0 && (len(v.Influence) == 0 || len(v.Neighbors) == 0) {
+			t.Fatal("pairs without referents")
+		}
+		for _, pr := range v.Pairs {
+			_ = pr.Obj.P
+			_ = pr.Member.P
+		}
+		_ = v.Valid(geom.Pt(0.5, 0.5))
+	})
+}
+
+func FuzzDecodeWindow(f *testing.F) {
+	rng := rand.New(rand.NewSource(2))
+	tree, _ := buildTree(rng, 500)
+	s := NewServer(tree, universe)
+	w, _ := s.WindowQueryAt(geom.Pt(0.5, 0.5), 0.1, 0.1)
+	f.Add(EncodeWindow(w))
+	f.Add([]byte{windowMagic, 0})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		w, err := DecodeWindow(b, universe)
+		if err != nil {
+			return
+		}
+		_ = w.Valid(geom.Pt(0.5, 0.5))
+		_ = w.Region.Area()
+	})
+}
+
+func FuzzDecodeRange(f *testing.F) {
+	rng := rand.New(rand.NewSource(3))
+	tree, _ := buildTree(rng, 500)
+	rv := RangeQuery(tree, geom.Pt(0.5, 0.5), 0.05, universe)
+	f.Add(EncodeRange(rv))
+	f.Add([]byte{rangeMagic, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		rv, err := DecodeRange(b)
+		if err != nil {
+			return
+		}
+		_ = rv.Valid(geom.Pt(0.5, 0.5))
+		_ = rv.SafeDistance(geom.Pt(0.5, 0.5))
+	})
+}
+
+func FuzzDecodeNNDelta(f *testing.F) {
+	seed := fuzzSeedNN(f)
+	rng := rand.New(rand.NewSource(4))
+	tree, _ := buildTree(rng, 500)
+	s := NewServer(tree, universe)
+	v, _, _ := s.NNQuery(geom.Pt(0.4, 0.6), 2)
+	f.Add(EncodeNNDelta(v, func(int64) bool { return false }))
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		cache := make(ItemCache)
+		cache[7] = rtree.Item{ID: 7, P: geom.Pt(0.1, 0.2)}
+		v, err := DecodeNNDelta(b, cache)
+		if err != nil {
+			return
+		}
+		_ = v.Valid(geom.Pt(0.5, 0.5))
+	})
+}
+
+func FuzzDecodeWindowDelta(f *testing.F) {
+	rng := rand.New(rand.NewSource(5))
+	tree, _ := buildTree(rng, 500)
+	s := NewServer(tree, universe)
+	w, _ := s.WindowQueryAt(geom.Pt(0.5, 0.5), 0.1, 0.1)
+	f.Add(EncodeWindowDelta(w, func(int64) bool { return false }))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		cache := make(ItemCache)
+		w, err := DecodeWindowDelta(b, cache, universe)
+		if err != nil {
+			return
+		}
+		_ = w.Valid(geom.Pt(0.5, 0.5))
+	})
+}

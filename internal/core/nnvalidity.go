@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+
+	"lbsq/internal/geom"
+	"lbsq/internal/nn"
+	"lbsq/internal/rtree"
+	"lbsq/internal/tp"
+)
+
+// InfluencePair records that outsider Obj forms a validity-region edge
+// with result member Member: the region lies in the half-plane of points
+// closer to Member than to Obj. For 1NN queries Member is always the
+// nearest neighbor; for kNN queries one outsider may pair with several
+// members (and contribute several edges).
+type InfluencePair struct {
+	Obj    rtree.Item
+	Member rtree.Item
+}
+
+// NNValidity is the server's answer to a location-based (k-)nearest-
+// neighbor query: the result itself plus its validity region and the
+// influence set that determines it.
+type NNValidity struct {
+	Query     geom.Point
+	K         int
+	Neighbors []nn.Neighbor // the k nearest neighbors, by distance
+
+	// Region is the validity region V(q): the (order-k) Voronoi cell of
+	// the result set, clipped to the data universe.
+	Region geom.Polygon
+	// Pairs are the influence pairs defining the region's bisector edges
+	// (the set S_inf_p of Fig. 12).
+	Pairs []InfluencePair
+	// Influence is the influence set S_inf: the distinct objects
+	// appearing in Pairs.
+	Influence []rtree.Item
+
+	// TPQueries is the number of TP(k)NN probes executed; by Lemma 3.2
+	// it equals the number of influence pairs plus confirmed vertices.
+	TPQueries int
+}
+
+// Result returns the result items without distances.
+func (v *NNValidity) Result() []rtree.Item {
+	out := make([]rtree.Item, len(v.Neighbors))
+	for i, nb := range v.Neighbors {
+		out[i] = nb.Item
+	}
+	return out
+}
+
+// Valid reports whether the cached result is still correct at position
+// p, using the half-plane test the paper prescribes for thin clients:
+// p must be closer to each result member than to the member's paired
+// influence objects. (The test deliberately ignores the universe
+// boundary: Voronoi cells of border sites extend beyond it.)
+func (v *NNValidity) Valid(p geom.Point) bool {
+	for _, pr := range v.Pairs {
+		if p.Dist2(pr.Obj.P) < p.Dist2(pr.Member.P) {
+			return false
+		}
+	}
+	return true
+}
+
+// RegionPolygon reconstructs the validity-region polygon from the
+// influence pairs by clipping the universe with each bisector
+// half-plane — what a client that only received the wire form computes
+// when it needs the region's geometry (area, rendering) rather than
+// just membership tests.
+func (v *NNValidity) RegionPolygon(universe geom.Rect) geom.Polygon {
+	pg := universe.Polygon()
+	for _, pr := range v.Pairs {
+		pg = pg.ClipHalfPlane(geom.Bisector(pr.Member.P, pr.Obj.P))
+		if pg.IsEmpty() {
+			return geom.Polygon{}
+		}
+	}
+	return pg
+}
+
+// maxInfluenceIterations bounds the Fig. 10/12 loop against pathological
+// floating-point configurations; in correct executions the loop performs
+// ninf + nv iterations, both of which are small (≈ 6 each for 1NN on
+// uniform data).
+const maxInfluenceIterations = 100000
+
+// vertexCapEps inflates the TP query cap so crossings landing exactly on
+// the probed vertex (re-discoveries of known influence objects) are
+// reported rather than lost to the strict-inequality semantics.
+const vertexCapEps = 1e-9
+
+// InfluenceSetKNN runs the paper's algorithm Retrieve_Influence_Set_kNN
+// (Fig. 12; Fig. 10 is the k = 1 case): starting from the data universe,
+// repeatedly probe an unconfirmed region vertex with a TPkNN query,
+// clipping the region by the bisector of every newly discovered
+// influence pair, until all vertices are confirmed.
+//
+// members must be the exact k nearest neighbors of q. The universe
+// rectangle bounds the initial region.
+func InfluenceSetKNN(tree *rtree.Tree, q geom.Point, members []rtree.Item, universe geom.Rect) (*NNValidity, error) {
+	return InfluenceSetKNNOrdered(tree, q, members, universe, OrderFirst)
+}
+
+// InfluenceSetKNNOrdered is InfluenceSetKNN with an explicit
+// vertex-probing order (see VertexOrder); used by the ablation
+// experiments.
+func InfluenceSetKNNOrdered(tree *rtree.Tree, q geom.Point, members []rtree.Item, universe geom.Rect, order VertexOrder) (*NNValidity, error) {
+	v := &NNValidity{Query: q, K: len(members)}
+	for _, m := range members {
+		v.Neighbors = append(v.Neighbors, nn.Neighbor{Item: m, Dist: m.P.Dist(q)})
+	}
+	if len(members) == 0 {
+		return v, fmt.Errorf("core: empty result set")
+	}
+
+	vp := newVertexPoly(universe.Polygon())
+	seenPairs := make(map[[2]int64]bool)
+	seenObjs := make(map[int64]bool)
+
+	for iter := 0; iter < maxInfluenceIterations; iter++ {
+		vi := vp.nextUnconfirmed(order, q)
+		if vi < 0 {
+			v.Region = vp.poly
+			return v, nil
+		}
+		vert := vp.poly[vi]
+		d := q.Dist(vert)
+		if d <= geom.Eps {
+			// The query sits on the region boundary (a tie); nothing to
+			// probe in this direction.
+			vp.confirm(vi)
+			continue
+		}
+		u := vert.Sub(q).Unit()
+		tCap := d*(1+vertexCapEps) + 1e-12
+		res := tp.KNN(tree, q, u, members, tCap)
+		v.TPQueries++
+
+		key := [2]int64{0, 0}
+		if res.Found {
+			key = [2]int64{res.Obj.ID, res.Member.ID}
+		}
+		if !res.Found || seenPairs[key] {
+			vp.confirm(vi)
+			continue
+		}
+		seenPairs[key] = true
+		v.Pairs = append(v.Pairs, InfluencePair{Obj: res.Obj, Member: res.Member})
+		if !seenObjs[res.Obj.ID] {
+			seenObjs[res.Obj.ID] = true
+			v.Influence = append(v.Influence, res.Obj)
+		}
+		vp.clip(geom.Bisector(res.Member.P, res.Obj.P))
+		if vp.empty() {
+			// Degenerate region (e.g. duplicate points tied with the
+			// result): the result changes under any movement.
+			v.Region = geom.Polygon{}
+			return v, nil
+		}
+	}
+	v.Region = vp.poly
+	return v, fmt.Errorf("core: influence-set iteration cap reached (degenerate input?)")
+}
+
+// InfluenceSet1NN runs algorithm Retrieve_Influence_Set_1NN (Fig. 10).
+func InfluenceSet1NN(tree *rtree.Tree, q geom.Point, o rtree.Item, universe geom.Rect) (*NNValidity, error) {
+	return InfluenceSetKNN(tree, q, []rtree.Item{o}, universe)
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"lbsq/internal/geom"
+	"lbsq/internal/rtree"
+)
+
+func bruteRangeIDs(items []rtree.Item, c geom.Point, r float64) []int64 {
+	var ids []int64
+	r2 := r * r
+	for _, it := range items {
+		if it.P.Dist2(c) <= r2 {
+			ids = append(ids, it.ID)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func TestRangeQueryResultExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tree, items := buildTree(rng, 3000)
+	for trial := 0; trial < 60; trial++ {
+		c := geom.Pt(rng.Float64(), rng.Float64())
+		r := 0.01 + rng.Float64()*0.08
+		rv := RangeQuery(tree, c, r, universe)
+		got := make([]int64, len(rv.Result))
+		for i, it := range rv.Result {
+			got[i] = it.ID
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		if !idsEqual(got, bruteRangeIDs(items, c, r)) {
+			t.Fatalf("trial %d: range result mismatch", trial)
+		}
+	}
+}
+
+func TestRangeValiditySemantics(t *testing.T) {
+	// Inside the claimed region the result set must be identical;
+	// Valid() must agree with a brute-force recomputation except within
+	// float noise of the boundary.
+	rng := rand.New(rand.NewSource(2))
+	tree, items := buildTree(rng, 2000)
+	for trial := 0; trial < 50; trial++ {
+		c := geom.Pt(rng.Float64()*0.8+0.1, rng.Float64()*0.8+0.1)
+		r := 0.02 + rng.Float64()*0.05
+		rv := RangeQuery(tree, c, r, universe)
+		if !rv.Valid(c) {
+			t.Fatalf("trial %d: center not valid in its own region", trial)
+		}
+		want := bruteRangeIDs(items, c, r)
+		for s := 0; s < 60; s++ {
+			f := c.Add(geom.Pt(rng.NormFloat64(), rng.NormFloat64()).Scale(r / 2))
+			same := idsEqual(bruteRangeIDs(items, f, r), want)
+			valid := rv.Valid(f)
+			if valid && !same {
+				// Tolerate only boundary-distance ties.
+				if math.Abs(rv.SafeDistance(f)) > 1e-9 {
+					t.Fatalf("trial %d: Valid=true but result changed at %v (safe=%v)",
+						trial, f, rv.SafeDistance(f))
+				}
+			}
+			// Conservatism note: valid=false with same result is allowed
+			// (the influence set may include near-missing outer points),
+			// so only the unsafe direction is asserted.
+		}
+	}
+}
+
+func TestRangeSafeDistance(t *testing.T) {
+	// Moving strictly less than SafeDistance in any direction keeps the
+	// result identical (brute-force check).
+	rng := rand.New(rand.NewSource(3))
+	tree, items := buildTree(rng, 2000)
+	for trial := 0; trial < 50; trial++ {
+		c := geom.Pt(rng.Float64()*0.8+0.1, rng.Float64()*0.8+0.1)
+		r := 0.02 + rng.Float64()*0.05
+		rv := RangeQuery(tree, c, r, universe)
+		safe := rv.SafeDistance(c)
+		if safe <= 0 {
+			continue // boundary-tied query
+		}
+		want := bruteRangeIDs(items, c, r)
+		for s := 0; s < 40; s++ {
+			ang := rng.Float64() * 2 * math.Pi
+			f := c.Add(geom.Pt(math.Cos(ang), math.Sin(ang)).Scale(safe * 0.999 * rng.Float64()))
+			if !idsEqual(bruteRangeIDs(items, f, r), want) {
+				t.Fatalf("trial %d: result changed within safe distance %v at %v", trial, safe, f)
+			}
+			if !rv.Valid(f) {
+				t.Fatalf("trial %d: Valid=false within safe distance", trial)
+			}
+		}
+	}
+}
+
+func TestRangeEmptyResult(t *testing.T) {
+	tree := rtree.NewDefault()
+	tree.Insert(rtree.Item{ID: 1, P: geom.Pt(0.9, 0.9)})
+	rv := RangeQuery(tree, geom.Pt(0.2, 0.2), 0.1, universe)
+	if len(rv.Result) != 0 {
+		t.Fatalf("result = %v", rv.Result)
+	}
+	// Safe disk: dNN − r around the center.
+	dNN := geom.Pt(0.2, 0.2).Dist(geom.Pt(0.9, 0.9))
+	wantSafe := dNN - 0.1
+	if got := rv.SafeDistance(geom.Pt(0.2, 0.2)); math.Abs(got-wantSafe) > 1e-9 {
+		t.Fatalf("safe distance = %v, want %v", got, wantSafe)
+	}
+	if !rv.Valid(geom.Pt(0.25, 0.25)) {
+		t.Fatal("nearby focus should stay valid")
+	}
+	if rv.Valid(geom.Pt(0.85, 0.85)) {
+		t.Fatal("focus near the point must not be valid")
+	}
+	// Empty dataset: valid everywhere.
+	emptyTree := rtree.NewDefault()
+	rvE := RangeQuery(emptyTree, geom.Pt(0.5, 0.5), 0.1, universe)
+	if !rvE.Valid(geom.Pt(0.0, 0.0)) {
+		t.Fatal("empty dataset must be valid everywhere")
+	}
+	// Zero radius.
+	rv0 := RangeQuery(tree, geom.Pt(0.5, 0.5), 0, universe)
+	if len(rv0.Result) != 0 {
+		t.Fatal("zero radius result must be empty")
+	}
+}
+
+func TestRangeHandPicked(t *testing.T) {
+	// One result point at the center, one outer point to the east.
+	tree := rtree.NewDefault()
+	tree.Insert(rtree.Item{ID: 1, P: geom.Pt(0.5, 0.5)})
+	tree.Insert(rtree.Item{ID: 2, P: geom.Pt(0.68, 0.5)})
+	rv := RangeQuery(tree, geom.Pt(0.5, 0.5), 0.1, universe)
+	if len(rv.Result) != 1 || rv.Result[0].ID != 1 {
+		t.Fatalf("result = %v", rv.Result)
+	}
+	if len(rv.InnerInfluence) != 1 || rv.InnerInfluence[0].ID != 1 {
+		t.Fatalf("inner influence = %v", rv.InnerInfluence)
+	}
+	if len(rv.OuterInfluence) != 1 || rv.OuterInfluence[0].ID != 2 {
+		t.Fatalf("outer influence = %v", rv.OuterInfluence)
+	}
+	// Safe distance at the center: min(r − 0, dist(outer) − r)
+	// = min(0.1, 0.18 − 0.1) = 0.08.
+	if got := rv.SafeDistance(geom.Pt(0.5, 0.5)); math.Abs(got-0.08) > 1e-12 {
+		t.Fatalf("safe distance = %v, want 0.08", got)
+	}
+	// Area estimate: region = disk(p1, 0.1) minus disk(p2, 0.1); the
+	// intersection lens at distance 0.18 with r=0.1: the region area is
+	// π·0.01 − lens(0.18).
+	lens := 2*0.01*math.Acos(0.18/0.2) - (0.18/2)*math.Sqrt(4*0.01-0.18*0.18)
+	want := math.Pi*0.01 - lens
+	if got := rv.AreaEstimate(500); math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("area = %v, want ≈ %v", got, want)
+	}
+}
+
+func TestRangeWireRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tree, _ := buildTree(rng, 2000)
+	for trial := 0; trial < 20; trial++ {
+		c := geom.Pt(rng.Float64(), rng.Float64())
+		rv := RangeQuery(tree, c, 0.05, universe)
+		b := EncodeRange(rv)
+		got, err := DecodeRange(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Result) != len(rv.Result) || len(got.OuterInfluence) != len(rv.OuterInfluence) {
+			t.Fatal("round trip counts mismatch")
+		}
+		if got.Center != rv.Center || got.Radius != rv.Radius {
+			t.Fatal("header mangled")
+		}
+		for s := 0; s < 100; s++ {
+			f := geom.Pt(rng.Float64(), rng.Float64())
+			if got.Valid(f) != rv.Valid(f) {
+				t.Fatalf("Valid disagrees at %v", f)
+			}
+			a, b := got.SafeDistance(f), rv.SafeDistance(f)
+			if math.Abs(a-b) > 1e-9 {
+				t.Fatalf("SafeDistance disagrees at %v: %v vs %v", f, a, b)
+			}
+		}
+	}
+	if _, err := DecodeRange(nil); err == nil {
+		t.Fatal("nil range response must error")
+	}
+	if _, err := DecodeRange([]byte{rangeMagic, 0, 1}); err == nil {
+		t.Fatal("truncated range response must error")
+	}
+}
+
+func TestRangeClient(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tree, items := buildTree(rng, 3000)
+	s := NewServer(tree, universe)
+	c := NewRangeClient(s, 0.05)
+	for _, p := range walk(rng, 400, 0.001) {
+		got, err := c.At(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !idsEqual(sortedIDs(got), bruteRangeIDs(items, p, 0.05)) {
+			t.Fatalf("range client wrong at %v", p)
+		}
+	}
+	if c.Stats.CacheHits == 0 {
+		t.Fatal("range client never reused its cache")
+	}
+	if c.Stats.ServerQueries+c.Stats.CacheHits != c.Stats.PositionUpdates {
+		t.Fatalf("stats don't add up: %+v", c.Stats)
+	}
+	if c.Cached() == nil {
+		t.Fatal("cache must be populated")
+	}
+}
+
+func TestRangeServerCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tree, _ := buildTree(rng, 10000)
+	s := NewServer(tree, universe)
+	rv, cost := s.RangeQuery(geom.Pt(0.5, 0.5), 0.05)
+	if len(rv.Result) == 0 || cost.ResultNA <= 0 {
+		t.Fatalf("range query cost missing: %+v", cost)
+	}
+}

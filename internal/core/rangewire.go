@@ -1,0 +1,90 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"lbsq/internal/geom"
+)
+
+// Range responses on the wire:
+//
+//	'G' 0 | nRes uint32 | nOuter uint32 | center (16) | radius (8)
+//	| result items (24 each) | outer items (24 each)
+//
+// The client rebuilds the inner disk intersection from the result's
+// convex hull, exactly as the server did; for an empty result the safe
+// disk radius is transmitted in place of the query radius sign bit —
+// encoded explicitly as an extra float for clarity.
+
+const rangeMagic = 'G'
+
+// EncodeRange serializes a range response.
+func EncodeRange(rv *RangeValidity) []byte {
+	b := make([]byte, 0, 2+8+24+8+itemBytes*(len(rv.Result)+len(rv.OuterInfluence)))
+	b = append(b, rangeMagic, 0)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(rv.Result)))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(rv.OuterInfluence)))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(rv.Center.X))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(rv.Center.Y))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(rv.Radius))
+	safe := 0.0
+	if len(rv.Result) == 0 && len(rv.Inner.Disks) == 1 {
+		safe = rv.Inner.Disks[0].R
+	}
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(safe))
+	for _, it := range rv.Result {
+		b = appendItem(b, it)
+	}
+	for _, it := range rv.OuterInfluence {
+		b = appendItem(b, it)
+	}
+	return b
+}
+
+// DecodeRange reconstructs a range response, rebuilding the inner disk
+// intersection from the result hull.
+func DecodeRange(b []byte) (*RangeValidity, error) {
+	if len(b) < 42 || b[0] != rangeMagic {
+		return nil, fmt.Errorf("core: bad range response header")
+	}
+	nRes := int(binary.LittleEndian.Uint32(b[2:]))
+	nOuter := int(binary.LittleEndian.Uint32(b[6:]))
+	want := 42 + itemBytes*(nRes+nOuter)
+	if len(b) != want {
+		return nil, fmt.Errorf("core: range response length %d, want %d", len(b), want)
+	}
+	rv := &RangeValidity{
+		Center: geom.Pt(
+			math.Float64frombits(binary.LittleEndian.Uint64(b[10:])),
+			math.Float64frombits(binary.LittleEndian.Uint64(b[18:])),
+		),
+		Radius: math.Float64frombits(binary.LittleEndian.Uint64(b[26:])),
+	}
+	safe := math.Float64frombits(binary.LittleEndian.Uint64(b[34:]))
+	off := 42
+	for i := 0; i < nRes; i++ {
+		rv.Result = append(rv.Result, readItem(b[off:]))
+		off += itemBytes
+	}
+	for i := 0; i < nOuter; i++ {
+		rv.OuterInfluence = append(rv.OuterInfluence, readItem(b[off:]))
+		off += itemBytes
+	}
+	if nRes == 0 {
+		rv.Inner.Add(geom.Disk{C: rv.Center, R: safe})
+		return rv, nil
+	}
+	pts := make([]geom.Point, nRes)
+	byPos := make(map[geom.Point]int, nRes)
+	for i, it := range rv.Result {
+		pts[i] = it.P
+		byPos[it.P] = i
+	}
+	for _, h := range geom.ConvexHull(pts) {
+		rv.InnerInfluence = append(rv.InnerInfluence, rv.Result[byPos[h]])
+		rv.Inner.Add(geom.Disk{C: h, R: rv.Radius})
+	}
+	return rv, nil
+}

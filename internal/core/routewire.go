@@ -1,0 +1,51 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"lbsq/internal/tp"
+)
+
+// Route responses on the wire:
+//
+//	'T' 0 | n uint32 | n × (from float64, to float64, item 24B)
+
+const routeMagic = 'T'
+
+// EncodeRoute serializes a continuous-NN partition.
+func EncodeRoute(ivs []tp.CNNInterval) []byte {
+	b := make([]byte, 0, 6+len(ivs)*(16+itemBytes))
+	b = append(b, routeMagic, 0)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(ivs)))
+	for _, iv := range ivs {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(iv.From))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(iv.To))
+		b = appendItem(b, iv.NN)
+	}
+	return b
+}
+
+// DecodeRoute parses a continuous-NN partition.
+func DecodeRoute(b []byte) ([]tp.CNNInterval, error) {
+	if len(b) < 6 || b[0] != routeMagic {
+		return nil, fmt.Errorf("core: bad route response header")
+	}
+	n := int(binary.LittleEndian.Uint32(b[2:]))
+	want := 6 + n*(16+itemBytes)
+	if len(b) != want {
+		return nil, fmt.Errorf("core: route response length %d, want %d", len(b), want)
+	}
+	out := make([]tp.CNNInterval, n)
+	off := 6
+	for i := 0; i < n; i++ {
+		out[i] = tp.CNNInterval{
+			From: math.Float64frombits(binary.LittleEndian.Uint64(b[off:])),
+			To:   math.Float64frombits(binary.LittleEndian.Uint64(b[off+8:])),
+			NN:   readItem(b[off+16:]),
+		}
+		off += 16 + itemBytes
+	}
+	return out, nil
+}

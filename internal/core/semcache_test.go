@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"lbsq/internal/geom"
+)
+
+// TestSemanticCacheCorrectness drives an NN client with a deep region
+// cache along a path that doubles back on itself: every answer —
+// including those served from old cached regions — must equal the
+// brute-force k-NN.
+func TestSemanticCacheCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tree, items := buildTree(rng, 3000)
+	s := NewServer(tree, universe)
+	for _, k := range []int{1, 3} {
+		c := NewNNClient(s, k)
+		c.Regions = 256
+		// Out and back, twice: positions revisit earlier regions.
+		var path []geom.Point
+		for lap := 0; lap < 2; lap++ {
+			for i := 0; i <= 200; i++ {
+				path = append(path, geom.Pt(0.1+float64(i)*0.004, 0.5))
+			}
+			for i := 200; i >= 0; i-- {
+				path = append(path, geom.Pt(0.1+float64(i)*0.004, 0.5))
+			}
+		}
+		for _, p := range path {
+			got, err := c.At(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bruteKNNIDs(items, p, k)
+			if !idsEqual(sortedIDs(got), want) && !sameDistances(got, items, want, p) {
+				t.Fatalf("k=%d: cached answer wrong at %v", k, p)
+			}
+		}
+		// The second lap must be nearly free.
+		if c.Stats.QueryRate() > 0.35 {
+			t.Errorf("k=%d: query rate %.2f with deep cache on a repeated path",
+				k, c.Stats.QueryRate())
+		}
+		// A depth-1 client on the same path pays roughly twice as much.
+		c1 := NewNNClient(s, k)
+		for _, p := range path {
+			if _, err := c1.At(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if c.Stats.ServerQueries >= c1.Stats.ServerQueries {
+			t.Errorf("k=%d: deep cache (%d queries) did not beat depth-1 (%d)",
+				k, c.Stats.ServerQueries, c1.Stats.ServerQueries)
+		}
+	}
+}
+
+// TestSemanticCacheWindow does the same for the window client.
+func TestSemanticCacheWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tree, items := buildTree(rng, 3000)
+	s := NewServer(tree, universe)
+	c := NewWindowClient(s, 0.05, 0.05)
+	c.Regions = 256
+	var path []geom.Point
+	for lap := 0; lap < 2; lap++ {
+		for i := 0; i <= 150; i++ {
+			path = append(path, geom.Pt(0.2+float64(i)*0.003, 0.4))
+		}
+	}
+	for _, p := range path {
+		got, err := c.At(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := windowResultIDs(items, geom.RectCenteredAt(p, 0.05, 0.05))
+		if !idsEqual(sortedIDs(got), want) {
+			t.Fatalf("window cached answer wrong at %v", p)
+		}
+	}
+	c1 := NewWindowClient(s, 0.05, 0.05)
+	for _, p := range path {
+		if _, err := c1.At(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Stats.ServerQueries >= c1.Stats.ServerQueries {
+		t.Errorf("deep window cache (%d) did not beat depth-1 (%d)",
+			c.Stats.ServerQueries, c1.Stats.ServerQueries)
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+
+	"lbsq/internal/buffer"
+	"lbsq/internal/geom"
+	"lbsq/internal/nn"
+	"lbsq/internal/rtree"
+)
+
+// QueryCost reports the server-side cost of one location-based query,
+// split into the phase that computes the plain result and the phase that
+// computes the influence set, matching the two-bar breakdown of the
+// paper's Figures 27/28/34/35.
+type QueryCost struct {
+	// ResultNA / InfNA are node accesses of the result phase (NN or
+	// window query) and the influence phase (TP probes or the extended
+	// window query).
+	ResultNA, InfNA int64
+	// ResultPA / InfPA are page faults under the attached LRU buffer;
+	// without a buffer they equal the node accesses.
+	ResultPA, InfPA int64
+	// TPQueries is the number of TP probes issued (NN queries only).
+	TPQueries int
+}
+
+// Total returns total node accesses.
+func (c QueryCost) Total() int64 { return c.ResultNA + c.InfNA }
+
+// TotalPA returns total page accesses.
+func (c QueryCost) TotalPA() int64 { return c.ResultPA + c.InfPA }
+
+// Server processes location-based spatial queries over a static point
+// dataset indexed by an R*-tree.
+type Server struct {
+	Tree     *rtree.Tree
+	Universe geom.Rect
+	Buffer   *buffer.LRU // nil = unbuffered
+}
+
+// NewServer wraps an R-tree whose points live inside universe.
+func NewServer(tree *rtree.Tree, universe geom.Rect) *Server {
+	return &Server{Tree: tree, Universe: universe}
+}
+
+// AttachBuffer installs an LRU buffer holding the given fraction of the
+// tree's pages (the paper uses 10%). A fraction ≤ 0 detaches the buffer.
+func (s *Server) AttachBuffer(fraction float64) {
+	if fraction <= 0 {
+		s.Buffer = nil
+		s.Tree.SetTracker(nil)
+		return
+	}
+	pages := int(float64(s.Tree.NodeCount()) * fraction)
+	if pages < 1 {
+		pages = 1
+	}
+	s.Buffer = buffer.NewLRU(pages)
+	s.Tree.SetTracker(s.Buffer)
+}
+
+func (s *Server) faults() int64 {
+	if s.Buffer == nil {
+		return 0
+	}
+	return s.Buffer.Faults()
+}
+
+// NNQuery answers a location-based k-nearest-neighbor query at q
+// (Sec. 3.2): (i) find the k nearest neighbors with best-first search
+// [HS99]; (ii) compute the influence set with TPkNN probes; (iii) return
+// both, with the validity region.
+func (s *Server) NNQuery(q geom.Point, k int) (*NNValidity, QueryCost, error) {
+	var cost QueryCost
+	na0, pa0 := s.Tree.NodeAccesses(), s.faults()
+	nbs := nn.KNearest(s.Tree, q, k)
+	na1, pa1 := s.Tree.NodeAccesses(), s.faults()
+	if len(nbs) < k {
+		return nil, cost, fmt.Errorf("core: dataset has fewer than %d points", k)
+	}
+	members := make([]rtree.Item, k)
+	for i, nb := range nbs {
+		members[i] = nb.Item
+	}
+	v, err := InfluenceSetKNN(s.Tree, q, members, s.Universe)
+	na2, pa2 := s.Tree.NodeAccesses(), s.faults()
+	cost = QueryCost{
+		ResultNA: na1 - na0, InfNA: na2 - na1,
+		ResultPA: pa1 - pa0, InfPA: pa2 - pa1,
+		TPQueries: v.TPQueries,
+	}
+	if s.Buffer == nil {
+		cost.ResultPA, cost.InfPA = cost.ResultNA, cost.InfNA
+	}
+	return v, cost, err
+}
+
+// WindowQueryAt answers a location-based window query whose window of
+// extents qx×qy is centered at the focus.
+func (s *Server) WindowQueryAt(focus geom.Point, qx, qy float64) (*WindowValidity, QueryCost) {
+	return s.WindowQuery(geom.RectCenteredAt(focus, qx, qy))
+}
+
+// WindowQuery answers a location-based window query (Sec. 4).
+func (s *Server) WindowQuery(w geom.Rect) (*WindowValidity, QueryCost) {
+	var cost QueryCost
+	na0, pa0 := s.Tree.NodeAccesses(), s.faults()
+	wv := windowQuery(s.Tree, w, s.Universe, func() {
+		cost.ResultNA = s.Tree.NodeAccesses() - na0
+		cost.ResultPA = s.faults() - pa0
+	})
+	cost.InfNA = s.Tree.NodeAccesses() - na0 - cost.ResultNA
+	cost.InfPA = s.faults() - pa0 - cost.ResultPA
+	if s.Buffer == nil {
+		cost.ResultPA, cost.InfPA = cost.ResultNA, cost.InfNA
+	}
+	return wv, cost
+}

@@ -1,0 +1,423 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"lbsq/internal/geom"
+	"lbsq/internal/nn"
+	"lbsq/internal/rtree"
+)
+
+// WindowValidity is the server's answer to a location-based window
+// query. The query is a rectangle of fixed extents whose focus (center)
+// moves with the client; all geometry below lives in focus space: a
+// focus position f corresponds to the window RectCenteredAt(f, qx, qy).
+//
+// An inner point p (in the result) keeps the result valid while the
+// focus stays inside the qx×qy rectangle centered at p; an outer point
+// invalidates the result when the focus enters its qx×qy Minkowski
+// rectangle. The exact validity region is therefore
+//
+//	(∩ inner rectangles) − (∪ outer Minkowski rectangles),
+//
+// a rectilinear region; the conservative region of Fig. 19 is the
+// largest axis-aligned rectangle inside it containing the focus.
+type WindowValidity struct {
+	Window geom.Rect // the original query window
+	Focus  geom.Point
+	Result []rtree.Item // the inner points
+
+	// InnerRect is the inner validity region (intersection of the
+	// result points' rectangles, clipped to the universe).
+	InnerRect geom.Rect
+	// Region is the exact rectilinear validity region.
+	Region *geom.RectRegion
+	// Conservative is the conservative rectangular validity region.
+	Conservative geom.Rect
+
+	// InnerInfluence are result points contributing a surviving edge to
+	// the validity region; OuterInfluence are outer points whose
+	// Minkowski rectangles truncate it. Together they form S_inf.
+	InnerInfluence []rtree.Item
+	OuterInfluence []rtree.Item
+
+	// CandidateOuter counts the outer points examined (retrieved by the
+	// extended query q′), for the cost accounting of Fig. 34/35.
+	CandidateOuter int
+}
+
+// Valid reports whether the cached window result is still correct when
+// the focus has moved to f.
+func (w *WindowValidity) Valid(f geom.Point) bool { return w.Region.Contains(f) }
+
+// WindowQuery processes a location-based window query (Sec. 4): window w
+// over the tree, with universe bounding the focus space. The two R-tree
+// queries it performs (result retrieval, then candidate outer points in
+// the extended rectangle q′) are visible in the tree's access counters;
+// callers wanting the per-phase split should snapshot the counters around
+// the call (see Server.WindowQuery).
+func WindowQuery(tree *rtree.Tree, w geom.Rect, universe geom.Rect) *WindowValidity {
+	return windowQuery(tree, w, universe, nil)
+}
+
+// windowQuery implements WindowQuery; afterResultPhase, if non-nil, runs
+// between the result retrieval and the extended candidate search so
+// callers can snapshot access counters per phase.
+func windowQuery(tree *rtree.Tree, w geom.Rect, universe geom.Rect, afterResultPhase func()) *WindowValidity {
+	qx, qy := w.Width(), w.Height()
+	out := &WindowValidity{Window: w, Focus: w.Center()}
+
+	// Phase 1: retrieve the result and build the inner validity region.
+	out.Result = tree.SearchItems(w)
+	inner := universe
+	for _, it := range out.Result {
+		inner = inner.Intersect(geom.RectCenteredAt(it.P, qx, qy))
+	}
+	if len(out.Result) == 0 {
+		// Empty result: every focus position keeping the window empty is
+		// valid, which could make the region (universe minus the
+		// Minkowski rectangle of every point) arbitrarily complex. Bound
+		// the base to a local box scaled by the distance to the nearest
+		// point — a conservative but compact region; the paper's
+		// workloads (queries conforming to the data) never hit this.
+		inner = inner.Intersect(emptyResultBase(tree, out.Focus, qx, qy))
+	}
+	out.InnerRect = inner
+	out.Region = geom.NewRectRegion(inner)
+	if afterResultPhase != nil {
+		afterResultPhase()
+	}
+
+	// Phase 2: retrieve candidate outer points with the extended query
+	// q′ = inner ⊕ (qx/2, qy/2): exactly the points whose Minkowski
+	// rectangle can reach the inner region. Points inside w are the
+	// result itself and are skipped.
+	extended := inner.Inflate(qx/2, qy/2)
+	inResult := make(map[int64]bool, len(out.Result))
+	for _, it := range out.Result {
+		inResult[it.ID] = true
+	}
+	var holes []rtree.Item
+	tree.Search(extended, func(it rtree.Item) bool {
+		if inResult[it.ID] {
+			return true
+		}
+		out.CandidateOuter++
+		if out.Region.Subtract(geom.RectCenteredAt(it.P, qx, qy)) {
+			holes = append(holes, it)
+		}
+		return true
+	})
+
+	out.Conservative = out.Region.ConservativeRect(out.Focus)
+	out.InnerInfluence = innerInfluence(out.Result, inner, universe, qx, qy, out.Region.Holes)
+	out.OuterInfluence = minimalOuter(out.Region, holes)
+	return out
+}
+
+// emptyResultBase returns the bounded base rectangle used when the
+// window result is empty: a box around the focus reaching a little past
+// the nearest data point, so only that point's neighborhood contributes
+// Minkowski holes. Any subset of the true validity region containing the
+// focus is a correct (conservative) validity region.
+func emptyResultBase(tree *rtree.Tree, focus geom.Point, qx, qy float64) geom.Rect {
+	nb, ok := nn.Nearest(tree, focus)
+	if !ok {
+		return geom.R(math.Inf(-1), math.Inf(-1), math.Inf(1), math.Inf(1))
+	}
+	return geom.RectCenteredAt(focus, 2*nb.Dist+2*qx, 2*nb.Dist+2*qy)
+}
+
+// innerInfluence returns the result points that bind a surviving edge of
+// the inner validity rectangle. A point binds an edge when its own
+// rectangle's boundary realizes that edge (e.g. the point with maximum x
+// binds inner.MinX); an edge bound by the universe has no influence
+// object, and an edge fully covered by holes has been replaced by outer
+// influence objects (the Fig. 33 situation).
+func innerInfluence(result []rtree.Item, inner, universe geom.Rect, qx, qy float64, holes []geom.Rect) []rtree.Item {
+	if inner.IsEmpty() {
+		return nil
+	}
+	type edge struct {
+		universeBound bool
+		coord         float64 // the edge's fixed coordinate
+		vertical      bool    // true: edge at x = coord; false: y = coord
+		pick          func(p geom.Point) float64
+		want          float64 // binding point coordinate value
+	}
+	edges := []edge{
+		{inner.MinX <= universe.MinX+geom.Eps, inner.MinX, true, func(p geom.Point) float64 { return p.X }, inner.MinX + qx/2},
+		{inner.MaxX >= universe.MaxX-geom.Eps, inner.MaxX, true, func(p geom.Point) float64 { return p.X }, inner.MaxX - qx/2},
+		{inner.MinY <= universe.MinY+geom.Eps, inner.MinY, false, func(p geom.Point) float64 { return p.Y }, inner.MinY + qy/2},
+		{inner.MaxY >= universe.MaxY-geom.Eps, inner.MaxY, false, func(p geom.Point) float64 { return p.Y }, inner.MaxY - qy/2},
+	}
+	var out []rtree.Item
+	seen := make(map[int64]bool)
+	for _, e := range edges {
+		if e.universeBound || !edgeSurvives(e.vertical, e.coord, inner, holes) {
+			continue
+		}
+		for _, it := range result {
+			if seen[it.ID] {
+				continue
+			}
+			if abs(e.pick(it.P)-e.want) <= geom.Eps {
+				seen[it.ID] = true
+				out = append(out, it)
+				break // one binding object per edge suffices for S_inf
+			}
+		}
+	}
+	return out
+}
+
+// edgeSurvives reports whether any part of the inner-rectangle edge at
+// the given coordinate remains on the region boundary (not swallowed by
+// holes).
+func edgeSurvives(vertical bool, coord float64, inner geom.Rect, holes []geom.Rect) bool {
+	lo, hi := inner.MinY, inner.MaxY
+	if !vertical {
+		lo, hi = inner.MinX, inner.MaxX
+	}
+	type iv struct{ a, b float64 }
+	var covered []iv
+	for _, h := range holes {
+		touches := false
+		var a, b float64
+		if vertical {
+			touches = h.MinX <= coord+geom.Eps && h.MaxX >= coord-geom.Eps
+			a, b = h.MinY, h.MaxY
+		} else {
+			touches = h.MinY <= coord+geom.Eps && h.MaxY >= coord-geom.Eps
+			a, b = h.MinX, h.MaxX
+		}
+		if touches {
+			covered = append(covered, iv{max(a, lo), min(b, hi)})
+		}
+	}
+	// Sweep the covered intervals; any gap means the edge survives.
+	cur := lo
+	for cur < hi-geom.Eps {
+		advanced := false
+		for _, c := range covered {
+			if c.a <= cur+geom.Eps && c.b > cur {
+				cur = c.b
+				advanced = true
+			}
+		}
+		if !advanced {
+			return true // gap at cur
+		}
+	}
+	return false
+}
+
+// maxExactMinimality bounds the cubic-cost exact minimality filter; with
+// more overlapping holes than this (far beyond the ~2 outer influence
+// objects the paper reports) all overlapping holes are returned, which is
+// correct but may include redundant objects.
+const maxExactMinimality = 64
+
+// minimalOuter reduces the candidate holes to an irredundant subset
+// with the same union — the outer influence set S_inf. Large candidate
+// counts arise for big windows near the universe boundary (the inner
+// region grows while thousands of window-sized Minkowski rectangles
+// chop it); there the holes have special structure, observed by the
+// paper's Fig. 33 discussion: clipped to the base rectangle, each hole
+// either spans the base fully along one axis (it "replaces" an inner
+// edge) or is anchored at a base corner. The reduction exploits this:
+//
+//  1. a hole covering the whole base ⇒ empty region, one hole suffices;
+//  2. x-spanning holes are y-intervals ⇒ greedy minimal interval cover;
+//  3. y-spanning holes, symmetrically;
+//  4. corner-anchored holes ⇒ Pareto staircase per corner;
+//  5. remaining (floating) holes are kept as-is;
+//  6. a final quadratic irredundance pass over the (now small) kept set
+//     removes cross-class redundancy.
+//
+// Every step only drops holes covered by the remaining ones, so the
+// union — hence the validity region the client rebuilds — is unchanged.
+// Sequential (one-at-a-time) removal in step 6 matters: two mutually
+// covering holes (duplicate data points) are each redundant given the
+// other, but only one may be dropped.
+func minimalOuter(region *geom.RectRegion, holes []rtree.Item) []rtree.Item {
+	if len(holes) == 0 {
+		return nil
+	}
+	base := region.Base
+	eps := geom.Eps * (1 + abs(base.MaxX) + abs(base.MaxY))
+
+	touchL := func(h geom.Rect) bool { return h.MinX <= base.MinX+eps }
+	touchR := func(h geom.Rect) bool { return h.MaxX >= base.MaxX-eps }
+	touchB := func(h geom.Rect) bool { return h.MinY <= base.MinY+eps }
+	touchT := func(h geom.Rect) bool { return h.MaxY >= base.MaxY-eps }
+
+	var spanXIdx, spanYIdx, loose []int
+	corners := make([][]int, 4) // BL, BR, TL, TR
+	for i, h := range region.Holes {
+		l, r, b, t := touchL(h), touchR(h), touchB(h), touchT(h)
+		switch {
+		case l && r && b && t:
+			return []rtree.Item{holes[i]} // covers everything
+		case l && r:
+			spanXIdx = append(spanXIdx, i)
+		case b && t:
+			spanYIdx = append(spanYIdx, i)
+		case l && b:
+			corners[0] = append(corners[0], i)
+		case r && b:
+			corners[1] = append(corners[1], i)
+		case l && t:
+			corners[2] = append(corners[2], i)
+		case r && t:
+			corners[3] = append(corners[3], i)
+		default:
+			loose = append(loose, i)
+		}
+	}
+
+	var kept []int
+	kept = append(kept, greedyIntervalCover(region.Holes, spanXIdx, false)...)
+	kept = append(kept, greedyIntervalCover(region.Holes, spanYIdx, true)...)
+	for c, idxs := range corners {
+		kept = append(kept, paretoStaircase(region.Holes, idxs, c)...)
+	}
+	kept = append(kept, loose...)
+
+	// Final cross-class irredundance pass (area-based, quadratic in the
+	// kept count — small after the structural reduction).
+	if len(kept) <= maxExactMinimality {
+		keptRects := make([]geom.Rect, len(kept))
+		for i, j := range kept {
+			keptRects[i] = region.Holes[j]
+		}
+		area := (&geom.RectRegion{Base: base, Holes: keptRects}).Area()
+		for i := 0; i < len(kept); {
+			trimmed := geom.RectRegion{Base: base}
+			trimmed.Holes = append(trimmed.Holes, keptRects[:i]...)
+			trimmed.Holes = append(trimmed.Holes, keptRects[i+1:]...)
+			if trimmed.Area() <= area+geom.Eps*geom.Eps {
+				kept = append(kept[:i], kept[i+1:]...)
+				keptRects = append(keptRects[:i], keptRects[i+1:]...)
+				continue
+			}
+			i++
+		}
+	}
+
+	sort.Ints(kept)
+	out := make([]rtree.Item, len(kept))
+	for i, j := range kept {
+		out[i] = holes[j]
+	}
+	return out
+}
+
+// greedyIntervalCover selects a minimal subset of the given holes (which
+// all span the base fully along one axis) whose intervals on the other
+// axis have the same union. onX selects the interval axis: true reads
+// [MinX, MaxX] (for y-spanning holes), false reads [MinY, MaxY].
+func greedyIntervalCover(rects []geom.Rect, idxs []int, onX bool) []int {
+	if len(idxs) == 0 {
+		return nil
+	}
+	type iv struct {
+		a, b float64
+		idx  int
+	}
+	ivs := make([]iv, len(idxs))
+	for i, j := range idxs {
+		if onX {
+			ivs[i] = iv{rects[j].MinX, rects[j].MaxX, j}
+		} else {
+			ivs[i] = iv{rects[j].MinY, rects[j].MaxY, j}
+		}
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].a < ivs[j].a })
+	var keep []int
+	coverPos := math.Inf(-1)
+	j := 0
+	for j < len(ivs) {
+		if ivs[j].a > coverPos+geom.Eps {
+			coverPos = ivs[j].a // gap: new component
+		}
+		bestB, bestIdx := coverPos, -1
+		for j < len(ivs) && ivs[j].a <= coverPos+geom.Eps {
+			if ivs[j].b > bestB {
+				bestB, bestIdx = ivs[j].b, ivs[j].idx
+			}
+			j++
+		}
+		if bestIdx >= 0 {
+			keep = append(keep, bestIdx)
+			coverPos = bestB
+		}
+	}
+	return keep
+}
+
+// paretoStaircase selects the undominated holes among those anchored at
+// one base corner: such holes are rectangles growing out of the corner,
+// so hole A is redundant iff some hole B reaches at least as far along
+// both axes. corner: 0=BL, 1=BR, 2=TL, 3=TR.
+func paretoStaircase(rects []geom.Rect, idxs []int, corner int) []int {
+	if len(idxs) == 0 {
+		return nil
+	}
+	// Reach of a hole along x and y, measured away from the corner
+	// (larger = covers more).
+	reach := func(j int) (x, y float64) {
+		h := rects[j]
+		switch corner {
+		case 0:
+			return h.MaxX, h.MaxY
+		case 1:
+			return -h.MinX, h.MaxY
+		case 2:
+			return h.MaxX, -h.MinY
+		default:
+			return -h.MinX, -h.MinY
+		}
+	}
+	order := append([]int(nil), idxs...)
+	sort.Slice(order, func(a, b int) bool {
+		xa, ya := reach(order[a])
+		xb, yb := reach(order[b])
+		if xa != xb {
+			return xa > xb
+		}
+		return ya > yb
+	})
+	var keep []int
+	bestY := math.Inf(-1)
+	for _, j := range order {
+		_, y := reach(j)
+		if y > bestY+geom.Eps {
+			keep = append(keep, j)
+			bestY = y
+		}
+	}
+	return keep
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func min(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"lbsq/internal/geom"
+	"lbsq/internal/nn"
+	"lbsq/internal/rtree"
+)
+
+// Wire encoding of server responses. The paper argues the validity
+// region must be represented compactly to keep the network overhead low;
+// following Sec. 3.1 the region is characterized by the influence
+// objects (plus, for kNN, the pair indices), from which the client
+// re-derives the bisector half-planes. Encoding is little-endian binary:
+//
+//	NN response:  'N' k | query(16) | nNbr nInf nPair (uint16 each)
+//	              | nbr items (24 each) | inf items (24 each)
+//	              | pairs (objIdx uint16, memberIdx uint16)
+//	Window resp.: 'W' | window rect (32) | nResult nInner nOuter
+//	              | result items | innerIdx (uint16 each) | outer items
+//
+// Items are id (int64) + point (2×float64) = 24 bytes.
+
+const (
+	nnMagic     = 'N'
+	windowMagic = 'W'
+	itemBytes   = 24
+)
+
+func appendItem(b []byte, it rtree.Item) []byte {
+	b = binary.LittleEndian.AppendUint64(b, uint64(it.ID))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(it.P.X))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(it.P.Y))
+	return b
+}
+
+func readItem(b []byte) rtree.Item {
+	return rtree.Item{
+		ID: int64(binary.LittleEndian.Uint64(b)),
+		P: geom.Pt(
+			math.Float64frombits(binary.LittleEndian.Uint64(b[8:])),
+			math.Float64frombits(binary.LittleEndian.Uint64(b[16:])),
+		),
+	}
+}
+
+// EncodeNN serializes an NN response for transmission to the client.
+func EncodeNN(v *NNValidity) []byte {
+	b := make([]byte, 0, 8+16+itemBytes*(len(v.Neighbors)+len(v.Influence))+4*len(v.Pairs))
+	b = append(b, nnMagic, byte(v.K))
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(v.Neighbors)))
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(v.Influence)))
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(v.Pairs)))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v.Query.X))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v.Query.Y))
+	nbrIdx := make(map[int64]uint16, len(v.Neighbors))
+	for i, nb := range v.Neighbors {
+		b = appendItem(b, nb.Item)
+		nbrIdx[nb.Item.ID] = uint16(i)
+	}
+	infIdx := make(map[int64]uint16, len(v.Influence))
+	for i, it := range v.Influence {
+		b = appendItem(b, it)
+		infIdx[it.ID] = uint16(i)
+	}
+	for _, pr := range v.Pairs {
+		b = binary.LittleEndian.AppendUint16(b, infIdx[pr.Obj.ID])
+		b = binary.LittleEndian.AppendUint16(b, nbrIdx[pr.Member.ID])
+	}
+	return b
+}
+
+// DecodeNN reconstructs an NN response (without server-side cost
+// metadata) from its wire form.
+func DecodeNN(b []byte) (*NNValidity, error) {
+	if len(b) < 24 || b[0] != nnMagic {
+		return nil, fmt.Errorf("core: bad NN response header")
+	}
+	v := &NNValidity{K: int(b[1])}
+	nNbr := int(binary.LittleEndian.Uint16(b[2:]))
+	nInf := int(binary.LittleEndian.Uint16(b[4:]))
+	nPair := int(binary.LittleEndian.Uint16(b[6:]))
+	want := 24 + itemBytes*(nNbr+nInf) + 4*nPair
+	if len(b) != want {
+		return nil, fmt.Errorf("core: NN response length %d, want %d", len(b), want)
+	}
+	v.Query = geom.Pt(
+		math.Float64frombits(binary.LittleEndian.Uint64(b[8:])),
+		math.Float64frombits(binary.LittleEndian.Uint64(b[16:])),
+	)
+	off := 24
+	for i := 0; i < nNbr; i++ {
+		it := readItem(b[off:])
+		v.Neighbors = append(v.Neighbors, nn.Neighbor{Item: it, Dist: it.P.Dist(v.Query)})
+		off += itemBytes
+	}
+	for i := 0; i < nInf; i++ {
+		v.Influence = append(v.Influence, readItem(b[off:]))
+		off += itemBytes
+	}
+	for i := 0; i < nPair; i++ {
+		oi := int(binary.LittleEndian.Uint16(b[off:]))
+		mi := int(binary.LittleEndian.Uint16(b[off+2:]))
+		if oi >= nInf || mi >= nNbr {
+			return nil, fmt.Errorf("core: NN response pair index out of range")
+		}
+		v.Pairs = append(v.Pairs, InfluencePair{Obj: v.Influence[oi], Member: v.Neighbors[mi].Item})
+		off += 4
+	}
+	return v, nil
+}
+
+// EncodeWindow serializes a window response. The client re-derives the
+// validity region from the result points, the outer influence objects
+// and the known window extents; inner influence objects are referenced
+// by index into the result.
+func EncodeWindow(w *WindowValidity) []byte {
+	b := make([]byte, 0, 12+32+itemBytes*(len(w.Result)+len(w.OuterInfluence))+2*len(w.InnerInfluence))
+	b = append(b, windowMagic, 0)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(w.Result)))
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(w.InnerInfluence)))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(w.OuterInfluence)))
+	for _, f := range []float64{
+		w.Window.MinX, w.Window.MinY, w.Window.MaxX, w.Window.MaxY,
+		w.InnerRect.MinX, w.InnerRect.MinY, w.InnerRect.MaxX, w.InnerRect.MaxY,
+	} {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+	}
+	resIdx := make(map[int64]uint16, len(w.Result))
+	for i, it := range w.Result {
+		b = appendItem(b, it)
+		resIdx[it.ID] = uint16(i)
+	}
+	for _, it := range w.InnerInfluence {
+		b = binary.LittleEndian.AppendUint16(b, resIdx[it.ID])
+	}
+	for _, it := range w.OuterInfluence {
+		b = appendItem(b, it)
+	}
+	return b
+}
+
+// DecodeWindow reconstructs a window response, rebuilding the validity
+// region within the given universe.
+func DecodeWindow(b []byte, universe geom.Rect) (*WindowValidity, error) {
+	if len(b) < 76 || b[0] != windowMagic {
+		return nil, fmt.Errorf("core: bad window response header")
+	}
+	nRes := int(binary.LittleEndian.Uint32(b[2:]))
+	nInner := int(binary.LittleEndian.Uint16(b[6:]))
+	nOuter := int(binary.LittleEndian.Uint32(b[8:]))
+	want := 76 + itemBytes*(nRes+nOuter) + 2*nInner
+	if len(b) != want {
+		return nil, fmt.Errorf("core: window response length %d, want %d", len(b), want)
+	}
+	w := &WindowValidity{}
+	w.Window = geom.R(
+		math.Float64frombits(binary.LittleEndian.Uint64(b[12:])),
+		math.Float64frombits(binary.LittleEndian.Uint64(b[20:])),
+		math.Float64frombits(binary.LittleEndian.Uint64(b[28:])),
+		math.Float64frombits(binary.LittleEndian.Uint64(b[36:])),
+	)
+	w.InnerRect = geom.R(
+		math.Float64frombits(binary.LittleEndian.Uint64(b[44:])),
+		math.Float64frombits(binary.LittleEndian.Uint64(b[52:])),
+		math.Float64frombits(binary.LittleEndian.Uint64(b[60:])),
+		math.Float64frombits(binary.LittleEndian.Uint64(b[68:])),
+	)
+	w.Focus = w.Window.Center()
+	off := 76
+	for i := 0; i < nRes; i++ {
+		w.Result = append(w.Result, readItem(b[off:]))
+		off += itemBytes
+	}
+	for i := 0; i < nInner; i++ {
+		idx := int(binary.LittleEndian.Uint16(b[off:]))
+		if idx >= nRes {
+			return nil, fmt.Errorf("core: window response inner index out of range")
+		}
+		w.InnerInfluence = append(w.InnerInfluence, w.Result[idx])
+		off += 2
+	}
+	for i := 0; i < nOuter; i++ {
+		w.OuterInfluence = append(w.OuterInfluence, readItem(b[off:]))
+		off += itemBytes
+	}
+	// Rebuild the region client-side from the transmitted inner
+	// rectangle and the outer influence objects.
+	qx, qy := w.Window.Width(), w.Window.Height()
+	w.Region = geom.NewRectRegion(w.InnerRect.Intersect(universe))
+	for _, it := range w.OuterInfluence {
+		w.Region.Subtract(geom.RectCenteredAt(it.P, qx, qy))
+	}
+	w.Conservative = w.Region.ConservativeRect(w.Focus)
+	return w, nil
+}

@@ -1,0 +1,257 @@
+package costmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lbsq/internal/core"
+	"lbsq/internal/geom"
+	"lbsq/internal/nn"
+	"lbsq/internal/rtree"
+)
+
+var universe = geom.R(0, 0, 1, 1)
+
+func buildTree(rng *rand.Rand, n int) *rtree.Tree {
+	items := make([]rtree.Item, n)
+	for i := range items {
+		items[i] = rtree.Item{ID: int64(i), P: geom.Pt(rng.Float64(), rng.Float64())}
+	}
+	return rtree.BulkLoad(items, rtree.Options{PageSize: 1024}, 0.7)
+}
+
+func TestSimpson(t *testing.T) {
+	// ∫₀^π sin = 2.
+	got := simpson(math.Sin, 0, math.Pi, 64)
+	if math.Abs(got-2) > 1e-6 {
+		t.Errorf("simpson sin = %v", got)
+	}
+	// ∫₀^1 x² = 1/3, exact for Simpson.
+	got = simpson(func(x float64) float64 { return x * x }, 0, 1, 2)
+	if math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("simpson x² = %v", got)
+	}
+}
+
+func TestSweptArea(t *testing.T) {
+	// No travel: nothing swept.
+	if got := sweptArea(2, 1, 0, 0); got != 0 {
+		t.Errorf("zero travel = %v", got)
+	}
+	// Travel along x by ξ < qx: SR = ξ·qy + qx·qy − (qx−ξ)·qy = 2ξ·qy.
+	if got := sweptArea(2, 1, 0.5, 0); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("x travel = %v, want 1", got)
+	}
+	// Travel beyond the window width: SR = ξ·qy + qx·qy.
+	if got := sweptArea(2, 1, 3, 0); math.Abs(got-(3+2)) > 1e-12 {
+		t.Errorf("long travel = %v, want 5", got)
+	}
+	// Diagonal, small ξ: 2ξ(qy·c + qx·s) − ξ²·c·s.
+	th := math.Pi / 4
+	c := math.Cos(th)
+	xi := 0.1
+	want := 2*xi*(1*c+2*c) - xi*xi*c*c
+	if got := sweptArea(2, 1, xi, th); math.Abs(got-want) > 1e-12 {
+		t.Errorf("diagonal = %v, want %v", got, want)
+	}
+}
+
+func TestNNValidityAreaAgainstSimulation(t *testing.T) {
+	// Measure the actual mean validity-region area over a query workload
+	// on uniform data and compare with the model (Fig. 22 check).
+	rng := rand.New(rand.NewSource(1))
+	const n = 20000
+	tree := buildTree(rng, n)
+	for _, k := range []int{1, 4, 10} {
+		var sum float64
+		const trials = 120
+		for i := 0; i < trials; i++ {
+			q := geom.Pt(rng.Float64()*0.9+0.05, rng.Float64()*0.9+0.05)
+			nbs := nn.KNearest(tree, q, k)
+			members := make([]rtree.Item, k)
+			for j, nb := range nbs {
+				members[j] = nb.Item
+			}
+			v, err := core.InfluenceSetKNN(tree, q, members, universe)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += v.Region.Area()
+		}
+		actual := sum / trials
+		est := NNValidityArea(n, k)
+		ratio := actual / est
+		if ratio < 0.7 || ratio > 1.45 {
+			t.Errorf("k=%d: actual mean area %.3g vs model %.3g (ratio %.2f)",
+				k, actual, est, ratio)
+		}
+	}
+}
+
+func TestNNValidityAreaScaling(t *testing.T) {
+	// Linear in 1/N and roughly 1/(2k−1) in k.
+	if got := NNValidityArea(100000, 1) / NNValidityArea(200000, 1); math.Abs(got-2) > 1e-9 {
+		t.Errorf("density scaling = %v", got)
+	}
+	// k=1 is exactly the expected Poisson-Voronoi cell area 1/ρ.
+	if got := NNValidityArea(1000, 1); math.Abs(got-1e-3) > 1e-12 {
+		t.Errorf("k=1 area = %v, want 1/ρ", got)
+	}
+	// Decay between k=1 and k=10 is dominated by the 1/(2k−1) factor.
+	ratio := NNValidityArea(1000, 1) / NNValidityArea(1000, 10)
+	if ratio < 4 || ratio > 20 {
+		t.Errorf("k decay ratio = %v, want ≈ 19/c(10)", ratio)
+	}
+	if !math.IsInf(NNValidityArea(0, 1), 1) || !math.IsInf(NNValidityArea(10, 0), 1) {
+		t.Error("degenerate inputs must be Inf")
+	}
+}
+
+func TestWindowValidityAreaAgainstSimulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n = 20000
+	tree := buildTree(rng, n)
+	for _, qs := range []float64{0.0005, 0.002} { // window area fraction
+		side := math.Sqrt(qs)
+		var sum float64
+		const trials = 150
+		for i := 0; i < trials; i++ {
+			f := geom.Pt(rng.Float64()*0.8+0.1, rng.Float64()*0.8+0.1)
+			wv := core.WindowQuery(tree, geom.RectCenteredAt(f, side, side), universe)
+			sum += wv.Region.Area()
+		}
+		actual := sum / trials
+		est := WindowValidityArea(n, side, side)
+		ratio := actual / est
+		if ratio < 0.4 || ratio > 2.5 {
+			t.Errorf("qs=%v: actual %.3g vs model %.3g (ratio %.2f)", qs, actual, est, ratio)
+		}
+	}
+}
+
+func TestWindowValidityAreaMonotonicity(t *testing.T) {
+	// Shrinks with density and with window size (Fig. 29 trends).
+	a1 := WindowValidityArea(10000, 0.03, 0.03)
+	a2 := WindowValidityArea(100000, 0.03, 0.03)
+	a3 := WindowValidityArea(10000, 0.1, 0.1)
+	if !(a2 < a1) {
+		t.Errorf("area must shrink with density: %v !< %v", a2, a1)
+	}
+	if !(a3 < a1) {
+		t.Errorf("area must shrink with window size: %v !< %v", a3, a1)
+	}
+	if !math.IsInf(WindowValidityArea(0, 0.1, 0.1), 1) {
+		t.Error("zero density must be Inf")
+	}
+}
+
+func TestInnerRectExtentsAgainstSimulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 20000
+	tree := buildTree(rng, n)
+	side := 0.05
+	var sumW float64
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		f := geom.Pt(rng.Float64()*0.8+0.1, rng.Float64()*0.8+0.1)
+		wv := core.WindowQuery(tree, geom.RectCenteredAt(f, side, side), universe)
+		sumW += wv.InnerRect.Width()
+	}
+	actualW := sumW / trials
+	dx, _ := InnerRectExtents(n, side, side)
+	estW := 2 * dx
+	ratio := actualW / estW
+	if ratio < 0.4 || ratio > 2.5 {
+		t.Errorf("inner width: actual %.4g vs model %.4g (ratio %.2f)", actualW, estW, ratio)
+	}
+}
+
+func TestWindowNodeAccessesAgainstSimulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const n = 50000
+	tree := buildTree(rng, n)
+	stats := tree.Stats()
+	side := 0.1
+	var totNA int64
+	const trials = 100
+	for i := 0; i < trials; i++ {
+		f := geom.Pt(rng.Float64()*0.8+0.1, rng.Float64()*0.8+0.1)
+		tree.ResetAccesses()
+		tree.Search(geom.RectCenteredAt(f, side, side), func(rtree.Item) bool { return true })
+		totNA += tree.NodeAccesses()
+	}
+	actual := float64(totNA) / trials
+	est := WindowNodeAccesses(stats, side, side, 1)
+	ratio := actual / est
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Errorf("window NA: actual %.1f vs model %.1f (ratio %.2f)", actual, est, ratio)
+	}
+}
+
+func TestWindowContainedNodesAgainstSimulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const n = 50000
+	tree := buildTree(rng, n)
+	stats := tree.Stats()
+	side := 0.25
+	var tot int
+	const trials = 60
+	for i := 0; i < trials; i++ {
+		f := geom.Pt(rng.Float64()*0.5+0.25, rng.Float64()*0.5+0.25)
+		tot += tree.CountContainedNodes(geom.RectCenteredAt(f, side, side))
+	}
+	actual := float64(tot) / trials
+	est := WindowContainedNodes(stats, side, side, 1)
+	if est <= 0 {
+		t.Fatal("model predicts no contained nodes for a large window")
+	}
+	ratio := actual / est
+	if ratio < 0.4 || ratio > 2.5 {
+		t.Errorf("contained nodes: actual %.1f vs model %.1f (ratio %.2f)", actual, est, ratio)
+	}
+}
+
+func TestSecondQueryNAReasonable(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	const n = 50000
+	tree := buildTree(rng, n)
+	stats := tree.Stats()
+	side := 0.05
+	est := LocationWindowSecondQueryNA(stats, n, side, side, 1)
+	if est <= 0 {
+		t.Fatal("second-query estimate must be positive")
+	}
+	// It must not exceed a window query over the whole universe.
+	if est > WindowNodeAccesses(stats, 1, 1, 1) {
+		t.Fatalf("second-query NA estimate %v larger than full scan", est)
+	}
+	// Degenerate guards.
+	if got := WindowNodeAccesses(nil, 0.1, 0.1, 1); got != 0 {
+		t.Error("empty stats must give 0")
+	}
+	if got := NNNodeAccesses(stats, 0, 1, 1); got != 0 {
+		t.Error("zero density NN estimate must be 0")
+	}
+}
+
+func TestNNNodeAccessesAgainstSimulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 50000
+	tree := buildTree(rng, n)
+	stats := tree.Stats()
+	var tot int64
+	const trials = 100
+	for i := 0; i < trials; i++ {
+		q := geom.Pt(rng.Float64(), rng.Float64())
+		tree.ResetAccesses()
+		nn.KNearest(tree, q, 10)
+		tot += tree.NodeAccesses()
+	}
+	actual := float64(tot) / trials
+	est := NNNodeAccesses(stats, n, 10, 1)
+	ratio := actual / est
+	if ratio < 0.2 || ratio > 5 {
+		t.Errorf("NN NA: actual %.1f vs coarse model %.1f (ratio %.2f)", actual, est, ratio)
+	}
+}

@@ -1,0 +1,154 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+
+	"lbsq/internal/geom"
+)
+
+// uniformCount is a count function for exact uniform density.
+func uniformCount(density float64) func(geom.Rect) float64 {
+	return func(r geom.Rect) float64 {
+		if r.IsEmpty() {
+			return 0
+		}
+		return density * r.Area()
+	}
+}
+
+var bigUniverse = geom.R(-1e6, -1e6, 1e6, 1e6)
+
+func TestLocalModelMatchesClosedFormOnUniform(t *testing.T) {
+	// By construction the local model collapses to the closed form when
+	// the count function is exactly uniform.
+	for _, density := range []float64{1e3, 1e5} {
+		for _, side := range []float64{0.01, 0.05, 0.2} {
+			w := geom.RectCenteredAt(geom.Pt(0.5, 0.5), side, side)
+			local := WindowValidityAreaLocal(uniformCount(density), w, bigUniverse, -1)
+			closed := WindowValidityArea(density, side, side)
+			if rel := math.Abs(local-closed) / closed; rel > 0.02 {
+				t.Errorf("density=%v side=%v: local %v vs closed %v (rel %.3f)",
+					density, side, local, closed, rel)
+			}
+		}
+	}
+}
+
+func TestLocalModelDenserIsSmaller(t *testing.T) {
+	w := geom.RectCenteredAt(geom.Pt(0, 0), 0.1, 0.1)
+	lo := WindowValidityAreaLocal(uniformCount(1e3), w, bigUniverse, -1)
+	hi := WindowValidityAreaLocal(uniformCount(1e5), w, bigUniverse, -1)
+	if hi >= lo {
+		t.Errorf("denser data must give a smaller region: %v vs %v", hi, lo)
+	}
+}
+
+func TestLocalModelUniverseClamp(t *testing.T) {
+	// Empty space outside a tiny universe must not inflate the estimate
+	// to infinity: travel is capped at the universe boundary.
+	uni := geom.R(0, 0, 1, 1)
+	w := geom.RectCenteredAt(geom.Pt(0.5, 0.5), 0.1, 0.1)
+	zero := func(geom.Rect) float64 { return 0 } // no data anywhere
+	got := WindowValidityAreaLocal(zero, w, uni, -1)
+	if math.IsInf(got, 0) || got > uni.Area()+1e-9 {
+		t.Errorf("estimate %v must be bounded by the universe area", got)
+	}
+}
+
+func TestLocalModelConditioning(t *testing.T) {
+	// A window known to contain many points must yield a smaller region
+	// than the raw (near-empty) histogram suggests.
+	w := geom.RectCenteredAt(geom.Pt(0, 0), 0.1, 0.1)
+	sparse := uniformCount(10) // histogram thinks: ~0.1 points in the window
+	uncond := WindowValidityAreaLocal(sparse, w, bigUniverse, -1)
+	cond := WindowValidityAreaLocal(sparse, w, bigUniverse, 50)
+	if cond >= uncond {
+		t.Errorf("conditioning on 50 result points must shrink the estimate: %v vs %v", cond, uncond)
+	}
+	// Conditioning on a count below the histogram's own expectation is a
+	// no-op (the max() only raises counts).
+	dense := uniformCount(1e6)
+	a := WindowValidityAreaLocal(dense, w, bigUniverse, -1)
+	b := WindowValidityAreaLocal(dense, w, bigUniverse, 0)
+	if math.Abs(a-b)/a > 1e-9 {
+		t.Errorf("conditioning below expectation must not change the estimate: %v vs %v", a, b)
+	}
+}
+
+func TestWindowValidityAreaTruncated(t *testing.T) {
+	// Dense data: no truncation.
+	if a, b := WindowValidityArea(1e5, 0.01, 0.01), WindowValidityAreaTruncated(1e5, 0.01, 0.01); a != b {
+		t.Errorf("dense: %v != %v", a, b)
+	}
+	// Very sparse data: the cap binds.
+	a := WindowValidityArea(1e-4, 0.01, 0.01)
+	b := WindowValidityAreaTruncated(1e-4, 0.01, 0.01)
+	if b >= a {
+		t.Errorf("sparse: truncated %v must be below %v", b, a)
+	}
+	d := 1 / math.Sqrt(1e-4)
+	want := (d + 0.02) * (d + 0.02)
+	if math.Abs(b-want)/want > 1e-9 {
+		t.Errorf("cap = %v, want %v", b, want)
+	}
+}
+
+func TestExpectedTravelDirections(t *testing.T) {
+	// An asymmetric density (dense east, sparse west) must give a
+	// shorter eastward travel.
+	// Dense data strictly east of the window, nothing elsewhere (in
+	// particular nothing inside the window, so no trailing-edge events).
+	w := geom.RectCenteredAt(geom.Pt(0, 0), 0.01, 0.01)
+	count := func(r geom.Rect) float64 {
+		east := r.Intersect(geom.R(w.MaxX, -1e9, 1e9, 1e9))
+		if east.IsEmpty() {
+			return 0
+		}
+		return 1e6 * east.Area()
+	}
+	de := expectedTravel(count, w, 1, 0)
+	dw := expectedTravel(count, w, -1, 0)
+	if de >= dw {
+		t.Errorf("eastward travel %v must be shorter than westward %v", de, dw)
+	}
+}
+
+func TestConstantsAndRangeModel(t *testing.T) {
+	if ExpectedRegionEdges() != 6 || ExpectedInfluence1NN() != 6 {
+		t.Error("expected-edge constants changed")
+	}
+	// Range model: decreasing in both density and radius; degenerate
+	// inputs are Inf.
+	a := RangeValidityArea(1e4, 0.01)
+	b := RangeValidityArea(1e5, 0.01)
+	c := RangeValidityArea(1e4, 0.05)
+	if !(b < a && c < a) {
+		t.Errorf("range model not monotone: %v %v %v", a, b, c)
+	}
+	if !math.IsInf(RangeValidityArea(0, 0.1), 1) || !math.IsInf(RangeValidityArea(10, 0), 1) {
+		t.Error("degenerate range inputs must be Inf")
+	}
+}
+
+func TestRangeModelAgainstSimulationLight(t *testing.T) {
+	// For small travel the disk sym-difference is ≈ 4rξ (the lens
+	// cancels the πr² term), so in the dense regime the survivor is
+	// e^(−4ρrξ) and E[A] → π·2/(4ρr)² = π/(8ρ²r²).
+	rho, r := 1e6, 0.01
+	got := RangeValidityArea(rho, r)
+	want := math.Pi / (8 * rho * rho * r * r)
+	if got < want*0.9 || got > want*1.1 {
+		t.Errorf("range model %v vs dense asymptotic %v", got, want)
+	}
+}
+
+func TestSecondQueryNAFloor(t *testing.T) {
+	// A degenerate universe yields zero estimates, not negatives.
+	if got := LocationWindowSecondQueryNA(nil, 100, 0.1, 0.1, 1); got != 0 {
+		t.Errorf("empty stats second query = %v", got)
+	}
+	if got := WindowContainedNodes(nil, 0.1, 0.1, 0); got != 0 {
+		t.Errorf("zero universe contained = %v", got)
+	}
+}

@@ -1,0 +1,102 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"lbsq/internal/geom"
+	"lbsq/internal/rtree"
+)
+
+// CSV ingestion and export, so users can run the system on their own
+// point data (e.g. actual POI extracts) instead of the synthetic
+// stand-ins.
+
+// LoadCSV reads a dataset from CSV rows of the form `x,y` or `id,x,y`
+// (auto-detected from the column count; an optional header row whose
+// first field is non-numeric is skipped). The universe is the points'
+// bounding box unless a non-empty one is given.
+func LoadCSV(r io.Reader, name string, universe geom.Rect) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	d := &Dataset{Name: name}
+	bounds := geom.EmptyRect()
+	nextID := int64(0)
+	row := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: csv row %d: %w", row+1, err)
+		}
+		row++
+		if len(rec) != 2 && len(rec) != 3 {
+			return nil, fmt.Errorf("dataset: csv row %d has %d fields, want 2 (x,y) or 3 (id,x,y)", row, len(rec))
+		}
+		// Skip a header row.
+		if row == 1 {
+			if _, err := strconv.ParseFloat(rec[0], 64); err != nil {
+				continue
+			}
+		}
+		var it rtree.Item
+		var xs, ys string
+		if len(rec) == 3 {
+			id, err := strconv.ParseInt(rec[0], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: csv row %d: bad id %q", row, rec[0])
+			}
+			it.ID = id
+			xs, ys = rec[1], rec[2]
+		} else {
+			it.ID = nextID
+			xs, ys = rec[0], rec[1]
+		}
+		nextID++
+		x, err := strconv.ParseFloat(xs, 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: csv row %d: bad x %q", row, xs)
+		}
+		y, err := strconv.ParseFloat(ys, 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: csv row %d: bad y %q", row, ys)
+		}
+		it.P = geom.Pt(x, y)
+		bounds = bounds.ExpandPoint(it.P)
+		d.Items = append(d.Items, it)
+	}
+	if len(d.Items) == 0 {
+		return nil, fmt.Errorf("dataset: csv holds no points")
+	}
+	if !universe.IsEmpty() && universe.Area() > 0 {
+		for _, it := range d.Items {
+			if !universe.Contains(it.P) {
+				return nil, fmt.Errorf("dataset: point %v outside the given universe", it.P)
+			}
+		}
+		d.Universe = universe
+	} else {
+		d.Universe = bounds
+	}
+	return d, nil
+}
+
+// SaveCSV writes the dataset as `id,x,y` rows.
+func SaveCSV(w io.Writer, d *Dataset) error {
+	cw := csv.NewWriter(w)
+	for _, it := range d.Items {
+		if err := cw.Write([]string{
+			strconv.FormatInt(it.ID, 10),
+			strconv.FormatFloat(it.P.X, 'g', -1, 64),
+			strconv.FormatFloat(it.P.Y, 'g', -1, 64),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,85 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lbsq/internal/geom"
+)
+
+func TestLoadCSVTwoColumns(t *testing.T) {
+	d, err := LoadCSV(strings.NewReader("0.1,0.2\n0.3,0.4\n"), "pts", geom.EmptyRect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Items) != 2 || d.Items[0].ID != 0 || d.Items[1].ID != 1 {
+		t.Fatalf("items = %v", d.Items)
+	}
+	if d.Universe != geom.R(0.1, 0.2, 0.3, 0.4) {
+		t.Fatalf("universe = %v", d.Universe)
+	}
+}
+
+func TestLoadCSVThreeColumnsWithHeader(t *testing.T) {
+	in := "id,x,y\n7,1.5,2.5\n9,3.5,0.5\n"
+	d, err := LoadCSV(strings.NewReader(in), "pts", geom.EmptyRect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Items) != 2 || d.Items[0].ID != 7 || d.Items[1].ID != 9 {
+		t.Fatalf("items = %v", d.Items)
+	}
+}
+
+func TestLoadCSVExplicitUniverse(t *testing.T) {
+	uni := geom.R(0, 0, 10, 10)
+	d, err := LoadCSV(strings.NewReader("1,1\n2,2\n"), "pts", uni)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Universe != uni {
+		t.Fatalf("universe = %v", d.Universe)
+	}
+	// Out-of-universe point rejected.
+	if _, err := LoadCSV(strings.NewReader("1,1\n20,2\n"), "pts", uni); err == nil {
+		t.Fatal("out-of-universe point must error")
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                 // empty
+		"1,2,3,4\n",        // too many fields
+		"x\n",              // one field
+		"7,abc,2\n",        // bad x
+		"7,1,abc\n",        // bad y
+		"abc,1,2\n1,z,3\n", // bad value after header
+		"header,only\n",    // header but no data
+	}
+	for _, in := range cases {
+		if _, err := LoadCSV(strings.NewReader(in), "pts", geom.EmptyRect()); err == nil {
+			t.Errorf("input %q must error", in)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := Uniform(500, 3)
+	var buf bytes.Buffer
+	if err := SaveCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCSV(&buf, d.Name, d.Universe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Items) != len(d.Items) {
+		t.Fatalf("round trip %d items, want %d", len(got.Items), len(d.Items))
+	}
+	for i := range d.Items {
+		if got.Items[i] != d.Items[i] {
+			t.Fatalf("item %d mangled: %v vs %v", i, got.Items[i], d.Items[i])
+		}
+	}
+}

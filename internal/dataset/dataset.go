@@ -1,0 +1,201 @@
+// Package dataset provides the datasets and query workloads of the
+// paper's evaluation (Sec. 6): uniform points in a unit square, and
+// synthetic stand-ins for the two real datasets (GR — 23,268 street
+// segment centroids of Greece in an 800 km × 800 km universe; NA —
+// 569,120 populated places of North America in a ~7000 km × 7000 km
+// universe). The originals were distributed from a long-defunct archive;
+// the generators below reproduce their cardinality, extent and skew
+// character (GR: points strung along road-like polylines; NA: heavily
+// clustered population centers over a sparse background), which is what
+// the experiments are sensitive to. All generation is seeded and
+// deterministic.
+package dataset
+
+import (
+	"math"
+	"math/rand"
+
+	"lbsq/internal/geom"
+	"lbsq/internal/rtree"
+)
+
+// Dataset is a named point collection with its universe.
+type Dataset struct {
+	Name     string
+	Items    []rtree.Item
+	Universe geom.Rect
+}
+
+// Points returns just the coordinates (for histogram building).
+func (d *Dataset) Points() []geom.Point {
+	pts := make([]geom.Point, len(d.Items))
+	for i, it := range d.Items {
+		pts[i] = it.P
+	}
+	return pts
+}
+
+// Tree bulk-loads an R*-tree over the dataset with paper-default pages.
+func (d *Dataset) Tree() *rtree.Tree {
+	return rtree.BulkLoad(d.Items, rtree.Options{}, 0.7)
+}
+
+// Uniform returns n uniformly distributed points in the unit square.
+func Uniform(n int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	uni := geom.R(0, 0, 1, 1)
+	items := make([]rtree.Item, n)
+	for i := range items {
+		items[i] = rtree.Item{ID: int64(i), P: geom.Pt(rng.Float64(), rng.Float64())}
+	}
+	return &Dataset{Name: "UNI", Items: items, Universe: uni}
+}
+
+// GRUniverse is the 800 km × 800 km universe of the GR dataset, in
+// meters.
+var GRUniverse = geom.R(0, 0, 800_000, 800_000)
+
+// GRCardinality is the cardinality of the original GR dataset.
+const GRCardinality = 23_268
+
+// GRLike generates a GR-like dataset: n street-segment centroids.
+// Street segments of a country are mostly urban — dense areal blobs at
+// towns — connected by intercity roads; the generator mixes 70% town
+// clusters (Gaussian, a few km across) with 30% road polylines.
+func GRLike(n int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]rtree.Item, 0, n)
+	id := int64(0)
+	add := func(p geom.Point) {
+		items = append(items, rtree.Item{ID: id, P: clampPoint(p, GRUniverse)})
+		id++
+	}
+
+	// Settlements: Zipf-ish sizes so a few cities dominate the street
+	// counts, but with the long tail of villages that makes no 100 km
+	// neighborhood of the country truly empty.
+	const towns = 600
+	type town struct {
+		c     geom.Point
+		sigma float64
+		cum   float64
+	}
+	ts := make([]town, towns)
+	totW := 0.0
+	for i := range ts {
+		w := 1 / math.Pow(float64(i+1), 0.9)
+		ts[i] = town{
+			c:     geom.Pt(rng.Float64()*GRUniverse.MaxX, rng.Float64()*GRUniverse.MaxY),
+			sigma: (1 + rng.Float64()*6) * 1000, // 1–7 km settlement radius
+		}
+		totW += w
+		ts[i].cum = totW
+	}
+	nTown := n * 7 / 10
+	for i := 0; i < nTown; i++ {
+		r := rng.Float64() * totW
+		ti := 0
+		for ti < towns-1 && ts[ti].cum < r {
+			ti++
+		}
+		t := ts[ti]
+		add(t.c.Add(geom.Pt(rng.NormFloat64(), rng.NormFloat64()).Scale(t.sigma)))
+	}
+
+	// Intercity roads: polylines between random towns, sampled with
+	// cross-road jitter.
+	for len(items) < n {
+		a := ts[rng.Intn(towns)].c
+		b := ts[rng.Intn(towns)].c
+		segPts := 20 + rng.Intn(60)
+		for t := 0; t < segPts && len(items) < n; t++ {
+			p := a.Lerp(b, rng.Float64())
+			add(p.Add(geom.Pt(rng.NormFloat64(), rng.NormFloat64()).Scale(1500)))
+		}
+	}
+	return &Dataset{Name: "GR", Items: items[:n], Universe: GRUniverse}
+}
+
+// NAUniverse is the ~7000 km × 7000 km universe of the NA dataset, in
+// meters.
+var NAUniverse = geom.R(0, 0, 7_000_000, 7_000_000)
+
+// NACardinality is the cardinality of the original NA dataset.
+const NACardinality = 569_120
+
+// NALike generates an NA-like dataset: n populated places drawn from a
+// mixture of Gaussian population clusters (Zipf-ish sizes, mimicking
+// metropolitan areas) over a sparse uniform background.
+func NALike(n int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	const clusters = 400
+	type cluster struct {
+		c      geom.Point
+		sigma  float64
+		weight float64
+	}
+	cs := make([]cluster, clusters)
+	totW := 0.0
+	for i := range cs {
+		w := 1 / math.Pow(float64(i+1), 0.8) // Zipf-ish sizes
+		cs[i] = cluster{
+			c:      geom.Pt(rng.Float64()*NAUniverse.MaxX, rng.Float64()*NAUniverse.MaxY),
+			sigma:  (20 + rng.Float64()*120) * 1000, // 20–140 km spread
+			weight: w,
+		}
+		totW += w
+	}
+	cum := make([]float64, clusters)
+	acc := 0.0
+	for i, c := range cs {
+		acc += c.weight / totW
+		cum[i] = acc
+	}
+	items := make([]rtree.Item, n)
+	for i := range items {
+		var p geom.Point
+		if rng.Float64() < 0.05 {
+			p = geom.Pt(rng.Float64()*NAUniverse.MaxX, rng.Float64()*NAUniverse.MaxY)
+		} else {
+			r := rng.Float64()
+			ci := 0
+			for ci < clusters-1 && cum[ci] < r {
+				ci++
+			}
+			c := cs[ci]
+			p = c.c.Add(geom.Pt(rng.NormFloat64(), rng.NormFloat64()).Scale(c.sigma))
+			p = clampPoint(p, NAUniverse)
+		}
+		items[i] = rtree.Item{ID: int64(i), P: p}
+	}
+	return &Dataset{Name: "NA", Items: items, Universe: NAUniverse}
+}
+
+func clampPoint(p geom.Point, r geom.Rect) geom.Point {
+	if p.X < r.MinX {
+		p.X = r.MinX
+	} else if p.X > r.MaxX {
+		p.X = r.MaxX
+	}
+	if p.Y < r.MinY {
+		p.Y = r.MinY
+	} else if p.Y > r.MaxY {
+		p.Y = r.MaxY
+	}
+	return p
+}
+
+// QueryPoints draws a workload of query locations whose distribution
+// conforms to the data distribution (paper Sec. 6): each query is a
+// uniformly chosen data point with small Gaussian jitter.
+func QueryPoints(d *Dataset, count int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	jitter := d.Universe.Width() / 1000
+	out := make([]geom.Point, count)
+	for i := range out {
+		base := d.Items[rng.Intn(len(d.Items))].P
+		p := base.Add(geom.Pt(rng.NormFloat64(), rng.NormFloat64()).Scale(jitter))
+		out[i] = clampPoint(p, d.Universe)
+	}
+	return out
+}

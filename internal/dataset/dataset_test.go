@@ -1,0 +1,192 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"lbsq/internal/geom"
+	"lbsq/internal/histogram"
+)
+
+func TestUniform(t *testing.T) {
+	d := Uniform(5000, 1)
+	if len(d.Items) != 5000 || d.Name != "UNI" {
+		t.Fatalf("bad dataset: %s, %d items", d.Name, len(d.Items))
+	}
+	for _, it := range d.Items {
+		if !d.Universe.Contains(it.P) {
+			t.Fatalf("point %v outside universe", it.P)
+		}
+	}
+	// Determinism.
+	d2 := Uniform(5000, 1)
+	for i := range d.Items {
+		if d.Items[i] != d2.Items[i] {
+			t.Fatal("same seed must reproduce the dataset")
+		}
+	}
+	// Different seeds differ.
+	d3 := Uniform(5000, 2)
+	same := 0
+	for i := range d.Items {
+		if d.Items[i].P == d3.Items[i].P {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Fatal("different seeds produced the same points")
+	}
+	// Roughly uniform: each quadrant holds ~25%.
+	quad := make([]int, 4)
+	for _, it := range d.Items {
+		i := 0
+		if it.P.X > 0.5 {
+			i |= 1
+		}
+		if it.P.Y > 0.5 {
+			i |= 2
+		}
+		quad[i]++
+	}
+	for i, c := range quad {
+		if c < 1000 || c > 1500 {
+			t.Errorf("quadrant %d holds %d of 5000", i, c)
+		}
+	}
+}
+
+func skewRatio(t *testing.T, pts []geom.Point, uni geom.Rect) float64 {
+	t.Helper()
+	h, err := histogram.Build(pts, uni, 50, 50, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ratio between the densest bucket and the global density.
+	maxD := 0.0
+	for _, b := range h.Buckets {
+		if d := b.Density(); d > maxD {
+			maxD = d
+		}
+	}
+	return maxD / (h.TotalCount() / uni.Area())
+}
+
+func TestGRLikeIsSkewed(t *testing.T) {
+	d := GRLike(GRCardinality, 7)
+	if len(d.Items) != GRCardinality {
+		t.Fatalf("GR cardinality = %d", len(d.Items))
+	}
+	if d.Universe != GRUniverse {
+		t.Fatal("GR universe wrong")
+	}
+	for _, it := range d.Items {
+		if !d.Universe.Contains(it.P) {
+			t.Fatalf("GR point %v escapes universe", it.P)
+		}
+	}
+	if r := skewRatio(t, d.Points(), d.Universe); r < 5 {
+		t.Errorf("GR-like skew ratio %.1f too uniform for a road dataset", r)
+	}
+}
+
+func TestNALikeIsSkewed(t *testing.T) {
+	d := NALike(60000, 7) // reduced cardinality for test speed
+	if d.Universe != NAUniverse {
+		t.Fatal("NA universe wrong")
+	}
+	for _, it := range d.Items {
+		if !d.Universe.Contains(it.P) {
+			t.Fatalf("NA point %v escapes universe", it.P)
+		}
+	}
+	if r := skewRatio(t, d.Points(), d.Universe); r < 10 {
+		t.Errorf("NA-like skew ratio %.1f too uniform for population data", r)
+	}
+}
+
+func TestQueryPointsFollowData(t *testing.T) {
+	d := NALike(30000, 3)
+	qs := QueryPoints(d, 2000, 4)
+	if len(qs) != 2000 {
+		t.Fatalf("workload size = %d", len(qs))
+	}
+	// Queries must cluster like the data: the average distance from a
+	// query to its generating distribution is small, so the fraction of
+	// queries in the densest decile region should far exceed uniform.
+	h, err := histogram.Build(d.Points(), d.Universe, 50, 50, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	denseHits := 0
+	globalDensity := h.TotalCount() / d.Universe.Area()
+	for _, q := range qs {
+		if !d.Universe.Contains(q) {
+			t.Fatalf("query %v escapes universe", q)
+		}
+		if h.DensityForNN(q, 1) > 3*globalDensity {
+			denseHits++
+		}
+	}
+	if denseHits < len(qs)/3 {
+		t.Errorf("only %d/%d queries landed in dense regions", denseHits, len(qs))
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	d := GRLike(3000, 9)
+	var buf bytes.Buffer
+	if err := Save(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != d.Name || got.Universe != d.Universe || len(got.Items) != len(d.Items) {
+		t.Fatalf("header mangled: %+v", got)
+	}
+	for i := range d.Items {
+		if got.Items[i] != d.Items[i] {
+			t.Fatalf("item %d mangled", i)
+		}
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input must error")
+	}
+	if _, err := Load(bytes.NewReader([]byte("NOTMAGIC"))); err == nil {
+		t.Error("bad magic must error")
+	}
+	// Truncated body.
+	d := Uniform(100, 1)
+	var buf bytes.Buffer
+	if err := Save(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-10]
+	if _, err := Load(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated input must error")
+	}
+}
+
+func TestTreeBuild(t *testing.T) {
+	d := Uniform(10000, 5)
+	tr := d.Tree()
+	if tr.Len() != 10000 {
+		t.Fatalf("tree holds %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.MaxEntries() != 204 {
+		t.Fatalf("paper fanout expected, got %d", tr.MaxEntries())
+	}
+	// Universe fully covers the root MBR.
+	if !d.Universe.ContainsRect(tr.Root().Rect()) {
+		t.Fatal("root MBR escapes universe")
+	}
+	_ = math.Pi
+}

@@ -1,0 +1,129 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"lbsq/internal/geom"
+	"lbsq/internal/rtree"
+)
+
+// Binary dataset file format (little-endian):
+//
+//	magic "LBSQDS1\n" | nameLen uint16 | name | universe (4×float64)
+//	| n uint32 | n × (id int64, x float64, y float64)
+
+var fileMagic = []byte("LBSQDS1\n")
+
+// Save writes the dataset to w.
+func Save(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(fileMagic); err != nil {
+		return err
+	}
+	if len(d.Name) > 65535 {
+		return fmt.Errorf("dataset: name too long")
+	}
+	var hdr [2]byte
+	binary.LittleEndian.PutUint16(hdr[:], uint16(len(d.Name)))
+	bw.Write(hdr[:])
+	bw.WriteString(d.Name)
+	for _, f := range []float64{d.Universe.MinX, d.Universe.MinY, d.Universe.MaxX, d.Universe.MaxY} {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
+		bw.Write(buf[:])
+	}
+	var cnt [4]byte
+	binary.LittleEndian.PutUint32(cnt[:], uint32(len(d.Items)))
+	bw.Write(cnt[:])
+	for _, it := range d.Items {
+		var buf [24]byte
+		binary.LittleEndian.PutUint64(buf[0:], uint64(it.ID))
+		binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(it.P.X))
+		binary.LittleEndian.PutUint64(buf[16:], math.Float64bits(it.P.Y))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a dataset written by Save.
+func Load(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(fileMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("dataset: reading magic: %w", err)
+	}
+	if string(magic) != string(fileMagic) {
+		return nil, fmt.Errorf("dataset: bad magic %q", magic)
+	}
+	var hdr [2]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	name := make([]byte, binary.LittleEndian.Uint16(hdr[:]))
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	var uni [32]byte
+	if _, err := io.ReadFull(br, uni[:]); err != nil {
+		return nil, err
+	}
+	d := &Dataset{
+		Name: string(name),
+		Universe: geom.R(
+			math.Float64frombits(binary.LittleEndian.Uint64(uni[0:])),
+			math.Float64frombits(binary.LittleEndian.Uint64(uni[8:])),
+			math.Float64frombits(binary.LittleEndian.Uint64(uni[16:])),
+			math.Float64frombits(binary.LittleEndian.Uint64(uni[24:])),
+		),
+	}
+	var cnt [4]byte
+	if _, err := io.ReadFull(br, cnt[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(cnt[:]))
+	d.Items = make([]rtree.Item, n)
+	for i := 0; i < n; i++ {
+		var buf [24]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("dataset: truncated at item %d: %w", i, err)
+		}
+		d.Items[i] = rtree.Item{
+			ID: int64(binary.LittleEndian.Uint64(buf[0:])),
+			P: geom.Pt(
+				math.Float64frombits(binary.LittleEndian.Uint64(buf[8:])),
+				math.Float64frombits(binary.LittleEndian.Uint64(buf[16:])),
+			),
+		}
+	}
+	return d, nil
+}
+
+// SaveFile writes the dataset to a file path.
+func SaveFile(path string, d *Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := Save(f, d); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a dataset from a file path.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

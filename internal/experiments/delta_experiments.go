@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lbsq/internal/core"
+	"lbsq/internal/dataset"
+	"lbsq/internal/trajectory"
+)
+
+// DeltaExtension measures the incremental-result-transfer proposal of
+// Sec. 7: consecutive results of a moving client overlap heavily, so
+// transmitting known items as bare ids cuts the downstream volume. The
+// experiment drives identical trajectories through plain and delta
+// window/NN clients and compares bytes received (answers are verified
+// identical by the test suite).
+func DeltaExtension(cfg Config) []Table {
+	d := dataset.Uniform(cfg.fixedN(), cfg.Seed)
+	s := buildServer(d, cfg, false)
+	steps := 2000
+	if cfg.Full {
+		steps = 10000
+	}
+	path := trajectory.RandomWaypoint(d.Universe, 0.0008, steps, cfg.Seed+2)
+
+	t := Table{
+		Title:   fmt.Sprintf("delta transfer savings over a %d-step trajectory (uniform, N=100k)", steps),
+		Columns: []string{"client", "server queries", "KB plain", "KB delta", "saving"},
+	}
+
+	run := func(name string, mk func(delta bool) func() (int, int64)) {
+		qPlain, bPlain := mk(false)()
+		_, bDelta := mk(true)()
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmt.Sprintf("%d", qPlain),
+			fmt.Sprintf("%.1f", float64(bPlain)/1024),
+			fmt.Sprintf("%.1f", float64(bDelta)/1024),
+			fmt.Sprintf("%.0f%%", 100*(1-float64(bDelta)/float64(bPlain))),
+		})
+	}
+
+	run("window 0.03x0.03 viewport", func(delta bool) func() (int, int64) {
+		return func() (int, int64) {
+			c := core.NewWindowClient(s, 0.03, 0.03)
+			c.Delta = delta
+			for _, p := range path {
+				if _, err := c.At(p); err != nil {
+					panic(err)
+				}
+			}
+			return c.Stats.ServerQueries, c.Stats.BytesReceived
+		}
+	})
+	run("10-NN query", func(delta bool) func() (int, int64) {
+		return func() (int, int64) {
+			c := core.NewNNClient(s, 10)
+			c.Delta = delta
+			for _, p := range path {
+				if _, err := c.At(p); err != nil {
+					panic(err)
+				}
+			}
+			return c.Stats.ServerQueries, c.Stats.BytesReceived
+		}
+	})
+	return []Table{t}
+}

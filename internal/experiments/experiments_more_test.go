@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func firstLast(t *testing.T, rows [][]string, col int) (float64, float64) {
+	t.Helper()
+	return parseF(t, rows[0][col]), parseF(t, rows[len(rows)-1][col])
+}
+
+func TestFig23Shape(t *testing.T) {
+	for _, table := range Fig23(tiny()) {
+		first, last := firstLast(t, table.Rows, 1)
+		if last >= first {
+			t.Errorf("%s: area did not decrease with k (%v → %v)", table.Title, first, last)
+		}
+		// Estimates stay within one order of magnitude.
+		for _, r := range table.Rows {
+			actual, est := parseF(t, r[1]), parseF(t, r[2])
+			if est < actual/10 || est > actual*10 {
+				t.Errorf("%s: estimate %v vs actual %v beyond 10x", table.Title, est, actual)
+			}
+		}
+	}
+}
+
+func TestFig26Shape(t *testing.T) {
+	for _, table := range Fig26(tiny()) {
+		first, last := firstLast(t, table.Rows, 1)
+		if first < 4 || first > 8 {
+			t.Errorf("%s: |Sinf| at k=1 = %v, expected ≈6", table.Title, first)
+		}
+		if last >= first {
+			t.Errorf("%s: |Sinf| did not decrease with k", table.Title)
+		}
+	}
+}
+
+func TestFig28Shape(t *testing.T) {
+	tables := Fig28(tiny())
+	if len(tables) != 4 {
+		t.Fatalf("expected 4 tables (NA/PA × GR/NA), got %d", len(tables))
+	}
+	for _, table := range tables {
+		if !strings.Contains(table.Title, "page accesses") {
+			// Node accesses: TP probes ≈ 12–16 at every k.
+			for _, r := range table.Rows {
+				probes := parseF(t, r[3])
+				if probes < 8 || probes > 20 {
+					t.Errorf("%s: TP probes = %v", table.Title, probes)
+				}
+			}
+			continue
+		}
+		// Page accesses: the buffer absorbs most TP cost at high k.
+		last := table.Rows[len(table.Rows)-1]
+		if tp := parseF(t, last[2]); tp > 3 {
+			t.Errorf("%s: buffered TP PA at k=100 = %v, expected small", table.Title, tp)
+		}
+	}
+}
+
+func TestFig30Shape(t *testing.T) {
+	for _, table := range Fig30(tiny()) {
+		first, last := firstLast(t, table.Rows, 1)
+		if last >= first {
+			t.Errorf("%s: actual area did not decline from smallest to largest window "+
+				"(%v → %v)", table.Title, first, last)
+		}
+		for _, r := range table.Rows {
+			actual, est := parseF(t, r[1]), parseF(t, r[2])
+			// Extreme synthetic skew: hold the documented 30x band.
+			if est < actual/30 || est > actual*30 {
+				t.Errorf("%s: estimate %v vs actual %v beyond documented band", table.Title, est, actual)
+			}
+		}
+	}
+}
+
+func TestFig32Shape(t *testing.T) {
+	for _, table := range Fig32(tiny()) {
+		for _, r := range table.Rows {
+			inner, outer := parseF(t, r[1]), parseF(t, r[2])
+			if inner < 0.5 || inner > 4 || outer < 0.5 || outer > 8 {
+				t.Errorf("%s: influence sizes inner=%v outer=%v", table.Title, inner, outer)
+			}
+		}
+	}
+}
+
+func TestFig35Shape(t *testing.T) {
+	for _, table := range Fig35(tiny()) {
+		// The influence-object query must be cheap relative to the
+		// result query at small windows.
+		small := table.Rows[0]
+		if res, inf := parseF(t, small[1]), parseF(t, small[2]); inf > res {
+			t.Errorf("%s: small-window influence PA %v exceeds result PA %v",
+				table.Title, inf, res)
+		}
+	}
+}
+
+func TestRangeExtensionShape(t *testing.T) {
+	tables := RangeExtension(tiny())
+	area := tables[0]
+	prev := 1e18
+	for _, r := range area.Rows {
+		actual, est := parseF(t, r[1]), parseF(t, r[2])
+		if actual >= prev {
+			t.Errorf("range area did not shrink with radius: %v", area.Rows)
+		}
+		prev = actual
+		if est < actual/3 || est > actual*3 {
+			t.Errorf("range estimate %v vs actual %v", est, actual)
+		}
+	}
+}
+
+func TestDeltaExtensionShape(t *testing.T) {
+	rows := DeltaExtension(tiny())[0].Rows
+	for _, r := range rows {
+		plain, delta := parseF(t, r[2]), parseF(t, r[3])
+		if delta >= plain {
+			t.Errorf("%s: delta (%v KB) not below plain (%v KB)", r[0], delta, plain)
+		}
+		if delta > plain*0.8 {
+			t.Errorf("%s: delta saved under 20%%", r[0])
+		}
+	}
+}
+
+func TestAblationsShape(t *testing.T) {
+	tables := Ablations(tiny())
+	if len(tables) != 5 {
+		t.Fatalf("expected 5 ablation tables, got %d", len(tables))
+	}
+	// Best-first never reads more nodes than depth-first.
+	for _, r := range tables[0].Rows {
+		if bf, df := parseF(t, r[1]), parseF(t, r[2]); bf > df+1e-9 {
+			t.Errorf("best-first NA %v exceeds depth-first %v at k=%s", bf, df, r[0])
+		}
+	}
+	// Vertex order does not change the probe count (Lemma 3.2).
+	probes := parseF(t, tables[1].Rows[0][1])
+	for _, r := range tables[1].Rows[1:] {
+		if p := parseF(t, r[1]); p < probes*0.9 || p > probes*1.1 {
+			t.Errorf("vertex order changed probe count: %v vs %v", p, probes)
+		}
+	}
+	// Larger buffers never fault more.
+	prev := 1e18
+	for _, r := range tables[2].Rows {
+		tp := parseF(t, r[2])
+		if tp > prev*1.05 {
+			t.Errorf("buffer sweep not monotone: %v after %v", tp, prev)
+		}
+		prev = tp
+	}
+	// Conservative region retains most of the exact area.
+	for _, r := range tables[3].Rows {
+		exact, cons := parseF(t, r[1]), parseF(t, r[2])
+		if cons > exact*1.0001 || cons < exact*0.5 {
+			t.Errorf("conservative area %v vs exact %v out of band", cons, exact)
+		}
+	}
+	// Higher fill → fewer nodes.
+	prevNodes := 1e18
+	for _, r := range tables[4].Rows {
+		nodes := parseF(t, r[1])
+		if nodes >= prevNodes {
+			t.Errorf("node count not decreasing with fill: %v", tables[4].Rows)
+		}
+		prevNodes = nodes
+	}
+}
+
+func TestUpdatesShape(t *testing.T) {
+	tables := Updates(tiny())
+	if len(tables) != 2 {
+		t.Fatalf("expected 2 tables, got %d", len(tables))
+	}
+	// Window client table: validity region beats naive; delta beats
+	// plain on bytes.
+	rows := tables[1].Rows
+	naiveQ := parseF(t, rows[0][1])
+	vrQ := parseF(t, rows[1][1])
+	if vrQ >= naiveQ {
+		t.Errorf("validity-region window client (%v) not below naive (%v)", vrQ, naiveQ)
+	}
+	plainKB := parseF(t, rows[1][3])
+	deltaKB := parseF(t, rows[2][3])
+	if deltaKB >= plainKB {
+		t.Errorf("delta KB %v not below plain %v", deltaKB, plainKB)
+	}
+}
+
+func TestSemanticCacheShape(t *testing.T) {
+	tables := SemanticCache(tiny())
+	for _, table := range tables {
+		prev := 1e18
+		for _, r := range table.Rows {
+			q := parseF(t, r[1])
+			if q > prev*1.01 {
+				t.Errorf("%s: more cached regions increased queries: %v", table.Title, table.Rows)
+			}
+			prev = q
+		}
+	}
+	// The commute with a deep cache must save substantially vs depth 1.
+	commute := tables[1].Rows
+	first := parseF(t, commute[0][1])
+	last := parseF(t, commute[len(commute)-1][1])
+	if last > first*0.8 {
+		t.Errorf("deep region cache saved too little on the commute: %v → %v", first, last)
+	}
+}

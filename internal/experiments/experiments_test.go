@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tiny returns a configuration small enough for unit tests.
+func tiny() Config { return Config{Queries: 25, Seed: 1} }
+
+func TestRegistryComplete(t *testing.T) {
+	// Every evaluation figure of the paper must have an experiment:
+	// 22a/22b/23/24/25/26/27/28/29/30/31/32/34/35 (+ savings).
+	want := []string{"22a", "22b", "23", "24", "25", "26", "27", "28",
+		"29", "30", "31", "32", "34", "35", "savings", "range", "delta", "ablation", "updates", "semcache", "perf"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Errorf("registry[%d] = %s, want %s", i, all[i].ID, id)
+		}
+	}
+	if _, ok := Find("22a"); !ok {
+		t.Error("Find(22a) failed")
+	}
+	if _, ok := Find("nope"); ok {
+		t.Error("Find(nope) should fail")
+	}
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "k"), 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	if strings.HasSuffix(s, "k") {
+		v *= 1000
+	}
+	return v
+}
+
+func TestFig22aShape(t *testing.T) {
+	tables := Fig22a(tiny())
+	if len(tables) != 1 {
+		t.Fatal("expected one table")
+	}
+	rows := tables[0].Rows
+	if len(rows) < 3 {
+		t.Fatalf("expected ≥3 cardinalities, got %d", len(rows))
+	}
+	// Area drops with N, and the estimate stays within 2× of actual.
+	prev := 1e9
+	for _, r := range rows {
+		actual, est := parseF(t, r[1]), parseF(t, r[2])
+		if actual >= prev {
+			t.Errorf("area did not drop with N: %v", rows)
+		}
+		prev = actual
+		if est < actual/2 || est > actual*2 {
+			t.Errorf("estimate %v far from actual %v", est, actual)
+		}
+	}
+}
+
+func TestFig22bShape(t *testing.T) {
+	rows := Fig22b(tiny())[0].Rows
+	// Area shrinks monotonically with k.
+	prev := 1e9
+	for _, r := range rows {
+		actual := parseF(t, r[1])
+		if actual >= prev {
+			t.Errorf("area did not shrink with k: %v", rows)
+		}
+		prev = actual
+	}
+}
+
+func TestFig24Shape(t *testing.T) {
+	for _, table := range Fig24(tiny()) {
+		for _, r := range table.Rows {
+			edges := parseF(t, r[1])
+			if edges < 4 || edges > 8 {
+				t.Errorf("%s: edges = %v, expected ≈6", table.Title, edges)
+			}
+		}
+	}
+}
+
+func TestFig25Shape(t *testing.T) {
+	tables := Fig25(tiny())
+	// 25a: |Sinf| ≈ 6 for k=1 at every N.
+	for _, r := range tables[0].Rows {
+		if s := parseF(t, r[1]); s < 4 || s > 8 {
+			t.Errorf("|Sinf| k=1 = %v, expected ≈6", s)
+		}
+	}
+	// 25b: |Sinf| decreases with k (one object contributes several
+	// edges); the k=100 value must be below the k=1 value.
+	rows := tables[1].Rows
+	first := parseF(t, rows[0][1])
+	last := parseF(t, rows[len(rows)-1][1])
+	if last >= first {
+		t.Errorf("|Sinf| did not decrease with k: first %v last %v", first, last)
+	}
+}
+
+func TestFig27Shape(t *testing.T) {
+	tables := Fig27(tiny())
+	na, pa := tables[0], tables[1]
+	for i, r := range na.Rows {
+		nnNA, tpNA, probes := parseF(t, r[1]), parseF(t, r[2]), parseF(t, r[3])
+		// The paper: ≈12 TP probes, costing ≈12× the plain NN query.
+		if probes < 8 || probes > 18 {
+			t.Errorf("TP probes = %v, expected ≈12", probes)
+		}
+		ratio := tpNA / nnNA
+		if ratio < 4 || ratio > 30 {
+			t.Errorf("TPNN/NN node-access ratio = %v, expected O(12)", ratio)
+		}
+		// Under the buffer, the TP phase faults far less than it accesses.
+		tpPA := parseF(t, pa.Rows[i][2])
+		if tpPA > tpNA/2 {
+			t.Errorf("buffer absorbed too little: PA %v vs NA %v", tpPA, tpNA)
+		}
+	}
+}
+
+func TestFig29Shape(t *testing.T) {
+	tables := Fig29(tiny())
+	for _, table := range tables {
+		prev := 1e18
+		for _, r := range table.Rows {
+			actual, est := parseF(t, r[1]), parseF(t, r[2])
+			if actual >= prev {
+				t.Errorf("%s: area did not shrink: %v", table.Title, table.Rows)
+			}
+			prev = actual
+			if est < actual/3 || est > actual*3 {
+				t.Errorf("%s: estimate %v far from actual %v", table.Title, est, actual)
+			}
+		}
+	}
+}
+
+func TestFig31Shape(t *testing.T) {
+	for _, table := range Fig31(tiny()) {
+		for _, r := range table.Rows {
+			inner, outer := parseF(t, r[1]), parseF(t, r[2])
+			if inner < 0.5 || inner > 4 || outer < 0.5 || outer > 4 {
+				t.Errorf("%s: influence sizes inner=%v outer=%v, expected ≈2 each",
+					table.Title, inner, outer)
+			}
+		}
+	}
+}
+
+func TestFig34Shape(t *testing.T) {
+	tables := Fig34(tiny())
+	pa := tables[1]
+	for _, r := range pa.Rows {
+		resPA, infPA := parseF(t, r[1]), parseF(t, r[2])
+		// The second query re-reads what the first just loaded: its page
+		// cost must be a small fraction of the result query's.
+		if infPA > resPA/2+1 {
+			t.Errorf("influence-query PA %v not absorbed by buffer (result %v)", infPA, resPA)
+		}
+	}
+}
+
+func TestClientSavingsShape(t *testing.T) {
+	rows := ClientSavings(Config{Queries: 25, Seed: 1})[0].Rows
+	byName := map[string][]string{}
+	for _, r := range rows {
+		byName[r[0]] = r
+	}
+	naive := parseF(t, byName["naive (re-query always)"][1])
+	vr := parseF(t, byName["validity region (this paper)"][1])
+	if vr*3 > naive {
+		t.Errorf("validity region client (%v) should be ≪ naive (%v)", vr, naive)
+	}
+}
+
+func TestTablePrinting(t *testing.T) {
+	tb := Table{
+		Title:   "demo",
+		Columns: []string{"a", "bee"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+	}
+	var buf bytes.Buffer
+	tb.Fprint(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "333") {
+		t.Errorf("table output incomplete:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Errorf("expected 4 lines, got %d", len(lines))
+	}
+}

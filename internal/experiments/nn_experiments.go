@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"lbsq/internal/costmodel"
+	"lbsq/internal/dataset"
+)
+
+// Fig22a measures the validity-region area of 1NN queries against the
+// analytical estimate, varying the cardinality of a uniform dataset.
+// Expected shape: both curves drop linearly with N (the Voronoi cells
+// shrink as 1/N) and track each other closely.
+func Fig22a(cfg Config) []Table {
+	t := Table{
+		Title:   "area of V(q) vs N (uniform, k=1)",
+		Columns: []string{"N", "actual", "estimated"},
+	}
+	for _, n := range cfg.cardinalities() {
+		d := dataset.Uniform(n, cfg.Seed)
+		s := buildServer(d, cfg, false)
+		qs := dataset.QueryPoints(d, cfg.queries(), cfg.Seed+1)
+		agg := runNN(s, qs, 1, nil, costmodel.NNValidityArea)
+		t.Rows = append(t.Rows, []string{fmtN(n), fmtF(agg.Area), fmtF(agg.EstArea)})
+	}
+	return []Table{t}
+}
+
+// Fig22b varies k on the fixed-cardinality uniform dataset. Expected
+// shape: the order-k cell shrinks roughly as 1/k.
+func Fig22b(cfg Config) []Table {
+	t := Table{
+		Title:   "area of V(q) vs k (uniform, N=100k)",
+		Columns: []string{"k", "actual", "estimated"},
+	}
+	d := dataset.Uniform(cfg.fixedN(), cfg.Seed)
+	s := buildServer(d, cfg, false)
+	qs := dataset.QueryPoints(d, cfg.queries(), cfg.Seed+1)
+	for _, k := range cfg.ks() {
+		agg := runNN(s, qs, k, nil, costmodel.NNValidityArea)
+		t.Rows = append(t.Rows, []string{fmtN(k), fmtF(agg.Area), fmtF(agg.EstArea)})
+	}
+	return []Table{t}
+}
+
+// Fig23 repeats Fig. 22b on the skewed (GR-like, NA-like) datasets,
+// with the estimate driven by the Minskew histogram. Areas are in m².
+func Fig23(cfg Config) []Table {
+	var out []Table
+	for _, d := range []*dataset.Dataset{
+		dataset.GRLike(cfg.grN(), cfg.Seed),
+		dataset.NALike(cfg.naN(), cfg.Seed),
+	} {
+		t := Table{
+			Title:   "area of V(q) (m^2) vs k (" + d.Name + ")",
+			Columns: []string{"k", "actual", "estimated"},
+		}
+		s := buildServer(d, cfg, false)
+		h := buildHistogram(d)
+		qs := dataset.QueryPoints(d, cfg.queries(), cfg.Seed+1)
+		for _, k := range cfg.ks() {
+			agg := runNN(s, qs, k, h, costmodel.NNValidityArea)
+			t.Rows = append(t.Rows, []string{fmtN(k), fmtF(agg.Area), fmtF(agg.EstArea)})
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Fig24 reports the edge count of the validity region — the client-side
+// validity-check cost. Expected: ≈6 under all settings [A91, OBSC00].
+func Fig24(cfg Config) []Table {
+	tA := Table{
+		Title:   "edges of V(q) vs N (uniform, k=1)",
+		Columns: []string{"N", "edges", "expected"},
+	}
+	for _, n := range cfg.cardinalities() {
+		d := dataset.Uniform(n, cfg.Seed)
+		s := buildServer(d, cfg, false)
+		qs := dataset.QueryPoints(d, cfg.queries(), cfg.Seed+1)
+		agg := runNN(s, qs, 1, nil, costmodel.NNValidityArea)
+		tA.Rows = append(tA.Rows, []string{fmtN(n), fmtF(agg.Edges), fmtF(costmodel.ExpectedRegionEdges())})
+	}
+	tB := Table{
+		Title:   "edges of V(q) vs k (uniform, N=100k)",
+		Columns: []string{"k", "edges", "expected"},
+	}
+	d := dataset.Uniform(cfg.fixedN(), cfg.Seed)
+	s := buildServer(d, cfg, false)
+	qs := dataset.QueryPoints(d, cfg.queries(), cfg.Seed+1)
+	for _, k := range cfg.ks() {
+		agg := runNN(s, qs, k, nil, costmodel.NNValidityArea)
+		tB.Rows = append(tB.Rows, []string{fmtN(k), fmtF(agg.Edges), fmtF(costmodel.ExpectedRegionEdges())})
+	}
+	return []Table{tA, tB}
+}
+
+// Fig25 reports the influence-set size |Sinf| on uniform data. Expected:
+// ≈6 for k=1 at all N (25a); decreasing toward ≈4 as k grows, since one
+// object can contribute several edges (25b).
+func Fig25(cfg Config) []Table {
+	tA := Table{
+		Title:   "|Sinf| vs N (uniform, k=1)",
+		Columns: []string{"N", "|Sinf|", "pairs"},
+	}
+	for _, n := range cfg.cardinalities() {
+		d := dataset.Uniform(n, cfg.Seed)
+		s := buildServer(d, cfg, false)
+		qs := dataset.QueryPoints(d, cfg.queries(), cfg.Seed+1)
+		agg := runNN(s, qs, 1, nil, costmodel.NNValidityArea)
+		tA.Rows = append(tA.Rows, []string{fmtN(n), fmtF(agg.Sinf), fmtF(agg.Pairs)})
+	}
+	tB := Table{
+		Title:   "|Sinf| vs k (uniform, N=100k)",
+		Columns: []string{"k", "|Sinf|", "pairs"},
+	}
+	d := dataset.Uniform(cfg.fixedN(), cfg.Seed)
+	s := buildServer(d, cfg, false)
+	qs := dataset.QueryPoints(d, cfg.queries(), cfg.Seed+1)
+	for _, k := range cfg.ks() {
+		agg := runNN(s, qs, k, nil, costmodel.NNValidityArea)
+		tB.Rows = append(tB.Rows, []string{fmtN(k), fmtF(agg.Sinf), fmtF(agg.Pairs)})
+	}
+	return []Table{tA, tB}
+}
+
+// Fig26 repeats the |Sinf| measurement on the skewed datasets.
+func Fig26(cfg Config) []Table {
+	var out []Table
+	for _, d := range []*dataset.Dataset{
+		dataset.GRLike(cfg.grN(), cfg.Seed),
+		dataset.NALike(cfg.naN(), cfg.Seed),
+	} {
+		t := Table{
+			Title:   "|Sinf| vs k (" + d.Name + ")",
+			Columns: []string{"k", "|Sinf|", "pairs"},
+		}
+		s := buildServer(d, cfg, false)
+		qs := dataset.QueryPoints(d, cfg.queries(), cfg.Seed+1)
+		for _, k := range cfg.ks() {
+			agg := runNN(s, qs, k, nil, costmodel.NNValidityArea)
+			t.Rows = append(t.Rows, []string{fmtN(k), fmtF(agg.Sinf), fmtF(agg.Pairs)})
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Fig27 measures the server cost of location-based 1NN queries on
+// uniform data: node accesses split into the plain NN query and the
+// TPNN probes (27a), and page accesses under a 10% LRU buffer (27b).
+// Expected shape: TPNN ≈ 12× the NN query unbuffered (≈6 influence
+// probes + ≈6 confirmations); the buffer absorbs most TPNN cost since
+// the probes revisit the same neighborhood.
+func Fig27(cfg Config) []Table {
+	tA := Table{
+		Title:   "node accesses vs N (uniform, k=1)",
+		Columns: []string{"N", "NN query", "TPNN queries", "TP probes"},
+	}
+	tB := Table{
+		Title:   "page accesses vs N (uniform, k=1, 10% LRU)",
+		Columns: []string{"N", "NN query", "TPNN queries"},
+	}
+	for _, n := range cfg.cardinalities() {
+		d := dataset.Uniform(n, cfg.Seed)
+		s := buildServer(d, cfg, true)
+		qs := dataset.QueryPoints(d, cfg.queries(), cfg.Seed+1)
+		agg := runNN(s, qs, 1, nil, costmodel.NNValidityArea)
+		tA.Rows = append(tA.Rows, []string{fmtN(n), fmtF(agg.ResNA), fmtF(agg.InfNA), fmtF(agg.TPQueries)})
+		tB.Rows = append(tB.Rows, []string{fmtN(n), fmtF(agg.ResPA), fmtF(agg.InfPA)})
+	}
+	return []Table{tA, tB}
+}
+
+// Fig28 measures NN query cost against k on the skewed datasets (node
+// accesses, and page accesses under a 10% LRU buffer).
+func Fig28(cfg Config) []Table {
+	var out []Table
+	for _, d := range []*dataset.Dataset{
+		dataset.GRLike(cfg.grN(), cfg.Seed),
+		dataset.NALike(cfg.naN(), cfg.Seed),
+	} {
+		tNA := Table{
+			Title:   "node accesses vs k (" + d.Name + ")",
+			Columns: []string{"k", "NN query", "TP queries", "TP probes"},
+		}
+		tPA := Table{
+			Title:   "page accesses vs k (" + d.Name + ", 10% LRU)",
+			Columns: []string{"k", "NN query", "TP queries"},
+		}
+		s := buildServer(d, cfg, true)
+		qs := dataset.QueryPoints(d, cfg.queries(), cfg.Seed+1)
+		for _, k := range cfg.ks() {
+			agg := runNN(s, qs, k, nil, costmodel.NNValidityArea)
+			tNA.Rows = append(tNA.Rows, []string{fmtN(k), fmtF(agg.ResNA), fmtF(agg.InfNA), fmtF(agg.TPQueries)})
+			tPA.Rows = append(tPA.Rows, []string{fmtN(k), fmtF(agg.ResPA), fmtF(agg.InfPA)})
+		}
+		out = append(out, tNA, tPA)
+	}
+	return out
+}

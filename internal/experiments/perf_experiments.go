@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"sort"
+	"time"
+
+	"lbsq/internal/core"
+	"lbsq/internal/dataset"
+	"lbsq/internal/geom"
+	"lbsq/internal/nn"
+)
+
+// Perf reports wall-clock latency percentiles for each query type at
+// several cardinalities — the engineering-side numbers a deployment
+// would care about, complementing the paper's I/O metrics.
+func Perf(cfg Config) []Table {
+	t := Table{
+		Title:   "server-side query latency (in-memory tree)",
+		Columns: []string{"query", "N", "p50", "p95", "p99"},
+	}
+	ns := []int{10_000, 100_000}
+	if cfg.Full {
+		ns = append(ns, 1_000_000)
+	}
+	for _, n := range ns {
+		d := dataset.Uniform(n, cfg.Seed)
+		s := buildServer(d, cfg, false)
+		qpts := dataset.QueryPoints(d, 300, cfg.Seed+1)
+		side := 0.0316 // 0.1% window
+
+		measure := func(name string, run func(q geom.Point)) {
+			lat := make([]time.Duration, 0, len(qpts))
+			for _, q := range qpts {
+				start := time.Now()
+				run(q)
+				lat = append(lat, time.Since(start))
+			}
+			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+			pct := func(p float64) time.Duration {
+				i := int(p * float64(len(lat)-1))
+				return lat[i]
+			}
+			t.Rows = append(t.Rows, []string{
+				name, fmtN(n),
+				pct(0.50).Round(time.Microsecond).String(),
+				pct(0.95).Round(time.Microsecond).String(),
+				pct(0.99).Round(time.Microsecond).String(),
+			})
+		}
+
+		measure("plain 1-NN", func(q geom.Point) {
+			nn.KNearest(s.Tree, q, 1)
+		})
+		measure("1-NN+validity", func(q geom.Point) {
+			if _, _, err := s.NNQuery(q, 1); err != nil {
+				panic(err)
+			}
+		})
+		measure("window+validity", func(q geom.Point) {
+			s.WindowQuery(geom.RectCenteredAt(q, side, side))
+		})
+		measure("range+validity", func(q geom.Point) {
+			core.RangeQuery(s.Tree, q, 0.005, s.Universe)
+		})
+	}
+	return []Table{t}
+}

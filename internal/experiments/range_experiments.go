@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"lbsq/internal/core"
+	"lbsq/internal/costmodel"
+	"lbsq/internal/dataset"
+	"lbsq/internal/trajectory"
+)
+
+// RangeExtension evaluates the future-work extension (Sec. 7): region
+// queries with arc-bounded validity regions. There is no paper figure
+// to match; the experiment mirrors the structure of Figs. 29/31 —
+// region area (actual vs the isotropic sweeping-region model) and
+// influence-set sizes against the query radius — plus the client
+// savings a proximity application obtains.
+func RangeExtension(cfg Config) []Table {
+	d := dataset.Uniform(cfg.fixedN(), cfg.Seed)
+	s := buildServer(d, cfg, false)
+	qpts := dataset.QueryPoints(d, cfg.queries(), cfg.Seed+1)
+
+	tArea := Table{
+		Title:   "range V(q) area vs radius (uniform, N=100k)",
+		Columns: []string{"radius", "actual", "estimated", "inner", "outer"},
+	}
+	density := float64(len(d.Items)) / d.Universe.Area()
+	for _, r := range []float64{0.005, 0.01, 0.03, 0.1} {
+		var area, inner, outer float64
+		n := 0
+		for _, q := range qpts {
+			rv := core.RangeQuery(s.Tree, q, r, s.Universe)
+			area += rv.AreaEstimate(120)
+			inner += float64(len(rv.InnerInfluence))
+			outer += float64(len(rv.OuterInfluence))
+			n++
+		}
+		f := float64(n)
+		tArea.Rows = append(tArea.Rows, []string{
+			fmtF(r), fmtF(area / f), fmtF(costmodel.RangeValidityArea(density, r)),
+			fmtF(inner / f), fmtF(outer / f),
+		})
+	}
+
+	// Client savings on a trajectory, range vs naive re-query.
+	steps := 1500
+	if cfg.Full {
+		steps = 8000
+	}
+	path := trajectory.RandomWaypoint(d.Universe, 0.0005, steps, cfg.Seed+2)
+	client := core.NewRangeClient(s, 0.005)
+	for _, p := range path {
+		if _, err := client.At(p); err != nil {
+			panic(err)
+		}
+	}
+	tSave := Table{
+		Title:   fmt.Sprintf("proximity client over a %d-step trajectory (radius 0.005, ~8 results)", steps),
+		Columns: []string{"metric", "value"},
+		Rows: [][]string{
+			{"server queries", fmt.Sprintf("%d", client.Stats.ServerQueries)},
+			{"query rate", fmt.Sprintf("%.4f", client.Stats.QueryRate())},
+			{"KB received", fmt.Sprintf("%.1f", float64(client.Stats.BytesReceived)/1024)},
+		},
+	}
+	return []Table{tArea, tSave}
+}

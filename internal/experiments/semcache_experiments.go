@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lbsq/internal/core"
+	"lbsq/internal/dataset"
+	"lbsq/internal/geom"
+	"lbsq/internal/trajectory"
+)
+
+func geomPt(x, y float64) geom.Point { return geom.Pt(x, y) }
+
+// SemanticCache measures the region-cache extension: clients retaining
+// several past validity regions ([ZL01]'s semantic-caching idea applied
+// to the paper's exact regions). Trajectories that revisit areas —
+// city grids, patrol loops — answer re-entries from cache with no
+// server contact at all. Static data assumed, as throughout the paper.
+func SemanticCache(cfg Config) []Table {
+	d := dataset.Uniform(cfg.fixedN(), cfg.Seed)
+	s := buildServer(d, cfg, false)
+	steps := 4000
+	if cfg.Full {
+		steps = 20000
+	}
+	// A Manhattan walk on a coarse street grid revisits streets often.
+	path := trajectory.Manhattan(d.Universe, 0.02, 0.0005, steps, cfg.Seed+4)
+
+	t := Table{
+		Title:   fmt.Sprintf("semantic region cache on a %d-step Manhattan walk (uniform, N=100k, k=1)", steps),
+		Columns: []string{"cached regions", "server queries", "query rate"},
+	}
+	for _, regions := range []int{1, 4, 16, 64} {
+		c := core.NewNNClient(s, 1)
+		c.Regions = regions
+		for _, p := range path {
+			if _, err := c.At(p); err != nil {
+				panic(err)
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", regions),
+			fmt.Sprintf("%d", c.Stats.ServerQueries),
+			fmt.Sprintf("%.4f", c.Stats.QueryRate()),
+		})
+	}
+	// The commuter scenario: the same route traversed repeatedly
+	// (Directed reflects off the boundary, re-tracing one line). With
+	// enough cached regions, every lap after the first is served
+	// entirely from cache.
+	commute := trajectory.Directed(d.Universe, geomPt(0.1, 0.52), geomPt(1, 0), 0.0005, steps)
+	t2 := Table{
+		Title:   fmt.Sprintf("semantic region cache on a %d-step commute (same route, repeated)", steps),
+		Columns: []string{"cached regions", "server queries", "query rate"},
+	}
+	for _, regions := range []int{1, 64, 1024} {
+		c := core.NewNNClient(s, 1)
+		c.Regions = regions
+		for _, p := range commute {
+			if _, err := c.At(p); err != nil {
+				panic(err)
+			}
+		}
+		t2.Rows = append(t2.Rows, []string{
+			fmt.Sprintf("%d", regions),
+			fmt.Sprintf("%d", c.Stats.ServerQueries),
+			fmt.Sprintf("%.4f", c.Stats.QueryRate()),
+		})
+	}
+	return []Table{t, t2}
+}

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"lbsq/internal/costmodel"
+	"lbsq/internal/dataset"
+)
+
+// Fig29 measures the window validity-region area on uniform data:
+// varying N at window size qs = 0.1% of the universe (29a), and varying
+// qs at N = 100k (29b). Expected: the area shrinks with both N and qs;
+// the estimate from the sweeping-region model tracks the measurement.
+func Fig29(cfg Config) []Table {
+	tA := Table{
+		Title:   "window V(q) area vs N (uniform, qs=0.1%)",
+		Columns: []string{"N", "actual", "estimated"},
+	}
+	side := math.Sqrt(0.001)
+	for _, n := range cfg.cardinalities() {
+		d := dataset.Uniform(n, cfg.Seed)
+		s := buildServer(d, cfg, false)
+		qs := dataset.QueryPoints(d, cfg.queries(), cfg.Seed+1)
+		agg := runWindow(s, qs, side, side, nil, costmodel.WindowValidityAreaTruncated)
+		tA.Rows = append(tA.Rows, []string{fmtN(n), fmtF(agg.Area), fmtF(agg.EstArea)})
+	}
+	tB := Table{
+		Title:   "window V(q) area vs qs (uniform, N=100k)",
+		Columns: []string{"qs", "actual", "estimated"},
+	}
+	d := dataset.Uniform(cfg.fixedN(), cfg.Seed)
+	s := buildServer(d, cfg, false)
+	qpts := dataset.QueryPoints(d, cfg.queries(), cfg.Seed+1)
+	for _, frac := range cfg.qsFractions() {
+		sd := math.Sqrt(frac)
+		agg := runWindow(s, qpts, sd, sd, nil, costmodel.WindowValidityAreaTruncated)
+		tB.Rows = append(tB.Rows, []string{fmtPct(frac), fmtF(agg.Area), fmtF(agg.EstArea)})
+	}
+	return []Table{tA, tB}
+}
+
+// Fig30 measures the window validity area on the skewed datasets, with
+// window sizes in km² and areas in m², estimates via the Minskew
+// histogram. Expected: sizes large enough (10³–10⁶ m²) to be practically
+// useful, with accurate estimation despite the skew.
+func Fig30(cfg Config) []Table {
+	var out []Table
+	for _, d := range []*dataset.Dataset{
+		dataset.GRLike(cfg.grN(), cfg.Seed),
+		dataset.NALike(cfg.naN(), cfg.Seed),
+	} {
+		t := Table{
+			Title:   "window V(q) area (m^2) vs qs (" + d.Name + ")",
+			Columns: []string{"qs(km^2)", "actual", "estimated"},
+		}
+		s := buildServer(d, cfg, false)
+		h := buildHistogram(d)
+		qpts := dataset.QueryPoints(d, cfg.queries(), cfg.Seed+1)
+		for _, km2 := range cfg.qsRealKM2() {
+			side := math.Sqrt(km2) * 1000 // km² → m side length
+			agg := runWindow(s, qpts, side, side, h, costmodel.WindowValidityAreaTruncated)
+			t.Rows = append(t.Rows, []string{fmtF(km2), fmtF(agg.Area), fmtF(agg.EstArea)})
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Fig31 measures the window influence-set sizes on uniform data.
+// Expected: ≈2 inner + ≈2 outer influence objects under all settings.
+func Fig31(cfg Config) []Table {
+	side := math.Sqrt(0.001)
+	tA := Table{
+		Title:   "window |Sinf| vs N (uniform, qs=0.1%)",
+		Columns: []string{"N", "inner", "outer"},
+	}
+	for _, n := range cfg.cardinalities() {
+		d := dataset.Uniform(n, cfg.Seed)
+		s := buildServer(d, cfg, false)
+		qs := dataset.QueryPoints(d, cfg.queries(), cfg.Seed+1)
+		agg := runWindow(s, qs, side, side, nil, costmodel.WindowValidityAreaTruncated)
+		tA.Rows = append(tA.Rows, []string{fmtN(n), fmtF(agg.Inner), fmtF(agg.Outer)})
+	}
+	tB := Table{
+		Title:   "window |Sinf| vs qs (uniform, N=100k)",
+		Columns: []string{"qs", "inner", "outer"},
+	}
+	d := dataset.Uniform(cfg.fixedN(), cfg.Seed)
+	s := buildServer(d, cfg, false)
+	qpts := dataset.QueryPoints(d, cfg.queries(), cfg.Seed+1)
+	for _, frac := range cfg.qsFractions() {
+		sd := math.Sqrt(frac)
+		agg := runWindow(s, qpts, sd, sd, nil, costmodel.WindowValidityAreaTruncated)
+		tB.Rows = append(tB.Rows, []string{fmtPct(frac), fmtF(agg.Inner), fmtF(agg.Outer)})
+	}
+	return []Table{tA, tB}
+}
+
+// Fig32 measures the window influence sets on the skewed datasets.
+func Fig32(cfg Config) []Table {
+	var out []Table
+	for _, d := range []*dataset.Dataset{
+		dataset.GRLike(cfg.grN(), cfg.Seed),
+		dataset.NALike(cfg.naN(), cfg.Seed),
+	} {
+		t := Table{
+			Title:   "window |Sinf| vs qs (" + d.Name + ")",
+			Columns: []string{"qs(km^2)", "inner", "outer"},
+		}
+		s := buildServer(d, cfg, false)
+		qpts := dataset.QueryPoints(d, cfg.queries(), cfg.Seed+1)
+		for _, km2 := range cfg.qsRealKM2() {
+			side := math.Sqrt(km2) * 1000
+			agg := runWindow(s, qpts, side, side, nil, costmodel.WindowValidityAreaTruncated)
+			t.Rows = append(t.Rows, []string{fmtF(km2), fmtF(agg.Inner), fmtF(agg.Outer)})
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Fig34 measures the I/O cost of location-based window queries on
+// uniform data, split into the query that retrieves the result and the
+// query for the candidate outer influence objects: node accesses (34a)
+// and page accesses under a 10% LRU buffer (34b). Expected: the second
+// query's page cost nearly vanishes under the buffer because its nodes
+// were just read by the first query.
+func Fig34(cfg Config) []Table {
+	side := math.Sqrt(0.001)
+	tA := Table{
+		Title:   "window node accesses vs N (uniform, qs=0.1%)",
+		Columns: []string{"N", "query for result", "query for inf objs", "model NA2"},
+	}
+	tB := Table{
+		Title:   "window page accesses vs N (uniform, qs=0.1%, 10% LRU)",
+		Columns: []string{"N", "query for result", "query for inf objs"},
+	}
+	for _, n := range cfg.cardinalities() {
+		d := dataset.Uniform(n, cfg.Seed)
+		s := buildServer(d, cfg, true)
+		qs := dataset.QueryPoints(d, cfg.queries(), cfg.Seed+1)
+		agg := runWindow(s, qs, side, side, nil, costmodel.WindowValidityAreaTruncated)
+		modelNA2 := costmodel.LocationWindowSecondQueryNA(
+			s.Tree.Stats(), float64(n)/d.Universe.Area(), side, side, d.Universe.Area())
+		tA.Rows = append(tA.Rows, []string{fmtN(n), fmtF(agg.ResNA), fmtF(agg.InfNA), fmtF(modelNA2)})
+		tB.Rows = append(tB.Rows, []string{fmtN(n), fmtF(agg.ResPA), fmtF(agg.InfPA)})
+	}
+	return []Table{tA, tB}
+}
+
+// Fig35 measures window query page accesses against qs on the skewed
+// datasets (10% LRU buffer). Expected: the influence-object query costs
+// almost nothing except for the largest windows on GR, where the buffer
+// cannot hold the query neighborhood.
+func Fig35(cfg Config) []Table {
+	var out []Table
+	for _, d := range []*dataset.Dataset{
+		dataset.GRLike(cfg.grN(), cfg.Seed),
+		dataset.NALike(cfg.naN(), cfg.Seed),
+	} {
+		t := Table{
+			Title:   "window page accesses vs qs (" + d.Name + ", 10% LRU)",
+			Columns: []string{"qs(km^2)", "query for result", "query for inf objs"},
+		}
+		s := buildServer(d, cfg, true)
+		qpts := dataset.QueryPoints(d, cfg.queries(), cfg.Seed+1)
+		for _, km2 := range cfg.qsRealKM2() {
+			side := math.Sqrt(km2) * 1000
+			agg := runWindow(s, qpts, side, side, nil, costmodel.WindowValidityAreaTruncated)
+			t.Rows = append(t.Rows, []string{fmtF(km2), fmtF(agg.ResPA), fmtF(agg.InfPA)})
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+func fmtPct(frac float64) string {
+	return fmt.Sprintf("%g%%", frac*100)
+}

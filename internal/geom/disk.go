@@ -1,0 +1,180 @@
+package geom
+
+import "math"
+
+// Disk is a closed disk (circle plus interior).
+type Disk struct {
+	C Point
+	R float64
+}
+
+// Contains reports whether p lies in the disk (boundary inclusive).
+func (d Disk) Contains(p Point) bool { return p.Dist2(d.C) <= d.R*d.R+Eps }
+
+// Bounds returns the disk's bounding rectangle.
+func (d Disk) Bounds() Rect {
+	return Rect{d.C.X - d.R, d.C.Y - d.R, d.C.X + d.R, d.C.Y + d.R}
+}
+
+// Project returns the closest point of the disk to p (p itself if
+// inside).
+func (d Disk) Project(p Point) Point {
+	v := p.Sub(d.C)
+	n := v.Norm()
+	if n <= d.R {
+		return p
+	}
+	return d.C.Add(v.Scale(d.R / n))
+}
+
+// DiskIntersection is the intersection of a set of closed disks — the
+// validity region of a location-based range ("within radius r") query
+// before outer points are subtracted. It is convex; its boundary
+// consists of circular arcs. The zero value (no disks) is the whole
+// plane.
+type DiskIntersection struct {
+	Disks []Disk
+}
+
+// Add includes another disk in the intersection.
+func (di *DiskIntersection) Add(d Disk) { di.Disks = append(di.Disks, d) }
+
+// Contains reports whether p lies in every disk.
+func (di *DiskIntersection) Contains(p Point) bool {
+	for _, d := range di.Disks {
+		if !d.Contains(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// Margin returns the smallest slack min_d (d.R − dist(p, d.C)):
+// positive inside (how far p can move in any direction while staying in
+// the intersection), negative outside. With no disks it is +Inf.
+func (di *DiskIntersection) Margin(p Point) float64 {
+	m := math.Inf(1)
+	for _, d := range di.Disks {
+		if s := d.R - p.Dist(d.C); s < m {
+			m = s
+		}
+	}
+	return m
+}
+
+// IsEmpty reports whether the intersection is empty, determined by
+// cyclic projection (Dykstra-style alternating projections converge to
+// a feasible point of an intersection of convex sets when one exists).
+func (di *DiskIntersection) IsEmpty() bool {
+	if len(di.Disks) == 0 {
+		return false
+	}
+	_, ok := di.FeasiblePoint()
+	return !ok
+}
+
+// FeasiblePoint returns some point in the intersection, if nonempty.
+// It starts from the disk-center centroid and cyclically projects onto
+// each disk; for intersections of convex sets this converges to a point
+// of the intersection when one exists.
+func (di *DiskIntersection) FeasiblePoint() (Point, bool) {
+	if len(di.Disks) == 0 {
+		return Point{}, true
+	}
+	var p Point
+	for _, d := range di.Disks {
+		p = p.Add(d.C)
+	}
+	p = p.Scale(1 / float64(len(di.Disks)))
+	const rounds = 200
+	for i := 0; i < rounds; i++ {
+		moved := false
+		for _, d := range di.Disks {
+			q := d.Project(p)
+			if q != p {
+				p, moved = q, true
+			}
+		}
+		if !moved {
+			return p, true
+		}
+	}
+	// Tolerate convergence-limit noise.
+	if di.Margin(p) >= -1e-7*(1+maxRadius(di.Disks)) {
+		return p, true
+	}
+	return Point{}, false
+}
+
+// DistanceFrom returns (approximately, via cyclic projection) the
+// distance from point p to the intersection region: 0 if p is inside,
+// +Inf if the intersection is empty. Used to decide whether an outer
+// point's disk reaches the region.
+func (di *DiskIntersection) DistanceFrom(p Point) float64 {
+	if di.Contains(p) {
+		return 0
+	}
+	if len(di.Disks) == 0 {
+		return 0
+	}
+	// Project p cyclically until stable; the limit is the closest point
+	// for two sets and a good approximation in general (error vanishes
+	// as the iteration proceeds; we run a fixed generous budget).
+	x := p
+	const rounds = 200
+	for i := 0; i < rounds; i++ {
+		moved := false
+		for _, d := range di.Disks {
+			q := d.Project(x)
+			if q.Dist2(x) > 1e-30 {
+				x, moved = q, true
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+	if di.Margin(x) < -1e-6*(1+maxRadius(di.Disks)) {
+		return math.Inf(1) // empty intersection
+	}
+	return p.Dist(x)
+}
+
+func maxRadius(ds []Disk) float64 {
+	m := 0.0
+	for _, d := range ds {
+		if d.R > m {
+			m = d.R
+		}
+	}
+	return m
+}
+
+// AreaGrid estimates, by midpoint quadrature on an n×n grid over the
+// bounding box, the area of {p ∈ di : keep(p)}. keep may be nil (no
+// extra filter). The estimate is used for experiment metrics only; all
+// validity decisions use exact distance tests.
+func (di *DiskIntersection) AreaGrid(n int, keep func(Point) bool) float64 {
+	if len(di.Disks) == 0 || n <= 0 {
+		return math.Inf(1)
+	}
+	bb := di.Disks[0].Bounds()
+	for _, d := range di.Disks[1:] {
+		bb = bb.Intersect(d.Bounds())
+	}
+	if bb.IsEmpty() {
+		return 0
+	}
+	dx, dy := bb.Width()/float64(n), bb.Height()/float64(n)
+	cell := dx * dy
+	area := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			p := Pt(bb.MinX+(float64(i)+0.5)*dx, bb.MinY+(float64(j)+0.5)*dy)
+			if di.Contains(p) && (keep == nil || keep(p)) {
+				area += cell
+			}
+		}
+	}
+	return area
+}

@@ -1,0 +1,171 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestConvexHull(t *testing.T) {
+	// Square plus interior points.
+	pts := []Point{{0, 0}, {1, 0}, {1, 1}, {0, 1}, {0.5, 0.5}, {0.2, 0.8}}
+	hull := ConvexHull(pts)
+	if len(hull) != 4 {
+		t.Fatalf("hull size = %d: %v", len(hull), hull)
+	}
+	// CCW orientation.
+	area := Polygon(hull).Area()
+	if math.Abs(area-1) > Eps {
+		t.Fatalf("hull area = %v", area)
+	}
+	// Collinear points collapse.
+	line := []Point{{0, 0}, {1, 1}, {2, 2}, {3, 3}}
+	if got := ConvexHull(line); len(got) != 2 {
+		t.Fatalf("collinear hull = %v", got)
+	}
+	// Degenerate inputs.
+	if got := ConvexHull(nil); got != nil {
+		t.Fatal("nil hull")
+	}
+	if got := ConvexHull([]Point{{1, 2}}); len(got) != 1 {
+		t.Fatal("single-point hull")
+	}
+	if got := ConvexHull([]Point{{1, 2}, {1, 2}, {1, 2}}); len(got) != 1 {
+		t.Fatal("duplicate-point hull")
+	}
+}
+
+func TestConvexHullProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		n := 3 + rng.Intn(100)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Pt(rng.Float64(), rng.Float64())
+		}
+		hull := ConvexHull(pts)
+		if len(hull) < 3 {
+			continue
+		}
+		pg := Polygon(hull)
+		// Every input point lies inside (or on) the hull.
+		for _, p := range pts {
+			if !pg.Contains(p) {
+				t.Fatalf("trial %d: point %v outside hull", trial, p)
+			}
+		}
+		// Hull is convex: all turns left.
+		for i := range hull {
+			a, b, c := hull[i], hull[(i+1)%len(hull)], hull[(i+2)%len(hull)]
+			if cross3(a, b, c) < -Eps {
+				t.Fatalf("trial %d: right turn at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestDiskBasics(t *testing.T) {
+	d := Disk{C: Pt(1, 1), R: 2}
+	if !d.Contains(Pt(1, 1)) || !d.Contains(Pt(3, 1)) || d.Contains(Pt(3.1, 1)) {
+		t.Fatal("Contains wrong")
+	}
+	if got := d.Bounds(); got != R(-1, -1, 3, 3) {
+		t.Fatalf("Bounds = %v", got)
+	}
+	if got := d.Project(Pt(1, 5)); !got.Eq(Pt(1, 3)) {
+		t.Fatalf("Project outside = %v", got)
+	}
+	if got := d.Project(Pt(1.5, 1)); got != Pt(1.5, 1) {
+		t.Fatalf("Project inside = %v", got)
+	}
+}
+
+func TestDiskIntersectionContains(t *testing.T) {
+	var di DiskIntersection
+	if !di.Contains(Pt(1e9, 1e9)) {
+		t.Fatal("empty intersection set = whole plane")
+	}
+	di.Add(Disk{C: Pt(0, 0), R: 1})
+	di.Add(Disk{C: Pt(1, 0), R: 1})
+	if !di.Contains(Pt(0.5, 0)) {
+		t.Fatal("lens center must be inside")
+	}
+	if di.Contains(Pt(-0.5, 0)) {
+		t.Fatal("point in only one disk")
+	}
+	// Margin: at (0.5, 0) the slack is 1 − 0.5 = 0.5 for both disks.
+	if got := di.Margin(Pt(0.5, 0)); math.Abs(got-0.5) > Eps {
+		t.Fatalf("Margin = %v", got)
+	}
+	if di.Margin(Pt(2, 0)) >= 0 {
+		t.Fatal("outside point must have negative margin")
+	}
+}
+
+func TestDiskIntersectionFeasibility(t *testing.T) {
+	var di DiskIntersection
+	di.Add(Disk{C: Pt(0, 0), R: 1})
+	di.Add(Disk{C: Pt(1.5, 0), R: 1})
+	p, ok := di.FeasiblePoint()
+	if !ok || !di.Contains(p) {
+		t.Fatalf("feasible point %v ok=%v", p, ok)
+	}
+	if di.IsEmpty() {
+		t.Fatal("lens not empty")
+	}
+	// Disjoint disks: empty intersection.
+	var dj DiskIntersection
+	dj.Add(Disk{C: Pt(0, 0), R: 1})
+	dj.Add(Disk{C: Pt(5, 0), R: 1})
+	if !dj.IsEmpty() {
+		t.Fatal("disjoint disks must have empty intersection")
+	}
+	if got := dj.DistanceFrom(Pt(0, 0)); !math.IsInf(got, 1) {
+		t.Fatalf("distance to empty region = %v", got)
+	}
+}
+
+func TestDiskIntersectionDistanceFrom(t *testing.T) {
+	var di DiskIntersection
+	di.Add(Disk{C: Pt(0, 0), R: 1})
+	if got := di.DistanceFrom(Pt(0.5, 0)); got != 0 {
+		t.Fatalf("inside distance = %v", got)
+	}
+	// Distance to a single disk: exact.
+	if got := di.DistanceFrom(Pt(3, 0)); math.Abs(got-2) > 1e-6 {
+		t.Fatalf("single-disk distance = %v", got)
+	}
+	// Two-disk lens: distance from a point on the axis.
+	di.Add(Disk{C: Pt(1, 0), R: 1})
+	got := di.DistanceFrom(Pt(-2, 0))
+	// Closest point of the lens to (−2, 0) is (0, 0): distance 2. The
+	// cyclic projection returns an upper bound.
+	if got < 2-1e-9 || got > 2.2 {
+		t.Fatalf("lens distance = %v, want ≈ 2 (upper bound)", got)
+	}
+}
+
+func TestAreaGrid(t *testing.T) {
+	var di DiskIntersection
+	di.Add(Disk{C: Pt(0, 0), R: 1})
+	got := di.AreaGrid(400, nil)
+	if math.Abs(got-math.Pi)/math.Pi > 0.02 {
+		t.Fatalf("disk area = %v, want π", got)
+	}
+	// Filter: keep only the right half.
+	half := di.AreaGrid(400, func(p Point) bool { return p.X >= 0 })
+	if math.Abs(half-math.Pi/2)/(math.Pi/2) > 0.02 {
+		t.Fatalf("half-disk area = %v", half)
+	}
+	// Lens area of two unit disks at distance 1:
+	// 2·acos(1/2) − (1/2)·√3 ≈ 1.228.
+	di.Add(Disk{C: Pt(1, 0), R: 1})
+	lens := di.AreaGrid(400, nil)
+	want := 2*math.Acos(0.5) - 0.5*math.Sqrt(3)
+	if math.Abs(lens-want)/want > 0.03 {
+		t.Fatalf("lens area = %v, want %v", lens, want)
+	}
+	if got := di.AreaGrid(0, nil); !math.IsInf(got, 1) {
+		t.Fatal("n=0 must be Inf")
+	}
+}

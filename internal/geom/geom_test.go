@@ -1,0 +1,478 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointOps(t *testing.T) {
+	a, b := Pt(1, 2), Pt(4, 6)
+	if got := a.Add(b); got != Pt(5, 8) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := b.Sub(a); got != Pt(3, 4) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Dot(b); got != 16 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := a.Cross(b); got != -2 {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := a.Dist(b); got != 5 {
+		t.Errorf("Dist = %v", got)
+	}
+	if got := a.Dist2(b); got != 25 {
+		t.Errorf("Dist2 = %v", got)
+	}
+	if got := b.Sub(a).Unit().Norm(); math.Abs(got-1) > Eps {
+		t.Errorf("Unit norm = %v", got)
+	}
+	if !Pt(1, 1).Eq(Pt(1+Eps/2, 1-Eps/2)) {
+		t.Error("Eq should tolerate sub-epsilon noise")
+	}
+	if got := a.Lerp(b, 0.5); got != Pt(2.5, 4) {
+		t.Errorf("Lerp = %v", got)
+	}
+	if got := (Point{}).Unit(); got != (Point{}) {
+		t.Errorf("zero Unit = %v", got)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := R(0, 0, 4, 2)
+	if r.Width() != 4 || r.Height() != 2 || r.Area() != 8 || r.Margin() != 6 {
+		t.Errorf("extents wrong: %v", r)
+	}
+	if r.Center() != Pt(2, 1) {
+		t.Errorf("Center = %v", r.Center())
+	}
+	if !r.Contains(Pt(4, 2)) || r.Contains(Pt(4.1, 2)) {
+		t.Error("Contains boundary handling wrong")
+	}
+	if !r.ContainsStrict(Pt(2, 1)) || r.ContainsStrict(Pt(4, 1)) {
+		t.Error("ContainsStrict wrong")
+	}
+	if EmptyRect().Area() != 0 || !EmptyRect().IsEmpty() {
+		t.Error("EmptyRect not empty")
+	}
+	if EmptyRect().Union(r) != r || r.Union(EmptyRect()) != r {
+		t.Error("Union with empty")
+	}
+	if got := RectCenteredAt(Pt(1, 1), 2, 4); got != R(0, -1, 2, 3) {
+		t.Errorf("RectCenteredAt = %v", got)
+	}
+	if got := RectFromPoints(Pt(1, 5), Pt(-2, 3), Pt(0, 7)); got != R(-2, 3, 1, 7) {
+		t.Errorf("RectFromPoints = %v", got)
+	}
+}
+
+func TestRectIntersection(t *testing.T) {
+	a, b := R(0, 0, 2, 2), R(1, 1, 3, 3)
+	if !a.Intersects(b) {
+		t.Error("should intersect")
+	}
+	if got := a.Intersect(b); got != R(1, 1, 2, 2) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Overlap(b); got != 1 {
+		t.Errorf("Overlap = %v", got)
+	}
+	c := R(5, 5, 6, 6)
+	if a.Intersects(c) || !a.Intersect(c).IsEmpty() {
+		t.Error("disjoint rects must not intersect")
+	}
+	// Touching rects intersect (boundary inclusive).
+	d := R(2, 0, 4, 2)
+	if !a.Intersects(d) {
+		t.Error("touching rects should intersect")
+	}
+	if got := a.Enlargement(b); got != 9-4 {
+		t.Errorf("Enlargement = %v", got)
+	}
+	if !R(0, 0, 10, 10).ContainsRect(a) || a.ContainsRect(b) {
+		t.Error("ContainsRect wrong")
+	}
+}
+
+func TestRectMinMaxDist(t *testing.T) {
+	r := R(2, 2, 4, 4)
+	cases := []struct {
+		p    Point
+		want float64
+	}{
+		{Pt(3, 3), 0},            // inside
+		{Pt(0, 3), 2},            // left
+		{Pt(3, 7), 3},            // above
+		{Pt(0, 0), math.Sqrt(8)}, // corner
+		{Pt(5, 5), math.Sqrt(2)}, // opposite corner
+		{Pt(4, 4), 0},            // on boundary
+		{Pt(6, 2), 2},            // right edge level
+	}
+	for _, c := range cases {
+		if got := r.MinDist(c.p); math.Abs(got-c.want) > Eps {
+			t.Errorf("MinDist(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := r.MaxDist(Pt(0, 0)); math.Abs(got-math.Sqrt(32)) > Eps {
+		t.Errorf("MaxDist = %v", got)
+	}
+	if got := r.MaxDist(Pt(3, 3)); math.Abs(got-math.Sqrt(2)) > Eps {
+		t.Errorf("MaxDist center = %v", got)
+	}
+}
+
+func TestBisector(t *testing.T) {
+	keep, drop := Pt(0, 0), Pt(4, 0)
+	h := Bisector(keep, drop)
+	if !h.Contains(keep) {
+		t.Error("bisector must contain keep")
+	}
+	if h.Contains(drop) {
+		t.Error("bisector must exclude drop")
+	}
+	// Midpoint is on the boundary.
+	if got := h.Eval(Pt(2, 0)); math.Abs(got) > Eps {
+		t.Errorf("midpoint Eval = %v", got)
+	}
+	if !Bisector(Pt(1, 1), Pt(1, 1)).Degenerate() {
+		t.Error("coincident points must yield degenerate half-plane")
+	}
+}
+
+// Property: for random keep/drop/test points, Bisector membership matches
+// the distance comparison.
+func TestBisectorQuick(t *testing.T) {
+	f := func(kx, ky, dx, dy, px, py float64) bool {
+		keep, drop, p := Pt(frac(kx), frac(ky)), Pt(frac(dx), frac(dy)), Pt(frac(px), frac(py))
+		if keep.Eq(drop) {
+			return true
+		}
+		h := Bisector(keep, drop)
+		dk, dd := p.Dist2(keep), p.Dist2(drop)
+		if math.Abs(dk-dd) < 1e-6 {
+			return true // too close to the boundary to judge
+		}
+		return h.ContainsStrict(p) == (dk < dd)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// frac maps an arbitrary float into [0,1) deterministically.
+func frac(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0.5
+	}
+	_, f := math.Modf(math.Abs(x))
+	return f
+}
+
+func TestPolygonBasics(t *testing.T) {
+	sq := R(0, 0, 2, 2).Polygon()
+	if got := sq.Area(); got != 4 {
+		t.Errorf("Area = %v", got)
+	}
+	if got := sq.Perimeter(); got != 8 {
+		t.Errorf("Perimeter = %v", got)
+	}
+	if got := sq.Centroid(); !got.Eq(Pt(1, 1)) {
+		t.Errorf("Centroid = %v", got)
+	}
+	if !sq.Contains(Pt(1, 1)) || !sq.Contains(Pt(0, 0)) || sq.Contains(Pt(3, 1)) {
+		t.Error("Contains wrong")
+	}
+	if !sq.ContainsStrict(Pt(1, 1)) || sq.ContainsStrict(Pt(0, 1)) {
+		t.Error("ContainsStrict wrong")
+	}
+	if got := sq.Bounds(); got != R(0, 0, 2, 2) {
+		t.Errorf("Bounds = %v", got)
+	}
+	if got := sq.DistToBoundary(Pt(1, 1)); math.Abs(got-1) > Eps {
+		t.Errorf("DistToBoundary = %v", got)
+	}
+	if (Polygon{}).Area() != 0 || !(Polygon{}).IsEmpty() {
+		t.Error("empty polygon")
+	}
+}
+
+func TestPolygonClipHalfPlane(t *testing.T) {
+	sq := R(0, 0, 2, 2).Polygon()
+	// Keep x ≤ 1.
+	half := sq.ClipHalfPlane(HalfPlane{A: 1, B: 0, C: 1})
+	if got := half.Area(); math.Abs(got-2) > Eps {
+		t.Errorf("half area = %v", got)
+	}
+	// Clip away everything.
+	gone := sq.ClipHalfPlane(HalfPlane{A: 1, B: 0, C: -1})
+	if !gone.IsEmpty() {
+		t.Errorf("expected empty, got %v", gone)
+	}
+	// Clip that leaves polygon unchanged.
+	same := sq.ClipHalfPlane(HalfPlane{A: 1, B: 0, C: 10})
+	if math.Abs(same.Area()-4) > Eps {
+		t.Errorf("unchanged clip area = %v", same.Area())
+	}
+	// Diagonal clip: keep x+y ≤ 2 → triangle of area 2.
+	tri := sq.ClipHalfPlane(HalfPlane{A: 1, B: 1, C: 2})
+	if got := tri.Area(); math.Abs(got-2) > Eps {
+		t.Errorf("triangle area = %v", got)
+	}
+	// Degenerate half-plane is a no-op.
+	if got := sq.ClipHalfPlane(HalfPlane{}); got.Area() != 4 {
+		t.Error("degenerate clip must be a no-op")
+	}
+}
+
+func TestPolygonClipRect(t *testing.T) {
+	sq := R(0, 0, 4, 4).Polygon()
+	got := sq.ClipRect(R(1, 1, 3, 5))
+	if math.Abs(got.Area()-6) > Eps {
+		t.Errorf("ClipRect area = %v", got.Area())
+	}
+}
+
+// Property: clipping by a random half-plane never increases area, and the
+// clipped polygon is contained in the original.
+func TestPolygonClipMonotoneQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sq := R(0, 0, 1, 1).Polygon()
+	for i := 0; i < 500; i++ {
+		pg := sq
+		for j := 0; j < 5; j++ {
+			keep := Pt(rng.Float64(), rng.Float64())
+			drop := Pt(rng.Float64(), rng.Float64())
+			next := pg.ClipHalfPlane(Bisector(keep, drop))
+			if next.Area() > pg.Area()+Eps {
+				t.Fatalf("clip increased area: %v -> %v", pg.Area(), next.Area())
+			}
+			c := next.Centroid()
+			if !next.IsEmpty() && !pg.Contains(c) {
+				t.Fatalf("clipped centroid %v escaped original polygon", c)
+			}
+			pg = next
+		}
+	}
+}
+
+// Property: intersection of bisector half-planes contains exactly the
+// points closer to keep than to every drop (sampled).
+func TestHalfPlaneIntersectionSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		keep := Pt(rng.Float64(), rng.Float64())
+		drops := make([]Point, 4)
+		pg := R(0, 0, 1, 1).Polygon()
+		for i := range drops {
+			drops[i] = Pt(rng.Float64(), rng.Float64())
+			pg = pg.ClipHalfPlane(Bisector(keep, drops[i]))
+		}
+		for s := 0; s < 50; s++ {
+			p := Pt(rng.Float64(), rng.Float64())
+			closer := true
+			margin := math.Inf(1)
+			for _, d := range drops {
+				diff := p.Dist2(d) - p.Dist2(keep)
+				if diff < margin {
+					margin = diff
+				}
+				if diff < 0 {
+					closer = false
+				}
+			}
+			if math.Abs(margin) < 1e-6 {
+				continue // boundary case
+			}
+			if got := pg.Contains(p); got != closer {
+				t.Fatalf("Contains(%v) = %v, want %v (keep %v)", p, got, closer, keep)
+			}
+		}
+	}
+}
+
+func TestRectRegionAreaAndContains(t *testing.T) {
+	rr := NewRectRegion(R(0, 0, 10, 10))
+	if got := rr.Area(); got != 100 {
+		t.Errorf("base area = %v", got)
+	}
+	if !rr.Subtract(R(8, 8, 12, 12)) {
+		t.Error("overlapping subtract must report true")
+	}
+	if rr.Subtract(R(20, 20, 30, 30)) {
+		t.Error("disjoint subtract must report false")
+	}
+	if got := rr.Area(); math.Abs(got-96) > Eps {
+		t.Errorf("area after corner hole = %v", got)
+	}
+	rr.Subtract(R(-1, 4, 1, 6)) // edge hole: clipped to [0,1]x[4,6], area 2
+	if got := rr.Area(); math.Abs(got-94) > Eps {
+		t.Errorf("area after edge hole = %v", got)
+	}
+	// Overlapping holes must not be double-counted.
+	rr2 := NewRectRegion(R(0, 0, 10, 10))
+	rr2.Subtract(R(0, 0, 5, 5))
+	rr2.Subtract(R(2, 2, 6, 6))
+	want := 100.0 - (25 + 16 - 9)
+	if got := rr2.Area(); math.Abs(got-want) > Eps {
+		t.Errorf("overlapping holes area = %v, want %v", got, want)
+	}
+	if rr.Contains(Pt(9, 9)) {
+		t.Error("point in hole must be outside region")
+	}
+	if !rr.Contains(Pt(5, 5)) {
+		t.Error("interior point must be inside region")
+	}
+	if rr.Contains(Pt(11, 5)) {
+		t.Error("point outside base must be outside region")
+	}
+	// Hole boundary remains valid (exclusive holes).
+	if !rr.Contains(Pt(8, 5)) {
+		t.Error("hole boundary should still be in the region")
+	}
+}
+
+func TestConservativeRect(t *testing.T) {
+	rr := NewRectRegion(R(0, 0, 10, 10))
+	focus := Pt(2, 2)
+	// No holes: conservative = base.
+	if got := rr.ConservativeRect(focus); got != R(0, 0, 10, 10) {
+		t.Errorf("no-hole conservative = %v", got)
+	}
+	// A corner hole far from the focus cuts one side.
+	rr.Subtract(R(8, 8, 10, 10))
+	got := rr.ConservativeRect(focus)
+	if got.IsEmpty() || !got.Contains(focus) {
+		t.Fatalf("conservative rect %v must contain focus", got)
+	}
+	// It must avoid the hole interior.
+	if got.Intersect(R(8, 8, 10, 10)).Area() > Eps {
+		t.Errorf("conservative rect %v overlaps hole", got)
+	}
+	// Expect the larger cut to be kept (area 80).
+	if math.Abs(got.Area()-80) > Eps {
+		t.Errorf("conservative area = %v, want 80", got.Area())
+	}
+	// Focus outside region → empty.
+	if got := rr.ConservativeRect(Pt(9, 9)); !got.IsEmpty() {
+		t.Errorf("focus in hole should give empty, got %v", got)
+	}
+}
+
+// Property: the conservative rectangle is always inside the exact region.
+func TestConservativeRectInsideRegionQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 300; trial++ {
+		rr := NewRectRegion(R(0, 0, 1, 1))
+		focus := Pt(rng.Float64(), rng.Float64())
+		for i := 0; i < 4; i++ {
+			c := Pt(rng.Float64()*1.2-0.1, rng.Float64()*1.2-0.1)
+			h := RectCenteredAt(c, 0.2+rng.Float64()*0.3, 0.2+rng.Float64()*0.3)
+			if h.Contains(focus) {
+				continue // window-query holes never contain the focus
+			}
+			rr.Subtract(h)
+		}
+		cons := rr.ConservativeRect(focus)
+		if cons.IsEmpty() {
+			continue
+		}
+		// Sample points of cons; all must be in the region.
+		for s := 0; s < 30; s++ {
+			p := Pt(cons.MinX+rng.Float64()*cons.Width(), cons.MinY+rng.Float64()*cons.Height())
+			// Skip points within Eps of a hole boundary.
+			if !rr.Contains(p) {
+				onBoundary := false
+				for _, hl := range rr.Holes {
+					if math.Abs(hl.MinX-p.X) < 1e-9 || math.Abs(hl.MaxX-p.X) < 1e-9 ||
+						math.Abs(hl.MinY-p.Y) < 1e-9 || math.Abs(hl.MaxY-p.Y) < 1e-9 {
+						onBoundary = true
+					}
+				}
+				if !onBoundary {
+					t.Fatalf("trial %d: point %v of conservative rect %v outside region", trial, p, cons)
+				}
+			}
+		}
+	}
+}
+
+func TestDistPointSegment(t *testing.T) {
+	if got := distPointSegment(Pt(0, 1), Pt(-1, 0), Pt(1, 0)); math.Abs(got-1) > Eps {
+		t.Errorf("perpendicular = %v", got)
+	}
+	if got := distPointSegment(Pt(3, 0), Pt(-1, 0), Pt(1, 0)); math.Abs(got-2) > Eps {
+		t.Errorf("beyond end = %v", got)
+	}
+	if got := distPointSegment(Pt(1, 1), Pt(2, 2), Pt(2, 2)); math.Abs(got-math.Sqrt2) > Eps {
+		t.Errorf("degenerate segment = %v", got)
+	}
+}
+
+func TestIntersectConvex(t *testing.T) {
+	a := R(0, 0, 2, 2).Polygon()
+	b := R(1, 1, 3, 3).Polygon()
+	got := a.IntersectConvex(b)
+	if math.Abs(got.Area()-1) > Eps {
+		t.Fatalf("overlap area = %v, want 1", got.Area())
+	}
+	// Contained polygon: intersection is the smaller one.
+	c := R(0.5, 0.5, 1.5, 1.5).Polygon()
+	if got := a.IntersectConvex(c); math.Abs(got.Area()-1) > Eps {
+		t.Fatalf("contained area = %v", got.Area())
+	}
+	// Disjoint: empty.
+	d := R(5, 5, 6, 6).Polygon()
+	if got := a.IntersectConvex(d); !got.IsEmpty() {
+		t.Fatalf("disjoint intersection = %v", got)
+	}
+	// Degenerate input.
+	if got := a.IntersectConvex(Polygon{}); !got.IsEmpty() {
+		t.Fatal("empty other must give empty")
+	}
+	// Triangle vs square.
+	tri := Polygon{Pt(0, 0), Pt(4, 0), Pt(0, 4)}
+	sq := R(0, 0, 2, 2).Polygon()
+	got = tri.IntersectConvex(sq)
+	// Intersection: square corner cut by x+y=4 — here the full square
+	// fits under the hypotenuse, area 4... x+y ≤ 4 cuts at (2,2): the
+	// square's far corner (2,2) satisfies x+y=4 exactly → area 4.
+	if math.Abs(got.Area()-4) > 1e-9 {
+		t.Fatalf("triangle∩square area = %v", got.Area())
+	}
+}
+
+func TestIntersectConvexCommutes(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		mk := func() Polygon {
+			c := Pt(rng.Float64(), rng.Float64())
+			pg := RectCenteredAt(c, 0.2+rng.Float64()*0.5, 0.2+rng.Float64()*0.5).Polygon()
+			// Random convex refinement by a few bisector clips.
+			for i := 0; i < 3; i++ {
+				keep := Pt(rng.Float64(), rng.Float64())
+				drop := Pt(rng.Float64(), rng.Float64())
+				pg = pg.ClipHalfPlane(Bisector(keep, drop))
+			}
+			return pg
+		}
+		a, b := mk(), mk()
+		ab := a.IntersectConvex(b)
+		ba := b.IntersectConvex(a)
+		if math.Abs(ab.Area()-ba.Area()) > 1e-9 {
+			t.Fatalf("trial %d: A∩B area %v != B∩A area %v", trial, ab.Area(), ba.Area())
+		}
+		// The intersection is inside both (sampled).
+		if !ab.IsEmpty() {
+			cen := ab.Centroid()
+			if !a.Contains(cen) || !b.Contains(cen) {
+				t.Fatalf("trial %d: centroid escapes an operand", trial)
+			}
+			if ab.Area() > a.Area()+Eps || ab.Area() > b.Area()+Eps {
+				t.Fatalf("trial %d: intersection bigger than an operand", trial)
+			}
+		}
+	}
+}

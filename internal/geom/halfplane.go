@@ -1,0 +1,58 @@
+package geom
+
+import "fmt"
+
+// HalfPlane is the set of points p with A·p.X + B·p.Y ≤ C.
+type HalfPlane struct {
+	A, B, C float64
+}
+
+// Bisector returns the half-plane of points at least as close to keep as
+// to drop: the perpendicular-bisector half-plane containing keep.
+//
+// dist(p, keep) ≤ dist(p, drop)
+//
+//	⇔ 2(drop−keep)·p ≤ |drop|² − |keep|².
+//
+// If keep and drop coincide the half-plane degenerates to the whole plane
+// (A = B = 0, C = 0), which Contains reports as containing everything;
+// callers should treat coincident points specially when that matters.
+func Bisector(keep, drop Point) HalfPlane {
+	return HalfPlane{
+		A: 2 * (drop.X - keep.X),
+		B: 2 * (drop.Y - keep.Y),
+		C: drop.Norm2() - keep.Norm2(),
+	}
+}
+
+// Eval returns A·p.X + B·p.Y − C: negative inside, zero on the boundary,
+// positive outside.
+func (h HalfPlane) Eval(p Point) float64 { return h.A*p.X + h.B*p.Y - h.C }
+
+// Contains reports whether p satisfies the half-plane inequality
+// (boundary inclusive, within Eps scaled by the normal magnitude).
+func (h HalfPlane) Contains(p Point) bool {
+	scale := 1 + abs(h.A) + abs(h.B)
+	return h.Eval(p) <= Eps*scale
+}
+
+// ContainsStrict reports whether p is strictly inside the half-plane.
+func (h HalfPlane) ContainsStrict(p Point) bool {
+	scale := 1 + abs(h.A) + abs(h.B)
+	return h.Eval(p) < -Eps*scale
+}
+
+// Degenerate reports whether the half-plane has a zero normal vector.
+func (h HalfPlane) Degenerate() bool { return h.A == 0 && h.B == 0 }
+
+// String implements fmt.Stringer.
+func (h HalfPlane) String() string {
+	return fmt.Sprintf("%.6g*x + %.6g*y <= %.6g", h.A, h.B, h.C)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

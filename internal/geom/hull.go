@@ -1,0 +1,54 @@
+package geom
+
+import "sort"
+
+// ConvexHull returns the convex hull of the points in counter-clockwise
+// order (Andrew's monotone chain). Collinear points on the hull boundary
+// are dropped; fewer than three distinct points yield the distinct
+// points themselves (possibly a segment or single point).
+func ConvexHull(pts []Point) []Point {
+	if len(pts) == 0 {
+		return nil
+	}
+	ps := append([]Point(nil), pts...)
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].X != ps[j].X {
+			return ps[i].X < ps[j].X
+		}
+		return ps[i].Y < ps[j].Y
+	})
+	// Dedupe.
+	uniq := ps[:1]
+	for _, p := range ps[1:] {
+		if p != uniq[len(uniq)-1] {
+			uniq = append(uniq, p)
+		}
+	}
+	ps = uniq
+	if len(ps) <= 2 {
+		return ps
+	}
+
+	var lower, upper []Point
+	for _, p := range ps {
+		for len(lower) >= 2 && cross3(lower[len(lower)-2], lower[len(lower)-1], p) <= 0 {
+			lower = lower[:len(lower)-1]
+		}
+		lower = append(lower, p)
+	}
+	for i := len(ps) - 1; i >= 0; i-- {
+		p := ps[i]
+		for len(upper) >= 2 && cross3(upper[len(upper)-2], upper[len(upper)-1], p) <= 0 {
+			upper = upper[:len(upper)-1]
+		}
+		upper = append(upper, p)
+	}
+	hull := append(lower[:len(lower)-1], upper[:len(upper)-1]...)
+	return hull
+}
+
+// cross3 returns the cross product (b−a)×(c−a): positive for a left
+// turn.
+func cross3(a, b, c Point) float64 {
+	return (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+}

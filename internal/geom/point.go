@@ -1,0 +1,78 @@
+// Package geom provides the 2-D computational-geometry substrate used by
+// the location-based query processor: points, rectangles, perpendicular
+// bisectors, half-plane intersection over convex polygons, and rectilinear
+// regions for window-query validity computation.
+//
+// All coordinates are float64. Robustness against floating-point noise is
+// handled with a small absolute epsilon (Eps); the library targets data
+// universes of roughly unit to 10^7 scale, matching the paper's datasets.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Eps is the absolute tolerance used for coordinate and area comparisons.
+const Eps = 1e-9
+
+// Point is a location in the plane.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return Point{x, y} }
+
+// Add returns p + d.
+func (p Point) Add(d Point) Point { return Point{p.X + d.X, p.Y + d.Y} }
+
+// Sub returns p − d.
+func (p Point) Sub(d Point) Point { return Point{p.X - d.X, p.Y - d.Y} }
+
+// Scale returns p scaled by s.
+func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s} }
+
+// Dot returns the dot product p · d.
+func (p Point) Dot(d Point) float64 { return p.X*d.X + p.Y*d.Y }
+
+// Cross returns the 2-D cross product (z-component) p × d.
+func (p Point) Cross(d Point) float64 { return p.X*d.Y - p.Y*d.X }
+
+// Norm returns the Euclidean length of p viewed as a vector.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Norm2 returns the squared Euclidean length of p viewed as a vector.
+func (p Point) Norm2() float64 { return p.X*p.X + p.Y*p.Y }
+
+// Dist returns the Euclidean distance between p and d.
+func (p Point) Dist(d Point) float64 { return math.Hypot(p.X-d.X, p.Y-d.Y) }
+
+// Dist2 returns the squared Euclidean distance between p and d.
+func (p Point) Dist2(d Point) float64 {
+	dx, dy := p.X-d.X, p.Y-d.Y
+	return dx*dx + dy*dy
+}
+
+// Unit returns p normalized to unit length. The zero vector is returned
+// unchanged.
+func (p Point) Unit() Point {
+	n := p.Norm()
+	if n == 0 {
+		return p
+	}
+	return Point{p.X / n, p.Y / n}
+}
+
+// Eq reports whether p and d coincide within Eps in both coordinates.
+func (p Point) Eq(d Point) bool {
+	return math.Abs(p.X-d.X) <= Eps && math.Abs(p.Y-d.Y) <= Eps
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.6g, %.6g)", p.X, p.Y) }
+
+// Lerp returns the point p + t·(d−p).
+func (p Point) Lerp(d Point, t float64) Point {
+	return Point{p.X + t*(d.X-p.X), p.Y + t*(d.Y-p.Y)}
+}

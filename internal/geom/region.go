@@ -1,0 +1,149 @@
+package geom
+
+import "sort"
+
+// RectRegion is a rectilinear region of the form
+//
+//	base − (f₁ ∪ f₂ ∪ … ∪ fₙ)
+//
+// used for the exact validity region of a location-based window query
+// (paper Sec. 4): base is the inner validity rectangle (intersection of
+// the per-result-point rectangles) and each fᵢ is the Minkowski rectangle
+// of a candidate outer point, inside which that point would enter the
+// window.
+type RectRegion struct {
+	Base Rect
+	// Holes are the subtracted rectangles, stored already clipped to Base.
+	// Entries with empty intersection are dropped on Subtract.
+	Holes []Rect
+}
+
+// NewRectRegion returns the region consisting of base with no holes.
+func NewRectRegion(base Rect) *RectRegion {
+	return &RectRegion{Base: base}
+}
+
+// Subtract removes rectangle f from the region. It returns true if f
+// actually overlaps the base rectangle (i.e. f influences the region).
+func (rr *RectRegion) Subtract(f Rect) bool {
+	clipped := f.Intersect(rr.Base)
+	if clipped.IsEmpty() || clipped.Area() <= Eps*Eps {
+		return false
+	}
+	rr.Holes = append(rr.Holes, clipped)
+	return true
+}
+
+// Contains reports whether p belongs to the region. The base boundary is
+// inclusive and hole boundaries are exclusive (a point on a hole edge is
+// still valid: the outer object only enters the window strictly inside).
+func (rr *RectRegion) Contains(p Point) bool {
+	if !rr.Base.Contains(p) {
+		return false
+	}
+	for _, h := range rr.Holes {
+		if h.ContainsStrict(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// Area returns the exact area of the region, computed by coordinate
+// compression over the hole boundaries (exact for the small hole counts
+// that arise in practice — the paper reports ~2 outer influence objects).
+func (rr *RectRegion) Area() float64 {
+	if rr.Base.IsEmpty() {
+		return 0
+	}
+	if len(rr.Holes) == 0 {
+		return rr.Base.Area()
+	}
+	xs := []float64{rr.Base.MinX, rr.Base.MaxX}
+	ys := []float64{rr.Base.MinY, rr.Base.MaxY}
+	for _, h := range rr.Holes {
+		xs = append(xs, h.MinX, h.MaxX)
+		ys = append(ys, h.MinY, h.MaxY)
+	}
+	xs = dedupSorted(xs)
+	ys = dedupSorted(ys)
+	area := 0.0
+	for i := 0; i+1 < len(xs); i++ {
+		for j := 0; j+1 < len(ys); j++ {
+			cx, cy := (xs[i]+xs[i+1])/2, (ys[j]+ys[j+1])/2
+			cell := Point{cx, cy}
+			if !rr.Base.Contains(cell) {
+				continue
+			}
+			covered := false
+			for _, h := range rr.Holes {
+				if h.Contains(cell) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				area += (xs[i+1] - xs[i]) * (ys[j+1] - ys[j])
+			}
+		}
+	}
+	return area
+}
+
+// ConservativeRect returns an axis-aligned rectangle contained in the
+// region and containing focus, following the paper's conservative
+// validity region (Fig. 19): each hole is eliminated by cutting the
+// current rectangle along one hole edge, choosing the cut that keeps the
+// focus and preserves the largest area. If focus is not in the region the
+// empty rectangle is returned.
+func (rr *RectRegion) ConservativeRect(focus Point) Rect {
+	if !rr.Contains(focus) {
+		return EmptyRect()
+	}
+	cur := rr.Base
+	// Process larger intrusions first: cutting away big holes early tends
+	// to make later holes fall outside the running rectangle entirely.
+	holes := append([]Rect(nil), rr.Holes...)
+	sort.Slice(holes, func(i, j int) bool { return holes[i].Area() > holes[j].Area() })
+	for _, h := range holes {
+		ov := h.Intersect(cur)
+		if ov.IsEmpty() || ov.Area() <= Eps*Eps {
+			continue
+		}
+		best := EmptyRect()
+		// Four candidate cuts; keep only those still containing the focus.
+		cands := []Rect{
+			{cur.MinX, cur.MinY, ov.MinX, cur.MaxY}, // keep left of hole
+			{ov.MaxX, cur.MinY, cur.MaxX, cur.MaxY}, // keep right of hole
+			{cur.MinX, cur.MinY, cur.MaxX, ov.MinY}, // keep below hole
+			{cur.MinX, ov.MaxY, cur.MaxX, cur.MaxY}, // keep above hole
+		}
+		for _, c := range cands {
+			if c.IsEmpty() || !c.Contains(focus) {
+				continue
+			}
+			if best.IsEmpty() || c.Area() > best.Area() {
+				best = c
+			}
+		}
+		if best.IsEmpty() {
+			// The focus sits on the hole boundary; the conservative
+			// region collapses to the focus itself.
+			return Rect{focus.X, focus.Y, focus.X, focus.Y}
+		}
+		cur = best
+	}
+	return cur
+}
+
+// dedupSorted sorts xs and removes values closer than Eps.
+func dedupSorted(xs []float64) []float64 {
+	sort.Float64s(xs)
+	out := xs[:0]
+	for _, x := range xs {
+		if len(out) == 0 || x-out[len(out)-1] > Eps {
+			out = append(out, x)
+		}
+	}
+	return out
+}

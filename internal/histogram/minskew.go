@@ -1,0 +1,258 @@
+// Package histogram implements the Minskew spatial histogram [APR99]
+// used by the paper's analytical models on non-uniform data (Sec. 5):
+// the space is partitioned into rectangular buckets of near-uniform
+// density by greedily splitting the bucket whose split yields the
+// largest reduction in spatial skew (the variance of grid-cell counts
+// within the bucket). The experiments use 500 buckets built from 10,000
+// initial grid cells.
+package histogram
+
+import (
+	"fmt"
+	"sort"
+
+	"lbsq/internal/geom"
+)
+
+// Bucket is one rectangular histogram bucket.
+type Bucket struct {
+	Rect geom.Rect
+	// N is the number of data points inside the bucket.
+	N float64
+	// cells in grid coordinates, half-open: [i0,i1) × [j0,j1).
+	i0, j0, i1, j1 int
+}
+
+// Area returns the bucket's spatial area.
+func (b Bucket) Area() float64 { return b.Rect.Area() }
+
+// Density returns points per unit area (0 for an empty bucket).
+func (b Bucket) Density() float64 {
+	a := b.Area()
+	if a <= 0 {
+		return 0
+	}
+	return b.N / a
+}
+
+// Histogram is a built Minskew histogram.
+type Histogram struct {
+	Universe geom.Rect
+	Buckets  []Bucket
+
+	nx, ny       int
+	cellW, cellH float64
+}
+
+// Build constructs a Minskew histogram over the points with an initial
+// nx×ny grid and the given target bucket count.
+func Build(points []geom.Point, universe geom.Rect, nx, ny, buckets int) (*Histogram, error) {
+	if nx <= 0 || ny <= 0 || buckets <= 0 {
+		return nil, fmt.Errorf("histogram: non-positive dimensions")
+	}
+	if universe.IsEmpty() || universe.Area() == 0 {
+		return nil, fmt.Errorf("histogram: empty universe")
+	}
+	h := &Histogram{
+		Universe: universe,
+		nx:       nx, ny: ny,
+		cellW: universe.Width() / float64(nx),
+		cellH: universe.Height() / float64(ny),
+	}
+
+	// Grid counts and prefix sums of count and count² for O(1) range
+	// skew evaluation. cum has an extra zero row/column.
+	counts := make([][]float64, nx)
+	for i := range counts {
+		counts[i] = make([]float64, ny)
+	}
+	for _, p := range points {
+		i := int((p.X - universe.MinX) / h.cellW)
+		j := int((p.Y - universe.MinY) / h.cellH)
+		if i < 0 {
+			i = 0
+		} else if i >= nx {
+			i = nx - 1
+		}
+		if j < 0 {
+			j = 0
+		} else if j >= ny {
+			j = ny - 1
+		}
+		counts[i][j]++
+	}
+	cum := newSAT(counts, func(v float64) float64 { return v })
+	cum2 := newSAT(counts, func(v float64) float64 { return v * v })
+
+	type work struct {
+		b          Bucket
+		bestAxis   int // 0 = x, 1 = y, -1 = unsplittable
+		bestAt     int
+		bestReduce float64
+	}
+	mk := func(i0, j0, i1, j1 int) work {
+		w := work{b: h.bucketAt(i0, j0, i1, j1, cum), bestAxis: -1}
+		base := skew(cum, cum2, i0, j0, i1, j1)
+		for s := i0 + 1; s < i1; s++ {
+			r := base - skew(cum, cum2, i0, j0, s, j1) - skew(cum, cum2, s, j0, i1, j1)
+			if r > w.bestReduce {
+				w.bestReduce, w.bestAxis, w.bestAt = r, 0, s
+			}
+		}
+		for s := j0 + 1; s < j1; s++ {
+			r := base - skew(cum, cum2, i0, j0, i1, s) - skew(cum, cum2, i0, s, i1, j1)
+			if r > w.bestReduce {
+				w.bestReduce, w.bestAxis, w.bestAt = r, 1, s
+			}
+		}
+		return w
+	}
+
+	works := []work{mk(0, 0, nx, ny)}
+	for len(works) < buckets {
+		best, bestR := -1, 0.0
+		for i, w := range works {
+			if w.bestAxis >= 0 && w.bestReduce > bestR {
+				best, bestR = i, w.bestReduce
+			}
+		}
+		if best < 0 {
+			break // perfectly uniform within all buckets
+		}
+		w := works[best]
+		var l, r work
+		if w.bestAxis == 0 {
+			l = mk(w.b.i0, w.b.j0, w.bestAt, w.b.j1)
+			r = mk(w.bestAt, w.b.j0, w.b.i1, w.b.j1)
+		} else {
+			l = mk(w.b.i0, w.b.j0, w.b.i1, w.bestAt)
+			r = mk(w.b.i0, w.bestAt, w.b.i1, w.b.j1)
+		}
+		works[best] = l
+		works = append(works, r)
+	}
+	h.Buckets = make([]Bucket, len(works))
+	for i, w := range works {
+		h.Buckets[i] = w.b
+	}
+	return h, nil
+}
+
+func (h *Histogram) bucketAt(i0, j0, i1, j1 int, cum [][]float64) Bucket {
+	return Bucket{
+		Rect: geom.R(
+			h.Universe.MinX+float64(i0)*h.cellW, h.Universe.MinY+float64(j0)*h.cellH,
+			h.Universe.MinX+float64(i1)*h.cellW, h.Universe.MinY+float64(j1)*h.cellH,
+		),
+		N:  rangeSum(cum, i0, j0, i1, j1),
+		i0: i0, j0: j0, i1: i1, j1: j1,
+	}
+}
+
+// newSAT builds a summed-area table over f(counts).
+func newSAT(counts [][]float64, f func(float64) float64) [][]float64 {
+	nx, ny := len(counts), len(counts[0])
+	cum := make([][]float64, nx+1)
+	for i := range cum {
+		cum[i] = make([]float64, ny+1)
+	}
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			cum[i+1][j+1] = f(counts[i][j]) + cum[i][j+1] + cum[i+1][j] - cum[i][j]
+		}
+	}
+	return cum
+}
+
+func rangeSum(cum [][]float64, i0, j0, i1, j1 int) float64 {
+	return cum[i1][j1] - cum[i0][j1] - cum[i1][j0] + cum[i0][j0]
+}
+
+// skew is the spatial skew of a cell range: Σ(c − mean)² over its cells.
+func skew(cum, cum2 [][]float64, i0, j0, i1, j1 int) float64 {
+	n := float64((i1 - i0) * (j1 - j0))
+	if n <= 0 {
+		return 0
+	}
+	s := rangeSum(cum, i0, j0, i1, j1)
+	s2 := rangeSum(cum2, i0, j0, i1, j1)
+	return s2 - s*s/n
+}
+
+// TotalCount returns the summed bucket counts (= number of points).
+func (h *Histogram) TotalCount() float64 {
+	sum := 0.0
+	for _, b := range h.Buckets {
+		sum += b.N
+	}
+	return sum
+}
+
+// EstimateWindowCount estimates the number of points in window w under
+// the per-bucket uniformity assumption.
+func (h *Histogram) EstimateWindowCount(w geom.Rect) float64 {
+	sum := 0.0
+	for _, b := range h.Buckets {
+		ov := b.Rect.Overlap(w)
+		if ov > 0 && b.Area() > 0 {
+			sum += b.N * ov / b.Area()
+		}
+	}
+	return sum
+}
+
+// DensityForNN estimates the local density around q for a k-NN model
+// (eq. 5-6): starting from the bucket containing q, neighboring buckets
+// are added in distance order until they hold enough points relative to
+// k; the density is ΣN / ΣArea over the visited buckets.
+func (h *Histogram) DensityForNN(q geom.Point, k int) float64 {
+	need := float64(20 * k)
+	if need < 50 {
+		need = 50
+	}
+	idx := make([]int, len(h.Buckets))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return h.Buckets[idx[a]].Rect.MinDist2(q) < h.Buckets[idx[b]].Rect.MinDist2(q)
+	})
+	var n, area float64
+	for _, i := range idx {
+		b := h.Buckets[i]
+		n += b.N
+		area += b.Area()
+		if n >= need {
+			break
+		}
+	}
+	if area <= 0 {
+		return 0
+	}
+	return n / area
+}
+
+// DensityForWindowBoundary estimates the density of the buckets
+// intersecting the boundary of window w — the points relevant to the
+// window validity-region model (eq. 5-6 for window queries).
+func (h *Histogram) DensityForWindowBoundary(w geom.Rect) float64 {
+	var n, area float64
+	for _, b := range h.Buckets {
+		if !b.Rect.Intersects(w) {
+			continue
+		}
+		interior := b.Rect.MinX > w.MinX && b.Rect.MaxX < w.MaxX &&
+			b.Rect.MinY > w.MinY && b.Rect.MaxY < w.MaxY
+		if interior {
+			continue
+		}
+		n += b.N
+		area += b.Area()
+	}
+	if area <= 0 {
+		// The window touches no bucket (outside the universe); fall back
+		// to the global density.
+		return h.TotalCount() / h.Universe.Area()
+	}
+	return n / area
+}

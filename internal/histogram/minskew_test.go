@@ -1,0 +1,187 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lbsq/internal/geom"
+)
+
+var universe = geom.R(0, 0, 1, 1)
+
+func uniformPoints(rng *rand.Rand, n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64(), rng.Float64())
+	}
+	return pts
+}
+
+// clusteredPoints puts 90% of the mass in a small square.
+func clusteredPoints(rng *rand.Rand, n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		if rng.Float64() < 0.9 {
+			pts[i] = geom.Pt(0.1+rng.Float64()*0.2, 0.1+rng.Float64()*0.2)
+		} else {
+			pts[i] = geom.Pt(rng.Float64(), rng.Float64())
+		}
+	}
+	return pts
+}
+
+func TestBucketsTileAndCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := clusteredPoints(rng, 20000)
+	h, err := Build(pts, universe, 50, 50, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Buckets) != 100 {
+		t.Fatalf("bucket count = %d", len(h.Buckets))
+	}
+	if got := h.TotalCount(); got != 20000 {
+		t.Fatalf("total count = %v", got)
+	}
+	area := 0.0
+	for _, b := range h.Buckets {
+		area += b.Area()
+	}
+	if math.Abs(area-1) > 1e-9 {
+		t.Fatalf("buckets tile area %v", area)
+	}
+	// Buckets are disjoint (sampled).
+	for s := 0; s < 300; s++ {
+		p := geom.Pt(rng.Float64(), rng.Float64())
+		in := 0
+		for _, b := range h.Buckets {
+			if b.Rect.ContainsStrict(p) {
+				in++
+			}
+		}
+		if in > 1 {
+			t.Fatalf("point %v strictly inside %d buckets", p, in)
+		}
+	}
+}
+
+func TestSkewReduction(t *testing.T) {
+	// On clustered data, Minskew buckets must separate the dense square:
+	// density inside the cluster should be ≈ an order of magnitude above
+	// the background.
+	rng := rand.New(rand.NewSource(2))
+	pts := clusteredPoints(rng, 30000)
+	h, err := Build(pts, universe, 100, 100, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inCluster := h.DensityForNN(geom.Pt(0.2, 0.2), 1)
+	outside := h.DensityForNN(geom.Pt(0.8, 0.8), 1)
+	if inCluster < outside*5 {
+		t.Errorf("cluster density %v not well separated from background %v", inCluster, outside)
+	}
+}
+
+func TestUniformDensityNearGlobal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := uniformPoints(rng, 50000)
+	h, err := Build(pts, universe, 100, 100, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []geom.Point{{X: 0.5, Y: 0.5}, {X: 0.2, Y: 0.8}, {X: 0.9, Y: 0.1}} {
+		d := h.DensityForNN(q, 1)
+		if d < 30000 || d > 80000 {
+			t.Errorf("uniform density at %v = %v, want ≈ 50000", q, d)
+		}
+	}
+}
+
+func TestEstimateWindowCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := uniformPoints(rng, 40000)
+	h, err := Build(pts, universe, 80, 80, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 30; trial++ {
+		w := geom.RectCenteredAt(geom.Pt(0.2+rng.Float64()*0.6, 0.2+rng.Float64()*0.6), 0.1, 0.1)
+		got := h.EstimateWindowCount(w)
+		actual := 0.0
+		for _, p := range pts {
+			if w.Contains(p) {
+				actual++
+			}
+		}
+		if got < actual*0.6-20 || got > actual*1.4+20 {
+			t.Errorf("window %v: estimated %v, actual %v", w, got, actual)
+		}
+	}
+	// Universe window returns everything.
+	if got := h.EstimateWindowCount(universe); math.Abs(got-40000) > 1 {
+		t.Errorf("universe estimate = %v", got)
+	}
+}
+
+func TestDensityForWindowBoundary(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := clusteredPoints(rng, 20000)
+	h, err := Build(pts, universe, 50, 50, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A window in the cluster has a much denser boundary neighborhood
+	// than one in the background.
+	dIn := h.DensityForWindowBoundary(geom.RectCenteredAt(geom.Pt(0.2, 0.2), 0.05, 0.05))
+	dOut := h.DensityForWindowBoundary(geom.RectCenteredAt(geom.Pt(0.8, 0.8), 0.05, 0.05))
+	if dIn < dOut*3 {
+		t.Errorf("boundary densities not separated: %v vs %v", dIn, dOut)
+	}
+	// Outside the universe: falls back to the global density.
+	d := h.DensityForWindowBoundary(geom.R(5, 5, 6, 6))
+	if math.Abs(d-20000) > 1 {
+		t.Errorf("fallback density = %v", d)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(nil, universe, 0, 10, 5); err == nil {
+		t.Error("zero grid must error")
+	}
+	if _, err := Build(nil, geom.EmptyRect(), 10, 10, 5); err == nil {
+		t.Error("empty universe must error")
+	}
+	// No points: single empty bucket set, still valid.
+	h, err := Build(nil, universe, 10, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.TotalCount() != 0 {
+		t.Error("empty histogram should count 0")
+	}
+}
+
+func TestPointsOnUniverseEdge(t *testing.T) {
+	// Points exactly on the max edge must be clamped into the grid.
+	pts := []geom.Point{{X: 1, Y: 1}, {X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 1}}
+	h, err := Build(pts, universe, 10, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.TotalCount(); got != 4 {
+		t.Fatalf("edge points lost: count = %v", got)
+	}
+}
+
+func TestFewerSplitsThanRequested(t *testing.T) {
+	// A single grid cell cannot be split: bucket count stays at 1.
+	pts := uniformPoints(rand.New(rand.NewSource(6)), 100)
+	h, err := Build(pts, universe, 1, 1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Buckets) != 1 {
+		t.Fatalf("bucket count = %d, want 1", len(h.Buckets))
+	}
+}

@@ -1,0 +1,234 @@
+// Package nn implements nearest-neighbor search over the R*-tree: the
+// depth-first branch-and-bound algorithm of [RKV95], the optimal
+// best-first ("distance browsing") algorithm of [HS99], and an
+// incremental neighbor iterator used by the Voronoi-cell construction.
+//
+// All algorithms count node accesses through rtree.Tree.CountAccess so
+// the experiments report the same NA/PA metrics as the paper.
+package nn
+
+import (
+	"container/heap"
+	"math"
+
+	"lbsq/internal/geom"
+	"lbsq/internal/rtree"
+)
+
+// Neighbor is a result of a nearest-neighbor query.
+type Neighbor struct {
+	Item rtree.Item
+	Dist float64
+}
+
+// pqEntry is a priority-queue element: either an R-tree node or a data
+// item, keyed by (squared) distance from the query point.
+type pqEntry struct {
+	key  float64
+	node *rtree.Node // nil for item entries
+	item rtree.Item
+}
+
+type pq []pqEntry
+
+func (q pq) Len() int { return len(q) }
+func (q pq) Less(i, j int) bool {
+	if q[i].key != q[j].key {
+		return q[i].key < q[j].key
+	}
+	// Tie-break: items before nodes so equal-distance results surface
+	// deterministically.
+	return q[i].node == nil && q[j].node != nil
+}
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqEntry)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// Browser incrementally reports the data items nearest to a query point
+// in non-decreasing distance order [HS99]. It accesses only the nodes
+// whose MBRs are closer than the next reported neighbor — the optimal
+// node-access behaviour.
+type Browser struct {
+	tree *rtree.Tree
+	q    geom.Point
+	heap pq
+}
+
+// NewBrowser starts distance browsing from q.
+func NewBrowser(t *rtree.Tree, q geom.Point) *Browser {
+	b := &Browser{tree: t, q: q}
+	root := t.Root()
+	b.heap = pq{{key: root.Rect().MinDist2(q), node: root}}
+	heap.Init(&b.heap)
+	return b
+}
+
+// Next returns the next nearest item and its distance, or ok=false when
+// the dataset is exhausted.
+func (b *Browser) Next() (Neighbor, bool) {
+	for b.heap.Len() > 0 {
+		e := heap.Pop(&b.heap).(pqEntry)
+		if e.node == nil {
+			return Neighbor{Item: e.item, Dist: math.Sqrt(e.key)}, true
+		}
+		b.tree.CountAccess(e.node)
+		if e.node.Leaf() {
+			for _, it := range e.node.Items() {
+				heap.Push(&b.heap, pqEntry{key: it.P.Dist2(b.q), item: it})
+			}
+			continue
+		}
+		for _, c := range e.node.Children() {
+			heap.Push(&b.heap, pqEntry{key: c.Rect().MinDist2(b.q), node: c})
+		}
+	}
+	return Neighbor{}, false
+}
+
+// KNearest returns the k nearest neighbors of q using best-first search
+// [HS99], ordered by increasing distance. Fewer than k are returned only
+// if the dataset is smaller than k.
+func KNearest(t *rtree.Tree, q geom.Point, k int) []Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	b := NewBrowser(t, q)
+	out := make([]Neighbor, 0, k)
+	for len(out) < k {
+		nb, ok := b.Next()
+		if !ok {
+			break
+		}
+		out = append(out, nb)
+	}
+	return out
+}
+
+// Nearest returns the single nearest neighbor of q, and ok=false on an
+// empty tree.
+func Nearest(t *rtree.Tree, q geom.Point) (Neighbor, bool) {
+	res := KNearest(t, q, 1)
+	if len(res) == 0 {
+		return Neighbor{}, false
+	}
+	return res[0], true
+}
+
+// KNearestDepthFirst returns the k nearest neighbors using the
+// depth-first branch-and-bound algorithm of [RKV95]: entries in each
+// node are visited in mindist order and subtrees are pruned when their
+// mindist exceeds the current k-th neighbor distance. It visits at least
+// as many nodes as best-first search; both are kept for the ablation
+// benchmarks.
+func KNearestDepthFirst(t *rtree.Tree, q geom.Point, k int) []Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	best := &kBest{k: k}
+	dfVisit(t, t.Root(), q, best)
+	return best.sorted()
+}
+
+func dfVisit(t *rtree.Tree, n *rtree.Node, q geom.Point, best *kBest) {
+	t.CountAccess(n)
+	if n.Leaf() {
+		for _, it := range n.Items() {
+			best.offer(Neighbor{Item: it, Dist: it.P.Dist(q)})
+		}
+		return
+	}
+	children := n.Children()
+	order := make([]int, len(children))
+	keys := make([]float64, len(children))
+	for i, c := range children {
+		order[i] = i
+		keys[i] = c.Rect().MinDist2(q)
+	}
+	// Insertion sort by mindist (fanouts are small relative to sort cost).
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && keys[order[j]] < keys[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	for _, idx := range order {
+		if best.full() && keys[idx] >= best.worst2() {
+			break // remaining entries are at least as far
+		}
+		dfVisit(t, children[idx], q, best)
+	}
+}
+
+// kBest maintains the k closest neighbors seen so far as a max-heap.
+type kBest struct {
+	k    int
+	heap []Neighbor // max-heap by Dist
+}
+
+func (b *kBest) full() bool { return len(b.heap) >= b.k }
+
+func (b *kBest) worst2() float64 {
+	if len(b.heap) == 0 {
+		return math.Inf(1)
+	}
+	d := b.heap[0].Dist
+	return d * d
+}
+
+func (b *kBest) offer(n Neighbor) {
+	if len(b.heap) < b.k {
+		b.heap = append(b.heap, n)
+		b.up(len(b.heap) - 1)
+		return
+	}
+	if n.Dist >= b.heap[0].Dist {
+		return
+	}
+	b.heap[0] = n
+	b.down(0)
+}
+
+func (b *kBest) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if b.heap[p].Dist >= b.heap[i].Dist {
+			return
+		}
+		b.heap[p], b.heap[i] = b.heap[i], b.heap[p]
+		i = p
+	}
+}
+
+func (b *kBest) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < len(b.heap) && b.heap[l].Dist > b.heap[big].Dist {
+			big = l
+		}
+		if r < len(b.heap) && b.heap[r].Dist > b.heap[big].Dist {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		b.heap[i], b.heap[big] = b.heap[big], b.heap[i]
+		i = big
+	}
+}
+
+func (b *kBest) sorted() []Neighbor {
+	out := append([]Neighbor(nil), b.heap...)
+	// Simple sort by distance; k is small.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Dist < out[j-1].Dist; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

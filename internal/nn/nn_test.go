@@ -1,0 +1,193 @@
+package nn
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"lbsq/internal/geom"
+	"lbsq/internal/rtree"
+)
+
+func buildTree(rng *rand.Rand, n int) (*rtree.Tree, []rtree.Item) {
+	items := make([]rtree.Item, n)
+	for i := range items {
+		items[i] = rtree.Item{ID: int64(i), P: geom.Pt(rng.Float64(), rng.Float64())}
+	}
+	return rtree.BulkLoad(items, rtree.Options{PageSize: 512}, 0.7), items
+}
+
+func bruteKNN(items []rtree.Item, q geom.Point, k int) []Neighbor {
+	all := make([]Neighbor, len(items))
+	for i, it := range items {
+		all[i] = Neighbor{Item: it, Dist: it.P.Dist(q)}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Dist != all[j].Dist {
+			return all[i].Dist < all[j].Dist
+		}
+		return all[i].Item.ID < all[j].Item.ID
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}
+
+func sameNeighborSet(a, b []Neighbor) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	// Compare distances (ties may reorder IDs).
+	for i := range a {
+		if !almostEq(a[i].Dist, b[i].Dist) {
+			return false
+		}
+	}
+	return true
+}
+
+func almostEq(a, b float64) bool {
+	d := a - b
+	return d < 1e-12 && d > -1e-12
+}
+
+func TestNearestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tree, items := buildTree(rng, 3000)
+	for trial := 0; trial < 200; trial++ {
+		q := geom.Pt(rng.Float64(), rng.Float64())
+		got, ok := Nearest(tree, q)
+		if !ok {
+			t.Fatal("Nearest failed")
+		}
+		want := bruteKNN(items, q, 1)[0]
+		if !almostEq(got.Dist, want.Dist) {
+			t.Fatalf("q=%v: got dist %v want %v", q, got.Dist, want.Dist)
+		}
+	}
+}
+
+func TestKNearestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tree, items := buildTree(rng, 2000)
+	for _, k := range []int{1, 2, 5, 10, 50, 100} {
+		for trial := 0; trial < 30; trial++ {
+			q := geom.Pt(rng.Float64(), rng.Float64())
+			got := KNearest(tree, q, k)
+			want := bruteKNN(items, q, k)
+			if !sameNeighborSet(got, want) {
+				t.Fatalf("k=%d q=%v: mismatch", k, q)
+			}
+			// Results must be sorted by distance.
+			for i := 1; i < len(got); i++ {
+				if got[i].Dist < got[i-1].Dist {
+					t.Fatalf("k=%d: unsorted results", k)
+				}
+			}
+		}
+	}
+}
+
+func TestDepthFirstMatchesBestFirst(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tree, items := buildTree(rng, 2000)
+	for _, k := range []int{1, 3, 10, 30} {
+		for trial := 0; trial < 30; trial++ {
+			q := geom.Pt(rng.Float64(), rng.Float64())
+			df := KNearestDepthFirst(tree, q, k)
+			want := bruteKNN(items, q, k)
+			if !sameNeighborSet(df, want) {
+				t.Fatalf("depth-first k=%d q=%v mismatch", k, q)
+			}
+		}
+	}
+}
+
+func TestBestFirstNeverMoreAccessesThanDepthFirst(t *testing.T) {
+	// [HS99] is I/O-optimal: it cannot access more nodes than [RKV95].
+	rng := rand.New(rand.NewSource(4))
+	tree, _ := buildTree(rng, 5000)
+	for trial := 0; trial < 50; trial++ {
+		q := geom.Pt(rng.Float64(), rng.Float64())
+		tree.ResetAccesses()
+		KNearest(tree, q, 10)
+		bf := tree.NodeAccesses()
+		tree.ResetAccesses()
+		KNearestDepthFirst(tree, q, 10)
+		df := tree.NodeAccesses()
+		if bf > df {
+			t.Fatalf("best-first %d > depth-first %d accesses", bf, df)
+		}
+	}
+}
+
+func TestBrowserOrderAndCompleteness(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tree, items := buildTree(rng, 500)
+	q := geom.Pt(0.3, 0.7)
+	b := NewBrowser(tree, q)
+	var dists []float64
+	count := 0
+	for {
+		nb, ok := b.Next()
+		if !ok {
+			break
+		}
+		dists = append(dists, nb.Dist)
+		count++
+	}
+	if count != len(items) {
+		t.Fatalf("browser returned %d of %d items", count, len(items))
+	}
+	if !sort.Float64sAreSorted(dists) {
+		t.Fatal("browser output not in distance order")
+	}
+}
+
+func TestKNearestEdgeCases(t *testing.T) {
+	empty := rtree.NewDefault()
+	if _, ok := Nearest(empty, geom.Pt(0, 0)); ok {
+		t.Error("Nearest on empty tree must fail")
+	}
+	if got := KNearest(empty, geom.Pt(0, 0), 5); len(got) != 0 {
+		t.Error("KNearest on empty tree must be empty")
+	}
+	rng := rand.New(rand.NewSource(6))
+	tree, items := buildTree(rng, 10)
+	if got := KNearest(tree, geom.Pt(0.5, 0.5), 100); len(got) != len(items) {
+		t.Errorf("k > n returned %d", len(got))
+	}
+	if got := KNearest(tree, geom.Pt(0.5, 0.5), 0); got != nil {
+		t.Error("k=0 must return nil")
+	}
+	if got := KNearestDepthFirst(tree, geom.Pt(0.5, 0.5), 0); got != nil {
+		t.Error("depth-first k=0 must return nil")
+	}
+}
+
+func TestQueryOnDataPoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tree, items := buildTree(rng, 200)
+	// Query exactly at a data point: that point is its own NN at dist 0.
+	q := items[42].P
+	got, _ := Nearest(tree, q)
+	if got.Dist != 0 {
+		t.Fatalf("NN dist at data point = %v", got.Dist)
+	}
+}
+
+func TestBestFirstAccessesScaleWithK(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	tree, _ := buildTree(rng, 20000)
+	q := geom.Pt(0.5, 0.5)
+	tree.ResetAccesses()
+	KNearest(tree, q, 1)
+	na1 := tree.NodeAccesses()
+	tree.ResetAccesses()
+	KNearest(tree, q, 100)
+	na100 := tree.NodeAccesses()
+	if na100 < na1 {
+		t.Fatalf("k=100 accesses (%d) < k=1 accesses (%d)", na100, na1)
+	}
+}

@@ -1,0 +1,149 @@
+package rtree
+
+import (
+	"math"
+	"sort"
+)
+
+// BulkLoad builds a tree from items using Sort-Tile-Recursive (STR)
+// packing. Nodes are filled to fillFactor×M (0 < fillFactor ≤ 1; values
+// ≤ 0 default to 0.7, leaving headroom for later inserts and producing
+// node extents close to an insertion-built R*-tree). The experiments use
+// bulk loading: the paper's workloads are static datasets and the
+// measured NA/PA costs depend only on the resulting node geometry.
+func BulkLoad(items []Item, opts Options, fillFactor float64) *Tree {
+	t := New(opts)
+	if len(items) == 0 {
+		return t
+	}
+	if fillFactor <= 0 || fillFactor > 1 {
+		fillFactor = 0.7
+	}
+	capacity := int(float64(t.maxM) * fillFactor)
+	if capacity < t.minM {
+		capacity = t.minM
+	}
+	if capacity < 2 {
+		capacity = 2
+	}
+
+	own := append([]Item(nil), items...)
+	nodes := t.packLeaves(own, capacity)
+	level := 0
+	for len(nodes) > 1 {
+		level++
+		nodes = t.packNodes(nodes, capacity, level)
+	}
+	t.root = nodes[0]
+	t.root.parent = nil
+	t.size = len(items)
+	return t
+}
+
+// packLeaves tiles the items into leaf nodes of the given capacity.
+func (t *Tree) packLeaves(items []Item, capacity int) []*Node {
+	groups := strTile(len(items), capacity,
+		func(lo, hi int) { // sort slab by x
+			sort.Slice(items[lo:hi], func(i, j int) bool { return items[lo+i].P.X < items[lo+j].P.X })
+		},
+		func(lo, hi int) { // sort slice by y
+			sort.Slice(items[lo:hi], func(i, j int) bool { return items[lo+i].P.Y < items[lo+j].P.Y })
+		})
+	groups = normalizeGroups(groups, t.minM, t.maxM)
+	leaves := make([]*Node, 0, len(groups))
+	for _, g := range groups {
+		n := t.newNode(true, 0)
+		n.items = append([]Item(nil), items[g[0]:g[1]]...)
+		n.recomputeRect()
+		leaves = append(leaves, n)
+	}
+	return leaves
+}
+
+// packNodes tiles child nodes into parents at the given level.
+func (t *Tree) packNodes(children []*Node, capacity int, level int) []*Node {
+	groups := strTile(len(children), capacity,
+		func(lo, hi int) {
+			sort.Slice(children[lo:hi], func(i, j int) bool {
+				return children[lo+i].rect.Center().X < children[lo+j].rect.Center().X
+			})
+		},
+		func(lo, hi int) {
+			sort.Slice(children[lo:hi], func(i, j int) bool {
+				return children[lo+i].rect.Center().Y < children[lo+j].rect.Center().Y
+			})
+		})
+	groups = normalizeGroups(groups, t.minM, t.maxM)
+	parents := make([]*Node, 0, len(groups))
+	for _, g := range groups {
+		p := t.newNode(false, level)
+		p.children = append([]*Node(nil), children[g[0]:g[1]]...)
+		for _, c := range p.children {
+			c.parent = p
+		}
+		p.recomputeRect()
+		parents = append(parents, p)
+	}
+	return parents
+}
+
+// strTile computes Sort-Tile-Recursive group boundaries over n entries
+// with the given capacity, delegating the axis sorts to callbacks (so the
+// same tiling serves items and nodes). The returned groups are half-open
+// [lo, hi) index ranges into the sorted sequence.
+func strTile(n, capacity int, sortAllX, sortSliceY func(lo, hi int)) [][2]int {
+	if n == 0 {
+		return nil
+	}
+	sortAllX(0, n)
+	nGroups := (n + capacity - 1) / capacity
+	slices := int(math.Ceil(math.Sqrt(float64(nGroups))))
+	perSlice := (n + slices - 1) / slices
+
+	var groups [][2]int
+	for s := 0; s < n; s += perSlice {
+		e := s + perSlice
+		if e > n {
+			e = n
+		}
+		sortSliceY(s, e)
+		for i := s; i < e; i += capacity {
+			j := i + capacity
+			if j > e {
+				j = e
+			}
+			groups = append(groups, [2]int{i, j})
+		}
+	}
+	return groups
+}
+
+// normalizeGroups enforces the minimum-fill invariant: any group smaller
+// than minFill is merged with its predecessor, then split evenly if the
+// merge exceeds maxFill. STR produces at most one small group per slice
+// (always the slice's last), so a single left-to-right pass suffices.
+// Because minFill ≤ maxFill/2, an even split of an overfull merge keeps
+// both halves legal.
+func normalizeGroups(groups [][2]int, minFill, maxFill int) [][2]int {
+	if len(groups) <= 1 {
+		return groups
+	}
+	out := groups[:1]
+	for _, g := range groups[1:] {
+		prev := &out[len(out)-1]
+		if g[1]-g[0] >= minFill {
+			out = append(out, g)
+			continue
+		}
+		merged := [2]int{prev[0], g[1]}
+		size := merged[1] - merged[0]
+		if size <= maxFill {
+			*prev = merged
+			continue
+		}
+		half := merged[0] + size/2
+		*prev = [2]int{merged[0], half}
+		out = append(out, [2]int{half, merged[1]})
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package rtree
+
+import "lbsq/internal/geom"
+
+// Delete removes the item with the given id at point p. It returns false
+// if no such item exists. Underfull nodes are dissolved and their entries
+// reinserted (the condense-tree step of the original R-tree, which the
+// R*-tree retains).
+func (t *Tree) Delete(it Item) bool {
+	leaf, idx := t.findLeaf(t.root, it)
+	if leaf == nil {
+		return false
+	}
+	leaf.items = append(leaf.items[:idx], leaf.items[idx+1:]...)
+	t.size--
+	t.condense(leaf)
+	return true
+}
+
+// findLeaf locates the leaf containing the exact item.
+func (t *Tree) findLeaf(n *Node, it Item) (*Node, int) {
+	if !n.rect.Contains(it.P) && t.size > 0 {
+		return nil, -1
+	}
+	if n.leaf {
+		for i, have := range n.items {
+			if have.ID == it.ID && have.P == it.P {
+				return n, i
+			}
+		}
+		return nil, -1
+	}
+	for _, c := range n.children {
+		if c.rect.Contains(it.P) {
+			if leaf, i := t.findLeaf(c, it); leaf != nil {
+				return leaf, i
+			}
+		}
+	}
+	return nil, -1
+}
+
+// condense walks from a modified leaf to the root, dissolving underfull
+// nodes and reinserting their orphaned entries, then shrinks the root if
+// it has a single internal child.
+func (t *Tree) condense(n *Node) {
+	var orphanItems []Item
+	var orphanNodes []*Node
+	for n.parent != nil {
+		parent := n.parent
+		if n.fanout() < t.minM {
+			// Remove n from its parent and stash its entries.
+			for i, c := range parent.children {
+				if c == n {
+					parent.children = append(parent.children[:i], parent.children[i+1:]...)
+					break
+				}
+			}
+			if n.leaf {
+				orphanItems = append(orphanItems, n.items...)
+			} else {
+				orphanNodes = append(orphanNodes, n.children...)
+			}
+		} else {
+			n.recomputeRect()
+		}
+		n = parent
+	}
+	n.recomputeRect() // root
+
+	// Shrink the root while it is an internal node with one child.
+	for !t.root.leaf && len(t.root.children) == 1 {
+		t.root = t.root.children[0]
+		t.root.parent = nil
+	}
+	if !t.root.leaf && len(t.root.children) == 0 {
+		t.root = t.newNode(true, 0)
+	}
+
+	// Reinsert orphans: subtrees at their own level, items at the leaves.
+	t.reinsertedLevels = nil // plain splits during condense reinsertion
+	for _, c := range orphanNodes {
+		t.reattach(c)
+	}
+	for _, it := range orphanItems {
+		t.insertItem(it)
+	}
+}
+
+// reattach inserts an orphaned subtree back into the tree, flattening it
+// to items if the tree is now too short to host it at its level.
+func (t *Tree) reattach(n *Node) {
+	if n.level >= t.root.level {
+		// Tree shrank below the subtree's level; reinsert its contents.
+		var flatten func(m *Node)
+		flatten = func(m *Node) {
+			if m.leaf {
+				for _, it := range m.items {
+					t.insertItem(it)
+				}
+				return
+			}
+			for _, c := range m.children {
+				flatten(c)
+			}
+		}
+		flatten(n)
+		return
+	}
+	t.insertNode(n)
+}
+
+// Update moves an item to a new location (delete + insert).
+func (t *Tree) Update(old Item, newP geom.Point) bool {
+	if !t.Delete(old) {
+		return false
+	}
+	t.Insert(Item{ID: old.ID, P: newP})
+	return true
+}

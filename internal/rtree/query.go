@@ -1,0 +1,124 @@
+package rtree
+
+import "lbsq/internal/geom"
+
+// Search invokes fn for every item whose point lies inside the query
+// window w (boundary inclusive), counting node accesses as a disk-based
+// execution would: every visited node is one access. If fn returns false
+// the search stops early.
+func (t *Tree) Search(w geom.Rect, fn func(Item) bool) {
+	t.search(t.root, w, fn)
+}
+
+func (t *Tree) search(n *Node, w geom.Rect, fn func(Item) bool) bool {
+	t.CountAccess(n)
+	if n.leaf {
+		for _, it := range n.items {
+			if w.Contains(it.P) {
+				if !fn(it) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for _, c := range n.children {
+		if w.Intersects(c.rect) {
+			if !t.search(c, w, fn) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SearchItems returns all items inside the window.
+func (t *Tree) SearchItems(w geom.Rect) []Item {
+	var out []Item
+	t.Search(w, func(it Item) bool {
+		out = append(out, it)
+		return true
+	})
+	return out
+}
+
+// CountContainedNodes returns the number of tree nodes whose MBR is fully
+// contained in w. The window-query cost model of Section 5 uses this:
+// the second (extended) query re-reads NAintersect(q′) − NAcontained(q)
+// fresh nodes.
+func (t *Tree) CountContainedNodes(w geom.Rect) int {
+	var walk func(n *Node) int
+	walk = func(n *Node) int {
+		c := 0
+		if w.ContainsRect(n.rect) {
+			c++
+		}
+		for _, ch := range n.children {
+			if w.Intersects(ch.rect) {
+				c += walk(ch)
+			}
+		}
+		return c
+	}
+	return walk(t.root)
+}
+
+// All invokes fn for every item in the tree (no access counting; this is
+// a maintenance scan, not a measured query).
+func (t *Tree) All(fn func(Item) bool) {
+	var walk func(n *Node) bool
+	walk = func(n *Node) bool {
+		if n.leaf {
+			for _, it := range n.items {
+				if !fn(it) {
+					return false
+				}
+			}
+			return true
+		}
+		for _, c := range n.children {
+			if !walk(c) {
+				return false
+			}
+		}
+		return true
+	}
+	walk(t.root)
+}
+
+// CountWindow returns the number of items inside w without enumerating
+// them: subtrees fully contained in w contribute their cardinality
+// directly (the aggregate-R-tree technique), so only boundary nodes are
+// descended. Node accesses are counted for visited nodes only.
+func (t *Tree) CountWindow(w geom.Rect) int {
+	return t.countWindow(t.root, w)
+}
+
+func (t *Tree) countWindow(n *Node, w geom.Rect) int {
+	t.CountAccess(n)
+	if n.leaf {
+		c := 0
+		for _, it := range n.items {
+			if w.Contains(it.P) {
+				c++
+			}
+		}
+		return c
+	}
+	c := 0
+	for _, child := range n.children {
+		if !w.Intersects(child.rect) {
+			continue
+		}
+		if w.ContainsRect(child.rect) {
+			c += child.SubtreeCount()
+			continue
+		}
+		c += t.countWindow(child, w)
+	}
+	return c
+}
+
+// SubtreeCount returns the number of items under n, maintained eagerly
+// by the tree's mutations.
+func (n *Node) SubtreeCount() int { return n.count }

@@ -1,0 +1,139 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lbsq/internal/geom"
+)
+
+// quickConfig seeds testing/quick deterministically.
+func quickConfig(seed int64, max int) *quick.Config {
+	return &quick.Config{
+		MaxCount: max,
+		Rand:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// TestQuickWindowEquivalence: for arbitrary (seeded) point multisets and
+// windows, tree search equals the linear scan.
+func TestQuickWindowEquivalence(t *testing.T) {
+	f := func(seed int64, nRaw uint16, cx, cy, w, h float64) bool {
+		n := int(nRaw%500) + 1
+		rng := rand.New(rand.NewSource(seed))
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = Item{ID: int64(i), P: geom.Pt(rng.Float64(), rng.Float64())}
+		}
+		tr := BulkLoad(items, Options{PageSize: 256}, 0.7)
+		win := geom.RectCenteredAt(geom.Pt(norm01(cx), norm01(cy)),
+			norm01(w)*0.5, norm01(h)*0.5)
+		want := map[int64]bool{}
+		for _, it := range items {
+			if win.Contains(it.P) {
+				want[it.ID] = true
+			}
+		}
+		got := tr.SearchItems(win)
+		if len(got) != len(want) {
+			return false
+		}
+		for _, it := range got {
+			if !want[it.ID] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickConfig(1, 60)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickInsertDeleteConsistency: after arbitrary interleaved inserts
+// and deletes the tree matches a model map and keeps its invariants.
+func TestQuickInsertDeleteConsistency(t *testing.T) {
+	f := func(seed int64, opsRaw uint16) bool {
+		ops := int(opsRaw%300) + 10
+		rng := rand.New(rand.NewSource(seed))
+		tr := New(Options{PageSize: 256})
+		model := map[int64]Item{}
+		next := int64(0)
+		for i := 0; i < ops; i++ {
+			if len(model) == 0 || rng.Float64() < 0.6 {
+				it := Item{ID: next, P: geom.Pt(rng.Float64(), rng.Float64())}
+				next++
+				tr.Insert(it)
+				model[it.ID] = it
+			} else {
+				for _, it := range model {
+					if !tr.Delete(it) {
+						return false
+					}
+					delete(model, it.ID)
+					break
+				}
+			}
+		}
+		if tr.Len() != len(model) {
+			return false
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			return false
+		}
+		got := tr.SearchItems(geom.R(-1, -1, 2, 2))
+		return len(got) == len(model)
+	}
+	if err := quick.Check(f, quickConfig(2, 40)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMinDistLowerBound: mindist of a node MBR never exceeds the
+// distance to any item inside it — the property all pruning relies on.
+func TestQuickMinDistLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	items := make([]Item, 2000)
+	for i := range items {
+		items[i] = Item{ID: int64(i), P: geom.Pt(rng.Float64(), rng.Float64())}
+	}
+	tr := BulkLoad(items, Options{PageSize: 256}, 0.7)
+	f := func(qx, qy float64) bool {
+		q := geom.Pt(norm01(qx)*1.4-0.2, norm01(qy)*1.4-0.2)
+		ok := true
+		var walk func(n *Node)
+		walk = func(n *Node) {
+			md := n.Rect().MinDist(q)
+			if n.Leaf() {
+				for _, it := range n.Items() {
+					if it.P.Dist(q) < md-1e-9 {
+						ok = false
+					}
+				}
+				return
+			}
+			for _, c := range n.Children() {
+				if c.Rect().MinDist(q) < md-1e-9 {
+					ok = false
+				}
+				walk(c)
+			}
+		}
+		walk(tr.Root())
+		return ok
+	}
+	if err := quick.Check(f, quickConfig(4, 50)); err != nil {
+		t.Error(err)
+	}
+}
+
+// norm01 maps any float64 into [0, 1).
+func norm01(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0.5
+	}
+	_, f := math.Modf(math.Abs(x))
+	return f
+}

@@ -1,0 +1,333 @@
+// Package rtree implements an R*-tree [BKSS90] over 2-D points, the
+// spatial access method used by the paper's server-side query processing.
+//
+// The tree follows the R*-tree design: ChooseSubtree minimizing overlap
+// enlargement at the leaf level, topological split with axis selection by
+// margin sum, and forced reinsertion on first overflow per level. Node
+// fanout is derived from a disk-page size (the paper uses 4 KB pages with
+// ~20-byte entries, giving a capacity of 204); node and page accesses are
+// counted so experiments can report the NA/PA metrics of Section 6.
+//
+// Search algorithms that need raw traversal (best-first NN, TP queries)
+// use the exported read API: Root, Node.Leaf, Node.Children, Node.Items,
+// and Tree.CountAccess.
+package rtree
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"lbsq/internal/geom"
+)
+
+// Item is a data object stored in the tree: an identified point.
+type Item struct {
+	ID int64
+	P  geom.Point
+}
+
+// PageTracker observes page accesses, typically an LRU buffer that
+// distinguishes hits from faults. Access reports whether the page was
+// already resident (a buffer hit).
+type PageTracker interface {
+	Access(page int64) bool
+}
+
+// EntryBytes is the on-disk size of one R-tree entry: a 4×float32 MBR
+// plus a 4-byte child pointer / record id, matching the paper's setup
+// (4096-byte pages → 204 entries per node).
+const EntryBytes = 20
+
+// DefaultPageSize is the disk page size used throughout the paper.
+const DefaultPageSize = 4096
+
+// Options configures a Tree.
+type Options struct {
+	// PageSize in bytes; determines fanout as PageSize/EntryBytes.
+	// Defaults to DefaultPageSize.
+	PageSize int
+	// MinFillRatio is m/M; the R*-tree paper recommends 0.4.
+	// Defaults to 0.4.
+	MinFillRatio float64
+	// ReinsertRatio is the fraction of entries removed on forced
+	// reinsertion; the R*-tree paper recommends 0.3. Defaults to 0.3.
+	ReinsertRatio float64
+	// Tracker, if non-nil, observes every node access (for buffered
+	// page-access accounting). It can also be set later with SetTracker.
+	Tracker PageTracker
+}
+
+func (o *Options) setDefaults() {
+	if o.PageSize <= 0 {
+		o.PageSize = DefaultPageSize
+	}
+	if o.MinFillRatio <= 0 || o.MinFillRatio > 0.5 {
+		o.MinFillRatio = 0.4
+	}
+	if o.ReinsertRatio <= 0 || o.ReinsertRatio >= 1 {
+		o.ReinsertRatio = 0.3
+	}
+}
+
+// Node is a single R-tree node. Leaf nodes hold Items; internal nodes
+// hold child nodes. Exported read access enables external search
+// algorithms; mutation is owned by the tree.
+type Node struct {
+	page     int64
+	leaf     bool
+	level    int // 0 at leaves, increasing toward the root
+	rect     geom.Rect
+	children []*Node
+	items    []Item
+	parent   *Node
+	count    int // subtree cardinality, maintained by recomputeRect
+}
+
+// Leaf reports whether n is a leaf node.
+func (n *Node) Leaf() bool { return n.leaf }
+
+// Level returns the node level (0 = leaf).
+func (n *Node) Level() int { return n.level }
+
+// Rect returns the node's minimum bounding rectangle.
+func (n *Node) Rect() geom.Rect { return n.rect }
+
+// Children returns the child nodes of an internal node (nil for leaves).
+// The returned slice must not be modified.
+func (n *Node) Children() []*Node { return n.children }
+
+// Items returns the data items of a leaf node (nil for internal nodes).
+// The returned slice must not be modified.
+func (n *Node) Items() []Item { return n.items }
+
+// Page returns the node's page identifier.
+func (n *Node) Page() int64 { return n.page }
+
+// fanout returns the number of entries in the node.
+func (n *Node) fanout() int {
+	if n.leaf {
+		return len(n.items)
+	}
+	return len(n.children)
+}
+
+// recomputeRect recalculates the node MBR and subtree count from its
+// entries. Mutations call it bottom-up (leaf to root), so child counts
+// are always fresh when a parent recomputes; queries never write,
+// keeping concurrent reads race-free.
+func (n *Node) recomputeRect() {
+	r := geom.EmptyRect()
+	if n.leaf {
+		n.count = len(n.items)
+		for _, it := range n.items {
+			r = r.ExpandPoint(it.P)
+		}
+	} else {
+		n.count = 0
+		for _, c := range n.children {
+			r = r.Union(c.rect)
+			n.count += c.count
+		}
+	}
+	n.rect = r
+}
+
+// Tree is an R*-tree over 2-D points.
+type Tree struct {
+	root     *Node
+	size     int
+	maxM     int
+	minM     int
+	reinsert int
+	opts     Options
+
+	nextPage int64
+	accesses atomic.Int64
+	tracker  PageTracker
+
+	// reinsertedLevels tracks, within one top-level insertion, which
+	// levels have already used forced reinsertion (R*-tree rule OT1).
+	reinsertedLevels map[int]bool
+}
+
+// New creates an empty tree with the given options.
+func New(opts Options) *Tree {
+	opts.setDefaults()
+	maxM := opts.PageSize / EntryBytes
+	if maxM < 4 {
+		maxM = 4
+	}
+	minM := int(float64(maxM) * opts.MinFillRatio)
+	if minM < 2 {
+		minM = 2
+	}
+	re := int(float64(maxM) * opts.ReinsertRatio)
+	if re < 1 {
+		re = 1
+	}
+	t := &Tree{
+		maxM:     maxM,
+		minM:     minM,
+		reinsert: re,
+		opts:     opts,
+		tracker:  opts.Tracker,
+	}
+	t.root = t.newNode(true, 0)
+	return t
+}
+
+// NewDefault creates a tree with paper-default options (4 KB pages).
+func NewDefault() *Tree { return New(Options{}) }
+
+func (t *Tree) newNode(leaf bool, level int) *Node {
+	t.nextPage++
+	return &Node{page: t.nextPage, leaf: leaf, level: level, rect: geom.EmptyRect()}
+}
+
+// Root returns the root node.
+func (t *Tree) Root() *Node { return t.root }
+
+// Len returns the number of stored items.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the number of levels (1 for a tree that is just a leaf).
+func (t *Tree) Height() int { return t.root.level + 1 }
+
+// MaxEntries returns the node capacity M.
+func (t *Tree) MaxEntries() int { return t.maxM }
+
+// MinEntries returns the minimum fill m.
+func (t *Tree) MinEntries() int { return t.minM }
+
+// SetTracker installs (or clears) the page-access tracker.
+func (t *Tree) SetTracker(pt PageTracker) { t.tracker = pt }
+
+// CountAccess records one node access. External traversals (NN search,
+// TP queries) must call this for every node they read so the NA/PA
+// statistics match what a disk-based execution would incur. The counter
+// is atomic, so concurrent read-only searches may share a tree; note
+// that per-query deltas taken around concurrent queries attribute
+// accesses to whichever query reads the counter.
+func (t *Tree) CountAccess(n *Node) {
+	t.accesses.Add(1)
+	if t.tracker != nil {
+		t.tracker.Access(n.page)
+	}
+}
+
+// NodeAccesses returns the cumulative node-access count.
+func (t *Tree) NodeAccesses() int64 { return t.accesses.Load() }
+
+// ResetAccesses zeroes the node-access counter.
+func (t *Tree) ResetAccesses() { t.accesses.Store(0) }
+
+// NodeCount returns the total number of nodes (pages) in the tree.
+func (t *Tree) NodeCount() int {
+	var count func(n *Node) int
+	count = func(n *Node) int {
+		c := 1
+		for _, ch := range n.children {
+			c += count(ch)
+		}
+		return c
+	}
+	return count(t.root)
+}
+
+// LevelStats describes one tree level for the analytical cost models.
+type LevelStats struct {
+	Level     int
+	Nodes     int
+	AvgWidth  float64 // average node-MBR extent along x
+	AvgHeight float64 // average node-MBR extent along y
+}
+
+// Stats returns per-level statistics, leaf level first.
+func (t *Tree) Stats() []LevelStats {
+	acc := make(map[int]*LevelStats)
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		s := acc[n.level]
+		if s == nil {
+			s = &LevelStats{Level: n.level}
+			acc[n.level] = s
+		}
+		s.Nodes++
+		s.AvgWidth += n.rect.Width()
+		s.AvgHeight += n.rect.Height()
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	out := make([]LevelStats, 0, len(acc))
+	for lvl := 0; lvl <= t.root.level; lvl++ {
+		s := acc[lvl]
+		if s == nil {
+			continue
+		}
+		s.AvgWidth /= float64(s.Nodes)
+		s.AvgHeight /= float64(s.Nodes)
+		out = append(out, *s)
+	}
+	return out
+}
+
+// CheckInvariants validates structural invariants (for tests): MBR
+// consistency, fill factors, uniform leaf depth. It returns the first
+// violation found.
+func (t *Tree) CheckInvariants() error {
+	leafLevelSeen := -1
+	var walk func(n *Node, isRoot bool) error
+	walk = func(n *Node, isRoot bool) error {
+		if n.fanout() > t.maxM {
+			return fmt.Errorf("node page %d overfull: %d > %d", n.page, n.fanout(), t.maxM)
+		}
+		if !isRoot && n.fanout() < t.minM {
+			return fmt.Errorf("node page %d underfull: %d < %d", n.page, n.fanout(), t.minM)
+		}
+		want := geom.EmptyRect()
+		if n.leaf {
+			if n.level != 0 {
+				return fmt.Errorf("leaf page %d at level %d", n.page, n.level)
+			}
+			if leafLevelSeen == -1 {
+				leafLevelSeen = 0
+			}
+			for _, it := range n.items {
+				want = want.ExpandPoint(it.P)
+			}
+		} else {
+			for _, c := range n.children {
+				if c.level != n.level-1 {
+					return fmt.Errorf("child level %d under parent level %d", c.level, n.level)
+				}
+				if c.parent != n {
+					return fmt.Errorf("broken parent pointer at page %d", c.page)
+				}
+				want = want.Union(c.rect)
+				if err := walk(c, false); err != nil {
+					return err
+				}
+			}
+		}
+		if t.size > 0 && !rectsAlmostEqual(want, n.rect) {
+			return fmt.Errorf("stale MBR at page %d: have %v want %v", n.page, n.rect, want)
+		}
+		return nil
+	}
+	return walk(t.root, true)
+}
+
+func rectsAlmostEqual(a, b geom.Rect) bool {
+	const e = geom.Eps
+	return abs(a.MinX-b.MinX) <= e && abs(a.MinY-b.MinY) <= e &&
+		abs(a.MaxX-b.MaxX) <= e && abs(a.MaxY-b.MaxY) <= e
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

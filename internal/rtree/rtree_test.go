@@ -1,0 +1,392 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"lbsq/internal/geom"
+)
+
+func randItems(rng *rand.Rand, n int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{ID: int64(i), P: geom.Pt(rng.Float64(), rng.Float64())}
+	}
+	return items
+}
+
+func bruteWindow(items []Item, w geom.Rect) []int64 {
+	var ids []int64
+	for _, it := range items {
+		if w.Contains(it.P) {
+			ids = append(ids, it.ID)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func treeWindow(t *Tree, w geom.Rect) []int64 {
+	var ids []int64
+	for _, it := range t.SearchItems(w) {
+		ids = append(ids, it.ID)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func equalIDs(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCapacityFromPageSize(t *testing.T) {
+	tr := NewDefault()
+	if got := tr.MaxEntries(); got != 204 {
+		t.Errorf("default capacity = %d, want 204 (paper setup)", got)
+	}
+	small := New(Options{PageSize: 256})
+	if got := small.MaxEntries(); got != 12 {
+		t.Errorf("256B capacity = %d, want 12", got)
+	}
+	if small.MinEntries() != 4 {
+		t.Errorf("min entries = %d, want 4", small.MinEntries())
+	}
+}
+
+func TestInsertSearchMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	items := randItems(rng, 2000)
+	tr := New(Options{PageSize: 256}) // small pages force deep trees
+	for _, it := range items {
+		tr.Insert(it)
+	}
+	if tr.Len() != len(items) {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 100; q++ {
+		c := geom.Pt(rng.Float64(), rng.Float64())
+		w := geom.RectCenteredAt(c, rng.Float64()*0.3, rng.Float64()*0.3)
+		want := bruteWindow(items, w)
+		got := treeWindow(tr, w)
+		if !equalIDs(got, want) {
+			t.Fatalf("query %v: got %d ids, want %d", w, len(got), len(want))
+		}
+	}
+}
+
+func TestBulkLoadMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	items := randItems(rng, 5000)
+	tr := BulkLoad(items, Options{PageSize: 512}, 0.7)
+	if tr.Len() != len(items) {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 100; q++ {
+		w := geom.RectCenteredAt(geom.Pt(rng.Float64(), rng.Float64()), 0.2, 0.2)
+		if !equalIDs(treeWindow(tr, w), bruteWindow(items, w)) {
+			t.Fatalf("bulk-loaded tree window mismatch at %v", w)
+		}
+	}
+}
+
+func TestBulkLoadSmall(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 12, 13} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		items := randItems(rng, n)
+		tr := BulkLoad(items, Options{PageSize: 256}, 0.7)
+		if tr.Len() != n {
+			t.Fatalf("n=%d: Len = %d", n, tr.Len())
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		got := treeWindow(tr, geom.R(-1, -1, 2, 2))
+		if len(got) != n {
+			t.Fatalf("n=%d: full window returned %d", n, len(got))
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	items := randItems(rng, 1500)
+	tr := New(Options{PageSize: 256})
+	for _, it := range items {
+		tr.Insert(it)
+	}
+	// Delete a random half.
+	perm := rng.Perm(len(items))
+	deleted := make(map[int64]bool)
+	for _, idx := range perm[:len(items)/2] {
+		if !tr.Delete(items[idx]) {
+			t.Fatalf("Delete(%v) failed", items[idx])
+		}
+		deleted[items[idx].ID] = true
+	}
+	if tr.Len() != len(items)-len(items)/2 {
+		t.Fatalf("Len after deletes = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Deleting again fails.
+	if tr.Delete(items[perm[0]]) {
+		t.Error("double delete should fail")
+	}
+	// Remaining items still searchable.
+	var remaining []Item
+	for _, it := range items {
+		if !deleted[it.ID] {
+			remaining = append(remaining, it)
+		}
+	}
+	for q := 0; q < 50; q++ {
+		w := geom.RectCenteredAt(geom.Pt(rng.Float64(), rng.Float64()), 0.25, 0.25)
+		if !equalIDs(treeWindow(tr, w), bruteWindow(remaining, w)) {
+			t.Fatalf("window mismatch after deletes at %v", w)
+		}
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	items := randItems(rng, 300)
+	tr := New(Options{PageSize: 256})
+	for _, it := range items {
+		tr.Insert(it)
+	}
+	for _, it := range items {
+		if !tr.Delete(it) {
+			t.Fatalf("Delete(%v) failed", it)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", tr.Len())
+	}
+	if got := tr.SearchItems(geom.R(-1, -1, 2, 2)); len(got) != 0 {
+		t.Fatalf("empty tree returned %d items", len(got))
+	}
+	// And it remains usable.
+	tr.Insert(Item{ID: 999, P: geom.Pt(0.5, 0.5)})
+	if got := tr.SearchItems(geom.R(0, 0, 1, 1)); len(got) != 1 {
+		t.Fatal("reuse after drain failed")
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	tr := New(Options{PageSize: 256})
+	it := Item{ID: 1, P: geom.Pt(0.1, 0.1)}
+	tr.Insert(it)
+	if !tr.Update(it, geom.Pt(0.9, 0.9)) {
+		t.Fatal("Update failed")
+	}
+	if got := tr.SearchItems(geom.R(0.8, 0.8, 1, 1)); len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("item not at new location: %v", got)
+	}
+	if got := tr.SearchItems(geom.R(0, 0, 0.2, 0.2)); len(got) != 0 {
+		t.Fatal("item still at old location")
+	}
+}
+
+func TestNodeAccessCounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	items := randItems(rng, 4000)
+	tr := BulkLoad(items, Options{PageSize: 512}, 0.7)
+	tr.ResetAccesses()
+	tr.Search(geom.R(0.4, 0.4, 0.6, 0.6), func(Item) bool { return true })
+	na := tr.NodeAccesses()
+	if na < int64(tr.Height()) {
+		t.Fatalf("NA = %d, must visit at least one node per level (%d)", na, tr.Height())
+	}
+	if na > int64(tr.NodeCount()) {
+		t.Fatalf("NA = %d exceeds node count %d", na, tr.NodeCount())
+	}
+	// A point query touches far fewer nodes than a full scan.
+	tr.ResetAccesses()
+	tr.Search(geom.R(-1, -1, 2, 2), func(Item) bool { return true })
+	full := tr.NodeAccesses()
+	if full != int64(tr.NodeCount()) {
+		t.Fatalf("full window NA = %d, want all %d nodes", full, tr.NodeCount())
+	}
+}
+
+func TestEarlyTermination(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tr := BulkLoad(randItems(rng, 1000), Options{PageSize: 512}, 0.7)
+	count := 0
+	tr.Search(geom.R(0, 0, 1, 1), func(Item) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("early termination visited %d items", count)
+	}
+}
+
+func TestCountContainedNodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := BulkLoad(randItems(rng, 3000), Options{PageSize: 512}, 0.7)
+	if got := tr.CountContainedNodes(geom.R(-1, -1, 2, 2)); got != tr.NodeCount() {
+		t.Fatalf("universe window contains %d nodes, want %d", got, tr.NodeCount())
+	}
+	if got := tr.CountContainedNodes(geom.R(0.5, 0.5, 0.5001, 0.5001)); got != 0 {
+		t.Fatalf("tiny window contains %d nodes, want 0", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	tr := BulkLoad(randItems(rng, 5000), Options{PageSize: 512}, 0.7)
+	stats := tr.Stats()
+	if len(stats) != tr.Height() {
+		t.Fatalf("stats levels = %d, height = %d", len(stats), tr.Height())
+	}
+	total := 0
+	for _, s := range stats {
+		total += s.Nodes
+		if s.AvgWidth < 0 || s.AvgWidth > 1.01 || s.AvgHeight < 0 || s.AvgHeight > 1.01 {
+			t.Fatalf("implausible avg extents at level %d: %+v", s.Level, s)
+		}
+	}
+	if total != tr.NodeCount() {
+		t.Fatalf("stats total %d != node count %d", total, tr.NodeCount())
+	}
+	// Leaf level must have the most nodes.
+	if stats[0].Nodes <= stats[len(stats)-1].Nodes {
+		t.Fatal("leaf level should dominate")
+	}
+}
+
+func TestTrackerReceivesAccesses(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tr := BulkLoad(randItems(rng, 2000), Options{PageSize: 512}, 0.7)
+	var pages []int64
+	tr.SetTracker(trackerFunc(func(p int64) bool { pages = append(pages, p); return false }))
+	tr.Search(geom.R(0.4, 0.4, 0.6, 0.6), func(Item) bool { return true })
+	if int64(len(pages)) != tr.NodeAccesses() {
+		t.Fatalf("tracker saw %d accesses, counter says %d", len(pages), tr.NodeAccesses())
+	}
+}
+
+type trackerFunc func(int64) bool
+
+func (f trackerFunc) Access(p int64) bool { return f(p) }
+
+func TestDuplicatePoints(t *testing.T) {
+	tr := New(Options{PageSize: 256})
+	p := geom.Pt(0.5, 0.5)
+	for i := 0; i < 100; i++ {
+		tr.Insert(Item{ID: int64(i), P: p})
+	}
+	got := tr.SearchItems(geom.RectCenteredAt(p, 0.01, 0.01))
+	if len(got) != 100 {
+		t.Fatalf("duplicate points: found %d of 100", len(got))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixedInsertDeleteStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	tr := New(Options{PageSize: 256})
+	live := map[int64]Item{}
+	nextID := int64(0)
+	for step := 0; step < 4000; step++ {
+		if len(live) == 0 || rng.Float64() < 0.6 {
+			it := Item{ID: nextID, P: geom.Pt(rng.Float64(), rng.Float64())}
+			nextID++
+			tr.Insert(it)
+			live[it.ID] = it
+		} else {
+			// Delete a random live item.
+			for _, it := range live {
+				if !tr.Delete(it) {
+					t.Fatalf("step %d: delete failed", step)
+				}
+				delete(live, it.ID)
+				break
+			}
+		}
+	}
+	if tr.Len() != len(live) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(live))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	all := make([]Item, 0, len(live))
+	for _, it := range live {
+		all = append(all, it)
+	}
+	w := geom.R(0.25, 0.25, 0.75, 0.75)
+	if !equalIDs(treeWindow(tr, w), bruteWindow(all, w)) {
+		t.Fatal("stress: window mismatch")
+	}
+}
+
+func TestAllVisitsEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	items := randItems(rng, 777)
+	tr := BulkLoad(items, Options{PageSize: 256}, 0.7)
+	seen := map[int64]bool{}
+	tr.All(func(it Item) bool { seen[it.ID] = true; return true })
+	if len(seen) != len(items) {
+		t.Fatalf("All visited %d of %d", len(seen), len(items))
+	}
+	na := tr.NodeAccesses()
+	if na != 0 {
+		t.Fatalf("All must not count accesses, got %d", na)
+	}
+}
+
+func TestCountWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	items := randItems(rng, 8000)
+	tr := BulkLoad(items, Options{PageSize: 512}, 0.7)
+	for q := 0; q < 100; q++ {
+		w := geom.RectCenteredAt(geom.Pt(rng.Float64(), rng.Float64()),
+			rng.Float64()*0.5, rng.Float64()*0.5)
+		want := len(bruteWindow(items, w))
+		if got := tr.CountWindow(w); got != want {
+			t.Fatalf("CountWindow(%v) = %d, want %d", w, got, want)
+		}
+	}
+	// Aggregate counting must visit fewer nodes than enumeration for a
+	// large window.
+	big := geom.R(0.05, 0.05, 0.95, 0.95)
+	tr.ResetAccesses()
+	tr.CountWindow(big)
+	countNA := tr.NodeAccesses()
+	tr.ResetAccesses()
+	tr.Search(big, func(Item) bool { return true })
+	enumNA := tr.NodeAccesses()
+	if countNA >= enumNA {
+		t.Fatalf("aggregate count NA %d not below enumeration NA %d", countNA, enumNA)
+	}
+	// Counts stay correct across updates (memo invalidation).
+	it := Item{ID: 99999, P: geom.Pt(0.5, 0.5)}
+	tr.Insert(it)
+	if got := tr.CountWindow(big); got != len(bruteWindow(append(items, it), big)) {
+		t.Fatal("count stale after insert")
+	}
+	tr.Delete(it)
+	if got := tr.CountWindow(big); got != len(bruteWindow(items, big)) {
+		t.Fatal("count stale after delete")
+	}
+}

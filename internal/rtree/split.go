@@ -1,0 +1,117 @@
+package rtree
+
+import (
+	"math"
+	"sort"
+
+	"lbsq/internal/geom"
+)
+
+// The R*-tree topological split: for each axis, sort entries by their
+// rectangle boundaries and evaluate all legal two-group distributions.
+// The split axis is the one minimizing the sum of group margins; the
+// split index on that axis minimizes group overlap (ties by total area).
+//
+// Working on the MBR slice keeps one implementation for leaf items and
+// internal children; callers sort their entry slices with the returned
+// comparison order (encoded as an index permutation).
+
+// chooseSplit returns the permutation of entry indices and the split
+// position, given per-entry MBRs.
+func chooseSplit(rects []geom.Rect, minFill int) (perm []int, splitAt int) {
+	n := len(rects)
+	bestAxis, bestPerm := -1, []int(nil)
+	bestMargin := math.Inf(1)
+	for axis := 0; axis < 2; axis++ {
+		p := make([]int, n)
+		for i := range p {
+			p[i] = i
+		}
+		sort.Slice(p, func(a, b int) bool {
+			ra, rb := rects[p[a]], rects[p[b]]
+			if axis == 0 {
+				if ra.MinX != rb.MinX {
+					return ra.MinX < rb.MinX
+				}
+				return ra.MaxX < rb.MaxX
+			}
+			if ra.MinY != rb.MinY {
+				return ra.MinY < rb.MinY
+			}
+			return ra.MaxY < rb.MaxY
+		})
+		margin := 0.0
+		for k := minFill; k <= n-minFill; k++ {
+			l, r := groupRects(rects, p, k)
+			margin += l.Margin() + r.Margin()
+		}
+		if margin < bestMargin {
+			bestMargin, bestAxis, bestPerm = margin, axis, p
+		}
+	}
+	_ = bestAxis
+
+	bestOverlap, bestArea := math.Inf(1), math.Inf(1)
+	splitAt = minFill
+	for k := minFill; k <= n-minFill; k++ {
+		l, r := groupRects(rects, bestPerm, k)
+		ov := l.Overlap(r)
+		area := l.Area() + r.Area()
+		if ov < bestOverlap || (ov == bestOverlap && area < bestArea) {
+			bestOverlap, bestArea, splitAt = ov, area, k
+		}
+	}
+	return bestPerm, splitAt
+}
+
+// groupRects returns the MBRs of the first k and remaining entries in
+// permutation order.
+func groupRects(rects []geom.Rect, perm []int, k int) (geom.Rect, geom.Rect) {
+	l, r := geom.EmptyRect(), geom.EmptyRect()
+	for i, idx := range perm {
+		if i < k {
+			l = l.Union(rects[idx])
+		} else {
+			r = r.Union(rects[idx])
+		}
+	}
+	return l, r
+}
+
+// splitItems partitions leaf items into two groups per the R* split.
+func splitItems(items []Item, minFill int) (left, right []Item) {
+	rects := make([]geom.Rect, len(items))
+	for i, it := range items {
+		rects[i] = geom.Rect{MinX: it.P.X, MinY: it.P.Y, MaxX: it.P.X, MaxY: it.P.Y}
+	}
+	perm, at := chooseSplit(rects, minFill)
+	left = make([]Item, 0, at)
+	right = make([]Item, 0, len(items)-at)
+	for i, idx := range perm {
+		if i < at {
+			left = append(left, items[idx])
+		} else {
+			right = append(right, items[idx])
+		}
+	}
+	return left, right
+}
+
+// splitChildren partitions internal-node children per the R* split.
+func splitChildren(children []*Node, minFill int) (left, right []*Node) {
+	rects := make([]geom.Rect, len(children))
+	for i, c := range children {
+		rects[i] = c.rect
+	}
+	perm, at := chooseSplit(rects, minFill)
+	left = make([]*Node, 0, at)
+	right = make([]*Node, 0, len(children)-at)
+	for i, idx := range perm {
+		if i < at {
+			left = append(left, children[idx])
+		} else {
+			right = append(right, children[idx])
+		}
+	}
+	return left, right
+}

@@ -1,0 +1,196 @@
+package storage
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"lbsq/internal/buffer"
+	"lbsq/internal/geom"
+	"lbsq/internal/rtree"
+)
+
+// Disk-resident query execution: the searches below read node pages
+// from the file on demand, optionally through an LRU buffer — the
+// literal version of the page model whose NA/PA counts the in-memory
+// tree simulates. Tests assert that, for identical structures, the
+// simulated counts equal the real page reads.
+
+// DiskTree executes queries directly against a saved tree file.
+type DiskTree struct {
+	pf  *PageFile
+	buf *buffer.LRU // nil = unbuffered
+
+	reads int64 // physical page reads (buffer misses, or all reads if unbuffered)
+	total int64 // logical node accesses
+}
+
+// NewDiskTree wraps an open page file holding a saved tree. bufPages
+// sizes an LRU page buffer (0 = unbuffered).
+func NewDiskTree(pf *PageFile, bufPages int) *DiskTree {
+	dt := &DiskTree{pf: pf}
+	if bufPages > 0 {
+		dt.buf = buffer.NewLRU(bufPages)
+	}
+	return dt
+}
+
+// Accesses returns logical node accesses since construction or the last
+// ResetCounters.
+func (dt *DiskTree) Accesses() int64 { return dt.total }
+
+// Reads returns physical page reads (buffer misses).
+func (dt *DiskTree) Reads() int64 { return dt.reads }
+
+// ResetCounters zeroes both counters (buffer contents are kept).
+func (dt *DiskTree) ResetCounters() { dt.total, dt.reads = 0, 0 }
+
+// diskNode is a parsed node page.
+type diskNode struct {
+	leaf  bool
+	items []rtree.Item // leaf
+	rects []geom.Rect  // internal: child MBRs
+	kids  []int64      // internal: child pages
+}
+
+func (dt *DiskTree) readNode(page int64) (*diskNode, error) {
+	dt.total++
+	hit := false
+	if dt.buf != nil {
+		hit = dt.buf.Access(page)
+	}
+	if !hit {
+		dt.reads++
+	}
+	// The payload is always parsed (a real system would keep decoded
+	// pages in the buffer; parsing cost is not what we measure).
+	buf, err := dt.pf.ReadPage(page)
+	if err != nil {
+		return nil, err
+	}
+	if len(buf) < nodeHeader {
+		return nil, fmt.Errorf("storage: short node page %d", page)
+	}
+	count := int(binary.LittleEndian.Uint16(buf[2:]))
+	n := &diskNode{leaf: buf[0] == 1}
+	off := nodeHeader
+	if n.leaf {
+		if len(buf) != nodeHeader+count*leafEntry {
+			return nil, fmt.Errorf("storage: leaf page %d length mismatch", page)
+		}
+		n.items = make([]rtree.Item, count)
+		for i := 0; i < count; i++ {
+			n.items[i] = rtree.Item{
+				ID: int64(binary.LittleEndian.Uint64(buf[off:])),
+				P: geom.Pt(
+					math.Float64frombits(binary.LittleEndian.Uint64(buf[off+8:])),
+					math.Float64frombits(binary.LittleEndian.Uint64(buf[off+16:])),
+				),
+			}
+			off += leafEntry
+		}
+		return n, nil
+	}
+	if len(buf) != nodeHeader+count*internalEntry {
+		return nil, fmt.Errorf("storage: internal page %d length mismatch", page)
+	}
+	n.rects = make([]geom.Rect, count)
+	n.kids = make([]int64, count)
+	for i := 0; i < count; i++ {
+		n.rects[i] = geom.R(
+			math.Float64frombits(binary.LittleEndian.Uint64(buf[off:])),
+			math.Float64frombits(binary.LittleEndian.Uint64(buf[off+8:])),
+			math.Float64frombits(binary.LittleEndian.Uint64(buf[off+16:])),
+			math.Float64frombits(binary.LittleEndian.Uint64(buf[off+24:])),
+		)
+		n.kids[i] = int64(binary.LittleEndian.Uint64(buf[off+32:]))
+		off += internalEntry
+	}
+	return n, nil
+}
+
+// Search returns the items inside window w, reading pages on demand.
+func (dt *DiskTree) Search(w geom.Rect) ([]rtree.Item, error) {
+	var out []rtree.Item
+	var walk func(page int64) error
+	walk = func(page int64) error {
+		n, err := dt.readNode(page)
+		if err != nil {
+			return err
+		}
+		if n.leaf {
+			for _, it := range n.items {
+				if w.Contains(it.P) {
+					out = append(out, it)
+				}
+			}
+			return nil
+		}
+		for i, r := range n.rects {
+			if w.Intersects(r) {
+				if err := walk(n.kids[i]); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := walk(dt.pf.Root()); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// diskEntry orders pages/items by distance in the best-first NN search.
+type diskEntry struct {
+	key  float64
+	page int64 // 0 for item entries
+	item rtree.Item
+}
+
+type diskHeap []diskEntry
+
+func (h diskHeap) Len() int            { return len(h) }
+func (h diskHeap) Less(i, j int) bool  { return h[i].key < h[j].key }
+func (h diskHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *diskHeap) Push(x interface{}) { *h = append(*h, x.(diskEntry)) }
+func (h *diskHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// KNearest returns the k nearest items to q via best-first search over
+// the stored pages.
+func (dt *DiskTree) KNearest(q geom.Point, k int) ([]rtree.Item, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	h := diskHeap{{key: 0, page: dt.pf.Root()}}
+	heap.Init(&h)
+	var out []rtree.Item
+	for h.Len() > 0 && len(out) < k {
+		e := heap.Pop(&h).(diskEntry)
+		if e.page == 0 {
+			out = append(out, e.item)
+			continue
+		}
+		n, err := dt.readNode(e.page)
+		if err != nil {
+			return nil, err
+		}
+		if n.leaf {
+			for _, it := range n.items {
+				heap.Push(&h, diskEntry{key: it.P.Dist2(q), item: it})
+			}
+			continue
+		}
+		for i, r := range n.rects {
+			heap.Push(&h, diskEntry{key: r.MinDist2(q), page: n.kids[i]})
+		}
+	}
+	return out, nil
+}

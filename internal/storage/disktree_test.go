@@ -1,0 +1,134 @@
+package storage
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"lbsq/internal/geom"
+	"lbsq/internal/nn"
+	"lbsq/internal/rtree"
+)
+
+func buildSaved(t *testing.T, n int, seed int64) (*rtree.Tree, *PageFile) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]rtree.Item, n)
+	for i := range items {
+		items[i] = rtree.Item{ID: int64(i), P: geom.Pt(rng.Float64(), rng.Float64())}
+	}
+	tree := rtree.BulkLoad(items, rtree.Options{PageSize: 1024}, 0.7)
+	pf, err := Create(tmpFile(t), RequiredPageSize(tree.MaxEntries()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveTree(pf, tree); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pf.Close() })
+	return tree, pf
+}
+
+func TestDiskSearchMatchesMemory(t *testing.T) {
+	tree, pf := buildSaved(t, 8000, 1)
+	dt := NewDiskTree(pf, 0)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 60; trial++ {
+		w := geom.RectCenteredAt(geom.Pt(rng.Float64(), rng.Float64()),
+			rng.Float64()*0.3, rng.Float64()*0.3)
+		got, err := dt.Search(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := tree.SearchItems(w)
+		if len(got) != len(want) {
+			t.Fatalf("window %v: disk %d vs memory %d results", w, len(got), len(want))
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i].ID < got[j].ID })
+		sort.Slice(want, func(i, j int) bool { return want[i].ID < want[j].ID })
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("window %v: item mismatch", w)
+			}
+		}
+	}
+}
+
+// The headline validation: the in-memory tree's simulated node-access
+// count equals the disk tree's literal page reads for the same query on
+// the same structure.
+func TestSimulatedNAEqualsRealPageReads(t *testing.T) {
+	tree, pf := buildSaved(t, 8000, 3)
+	dt := NewDiskTree(pf, 0)
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 40; trial++ {
+		w := geom.RectCenteredAt(geom.Pt(rng.Float64(), rng.Float64()),
+			0.01+rng.Float64()*0.2, 0.01+rng.Float64()*0.2)
+		tree.ResetAccesses()
+		tree.Search(w, func(rtree.Item) bool { return true })
+		simNA := tree.NodeAccesses()
+		dt.ResetCounters()
+		if _, err := dt.Search(w); err != nil {
+			t.Fatal(err)
+		}
+		if dt.Accesses() != simNA || dt.Reads() != simNA {
+			t.Fatalf("window %v: simulated NA %d vs disk accesses %d / reads %d",
+				w, simNA, dt.Accesses(), dt.Reads())
+		}
+	}
+}
+
+func TestDiskKNearestMatchesMemory(t *testing.T) {
+	tree, pf := buildSaved(t, 5000, 5)
+	dt := NewDiskTree(pf, 0)
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 50; trial++ {
+		q := geom.Pt(rng.Float64(), rng.Float64())
+		k := 1 + rng.Intn(10)
+		got, err := dt.KNearest(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := nn.KNearest(tree, q, k)
+		if len(got) != len(want) {
+			t.Fatalf("k=%d: disk %d vs memory %d", k, len(got), len(want))
+		}
+		for i := range got {
+			if d1, d2 := got[i].P.Dist(q), want[i].Dist; d1-d2 > 1e-12 || d2-d1 > 1e-12 {
+				t.Fatalf("k=%d rank %d: dist %v vs %v", k, i, d1, d2)
+			}
+		}
+	}
+}
+
+func TestDiskBufferAbsorbsRepeatedQueries(t *testing.T) {
+	_, pf := buildSaved(t, 8000, 7)
+	dt := NewDiskTree(pf, int(pf.NumPages())) // buffer everything
+	w := geom.R(0.4, 0.4, 0.6, 0.6)
+	if _, err := dt.Search(w); err != nil {
+		t.Fatal(err)
+	}
+	cold := dt.Reads()
+	dt.ResetCounters()
+	if _, err := dt.Search(w); err != nil {
+		t.Fatal(err)
+	}
+	if dt.Reads() != 0 {
+		t.Fatalf("warm repeat read %d pages, want 0 (cold was %d)", dt.Reads(), cold)
+	}
+	if dt.Accesses() == 0 {
+		t.Fatal("logical accesses must still be counted")
+	}
+}
+
+func TestDiskKNearestEdge(t *testing.T) {
+	_, pf := buildSaved(t, 50, 8)
+	dt := NewDiskTree(pf, 0)
+	if got, err := dt.KNearest(geom.Pt(0.5, 0.5), 0); err != nil || got != nil {
+		t.Fatalf("k=0: %v, %v", got, err)
+	}
+	got, err := dt.KNearest(geom.Pt(0.5, 0.5), 1000)
+	if err != nil || len(got) != 50 {
+		t.Fatalf("k>n returned %d, %v", len(got), err)
+	}
+}

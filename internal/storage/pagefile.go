@@ -1,0 +1,166 @@
+// Package storage persists R*-trees in a paged file format: one tree
+// node per fixed-size page with a CRC32 checksum, mirroring the
+// disk-resident layout whose node/page accesses the experiments count.
+// The paper's server is a classical disk-based spatial database; this
+// substrate makes the simulated page model concrete and lets servers
+// restart without rebuilding the index.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Magic identifies a page file (header page prefix).
+var magic = []byte("LBSQPG1\x00")
+
+const (
+	// pageTrailer is the per-page overhead: payload length (4 bytes) +
+	// CRC32 of the payload (4 bytes).
+	pageTrailer = 8
+	// headerPage is the reserved page id of the file header.
+	headerPage = 0
+)
+
+// PageFile is a file of fixed-size checksummed pages. Page 0 holds the
+// header; Alloc hands out ids from 1.
+type PageFile struct {
+	f        *os.File
+	pageSize int
+	pages    int64 // allocated pages, including the header
+	rootPage int64 // user payload pointer stored in the header
+}
+
+// Create makes a new page file at path (truncating any previous file).
+// pageSize must leave room for the trailer.
+func Create(path string, pageSize int) (*PageFile, error) {
+	if pageSize < 64 {
+		return nil, fmt.Errorf("storage: page size %d too small", pageSize)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	pf := &PageFile{f: f, pageSize: pageSize, pages: 1}
+	if err := pf.writeHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return pf, nil
+}
+
+// Open opens an existing page file and validates its header.
+func Open(path string) (*PageFile, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, len(magic)+20)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: reading header: %w", err)
+	}
+	if string(hdr[:len(magic)]) != string(magic) {
+		f.Close()
+		return nil, fmt.Errorf("storage: bad magic")
+	}
+	ps := int(binary.LittleEndian.Uint32(hdr[len(magic):]))
+	pages := int64(binary.LittleEndian.Uint64(hdr[len(magic)+4:]))
+	root := int64(binary.LittleEndian.Uint64(hdr[len(magic)+12:]))
+	if ps < 64 || pages < 1 {
+		f.Close()
+		return nil, fmt.Errorf("storage: corrupt header (pageSize=%d pages=%d)", ps, pages)
+	}
+	return &PageFile{f: f, pageSize: ps, pages: pages, rootPage: root}, nil
+}
+
+func (pf *PageFile) writeHeader() error {
+	buf := make([]byte, pf.pageSize)
+	copy(buf, magic)
+	binary.LittleEndian.PutUint32(buf[len(magic):], uint32(pf.pageSize))
+	binary.LittleEndian.PutUint64(buf[len(magic)+4:], uint64(pf.pages))
+	binary.LittleEndian.PutUint64(buf[len(magic)+12:], uint64(pf.rootPage))
+	_, err := pf.f.WriteAt(buf, 0)
+	return err
+}
+
+// PageSize returns the page size in bytes.
+func (pf *PageFile) PageSize() int { return pf.pageSize }
+
+// Payload returns the usable bytes per page.
+func (pf *PageFile) Payload() int { return pf.pageSize - pageTrailer }
+
+// NumPages returns the number of allocated pages (including the header).
+func (pf *PageFile) NumPages() int64 { return pf.pages }
+
+// SetRoot stores a user pointer (e.g. the tree root's page id) in the
+// header; persisted by Sync/Close.
+func (pf *PageFile) SetRoot(page int64) { pf.rootPage = page }
+
+// Root returns the stored user pointer.
+func (pf *PageFile) Root() int64 { return pf.rootPage }
+
+// Alloc reserves a new page and returns its id.
+func (pf *PageFile) Alloc() int64 {
+	id := pf.pages
+	pf.pages++
+	return id
+}
+
+// WritePage stores data (≤ Payload bytes) in the given page.
+func (pf *PageFile) WritePage(id int64, data []byte) error {
+	if id <= headerPage || id >= pf.pages {
+		return fmt.Errorf("storage: page %d out of range", id)
+	}
+	if len(data) > pf.Payload() {
+		return fmt.Errorf("storage: payload %d exceeds page capacity %d", len(data), pf.Payload())
+	}
+	buf := make([]byte, pf.pageSize)
+	copy(buf, data)
+	binary.LittleEndian.PutUint32(buf[pf.pageSize-8:], uint32(len(data)))
+	binary.LittleEndian.PutUint32(buf[pf.pageSize-4:], crc32.ChecksumIEEE(data))
+	_, err := pf.f.WriteAt(buf, id*int64(pf.pageSize))
+	return err
+}
+
+// ReadPage returns the payload of the given page, verifying the
+// checksum.
+func (pf *PageFile) ReadPage(id int64) ([]byte, error) {
+	if id <= headerPage || id >= pf.pages {
+		return nil, fmt.Errorf("storage: page %d out of range", id)
+	}
+	buf := make([]byte, pf.pageSize)
+	if _, err := pf.f.ReadAt(buf, id*int64(pf.pageSize)); err != nil && err != io.EOF {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(buf[pf.pageSize-8:])
+	if int(n) > pf.Payload() {
+		return nil, fmt.Errorf("storage: page %d corrupt length %d", id, n)
+	}
+	data := buf[:n]
+	want := binary.LittleEndian.Uint32(buf[pf.pageSize-4:])
+	if crc32.ChecksumIEEE(data) != want {
+		return nil, fmt.Errorf("storage: page %d checksum mismatch", id)
+	}
+	return data, nil
+}
+
+// Sync flushes the header and file contents to stable storage.
+func (pf *PageFile) Sync() error {
+	if err := pf.writeHeader(); err != nil {
+		return err
+	}
+	return pf.f.Sync()
+}
+
+// Close syncs and closes the file.
+func (pf *PageFile) Close() error {
+	if err := pf.Sync(); err != nil {
+		pf.f.Close()
+		return err
+	}
+	return pf.f.Close()
+}

@@ -1,0 +1,226 @@
+package storage
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"lbsq/internal/geom"
+	"lbsq/internal/rtree"
+)
+
+func tmpFile(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "test.lbsqt")
+}
+
+func TestPageFileBasics(t *testing.T) {
+	path := tmpFile(t)
+	pf, err := Create(path, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := pf.Alloc()
+	if id != 1 {
+		t.Fatalf("first alloc = %d", id)
+	}
+	data := []byte("hello pages")
+	if err := pf.WritePage(id, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := pf.ReadPage(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(data) {
+		t.Fatalf("round trip = %q", got)
+	}
+	pf.SetRoot(id)
+	if err := pf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen.
+	pf2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf2.Close()
+	if pf2.PageSize() != 512 || pf2.NumPages() != 2 || pf2.Root() != id {
+		t.Fatalf("header round trip: ps=%d pages=%d root=%d",
+			pf2.PageSize(), pf2.NumPages(), pf2.Root())
+	}
+	got, err = pf2.ReadPage(id)
+	if err != nil || string(got) != string(data) {
+		t.Fatalf("reopened read = %q, %v", got, err)
+	}
+}
+
+func TestPageFileErrors(t *testing.T) {
+	path := tmpFile(t)
+	if _, err := Create(path, 16); err == nil {
+		t.Error("tiny page size must error")
+	}
+	pf, err := Create(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	// Out-of-range pages.
+	if err := pf.WritePage(0, nil); err == nil {
+		t.Error("writing the header page must error")
+	}
+	if err := pf.WritePage(99, nil); err == nil {
+		t.Error("writing unallocated page must error")
+	}
+	if _, err := pf.ReadPage(0); err == nil {
+		t.Error("reading the header page must error")
+	}
+	// Oversized payload.
+	id := pf.Alloc()
+	if err := pf.WritePage(id, make([]byte, 300)); err == nil {
+		t.Error("oversized payload must error")
+	}
+	// Bad magic on open.
+	bad := tmpFile(t)
+	os.WriteFile(bad, []byte("NOTAPAGEFILE-and-some-padding-to-fill-header"), 0o644)
+	if _, err := Open(bad); err == nil {
+		t.Error("bad magic must error")
+	}
+	if _, err := Open(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file must error")
+	}
+}
+
+func TestPageChecksumDetectsCorruption(t *testing.T) {
+	path := tmpFile(t)
+	pf, err := Create(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := pf.Alloc()
+	if err := pf.WritePage(id, []byte("important data")); err != nil {
+		t.Fatal(err)
+	}
+	pf.Close()
+	// Flip a byte in the stored payload.
+	raw, _ := os.ReadFile(path)
+	raw[256+3] ^= 0xFF
+	os.WriteFile(path, raw, 0o644)
+	pf2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf2.Close()
+	if _, err := pf2.ReadPage(id); err == nil {
+		t.Fatal("corrupted page must fail its checksum")
+	}
+}
+
+func TestTreeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	items := make([]rtree.Item, 5000)
+	for i := range items {
+		items[i] = rtree.Item{ID: int64(i), P: geom.Pt(rng.Float64(), rng.Float64())}
+	}
+	opts := rtree.Options{PageSize: 1024}
+	tree := rtree.BulkLoad(items, opts, 0.7)
+
+	path := tmpFile(t)
+	pf, err := Create(path, RequiredPageSize(tree.MaxEntries()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveTree(pf, tree); err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	pf2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf2.Close()
+	loaded, err := LoadTree(pf2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != tree.Len() {
+		t.Fatalf("loaded %d items, want %d", loaded.Len(), tree.Len())
+	}
+	if err := loaded.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Queries agree with the original.
+	for trial := 0; trial < 50; trial++ {
+		w := geom.RectCenteredAt(geom.Pt(rng.Float64(), rng.Float64()), 0.1, 0.1)
+		a := idsOf(tree.SearchItems(w))
+		b := idsOf(loaded.SearchItems(w))
+		if len(a) != len(b) {
+			t.Fatalf("window %v: %d vs %d results", w, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("window %v: id mismatch", w)
+			}
+		}
+	}
+}
+
+func idsOf(items []rtree.Item) []int64 {
+	ids := make([]int64, len(items))
+	for i, it := range items {
+		ids[i] = it.ID
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func TestSaveTreePageSizeValidation(t *testing.T) {
+	tree := rtree.NewDefault() // fanout 204 → needs ~8.5 KB pages
+	tree.Insert(rtree.Item{ID: 1, P: geom.Pt(0.5, 0.5)})
+	pf, err := Create(tmpFile(t), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	if err := SaveTree(pf, tree); err == nil {
+		t.Fatal("undersized pages must be rejected")
+	}
+}
+
+func TestLoadTreeValidation(t *testing.T) {
+	// A file with no root recorded.
+	pf, err := Create(tmpFile(t), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	if _, err := LoadTree(pf, rtree.Options{}); err == nil {
+		t.Fatal("missing root must error")
+	}
+}
+
+func TestRequiredPageSize(t *testing.T) {
+	if got := RequiredPageSize(204); got%512 != 0 || got < 204*internalEntry {
+		t.Fatalf("RequiredPageSize(204) = %d", got)
+	}
+	// A tree built with that page size must save successfully.
+	rng := rand.New(rand.NewSource(2))
+	items := make([]rtree.Item, 1000)
+	for i := range items {
+		items[i] = rtree.Item{ID: int64(i), P: geom.Pt(rng.Float64(), rng.Float64())}
+	}
+	tree := rtree.BulkLoad(items, rtree.Options{}, 0.7)
+	pf, err := Create(tmpFile(t), RequiredPageSize(tree.MaxEntries()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	if err := SaveTree(pf, tree); err != nil {
+		t.Fatal(err)
+	}
+}

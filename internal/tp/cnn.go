@@ -1,0 +1,88 @@
+package tp
+
+import (
+	"lbsq/internal/geom"
+	"lbsq/internal/nn"
+	"lbsq/internal/rtree"
+)
+
+// Continuous nearest-neighbor search in the style of [TPS02]: given a
+// segment, return the nearest neighbor for *every* position on it as a
+// partition into intervals. The paper discusses this as the related
+// technique for clients with known straight-line routes; it reduces to
+// chaining TPNN queries — each crossing distance is the next split
+// point.
+
+// CNNInterval is one piece of a continuous-NN answer: NN is the nearest
+// neighbor for all positions at parameter t ∈ [From, To] (distances
+// from the segment start).
+type CNNInterval struct {
+	From, To float64
+	NN       rtree.Item
+}
+
+// maxCNNIntervals caps the number of splits against degenerate inputs
+// (e.g. long chains of duplicate points); real workloads produce
+// O(path length / point spacing) intervals.
+const maxCNNIntervals = 1 << 20
+
+// CNN computes the continuous nearest neighbors along the segment from
+// a to b. The empty slice is returned for an empty tree or a
+// zero-length segment with no data.
+func CNN(tree *rtree.Tree, a, b geom.Point) []CNNInterval {
+	first, ok := nn.Nearest(tree, a)
+	if !ok {
+		return nil
+	}
+	total := a.Dist(b)
+	if total == 0 {
+		return []CNNInterval{{From: 0, To: 0, NN: first.Item}}
+	}
+	u := b.Sub(a).Unit()
+
+	var out []CNNInterval
+	cur := first.Item
+	pos := 0.0
+	for len(out) < maxCNNIntervals {
+		q := a.Add(u.Scale(pos))
+		res := NN(tree, q, u, cur, (total-pos)*(1+vertexEps)+1e-12)
+		if !res.Found || pos+res.T >= total {
+			out = append(out, CNNInterval{From: pos, To: total, NN: cur})
+			return out
+		}
+		if res.T <= 0 {
+			// Tie at the current position (duplicate-distance points):
+			// switch without emitting a zero-length interval.
+			cur = res.Obj
+			continue
+		}
+		out = append(out, CNNInterval{From: pos, To: pos + res.T, NN: cur})
+		pos += res.T
+		cur = res.Obj
+	}
+	out = append(out, CNNInterval{From: pos, To: total, NN: cur})
+	return out
+}
+
+// vertexEps mirrors the cap inflation used by the validity-region
+// probes: a crossing landing exactly at the segment end is treated as
+// beyond it.
+const vertexEps = 1e-9
+
+// NNAt returns the interval covering parameter t (clamped to the
+// partition's range); ok is false for an empty partition.
+func NNAt(intervals []CNNInterval, t float64) (CNNInterval, bool) {
+	if len(intervals) == 0 {
+		return CNNInterval{}, false
+	}
+	lo, hi := 0, len(intervals)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if intervals[mid].To < t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return intervals[lo], true
+}

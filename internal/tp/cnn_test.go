@@ -1,0 +1,143 @@
+package tp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lbsq/internal/geom"
+	"lbsq/internal/rtree"
+)
+
+func bruteNNID(items []rtree.Item, q geom.Point) (int64, float64) {
+	bestID, bestD := int64(-1), math.Inf(1)
+	for _, it := range items {
+		if d := it.P.Dist2(q); d < bestD {
+			bestD, bestID = d, it.ID
+		}
+	}
+	return bestID, math.Sqrt(bestD)
+}
+
+func TestCNNMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tree, items := buildTree(rng, 2000)
+	for trial := 0; trial < 40; trial++ {
+		a := geom.Pt(rng.Float64(), rng.Float64())
+		b := geom.Pt(rng.Float64(), rng.Float64())
+		ivs := CNN(tree, a, b)
+		if len(ivs) == 0 {
+			t.Fatal("no intervals")
+		}
+		total := a.Dist(b)
+		// Partition properties: contiguous, covering [0, total].
+		if ivs[0].From != 0 || math.Abs(ivs[len(ivs)-1].To-total) > 1e-9 {
+			t.Fatalf("trial %d: partition does not span the segment", trial)
+		}
+		for i := 1; i < len(ivs); i++ {
+			if math.Abs(ivs[i].From-ivs[i-1].To) > 1e-9 {
+				t.Fatalf("trial %d: gap between intervals %d and %d", trial, i-1, i)
+			}
+			if ivs[i].NN.ID == ivs[i-1].NN.ID {
+				t.Fatalf("trial %d: consecutive intervals share the same NN", trial)
+			}
+		}
+		// Sampled correctness: the interval's NN is the brute-force NN.
+		u := b.Sub(a).Unit()
+		for s := 0; s < 60; s++ {
+			pos := rng.Float64() * total
+			iv, ok := NNAt(ivs, pos)
+			if !ok {
+				t.Fatal("NNAt failed")
+			}
+			q := a.Add(u.Scale(pos))
+			wantID, wantD := bruteNNID(items, q)
+			if iv.NN.ID != wantID {
+				// Tolerate distance ties and interval-boundary noise.
+				gotD := iv.NN.P.Dist(q)
+				nearSplit := math.Abs(pos-iv.From) < 1e-7 || math.Abs(pos-iv.To) < 1e-7
+				if math.Abs(gotD-wantD) > 1e-9 && !nearSplit {
+					t.Fatalf("trial %d pos %v: CNN says %d (d=%v), brute %d (d=%v)",
+						trial, pos, iv.NN.ID, gotD, wantID, wantD)
+				}
+			}
+		}
+	}
+}
+
+func TestCNNSplitSemantics(t *testing.T) {
+	// At each split point the two adjacent NNs are equidistant.
+	rng := rand.New(rand.NewSource(2))
+	tree, _ := buildTree(rng, 3000)
+	a, b := geom.Pt(0.05, 0.5), geom.Pt(0.95, 0.5)
+	ivs := CNN(tree, a, b)
+	if len(ivs) < 5 {
+		t.Fatalf("expected several intervals crossing the space, got %d", len(ivs))
+	}
+	u := b.Sub(a).Unit()
+	for i := 1; i < len(ivs); i++ {
+		split := a.Add(u.Scale(ivs[i].From))
+		d1 := ivs[i-1].NN.P.Dist(split)
+		d2 := ivs[i].NN.P.Dist(split)
+		if math.Abs(d1-d2) > 1e-7 {
+			t.Fatalf("split %d: distances %v vs %v not equal", i, d1, d2)
+		}
+	}
+}
+
+func TestCNNEdgeCases(t *testing.T) {
+	empty := rtree.NewDefault()
+	if got := CNN(empty, geom.Pt(0, 0), geom.Pt(1, 1)); got != nil {
+		t.Fatal("empty tree must return nil")
+	}
+	tree := rtree.NewDefault()
+	tree.Insert(rtree.Item{ID: 1, P: geom.Pt(0.5, 0.5)})
+	// Single point: one interval covering the whole segment.
+	ivs := CNN(tree, geom.Pt(0, 0), geom.Pt(1, 0))
+	if len(ivs) != 1 || ivs[0].NN.ID != 1 {
+		t.Fatalf("single-point CNN = %v", ivs)
+	}
+	// Zero-length segment.
+	ivs = CNN(tree, geom.Pt(0.2, 0.2), geom.Pt(0.2, 0.2))
+	if len(ivs) != 1 || ivs[0].From != 0 || ivs[0].To != 0 {
+		t.Fatalf("degenerate segment CNN = %v", ivs)
+	}
+	// Duplicate points must terminate.
+	tree.Insert(rtree.Item{ID: 2, P: geom.Pt(0.5, 0.5)})
+	_ = CNN(tree, geom.Pt(0, 0), geom.Pt(1, 0))
+
+	// NNAt on empty partition.
+	if _, ok := NNAt(nil, 0.5); ok {
+		t.Fatal("NNAt on empty partition must fail")
+	}
+}
+
+func TestCNNTwoPoints(t *testing.T) {
+	// Hand-checkable: points at x=0.25 and x=0.75 on the segment's line;
+	// the split is exactly halfway.
+	tree := rtree.NewDefault()
+	tree.Insert(rtree.Item{ID: 1, P: geom.Pt(0.25, 0.5)})
+	tree.Insert(rtree.Item{ID: 2, P: geom.Pt(0.75, 0.5)})
+	ivs := CNN(tree, geom.Pt(0, 0.5), geom.Pt(1, 0.5))
+	if len(ivs) != 2 {
+		t.Fatalf("intervals = %v", ivs)
+	}
+	if ivs[0].NN.ID != 1 || ivs[1].NN.ID != 2 {
+		t.Fatalf("wrong NNs: %v", ivs)
+	}
+	if math.Abs(ivs[0].To-0.5) > 1e-9 {
+		t.Fatalf("split at %v, want 0.5", ivs[0].To)
+	}
+}
+
+func TestCNNIntervalCountScales(t *testing.T) {
+	// Crossing the unit square should change NN roughly every typical
+	// point spacing: interval count within a sane band.
+	rng := rand.New(rand.NewSource(3))
+	tree, _ := buildTree(rng, 10000)
+	ivs := CNN(tree, geom.Pt(0.01, 0.5), geom.Pt(0.99, 0.5))
+	// Typical spacing 1/100; expect on the order of 50–300 intervals.
+	if len(ivs) < 20 || len(ivs) > 500 {
+		t.Fatalf("interval count %d implausible", len(ivs))
+	}
+}

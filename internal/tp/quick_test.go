@@ -1,0 +1,104 @@
+package tp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lbsq/internal/geom"
+)
+
+func qc(seed int64, max int) *quick.Config {
+	return &quick.Config{MaxCount: max, Rand: rand.New(rand.NewSource(seed))}
+}
+
+func unit01(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0.5
+	}
+	_, f := math.Modf(math.Abs(x))
+	return f
+}
+
+// Property: at the crossing distance, the outsider and the member are
+// equidistant from the moving query point; strictly before it, the
+// member is closer.
+func TestQuickCrossDistSemantics(t *testing.T) {
+	f := func(qx, qy, ox, oy, ax, ay, ang float64) bool {
+		q := geom.Pt(unit01(qx), unit01(qy))
+		o := geom.Pt(unit01(ox), unit01(oy))
+		a := geom.Pt(unit01(ax), unit01(ay))
+		theta := unit01(ang) * 2 * math.Pi
+		u := geom.Pt(math.Cos(theta), math.Sin(theta))
+		if q.Dist2(a) < q.Dist2(o) {
+			// Precondition of the validity algorithms: o at least as
+			// close as a; skip generated cases violating it.
+			return true
+		}
+		tc := CrossDist(q, u, o, a)
+		if math.IsInf(tc, 1) {
+			// Never crosses: a must stay at least as far for a long ride.
+			x := q.Add(u.Scale(1000))
+			return x.Dist2(a) >= x.Dist2(o)-1e-6
+		}
+		x := q.Add(u.Scale(tc))
+		if math.Abs(x.Dist(o)-x.Dist(a)) > 1e-6*(1+tc) {
+			return false
+		}
+		if tc > 1e-9 {
+			y := q.Add(u.Scale(tc / 2))
+			return y.Dist2(o) <= y.Dist2(a)+1e-9
+		}
+		return true
+	}
+	if err := quick.Check(f, qc(1, 3000)); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the node lower bound never exceeds the true influence
+// distance of any point in the node's rectangle.
+func TestQuickNodeBoundIsLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(qx, qy, ox, oy, ang, rx, ry, rw, rh float64) bool {
+		q := geom.Pt(unit01(qx), unit01(qy))
+		o := geom.Pt(unit01(ox), unit01(oy))
+		theta := unit01(ang) * 2 * math.Pi
+		u := geom.Pt(math.Cos(theta), math.Sin(theta))
+		r := geom.R(unit01(rx), unit01(ry),
+			unit01(rx)+unit01(rw), unit01(ry)+unit01(rh))
+
+		memberD2 := []float64{q.Dist2(o)}
+		memberProj := []float64{u.Dot(o)}
+		corners := r.Corners()
+		maxCorner := math.Inf(-1)
+		for _, c := range corners {
+			if p := u.Dot(c); p > maxCorner {
+				maxCorner = p
+			}
+		}
+		lb := math.Inf(1)
+		den := 2 * (maxCorner - memberProj[0])
+		if den > 0 {
+			num := r.MinDist2(q) - memberD2[0]
+			if num <= 0 {
+				lb = 0
+			} else {
+				lb = num / den
+			}
+		}
+		// Sample points inside r; their true crossing must be ≥ lb.
+		for s := 0; s < 30; s++ {
+			a := geom.Pt(r.MinX+rng.Float64()*r.Width(), r.MinY+rng.Float64()*r.Height())
+			tc := crossDistPre(q, u, memberD2[0], memberProj[0], a)
+			if tc < lb-1e-9*(1+lb) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, qc(3, 500)); err != nil {
+		t.Error(err)
+	}
+}

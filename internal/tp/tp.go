@@ -1,0 +1,198 @@
+// Package tp implements time-parameterized (TP) queries [TP02] over the
+// R*-tree, specialized to the location-based setting of the paper: the
+// query point moves along a ray and the "influence time" of an object is
+// the travel distance at which it starts affecting the current result.
+//
+// TPNN/TPkNN are the workhorses of the validity-region algorithms
+// (Figs. 10 and 12): a TPkNN query from q toward a region vertex either
+// discovers a new influence object (the first outsider to become closer
+// than a current result member along the ray) or confirms the vertex.
+//
+// The search is best-first over the tree with a conservative
+// influence-distance lower bound for node MBRs; correctness requires only
+// that the bound never exceeds the true minimum influence distance of any
+// point in the subtree.
+package tp
+
+import (
+	"container/heap"
+	"math"
+
+	"lbsq/internal/geom"
+	"lbsq/internal/rtree"
+)
+
+// CrossDist returns the travel distance t ≥ 0 at which the moving query
+// point q + t·u becomes equidistant from member o and outsider a, after
+// which a is closer. It returns +Inf if a never becomes closer along the
+// ray. u must be a unit vector.
+//
+// Derivation: dist²(x(t), a) − dist²(x(t), o)
+//
+//	= |qa|² − |qo|² − 2t·u·(a−o),
+//
+// which reaches zero at t = (|qa|² − |qo|²) / (2·u·(a−o)) when the
+// denominator is positive (the query moves toward a's side of the
+// bisector).
+func CrossDist(q, u, o, a geom.Point) float64 {
+	den := 2 * u.Dot(a.Sub(o))
+	if den <= 0 {
+		return math.Inf(1)
+	}
+	num := q.Dist2(a) - q.Dist2(o)
+	if num <= 0 {
+		// a is already at least as close as o (tie or floating-point
+		// noise): it influences immediately.
+		return 0
+	}
+	return num / den
+}
+
+// Result is the outcome of a TP nearest-neighbor query.
+type Result struct {
+	// Obj is the influence object: the first outsider to become closer
+	// than a result member along the ray.
+	Obj rtree.Item
+	// Member is the result member whose bisector with Obj is crossed
+	// first (for 1NN queries this is the nearest neighbor itself).
+	Member rtree.Item
+	// T is the travel distance at which the crossing happens.
+	T float64
+	// Found reports whether any influence object exists within tMax.
+	Found bool
+}
+
+// nodeEntry orders tree nodes by their influence-distance lower bound.
+type nodeEntry struct {
+	lb   float64
+	node *rtree.Node
+}
+
+type nodeHeap []nodeEntry
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].lb < h[j].lb }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(nodeEntry)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// KNN performs a TPkNN query: the query point starts at q and moves in
+// unit direction u; members is the current k-NN result set. It returns
+// the first outsider (not in members) whose bisector with some member is
+// crossed strictly before travel distance tMax, together with that
+// member and the crossing distance. Callers probing a region vertex at
+// distance d should pass a slightly inflated cap (d·(1+ε)) so crossings
+// landing exactly on the vertex — re-discoveries of known influence
+// objects — are still reported.
+func KNN(tree *rtree.Tree, q, u geom.Point, members []rtree.Item, tMax float64) Result {
+	if len(members) == 0 || tMax <= 0 {
+		return Result{}
+	}
+	memberIDs := make(map[int64]bool, len(members))
+	memberD2 := make([]float64, len(members))
+	memberProj := make([]float64, len(members))
+	for i, m := range members {
+		memberIDs[m.ID] = true
+		memberD2[i] = q.Dist2(m.P)
+		memberProj[i] = u.Dot(m.P)
+	}
+
+	best := Result{T: tMax}
+	h := nodeHeap{{lb: nodeLB(tree.Root(), q, u, memberD2, memberProj), node: tree.Root()}}
+	heap.Init(&h)
+	for h.Len() > 0 {
+		e := heap.Pop(&h).(nodeEntry)
+		if e.lb >= best.T {
+			break // no remaining subtree can improve the crossing
+		}
+		tree.CountAccess(e.node)
+		if e.node.Leaf() {
+			for _, it := range e.node.Items() {
+				if memberIDs[it.ID] {
+					continue
+				}
+				for mi, m := range members {
+					t := crossDistPre(q, u, memberD2[mi], memberProj[mi], it.P)
+					if t < best.T {
+						best = Result{Obj: it, Member: m, T: t, Found: true}
+					}
+				}
+			}
+			continue
+		}
+		for _, c := range e.node.Children() {
+			lb := nodeLB(c, q, u, memberD2, memberProj)
+			if lb < best.T {
+				heap.Push(&h, nodeEntry{lb: lb, node: c})
+			}
+		}
+	}
+	if !best.Found {
+		return Result{}
+	}
+	return best
+}
+
+// NN performs a TPNN query with a single current nearest neighbor.
+func NN(tree *rtree.Tree, q, u geom.Point, o rtree.Item, tMax float64) Result {
+	return KNN(tree, q, u, []rtree.Item{o}, tMax)
+}
+
+// crossDistPre is CrossDist with the member's squared distance and
+// projection precomputed.
+func crossDistPre(q, u geom.Point, oD2, oProj float64, a geom.Point) float64 {
+	den := 2 * (u.Dot(a) - oProj)
+	if den <= 0 {
+		return math.Inf(1)
+	}
+	num := q.Dist2(a) - oD2
+	if num <= 0 {
+		return 0
+	}
+	return num / den
+}
+
+// nodeLB returns a lower bound on the influence distance of any point in
+// the node's MBR: for each member o,
+//
+//	t_a = (|qa|² − |qo|²) / (2·u·(a−o)) ≥ (mindist²(q,E) − |qo|²) / (2·maxProj)
+//
+// where maxProj bounds u·(a−o) from above over the MBR corners (u·a is
+// linear, so the corner maximum is exact). The bound is conservative —
+// never above the true minimum — which is all the best-first search
+// needs for correctness.
+func nodeLB(n *rtree.Node, q, u geom.Point, memberD2, memberProj []float64) float64 {
+	r := n.Rect()
+	corners := r.Corners()
+	maxCorner := math.Inf(-1)
+	for _, c := range corners {
+		if p := u.Dot(c); p > maxCorner {
+			maxCorner = p
+		}
+	}
+	mind2 := r.MinDist2(q)
+	lb := math.Inf(1)
+	for i := range memberD2 {
+		den := 2 * (maxCorner - memberProj[i])
+		if den <= 0 {
+			continue // every point in E moves away from this member's bisector
+		}
+		num := mind2 - memberD2[i]
+		var t float64
+		if num <= 0 {
+			t = 0
+		} else {
+			t = num / den
+		}
+		if t < lb {
+			lb = t
+		}
+	}
+	return lb
+}

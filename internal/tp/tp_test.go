@@ -1,0 +1,263 @@
+package tp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lbsq/internal/geom"
+	"lbsq/internal/nn"
+	"lbsq/internal/rtree"
+)
+
+func buildTree(rng *rand.Rand, n int) (*rtree.Tree, []rtree.Item) {
+	items := make([]rtree.Item, n)
+	for i := range items {
+		items[i] = rtree.Item{ID: int64(i), P: geom.Pt(rng.Float64(), rng.Float64())}
+	}
+	return rtree.BulkLoad(items, rtree.Options{PageSize: 512}, 0.7), items
+}
+
+// bruteTPKNN is the O(n·k) reference implementation.
+func bruteTPKNN(items []rtree.Item, q, u geom.Point, members []rtree.Item, tMax float64) Result {
+	isMember := map[int64]bool{}
+	for _, m := range members {
+		isMember[m.ID] = true
+	}
+	best := Result{T: tMax}
+	for _, it := range items {
+		if isMember[it.ID] {
+			continue
+		}
+		for _, m := range members {
+			t := CrossDist(q, u, m.P, it.P)
+			if t < best.T {
+				best = Result{Obj: it, Member: m, T: t, Found: true}
+			}
+		}
+	}
+	if !best.Found {
+		return Result{}
+	}
+	return best
+}
+
+func TestCrossDist(t *testing.T) {
+	q, u := geom.Pt(0, 0), geom.Pt(1, 0)
+	o, a := geom.Pt(1, 0), geom.Pt(5, 0)
+	// Bisector of o and a is x = 3; query crosses it at t = 3.
+	if got := CrossDist(q, u, o, a); math.Abs(got-3) > 1e-12 {
+		t.Errorf("CrossDist = %v, want 3", got)
+	}
+	// Moving away: never crosses.
+	if got := CrossDist(q, geom.Pt(-1, 0), o, a); !math.IsInf(got, 1) {
+		t.Errorf("moving away: got %v", got)
+	}
+	// Perpendicular motion: never crosses (bisector parallel to path).
+	if got := CrossDist(q, geom.Pt(0, 1), o, a); !math.IsInf(got, 1) {
+		t.Errorf("parallel: got %v", got)
+	}
+	// Outsider already tied: crosses immediately.
+	if got := CrossDist(q, u, geom.Pt(0, 1), geom.Pt(0, -1)); got != 0 && !math.IsInf(got, 1) {
+		t.Errorf("tie: got %v", got)
+	}
+	// a equals o: degenerate, never strictly closer.
+	if got := CrossDist(q, u, o, o); !math.IsInf(got, 1) {
+		t.Errorf("coincident: got %v", got)
+	}
+}
+
+func TestTPNNMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tree, items := buildTree(rng, 2000)
+	for trial := 0; trial < 200; trial++ {
+		q := geom.Pt(rng.Float64(), rng.Float64())
+		ang := rng.Float64() * 2 * math.Pi
+		u := geom.Pt(math.Cos(ang), math.Sin(ang))
+		o, _ := nn.Nearest(tree, q)
+		tMax := rng.Float64() * 1.5
+		got := NN(tree, q, u, o.Item, tMax)
+		want := bruteTPKNN(items, q, u, []rtree.Item{o.Item}, tMax)
+		if got.Found != want.Found {
+			t.Fatalf("trial %d: found=%v want %v", trial, got.Found, want.Found)
+		}
+		if got.Found && math.Abs(got.T-want.T) > 1e-9 {
+			t.Fatalf("trial %d: T=%v want %v", trial, got.T, want.T)
+		}
+	}
+}
+
+func TestTPkNNMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tree, items := buildTree(rng, 1000)
+	for _, k := range []int{1, 2, 5, 10} {
+		for trial := 0; trial < 50; trial++ {
+			q := geom.Pt(rng.Float64(), rng.Float64())
+			ang := rng.Float64() * 2 * math.Pi
+			u := geom.Pt(math.Cos(ang), math.Sin(ang))
+			nbs := nn.KNearest(tree, q, k)
+			members := make([]rtree.Item, len(nbs))
+			for i, nb := range nbs {
+				members[i] = nb.Item
+			}
+			tMax := rng.Float64()
+			got := KNN(tree, q, u, members, tMax)
+			want := bruteTPKNN(items, q, u, members, tMax)
+			if got.Found != want.Found {
+				t.Fatalf("k=%d trial %d: found=%v want %v", k, trial, got.Found, want.Found)
+			}
+			if got.Found && math.Abs(got.T-want.T) > 1e-9 {
+				t.Fatalf("k=%d trial %d: T=%v want %v", k, trial, got.T, want.T)
+			}
+		}
+	}
+}
+
+func TestTPNNSemantics(t *testing.T) {
+	// After traveling the returned distance, the influence object is as
+	// close as the member (the NN is about to change).
+	rng := rand.New(rand.NewSource(3))
+	tree, _ := buildTree(rng, 3000)
+	for trial := 0; trial < 100; trial++ {
+		q := geom.Pt(rng.Float64()*0.6+0.2, rng.Float64()*0.6+0.2)
+		ang := rng.Float64() * 2 * math.Pi
+		u := geom.Pt(math.Cos(ang), math.Sin(ang))
+		o, _ := nn.Nearest(tree, q)
+		res := NN(tree, q, u, o.Item, 2)
+		if !res.Found {
+			continue
+		}
+		x := q.Add(u.Scale(res.T))
+		dOld, dNew := x.Dist(o.Item.P), x.Dist(res.Obj.P)
+		if math.Abs(dOld-dNew) > 1e-7 {
+			t.Fatalf("at crossing: dist to member %v, to obj %v", dOld, dNew)
+		}
+		// Just before the crossing, the member is still strictly closer.
+		if res.T > 1e-6 {
+			y := q.Add(u.Scale(res.T * 0.99))
+			if y.Dist(o.Item.P) >= y.Dist(res.Obj.P)+1e-12 {
+				t.Fatal("member not closer before crossing")
+			}
+		}
+	}
+}
+
+func TestTPNNEdgeCases(t *testing.T) {
+	tree := rtree.NewDefault()
+	for i, p := range []geom.Point{{X: 0.2, Y: 0.5}, {X: 0.8, Y: 0.5}} {
+		tree.Insert(rtree.Item{ID: int64(i), P: p})
+	}
+	q, u := geom.Pt(0.3, 0.5), geom.Pt(1, 0)
+	o := rtree.Item{ID: 0, P: geom.Pt(0.2, 0.5)}
+	// Bisector at x=0.5, crossing at t=0.2.
+	res := NN(tree, q, u, o, 1)
+	if !res.Found || math.Abs(res.T-0.2) > 1e-12 || res.Obj.ID != 1 {
+		t.Fatalf("got %+v", res)
+	}
+	// Cap below the crossing: nothing found.
+	if got := NN(tree, q, u, o, 0.1); got.Found {
+		t.Fatalf("capped query found %+v", got)
+	}
+	// A cap safely below the crossing (beyond float noise) finds nothing;
+	// the exact boundary is deliberately left unspecified.
+	if got := NN(tree, q, u, o, 0.2-1e-9); got.Found {
+		t.Fatalf("sub-boundary crossing reported: %+v", got)
+	}
+	// An inflated cap always reports the boundary crossing.
+	if got := NN(tree, q, u, o, 0.2*(1+1e-9)+1e-12); !got.Found {
+		t.Fatal("inflated cap missed boundary crossing")
+	}
+	// Empty member set.
+	if got := KNN(tree, q, u, nil, 1); got.Found {
+		t.Fatal("empty member set must find nothing")
+	}
+}
+
+func TestTPWindowExitAndEnter(t *testing.T) {
+	// Reproduce the spirit of paper Fig. 6a: window moving east at speed
+	// 1; a result member leaves, an outsider enters later.
+	tree := rtree.NewDefault()
+	b := rtree.Item{ID: 1, P: geom.Pt(2, 5)}   // inside, exits when window passes
+	d := rtree.Item{ID: 2, P: geom.Pt(7, 5)}   // east, enters later
+	c := rtree.Item{ID: 3, P: geom.Pt(4, -10)} // far south, never
+	for _, it := range []rtree.Item{b, d, c} {
+		tree.Insert(it)
+	}
+	w := geom.R(1, 4, 3, 6) // covers b; b exits when w.MinX passes 2 → t=1
+	res := Window(tree, w, geom.Pt(1, 0))
+	if len(res.Result) != 1 || res.Result[0].ID != 1 {
+		t.Fatalf("result = %v", res.Result)
+	}
+	if math.Abs(res.T-1) > 1e-12 {
+		t.Fatalf("T = %v, want 1 (b exits)", res.T)
+	}
+	if len(res.Changes) != 1 || res.Changes[0].Obj.ID != 1 || res.Changes[0].Enter {
+		t.Fatalf("changes = %+v", res.Changes)
+	}
+	// Move d closer so it enters before b exits: d at x=3.5 enters at t=0.5.
+	tree.Delete(d)
+	d2 := rtree.Item{ID: 2, P: geom.Pt(3.5, 5)}
+	tree.Insert(d2)
+	res = Window(tree, w, geom.Pt(1, 0))
+	if math.Abs(res.T-0.5) > 1e-12 {
+		t.Fatalf("T = %v, want 0.5 (d enters)", res.T)
+	}
+	if len(res.Changes) != 1 || res.Changes[0].Obj.ID != 2 || !res.Changes[0].Enter {
+		t.Fatalf("changes = %+v", res.Changes)
+	}
+}
+
+func TestTPWindowStationary(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tree, _ := buildTree(rng, 500)
+	res := Window(tree, geom.R(0.4, 0.4, 0.6, 0.6), geom.Point{})
+	if !math.IsInf(res.T, 1) || len(res.Changes) != 0 {
+		t.Fatalf("stationary window: T=%v changes=%v", res.T, res.Changes)
+	}
+}
+
+func TestTPWindowBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tree, items := buildTree(rng, 800)
+	for trial := 0; trial < 100; trial++ {
+		c := geom.Pt(rng.Float64(), rng.Float64())
+		w := geom.RectCenteredAt(c, 0.1+rng.Float64()*0.2, 0.1+rng.Float64()*0.2)
+		ang := rng.Float64() * 2 * math.Pi
+		vel := geom.Pt(math.Cos(ang), math.Sin(ang))
+		res := Window(tree, w, vel)
+		// Brute force: earliest event over all items.
+		bestT := math.Inf(1)
+		for _, it := range items {
+			var tEv float64
+			if w.Contains(it.P) {
+				tEv = exitTime(w, vel, it.P)
+			} else {
+				tEv = enterTimeRect(w, vel, geom.Rect{MinX: it.P.X, MinY: it.P.Y, MaxX: it.P.X, MaxY: it.P.Y})
+			}
+			if tEv < bestT {
+				bestT = tEv
+			}
+		}
+		if math.Abs(res.T-bestT) > 1e-9 && !(math.IsInf(res.T, 1) && math.IsInf(bestT, 1)) {
+			t.Fatalf("trial %d: T=%v brute=%v", trial, res.T, bestT)
+		}
+	}
+}
+
+func TestAxisCoverInterval(t *testing.T) {
+	// Static overlap, zero velocity → always covered.
+	iv := axisCoverInterval(0, 2, 0, 1, 1)
+	if !math.IsInf(iv[0], -1) || !math.IsInf(iv[1], 1) {
+		t.Errorf("static overlap: %v", iv)
+	}
+	// No overlap, zero velocity → never.
+	iv = axisCoverInterval(0, 2, 0, 5, 6)
+	if iv[0] <= iv[1] {
+		t.Errorf("static disjoint: %v", iv)
+	}
+	// Moving right toward target.
+	iv = axisCoverInterval(0, 2, 1, 5, 6)
+	if math.Abs(iv[0]-3) > 1e-12 || math.Abs(iv[1]-6) > 1e-12 {
+		t.Errorf("moving: %v", iv)
+	}
+}

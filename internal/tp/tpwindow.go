@@ -1,0 +1,134 @@
+package tp
+
+import (
+	"container/heap"
+	"math"
+
+	"lbsq/internal/geom"
+	"lbsq/internal/rtree"
+)
+
+// WindowChange describes one result change of a TP window query.
+type WindowChange struct {
+	Obj   rtree.Item
+	Enter bool // true: Obj joins the result at the expiry time; false: it leaves
+}
+
+// WindowResult is the <R, T, C> triple of a time-parameterized window
+// query [TP02]: the current result R, its validity time T (travel
+// distance, since the paper's location-based setting uses unit speed),
+// and the change set C at T.
+type WindowResult struct {
+	Result  []rtree.Item
+	T       float64
+	Changes []WindowChange
+}
+
+// Window executes a TP window query: window w moves with velocity vel
+// (data static). It returns the current result, the travel time until
+// the first change, and the objects causing it. A zero velocity yields
+// T = +Inf and no changes.
+func Window(tree *rtree.Tree, w geom.Rect, vel geom.Point) WindowResult {
+	res := WindowResult{T: math.Inf(1)}
+	res.Result = tree.SearchItems(w)
+	if vel.X == 0 && vel.Y == 0 {
+		return res
+	}
+
+	inResult := make(map[int64]bool, len(res.Result))
+	// Exit events: a current member leaves when the moving window no
+	// longer covers it.
+	for _, it := range res.Result {
+		inResult[it.ID] = true
+		t := exitTime(w, vel, it.P)
+		if t < res.T {
+			res.T = t
+			res.Changes = res.Changes[:0]
+		}
+		if t == res.T && !math.IsInf(t, 1) {
+			res.Changes = append(res.Changes, WindowChange{Obj: it, Enter: false})
+		}
+	}
+
+	// Enter events: best-first over the tree by the earliest time the
+	// moving window reaches each MBR.
+	h := nodeHeap{{lb: enterTimeRect(w, vel, tree.Root().Rect()), node: tree.Root()}}
+	heap.Init(&h)
+	for h.Len() > 0 {
+		e := heap.Pop(&h).(nodeEntry)
+		if e.lb > res.T {
+			break
+		}
+		tree.CountAccess(e.node)
+		if e.node.Leaf() {
+			for _, it := range e.node.Items() {
+				if inResult[it.ID] {
+					continue
+				}
+				t := enterTimeRect(w, vel, geom.Rect{MinX: it.P.X, MinY: it.P.Y, MaxX: it.P.X, MaxY: it.P.Y})
+				if t < res.T {
+					res.T = t
+					res.Changes = res.Changes[:0]
+				}
+				if t == res.T && !math.IsInf(t, 1) {
+					res.Changes = append(res.Changes, WindowChange{Obj: it, Enter: true})
+				}
+			}
+			continue
+		}
+		for _, c := range e.node.Children() {
+			lb := enterTimeRect(w, vel, c.Rect())
+			if lb <= res.T {
+				heap.Push(&h, nodeEntry{lb: lb, node: c})
+			}
+		}
+	}
+	return res
+}
+
+// exitTime returns the time at which point p stops being covered by the
+// window w moving with velocity vel (+Inf if never; 0 if not covered now).
+func exitTime(w geom.Rect, vel geom.Point, p geom.Point) float64 {
+	tx := axisCoverInterval(w.MinX, w.MaxX, vel.X, p.X, p.X)
+	ty := axisCoverInterval(w.MinY, w.MaxY, vel.Y, p.Y, p.Y)
+	lo := math.Max(tx[0], ty[0])
+	hi := math.Min(tx[1], ty[1])
+	if lo > 0 || hi < 0 {
+		return 0 // not covered at t = 0
+	}
+	return hi
+}
+
+// enterTimeRect returns the earliest t ≥ 0 at which the moving window
+// intersects rectangle r (+Inf if never, 0 if intersecting now).
+func enterTimeRect(w geom.Rect, vel geom.Point, r geom.Rect) float64 {
+	tx := axisCoverInterval(w.MinX, w.MaxX, vel.X, r.MinX, r.MaxX)
+	ty := axisCoverInterval(w.MinY, w.MaxY, vel.Y, r.MinY, r.MaxY)
+	lo := math.Max(tx[0], ty[0])
+	hi := math.Min(tx[1], ty[1])
+	if hi < lo || hi < 0 {
+		return math.Inf(1)
+	}
+	if lo < 0 {
+		return 0
+	}
+	return lo
+}
+
+// axisCoverInterval returns the time interval during which the moving
+// segment [lo+v·t, hi+v·t] overlaps the static segment [a, b].
+func axisCoverInterval(lo, hi, v, a, b float64) [2]float64 {
+	// Overlap requires lo+v·t ≤ b and hi+v·t ≥ a.
+	if v == 0 {
+		if lo <= b && hi >= a {
+			return [2]float64{math.Inf(-1), math.Inf(1)}
+		}
+		return [2]float64{math.Inf(1), math.Inf(-1)} // empty
+	}
+	t1 := (b - lo) / v // lo+v·t = b
+	t2 := (a - hi) / v // hi+v·t = a
+	if t1 < t2 {
+		t1, t2 = t2, t1
+	}
+	return [2]float64{t2, t1}
+}

@@ -1,0 +1,113 @@
+// Package trajectory generates client movement traces for the mobile
+// query simulations: the paper's motivating scenario is a user moving
+// through the data space issuing continuous queries from a
+// location-aware device.
+package trajectory
+
+import (
+	"math"
+	"math/rand"
+
+	"lbsq/internal/geom"
+)
+
+// RandomWaypoint generates n positions of the classic random-waypoint
+// model inside universe: pick a destination uniformly, travel to it in
+// steps of the given length, repeat.
+func RandomWaypoint(universe geom.Rect, step float64, n int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pos := geom.Pt(
+		universe.MinX+rng.Float64()*universe.Width(),
+		universe.MinY+rng.Float64()*universe.Height(),
+	)
+	dst := pos
+	out := make([]geom.Point, 0, n)
+	out = append(out, pos)
+	for len(out) < n {
+		if pos.Dist(dst) < step {
+			dst = geom.Pt(
+				universe.MinX+rng.Float64()*universe.Width(),
+				universe.MinY+rng.Float64()*universe.Height(),
+			)
+		}
+		dir := dst.Sub(pos).Unit()
+		pos = pos.Add(dir.Scale(step))
+		out = append(out, pos)
+	}
+	return out
+}
+
+// Directed generates n positions moving from start along dir (unit
+// vector) in fixed steps, reflecting off the universe boundary.
+func Directed(universe geom.Rect, start, dir geom.Point, step float64, n int) []geom.Point {
+	pos := start
+	d := dir.Unit()
+	out := make([]geom.Point, 0, n)
+	out = append(out, pos)
+	for len(out) < n {
+		next := pos.Add(d.Scale(step))
+		if next.X < universe.MinX || next.X > universe.MaxX {
+			d.X = -d.X
+			next = pos.Add(d.Scale(step))
+		}
+		if next.Y < universe.MinY || next.Y > universe.MaxY {
+			d.Y = -d.Y
+			next = pos.Add(d.Scale(step))
+		}
+		pos = next
+		out = append(out, pos)
+	}
+	return out
+}
+
+// Manhattan generates n positions of a grid-constrained walk (city
+// driving): movement parallel to the axes with turns at random block
+// boundaries.
+func Manhattan(universe geom.Rect, block, step float64, n int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	// Snap the start to the street grid.
+	gx := universe.MinX + math.Floor(rng.Float64()*universe.Width()/block)*block
+	gy := universe.MinY + math.Floor(rng.Float64()*universe.Height()/block)*block
+	pos := geom.Pt(gx, gy)
+	dirs := []geom.Point{{X: 1}, {X: -1}, {Y: 1}, {Y: -1}}
+	d := dirs[rng.Intn(4)]
+	out := make([]geom.Point, 0, n)
+	out = append(out, pos)
+	traveled := 0.0
+	for len(out) < n {
+		next := pos.Add(d.Scale(step))
+		if !universe.Contains(next) {
+			d = dirs[rng.Intn(4)]
+			continue
+		}
+		pos = next
+		traveled += step
+		if traveled >= block {
+			traveled = 0
+			if rng.Float64() < 0.5 {
+				d = dirs[rng.Intn(4)]
+			}
+		}
+		out = append(out, pos)
+	}
+	return out
+}
+
+// Headings returns the unit direction of each step of a trajectory (the
+// last entry repeats); used by the TP02 baseline, which needs the
+// client's declared velocity.
+func Headings(path []geom.Point) []geom.Point {
+	if len(path) == 0 {
+		return nil
+	}
+	out := make([]geom.Point, len(path))
+	for i := 0; i+1 < len(path); i++ {
+		out[i] = path[i+1].Sub(path[i]).Unit()
+	}
+	if len(path) > 1 {
+		out[len(path)-1] = out[len(path)-2]
+	} else {
+		out[0] = geom.Pt(1, 0)
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package trajectory
+
+import (
+	"math"
+	"testing"
+
+	"lbsq/internal/geom"
+)
+
+var universe = geom.R(0, 0, 1, 1)
+
+func checkPath(t *testing.T, path []geom.Point, n int, step float64) {
+	t.Helper()
+	if len(path) != n {
+		t.Fatalf("path length = %d, want %d", len(path), n)
+	}
+	for i, p := range path {
+		if p.X < universe.MinX-1e-9 || p.X > universe.MaxX+1e-9 ||
+			p.Y < universe.MinY-1e-9 || p.Y > universe.MaxY+1e-9 {
+			t.Fatalf("position %d = %v escapes universe", i, p)
+		}
+		if i > 0 {
+			d := p.Dist(path[i-1])
+			if d > step*1.001 {
+				t.Fatalf("step %d too long: %v > %v", i, d, step)
+			}
+		}
+	}
+}
+
+func TestRandomWaypoint(t *testing.T) {
+	path := RandomWaypoint(universe, 0.01, 500, 1)
+	checkPath(t, path, 500, 0.01)
+	// Deterministic under seed.
+	path2 := RandomWaypoint(universe, 0.01, 500, 1)
+	for i := range path {
+		if path[i] != path2[i] {
+			t.Fatal("same seed must reproduce the trajectory")
+		}
+	}
+	// It should wander: total displacement across the walk is nonzero
+	// and the bounding box covers a reasonable fraction of the universe.
+	bb := geom.RectFromPoints(path...)
+	if bb.Width() < 0.1 && bb.Height() < 0.1 {
+		t.Errorf("trajectory barely moved: %v", bb)
+	}
+}
+
+func TestDirected(t *testing.T) {
+	path := Directed(universe, geom.Pt(0.1, 0.5), geom.Pt(1, 0), 0.01, 200)
+	checkPath(t, path, 200, 0.01)
+	// Initially moves east.
+	if !(path[10].X > path[0].X) {
+		t.Fatal("directed path not moving east")
+	}
+	// It must reflect rather than exit: after 200 steps of 0.01 east it
+	// has bounced at least once.
+	reflected := false
+	for i := 1; i < len(path); i++ {
+		if path[i].X < path[i-1].X {
+			reflected = true
+			break
+		}
+	}
+	if !reflected {
+		t.Fatal("directed path never reflected off the boundary")
+	}
+}
+
+func TestManhattan(t *testing.T) {
+	path := Manhattan(universe, 0.1, 0.01, 400, 2)
+	checkPath(t, path, 400, 0.01)
+	// Every step is axis-parallel.
+	for i := 1; i < len(path); i++ {
+		dx := math.Abs(path[i].X - path[i-1].X)
+		dy := math.Abs(path[i].Y - path[i-1].Y)
+		if dx > 1e-12 && dy > 1e-12 {
+			t.Fatalf("diagonal step at %d: %v -> %v", i, path[i-1], path[i])
+		}
+	}
+}
+
+func TestHeadings(t *testing.T) {
+	path := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 1}}
+	hs := Headings(path)
+	if len(hs) != 3 {
+		t.Fatalf("headings length = %d", len(hs))
+	}
+	if !hs[0].Eq(geom.Pt(1, 0)) || !hs[1].Eq(geom.Pt(0, 1)) || !hs[2].Eq(hs[1]) {
+		t.Fatalf("headings = %v", hs)
+	}
+	if got := Headings(nil); got != nil {
+		t.Fatal("nil path must give nil headings")
+	}
+	single := Headings([]geom.Point{{X: 3, Y: 3}})
+	if len(single) != 1 {
+		t.Fatal("single-point path must give one heading")
+	}
+}

@@ -1,0 +1,153 @@
+// Package viz renders datasets, queries and validity regions as SVG —
+// a debugging and documentation aid for the geometric machinery (the
+// figures of the paper, regenerable from live data structures).
+package viz
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"lbsq/internal/geom"
+)
+
+// Scene accumulates drawable elements over a world-coordinate viewport
+// and renders them into a fixed-size SVG with y flipped (world y grows
+// up, SVG y grows down).
+type Scene struct {
+	World  geom.Rect
+	Width  int // pixel width; height follows the world aspect ratio
+	elems  []string
+	styles map[string]string
+}
+
+// NewScene creates a scene over the given world rectangle, rendered at
+// the given pixel width.
+func NewScene(world geom.Rect, width int) *Scene {
+	if width <= 0 {
+		width = 800
+	}
+	return &Scene{World: world, Width: width}
+}
+
+func (s *Scene) height() int {
+	if s.World.Width() <= 0 {
+		return s.Width
+	}
+	return int(float64(s.Width) * s.World.Height() / s.World.Width())
+}
+
+func (s *Scene) sx(x float64) float64 {
+	return (x - s.World.MinX) / s.World.Width() * float64(s.Width)
+}
+
+func (s *Scene) sy(y float64) float64 {
+	return (s.World.MaxY - y) / s.World.Height() * float64(s.height())
+}
+
+// Points draws a set of points as small dots.
+func (s *Scene) Points(pts []geom.Point, radiusPx float64, style string) {
+	for _, p := range pts {
+		s.elems = append(s.elems, fmt.Sprintf(
+			`<circle cx="%.2f" cy="%.2f" r="%.2f" style="%s"/>`,
+			s.sx(p.X), s.sy(p.Y), radiusPx, escape(style)))
+	}
+}
+
+// Marker draws one emphasized point.
+func (s *Scene) Marker(p geom.Point, radiusPx float64, style string) {
+	s.Points([]geom.Point{p}, radiusPx, style)
+}
+
+// Polygon draws a closed polygon.
+func (s *Scene) Polygon(pg geom.Polygon, style string) {
+	if len(pg) < 2 {
+		return
+	}
+	d := ""
+	for i, p := range pg {
+		cmd := "L"
+		if i == 0 {
+			cmd = "M"
+		}
+		d += fmt.Sprintf("%s%.2f %.2f ", cmd, s.sx(p.X), s.sy(p.Y))
+	}
+	d += "Z"
+	s.elems = append(s.elems, fmt.Sprintf(`<path d="%s" style="%s"/>`, d, escape(style)))
+}
+
+// Rect draws a rectangle.
+func (s *Scene) Rect(r geom.Rect, style string) {
+	if r.IsEmpty() {
+		return
+	}
+	s.elems = append(s.elems, fmt.Sprintf(
+		`<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" style="%s"/>`,
+		s.sx(r.MinX), s.sy(r.MaxY),
+		r.Width()/s.World.Width()*float64(s.Width),
+		r.Height()/s.World.Height()*float64(s.height()),
+		escape(style)))
+}
+
+// RectRegion draws a rectilinear region: the base in one style and its
+// holes in another.
+func (s *Scene) RectRegion(rr *geom.RectRegion, baseStyle, holeStyle string) {
+	s.Rect(rr.Base, baseStyle)
+	for _, h := range rr.Holes {
+		s.Rect(h, holeStyle)
+	}
+}
+
+// Circle draws a circle of world-coordinate radius.
+func (s *Scene) Circle(c geom.Point, r float64, style string) {
+	s.elems = append(s.elems, fmt.Sprintf(
+		`<circle cx="%.2f" cy="%.2f" r="%.2f" style="%s"/>`,
+		s.sx(c.X), s.sy(c.Y), r/s.World.Width()*float64(s.Width), escape(style)))
+}
+
+// Segment draws a line segment.
+func (s *Scene) Segment(a, b geom.Point, style string) {
+	s.elems = append(s.elems, fmt.Sprintf(
+		`<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" style="%s"/>`,
+		s.sx(a.X), s.sy(a.Y), s.sx(b.X), s.sy(b.Y), escape(style)))
+}
+
+// Text places a label at a world coordinate.
+func (s *Scene) Text(p geom.Point, text, style string) {
+	s.elems = append(s.elems, fmt.Sprintf(
+		`<text x="%.2f" y="%.2f" style="%s">%s</text>`,
+		s.sx(p.X), s.sy(p.Y), escape(style), escape(text)))
+}
+
+// WriteSVG renders the scene.
+func (s *Scene) WriteSVG(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		s.Width, s.height(), s.Width, s.height())
+	fmt.Fprintf(bw, `<rect width="%d" height="%d" fill="white"/>`+"\n", s.Width, s.height())
+	for _, e := range s.elems {
+		fmt.Fprintln(bw, e)
+	}
+	fmt.Fprintln(bw, "</svg>")
+	return bw.Flush()
+}
+
+// escape sanitizes attribute/text content.
+func escape(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			out = append(out, "&lt;"...)
+		case '>':
+			out = append(out, "&gt;"...)
+		case '&':
+			out = append(out, "&amp;"...)
+		case '"':
+			out = append(out, "&quot;"...)
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,100 @@
+package viz
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"lbsq/internal/geom"
+)
+
+func render(t *testing.T, s *Scene) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Must be well-formed XML.
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v\n%s", err, out)
+		}
+	}
+	return out
+}
+
+func TestSceneElements(t *testing.T) {
+	s := NewScene(geom.R(0, 0, 10, 5), 400)
+	s.Points([]geom.Point{{X: 1, Y: 1}, {X: 2, Y: 2}}, 3, "fill:red")
+	s.Marker(geom.Pt(5, 2.5), 4, "fill:blue")
+	s.Polygon(geom.Polygon{{X: 1, Y: 1}, {X: 3, Y: 1}, {X: 2, Y: 3}}, "fill:green")
+	s.Rect(geom.R(4, 1, 6, 2), "stroke:black")
+	s.Circle(geom.Pt(8, 3), 1, "fill:none")
+	s.Segment(geom.Pt(0, 0), geom.Pt(10, 5), "stroke:grey")
+	s.Text(geom.Pt(5, 4), "hello <world> & \"friends\"", "font-size:10px")
+	out := render(t, s)
+
+	for _, want := range []string{"<circle", "<path", "<rect", "<line", "<text"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing element %s", want)
+		}
+	}
+	if strings.Count(out, "<circle") != 4 { // 2 points + marker + circle
+		t.Errorf("circle count = %d", strings.Count(out, "<circle"))
+	}
+	// Escaping.
+	if strings.Contains(out, "<world>") {
+		t.Error("unescaped text leaked into the SVG")
+	}
+	if !strings.Contains(out, "&lt;world&gt; &amp; &quot;friends&quot;") {
+		t.Error("escaped text missing")
+	}
+	// Aspect ratio: world 10×5 at width 400 → height 200.
+	if !strings.Contains(out, `width="400" height="200"`) {
+		t.Error("dimensions wrong")
+	}
+}
+
+func TestCoordinateMapping(t *testing.T) {
+	s := NewScene(geom.R(0, 0, 100, 100), 100)
+	// World (0, 100) is the top-left pixel (0, 0); world (100, 0) is
+	// (100, 100): y is flipped.
+	if got := s.sx(0); got != 0 {
+		t.Errorf("sx(0) = %v", got)
+	}
+	if got := s.sy(100); got != 0 {
+		t.Errorf("sy(100) = %v", got)
+	}
+	if got := s.sy(0); got != 100 {
+		t.Errorf("sy(0) = %v", got)
+	}
+}
+
+func TestRectRegion(t *testing.T) {
+	s := NewScene(geom.R(0, 0, 1, 1), 200)
+	rr := geom.NewRectRegion(geom.R(0.2, 0.2, 0.8, 0.8))
+	rr.Subtract(geom.R(0.6, 0.6, 0.9, 0.9))
+	s.RectRegion(rr, "fill:blue", "fill:red")
+	out := render(t, s)
+	// Background + base + one hole.
+	if strings.Count(out, "<rect") != 3 {
+		t.Errorf("rect count = %d", strings.Count(out, "<rect"))
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	s := NewScene(geom.R(0, 0, 1, 1), 0) // width defaults
+	s.Polygon(geom.Polygon{{X: 0.5, Y: 0.5}}, "x")
+	s.Rect(geom.EmptyRect(), "x")
+	out := render(t, s)
+	if strings.Contains(out, "<path") || strings.Count(out, "<rect") != 1 {
+		t.Error("degenerate shapes must be skipped")
+	}
+}

@@ -1,0 +1,169 @@
+// Package voronoi computes Voronoi cells and diagrams of point datasets.
+//
+// It serves two roles in the reproduction:
+//
+//   - Substrate for the [ZL01] baseline (Zheng & Lee), which precomputes
+//     the Voronoi diagram of the dataset and answers moving NN queries
+//     with a validity *time* derived from the distance to the cell
+//     boundary and a maximum client speed.
+//   - Independent ground truth: by the paper's Observation in Sec. 3.1,
+//     the validity region of a 1NN query equals the Voronoi cell of its
+//     result, so the two code paths cross-check each other in tests.
+//
+// Cells are computed without a global sweepline: the cell of a site is
+// the universe clipped by bisectors with other sites visited in
+// increasing distance (incremental NN browsing [HS99]), stopping once
+// the next site is farther than twice the farthest cell vertex from the
+// site — no farther site's bisector can reach the cell, because a
+// bisector with a site at distance d passes no closer than d/2.
+package voronoi
+
+import (
+	"fmt"
+
+	"lbsq/internal/geom"
+	"lbsq/internal/nn"
+	"lbsq/internal/rtree"
+)
+
+// Cell is the Voronoi cell of a site, clipped to the data universe.
+type Cell struct {
+	Site    rtree.Item
+	Polygon geom.Polygon
+}
+
+// Contains reports whether p lies in the cell (boundary inclusive).
+func (c Cell) Contains(p geom.Point) bool { return c.Polygon.Contains(p) }
+
+// SafeRadius returns the distance from p to the cell boundary: how far a
+// client at p can travel in any direction with the site guaranteed to
+// remain its nearest neighbor. This is the conservative (circular)
+// validity measure the [ZL01] scheme derives its validity time from.
+func (c Cell) SafeRadius(p geom.Point) float64 { return c.Polygon.DistToBoundary(p) }
+
+// CellOf computes the Voronoi cell of site within universe, using the
+// dataset indexed by tree (which must contain site itself).
+func CellOf(tree *rtree.Tree, site rtree.Item, universe geom.Rect) Cell {
+	pg := universe.Polygon()
+	b := nn.NewBrowser(tree, site.P)
+	for {
+		nb, ok := b.Next()
+		if !ok {
+			break
+		}
+		if nb.Item.ID == site.ID {
+			continue
+		}
+		if nb.Dist > 2*maxVertexDist(pg, site.P) {
+			break // security radius: no farther site can clip the cell
+		}
+		pg = pg.ClipHalfPlane(geom.Bisector(site.P, nb.Item.P))
+		if pg.IsEmpty() {
+			break // degenerate (duplicate sites)
+		}
+	}
+	return Cell{Site: site, Polygon: pg}
+}
+
+func maxVertexDist(pg geom.Polygon, p geom.Point) float64 {
+	max := 0.0
+	for _, v := range pg {
+		if d := v.Dist(p); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Diagram is the Voronoi diagram of a dataset: one cell per site, with
+// the site index used for point location (the cell containing a query
+// point is, by definition, the cell of the query's nearest site).
+type Diagram struct {
+	cells map[int64]Cell
+	sites *rtree.Tree
+}
+
+// Build computes the full Voronoi diagram of the items in tree. The
+// [ZL01] server runs this once at startup; updates require recomputing
+// the affected neighborhood (one of the drawbacks the paper lists).
+func Build(tree *rtree.Tree, universe geom.Rect) *Diagram {
+	d := &Diagram{cells: make(map[int64]Cell, tree.Len()), sites: tree}
+	tree.All(func(it rtree.Item) bool {
+		d.cells[it.ID] = CellOf(tree, it, universe)
+		return true
+	})
+	return d
+}
+
+// Len returns the number of cells.
+func (d *Diagram) Len() int { return len(d.cells) }
+
+// CellBySite returns the cell of the given site id.
+func (d *Diagram) CellBySite(id int64) (Cell, bool) {
+	c, ok := d.cells[id]
+	return c, ok
+}
+
+// Locate returns the cell containing q (the cell of q's nearest site).
+func (d *Diagram) Locate(q geom.Point) (Cell, error) {
+	nb, ok := nn.Nearest(d.sites, q)
+	if !ok {
+		return Cell{}, fmt.Errorf("voronoi: empty diagram")
+	}
+	c, ok := d.cells[nb.Item.ID]
+	if !ok {
+		return Cell{}, fmt.Errorf("voronoi: missing cell for site %d", nb.Item.ID)
+	}
+	return c, nil
+}
+
+// TotalArea returns the summed cell area; for a correct diagram it
+// equals the universe area (cells tile the universe).
+func (d *Diagram) TotalArea() float64 {
+	sum := 0.0
+	for _, c := range d.cells {
+		sum += c.Polygon.Area()
+	}
+	return sum
+}
+
+// NeighborsOf returns the Delaunay neighbors of a site: the sites whose
+// bisectors contribute edges to its Voronoi cell. These are exactly the
+// cells an update to the site dirties — the maintenance set a
+// precomputed-diagram server ([ZL01]) must recompute per object move.
+func NeighborsOf(tree *rtree.Tree, site rtree.Item, universe geom.Rect) []rtree.Item {
+	cell := CellOf(tree, site, universe)
+	if cell.Polygon.IsEmpty() {
+		return nil
+	}
+	full := cell.Polygon.Area()
+	// A candidate is a neighbor iff removing its bisector enlarges the
+	// cell. Candidates: sites within twice the farthest vertex distance
+	// (the same security radius that bounds the cell construction).
+	rMax := maxVertexDist(cell.Polygon, site.P)
+	var cands []rtree.Item
+	b := nn.NewBrowser(tree, site.P)
+	for {
+		nb, ok := b.Next()
+		if !ok || nb.Dist > 2*rMax {
+			break
+		}
+		if nb.Item.ID != site.ID {
+			cands = append(cands, nb.Item)
+		}
+	}
+	var out []rtree.Item
+	for i, c := range cands {
+		pg := universe.Polygon()
+		for j, o := range cands {
+			if j == i {
+				continue
+			}
+			pg = pg.ClipHalfPlane(geom.Bisector(site.P, o.P))
+		}
+		if pg.Area() > full+geom.Eps {
+			out = append(out, c)
+		}
+	}
+	return out
+}

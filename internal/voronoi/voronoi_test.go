@@ -1,0 +1,211 @@
+package voronoi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lbsq/internal/geom"
+	"lbsq/internal/rtree"
+)
+
+var universe = geom.R(0, 0, 1, 1)
+
+func buildTree(rng *rand.Rand, n int) (*rtree.Tree, []rtree.Item) {
+	items := make([]rtree.Item, n)
+	for i := range items {
+		items[i] = rtree.Item{ID: int64(i), P: geom.Pt(rng.Float64(), rng.Float64())}
+	}
+	return rtree.BulkLoad(items, rtree.Options{PageSize: 512}, 0.7), items
+}
+
+func bruteCell(items []rtree.Item, site rtree.Item) geom.Polygon {
+	pg := universe.Polygon()
+	for _, it := range items {
+		if it.ID == site.ID {
+			continue
+		}
+		pg = pg.ClipHalfPlane(geom.Bisector(site.P, it.P))
+	}
+	return pg
+}
+
+func TestCellOfMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tree, items := buildTree(rng, 500)
+	for trial := 0; trial < 100; trial++ {
+		site := items[rng.Intn(len(items))]
+		got := CellOf(tree, site, universe)
+		want := bruteCell(items, site)
+		if math.Abs(got.Polygon.Area()-want.Area()) > 1e-9 {
+			t.Fatalf("site %d: area %v != brute %v", site.ID, got.Polygon.Area(), want.Area())
+		}
+	}
+}
+
+func TestCellContainsSite(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tree, items := buildTree(rng, 300)
+	for _, it := range items[:50] {
+		c := CellOf(tree, it, universe)
+		if !c.Contains(it.P) {
+			t.Fatalf("cell of site %d does not contain it", it.ID)
+		}
+	}
+}
+
+func TestDiagramTilesUniverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tree, _ := buildTree(rng, 400)
+	d := Build(tree, universe)
+	if d.Len() != 400 {
+		t.Fatalf("diagram has %d cells", d.Len())
+	}
+	if got := d.TotalArea(); math.Abs(got-1) > 1e-6 {
+		t.Fatalf("cells tile area %v, want 1", got)
+	}
+}
+
+func TestDiagramCellsDisjoint(t *testing.T) {
+	// Sampled: a random point lies strictly inside at most one cell.
+	rng := rand.New(rand.NewSource(4))
+	tree, items := buildTree(rng, 200)
+	d := Build(tree, universe)
+	for s := 0; s < 500; s++ {
+		p := geom.Pt(rng.Float64(), rng.Float64())
+		inside := 0
+		for _, it := range items {
+			c, _ := d.CellBySite(it.ID)
+			if c.Polygon.ContainsStrict(p) {
+				inside++
+			}
+		}
+		if inside > 1 {
+			t.Fatalf("point %v strictly inside %d cells", p, inside)
+		}
+	}
+}
+
+func TestLocate(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tree, items := buildTree(rng, 300)
+	d := Build(tree, universe)
+	for s := 0; s < 200; s++ {
+		q := geom.Pt(rng.Float64(), rng.Float64())
+		c, err := d.Locate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.Contains(q) {
+			t.Fatalf("located cell of site %d does not contain %v", c.Site.ID, q)
+		}
+		// The located site is the brute-force NN.
+		bestID, bestD := int64(-1), math.Inf(1)
+		for _, it := range items {
+			if dd := it.P.Dist2(q); dd < bestD {
+				bestD, bestID = dd, it.ID
+			}
+		}
+		if c.Site.ID != bestID && math.Abs(c.Site.P.Dist2(q)-bestD) > 1e-12 {
+			t.Fatalf("located site %d, brute NN %d", c.Site.ID, bestID)
+		}
+	}
+}
+
+func TestSafeRadius(t *testing.T) {
+	// Single interior site: the cell is the whole universe; the safe
+	// radius at the center is 0.5.
+	tree := rtree.NewDefault()
+	site := rtree.Item{ID: 1, P: geom.Pt(0.5, 0.5)}
+	tree.Insert(site)
+	c := CellOf(tree, site, universe)
+	if math.Abs(c.Polygon.Area()-1) > 1e-12 {
+		t.Fatalf("single-site cell area = %v", c.Polygon.Area())
+	}
+	if got := c.SafeRadius(geom.Pt(0.5, 0.5)); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("safe radius = %v", got)
+	}
+	// Moving within the safe radius never changes the NN (trivially true
+	// here, but checks the metric is a distance-to-boundary).
+	if got := c.SafeRadius(geom.Pt(0.9, 0.5)); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("edge-near safe radius = %v", got)
+	}
+}
+
+func TestTwoSites(t *testing.T) {
+	tree := rtree.NewDefault()
+	a := rtree.Item{ID: 1, P: geom.Pt(0.25, 0.5)}
+	b := rtree.Item{ID: 2, P: geom.Pt(0.75, 0.5)}
+	tree.Insert(a)
+	tree.Insert(b)
+	ca := CellOf(tree, a, universe)
+	cb := CellOf(tree, b, universe)
+	if math.Abs(ca.Polygon.Area()-0.5) > 1e-12 || math.Abs(cb.Polygon.Area()-0.5) > 1e-12 {
+		t.Fatalf("half-plane cells: %v, %v", ca.Polygon.Area(), cb.Polygon.Area())
+	}
+	if ca.Contains(geom.Pt(0.9, 0.5)) || !cb.Contains(geom.Pt(0.9, 0.5)) {
+		t.Fatal("cells on wrong sides")
+	}
+}
+
+func TestEmptyDiagram(t *testing.T) {
+	tree := rtree.NewDefault()
+	d := Build(tree, universe)
+	if d.Len() != 0 {
+		t.Fatal("empty diagram should have no cells")
+	}
+	if _, err := d.Locate(geom.Pt(0.5, 0.5)); err == nil {
+		t.Fatal("Locate on empty diagram must error")
+	}
+}
+
+func TestDuplicateSitesTerminate(t *testing.T) {
+	tree := rtree.NewDefault()
+	tree.Insert(rtree.Item{ID: 1, P: geom.Pt(0.5, 0.5)})
+	tree.Insert(rtree.Item{ID: 2, P: geom.Pt(0.5, 0.5)})
+	tree.Insert(rtree.Item{ID: 3, P: geom.Pt(0.2, 0.2)})
+	// Must terminate; the duplicate pair yields degenerate cells.
+	_ = CellOf(tree, rtree.Item{ID: 1, P: geom.Pt(0.5, 0.5)}, universe)
+	_ = Build(tree, universe)
+}
+
+func TestNeighborsOf(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tree, items := buildTree(rng, 400)
+	totN := 0
+	trials := 0
+	for _, it := range items[:40] {
+		nbs := NeighborsOf(tree, it, universe)
+		cell := CellOf(tree, it, universe)
+		// Every neighbor's bisector must touch the cell boundary: the
+		// neighbor count matches the cell's non-universe edges within
+		// the tolerance of shared vertices.
+		if len(nbs) == 0 && cell.Polygon.Edges() > 4 {
+			t.Fatalf("site %d: cell has %d edges but no neighbors", it.ID, cell.Polygon.Edges())
+		}
+		if len(nbs) > cell.Polygon.Edges() {
+			t.Fatalf("site %d: %d neighbors exceed %d edges", it.ID, len(nbs), cell.Polygon.Edges())
+		}
+		// Symmetry (Delaunay adjacency): it must appear among each
+		// neighbor's neighbors.
+		for _, nb := range nbs {
+			back := NeighborsOf(tree, nb, universe)
+			found := false
+			for _, bb := range back {
+				if bb.ID == it.ID {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("adjacency not symmetric: %d -> %d", it.ID, nb.ID)
+			}
+		}
+		totN += len(nbs)
+		trials++
+	}
+	// ≈6 neighbors on average for uniform data [A91].
+	avg := float64(totN) / float64(trials)
+	if avg < 4 || avg > 8 {
+		t.Errorf("average neighbor count = %.2f, expected ≈ 6", avg)
+	}
+}

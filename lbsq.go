@@ -1,0 +1,364 @@
+// Package lbsq implements location-based spatial queries (Zhang, Zhu,
+// Papadias, Tao, Lee — SIGMOD 2003): nearest-neighbor and window queries
+// that return, along with the result, a validity region within which the
+// result is guaranteed to remain correct as the client moves. Mobile
+// clients cache the answer and contact the server again only after
+// leaving the region, cutting query traffic by orders of magnitude
+// compared to re-querying on every position update.
+//
+// # Quick start
+//
+//	items, universe := lbsq.UniformDataset(100_000, 42)
+//	db, _ := lbsq.Open(items, universe, nil)
+//	v, _, _ := db.NN(lbsq.Pt(0.4, 0.6), 1)       // nearest neighbor...
+//	fmt.Println(v.Neighbors[0].Item, v.Region)   // ...and its validity region
+//	ok := v.Valid(lbsq.Pt(0.41, 0.61))           // still valid after moving?
+//
+// The package wraps the full reproduction: an R*-tree with page-level
+// access accounting, best-first and depth-first NN search, time-
+// parameterized (TP) queries, validity-region computation for 1NN / kNN
+// (the on-the-fly order-k Voronoi cell of Sec. 3) and window queries
+// (the inner/outer influence construction of Sec. 4), the Minskew
+// histogram and the analytical models of Sec. 5, plus the SR01 / TP02 /
+// ZL01 baselines and mobile-client simulators used in the experiments.
+package lbsq
+
+import (
+	"fmt"
+	"sync"
+
+	"lbsq/internal/core"
+	"lbsq/internal/dataset"
+	"lbsq/internal/geom"
+	"lbsq/internal/nn"
+	"lbsq/internal/rtree"
+	"lbsq/internal/storage"
+	"lbsq/internal/tp"
+)
+
+// Re-exported geometry and storage types: the public API speaks in these.
+type (
+	// Point is a 2-D location.
+	Point = geom.Point
+	// Rect is an axis-aligned rectangle.
+	Rect = geom.Rect
+	// Polygon is a convex polygon (NN validity regions).
+	Polygon = geom.Polygon
+	// Item is an identified data point.
+	Item = rtree.Item
+	// Neighbor is a nearest-neighbor result with its distance.
+	Neighbor = nn.Neighbor
+
+	// NNValidity is the full answer to a location-based (k-)NN query.
+	NNValidity = core.NNValidity
+	// WindowValidity is the full answer to a location-based window query.
+	WindowValidity = core.WindowValidity
+	// InfluencePair is one validity-region edge: (outsider, result member).
+	InfluencePair = core.InfluencePair
+	// QueryCost reports per-phase node and page accesses.
+	QueryCost = core.QueryCost
+	// ClientStats accumulates client-side traffic metrics.
+	ClientStats = core.ClientStats
+
+	// NNClient is a mobile client caching NN validity regions.
+	NNClient = core.NNClient
+	// WindowClient is a mobile client caching window validity regions.
+	WindowClient = core.WindowClient
+	// SR01Client is the m-NN buffering baseline client [SR01].
+	SR01Client = core.SR01Client
+	// TP02Client is the time-parameterized baseline client [TP02].
+	TP02Client = core.TP02Client
+	// ZL01Client is the precomputed-Voronoi baseline client [ZL01].
+	ZL01Client = core.ZL01Client
+	// NaiveClient re-queries on every position update.
+	NaiveClient = core.NaiveClient
+
+	// RangeValidity is the answer to a location-based range query —
+	// the paper's future-work extension, implemented here: validity
+	// regions bounded by circular arcs, checked with pure distance
+	// comparisons.
+	RangeValidity = core.RangeValidity
+	// RangeClient is a mobile client caching range validity regions.
+	RangeClient = core.RangeClient
+)
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return geom.Pt(x, y) }
+
+// R is shorthand for Rect{minX, minY, maxX, maxY}.
+func R(minX, minY, maxX, maxY float64) Rect { return geom.R(minX, minY, maxX, maxY) }
+
+// Options configures a DB.
+type Options struct {
+	// PageSize of R-tree nodes in bytes; the paper uses 4096, giving a
+	// fanout of 204. Zero selects the default.
+	PageSize int
+	// BufferFraction sizes an LRU page buffer relative to the tree
+	// (paper experiments use 0.10). Zero disables buffering.
+	BufferFraction float64
+	// BulkLoadFill is the STR bulk-load fill factor in (0, 1];
+	// zero selects 0.7.
+	BulkLoadFill float64
+}
+
+// DB is an in-memory location-based query processor over a point
+// dataset: the "server" of the paper's client/server architecture.
+//
+// DB is safe for concurrent use: queries proceed in parallel (access
+// counters are atomic and the page buffer locks internally), while
+// Insert/Delete take the tree exclusively. Per-query QueryCost deltas
+// are attributed approximately when queries overlap — the counters are
+// shared, exactly as a shared disk and buffer pool would be.
+type DB struct {
+	mu     sync.RWMutex
+	server *core.Server
+}
+
+// Open bulk-loads the items into an R*-tree over the given universe and
+// returns the query processor.
+func Open(items []Item, universe Rect, opts *Options) (*DB, error) {
+	if universe.IsEmpty() || universe.Area() == 0 {
+		return nil, fmt.Errorf("lbsq: universe must have positive area")
+	}
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	for _, it := range items {
+		if !universe.Contains(it.P) {
+			return nil, fmt.Errorf("lbsq: item %d at %v outside universe %v", it.ID, it.P, universe)
+		}
+	}
+	tree := rtree.BulkLoad(items, rtree.Options{PageSize: o.PageSize}, o.BulkLoadFill)
+	srv := core.NewServer(tree, universe)
+	if o.BufferFraction > 0 {
+		srv.AttachBuffer(o.BufferFraction)
+	}
+	return &DB{server: srv}, nil
+}
+
+// Len returns the number of stored points.
+func (db *DB) Len() int { return db.server.Tree.Len() }
+
+// Universe returns the data universe.
+func (db *DB) Universe() Rect { return db.server.Universe }
+
+// Insert adds a point (the index is dynamic even though the paper's
+// workloads are static).
+func (db *DB) Insert(it Item) error {
+	if !db.server.Universe.Contains(it.P) {
+		return fmt.Errorf("lbsq: point %v outside universe", it.P)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.server.Tree.Insert(it)
+	return nil
+}
+
+// Delete removes a point, reporting whether it was present.
+func (db *DB) Delete(it Item) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.server.Tree.Delete(it)
+}
+
+// NN answers a location-based k-nearest-neighbor query: the k nearest
+// neighbors of q plus the validity region within which that answer
+// stays exact.
+func (db *DB) NN(q Point, k int) (*NNValidity, QueryCost, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.server.NNQuery(q, k)
+}
+
+// Window answers a location-based window query for the window w.
+func (db *DB) Window(w Rect) (*WindowValidity, QueryCost) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.server.WindowQuery(w)
+}
+
+// WindowAt answers a location-based window query for a qx×qy window
+// centered at the focus.
+func (db *DB) WindowAt(focus Point, qx, qy float64) (*WindowValidity, QueryCost) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.server.WindowQueryAt(focus, qx, qy)
+}
+
+// Count returns the number of items inside w using aggregate
+// subtree counts: large windows cost far fewer node accesses than
+// enumeration.
+func (db *DB) Count(w Rect) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.server.Tree.CountWindow(w)
+}
+
+// RangeSearch returns the items inside w (a plain, non-location-based
+// window query).
+func (db *DB) RangeSearch(w Rect) []Item {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.server.Tree.SearchItems(w)
+}
+
+// Range answers a location-based range query: all points within radius
+// of center, plus the arc-bounded validity region of that answer (the
+// paper's Sec. 7 future-work extension).
+func (db *DB) Range(center Point, radius float64) (*RangeValidity, QueryCost) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.server.RangeQuery(center, radius)
+}
+
+// NewRangeClient returns a mobile client maintaining a fixed-radius
+// range query around its position.
+func (db *DB) NewRangeClient(radius float64) *RangeClient {
+	return core.NewRangeClient(db.server, radius)
+}
+
+// KNearest returns the k nearest neighbors of q (a plain NN query,
+// without validity computation), using best-first search [HS99].
+func (db *DB) KNearest(q Point, k int) []Neighbor {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return nn.KNearest(db.server.Tree, q, k)
+}
+
+// RouteNN returns the continuous nearest neighbors along the segment
+// from a to b ([TPS02]-style): a partition of the route into intervals,
+// each with its nearest neighbor. A client with a known straight route
+// can fetch its entire sequence of answers in one interaction.
+func (db *DB) RouteNN(a, b Point) []RouteInterval {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return tp.CNN(db.server.Tree, a, b)
+}
+
+// RouteInterval is one piece of a RouteNN answer.
+type RouteInterval = tp.CNNInterval
+
+// RouteNNAt returns the interval of a RouteNN partition covering the
+// given distance from the route start.
+func RouteNNAt(intervals []RouteInterval, t float64) (RouteInterval, bool) {
+	return tp.NNAt(intervals, t)
+}
+
+// SaveIndex persists the R*-tree to a paged index file (one node per
+// checksummed page); reopen with OpenIndex.
+func (db *DB) SaveIndex(path string) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	pf, err := storage.Create(path, storage.RequiredPageSize(db.server.Tree.MaxEntries()))
+	if err != nil {
+		return err
+	}
+	if err := storage.SaveTree(pf, db.server.Tree); err != nil {
+		pf.Close()
+		return err
+	}
+	return pf.Close()
+}
+
+// OpenIndex loads a DB from an index file written by SaveIndex. The
+// universe and options must match the original Open call.
+func OpenIndex(path string, universe Rect, opts *Options) (*DB, error) {
+	if universe.IsEmpty() || universe.Area() == 0 {
+		return nil, fmt.Errorf("lbsq: universe must have positive area")
+	}
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	pf, err := storage.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer pf.Close()
+	tree, err := storage.LoadTree(pf, rtree.Options{PageSize: o.PageSize})
+	if err != nil {
+		return nil, err
+	}
+	srv := core.NewServer(tree, universe)
+	if o.BufferFraction > 0 {
+		srv.AttachBuffer(o.BufferFraction)
+	}
+	return &DB{server: srv}, nil
+}
+
+// Server exposes the underlying query server for advanced use
+// (buffer control, direct access accounting).
+func (db *DB) Server() *core.Server { return db.server }
+
+// NewNNClient returns a mobile client for k-NN queries against this DB.
+func (db *DB) NewNNClient(k int) *NNClient { return core.NewNNClient(db.server, k) }
+
+// NewWindowClient returns a mobile client maintaining a qx×qy window.
+func (db *DB) NewWindowClient(qx, qy float64) *WindowClient {
+	return core.NewWindowClient(db.server, qx, qy)
+}
+
+// NewSR01Client returns the [SR01] baseline client (m ≥ k buffered
+// neighbors).
+func (db *DB) NewSR01Client(k, m int) *SR01Client { return core.NewSR01Client(db.server, k, m) }
+
+// NewTP02Client returns the [TP02] baseline client.
+func (db *DB) NewTP02Client(k int) *TP02Client { return core.NewTP02Client(db.server, k) }
+
+// NewNaiveClient returns the conventional re-query-always client.
+func (db *DB) NewNaiveClient(k int) *NaiveClient { return core.NewNaiveClient(db.server, k) }
+
+// NewZL01Client precomputes the Voronoi diagram and returns the [ZL01]
+// baseline client, which assumes clients move at most at maxSpeed.
+func (db *DB) NewZL01Client(maxSpeed float64) (*ZL01Client, error) {
+	s, err := core.NewZL01Server(db.server.Tree, db.server.Universe, maxSpeed)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewZL01Client(s), nil
+}
+
+// EncodeNN serializes an NN response into the compact wire form the
+// paper's protocol sends to clients.
+func EncodeNN(v *NNValidity) []byte { return core.EncodeNN(v) }
+
+// DecodeNN parses a wire-form NN response.
+func DecodeNN(b []byte) (*NNValidity, error) { return core.DecodeNN(b) }
+
+// EncodeWindow serializes a window response.
+func EncodeWindow(w *WindowValidity) []byte { return core.EncodeWindow(w) }
+
+// DecodeWindow parses a wire-form window response; universe is needed to
+// rebuild the validity region.
+func DecodeWindow(b []byte, universe Rect) (*WindowValidity, error) {
+	return core.DecodeWindow(b, universe)
+}
+
+// EncodeRange serializes a range response.
+func EncodeRange(rv *RangeValidity) []byte { return core.EncodeRange(rv) }
+
+// DecodeRange parses a wire-form range response.
+func DecodeRange(b []byte) (*RangeValidity, error) { return core.DecodeRange(b) }
+
+// UniformDataset generates n uniform points in the unit square.
+func UniformDataset(n int, seed int64) ([]Item, Rect) {
+	d := dataset.Uniform(n, seed)
+	return d.Items, d.Universe
+}
+
+// GRLikeDataset generates an n-point synthetic stand-in for the paper's
+// GR dataset (street-segment centroids of Greece, 800 km × 800 km, in
+// meters); pass dataset cardinality 23268 for the paper's setup.
+func GRLikeDataset(n int, seed int64) ([]Item, Rect) {
+	d := dataset.GRLike(n, seed)
+	return d.Items, d.Universe
+}
+
+// NALikeDataset generates an n-point synthetic stand-in for the paper's
+// NA dataset (populated places of North America, ~7000 km square, in
+// meters); the original holds 569120 points.
+func NALikeDataset(n int, seed int64) ([]Item, Rect) {
+	d := dataset.NALike(n, seed)
+	return d.Items, d.Universe
+}

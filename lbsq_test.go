@@ -1,0 +1,214 @@
+package lbsq
+
+import (
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestOpenAndQuery(t *testing.T) {
+	items, uni := UniformDataset(5000, 1)
+	db, err := Open(items, uni, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 5000 || db.Universe() != uni {
+		t.Fatalf("Len=%d universe=%v", db.Len(), db.Universe())
+	}
+	v, cost, err := db.NN(Pt(0.5, 0.5), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Neighbors) != 3 || v.Region.IsEmpty() || cost.Total() == 0 {
+		t.Fatalf("NN answer incomplete: %d neighbors, region empty=%v", len(v.Neighbors), v.Region.IsEmpty())
+	}
+	if !v.Valid(Pt(0.5, 0.5)) {
+		t.Fatal("query point must be valid")
+	}
+	wv, _ := db.WindowAt(Pt(0.5, 0.5), 0.05, 0.05)
+	if wv.Region == nil || !wv.Valid(Pt(0.5, 0.5)) {
+		t.Fatal("window answer incomplete")
+	}
+	// Plain queries.
+	if got := db.KNearest(Pt(0.2, 0.2), 5); len(got) != 5 {
+		t.Fatalf("KNearest returned %d", len(got))
+	}
+	if got := db.RangeSearch(uni); len(got) != 5000 {
+		t.Fatalf("RangeSearch universe returned %d", len(got))
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open(nil, R(1, 1, 0, 0), nil); err == nil {
+		t.Error("empty universe must error")
+	}
+	items := []Item{{ID: 1, P: Pt(5, 5)}}
+	if _, err := Open(items, R(0, 0, 1, 1), nil); err == nil {
+		t.Error("out-of-universe item must error")
+	}
+}
+
+func TestInsertDelete(t *testing.T) {
+	db, err := Open(nil, R(0, 0, 1, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert(Item{ID: 1, P: Pt(0.3, 0.3)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert(Item{ID: 2, P: Pt(2, 2)}); err == nil {
+		t.Error("insert outside universe must error")
+	}
+	if db.Len() != 1 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+	if !db.Delete(Item{ID: 1, P: Pt(0.3, 0.3)}) {
+		t.Fatal("delete failed")
+	}
+	if db.Delete(Item{ID: 1, P: Pt(0.3, 0.3)}) {
+		t.Fatal("double delete must fail")
+	}
+}
+
+func TestClientsViaFacade(t *testing.T) {
+	items, uni := UniformDataset(3000, 2)
+	db, err := Open(items, uni, &Options{BufferFraction: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nnc := db.NewNNClient(1)
+	if _, err := nnc.At(Pt(0.5, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	wc := db.NewWindowClient(0.05, 0.05)
+	if _, err := wc.At(Pt(0.5, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	sr := db.NewSR01Client(1, 5)
+	if _, err := sr.At(Pt(0.5, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	tp := db.NewTP02Client(1)
+	if _, err := tp.At(Pt(0.5, 0.5), Pt(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	nv := db.NewNaiveClient(1)
+	if _, err := nv.At(Pt(0.5, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	zl, err := db.NewZL01Client(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := zl.At(Pt(0.5, 0.5), 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHTTPRoundTrip(t *testing.T) {
+	items, uni := UniformDataset(2000, 3)
+	db, err := Open(items, uni, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(db.Handler())
+	defer srv.Close()
+
+	rc := &RemoteClient{Base: srv.URL}
+	count, gotUni, err := rc.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 2000 || gotUni != uni {
+		t.Fatalf("info: count=%d universe=%v", count, gotUni)
+	}
+	v, err := rc.NN(Pt(0.4, 0.6), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, _, _ := db.NN(Pt(0.4, 0.6), 2)
+	if len(v.Neighbors) != 2 || v.Neighbors[0].Item.ID != local.Neighbors[0].Item.ID {
+		t.Fatalf("remote NN differs: %v vs %v", v.Neighbors, local.Neighbors)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		p := Pt(rng.Float64(), rng.Float64())
+		if v.Valid(p) != local.Valid(p) {
+			t.Fatalf("remote validity differs at %v", p)
+		}
+	}
+	wv, err := rc.Window(Pt(0.5, 0.5), 0.1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localW, _ := db.WindowAt(Pt(0.5, 0.5), 0.1, 0.1)
+	if len(wv.Result) != len(localW.Result) {
+		t.Fatalf("remote window result differs: %d vs %d", len(wv.Result), len(localW.Result))
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	items, uni := UniformDataset(100, 4)
+	db, _ := Open(items, uni, nil)
+	srv := httptest.NewServer(db.Handler())
+	defer srv.Close()
+	rc := &RemoteClient{Base: srv.URL}
+	if _, err := rc.NN(Pt(0.5, 0.5), 0); err == nil {
+		t.Error("k=0 must error")
+	}
+	if _, err := rc.NN(Pt(0.5, 0.5), 1000); err == nil {
+		t.Error("k > n must error")
+	}
+	if _, err := rc.Window(Pt(0.5, 0.5), -1, 0.1); err == nil {
+		t.Error("negative window must error")
+	}
+	if _, _, err := (&RemoteClient{Base: "http://127.0.0.1:1"}).Info(); err == nil {
+		t.Error("unreachable server must error")
+	}
+}
+
+func TestWindowAndCount(t *testing.T) {
+	items, uni := UniformDataset(4000, 11)
+	db, err := Open(items, uni, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := R(0.2, 0.2, 0.6, 0.5)
+	wv, cost := db.Window(w)
+	if cost.Total() == 0 {
+		t.Fatal("window cost missing")
+	}
+	// Count agrees with the enumerated result.
+	if got := db.Count(w); got != len(wv.Result) {
+		t.Fatalf("Count = %d, result = %d", got, len(wv.Result))
+	}
+	if got := db.Count(uni); got != 4000 {
+		t.Fatalf("universe count = %d", got)
+	}
+	if got := db.Count(R(2, 2, 3, 3)); got != 0 {
+		t.Fatalf("empty window count = %d", got)
+	}
+}
+
+func TestSkewedDatasetFacades(t *testing.T) {
+	gr, grUni := GRLikeDataset(2000, 1)
+	if len(gr) != 2000 || grUni.Width() != 800_000 {
+		t.Fatalf("GR facade: %d items in %v", len(gr), grUni)
+	}
+	na, naUni := NALikeDataset(2000, 1)
+	if len(na) != 2000 || naUni.Width() != 7_000_000 {
+		t.Fatalf("NA facade: %d items in %v", len(na), naUni)
+	}
+	for _, it := range gr {
+		if !grUni.Contains(it.P) {
+			t.Fatal("GR point outside universe")
+		}
+	}
+	db, err := Open(na, naUni, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := db.NN(naUni.Center(), 1); err != nil {
+		t.Fatal(err)
+	}
+}
