@@ -12,11 +12,13 @@ package lbsq
 // trends are visible straight from the bench output.
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 	"os"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"lbsq/internal/experiments"
@@ -228,6 +230,64 @@ func BenchmarkOpValidityCheck(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		v.Valid(pts[i%len(pts)])
+	}
+}
+
+// BenchmarkShardScaling measures mixed-workload throughput (NN with
+// validity, window, range) against the shard count, on uniform and
+// GR-like (skewed) data. Run with -cpu 8 (or more) so the scatter
+// parallelism is visible; qps is reported per sub-benchmark.
+//
+//	go test -bench=ShardScaling -cpu 8 -benchtime=2s
+func BenchmarkShardScaling(b *testing.B) {
+	type ds struct {
+		name     string
+		items    []Item
+		uni      Rect
+		strategy ShardStrategy
+	}
+	uItems, uUni := UniformDataset(50_000, 2003)
+	gItems, gUni := GRLikeDataset(23_268, 2003)
+	for _, d := range []ds{
+		{"uniform", uItems, uUni, ShardGrid},
+		{"gr", gItems, gUni, ShardKDMedian},
+	} {
+		for _, shards := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/shards=%d", d.name, shards), func(b *testing.B) {
+				db, err := Open(d.items, d.uni, &Options{Shards: shards, ShardStrategy: d.strategy})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rng := rand.New(rand.NewSource(7))
+				pts := make([]Point, 1024)
+				for i := range pts {
+					it := d.items[rng.Intn(len(d.items))]
+					pts[i] = Pt(it.P.X+(rng.Float64()-0.5)*0.01*d.uni.Width(),
+						it.P.Y+(rng.Float64()-0.5)*0.01*d.uni.Height())
+				}
+				qx, qy := 0.02*d.uni.Width(), 0.02*d.uni.Height()
+				radius := 0.01 * d.uni.Width()
+				var ctr int64
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						i := atomic.AddInt64(&ctr, 1)
+						q := pts[i%int64(len(pts))]
+						switch i % 4 {
+						case 0:
+							db.NN(q, 1)
+						case 1:
+							db.NN(q, int(i%16)+1)
+						case 2:
+							db.WindowAt(q, qx, qy)
+						default:
+							db.Range(q, radius)
+						}
+					}
+				})
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+			})
+		}
 	}
 }
 

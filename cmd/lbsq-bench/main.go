@@ -28,6 +28,7 @@ func main() {
 		seed    = flag.Int64("seed", 2003, "random seed")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		csvOut  = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		shards  = flag.Int("shards", 0, "shard count for the shards experiment (0 = 1/2/4/8 sweep)")
 	)
 	flag.Parse()
 
@@ -38,7 +39,7 @@ func main() {
 		return
 	}
 
-	cfg := experiments.Config{Full: *full, Queries: *queries, Seed: *seed}
+	cfg := experiments.Config{Full: *full, Queries: *queries, Seed: *seed, Shards: *shards}
 	start := time.Now()
 	print := func(t experiments.Table) {
 		if *csvOut {

@@ -30,10 +30,19 @@ func main() {
 		n    = flag.Int("n", 100_000, "synthetic dataset cardinality")
 		kind = flag.String("dataset", "uniform", "synthetic dataset: uniform | gr | na")
 		seed = flag.Int64("seed", 2003, "random seed")
-		load = flag.String("load", "", "load a dataset file instead of generating")
-		buf  = flag.Float64("buffer", 0.10, "LRU buffer fraction of tree size (0 disables)")
+		load     = flag.String("load", "", "load a dataset file instead of generating")
+		buf      = flag.Float64("buffer", 0.10, "LRU buffer fraction of tree size (0 disables)")
+		shards   = flag.Int("shards", 1, "number of spatial shards (>1 enables scatter-gather)")
+		strategy = flag.String("shard-strategy", "grid", "shard partitioning: grid | kdmedian")
+		workers  = flag.Int("shard-workers", 0, "scatter-gather worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+
+	st, err := lbsq.ParseShardStrategy(*strategy)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbsq-server: %v\n", err)
+		os.Exit(2)
+	}
 
 	var items []lbsq.Item
 	var universe lbsq.Rect
@@ -70,10 +79,20 @@ func main() {
 		name = *kind
 	}
 
-	db, err := lbsq.Open(items, universe, &lbsq.Options{BufferFraction: *buf})
+	db, err := lbsq.Open(items, universe, &lbsq.Options{
+		BufferFraction: *buf,
+		Shards:         *shards,
+		ShardStrategy:  st,
+		ShardWorkers:   *workers,
+	})
 	if err != nil {
 		log.Fatalf("lbsq-server: %v", err)
 	}
-	log.Printf("serving %d points (%s) in %v on %s", db.Len(), name, universe, *addr)
+	if db.Sharded() {
+		log.Printf("serving %d points (%s) in %v on %s (%d %s shards)",
+			db.Len(), name, universe, *addr, db.NumShards(), st)
+	} else {
+		log.Printf("serving %d points (%s) in %v on %s", db.Len(), name, universe, *addr)
+	}
 	log.Fatal(http.ListenAndServe(*addr, db.Handler()))
 }

@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"lbsq/internal/core"
 )
@@ -23,7 +25,7 @@ import (
 //	GET /window?x=..&y=..&qx=..&qy=.. → binary window response
 //	GET /info                    → JSON {"count":..,"universe":[minx,miny,maxx,maxy]}
 func (db *DB) Handler() http.Handler {
-	sessions := &sessionStore{known: make(map[string]map[int64]bool)}
+	sessions := &sessionStore{sessions: make(map[string]*session)}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/nn", func(w http.ResponseWriter, r *http.Request) {
 		q, err := parsePoint(r)
@@ -44,16 +46,21 @@ func (db *DB) Handler() http.Handler {
 		w.Header().Set("Content-Type", "application/octet-stream")
 		if sid := r.URL.Query().Get("session"); sid != "" {
 			// Delta transfer: items this session already received are
-			// referenced by id only.
-			known, add := sessions.acquire(sid)
-			defer sessions.release()
-			w.Write(core.EncodeNNDelta(v, known))
+			// referenced by id only. Encode and record under the
+			// session's own lock — concurrent requests for different
+			// sessions proceed in parallel, and the response write
+			// happens outside any lock.
+			ss := sessions.get(sid)
+			ss.mu.Lock()
+			payload := core.EncodeNNDelta(v, func(id int64) bool { return ss.ids[id] })
 			for _, nb := range v.Neighbors {
-				add(nb.Item.ID)
+				ss.ids[nb.Item.ID] = true
 			}
 			for _, it := range v.Influence {
-				add(it.ID)
+				ss.ids[it.ID] = true
 			}
+			ss.mu.Unlock()
+			w.Write(payload)
 			return
 		}
 		w.Write(EncodeNN(v))
@@ -104,11 +111,29 @@ func (db *DB) Handler() http.Handler {
 	})
 	mux.HandleFunc("/info", func(w http.ResponseWriter, r *http.Request) {
 		u := db.Universe()
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(map[string]interface{}{
+		info := map[string]interface{}{
 			"count":    db.Len(),
 			"universe": [4]float64{u.MinX, u.MinY, u.MaxX, u.MaxY},
-		})
+			"shards":   db.NumShards(),
+		}
+		if stats := db.ShardStatsList(); stats != nil {
+			type shardInfo struct {
+				Resp         [4]float64 `json:"resp"`
+				Count        int        `json:"count"`
+				NodeAccesses int64      `json:"node_accesses"`
+			}
+			out := make([]shardInfo, len(stats))
+			for i, st := range stats {
+				out[i] = shardInfo{
+					Resp:         [4]float64{st.Resp.MinX, st.Resp.MinY, st.Resp.MaxX, st.Resp.MaxY},
+					Count:        st.Count,
+					NodeAccesses: st.NodeAccesses,
+				}
+			}
+			info["shard_stats"] = out
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(info)
 	})
 	return mux
 }
@@ -122,8 +147,19 @@ func parsePoint(r *http.Request) (Point, error) {
 	return Pt(x, y), nil
 }
 
+// parseFloat parses a finite float query parameter. NaN and ±Inf are
+// rejected: non-finite coordinates poison every distance comparison
+// downstream (NaN compares false with everything), so they are a client
+// error, not a query.
 func parseFloat(r *http.Request, name string) (float64, error) {
-	return strconv.ParseFloat(r.URL.Query().Get(name), 64)
+	v, err := strconv.ParseFloat(r.URL.Query().Get(name), 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("lbsq: parameter %q must be finite", name)
+	}
+	return v, nil
 }
 
 func parseInt(r *http.Request, name string, def int) (int, error) {
@@ -134,34 +170,43 @@ func parseInt(r *http.Request, name string, def int) (int, error) {
 	return strconv.Atoi(s)
 }
 
+// session is one delta session's received-item set, with its own lock
+// so concurrent requests for different sessions never serialize on a
+// store-wide mutex (and no lock is ever held across a response write).
+type session struct {
+	mu  sync.Mutex
+	ids map[int64]bool
+}
+
 // sessionStore tracks which item ids each delta session has received.
 // Sessions are unbounded for the demo server; production deployments
 // would expire them.
 type sessionStore struct {
-	mu    sync.Mutex
-	known map[string]map[int64]bool
+	mu       sync.Mutex
+	sessions map[string]*session
 }
 
-// acquire locks the store and returns a membership test plus an adder
-// for the session; release with release().
-func (s *sessionStore) acquire(sid string) (func(int64) bool, func(int64)) {
+// get returns the session for sid, creating it if needed. Only the
+// map lookup runs under the store lock.
+func (s *sessionStore) get(sid string) *session {
 	s.mu.Lock()
-	m := s.known[sid]
-	if m == nil {
-		m = make(map[int64]bool)
-		s.known[sid] = m
+	defer s.mu.Unlock()
+	ss := s.sessions[sid]
+	if ss == nil {
+		ss = &session{ids: make(map[int64]bool)}
+		s.sessions[sid] = ss
 	}
-	return func(id int64) bool { return m[id] }, func(id int64) { m[id] = true }
+	return ss
 }
-
-func (s *sessionStore) release() { s.mu.Unlock() }
 
 // RemoteClient issues location-based queries against a DB served by
 // Handler.
 type RemoteClient struct {
 	// Base is the server URL, e.g. "http://localhost:8080".
 	Base string
-	// HTTP is the client to use; nil selects http.DefaultClient.
+	// HTTP is the client to use; nil selects a shared default with a
+	// 10-second timeout (unlike http.DefaultClient, which never times
+	// out). Set HTTP explicitly to change the timeout.
 	HTTP *http.Client
 	// Universe must match the server's (fetch it with Info); needed to
 	// rebuild window validity regions client-side.
@@ -173,11 +218,16 @@ type RemoteClient struct {
 	items core.ItemCache
 }
 
+// defaultHTTPClient bounds remote queries at 10 seconds instead of
+// http.DefaultClient's unbounded wait: a mobile client must fall back
+// to its cached validity region, not hang.
+var defaultHTTPClient = &http.Client{Timeout: 10 * time.Second}
+
 func (c *RemoteClient) httpClient() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return http.DefaultClient
+	return defaultHTTPClient
 }
 
 func (c *RemoteClient) get(path string) ([]byte, error) {

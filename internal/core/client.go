@@ -28,7 +28,7 @@ func (s ClientStats) QueryRate() float64 {
 // a Server, caching the latest result with its validity region and
 // re-querying only after leaving it (the paper's proposed protocol).
 type NNClient struct {
-	Server *Server
+	Server QueryEngine
 	K      int
 	// Delta enables incremental result transfer (Sec. 7 future work):
 	// items the client already holds travel as bare ids.
@@ -45,8 +45,9 @@ type NNClient struct {
 	items  ItemCache
 }
 
-// NewNNClient returns a client for k-NN queries.
-func NewNNClient(s *Server, k int) *NNClient {
+// NewNNClient returns a client for k-NN queries. The engine may be a
+// single-index Server or a sharded cluster.
+func NewNNClient(s QueryEngine, k int) *NNClient {
 	return &NNClient{Server: s, K: k, items: make(ItemCache)}
 }
 
@@ -120,7 +121,7 @@ func (c *NNClient) Cached() *NNValidity {
 // bare ids. The item cache grows with the session; call ResetItems on
 // memory pressure (the next response simply sends full records again).
 type WindowClient struct {
-	Server *Server
+	Server QueryEngine
 	Qx, Qy float64 // window extents
 	Delta  bool    // incremental (delta) result transfer
 	// Regions sets the semantic-cache depth (past validity regions
@@ -133,7 +134,7 @@ type WindowClient struct {
 }
 
 // NewWindowClient returns a client whose window has extents qx×qy.
-func NewWindowClient(s *Server, qx, qy float64) *WindowClient {
+func NewWindowClient(s QueryEngine, qx, qy float64) *WindowClient {
 	return &WindowClient{Server: s, Qx: qx, Qy: qy, items: make(ItemCache)}
 }
 
@@ -169,11 +170,11 @@ func (c *WindowClient) At(f geom.Point) ([]rtree.Item, error) {
 		}
 		wire := EncodeWindowDelta(w, func(id int64) bool { _, ok := c.items[id]; return ok })
 		c.Stats.BytesReceived += int64(len(wire))
-		decoded, err = DecodeWindowDelta(wire, c.items, c.Server.Universe)
+		decoded, err = DecodeWindowDelta(wire, c.items, c.Server.UniverseRect())
 	} else {
 		wire := EncodeWindow(w)
 		c.Stats.BytesReceived += int64(len(wire))
-		decoded, err = DecodeWindow(wire, c.Server.Universe)
+		decoded, err = DecodeWindow(wire, c.Server.UniverseRect())
 	}
 	c.Stats.ServerQueries++
 	if err != nil {

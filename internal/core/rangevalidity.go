@@ -173,15 +173,16 @@ func RangeQuery(tree *rtree.Tree, center geom.Point, radius float64, universe ge
 // RangeClient is a mobile client maintaining a fixed-radius range query
 // around its position (e.g. proximity alerts).
 type RangeClient struct {
-	Server *Server
+	Server QueryEngine
 	Radius float64
 	Stats  ClientStats
 
 	cached *RangeValidity
 }
 
-// NewRangeClient returns a client with the given query radius.
-func NewRangeClient(s *Server, radius float64) *RangeClient {
+// NewRangeClient returns a client with the given query radius. The
+// engine may be a single-index Server or a sharded cluster.
+func NewRangeClient(s QueryEngine, radius float64) *RangeClient {
 	return &RangeClient{Server: s, Radius: radius}
 }
 
@@ -192,7 +193,7 @@ func (c *RangeClient) At(p geom.Point) ([]rtree.Item, error) {
 		c.Stats.CacheHits++
 		return c.cached.Result, nil
 	}
-	rv := RangeQuery(c.Server.Tree, p, c.Radius, c.Server.Universe)
+	rv, _ := c.Server.RangeQuery(p, c.Radius)
 	wire := EncodeRange(rv)
 	c.Stats.BytesReceived += int64(len(wire))
 	c.Stats.ServerQueries++

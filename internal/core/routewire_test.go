@@ -1,0 +1,69 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"lbsq/internal/geom"
+	"lbsq/internal/rtree"
+	"lbsq/internal/tp"
+)
+
+// TestRouteWireRoundTripCases complements TestRouteWireRoundTrip (which
+// round-trips a computed partition) with the edge shapes: the empty
+// partition, a single interval, and the zero-length interval a
+// degenerate route produces.
+func TestRouteWireRoundTripCases(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		ivs  []tp.CNNInterval
+	}{
+		{"empty", nil},
+		{"single", []tp.CNNInterval{
+			{From: 0, To: 1.5, NN: rtree.Item{ID: 7, P: geom.Pt(0.25, 0.75)}},
+		}},
+		{"multi", []tp.CNNInterval{
+			{From: 0, To: 0.3, NN: rtree.Item{ID: 1, P: geom.Pt(0.1, 0.1)}},
+			{From: 0.3, To: 0.9, NN: rtree.Item{ID: 2, P: geom.Pt(0.5, 0.4)}},
+			{From: 0.9, To: 1.2, NN: rtree.Item{ID: 3, P: geom.Pt(0.9, 0.8)}},
+		}},
+		{"zero-length", []tp.CNNInterval{
+			{From: 0, To: 0, NN: rtree.Item{ID: 42, P: geom.Pt(0.5, 0.5)}},
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := DecodeRoute(EncodeRoute(tc.ivs))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) == 0 && len(tc.ivs) == 0 {
+				return
+			}
+			if !reflect.DeepEqual(got, tc.ivs) {
+				t.Fatalf("round trip: got %v, want %v", got, tc.ivs)
+			}
+		})
+	}
+}
+
+func TestDecodeRouteRejectsMalformed(t *testing.T) {
+	valid := EncodeRoute([]tp.CNNInterval{
+		{From: 0, To: 1, NN: rtree.Item{ID: 1, P: geom.Pt(0.2, 0.3)}},
+	})
+	for _, tc := range []struct {
+		name string
+		b    []byte
+	}{
+		{"nil", nil},
+		{"short", valid[:4]},
+		{"bad-magic", append([]byte{'X'}, valid[1:]...)},
+		{"truncated", valid[:len(valid)-3]},
+		{"trailing", append(append([]byte(nil), valid...), 0xFF)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := DecodeRoute(tc.b); err == nil {
+				t.Fatal("want decode error")
+			}
+		})
+	}
+}

@@ -31,6 +31,19 @@ func (c QueryCost) Total() int64 { return c.ResultNA + c.InfNA }
 // TotalPA returns total page accesses.
 func (c QueryCost) TotalPA() int64 { return c.ResultPA + c.InfPA }
 
+// QueryEngine is the location-based query surface: every query returns
+// the result plus the validity region within which it stays exact, with
+// per-phase cost accounting. Both the single-index Server and the
+// sharded scatter-gather cluster (internal/shard) implement it; mobile
+// clients run against either transparently.
+type QueryEngine interface {
+	NNQuery(q geom.Point, k int) (*NNValidity, QueryCost, error)
+	WindowQuery(w geom.Rect) (*WindowValidity, QueryCost)
+	WindowQueryAt(focus geom.Point, qx, qy float64) (*WindowValidity, QueryCost)
+	RangeQuery(center geom.Point, radius float64) (*RangeValidity, QueryCost)
+	UniverseRect() geom.Rect
+}
+
 // Server processes location-based spatial queries over a static point
 // dataset indexed by an R*-tree.
 type Server struct {
@@ -38,6 +51,9 @@ type Server struct {
 	Universe geom.Rect
 	Buffer   *buffer.LRU // nil = unbuffered
 }
+
+// UniverseRect returns the data universe (QueryEngine).
+func (s *Server) UniverseRect() geom.Rect { return s.Universe }
 
 // NewServer wraps an R-tree whose points live inside universe.
 func NewServer(tree *rtree.Tree, universe geom.Rect) *Server {

@@ -36,6 +36,10 @@ type Config struct {
 	Seed int64
 	// BufferFraction for the page-access experiments (paper: 0.10).
 	BufferFraction float64
+	// Shards, when > 1, restricts the shard-scaling experiment to
+	// comparing that shard count against the single server; zero runs
+	// the full 1/2/4/8 sweep.
+	Shards int
 }
 
 func (c Config) queries() int {
@@ -173,6 +177,7 @@ func All() []Experiment {
 		{"updates", "Update cost: on-the-fly regions vs precomputed Voronoi; window-client savings", Updates},
 		{"semcache", "Extension: semantic cache of past validity regions", SemanticCache},
 		{"perf", "Engineering: query latency percentiles", Perf},
+		{"shards", "Engineering: sharded scatter-gather throughput scaling", ShardScaling},
 	}
 }
 

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lbsq/internal/core"
+	"lbsq/internal/dataset"
+	"lbsq/internal/geom"
+	"lbsq/internal/shard"
+)
+
+// shardGoroutines is the client concurrency of the scaling experiment:
+// the sharded engine must beat the single server under at least this
+// much parallel load.
+const shardGoroutines = 8
+
+// ShardScaling measures scatter-gather query throughput against the
+// shard count, on uniform and GR-like (skewed) data, under a mixed
+// NN / window / range workload issued by 8 concurrent client
+// goroutines. One table per dataset: shards, strategy, qps, speedup
+// over the single server.
+func ShardScaling(cfg Config) []Table {
+	counts := []int{1, 2, 4, 8}
+	if cfg.Shards > 1 {
+		counts = []int{1, cfg.Shards}
+	}
+	n := 50_000
+	if cfg.Full {
+		n = 100_000
+	}
+	datasets := []*dataset.Dataset{
+		dataset.Uniform(n, cfg.Seed),
+		dataset.GRLike(cfg.grN(), cfg.Seed),
+	}
+
+	var tables []Table
+	for _, d := range datasets {
+		qpts := dataset.QueryPoints(d, cfg.queries(), cfg.Seed+1)
+		t := Table{
+			Title:   fmt.Sprintf("Shard scaling: %s (%d points, %d client goroutines)", d.Name, len(d.Items), shardGoroutines),
+			Columns: []string{"shards", "strategy", "qps", "speedup"},
+		}
+		base := 0.0
+		for _, nShards := range counts {
+			var eng core.QueryEngine
+			strategy := "-"
+			if nShards == 1 {
+				eng = buildServer(d, cfg, false)
+			} else {
+				st := shard.Grid
+				if d.Name != "UNI" {
+					st = shard.KDMedian // balance the skewed datasets
+				}
+				c, err := shard.NewCluster(d.Items, d.Universe, shard.Options{Shards: nShards, Strategy: st})
+				if err != nil {
+					panic(err)
+				}
+				eng = c
+				strategy = st.String()
+			}
+			qps := shardThroughput(eng, d, qpts)
+			if base == 0 {
+				base = qps
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", nShards), strategy, fmt.Sprintf("%.0f", qps),
+				fmt.Sprintf("%.2fx", qps/base),
+			})
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// shardThroughput runs the mixed workload on shardGoroutines client
+// goroutines and returns aggregate queries per second.
+func shardThroughput(eng core.QueryEngine, d *dataset.Dataset, qpts []geom.Point) float64 {
+	qx := d.Universe.Width() * 0.02
+	qy := d.Universe.Height() * 0.02
+	radius := d.Universe.Width() * 0.01
+	total := int64(len(qpts)) * shardGoroutines
+
+	var next int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < shardGoroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := atomic.AddInt64(&next, 1) - 1
+				if i >= total {
+					return
+				}
+				q := qpts[i%int64(len(qpts))]
+				switch i % 4 {
+				case 0:
+					eng.NNQuery(q, 1)
+				case 1:
+					eng.NNQuery(q, int(i%16)+1)
+				case 2:
+					eng.WindowQueryAt(q, qx, qy)
+				default:
+					eng.RangeQuery(q, radius)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return float64(total) / time.Since(start).Seconds()
+}

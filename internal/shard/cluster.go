@@ -1,0 +1,270 @@
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"lbsq/internal/core"
+	"lbsq/internal/geom"
+	"lbsq/internal/rtree"
+)
+
+// Options configures a Cluster.
+type Options struct {
+	// Shards is the number of spatial partitions (≥ 1).
+	Shards int
+	// Strategy selects the partitioning strategy (default Grid).
+	Strategy Strategy
+	// Workers bounds the scatter-gather worker pool shared by all
+	// queries on the cluster; zero selects GOMAXPROCS.
+	Workers int
+	// PageSize, BufferFraction, BulkLoadFill configure each shard's
+	// R*-tree exactly as the corresponding lbsq.Options fields do for a
+	// single server. BufferFraction sizes each shard's LRU buffer
+	// relative to that shard's tree.
+	PageSize       int
+	BufferFraction float64
+	BulkLoadFill   float64
+}
+
+// node is one shard: a responsibility rectangle plus its own query
+// server. The RWMutex serializes tree mutation against queries on this
+// shard only, so writes to one shard do not block queries on others.
+type node struct {
+	mu   sync.RWMutex
+	resp geom.Rect
+	srv  *core.Server
+}
+
+// faults returns the shard buffer's fault count (0 when unbuffered).
+func (s *node) faults() int64 {
+	if s.srv.Buffer == nil {
+		return 0
+	}
+	return s.srv.Buffer.Faults()
+}
+
+// Cluster is a sharded location-based query processor: it owns one
+// core.Server per spatial partition and answers the full query surface
+// by scatter-gather, merging per-shard results and intersecting their
+// validity regions. It implements core.QueryEngine.
+//
+// Cluster is safe for concurrent use. Queries on disjoint shards
+// proceed fully in parallel; Insert/Delete lock only the owning shard.
+// Per-query QueryCost deltas are attributed approximately when queries
+// overlap on a shard (the counters are shared, as in core.Server).
+type Cluster struct {
+	Universe geom.Rect
+
+	shards []*node
+	sem    chan struct{} // bounded scatter worker pool
+}
+
+// Stats describes one shard for monitoring (the /info endpoint).
+type Stats struct {
+	// Resp is the shard's responsibility rectangle.
+	Resp geom.Rect
+	// Count is the number of items currently stored in the shard.
+	Count int
+	// NodeAccesses is the shard tree's cumulative node-access counter.
+	NodeAccesses int64
+}
+
+// NewCluster partitions items into opts.Shards spatial shards over the
+// universe and bulk-loads one R*-tree per shard.
+func NewCluster(items []rtree.Item, universe geom.Rect, opts Options) (*Cluster, error) {
+	if opts.Shards < 1 {
+		return nil, fmt.Errorf("shard: shard count %d, want ≥ 1", opts.Shards)
+	}
+	parts, err := Partitions(items, universe, opts.Shards, opts.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	c := &Cluster{Universe: universe, sem: make(chan struct{}, workers)}
+	for _, p := range parts {
+		tree := rtree.BulkLoad(p.Items, rtree.Options{PageSize: opts.PageSize}, opts.BulkLoadFill)
+		srv := core.NewServer(tree, universe)
+		if opts.BufferFraction > 0 {
+			srv.AttachBuffer(opts.BufferFraction)
+		}
+		c.shards = append(c.shards, &node{resp: p.Resp, srv: srv})
+	}
+	return c, nil
+}
+
+// NumShards returns the number of shards.
+func (c *Cluster) NumShards() int { return len(c.shards) }
+
+// UniverseRect returns the data universe (core.QueryEngine).
+func (c *Cluster) UniverseRect() geom.Rect { return c.Universe }
+
+// Len returns the total number of stored points across shards.
+func (c *Cluster) Len() int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.RLock()
+		n += s.srv.Tree.Len()
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// ShardStats reports per-shard statistics in shard order.
+func (c *Cluster) ShardStats() []Stats {
+	out := make([]Stats, len(c.shards))
+	for i, s := range c.shards {
+		s.mu.RLock()
+		out[i] = Stats{Resp: s.resp, Count: s.srv.Tree.Len(), NodeAccesses: s.srv.Tree.NodeAccesses()}
+		s.mu.RUnlock()
+	}
+	return out
+}
+
+// owner returns the shard responsible for p under the canonical owner
+// rule (first responsibility rectangle containing p), or nil when p is
+// outside every shard.
+func (c *Cluster) owner(p geom.Point) *node {
+	for _, s := range c.shards {
+		if s.resp.Contains(p) {
+			return s
+		}
+	}
+	return nil
+}
+
+// Insert adds a point to its owning shard.
+func (c *Cluster) Insert(it rtree.Item) error {
+	s := c.owner(it.P)
+	if s == nil {
+		return fmt.Errorf("shard: point %v outside universe %v", it.P, c.Universe)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.srv.Tree.Insert(it)
+	return nil
+}
+
+// Delete removes a point from its owning shard, reporting whether it
+// was present.
+func (c *Cluster) Delete(it rtree.Item) bool {
+	s := c.owner(it.P)
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.srv.Tree.Delete(it)
+}
+
+// scatter runs task once per shard index in idxs, in parallel on the
+// bounded worker pool, holding each shard's read lock for the duration
+// of its task. A single task runs inline on the caller's goroutine —
+// most routed queries touch one shard and skip the fan-out machinery
+// entirely.
+func (c *Cluster) scatter(idxs []int, task func(i int, s *node)) {
+	if len(idxs) == 0 {
+		return
+	}
+	if len(idxs) == 1 {
+		s := c.shards[idxs[0]]
+		s.mu.RLock()
+		task(idxs[0], s)
+		s.mu.RUnlock()
+		return
+	}
+	var wg sync.WaitGroup
+	for _, i := range idxs {
+		i := i
+		wg.Add(1)
+		c.sem <- struct{}{}
+		go func() {
+			defer func() { <-c.sem; wg.Done() }()
+			s := c.shards[i]
+			s.mu.RLock()
+			task(i, s)
+			s.mu.RUnlock()
+		}()
+	}
+	wg.Wait()
+}
+
+// overlapping returns the indexes of shards whose responsibility
+// rectangle intersects r.
+func (c *Cluster) overlapping(r geom.Rect) []int {
+	var out []int
+	for i, s := range c.shards {
+		if s.resp.Intersects(r) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// allShards returns every shard index.
+func (c *Cluster) allShards() []int {
+	out := make([]int, len(c.shards))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// byMinDist returns shard indexes ordered by ascending minimum distance
+// from q to the responsibility rectangle (the owner shard first).
+func (c *Cluster) byMinDist(q geom.Point) []int {
+	type entry struct {
+		idx int
+		d2  float64
+	}
+	es := make([]entry, len(c.shards))
+	for i, s := range c.shards {
+		es[i] = entry{i, s.resp.MinDist2(q)}
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].d2 != es[j].d2 {
+			return es[i].d2 < es[j].d2
+		}
+		return es[i].idx < es[j].idx
+	})
+	out := make([]int, len(es))
+	for i, e := range es {
+		out[i] = e.idx
+	}
+	return out
+}
+
+// CountWindow returns the number of items inside w, summed over the
+// overlapping shards using aggregate subtree counts.
+func (c *Cluster) CountWindow(w geom.Rect) int {
+	idxs := c.overlapping(w)
+	counts := make([]int, len(c.shards))
+	c.scatter(idxs, func(i int, s *node) {
+		counts[i] = s.srv.Tree.CountWindow(w)
+	})
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	return total
+}
+
+// SearchItems returns the items inside w, gathered from the overlapping
+// shards (order is by shard, then tree order within each shard).
+func (c *Cluster) SearchItems(w geom.Rect) []rtree.Item {
+	idxs := c.overlapping(w)
+	found := make([][]rtree.Item, len(c.shards))
+	c.scatter(idxs, func(i int, s *node) {
+		found[i] = s.srv.Tree.SearchItems(w)
+	})
+	var out []rtree.Item
+	for _, part := range found {
+		out = append(out, part...)
+	}
+	return out
+}

@@ -1,0 +1,214 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"lbsq/internal/core"
+	"lbsq/internal/geom"
+	"lbsq/internal/nn"
+	"lbsq/internal/rtree"
+)
+
+// NNQuery answers a location-based k-nearest-neighbor query by
+// scatter-gather (core.QueryEngine):
+//
+//  1. Result phase: the owner shard (nearest responsibility rectangle)
+//     answers a local k-NN inline, whose k-th distance du prunes the
+//     fan-out — only shards with MinDist(q) ≤ du can contribute; their
+//     candidates are gathered and merged by distance into the global
+//     result R.
+//  2. Influence phase: each relevant shard computes the influence set
+//     of the *global* members R against its own tree (valid because
+//     every shard-local outsider is farther than every global member).
+//     The merged validity region is the intersection of the per-shard
+//     regions — equivalently the universe clipped by every influence
+//     pair's bisector — which equals the order-k Voronoi cell of R over
+//     the union of all shards. Shards whose responsibility rectangle
+//     lies beyond 2·R_v + d_k of q (R_v = furthest region vertex after
+//     the owner's clip) cannot cut the region and are skipped: a
+//     bisector crossing at x requires dist(o,x) ≤ dist(m,x) ≤ d_k + R_v
+//     and dist(q,o) ≤ dist(q,x) + dist(o,x) ≤ 2·R_v + d_k.
+func (c *Cluster) NNQuery(q geom.Point, k int) (*core.NNValidity, core.QueryCost, error) {
+	var cost core.QueryCost
+	if k < 1 {
+		return nil, cost, fmt.Errorf("shard: k must be ≥ 1")
+	}
+	order := c.byMinDist(q)
+	nbs, resultCosts := c.gatherCandidates(q, k, order)
+	for _, pc := range resultCosts {
+		cost.ResultNA += pc.na
+		cost.ResultPA += pc.pa
+	}
+	if len(nbs) < k {
+		return nil, cost, fmt.Errorf("core: dataset has fewer than %d points", k)
+	}
+	nbs = nbs[:k]
+
+	members := make([]rtree.Item, k)
+	for i, nb := range nbs {
+		members[i] = nb.Item
+	}
+	dk := nbs[k-1].Dist
+
+	v := &core.NNValidity{Query: q, K: k, Neighbors: nbs}
+	seenPairs := make(map[[2]int64]bool)
+	seenObjs := make(map[int64]bool)
+	region := c.Universe.Polygon()
+	merge := func(part *core.NNValidity) {
+		v.TPQueries += part.TPQueries
+		for _, pr := range part.Pairs {
+			key := [2]int64{pr.Obj.ID, pr.Member.ID}
+			if seenPairs[key] {
+				continue
+			}
+			seenPairs[key] = true
+			v.Pairs = append(v.Pairs, pr)
+			if !seenObjs[pr.Obj.ID] {
+				seenObjs[pr.Obj.ID] = true
+				v.Influence = append(v.Influence, pr.Obj)
+			}
+			region = region.ClipHalfPlane(geom.Bisector(pr.Member.P, pr.Obj.P))
+		}
+	}
+
+	// Influence phase, owner shard inline first to shrink the region.
+	var firstErr error
+	c.scatter(order[:1], func(i int, s *node) {
+		part, pc, err := influenceShard(s, q, members, c.Universe)
+		cost.InfNA += pc.na
+		cost.InfPA += pc.pa
+		if err != nil {
+			firstErr = err
+			return
+		}
+		merge(part)
+	})
+	if firstErr != nil {
+		v.Region = region
+		return v, cost, firstErr
+	}
+
+	if !region.IsEmpty() {
+		rv := 0.0
+		for _, vert := range region {
+			if d := q.Dist(vert); d > rv {
+				rv = d
+			}
+		}
+		reach := 2*rv + dk
+		var rest []int
+		for _, i := range order[1:] {
+			if c.shards[i].resp.MinDist(q) <= reach+geom.Eps*(1+reach) {
+				rest = append(rest, i)
+			}
+		}
+		parts := make([]*core.NNValidity, len(c.shards))
+		costs := make([]phaseCost, len(c.shards))
+		errs := make([]error, len(c.shards))
+		c.scatter(rest, func(i int, s *node) {
+			parts[i], costs[i], errs[i] = influenceShard(s, q, members, c.Universe)
+		})
+		for _, i := range rest {
+			cost.InfNA += costs[i].na
+			cost.InfPA += costs[i].pa
+			if errs[i] != nil {
+				if firstErr == nil {
+					firstErr = errs[i]
+				}
+				continue
+			}
+			merge(parts[i])
+		}
+	}
+	if region.IsEmpty() {
+		region = geom.Polygon{}
+	}
+	v.Region = region
+	return v, cost, firstErr
+}
+
+// KNearest returns the k nearest neighbors of q across all shards (a
+// plain k-NN query, without validity computation).
+func (c *Cluster) KNearest(q geom.Point, k int) []nn.Neighbor {
+	if k < 1 {
+		return nil
+	}
+	nbs, _ := c.gatherCandidates(q, k, c.byMinDist(q))
+	if len(nbs) > k {
+		nbs = nbs[:k]
+	}
+	return nbs
+}
+
+// phaseCost is one shard's node/page access delta for one query phase.
+type phaseCost struct{ na, pa int64 }
+
+// gatherCandidates runs the pruned k-NN result phase: the owner shard
+// inline, then a parallel fan-out to every shard whose responsibility
+// rectangle is within the owner's k-th distance. Returns all gathered
+// candidates merged by (distance, id).
+func (c *Cluster) gatherCandidates(q geom.Point, k int, order []int) ([]nn.Neighbor, map[int]phaseCost) {
+	costs := make(map[int]phaseCost, len(order))
+	found := make([][]nn.Neighbor, len(c.shards))
+	pcs := make([]phaseCost, len(c.shards))
+
+	run := func(i int, s *node) {
+		na0, pa0 := s.srv.Tree.NodeAccesses(), s.faults()
+		found[i] = nn.KNearest(s.srv.Tree, q, k)
+		pcs[i] = shardDelta(s, na0, pa0)
+	}
+	c.scatter(order[:1], run)
+	costs[order[0]] = pcs[order[0]]
+
+	du := math.Inf(1)
+	if first := found[order[0]]; len(first) >= k {
+		du = first[k-1].Dist
+	}
+	var rest []int
+	for _, i := range order[1:] {
+		if c.shards[i].resp.MinDist(q) <= du+geom.Eps*(1+du) {
+			rest = append(rest, i)
+		}
+	}
+	c.scatter(rest, run)
+	for _, i := range rest {
+		costs[i] = pcs[i]
+	}
+
+	var all []nn.Neighbor
+	for _, part := range found {
+		all = append(all, part...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Dist != all[j].Dist {
+			return all[i].Dist < all[j].Dist
+		}
+		return all[i].Item.ID < all[j].Item.ID
+	})
+	return all, costs
+}
+
+// shardDelta snapshots the shard's access counters against a baseline.
+// Without a buffer, page accesses equal node accesses (as in
+// core.Server cost accounting).
+func shardDelta(s *node, na0, pa0 int64) phaseCost {
+	na := s.srv.Tree.NodeAccesses() - na0
+	pa := s.faults() - pa0
+	if s.srv.Buffer == nil {
+		pa = na
+	}
+	return phaseCost{na: na, pa: pa}
+}
+
+// influenceShard computes the influence set of the global members
+// against one shard's tree. members need not be stored in this shard:
+// the TP probes exclude them by id, and the precondition of
+// InfluenceSetKNN — every local outsider farther from q than every
+// member — holds because members are the global k nearest.
+func influenceShard(s *node, q geom.Point, members []rtree.Item, universe geom.Rect) (*core.NNValidity, phaseCost, error) {
+	na0, pa0 := s.srv.Tree.NodeAccesses(), s.faults()
+	part, err := core.InfluenceSetKNN(s.srv.Tree, q, members, universe)
+	return part, shardDelta(s, na0, pa0), err
+}

@@ -1,0 +1,239 @@
+// Package shard implements a sharded scatter-gather execution layer
+// over the location-based query processor: the dataset is spatially
+// partitioned into N shards, each indexed by its own R*-tree behind a
+// core.Server, and every query — NN, window, range, route — is answered
+// by fanning out to the relevant shards on a bounded worker pool and
+// merging the per-shard results together with their validity regions.
+//
+// The merge is exact: the validity region of the merged answer is the
+// intersection of the per-shard validity regions (the global result
+// cannot change while no shard's local contribution changes — the
+// paper's Lemmas 3.1/3.2 applied per partition), so a sharded Cluster
+// returns the same answers, and regions contained in (in practice equal
+// to) the regions of, an unsharded core.Server over the union.
+package shard
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"lbsq/internal/geom"
+	"lbsq/internal/rtree"
+)
+
+// Strategy selects how the universe is split into shard responsibility
+// regions.
+type Strategy int
+
+const (
+	// Grid tiles the universe with a near-square gx×gy grid of equal
+	// cells (gx·gy = N). Cheap and oblivious to the data distribution;
+	// shards can be unbalanced under skew.
+	Grid Strategy = iota
+	// KDMedian splits recursively at the item median along the wider
+	// axis (kd-tree style), balancing item counts across shards even on
+	// heavily skewed data.
+	KDMedian
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case Grid:
+		return "grid"
+	case KDMedian:
+		return "kdmedian"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// ParseStrategy maps the names "grid" and "kdmedian" (as accepted by the
+// -shard-strategy command-line flags) to a Strategy.
+func ParseStrategy(name string) (Strategy, error) {
+	switch name {
+	case "grid":
+		return Grid, nil
+	case "kdmedian", "kd", "kd-median":
+		return KDMedian, nil
+	default:
+		return Grid, fmt.Errorf("shard: unknown strategy %q (want grid or kdmedian)", name)
+	}
+}
+
+// Partition is one shard's slice of the dataset: a responsibility
+// rectangle plus the items it owns. Responsibility rectangles tile the
+// universe; items on a shared boundary belong to the first partition (in
+// slice order) whose rectangle contains them — the same rule Cluster
+// uses to route inserts and deletes.
+type Partition struct {
+	Resp  geom.Rect
+	Items []rtree.Item
+}
+
+// Partitions splits items into n spatial partitions of the universe
+// using the given strategy. n must be ≥ 1; the universe must have
+// positive area. Items outside the universe are rejected.
+func Partitions(items []rtree.Item, universe geom.Rect, n int, strategy Strategy) ([]Partition, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: shard count %d, want ≥ 1", n)
+	}
+	if universe.IsEmpty() || universe.Area() == 0 {
+		return nil, fmt.Errorf("shard: universe must have positive area")
+	}
+	var resps []geom.Rect
+	switch strategy {
+	case Grid:
+		resps = gridResponsibilities(universe, n)
+	case KDMedian:
+		resps = kdResponsibilities(items, universe, n)
+	default:
+		return nil, fmt.Errorf("shard: unknown strategy %v", strategy)
+	}
+	parts := make([]Partition, len(resps))
+	for i, r := range resps {
+		parts[i].Resp = r
+	}
+	for _, it := range items {
+		idx := ownerIndex(resps, it.P)
+		if idx < 0 {
+			return nil, fmt.Errorf("shard: item %d at %v outside universe %v", it.ID, it.P, universe)
+		}
+		parts[idx].Items = append(parts[idx].Items, it)
+	}
+	return parts, nil
+}
+
+// ownerIndex returns the index of the first responsibility rectangle
+// containing p (−1 if none does). This is the canonical owner rule for
+// boundary points, shared by partitioning and insert/delete routing.
+func ownerIndex(resps []geom.Rect, p geom.Point) int {
+	for i, r := range resps {
+		if r.Contains(p) {
+			return i
+		}
+	}
+	return -1
+}
+
+// gridResponsibilities tiles the universe with gx×gy cells, gx·gy = n,
+// choosing the divisor pair closest to square and giving the larger
+// count to the wider universe axis.
+func gridResponsibilities(universe geom.Rect, n int) []geom.Rect {
+	gx := 1
+	for d := 1; d*d <= n; d++ {
+		if n%d == 0 {
+			gx = d
+		}
+	}
+	gy := n / gx // gy ≥ gx
+	if universe.Width() >= universe.Height() {
+		gx, gy = gy, gx // more columns along the wider axis
+	}
+	out := make([]geom.Rect, 0, n)
+	w, h := universe.Width()/float64(gx), universe.Height()/float64(gy)
+	for j := 0; j < gy; j++ {
+		for i := 0; i < gx; i++ {
+			r := geom.Rect{
+				MinX: universe.MinX + float64(i)*w,
+				MinY: universe.MinY + float64(j)*h,
+				MaxX: universe.MinX + float64(i+1)*w,
+				MaxY: universe.MinY + float64(j)*h + h,
+			}
+			// Snap outer edges exactly to the universe so the tiles
+			// cover it despite floating-point division.
+			if i == gx-1 {
+				r.MaxX = universe.MaxX
+			}
+			if j == gy-1 {
+				r.MaxY = universe.MaxY
+			}
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// kdResponsibilities recursively splits the universe at the item median
+// along the wider axis until n responsibility rectangles remain. The
+// split ratio follows the shard-count split (n/2 vs n−n/2), so n need
+// not be a power of two. Regions empty of items fall back to spatial
+// midpoint splits.
+func kdResponsibilities(items []rtree.Item, universe geom.Rect, n int) []geom.Rect {
+	out := make([]geom.Rect, 0, n)
+	own := append([]rtree.Item(nil), items...)
+	var rec func(items []rtree.Item, resp geom.Rect, n int)
+	rec = func(items []rtree.Item, resp geom.Rect, n int) {
+		if n == 1 {
+			out = append(out, resp)
+			return
+		}
+		nl := n / 2
+		vertical := resp.Width() >= resp.Height() // split along x
+		cut := kdCut(items, resp, vertical, nl, n)
+		var left, right geom.Rect
+		if vertical {
+			left = geom.Rect{MinX: resp.MinX, MinY: resp.MinY, MaxX: cut, MaxY: resp.MaxY}
+			right = geom.Rect{MinX: cut, MinY: resp.MinY, MaxX: resp.MaxX, MaxY: resp.MaxY}
+		} else {
+			left = geom.Rect{MinX: resp.MinX, MinY: resp.MinY, MaxX: resp.MaxX, MaxY: cut}
+			right = geom.Rect{MinX: resp.MinX, MinY: cut, MaxX: resp.MaxX, MaxY: resp.MaxY}
+		}
+		li, ri := splitItems(items, vertical, cut)
+		rec(li, left, nl)
+		rec(ri, right, n-nl)
+	}
+	rec(own, universe, n)
+	return out
+}
+
+// kdCut returns the split coordinate: the weighted median of the items
+// along the axis (at fraction nl/n), clamped strictly inside resp;
+// degenerate distributions fall back to the spatial midpoint.
+func kdCut(items []rtree.Item, resp geom.Rect, vertical bool, nl, n int) float64 {
+	lo, hi := resp.MinX, resp.MaxX
+	if !vertical {
+		lo, hi = resp.MinY, resp.MaxY
+	}
+	mid := (lo + hi) / 2
+	if len(items) < 2 {
+		return mid
+	}
+	coord := func(it rtree.Item) float64 {
+		if vertical {
+			return it.P.X
+		}
+		return it.P.Y
+	}
+	sort.Slice(items, func(i, j int) bool { return coord(items[i]) < coord(items[j]) })
+	ci := len(items) * nl / n
+	if ci < 1 {
+		ci = 1
+	}
+	if ci >= len(items) {
+		ci = len(items) - 1
+	}
+	cut := (coord(items[ci-1]) + coord(items[ci])) / 2
+	span := hi - lo
+	if cut <= lo+geom.Eps*span || cut >= hi-geom.Eps*span || math.IsNaN(cut) {
+		return mid // duplicates piled on a boundary: fall back
+	}
+	return cut
+}
+
+// splitItems partitions items by the cut coordinate (ties go left).
+func splitItems(items []rtree.Item, vertical bool, cut float64) (left, right []rtree.Item) {
+	for _, it := range items {
+		c := it.P.Y
+		if vertical {
+			c = it.P.X
+		}
+		if c <= cut {
+			left = append(left, it)
+		} else {
+			right = append(right, it)
+		}
+	}
+	return left, right
+}

@@ -1,0 +1,134 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+
+	"lbsq/internal/dataset"
+	"lbsq/internal/geom"
+	"lbsq/internal/rtree"
+)
+
+func TestPartitionsTileAndConserve(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		d        *dataset.Dataset
+		n        int
+		strategy Strategy
+	}{
+		{"uniform-grid-4", dataset.Uniform(2000, 1), 4, Grid},
+		{"uniform-grid-7", dataset.Uniform(2000, 2), 7, Grid},
+		{"uniform-kd-5", dataset.Uniform(2000, 3), 5, KDMedian},
+		{"gr-grid-6", dataset.GRLike(3000, 4), 6, Grid},
+		{"gr-kd-8", dataset.GRLike(3000, 5), 8, KDMedian},
+		{"single", dataset.Uniform(100, 6), 1, Grid},
+		{"more-shards-than-items", dataset.Uniform(3, 7), 8, KDMedian},
+		{"empty-dataset", &dataset.Dataset{Universe: geom.R(0, 0, 1, 1)}, 4, KDMedian},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			parts, err := Partitions(tc.d.Items, tc.d.Universe, tc.n, tc.strategy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(parts) != tc.n {
+				t.Fatalf("got %d partitions, want %d", len(parts), tc.n)
+			}
+			// Responsibility rectangles tile the universe: areas sum to
+			// the universe area and every sampled point has an owner.
+			area := 0.0
+			total := 0
+			for _, p := range parts {
+				area += p.Resp.Area()
+				total += len(p.Items)
+				for _, it := range p.Items {
+					if !p.Resp.Contains(it.P) {
+						t.Fatalf("item %d at %v outside its responsibility %v", it.ID, it.P, p.Resp)
+					}
+				}
+			}
+			u := tc.d.Universe
+			if rel := (area - u.Area()) / u.Area(); rel > 1e-9 || rel < -1e-9 {
+				t.Fatalf("responsibility areas sum to %g, universe area %g", area, u.Area())
+			}
+			if total != len(tc.d.Items) {
+				t.Fatalf("partitions hold %d items, dataset has %d", total, len(tc.d.Items))
+			}
+			resps := make([]geom.Rect, len(parts))
+			for i, p := range parts {
+				resps[i] = p.Resp
+			}
+			rng := rand.New(rand.NewSource(99))
+			for i := 0; i < 500; i++ {
+				p := geom.Pt(u.MinX+rng.Float64()*u.Width(), u.MinY+rng.Float64()*u.Height())
+				if ownerIndex(resps, p) < 0 {
+					t.Fatalf("point %v in universe has no owning shard", p)
+				}
+			}
+			// The owner rule matches the partition assignment.
+			for i, p := range parts {
+				for _, it := range p.Items {
+					if own := ownerIndex(resps, it.P); own != i {
+						t.Fatalf("item %d assigned to partition %d but owner rule says %d", it.ID, i, own)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestPartitionsRejectsBadInput(t *testing.T) {
+	u := geom.R(0, 0, 1, 1)
+	if _, err := Partitions(nil, u, 0, Grid); err == nil {
+		t.Fatal("want error for zero shards")
+	}
+	if _, err := Partitions(nil, geom.Rect{}, 2, Grid); err == nil {
+		t.Fatal("want error for empty universe")
+	}
+	outside := []rtree.Item{{ID: 1, P: geom.Pt(2, 2)}}
+	if _, err := Partitions(outside, u, 2, Grid); err == nil {
+		t.Fatal("want error for item outside universe")
+	}
+}
+
+func TestKDMedianBalancesSkew(t *testing.T) {
+	d := dataset.GRLike(8000, 11)
+	parts, err := Partitions(d.Items, d.Universe, 8, KDMedian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Median splits keep every shard within a factor ~2 of the mean
+	// even on the skewed GR-like distribution.
+	mean := len(d.Items) / len(parts)
+	for i, p := range parts {
+		if len(p.Items) < mean/3 || len(p.Items) > mean*3 {
+			t.Errorf("kd shard %d holds %d items, mean is %d", i, len(p.Items), mean)
+		}
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Strategy
+		ok   bool
+	}{
+		{"grid", Grid, true},
+		{"kdmedian", KDMedian, true},
+		{"kd", KDMedian, true},
+		{"kd-median", KDMedian, true},
+		{"voronoi", Grid, false},
+		{"", Grid, false},
+	} {
+		got, err := ParseStrategy(tc.in)
+		if (err == nil) != tc.ok {
+			t.Errorf("ParseStrategy(%q) error = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.ok && got != tc.want {
+			t.Errorf("ParseStrategy(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	if Grid.String() != "grid" || KDMedian.String() != "kdmedian" {
+		t.Errorf("Strategy.String: got %q, %q", Grid, KDMedian)
+	}
+}

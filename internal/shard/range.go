@@ -1,0 +1,153 @@
+package shard
+
+import (
+	"math"
+	"sort"
+
+	"lbsq/internal/core"
+	"lbsq/internal/geom"
+	"lbsq/internal/nn"
+	"lbsq/internal/rtree"
+)
+
+// RangeQuery answers a location-based range query by scatter-gather
+// (core.QueryEngine), mirroring the single-server algorithm phase by
+// phase so the merged validity region is identical:
+//
+//  1. Result phase: shards overlapping the query disk's bounding box
+//     gather their local members; the union is the global result. The
+//     inner region (disks of the global result's convex-hull vertices)
+//     is computed at the coordinator from the merged result.
+//  2. Influence phase: shards overlapping the inner region's bounding
+//     box inflated by the radius scan for outer candidates, filtering
+//     with the same global lower bound the single server uses, so the
+//     outer influence set matches exactly.
+//
+// An empty result falls back to a full NN fan-out for the globally
+// nearest point, which bounds the conservative safe disk.
+func (c *Cluster) RangeQuery(center geom.Point, radius float64) (rv *core.RangeValidity, cost core.QueryCost) {
+	rv = &core.RangeValidity{Center: center, Radius: radius}
+	defer func() {
+		if c.unbuffered() {
+			cost.ResultPA = cost.ResultNA
+		}
+	}()
+	if radius <= 0 {
+		return rv, cost
+	}
+	r2 := radius * radius
+
+	// Phase 1: the result — per-shard window queries filtered by
+	// distance, merged in shard order (matching single-server tree
+	// order only setwise; callers compare by id).
+	bb := geom.RectCenteredAt(center, 2*radius, 2*radius)
+	idxs := c.overlapping(bb)
+	found := make([][]rtree.Item, len(c.shards))
+	nas := make([]int64, len(c.shards))
+	pas := make([]int64, len(c.shards))
+	c.scatter(idxs, func(i int, s *node) {
+		na0, pa0 := s.srv.Tree.NodeAccesses(), s.faults()
+		s.srv.Tree.Search(bb, func(it rtree.Item) bool {
+			if it.P.Dist2(center) <= r2 {
+				found[i] = append(found[i], it)
+			}
+			return true
+		})
+		nas[i], pas[i] = s.srv.Tree.NodeAccesses()-na0, s.faults()-pa0
+	})
+	for _, i := range idxs {
+		rv.Result = append(rv.Result, found[i]...)
+		cost.ResultNA += nas[i]
+		cost.ResultPA += pas[i]
+	}
+
+	if len(rv.Result) == 0 {
+		// Conservative disk around the globally nearest point: fan out
+		// an NN probe to every shard and keep the minimum distance.
+		dists := make([]float64, len(c.shards))
+		c.scatter(c.allShards(), func(i int, s *node) {
+			na0, pa0 := s.srv.Tree.NodeAccesses(), s.faults()
+			if nb, ok := nn.Nearest(s.srv.Tree, center); ok {
+				dists[i] = nb.Dist
+			} else {
+				dists[i] = math.Inf(1)
+			}
+			nas[i], pas[i] = s.srv.Tree.NodeAccesses()-na0, s.faults()-pa0
+		})
+		d := math.Inf(1)
+		for i, di := range dists {
+			if di < d {
+				d = di
+			}
+			cost.ResultNA += nas[i]
+			cost.ResultPA += pas[i]
+		}
+		if math.IsInf(d, 1) {
+			return rv, cost // empty dataset: valid everywhere
+		}
+		rv.Inner.Add(geom.Disk{C: center, R: math.Max(0, d - radius)})
+		return rv, cost
+	}
+
+	// Inner region: disks of the global result's hull vertices.
+	pts := make([]geom.Point, len(rv.Result))
+	byPos := make(map[geom.Point]rtree.Item, len(rv.Result))
+	inResult := make(map[int64]bool, len(rv.Result))
+	for i, it := range rv.Result {
+		pts[i] = it.P
+		byPos[it.P] = it
+		inResult[it.ID] = true
+	}
+	for _, h := range geom.ConvexHull(pts) {
+		rv.InnerInfluence = append(rv.InnerInfluence, byPos[h])
+		rv.Inner.Add(geom.Disk{C: h, R: radius})
+	}
+
+	// Phase 2: candidate outer points whose disks can reach the inner
+	// region, filtered by the same global lower bound as the single
+	// server (the farthest single inner disk).
+	innerBB := rv.Inner.Disks[0].Bounds()
+	for _, d := range rv.Inner.Disks[1:] {
+		innerBB = innerBB.Intersect(d.Bounds())
+	}
+	search := innerBB.Inflate(radius, radius)
+	idxs = c.overlapping(search)
+	outer := make([][]rtree.Item, len(c.shards))
+	cands := make([]int, len(c.shards))
+	c.scatter(idxs, func(i int, s *node) {
+		na0, pa0 := s.srv.Tree.NodeAccesses(), s.faults()
+		s.srv.Tree.Search(search, func(it rtree.Item) bool {
+			if inResult[it.ID] {
+				return true
+			}
+			cands[i]++
+			lb := 0.0
+			for _, d := range rv.Inner.Disks {
+				if sl := it.P.Dist(d.C) - d.R; sl > lb {
+					lb = sl
+				}
+			}
+			if lb < radius {
+				outer[i] = append(outer[i], it)
+			}
+			return true
+		})
+		nas[i], pas[i] = s.srv.Tree.NodeAccesses()-na0, s.faults()-pa0
+	})
+	for _, i := range idxs {
+		rv.OuterInfluence = append(rv.OuterInfluence, outer[i]...)
+		rv.CandidateOuter += cands[i]
+		cost.ResultNA += nas[i]
+		cost.ResultPA += pas[i]
+	}
+	sort.Slice(rv.OuterInfluence, func(a, b int) bool {
+		return rv.OuterInfluence[a].ID < rv.OuterInfluence[b].ID
+	})
+	return rv, cost
+}
+
+// unbuffered reports whether the shards run without LRU buffers (page
+// accesses then equal node accesses, as in core.Server accounting).
+func (c *Cluster) unbuffered() bool {
+	return len(c.shards) == 0 || c.shards[0].srv.Buffer == nil
+}

@@ -1,0 +1,123 @@
+package shard
+
+import (
+	"lbsq/internal/geom"
+	"lbsq/internal/rtree"
+	"lbsq/internal/tp"
+)
+
+// RouteNN returns the continuous nearest neighbors along the segment
+// a→b across all shards: each shard computes its local CNN partition
+// and the coordinator folds them with a piecewise-minimum merge. Within
+// an elementary interval both candidates are fixed points, so their
+// squared-distance difference along the route is linear in the travel
+// distance and crosses zero at most once — each fold step splits at
+// that bisector crossing.
+func (c *Cluster) RouteNN(a, b geom.Point) []tp.CNNInterval {
+	parts := make([][]tp.CNNInterval, len(c.shards))
+	c.scatter(c.allShards(), func(i int, s *node) {
+		parts[i] = tp.CNN(s.srv.Tree, a, b)
+	})
+	var merged []tp.CNNInterval
+	for _, p := range parts {
+		merged = mergeCNN(merged, p, a, b)
+	}
+	return merged
+}
+
+// mergeCNN folds two CNN partitions of the same route into the
+// piecewise-nearest partition. Either partition may be empty (an empty
+// shard contributes nothing).
+func mergeCNN(x, y []tp.CNNInterval, a, b geom.Point) []tp.CNNInterval {
+	if len(x) == 0 {
+		return y
+	}
+	if len(y) == 0 {
+		return x
+	}
+	if a.Dist2(b) == 0 {
+		// Degenerate route: a single zero-length interval; keep the
+		// nearer item.
+		if a.Dist2(x[0].NN.P) <= a.Dist2(y[0].NN.P) {
+			return x[:1]
+		}
+		return y[:1]
+	}
+	u := b.Sub(a).Unit()
+
+	var out []tp.CNNInterval
+	emit := func(from, to float64, it rtree.Item) {
+		if to <= from {
+			return
+		}
+		if n := len(out); n > 0 {
+			if out[n-1].NN.ID == it.ID {
+				out[n-1].To = to
+				return
+			}
+			from = out[n-1].To // keep the partition gapless
+		} else {
+			from = 0
+		}
+		out = append(out, tp.CNNInterval{From: from, To: to, NN: it})
+	}
+
+	cur := 0.0
+	i, j := 0, 0
+	for i < len(x) && j < len(y) {
+		end := x[i].To
+		if y[j].To < end {
+			end = y[j].To
+		}
+		if end > cur {
+			xi, yj := x[i].NN, y[j].NN
+			if xi.ID == yj.ID {
+				emit(cur, end, xi)
+			} else {
+				// f(t) = dist²(P(t), xi) − dist²(P(t), yj) is linear:
+				// f(t) = C + D·t; xi is nearer where f < 0.
+				C := a.Dist2(xi.P) - a.Dist2(yj.P)
+				D := 2 * u.Dot(yj.P.Sub(xi.P))
+				ts := cur - 1 // out of range unless a crossing exists
+				if D != 0 {
+					ts = -C / D
+				}
+				if ts <= cur || ts >= end {
+					if C+D*(cur+end)/2 <= 0 {
+						emit(cur, end, xi)
+					} else {
+						emit(cur, end, yj)
+					}
+				} else if C+D*cur <= 0 {
+					emit(cur, ts, xi)
+					emit(ts, end, yj)
+				} else {
+					emit(cur, ts, yj)
+					emit(ts, end, xi)
+				}
+			}
+			cur = end
+		}
+		if x[i].To <= end {
+			i++
+		}
+		if j < len(y) && y[j].To <= end {
+			j++
+		}
+	}
+	// Tail: one partition may extend marginally past the other from
+	// floating-point length differences; keep its intervals.
+	for ; i < len(x); i++ {
+		emit(cur, x[i].To, x[i].NN)
+		if x[i].To > cur {
+			cur = x[i].To
+		}
+	}
+	for ; j < len(y); j++ {
+		emit(cur, y[j].To, y[j].NN)
+		if y[j].To > cur {
+			cur = y[j].To
+		}
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package shard
+
+import (
+	"lbsq/internal/core"
+	"lbsq/internal/geom"
+)
+
+// WindowQueryAt answers a location-based window query whose window of
+// extents qx×qy is centered at the focus (core.QueryEngine).
+func (c *Cluster) WindowQueryAt(focus geom.Point, qx, qy float64) (*core.WindowValidity, core.QueryCost) {
+	return c.WindowQuery(geom.RectCenteredAt(focus, qx, qy))
+}
+
+// WindowQuery answers a location-based window query by scatter-gather
+// (core.QueryEngine). The query is routed to the shards overlapping the
+// window inflated by one window extent — every result point lies in w,
+// and every outer point whose Minkowski rectangle can reach the merged
+// validity region lies within w ⊕ (qx, qy), so untouched shards cannot
+// influence the answer. Each routed shard runs the full single-server
+// window algorithm; the merged region is the intersection of the
+// per-shard regions: base = ∩ per-shard inner rectangles, holes = all
+// per-shard Minkowski holes (clipped to the merged base). The global
+// result is unchanged exactly while every shard's local result is
+// unchanged, so the merge equals the single-server region.
+//
+// An empty merged result falls back to a full fan-out: the empty-result
+// validity region is bounded by the distance to the globally nearest
+// point, which only all shards together know.
+func (c *Cluster) WindowQuery(w geom.Rect) (*core.WindowValidity, core.QueryCost) {
+	qx, qy := w.Width(), w.Height()
+	idxs := c.overlapping(w.Inflate(qx, qy))
+	if len(idxs) == 0 {
+		idxs = c.allShards()
+	}
+	wvs, cost := c.windowScatter(idxs, w)
+	if n := resultCount(wvs); n == 0 && len(idxs) < len(c.shards) {
+		// Empty result: the validity region is bounded by the globally
+		// nearest point, so the untouched shards must weigh in too.
+		// Scatter only to the complement and merge both rounds.
+		queried := make(map[int]bool, len(idxs))
+		for _, i := range idxs {
+			queried[i] = true
+		}
+		var rest []int
+		for i := range c.shards {
+			if !queried[i] {
+				rest = append(rest, i)
+			}
+		}
+		restWvs, extra := c.windowScatter(rest, w)
+		for _, i := range rest {
+			wvs[i] = restWvs[i]
+		}
+		cost.ResultNA += extra.ResultNA
+		cost.ResultPA += extra.ResultPA
+		cost.InfNA += extra.InfNA
+		cost.InfPA += extra.InfPA
+	}
+
+	out := &core.WindowValidity{Window: w, Focus: w.Center()}
+	base := c.Universe
+	for _, wv := range wvs {
+		if wv == nil {
+			continue
+		}
+		out.Result = append(out.Result, wv.Result...)
+		base = base.Intersect(wv.InnerRect)
+		out.CandidateOuter += wv.CandidateOuter
+	}
+	out.InnerRect = base
+	out.Region = geom.NewRectRegion(base)
+	seenInner := make(map[int64]bool)
+	seenOuter := make(map[int64]bool)
+	for _, wv := range wvs {
+		if wv == nil {
+			continue
+		}
+		for _, h := range wv.Region.Holes {
+			out.Region.Subtract(h)
+		}
+		for _, it := range wv.InnerInfluence {
+			if !seenInner[it.ID] {
+				seenInner[it.ID] = true
+				out.InnerInfluence = append(out.InnerInfluence, it)
+			}
+		}
+		for _, it := range wv.OuterInfluence {
+			// Keep only outer objects whose Minkowski rectangle still
+			// reaches the merged (smaller) base.
+			mink := geom.RectCenteredAt(it.P, qx, qy).Intersect(base)
+			if mink.IsEmpty() || mink.Area() <= geom.Eps*geom.Eps {
+				continue
+			}
+			if !seenOuter[it.ID] {
+				seenOuter[it.ID] = true
+				out.OuterInfluence = append(out.OuterInfluence, it)
+			}
+		}
+	}
+	out.Conservative = out.Region.ConservativeRect(out.Focus)
+	return out, cost
+}
+
+// windowScatter runs the single-server window query on each listed
+// shard, summing the per-phase costs.
+func (c *Cluster) windowScatter(idxs []int, w geom.Rect) ([]*core.WindowValidity, core.QueryCost) {
+	wvs := make([]*core.WindowValidity, len(c.shards))
+	pcs := make([]core.QueryCost, len(c.shards))
+	c.scatter(idxs, func(i int, s *node) {
+		wvs[i], pcs[i] = s.srv.WindowQuery(w)
+	})
+	var cost core.QueryCost
+	for _, i := range idxs {
+		cost.ResultNA += pcs[i].ResultNA
+		cost.ResultPA += pcs[i].ResultPA
+		cost.InfNA += pcs[i].InfNA
+		cost.InfPA += pcs[i].InfPA
+	}
+	return wvs, cost
+}
+
+func resultCount(wvs []*core.WindowValidity) int {
+	n := 0
+	for _, wv := range wvs {
+		if wv != nil {
+			n += len(wv.Result)
+		}
+	}
+	return n
+}

@@ -32,6 +32,7 @@ import (
 	"lbsq/internal/geom"
 	"lbsq/internal/nn"
 	"lbsq/internal/rtree"
+	"lbsq/internal/shard"
 	"lbsq/internal/storage"
 	"lbsq/internal/tp"
 )
@@ -80,7 +81,25 @@ type (
 	RangeValidity = core.RangeValidity
 	// RangeClient is a mobile client caching range validity regions.
 	RangeClient = core.RangeClient
+
+	// ShardStrategy selects how a sharded DB partitions space.
+	ShardStrategy = shard.Strategy
+	// ShardStats describes one shard of a sharded DB.
+	ShardStats = shard.Stats
 )
+
+// Partitioning strategies for sharded DBs.
+const (
+	// ShardGrid tiles the universe with a near-square grid of
+	// responsibility rectangles.
+	ShardGrid = shard.Grid
+	// ShardKDMedian splits recursively at coordinate medians, balancing
+	// the number of points per shard under skew.
+	ShardKDMedian = shard.KDMedian
+)
+
+// ParseShardStrategy parses a strategy name ("grid" or "kdmedian").
+func ParseShardStrategy(s string) (ShardStrategy, error) { return shard.ParseStrategy(s) }
 
 // Pt is shorthand for Point{x, y}.
 func Pt(x, y float64) Point { return geom.Pt(x, y) }
@@ -99,6 +118,18 @@ type Options struct {
 	// BulkLoadFill is the STR bulk-load fill factor in (0, 1];
 	// zero selects 0.7.
 	BulkLoadFill float64
+	// Shards > 1 partitions the dataset into that many spatial shards,
+	// each with its own R*-tree, and answers queries by parallel
+	// scatter-gather with merged validity regions. Results are
+	// identical to the single-server answers. Zero or one keeps the
+	// single-server layout.
+	Shards int
+	// ShardStrategy selects the partitioning strategy when Shards > 1
+	// (default ShardGrid; ShardKDMedian balances skewed data).
+	ShardStrategy ShardStrategy
+	// ShardWorkers bounds the scatter-gather worker pool when
+	// Shards > 1; zero selects GOMAXPROCS.
+	ShardWorkers int
 }
 
 // DB is an in-memory location-based query processor over a point
@@ -109,9 +140,14 @@ type Options struct {
 // Insert/Delete take the tree exclusively. Per-query QueryCost deltas
 // are attributed approximately when queries overlap — the counters are
 // shared, exactly as a shared disk and buffer pool would be.
+//
+// When opened with Options.Shards > 1 (or OpenSharded), the DB runs as
+// a cluster of spatial shards and answers the same query surface by
+// scatter-gather; Insert/Delete then lock only the owning shard.
 type DB struct {
-	mu     sync.RWMutex
-	server *core.Server
+	mu      sync.RWMutex
+	server  *core.Server
+	cluster *shard.Cluster
 }
 
 // Open bulk-loads the items into an R*-tree over the given universe and
@@ -129,6 +165,20 @@ func Open(items []Item, universe Rect, opts *Options) (*DB, error) {
 			return nil, fmt.Errorf("lbsq: item %d at %v outside universe %v", it.ID, it.P, universe)
 		}
 	}
+	if o.Shards > 1 {
+		c, err := shard.NewCluster(items, universe, shard.Options{
+			Shards:         o.Shards,
+			Strategy:       o.ShardStrategy,
+			Workers:        o.ShardWorkers,
+			PageSize:       o.PageSize,
+			BufferFraction: o.BufferFraction,
+			BulkLoadFill:   o.BulkLoadFill,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &DB{cluster: c}, nil
+	}
 	tree := rtree.BulkLoad(items, rtree.Options{PageSize: o.PageSize}, o.BulkLoadFill)
 	srv := core.NewServer(tree, universe)
 	if o.BufferFraction > 0 {
@@ -137,15 +187,66 @@ func Open(items []Item, universe Rect, opts *Options) (*DB, error) {
 	return &DB{server: srv}, nil
 }
 
+// OpenSharded is shorthand for Open with Options.Shards = shards: it
+// partitions the dataset into spatial shards queried by scatter-gather.
+func OpenSharded(items []Item, universe Rect, shards int, opts *Options) (*DB, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	if shards < 1 {
+		return nil, fmt.Errorf("lbsq: shard count %d, want ≥ 1", shards)
+	}
+	o.Shards = shards
+	return Open(items, universe, &o)
+}
+
+// Sharded reports whether the DB runs as a shard cluster.
+func (db *DB) Sharded() bool { return db.cluster != nil }
+
+// NumShards returns the number of shards (1 for an unsharded DB).
+func (db *DB) NumShards() int {
+	if db.cluster != nil {
+		return db.cluster.NumShards()
+	}
+	return 1
+}
+
+// ShardStatsList reports per-shard statistics, or nil for an unsharded
+// DB.
+func (db *DB) ShardStatsList() []ShardStats {
+	if db.cluster == nil {
+		return nil
+	}
+	return db.cluster.ShardStats()
+}
+
+// engine returns the query engine answering location-based queries:
+// the single server or the shard cluster.
+func (db *DB) engine() core.QueryEngine {
+	if db.cluster != nil {
+		return db.cluster
+	}
+	return db.server
+}
+
 // Len returns the number of stored points.
-func (db *DB) Len() int { return db.server.Tree.Len() }
+func (db *DB) Len() int {
+	if db.cluster != nil {
+		return db.cluster.Len()
+	}
+	return db.server.Tree.Len()
+}
 
 // Universe returns the data universe.
-func (db *DB) Universe() Rect { return db.server.Universe }
+func (db *DB) Universe() Rect { return db.engine().UniverseRect() }
 
 // Insert adds a point (the index is dynamic even though the paper's
 // workloads are static).
 func (db *DB) Insert(it Item) error {
+	if db.cluster != nil {
+		return db.cluster.Insert(it)
+	}
 	if !db.server.Universe.Contains(it.P) {
 		return fmt.Errorf("lbsq: point %v outside universe", it.P)
 	}
@@ -157,6 +258,9 @@ func (db *DB) Insert(it Item) error {
 
 // Delete removes a point, reporting whether it was present.
 func (db *DB) Delete(it Item) bool {
+	if db.cluster != nil {
+		return db.cluster.Delete(it)
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	return db.server.Tree.Delete(it)
@@ -166,6 +270,9 @@ func (db *DB) Delete(it Item) bool {
 // neighbors of q plus the validity region within which that answer
 // stays exact.
 func (db *DB) NN(q Point, k int) (*NNValidity, QueryCost, error) {
+	if db.cluster != nil {
+		return db.cluster.NNQuery(q, k)
+	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return db.server.NNQuery(q, k)
@@ -173,6 +280,9 @@ func (db *DB) NN(q Point, k int) (*NNValidity, QueryCost, error) {
 
 // Window answers a location-based window query for the window w.
 func (db *DB) Window(w Rect) (*WindowValidity, QueryCost) {
+	if db.cluster != nil {
+		return db.cluster.WindowQuery(w)
+	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return db.server.WindowQuery(w)
@@ -181,6 +291,9 @@ func (db *DB) Window(w Rect) (*WindowValidity, QueryCost) {
 // WindowAt answers a location-based window query for a qx×qy window
 // centered at the focus.
 func (db *DB) WindowAt(focus Point, qx, qy float64) (*WindowValidity, QueryCost) {
+	if db.cluster != nil {
+		return db.cluster.WindowQueryAt(focus, qx, qy)
+	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return db.server.WindowQueryAt(focus, qx, qy)
@@ -190,6 +303,9 @@ func (db *DB) WindowAt(focus Point, qx, qy float64) (*WindowValidity, QueryCost)
 // subtree counts: large windows cost far fewer node accesses than
 // enumeration.
 func (db *DB) Count(w Rect) int {
+	if db.cluster != nil {
+		return db.cluster.CountWindow(w)
+	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return db.server.Tree.CountWindow(w)
@@ -198,6 +314,9 @@ func (db *DB) Count(w Rect) int {
 // RangeSearch returns the items inside w (a plain, non-location-based
 // window query).
 func (db *DB) RangeSearch(w Rect) []Item {
+	if db.cluster != nil {
+		return db.cluster.SearchItems(w)
+	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return db.server.Tree.SearchItems(w)
@@ -207,6 +326,9 @@ func (db *DB) RangeSearch(w Rect) []Item {
 // of center, plus the arc-bounded validity region of that answer (the
 // paper's Sec. 7 future-work extension).
 func (db *DB) Range(center Point, radius float64) (*RangeValidity, QueryCost) {
+	if db.cluster != nil {
+		return db.cluster.RangeQuery(center, radius)
+	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return db.server.RangeQuery(center, radius)
@@ -215,12 +337,15 @@ func (db *DB) Range(center Point, radius float64) (*RangeValidity, QueryCost) {
 // NewRangeClient returns a mobile client maintaining a fixed-radius
 // range query around its position.
 func (db *DB) NewRangeClient(radius float64) *RangeClient {
-	return core.NewRangeClient(db.server, radius)
+	return core.NewRangeClient(db.engine(), radius)
 }
 
 // KNearest returns the k nearest neighbors of q (a plain NN query,
 // without validity computation), using best-first search [HS99].
 func (db *DB) KNearest(q Point, k int) []Neighbor {
+	if db.cluster != nil {
+		return db.cluster.KNearest(q, k)
+	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return nn.KNearest(db.server.Tree, q, k)
@@ -231,6 +356,9 @@ func (db *DB) KNearest(q Point, k int) []Neighbor {
 // each with its nearest neighbor. A client with a known straight route
 // can fetch its entire sequence of answers in one interaction.
 func (db *DB) RouteNN(a, b Point) []RouteInterval {
+	if db.cluster != nil {
+		return db.cluster.RouteNN(a, b)
+	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return tp.CNN(db.server.Tree, a, b)
@@ -246,8 +374,12 @@ func RouteNNAt(intervals []RouteInterval, t float64) (RouteInterval, bool) {
 }
 
 // SaveIndex persists the R*-tree to a paged index file (one node per
-// checksummed page); reopen with OpenIndex.
+// checksummed page); reopen with OpenIndex. Sharded DBs cannot be
+// saved: persist the items and re-open with the same shard options.
 func (db *DB) SaveIndex(path string) error {
+	if db.cluster != nil {
+		return fmt.Errorf("lbsq: SaveIndex does not support sharded DBs")
+	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	pf, err := storage.Create(path, storage.RequiredPageSize(db.server.Tree.MaxEntries()))
@@ -288,30 +420,57 @@ func OpenIndex(path string, universe Rect, opts *Options) (*DB, error) {
 }
 
 // Server exposes the underlying query server for advanced use
-// (buffer control, direct access accounting).
+// (buffer control, direct access accounting). It is nil for a sharded
+// DB — use Cluster instead.
 func (db *DB) Server() *core.Server { return db.server }
 
+// Cluster exposes the underlying shard cluster of a sharded DB, or nil
+// for an unsharded one.
+func (db *DB) Cluster() *shard.Cluster { return db.cluster }
+
+// mustServer returns the single server backing the DB, panicking with a
+// clear message when the DB is sharded: the baseline clients replay the
+// paper's single-server experiments and have no sharded counterpart.
+func (db *DB) mustServer(what string) *core.Server {
+	if db.server == nil {
+		panic(fmt.Sprintf("lbsq: %s requires an unsharded DB (Options.Shards ≤ 1)", what))
+	}
+	return db.server
+}
+
 // NewNNClient returns a mobile client for k-NN queries against this DB.
-func (db *DB) NewNNClient(k int) *NNClient { return core.NewNNClient(db.server, k) }
+func (db *DB) NewNNClient(k int) *NNClient { return core.NewNNClient(db.engine(), k) }
 
 // NewWindowClient returns a mobile client maintaining a qx×qy window.
 func (db *DB) NewWindowClient(qx, qy float64) *WindowClient {
-	return core.NewWindowClient(db.server, qx, qy)
+	return core.NewWindowClient(db.engine(), qx, qy)
 }
 
 // NewSR01Client returns the [SR01] baseline client (m ≥ k buffered
-// neighbors).
-func (db *DB) NewSR01Client(k, m int) *SR01Client { return core.NewSR01Client(db.server, k, m) }
+// neighbors). Baseline clients require an unsharded DB.
+func (db *DB) NewSR01Client(k, m int) *SR01Client {
+	return core.NewSR01Client(db.mustServer("NewSR01Client"), k, m)
+}
 
-// NewTP02Client returns the [TP02] baseline client.
-func (db *DB) NewTP02Client(k int) *TP02Client { return core.NewTP02Client(db.server, k) }
+// NewTP02Client returns the [TP02] baseline client. Baseline clients
+// require an unsharded DB.
+func (db *DB) NewTP02Client(k int) *TP02Client {
+	return core.NewTP02Client(db.mustServer("NewTP02Client"), k)
+}
 
 // NewNaiveClient returns the conventional re-query-always client.
-func (db *DB) NewNaiveClient(k int) *NaiveClient { return core.NewNaiveClient(db.server, k) }
+// Baseline clients require an unsharded DB.
+func (db *DB) NewNaiveClient(k int) *NaiveClient {
+	return core.NewNaiveClient(db.mustServer("NewNaiveClient"), k)
+}
 
 // NewZL01Client precomputes the Voronoi diagram and returns the [ZL01]
 // baseline client, which assumes clients move at most at maxSpeed.
+// Baseline clients require an unsharded DB.
 func (db *DB) NewZL01Client(maxSpeed float64) (*ZL01Client, error) {
+	if db.server == nil {
+		return nil, fmt.Errorf("lbsq: NewZL01Client requires an unsharded DB (Options.Shards ≤ 1)")
+	}
 	s, err := core.NewZL01Server(db.server.Tree, db.server.Universe, maxSpeed)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,204 @@
+package lbsq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestOpenShardedEquivalence drives the sharded DB through the public
+// API and compares every query type against an unsharded DB over the
+// same items.
+func TestOpenShardedEquivalence(t *testing.T) {
+	items, uni := UniformDataset(3000, 41)
+	plain, err := Open(items, uni, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(items, uni, &Options{Shards: 4, ShardStrategy: ShardKDMedian})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !db.Sharded() || db.NumShards() != 4 || db.Cluster() == nil || db.Server() != nil {
+		t.Fatalf("sharded DB accessors wrong: sharded=%v shards=%d", db.Sharded(), db.NumShards())
+	}
+	if db.Len() != plain.Len() || db.Universe() != plain.Universe() {
+		t.Fatalf("Len/Universe mismatch: %d/%v vs %d/%v", db.Len(), db.Universe(), plain.Len(), plain.Universe())
+	}
+	stats := db.ShardStatsList()
+	if len(stats) != 4 {
+		t.Fatalf("ShardStatsList returned %d entries", len(stats))
+	}
+	count := 0
+	for _, st := range stats {
+		count += st.Count
+	}
+	if count != db.Len() {
+		t.Fatalf("shard stats sum to %d, Len is %d", count, db.Len())
+	}
+
+	ids := func(items []Item) []int64 {
+		out := make([]int64, len(items))
+		for i, it := range items {
+			out[i] = it.ID
+		}
+		sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+		return out
+	}
+	eq := func(a, b []int64) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 300; i++ {
+		q := Pt(rng.Float64(), rng.Float64())
+		k := 1 + i%8
+		pv, _, perr := plain.NN(q, k)
+		sv, _, serr := db.NN(q, k)
+		if (perr == nil) != (serr == nil) {
+			t.Fatalf("NN error mismatch at %v: %v vs %v", q, perr, serr)
+		}
+		if perr == nil && !eq(ids(pv.Result()), ids(sv.Result())) {
+			t.Fatalf("NN result mismatch at %v k=%d", q, k)
+		}
+		pw, _ := plain.WindowAt(q, 0.05, 0.04)
+		sw, _ := db.WindowAt(q, 0.05, 0.04)
+		if !eq(ids(pw.Result), ids(sw.Result)) {
+			t.Fatalf("window result mismatch at %v", q)
+		}
+		pr, _ := plain.Range(q, 0.03)
+		sr, _ := db.Range(q, 0.03)
+		if !eq(ids(pr.Result), ids(sr.Result)) {
+			t.Fatalf("range result mismatch at %v", q)
+		}
+		w := R(q.X-0.1, q.Y-0.1, q.X+0.1, q.Y+0.1)
+		if plain.Count(w) != db.Count(w) {
+			t.Fatalf("count mismatch at %v", w)
+		}
+		if !eq(ids(plain.RangeSearch(w)), ids(db.RangeSearch(w))) {
+			t.Fatalf("range search mismatch at %v", w)
+		}
+	}
+
+	// KNearest and RouteNN sanity.
+	if nbs := db.KNearest(Pt(0.5, 0.5), 5); len(nbs) != 5 {
+		t.Fatalf("KNearest returned %d neighbors", len(nbs))
+	}
+	ivs := db.RouteNN(Pt(0.1, 0.1), Pt(0.9, 0.9))
+	if len(ivs) == 0 {
+		t.Fatal("RouteNN returned no intervals")
+	}
+}
+
+// TestShardedMobileClients: the caching mobile clients work against a
+// sharded DB through the QueryEngine interface.
+func TestShardedMobileClients(t *testing.T) {
+	items, uni := UniformDataset(2000, 43)
+	db, err := OpenSharded(items, uni, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nnc := db.NewNNClient(3)
+	wc := db.NewWindowClient(0.06, 0.06)
+	rc := db.NewRangeClient(0.05)
+	rng := rand.New(rand.NewSource(44))
+	p := Pt(0.5, 0.5)
+	for i := 0; i < 50; i++ {
+		p = Pt(p.X+(rng.Float64()-0.5)*0.02, p.Y+(rng.Float64()-0.5)*0.02)
+		got, err := nnc.At(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := db.NN(p, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want.Neighbors) {
+			t.Fatalf("client returned %d items, server %d", len(got), len(want.Neighbors))
+		}
+		if _, err := wc.At(p); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rc.At(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if nnc.Stats.ServerQueries == 0 || nnc.Stats.PositionUpdates == 0 {
+		t.Fatalf("client stats not accumulated: %+v", nnc.Stats)
+	}
+}
+
+// TestShardedUnsupported: single-server-only surfaces fail loudly on a
+// sharded DB instead of misbehaving.
+func TestShardedUnsupported(t *testing.T) {
+	items, uni := UniformDataset(500, 45)
+	db, err := OpenSharded(items, uni, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SaveIndex(t.TempDir() + "/idx.lbsq"); err == nil {
+		t.Fatal("SaveIndex on a sharded DB must error")
+	}
+	if _, err := db.NewZL01Client(0.01); err == nil {
+		t.Fatal("NewZL01Client on a sharded DB must error")
+	}
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s on a sharded DB must panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("NewSR01Client", func() { db.NewSR01Client(1, 4) })
+	mustPanic("NewTP02Client", func() { db.NewTP02Client(1) })
+	mustPanic("NewNaiveClient", func() { db.NewNaiveClient(1) })
+
+	if _, err := OpenSharded(items, uni, 0, nil); err == nil {
+		t.Fatal("OpenSharded with 0 shards must error")
+	}
+	one, err := OpenSharded(items, uni, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Sharded() {
+		t.Fatal("1-shard DB should use the single-server layout")
+	}
+}
+
+// TestShardedInsertDelete routes mutations through the public API.
+func TestShardedInsertDelete(t *testing.T) {
+	items, uni := UniformDataset(1000, 46)
+	db, err := OpenSharded(items, uni, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := Item{ID: 1 << 41, P: Pt(0.25, 0.75)}
+	if err := db.Insert(it); err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 1001 {
+		t.Fatalf("Len after insert = %d", db.Len())
+	}
+	v, _, err := db.NN(it.P, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Neighbors[0].Item.ID != it.ID {
+		t.Fatalf("NN after insert = %d, want %d", v.Neighbors[0].Item.ID, it.ID)
+	}
+	if !db.Delete(it) {
+		t.Fatal("Delete reported item absent")
+	}
+	if err := db.Insert(Item{ID: 5, P: Pt(7, 7)}); err == nil {
+		t.Fatal("insert outside universe must error")
+	}
+}
