@@ -9,15 +9,19 @@
 //	lbsq-bench -full           # paper-scale cardinalities (up to 1000k)
 //	lbsq-bench -list           # list experiment ids
 //	lbsq-bench -queries 500    # workload size per data point
+//	lbsq-bench -metrics=false  # suppress the per-experiment metrics summary
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
 	"lbsq/internal/experiments"
+	"lbsq/internal/obs"
 )
 
 func main() {
@@ -29,6 +33,7 @@ func main() {
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		csvOut  = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		shards  = flag.Int("shards", 0, "shard count for the shards experiment (0 = 1/2/4/8 sweep)")
+		metrics = flag.Bool("metrics", true, "print a summary of metrics that moved after each experiment")
 	)
 	flag.Parse()
 
@@ -39,7 +44,8 @@ func main() {
 		return
 	}
 
-	cfg := experiments.Config{Full: *full, Queries: *queries, Seed: *seed, Shards: *shards}
+	reg := obs.NewRegistry()
+	cfg := experiments.Config{Full: *full, Queries: *queries, Seed: *seed, Shards: *shards, Obs: reg}
 	start := time.Now()
 	print := func(t experiments.Table) {
 		if *csvOut {
@@ -52,8 +58,12 @@ func main() {
 		if !*csvOut {
 			fmt.Printf("=== %s ===\n", e.Figure)
 		}
+		before := metricTotals(reg)
 		for _, t := range e.Run(cfg) {
 			print(t)
+		}
+		if *metrics {
+			printMetricsSummary(os.Stdout, reg, before, *csvOut)
 		}
 	}
 	if *fig == "" {
@@ -72,5 +82,81 @@ func main() {
 		fmt.Printf("# total wall time: %v\n", time.Since(start).Round(time.Millisecond))
 	} else {
 		fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// metricTotals snapshots the registry as a flat series→total map
+// (counter/gauge value, or histogram observation count).
+func metricTotals(reg *obs.Registry) map[string]float64 {
+	out := make(map[string]float64)
+	for _, m := range reg.Snapshot() {
+		out[seriesKey(m)] = seriesTotal(m)
+	}
+	return out
+}
+
+func seriesKey(m obs.Metric) string {
+	if len(m.Labels) == 0 {
+		return m.Name
+	}
+	keys := make([]string, 0, len(m.Labels))
+	for k := range m.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteString(m.Name)
+	sb.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%s", k, m.Labels[k])
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func seriesTotal(m obs.Metric) float64 {
+	if m.Kind == obs.KindHistogram {
+		return float64(m.Count)
+	}
+	return m.Value
+}
+
+// printMetricsSummary prints the series whose totals moved during the
+// experiment — the instruments light up only when the experiment built
+// shard clusters, so quiet experiments print nothing.
+func printMetricsSummary(w *os.File, reg *obs.Registry, before map[string]float64, csvOut bool) {
+	type row struct {
+		key   string
+		delta float64
+		m     obs.Metric
+	}
+	var rows []row
+	for _, m := range reg.Snapshot() {
+		key := seriesKey(m)
+		if d := seriesTotal(m) - before[key]; d > 0 {
+			rows = append(rows, row{key, d, m})
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].key < rows[j].key })
+	prefix := ""
+	if csvOut {
+		prefix = "# "
+	}
+	fmt.Fprintf(w, "%smetrics moved this experiment:\n", prefix)
+	for _, r := range rows {
+		if r.m.Kind == obs.KindHistogram {
+			fmt.Fprintf(w, "%s  %-48s +%.0f obs (mean %.1f)\n", prefix, r.key, r.delta, r.m.Mean())
+		} else {
+			fmt.Fprintf(w, "%s  %-48s +%.0f\n", prefix, r.key, r.delta)
+		}
+	}
+	if !csvOut {
+		fmt.Fprintln(w)
 	}
 }

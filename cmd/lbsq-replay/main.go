@@ -86,7 +86,10 @@ func main() {
 	want := func(p string) bool { return *protocol == p || *protocol == "all" }
 
 	if want("naive") {
-		c := db.NewNaiveClient(*k)
+		c, err := db.NewNaiveClient(*k)
+		if err != nil {
+			log.Fatalf("lbsq-replay: %v", err)
+		}
 		for _, p := range path {
 			must1(c.At(p))
 		}
@@ -110,14 +113,20 @@ func main() {
 		report("vr-delta", c.Stats)
 	}
 	if want("sr01") {
-		c := db.NewSR01Client(*k, *m)
+		c, err := db.NewSR01Client(*k, *m)
+		if err != nil {
+			log.Fatalf("lbsq-replay: %v", err)
+		}
 		for _, p := range path {
 			must1(c.At(p))
 		}
 		report(fmt.Sprintf("sr01(m=%d)", *m), c.Stats)
 	}
 	if want("tp02") {
-		c := db.NewTP02Client(*k)
+		c, err := db.NewTP02Client(*k)
+		if err != nil {
+			log.Fatalf("lbsq-replay: %v", err)
+		}
 		for i, p := range path {
 			must1(c.At(p, headings[i]))
 		}

@@ -10,6 +10,10 @@
 //	lbsq-server -load points.lbsq                    # dataset file (see datagen)
 //
 // Endpoints: /nn?x=&y=&k=   /window?x=&y=&qx=&qy=   /info
+//
+// Observability: -metrics (default on) exposes Prometheus text metrics
+// at /metrics; -pprof additionally mounts net/http/pprof under
+// /debug/pprof/ for live profiling.
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
 
@@ -26,15 +31,17 @@ import (
 
 func main() {
 	var (
-		addr = flag.String("addr", ":8080", "listen address")
-		n    = flag.Int("n", 100_000, "synthetic dataset cardinality")
-		kind = flag.String("dataset", "uniform", "synthetic dataset: uniform | gr | na")
-		seed = flag.Int64("seed", 2003, "random seed")
+		addr     = flag.String("addr", ":8080", "listen address")
+		n        = flag.Int("n", 100_000, "synthetic dataset cardinality")
+		kind     = flag.String("dataset", "uniform", "synthetic dataset: uniform | gr | na")
+		seed     = flag.Int64("seed", 2003, "random seed")
 		load     = flag.String("load", "", "load a dataset file instead of generating")
 		buf      = flag.Float64("buffer", 0.10, "LRU buffer fraction of tree size (0 disables)")
 		shards   = flag.Int("shards", 1, "number of spatial shards (>1 enables scatter-gather)")
 		strategy = flag.String("shard-strategy", "grid", "shard partitioning: grid | kdmedian")
 		workers  = flag.Int("shard-workers", 0, "scatter-gather worker pool size (0 = GOMAXPROCS)")
+		metrics  = flag.Bool("metrics", true, "expose Prometheus metrics at /metrics")
+		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -94,5 +101,23 @@ func main() {
 	} else {
 		log.Printf("serving %d points (%s) in %v on %s", db.Len(), name, universe, *addr)
 	}
-	log.Fatal(http.ListenAndServe(*addr, db.Handler()))
+
+	mux := http.NewServeMux()
+	mux.Handle("/", db.Handler())
+	if !*metrics {
+		// The DB handler serves /metrics by default; mask it when the
+		// operator opts out.
+		mux.HandleFunc("/metrics", http.NotFound)
+	} else {
+		log.Printf("metrics at http://localhost%s/metrics", *addr)
+	}
+	if *pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		log.Printf("pprof at http://localhost%s/debug/pprof/", *addr)
+	}
+	log.Fatal(http.ListenAndServe(*addr, mux))
 }

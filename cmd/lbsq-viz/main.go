@@ -89,7 +89,7 @@ func main() {
 		sc.Text(q.Add(lbsq.Pt(view.Width()/80, view.Width()/80)), "q", "font-size:16px;fill:#1f6fb2")
 	case "window":
 		side := math.Sqrt(*qs) * uni.Width()
-		wv, _ := db.WindowAt(q, side, side)
+		wv, _, _ := db.WindowAt(q, side, side)
 		ext := 3 * math.Max(wv.InnerRect.Width(), side) / uni.Width()
 		sc = scene(ext)
 		sc.RectRegion(wv.Region,
@@ -106,7 +106,7 @@ func main() {
 		sc.Marker(q, 5, "fill:#1f6fb2")
 	case "range":
 		r := *radius * uni.Width()
-		rv, _ := db.Range(q, r)
+		rv, _, _ := db.Range(q, r)
 		sc = scene(6 * *radius)
 		for _, d := range rv.Inner.Disks {
 			sc.Circle(d.C, d.R, "fill:#cfe8ff;stroke:none;fill-opacity:0.25")

@@ -67,7 +67,7 @@ func TestConcurrentQueriesWithUpdates(t *testing.T) {
 			rng := rand.New(rand.NewSource(seed))
 			for i := 0; i < 100; i++ {
 				p := Pt(rng.Float64(), rng.Float64())
-				if got := db.KNearest(p, 2); len(got) < 2 {
+				if got, _ := db.KNearest(p, 2); len(got) < 2 {
 					t.Errorf("KNearest returned %d", len(got))
 					return
 				}

@@ -32,7 +32,7 @@ func ExampleDB_WindowAt() {
 	items, universe := lbsq.UniformDataset(100_000, 42)
 	db, _ := lbsq.Open(items, universe, nil)
 
-	w, _ := db.WindowAt(lbsq.Pt(0.5, 0.5), 0.05, 0.05)
+	w, _, _ := db.WindowAt(lbsq.Pt(0.5, 0.5), 0.05, 0.05)
 	fmt.Println("on screen:", len(w.Result))
 	fmt.Println("inner influence:", len(w.InnerInfluence))
 	fmt.Println("focus valid:", w.Valid(lbsq.Pt(0.5, 0.5)))
@@ -68,7 +68,7 @@ func ExampleDB_Range() {
 	items, universe := lbsq.UniformDataset(100_000, 42)
 	db, _ := lbsq.Open(items, universe, nil)
 
-	rv, _ := db.Range(lbsq.Pt(0.5, 0.5), 0.02)
+	rv, _, _ := db.Range(lbsq.Pt(0.5, 0.5), 0.02)
 	fmt.Println("within radius:", len(rv.Result))
 	fmt.Println("can move safely:", rv.SafeDistance(lbsq.Pt(0.5, 0.5)) > 0)
 	// Output:
@@ -81,7 +81,7 @@ func ExampleDB_RouteNN() {
 	items, universe := lbsq.UniformDataset(100_000, 42)
 	db, _ := lbsq.Open(items, universe, nil)
 
-	route := db.RouteNN(lbsq.Pt(0.10, 0.50), lbsq.Pt(0.12, 0.50))
+	route, _ := db.RouteNN(lbsq.Pt(0.10, 0.50), lbsq.Pt(0.12, 0.50))
 	fmt.Println("intervals:", len(route))
 	iv, _ := lbsq.RouteNNAt(route, 0.01)
 	fmt.Println("covers mid-route:", iv.From <= 0.01 && iv.To >= 0.01)

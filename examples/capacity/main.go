@@ -64,7 +64,7 @@ func main() {
 	queries := dataset.QueryPoints(d, 500, 99)
 	var sumArea, sumNA1, sumNA2 float64
 	for _, q := range queries {
-		wv, cost := db.WindowAt(q, side, side)
+		wv, cost, _ := db.WindowAt(q, side, side)
 		sumArea += wv.Region.Area()
 		sumNA1 += float64(cost.ResultNA)
 		sumNA2 += float64(cost.InfNA)

@@ -35,7 +35,10 @@ func main() {
 			name, st.ServerQueries, 100*st.QueryRate(), float64(st.BytesReceived)/1024)
 	}
 
-	naive := db.NewNaiveClient(1)
+	naive, err := db.NewNaiveClient(1)
+	if err != nil {
+		panic(err)
+	}
 	for _, p := range path {
 		must(naive.At(p))
 	}
@@ -47,13 +50,19 @@ func main() {
 	}
 	report("validity region (this paper)", vr.Stats)
 
-	sr := db.NewSR01Client(1, 8)
+	sr, err := db.NewSR01Client(1, 8)
+	if err != nil {
+		panic(err)
+	}
 	for _, p := range path {
 		must(sr.At(p))
 	}
 	report("SR01 (m=8 buffered neighbors)", sr.Stats)
 
-	tp := db.NewTP02Client(1)
+	tp, err := db.NewTP02Client(1)
+	if err != nil {
+		panic(err)
+	}
 	for i, p := range path {
 		must(tp.At(p, headings[i]))
 	}

@@ -25,7 +25,7 @@ func main() {
 	// A single query, inspected.
 	me := lbsq.Pt(400_000, 400_000)
 	const radius = 5_000.0 // 5 km
-	rv, cost := db.Range(me, radius)
+	rv, cost, _ := db.Range(me, radius)
 	fmt.Printf("within 5 km of %v: %d points (%d node accesses)\n",
 		me, len(rv.Result), cost.Total())
 	fmt.Printf("validity region: %d inner + %d outer influence objects, "+

@@ -17,7 +17,10 @@ func TestRangeViaFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rv, cost := db.Range(Pt(0.5, 0.5), 0.05)
+	rv, cost, err := db.Range(Pt(0.5, 0.5), 0.05)
+	if err != nil {
+		t.Fatalf("Range: %v", err)
+	}
 	if cost.Total() == 0 {
 		t.Fatal("range query cost missing")
 	}
@@ -65,7 +68,10 @@ func TestRouteNNViaFacade(t *testing.T) {
 		t.Fatal(err)
 	}
 	a, b := Pt(0.1, 0.5), Pt(0.9, 0.5)
-	route := db.RouteNN(a, b)
+	route, err := db.RouteNN(a, b)
+	if err != nil {
+		t.Fatalf("RouteNN: %v", err)
+	}
 	if len(route) < 5 {
 		t.Fatalf("route has only %d intervals", len(route))
 	}
@@ -73,7 +79,8 @@ func TestRouteNNViaFacade(t *testing.T) {
 	u := b.Sub(a).Unit()
 	for _, iv := range route {
 		mid := a.Add(u.Scale((iv.From + iv.To) / 2))
-		nb := db.KNearest(mid, 1)[0]
+		nbs, _ := db.KNearest(mid, 1)
+		nb := nbs[0]
 		if nb.Item.ID != iv.NN.ID && math.Abs(nb.Dist-iv.NN.P.Dist(mid)) > 1e-9 {
 			t.Fatalf("interval [%v,%v]: route says %d, NN query says %d",
 				iv.From, iv.To, iv.NN.ID, nb.Item.ID)
@@ -125,7 +132,7 @@ func TestHTTPRange(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	local, _ := db.Range(Pt(0.5, 0.5), 0.08)
+	local, _, _ := db.Range(Pt(0.5, 0.5), 0.08)
 	if len(rv.Result) != len(local.Result) {
 		t.Fatalf("remote range result differs: %d vs %d", len(rv.Result), len(local.Result))
 	}
@@ -231,7 +238,7 @@ func TestHTTPDeltaSessionAndRoute(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	local := db.RouteNN(Pt(0.1, 0.5), Pt(0.9, 0.5))
+	local, _ := db.RouteNN(Pt(0.1, 0.5), Pt(0.9, 0.5))
 	if len(route) != len(local) {
 		t.Fatalf("remote route %d intervals, local %d", len(route), len(local))
 	}

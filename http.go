@@ -1,6 +1,7 @@
 package lbsq
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"lbsq/internal/core"
+	"lbsq/internal/obs"
 )
 
 // HTTP transport for the client/server architecture of the paper: a DB
@@ -19,15 +21,27 @@ import (
 // binary encodings of EncodeNN / EncodeWindow — the representation whose
 // size the paper argues must stay small.
 
+// statusCanceled reports that the client went away before the response
+// was produced (nginx's non-standard 499, the de-facto convention).
+const statusCanceled = 499
+
 // Handler returns an http.Handler exposing the query server:
 //
 //	GET /nn?x=..&y=..&k=..       → binary NN response (EncodeNN)
 //	GET /window?x=..&y=..&qx=..&qy=.. → binary window response
 //	GET /info                    → JSON {"count":..,"universe":[minx,miny,maxx,maxy]}
+//	GET /metrics                 → Prometheus text exposition of DB metrics
+//
+// Every handler passes the request context into the query, so a client
+// disconnect aborts a slow sharded scatter instead of burning workers
+// on an answer nobody will read.
 func (db *DB) Handler() http.Handler {
 	sessions := &sessionStore{sessions: make(map[string]*session)}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/nn", func(w http.ResponseWriter, r *http.Request) {
+	handle := func(path string, h http.HandlerFunc) {
+		mux.Handle(path, db.instrumentHTTP(path, h))
+	}
+	handle("/nn", func(w http.ResponseWriter, r *http.Request) {
 		q, err := parsePoint(r)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
@@ -38,9 +52,9 @@ func (db *DB) Handler() http.Handler {
 			http.Error(w, "bad k", http.StatusBadRequest)
 			return
 		}
-		v, _, err := db.NN(q, k)
+		v, _, err := db.NNCtx(r.Context(), q, k)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			writeQueryError(w, r, err)
 			return
 		}
 		w.Header().Set("Content-Type", "application/octet-stream")
@@ -65,7 +79,7 @@ func (db *DB) Handler() http.Handler {
 		}
 		w.Write(EncodeNN(v))
 	})
-	mux.HandleFunc("/route", func(w http.ResponseWriter, r *http.Request) {
+	handle("/route", func(w http.ResponseWriter, r *http.Request) {
 		x1, e1 := parseFloat(r, "x1")
 		y1, e2 := parseFloat(r, "y1")
 		x2, e3 := parseFloat(r, "x2")
@@ -74,11 +88,15 @@ func (db *DB) Handler() http.Handler {
 			http.Error(w, "bad route endpoints", http.StatusBadRequest)
 			return
 		}
-		ivs := db.RouteNN(Pt(x1, y1), Pt(x2, y2))
+		ivs, err := db.RouteNNCtx(r.Context(), Pt(x1, y1), Pt(x2, y2))
+		if err != nil {
+			writeQueryError(w, r, err)
+			return
+		}
 		w.Header().Set("Content-Type", "application/octet-stream")
 		w.Write(core.EncodeRoute(ivs))
 	})
-	mux.HandleFunc("/window", func(w http.ResponseWriter, r *http.Request) {
+	handle("/window", func(w http.ResponseWriter, r *http.Request) {
 		q, err := parsePoint(r)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
@@ -90,11 +108,15 @@ func (db *DB) Handler() http.Handler {
 			http.Error(w, "bad window extents", http.StatusBadRequest)
 			return
 		}
-		wv, _ := db.WindowAt(q, qx, qy)
+		wv, _, err := db.WindowAtCtx(r.Context(), q, qx, qy)
+		if err != nil {
+			writeQueryError(w, r, err)
+			return
+		}
 		w.Header().Set("Content-Type", "application/octet-stream")
 		w.Write(EncodeWindow(wv))
 	})
-	mux.HandleFunc("/range", func(w http.ResponseWriter, r *http.Request) {
+	handle("/range", func(w http.ResponseWriter, r *http.Request) {
 		q, err := parsePoint(r)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
@@ -105,11 +127,15 @@ func (db *DB) Handler() http.Handler {
 			http.Error(w, "bad radius", http.StatusBadRequest)
 			return
 		}
-		rv, _ := db.Range(q, radius)
+		rv, _, err := db.RangeCtx(r.Context(), q, radius)
+		if err != nil {
+			writeQueryError(w, r, err)
+			return
+		}
 		w.Header().Set("Content-Type", "application/octet-stream")
 		w.Write(EncodeRange(rv))
 	})
-	mux.HandleFunc("/info", func(w http.ResponseWriter, r *http.Request) {
+	handle("/info", func(w http.ResponseWriter, r *http.Request) {
 		u := db.Universe()
 		info := map[string]interface{}{
 			"count":    db.Len(),
@@ -135,7 +161,55 @@ func (db *DB) Handler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(info)
 	})
+	handle("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		db.WriteMetrics(w)
+	})
 	return mux
+}
+
+// writeQueryError maps a query error onto an HTTP status: a cancelled
+// request context means the client went away (499); anything else is an
+// unprocessable query.
+func writeQueryError(w http.ResponseWriter, r *http.Request, err error) {
+	if r.Context().Err() != nil {
+		w.WriteHeader(statusCanceled)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+}
+
+// statusWriter records the response status for the request metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.code = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+// instrumentHTTP wraps one endpoint with the HTTP-layer metrics:
+// per-path request latency, per-path-and-status request counts, and a
+// server-wide in-flight gauge.
+func (db *DB) instrumentHTTP(path string, h http.HandlerFunc) http.Handler {
+	dur := db.reg.Histogram("lbsq_http_request_duration_us",
+		"HTTP request latency in microseconds, by path.",
+		obs.Labels{"path": path}, obs.LatencyBucketsUS)
+	inFlight := db.reg.Gauge("lbsq_http_in_flight",
+		"HTTP requests currently being served.", nil)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		inFlight.Add(1)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		inFlight.Add(-1)
+		dur.Observe(float64(time.Since(start).Microseconds()))
+		db.reg.Counter("lbsq_http_requests_total",
+			"HTTP requests served, by path and status code.",
+			obs.Labels{"path": path, "code": strconv.Itoa(sw.code)}).Inc()
+	})
 }
 
 func parsePoint(r *http.Request) (Point, error) {
@@ -230,8 +304,12 @@ func (c *RemoteClient) httpClient() *http.Client {
 	return defaultHTTPClient
 }
 
-func (c *RemoteClient) get(path string) ([]byte, error) {
-	resp, err := c.httpClient().Get(c.Base + path)
+func (c *RemoteClient) get(ctx context.Context, path string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return nil, err
 	}
@@ -249,7 +327,12 @@ func (c *RemoteClient) get(path string) ([]byte, error) {
 // Info fetches the served dataset size and universe, storing the
 // universe on the client.
 func (c *RemoteClient) Info() (int, Rect, error) {
-	body, err := c.get("/info")
+	return c.InfoCtx(context.Background())
+}
+
+// InfoCtx is Info honoring context cancellation and deadline.
+func (c *RemoteClient) InfoCtx(ctx context.Context) (int, Rect, error) {
+	body, err := c.get(ctx, "/info")
 	if err != nil {
 		return 0, Rect{}, err
 	}
@@ -268,17 +351,23 @@ func (c *RemoteClient) Info() (int, Rect, error) {
 // use the incremental (delta) encoding: items already received in this
 // session travel as bare ids resolved from the client's item cache.
 func (c *RemoteClient) NN(q Point, k int) (*NNValidity, error) {
+	return c.NNCtx(context.Background(), q, k)
+}
+
+// NNCtx is NN honoring context cancellation and deadline: the request
+// carries ctx, and the server aborts the query when it is cancelled.
+func (c *RemoteClient) NNCtx(ctx context.Context, q Point, k int) (*NNValidity, error) {
 	if c.Session != "" {
 		if c.items == nil {
 			c.items = make(core.ItemCache)
 		}
-		body, err := c.get(fmt.Sprintf("/nn?x=%g&y=%g&k=%d&session=%s", q.X, q.Y, k, c.Session))
+		body, err := c.get(ctx, fmt.Sprintf("/nn?x=%g&y=%g&k=%d&session=%s", q.X, q.Y, k, c.Session))
 		if err != nil {
 			return nil, err
 		}
 		return core.DecodeNNDelta(body, c.items)
 	}
-	body, err := c.get(fmt.Sprintf("/nn?x=%g&y=%g&k=%d", q.X, q.Y, k))
+	body, err := c.get(ctx, fmt.Sprintf("/nn?x=%g&y=%g&k=%d", q.X, q.Y, k))
 	if err != nil {
 		return nil, err
 	}
@@ -287,7 +376,12 @@ func (c *RemoteClient) NN(q Point, k int) (*NNValidity, error) {
 
 // RouteNN fetches the continuous-NN partition of the segment a→b.
 func (c *RemoteClient) RouteNN(a, b Point) ([]RouteInterval, error) {
-	body, err := c.get(fmt.Sprintf("/route?x1=%g&y1=%g&x2=%g&y2=%g", a.X, a.Y, b.X, b.Y))
+	return c.RouteNNCtx(context.Background(), a, b)
+}
+
+// RouteNNCtx is RouteNN honoring context cancellation and deadline.
+func (c *RemoteClient) RouteNNCtx(ctx context.Context, a, b Point) ([]RouteInterval, error) {
+	body, err := c.get(ctx, fmt.Sprintf("/route?x1=%g&y1=%g&x2=%g&y2=%g", a.X, a.Y, b.X, b.Y))
 	if err != nil {
 		return nil, err
 	}
@@ -296,7 +390,12 @@ func (c *RemoteClient) RouteNN(a, b Point) ([]RouteInterval, error) {
 
 // Window issues a location-based window query centered at the focus.
 func (c *RemoteClient) Window(focus Point, qx, qy float64) (*WindowValidity, error) {
-	body, err := c.get(fmt.Sprintf("/window?x=%g&y=%g&qx=%g&qy=%g", focus.X, focus.Y, qx, qy))
+	return c.WindowCtx(context.Background(), focus, qx, qy)
+}
+
+// WindowCtx is Window honoring context cancellation and deadline.
+func (c *RemoteClient) WindowCtx(ctx context.Context, focus Point, qx, qy float64) (*WindowValidity, error) {
+	body, err := c.get(ctx, fmt.Sprintf("/window?x=%g&y=%g&qx=%g&qy=%g", focus.X, focus.Y, qx, qy))
 	if err != nil {
 		return nil, err
 	}
@@ -305,9 +404,21 @@ func (c *RemoteClient) Window(focus Point, qx, qy float64) (*WindowValidity, err
 
 // Range issues a location-based range query around the center.
 func (c *RemoteClient) Range(center Point, radius float64) (*RangeValidity, error) {
-	body, err := c.get(fmt.Sprintf("/range?x=%g&y=%g&r=%g", center.X, center.Y, radius))
+	return c.RangeCtx(context.Background(), center, radius)
+}
+
+// RangeCtx is Range honoring context cancellation and deadline.
+func (c *RemoteClient) RangeCtx(ctx context.Context, center Point, radius float64) (*RangeValidity, error) {
+	body, err := c.get(ctx, fmt.Sprintf("/range?x=%g&y=%g&r=%g", center.X, center.Y, radius))
 	if err != nil {
 		return nil, err
 	}
 	return DecodeRange(body)
+}
+
+// Metrics fetches the server's /metrics endpoint (Prometheus text
+// exposition) — handy for scraping from tests and tooling.
+func (c *RemoteClient) Metrics(ctx context.Context) (string, error) {
+	body, err := c.get(ctx, "/metrics")
+	return string(body), err
 }

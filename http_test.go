@@ -1,6 +1,7 @@
 package lbsq
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -157,7 +158,7 @@ func TestInfoReportsShards(t *testing.T) {
 	if count != 2000 || gotUni != uni {
 		t.Fatalf("Info = (%d, %v), want (2000, %v)", count, gotUni, uni)
 	}
-	body, err := rc.get("/info")
+	body, err := rc.get(context.Background(), "/info")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -21,6 +21,7 @@ import (
 	"lbsq/internal/dataset"
 	"lbsq/internal/geom"
 	"lbsq/internal/histogram"
+	"lbsq/internal/obs"
 	"lbsq/internal/rtree"
 )
 
@@ -40,6 +41,10 @@ type Config struct {
 	// comparing that shard count against the single server; zero runs
 	// the full 1/2/4/8 sweep.
 	Shards int
+	// Obs, when non-nil, receives the metrics of every shard cluster the
+	// experiments build, so drivers can report instrument summaries
+	// alongside the tables.
+	Obs *obs.Registry
 }
 
 func (c Config) queries() int {

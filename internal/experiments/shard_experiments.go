@@ -54,7 +54,7 @@ func ShardScaling(cfg Config) []Table {
 				if d.Name != "UNI" {
 					st = shard.KDMedian // balance the skewed datasets
 				}
-				c, err := shard.NewCluster(d.Items, d.Universe, shard.Options{Shards: nShards, Strategy: st})
+				c, err := shard.NewCluster(d.Items, d.Universe, shard.Options{Shards: nShards, Strategy: st, Registry: cfg.Obs})
 				if err != nil {
 					panic(err)
 				}

@@ -1,0 +1,391 @@
+// Package obs is the stdlib-only observability layer: atomic counters,
+// gauges, and bounded histograms collected in a Registry that exports
+// the Prometheus text exposition format (version 0.0.4) and structured
+// snapshots. Every instrument is safe for concurrent use and costs a
+// handful of atomic operations on the hot path, so the query engines
+// keep them always-on.
+//
+// Instruments are identified by (name, labels). Registering the same
+// identity twice returns the existing instrument, so independent
+// components can share a registry without coordination.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind discriminates instrument types in snapshots and expositions.
+type Kind uint8
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String returns the Prometheus TYPE keyword for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Labels annotate an instrument; rendered sorted by key in expositions.
+type Labels map[string]string
+
+// Counter is a monotonically increasing count.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n < 0 is ignored: counters never decrease).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram: observations are counted into
+// the first bucket whose upper bound is ≥ the value, with an implicit
+// +Inf bucket, plus a running sum and count. Bounds are immutable after
+// construction.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds (excluding +Inf)
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Bounds returns the bucket upper bounds (excluding +Inf).
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// Bucket is one cumulative histogram bucket in a snapshot.
+type Bucket struct {
+	// UpperBound is the bucket's inclusive upper bound; +Inf for the
+	// last bucket.
+	UpperBound float64
+	// Count is the cumulative number of observations ≤ UpperBound.
+	Count int64
+}
+
+// Metric is one instrument's state in a Snapshot.
+type Metric struct {
+	Name   string
+	Labels map[string]string
+	Kind   Kind
+	// Value holds the counter or gauge value (0 for histograms).
+	Value float64
+	// Count, Sum, and Buckets describe histograms.
+	Count   int64
+	Sum     float64
+	Buckets []Bucket
+}
+
+// Mean returns the mean observation of a histogram metric (0 when
+// empty or not a histogram).
+func (m Metric) Mean() float64 {
+	if m.Count == 0 {
+		return 0
+	}
+	return m.Sum / float64(m.Count)
+}
+
+// series is one (name, labels) instrument inside a family.
+type series struct {
+	labels     Labels
+	labelsText string // pre-rendered {k="v",...} or ""
+	counter    *Counter
+	gauge      *Gauge
+	hist       *Histogram
+	fn         func() float64 // callback counter/gauge
+}
+
+// family groups the series sharing a metric name (one HELP/TYPE block).
+type family struct {
+	name   string
+	help   string
+	kind   Kind
+	bounds []float64 // histograms only
+	series []*series
+	byKey  map[string]*series
+}
+
+// Registry holds a set of instruments and renders them as Prometheus
+// text or structured snapshots. The zero value is unusable; construct
+// with NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// labelKey renders labels sorted, for identity and exposition.
+func labelKey(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(k)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(labels[k]))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// lookup returns the series for (name, labels), creating family and
+// series as needed. A kind mismatch on an existing name panics: that is
+// a programming error in instrumentation code, never reachable from
+// query inputs.
+func (r *Registry) lookup(name, help string, kind Kind, labels Labels, bounds []float64) *series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.byName[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, bounds: bounds, byKey: make(map[string]*series)}
+		r.families = append(r.families, f)
+		r.byName[name] = f
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %v, was %v", name, kind, f.kind))
+	}
+	key := labelKey(labels)
+	s := f.byKey[key]
+	if s == nil {
+		s = &series{labels: cloneLabels(labels), labelsText: key}
+		switch kind {
+		case KindCounter:
+			s.counter = &Counter{}
+		case KindGauge:
+			s.gauge = &Gauge{}
+		case KindHistogram:
+			s.hist = &Histogram{bounds: f.bounds, buckets: make([]atomic.Int64, len(f.bounds)+1)}
+		}
+		f.series = append(f.series, s)
+		f.byKey[key] = s
+	}
+	return s
+}
+
+func cloneLabels(labels Labels) Labels {
+	if len(labels) == 0 {
+		return nil
+	}
+	out := make(Labels, len(labels))
+	for k, v := range labels {
+		out[k] = v
+	}
+	return out
+}
+
+// Counter returns the counter for (name, labels), registering it on
+// first use.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	return r.lookup(name, help, KindCounter, labels, nil).counter
+}
+
+// Gauge returns the gauge for (name, labels), registering it on first
+// use.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	return r.lookup(name, help, KindGauge, labels, nil).gauge
+}
+
+// Histogram returns the histogram for (name, labels) with the given
+// bucket upper bounds (ascending; +Inf is implicit), registering it on
+// first use. Later calls for the same name may pass nil bounds.
+func (r *Registry) Histogram(name, help string, labels Labels, bounds []float64) *Histogram {
+	return r.lookup(name, help, KindHistogram, labels, bounds).hist
+}
+
+// CounterFunc registers a callback-backed cumulative counter: the
+// callback is read at collection time (e.g. an LRU buffer's hit count).
+// Re-registering the same (name, labels) replaces the callback.
+func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() float64) {
+	r.lookup(name, help, KindCounter, labels, nil).fn = fn
+}
+
+// GaugeFunc registers a callback-backed gauge (e.g. a queue depth read
+// from a channel length). Re-registering replaces the callback.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	r.lookup(name, help, KindGauge, labels, nil).fn = fn
+}
+
+// scalarValue returns the current value of a counter/gauge series.
+func (s *series) scalarValue() float64 {
+	if s.fn != nil {
+		return s.fn()
+	}
+	if s.counter != nil {
+		return float64(s.counter.Value())
+	}
+	return float64(s.gauge.Value())
+}
+
+// Snapshot returns the state of every instrument, in registration
+// order.
+func (r *Registry) Snapshot() []Metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Metric
+	for _, f := range r.families {
+		for _, s := range f.series {
+			m := Metric{Name: f.name, Labels: cloneLabels(s.labels), Kind: f.kind}
+			if f.kind == KindHistogram {
+				m.Count = s.hist.Count()
+				m.Sum = s.hist.Sum()
+				cum := int64(0)
+				for i := range s.hist.buckets {
+					cum += s.hist.buckets[i].Load()
+					ub := math.Inf(1)
+					if i < len(s.hist.bounds) {
+						ub = s.hist.bounds[i]
+					}
+					m.Buckets = append(m.Buckets, Bucket{UpperBound: ub, Count: cum})
+				}
+			} else {
+				m.Value = s.scalarValue()
+			}
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// WritePrometheus renders every instrument in the Prometheus text
+// exposition format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var sb strings.Builder
+	for _, f := range r.families {
+		fmt.Fprintf(&sb, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.series {
+			if f.kind != KindHistogram {
+				fmt.Fprintf(&sb, "%s%s %s\n", f.name, s.labelsText, formatValue(s.scalarValue()))
+				continue
+			}
+			cum := int64(0)
+			for i := range s.hist.buckets {
+				cum += s.hist.buckets[i].Load()
+				le := "+Inf"
+				if i < len(s.hist.bounds) {
+					le = formatValue(s.hist.bounds[i])
+				}
+				fmt.Fprintf(&sb, "%s_bucket%s %d\n", f.name, withLabel(s.labelsText, "le", le), cum)
+			}
+			fmt.Fprintf(&sb, "%s_sum%s %s\n", f.name, s.labelsText, formatValue(s.hist.Sum()))
+			fmt.Fprintf(&sb, "%s_count%s %d\n", f.name, s.labelsText, s.hist.Count())
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// withLabel appends one label pair to a pre-rendered label set.
+func withLabel(labelsText, key, value string) string {
+	pair := key + `="` + escapeLabel(value) + `"`
+	if labelsText == "" {
+		return "{" + pair + "}"
+	}
+	return labelsText[:len(labelsText)-1] + "," + pair + "}"
+}
+
+// formatValue renders a sample value: integers without a decimal point,
+// everything else in shortest-form scientific/decimal notation.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// Canonical bucket bounds shared by the lbsq instrumentation, so every
+// engine's histograms are comparable.
+var (
+	// LatencyBucketsUS spans 1 µs .. 1 s for query and task latencies.
+	LatencyBucketsUS = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000, 1e6}
+	// AccessBuckets spans per-query node/page access counts.
+	AccessBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16_384}
+	// FanoutBuckets spans per-query shard fan-out widths.
+	FanoutBuckets = []float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 64}
+	// AreaRatioBuckets spans validity-region area as a fraction of the
+	// universe (log scale: tiny regions dominate dense data).
+	AreaRatioBuckets = []float64{1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1}
+)

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total", "help", nil)
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotonic
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if again := r.Counter("x_total", "help", nil); again != c {
+		t.Fatal("re-registering the same counter must return the same instance")
+	}
+	g := r.Gauge("g", "help", Labels{"shard": "0"})
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Value())
+	}
+	if other := r.Gauge("g", "help", Labels{"shard": "1"}); other == g {
+		t.Fatal("different labels must yield a different series")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_us", "help", nil, []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 10, 50, 1000, math.NaN()} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6 (NaN dropped)", h.Count())
+	}
+	if h.Sum() != 0.5+1+5+10+50+1000 {
+		t.Fatalf("sum = %g", h.Sum())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].Kind != KindHistogram {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	// Cumulative buckets: ≤1: 2 (0.5, 1), ≤10: 4, ≤100: 5, +Inf: 6.
+	want := []int64{2, 4, 5, 6}
+	for i, b := range snap[0].Buckets {
+		if b.Count != want[i] {
+			t.Fatalf("bucket %d (ub %g) = %d, want %d", i, b.UpperBound, b.Count, want[i])
+		}
+	}
+	if mean := snap[0].Mean(); math.Abs(mean-1066.5/6) > 1e-9 {
+		t.Fatalf("mean = %g", mean)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("lbsq_queries_total", "Queries served.", Labels{"op": "nn"}).Add(3)
+	r.Counter("lbsq_queries_total", "Queries served.", Labels{"op": "window"}).Add(1)
+	r.Gauge("lbsq_in_flight", "In-flight requests.", nil).Set(2)
+	r.GaugeFunc("lbsq_queue_depth", "Queue depth.", nil, func() float64 { return 4 })
+	h := r.Histogram("lbsq_latency_us", "Latency.", Labels{"op": "nn"}, []float64{10, 100})
+	h.Observe(7)
+	h.Observe(70)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"# HELP lbsq_queries_total Queries served.",
+		"# TYPE lbsq_queries_total counter",
+		`lbsq_queries_total{op="nn"} 3`,
+		`lbsq_queries_total{op="window"} 1`,
+		"# TYPE lbsq_in_flight gauge",
+		"lbsq_in_flight 2",
+		"lbsq_queue_depth 4",
+		"# TYPE lbsq_latency_us histogram",
+		`lbsq_latency_us_bucket{op="nn",le="10"} 1`,
+		`lbsq_latency_us_bucket{op="nn",le="100"} 2`,
+		`lbsq_latency_us_bucket{op="nn",le="+Inf"} 2`,
+		`lbsq_latency_us_sum{op="nn"} 77`,
+		`lbsq_latency_us_count{op="nn"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	// One HELP/TYPE block per family, even with several series.
+	if strings.Count(text, "# TYPE lbsq_queries_total") != 1 {
+		t.Fatalf("duplicate TYPE lines:\n%s", text)
+	}
+	if err := validateExposition(text); err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, text)
+	}
+}
+
+// validateExposition checks the structural rules of the text format:
+// every sample line parses as name{labels} value and follows a TYPE
+// line for its family.
+func validateExposition(text string) error {
+	typed := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			typed[parts[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, suffix) && typed[strings.TrimSuffix(name, suffix)] {
+				base = strings.TrimSuffix(name, suffix)
+			}
+		}
+		if !typed[base] {
+			return errUntyped(name)
+		}
+	}
+	return nil
+}
+
+type errUntyped string
+
+func (e errUntyped) Error() string { return "sample before TYPE: " + string(e) }
+
+func TestEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "h", Labels{"path": `a"b\c`}).Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `c_total{path="a\"b\\c"} 1`) {
+		t.Fatalf("escaping wrong:\n%s", sb.String())
+	}
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "help", nil, LatencyBucketsUS)
+	c := r.Counter("c_total", "help", nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(float64(i % 300))
+				// Concurrent get-or-create of the same series.
+				r.Counter("c_total", "help", nil)
+			}
+		}()
+	}
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		for i := 0; i < 50; i++ {
+			r.Snapshot()
+			r.WritePrometheus(&strings.Builder{})
+		}
+	}()
+	wg.Wait()
+	snapWG.Wait()
+	if c.Value() != 8000 || h.Count() != 8000 {
+		t.Fatalf("counter %d, histogram %d, want 8000", c.Value(), h.Count())
+	}
+	wantSum := 0.0
+	for i := 0; i < 1000; i++ {
+		wantSum += float64(i % 300)
+	}
+	if math.Abs(h.Sum()-8*wantSum) > 1e-6 {
+		t.Fatalf("histogram sum %g, want %g", h.Sum(), 8*wantSum)
+	}
+}

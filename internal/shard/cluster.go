@@ -1,13 +1,17 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"lbsq/internal/core"
 	"lbsq/internal/geom"
+	"lbsq/internal/obs"
 	"lbsq/internal/rtree"
 )
 
@@ -27,6 +31,11 @@ type Options struct {
 	PageSize       int
 	BufferFraction float64
 	BulkLoadFill   float64
+	// Registry receives the cluster's metrics (scatter width, per-task
+	// latency, prune effectiveness, queue depth, buffer hits/misses).
+	// Nil gives the cluster a private registry; read it with
+	// Cluster.Registry.
+	Registry *obs.Registry
 }
 
 // node is one shard: a responsibility rectangle plus its own query
@@ -60,6 +69,10 @@ type Cluster struct {
 
 	shards []*node
 	sem    chan struct{} // bounded scatter worker pool
+
+	reg   *obs.Registry
+	met   *clusterMetrics
+	tasks atomic.Int64 // shard tasks executed, ever (trace attribution)
 }
 
 // Stats describes one shard for monitoring (the /info endpoint).
@@ -95,8 +108,21 @@ func NewCluster(items []rtree.Item, universe geom.Rect, opts Options) (*Cluster,
 		}
 		c.shards = append(c.shards, &node{resp: p.Resp, srv: srv})
 	}
+	c.reg = opts.Registry
+	if c.reg == nil {
+		c.reg = obs.NewRegistry()
+	}
+	c.met = newClusterMetrics(c.reg, c)
 	return c, nil
 }
+
+// Registry returns the registry holding the cluster's metrics.
+func (c *Cluster) Registry() *obs.Registry { return c.reg }
+
+// TasksStarted returns the cumulative number of shard-local tasks the
+// cluster has executed. Deltas around a query approximate the shards it
+// touched (exact when queries do not overlap).
+func (c *Cluster) TasksStarted() int64 { return c.tasks.Load() }
 
 // NumShards returns the number of shards.
 func (c *Cluster) NumShards() int { return len(c.shards) }
@@ -167,31 +193,58 @@ func (c *Cluster) Delete(it rtree.Item) bool {
 // of its task. A single task runs inline on the caller's goroutine —
 // most routed queries touch one shard and skip the fan-out machinery
 // entirely.
-func (c *Cluster) scatter(idxs []int, task func(i int, s *node)) {
+//
+// Cancelling ctx stops scheduling further tasks (already-running tasks
+// finish: shard-local work is not preemptible) and scatter returns the
+// context error; callers must then discard their partial gather. A nil
+// error means every task ran.
+func (c *Cluster) scatter(ctx context.Context, idxs []int, task func(i int, s *node)) error {
 	if len(idxs) == 0 {
-		return
+		return ctx.Err()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	if len(idxs) == 1 {
-		s := c.shards[idxs[0]]
-		s.mu.RLock()
-		task(idxs[0], s)
-		s.mu.RUnlock()
-		return
+		c.runTask(idxs[0], task)
+		return nil
 	}
 	var wg sync.WaitGroup
+	var err error
 	for _, i := range idxs {
+		select {
+		case c.sem <- struct{}{}:
+		case <-ctx.Done():
+			err = ctx.Err()
+		}
+		if err != nil {
+			break
+		}
 		i := i
 		wg.Add(1)
-		c.sem <- struct{}{}
 		go func() {
 			defer func() { <-c.sem; wg.Done() }()
-			s := c.shards[i]
-			s.mu.RLock()
-			task(i, s)
-			s.mu.RUnlock()
+			c.runTask(i, task)
 		}()
 	}
 	wg.Wait()
+	if err == nil {
+		err = ctx.Err()
+	}
+	return err
+}
+
+// runTask executes one shard-local task under the shard's read lock,
+// recording its latency and the task count.
+func (c *Cluster) runTask(i int, task func(i int, s *node)) {
+	s := c.shards[i]
+	start := time.Now()
+	s.mu.RLock()
+	task(i, s)
+	s.mu.RUnlock()
+	c.tasks.Add(1)
+	c.met.tasksTotal.Inc()
+	c.met.taskDur.Observe(float64(time.Since(start).Microseconds()))
 }
 
 // overlapping returns the indexes of shards whose responsibility
@@ -242,29 +295,49 @@ func (c *Cluster) byMinDist(q geom.Point) []int {
 // CountWindow returns the number of items inside w, summed over the
 // overlapping shards using aggregate subtree counts.
 func (c *Cluster) CountWindow(w geom.Rect) int {
+	n, _ := c.CountWindowCtx(context.Background(), w)
+	return n
+}
+
+// CountWindowCtx is CountWindow honoring context cancellation.
+func (c *Cluster) CountWindowCtx(ctx context.Context, w geom.Rect) (int, error) {
 	idxs := c.overlapping(w)
 	counts := make([]int, len(c.shards))
-	c.scatter(idxs, func(i int, s *node) {
+	err := c.scatter(ctx, idxs, func(i int, s *node) {
 		counts[i] = s.srv.Tree.CountWindow(w)
 	})
+	c.observeFanout(opCount, len(idxs))
+	if err != nil {
+		return 0, err
+	}
 	total := 0
 	for _, n := range counts {
 		total += n
 	}
-	return total
+	return total, nil
 }
 
 // SearchItems returns the items inside w, gathered from the overlapping
 // shards (order is by shard, then tree order within each shard).
 func (c *Cluster) SearchItems(w geom.Rect) []rtree.Item {
+	items, _ := c.SearchItemsCtx(context.Background(), w)
+	return items
+}
+
+// SearchItemsCtx is SearchItems honoring context cancellation.
+func (c *Cluster) SearchItemsCtx(ctx context.Context, w geom.Rect) ([]rtree.Item, error) {
 	idxs := c.overlapping(w)
 	found := make([][]rtree.Item, len(c.shards))
-	c.scatter(idxs, func(i int, s *node) {
+	err := c.scatter(ctx, idxs, func(i int, s *node) {
 		found[i] = s.srv.Tree.SearchItems(w)
 	})
+	c.observeFanout(opSearch, len(idxs))
+	if err != nil {
+		return nil, err
+	}
 	var out []rtree.Item
 	for _, part := range found {
 		out = append(out, part...)
 	}
-	return out
+	return out, nil
 }

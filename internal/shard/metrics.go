@@ -1,0 +1,90 @@
+package shard
+
+import (
+	"lbsq/internal/obs"
+)
+
+// Query-surface operation names used as the op label of cluster
+// metrics.
+const (
+	opNN     = "nn"
+	opKNN    = "knn"
+	opWindow = "window"
+	opRange  = "range"
+	opRoute  = "route"
+	opCount  = "count"
+	opSearch = "search"
+)
+
+var clusterOps = []string{opNN, opKNN, opWindow, opRange, opRoute, opCount, opSearch}
+
+// clusterMetrics holds the cluster's always-on instruments: scatter
+// width and prune effectiveness per operation, per-task latency, and
+// worker-pool pressure. Buffer hit/miss counters are registered as
+// collection-time callbacks over the shard buffers.
+type clusterMetrics struct {
+	fanout     map[string]*obs.Histogram
+	pruned     map[string]*obs.Counter
+	tasksTotal *obs.Counter
+	taskDur    *obs.Histogram
+}
+
+// newClusterMetrics registers the cluster instruments on reg.
+func newClusterMetrics(reg *obs.Registry, c *Cluster) *clusterMetrics {
+	m := &clusterMetrics{
+		fanout: make(map[string]*obs.Histogram, len(clusterOps)),
+		pruned: make(map[string]*obs.Counter, len(clusterOps)),
+	}
+	for _, op := range clusterOps {
+		m.fanout[op] = reg.Histogram("lbsq_shard_fanout",
+			"Shards touched per query, by operation.",
+			obs.Labels{"op": op}, obs.FanoutBuckets)
+		m.pruned[op] = reg.Counter("lbsq_shard_pruned_total",
+			"Shards skipped by distance/overlap pruning, by operation.",
+			obs.Labels{"op": op})
+	}
+	m.tasksTotal = reg.Counter("lbsq_shard_tasks_total",
+		"Shard-local tasks executed by scatter-gather.", nil)
+	m.taskDur = reg.Histogram("lbsq_shard_task_duration_us",
+		"Per-shard task latency in microseconds.", nil, obs.LatencyBucketsUS)
+	reg.Gauge("lbsq_shards", "Number of spatial shards.", nil).Set(int64(len(c.shards)))
+	reg.Gauge("lbsq_shard_workers", "Scatter-gather worker pool size.", nil).Set(int64(cap(c.sem)))
+	reg.GaugeFunc("lbsq_shard_queue_depth",
+		"Scatter tasks currently holding a worker slot.", nil,
+		func() float64 { return float64(len(c.sem)) })
+	if c.buffered() {
+		reg.CounterFunc("lbsq_buffer_hits_total",
+			"Page-buffer hits summed over shards.", nil,
+			func() float64 { h, _ := c.BufferStats(); return float64(h) })
+		reg.CounterFunc("lbsq_buffer_misses_total",
+			"Page-buffer misses (faults) summed over shards.", nil,
+			func() float64 { _, f := c.BufferStats(); return float64(f) })
+	}
+	return m
+}
+
+// observeFanout records one query's scatter width: touched distinct
+// shards out of the cluster total; the rest were pruned.
+func (c *Cluster) observeFanout(op string, touched int) {
+	c.met.fanout[op].Observe(float64(touched))
+	if skipped := len(c.shards) - touched; skipped > 0 {
+		c.met.pruned[op].Add(int64(skipped))
+	}
+}
+
+// buffered reports whether the shards run LRU page buffers.
+func (c *Cluster) buffered() bool {
+	return len(c.shards) > 0 && c.shards[0].srv.Buffer != nil
+}
+
+// BufferStats sums buffer hits and misses over all shards (zeros when
+// unbuffered).
+func (c *Cluster) BufferStats() (hits, misses int64) {
+	for _, s := range c.shards {
+		if s.srv.Buffer != nil {
+			hits += s.srv.Buffer.Hits()
+			misses += s.srv.Buffer.Faults()
+		}
+	}
+	return hits, misses
+}

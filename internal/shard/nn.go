@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -31,15 +32,28 @@ import (
 //     bisector crossing at x requires dist(o,x) ≤ dist(m,x) ≤ d_k + R_v
 //     and dist(q,o) ≤ dist(q,x) + dist(o,x) ≤ 2·R_v + d_k.
 func (c *Cluster) NNQuery(q geom.Point, k int) (*core.NNValidity, core.QueryCost, error) {
+	return c.NNQueryCtx(context.Background(), q, k)
+}
+
+// NNQueryCtx is NNQuery honoring context cancellation: a cancelled
+// context aborts the fan-out between shard tasks and returns the
+// context error.
+func (c *Cluster) NNQueryCtx(ctx context.Context, q geom.Point, k int) (*core.NNValidity, core.QueryCost, error) {
 	var cost core.QueryCost
 	if k < 1 {
 		return nil, cost, fmt.Errorf("shard: k must be ≥ 1")
 	}
 	order := c.byMinDist(q)
-	nbs, resultCosts := c.gatherCandidates(q, k, order)
-	for _, pc := range resultCosts {
+	touched := make(map[int]bool, len(order))
+	defer func() { c.observeFanout(opNN, len(touched)) }()
+	nbs, resultCosts, err := c.gatherCandidates(ctx, q, k, order)
+	for i, pc := range resultCosts {
+		touched[i] = true
 		cost.ResultNA += pc.na
 		cost.ResultPA += pc.pa
+	}
+	if err != nil {
+		return nil, cost, err
 	}
 	if len(nbs) < k {
 		return nil, cost, fmt.Errorf("core: dataset has fewer than %d points", k)
@@ -75,7 +89,8 @@ func (c *Cluster) NNQuery(q geom.Point, k int) (*core.NNValidity, core.QueryCost
 
 	// Influence phase, owner shard inline first to shrink the region.
 	var firstErr error
-	c.scatter(order[:1], func(i int, s *node) {
+	scErr := c.scatter(ctx, order[:1], func(i int, s *node) {
+		touched[i] = true
 		part, pc, err := influenceShard(s, q, members, c.Universe)
 		cost.InfNA += pc.na
 		cost.InfPA += pc.pa
@@ -85,6 +100,9 @@ func (c *Cluster) NNQuery(q geom.Point, k int) (*core.NNValidity, core.QueryCost
 		}
 		merge(part)
 	})
+	if scErr != nil {
+		return nil, cost, scErr
+	}
 	if firstErr != nil {
 		v.Region = region
 		return v, cost, firstErr
@@ -107,10 +125,11 @@ func (c *Cluster) NNQuery(q geom.Point, k int) (*core.NNValidity, core.QueryCost
 		parts := make([]*core.NNValidity, len(c.shards))
 		costs := make([]phaseCost, len(c.shards))
 		errs := make([]error, len(c.shards))
-		c.scatter(rest, func(i int, s *node) {
+		scErr = c.scatter(ctx, rest, func(i int, s *node) {
 			parts[i], costs[i], errs[i] = influenceShard(s, q, members, c.Universe)
 		})
 		for _, i := range rest {
+			touched[i] = true
 			cost.InfNA += costs[i].na
 			cost.InfPA += costs[i].pa
 			if errs[i] != nil {
@@ -120,6 +139,9 @@ func (c *Cluster) NNQuery(q geom.Point, k int) (*core.NNValidity, core.QueryCost
 				continue
 			}
 			merge(parts[i])
+		}
+		if scErr != nil {
+			return nil, cost, scErr
 		}
 	}
 	if region.IsEmpty() {
@@ -132,14 +154,24 @@ func (c *Cluster) NNQuery(q geom.Point, k int) (*core.NNValidity, core.QueryCost
 // KNearest returns the k nearest neighbors of q across all shards (a
 // plain k-NN query, without validity computation).
 func (c *Cluster) KNearest(q geom.Point, k int) []nn.Neighbor {
+	nbs, _ := c.KNearestCtx(context.Background(), q, k)
+	return nbs
+}
+
+// KNearestCtx is KNearest honoring context cancellation.
+func (c *Cluster) KNearestCtx(ctx context.Context, q geom.Point, k int) ([]nn.Neighbor, error) {
 	if k < 1 {
-		return nil
+		return nil, nil
 	}
-	nbs, _ := c.gatherCandidates(q, k, c.byMinDist(q))
+	nbs, costs, err := c.gatherCandidates(ctx, q, k, c.byMinDist(q))
+	c.observeFanout(opKNN, len(costs))
+	if err != nil {
+		return nil, err
+	}
 	if len(nbs) > k {
 		nbs = nbs[:k]
 	}
-	return nbs
+	return nbs, nil
 }
 
 // phaseCost is one shard's node/page access delta for one query phase.
@@ -148,8 +180,11 @@ type phaseCost struct{ na, pa int64 }
 // gatherCandidates runs the pruned k-NN result phase: the owner shard
 // inline, then a parallel fan-out to every shard whose responsibility
 // rectangle is within the owner's k-th distance. Returns all gathered
-// candidates merged by (distance, id).
-func (c *Cluster) gatherCandidates(q geom.Point, k int, order []int) ([]nn.Neighbor, map[int]phaseCost) {
+// candidates merged by (distance, id), with the per-shard phase costs
+// of every shard that ran. A context error aborts the fan-out; the
+// partial candidate gather is discarded but the costs already paid are
+// still reported.
+func (c *Cluster) gatherCandidates(ctx context.Context, q geom.Point, k int, order []int) ([]nn.Neighbor, map[int]phaseCost, error) {
 	costs := make(map[int]phaseCost, len(order))
 	found := make([][]nn.Neighbor, len(c.shards))
 	pcs := make([]phaseCost, len(c.shards))
@@ -159,7 +194,9 @@ func (c *Cluster) gatherCandidates(q geom.Point, k int, order []int) ([]nn.Neigh
 		found[i] = nn.KNearest(s.srv.Tree, q, k)
 		pcs[i] = shardDelta(s, na0, pa0)
 	}
-	c.scatter(order[:1], run)
+	if err := c.scatter(ctx, order[:1], run); err != nil {
+		return nil, costs, err
+	}
 	costs[order[0]] = pcs[order[0]]
 
 	du := math.Inf(1)
@@ -172,9 +209,12 @@ func (c *Cluster) gatherCandidates(q geom.Point, k int, order []int) ([]nn.Neigh
 			rest = append(rest, i)
 		}
 	}
-	c.scatter(rest, run)
+	err := c.scatter(ctx, rest, run)
 	for _, i := range rest {
 		costs[i] = pcs[i]
+	}
+	if err != nil {
+		return nil, costs, err
 	}
 
 	var all []nn.Neighbor
@@ -187,7 +227,7 @@ func (c *Cluster) gatherCandidates(q geom.Point, k int, order []int) ([]nn.Neigh
 		}
 		return all[i].Item.ID < all[j].Item.ID
 	})
-	return all, costs
+	return all, costs, nil
 }
 
 // shardDelta snapshots the shard's access counters against a baseline.

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -25,15 +26,25 @@ import (
 //
 // An empty result falls back to a full NN fan-out for the globally
 // nearest point, which bounds the conservative safe disk.
-func (c *Cluster) RangeQuery(center geom.Point, radius float64) (rv *core.RangeValidity, cost core.QueryCost) {
+func (c *Cluster) RangeQuery(center geom.Point, radius float64) (*core.RangeValidity, core.QueryCost) {
+	rv, cost, _ := c.RangeQueryCtx(context.Background(), center, radius)
+	return rv, cost
+}
+
+// RangeQueryCtx is RangeQuery honoring context cancellation: a
+// cancelled context aborts the fan-out between shard tasks and returns
+// the context error with a nil validity.
+func (c *Cluster) RangeQueryCtx(ctx context.Context, center geom.Point, radius float64) (rv *core.RangeValidity, cost core.QueryCost, err error) {
 	rv = &core.RangeValidity{Center: center, Radius: radius}
+	touched := make(map[int]bool, len(c.shards))
 	defer func() {
+		c.observeFanout(opRange, len(touched))
 		if c.unbuffered() {
 			cost.ResultPA = cost.ResultNA
 		}
 	}()
 	if radius <= 0 {
-		return rv, cost
+		return rv, cost, nil
 	}
 	r2 := radius * radius
 
@@ -45,7 +56,7 @@ func (c *Cluster) RangeQuery(center geom.Point, radius float64) (rv *core.RangeV
 	found := make([][]rtree.Item, len(c.shards))
 	nas := make([]int64, len(c.shards))
 	pas := make([]int64, len(c.shards))
-	c.scatter(idxs, func(i int, s *node) {
+	scErr := c.scatter(ctx, idxs, func(i int, s *node) {
 		na0, pa0 := s.srv.Tree.NodeAccesses(), s.faults()
 		s.srv.Tree.Search(bb, func(it rtree.Item) bool {
 			if it.P.Dist2(center) <= r2 {
@@ -56,16 +67,20 @@ func (c *Cluster) RangeQuery(center geom.Point, radius float64) (rv *core.RangeV
 		nas[i], pas[i] = s.srv.Tree.NodeAccesses()-na0, s.faults()-pa0
 	})
 	for _, i := range idxs {
+		touched[i] = true
 		rv.Result = append(rv.Result, found[i]...)
 		cost.ResultNA += nas[i]
 		cost.ResultPA += pas[i]
+	}
+	if scErr != nil {
+		return nil, cost, scErr
 	}
 
 	if len(rv.Result) == 0 {
 		// Conservative disk around the globally nearest point: fan out
 		// an NN probe to every shard and keep the minimum distance.
 		dists := make([]float64, len(c.shards))
-		c.scatter(c.allShards(), func(i int, s *node) {
+		scErr = c.scatter(ctx, c.allShards(), func(i int, s *node) {
 			na0, pa0 := s.srv.Tree.NodeAccesses(), s.faults()
 			if nb, ok := nn.Nearest(s.srv.Tree, center); ok {
 				dists[i] = nb.Dist
@@ -76,17 +91,21 @@ func (c *Cluster) RangeQuery(center geom.Point, radius float64) (rv *core.RangeV
 		})
 		d := math.Inf(1)
 		for i, di := range dists {
+			touched[i] = true
 			if di < d {
 				d = di
 			}
 			cost.ResultNA += nas[i]
 			cost.ResultPA += pas[i]
 		}
-		if math.IsInf(d, 1) {
-			return rv, cost // empty dataset: valid everywhere
+		if scErr != nil {
+			return nil, cost, scErr
 		}
-		rv.Inner.Add(geom.Disk{C: center, R: math.Max(0, d - radius)})
-		return rv, cost
+		if math.IsInf(d, 1) {
+			return rv, cost, nil // empty dataset: valid everywhere
+		}
+		rv.Inner.Add(geom.Disk{C: center, R: math.Max(0, d-radius)})
+		return rv, cost, nil
 	}
 
 	// Inner region: disks of the global result's hull vertices.
@@ -114,7 +133,7 @@ func (c *Cluster) RangeQuery(center geom.Point, radius float64) (rv *core.RangeV
 	idxs = c.overlapping(search)
 	outer := make([][]rtree.Item, len(c.shards))
 	cands := make([]int, len(c.shards))
-	c.scatter(idxs, func(i int, s *node) {
+	scErr = c.scatter(ctx, idxs, func(i int, s *node) {
 		na0, pa0 := s.srv.Tree.NodeAccesses(), s.faults()
 		s.srv.Tree.Search(search, func(it rtree.Item) bool {
 			if inResult[it.ID] {
@@ -135,15 +154,19 @@ func (c *Cluster) RangeQuery(center geom.Point, radius float64) (rv *core.RangeV
 		nas[i], pas[i] = s.srv.Tree.NodeAccesses()-na0, s.faults()-pa0
 	})
 	for _, i := range idxs {
+		touched[i] = true
 		rv.OuterInfluence = append(rv.OuterInfluence, outer[i]...)
 		rv.CandidateOuter += cands[i]
 		cost.ResultNA += nas[i]
 		cost.ResultPA += pas[i]
 	}
+	if scErr != nil {
+		return nil, cost, scErr
+	}
 	sort.Slice(rv.OuterInfluence, func(a, b int) bool {
 		return rv.OuterInfluence[a].ID < rv.OuterInfluence[b].ID
 	})
-	return rv, cost
+	return rv, cost, nil
 }
 
 // unbuffered reports whether the shards run without LRU buffers (page

@@ -1,6 +1,8 @@
 package shard
 
 import (
+	"context"
+
 	"lbsq/internal/geom"
 	"lbsq/internal/rtree"
 	"lbsq/internal/tp"
@@ -14,15 +16,25 @@ import (
 // distance and crosses zero at most once — each fold step splits at
 // that bisector crossing.
 func (c *Cluster) RouteNN(a, b geom.Point) []tp.CNNInterval {
+	merged, _ := c.RouteNNCtx(context.Background(), a, b)
+	return merged
+}
+
+// RouteNNCtx is RouteNN honoring context cancellation.
+func (c *Cluster) RouteNNCtx(ctx context.Context, a, b geom.Point) ([]tp.CNNInterval, error) {
 	parts := make([][]tp.CNNInterval, len(c.shards))
-	c.scatter(c.allShards(), func(i int, s *node) {
+	err := c.scatter(ctx, c.allShards(), func(i int, s *node) {
 		parts[i] = tp.CNN(s.srv.Tree, a, b)
 	})
+	c.observeFanout(opRoute, len(c.shards))
+	if err != nil {
+		return nil, err
+	}
 	var merged []tp.CNNInterval
 	for _, p := range parts {
 		merged = mergeCNN(merged, p, a, b)
 	}
-	return merged
+	return merged, nil
 }
 
 // mergeCNN folds two CNN partitions of the same route into the

@@ -1,6 +1,8 @@
 package shard
 
 import (
+	"context"
+
 	"lbsq/internal/core"
 	"lbsq/internal/geom"
 )
@@ -9,6 +11,11 @@ import (
 // extents qx×qy is centered at the focus (core.QueryEngine).
 func (c *Cluster) WindowQueryAt(focus geom.Point, qx, qy float64) (*core.WindowValidity, core.QueryCost) {
 	return c.WindowQuery(geom.RectCenteredAt(focus, qx, qy))
+}
+
+// WindowQueryAtCtx is WindowQueryAt honoring context cancellation.
+func (c *Cluster) WindowQueryAtCtx(ctx context.Context, focus geom.Point, qx, qy float64) (*core.WindowValidity, core.QueryCost, error) {
+	return c.WindowQueryCtx(ctx, geom.RectCenteredAt(focus, qx, qy))
 }
 
 // WindowQuery answers a location-based window query by scatter-gather
@@ -27,12 +34,25 @@ func (c *Cluster) WindowQueryAt(focus geom.Point, qx, qy float64) (*core.WindowV
 // validity region is bounded by the distance to the globally nearest
 // point, which only all shards together know.
 func (c *Cluster) WindowQuery(w geom.Rect) (*core.WindowValidity, core.QueryCost) {
+	wv, cost, _ := c.WindowQueryCtx(context.Background(), w)
+	return wv, cost
+}
+
+// WindowQueryCtx is WindowQuery honoring context cancellation: a
+// cancelled context aborts the fan-out between shard tasks and returns
+// the context error with a nil validity.
+func (c *Cluster) WindowQueryCtx(ctx context.Context, w geom.Rect) (*core.WindowValidity, core.QueryCost, error) {
 	qx, qy := w.Width(), w.Height()
 	idxs := c.overlapping(w.Inflate(qx, qy))
 	if len(idxs) == 0 {
 		idxs = c.allShards()
 	}
-	wvs, cost := c.windowScatter(idxs, w)
+	touched := len(idxs)
+	defer func() { c.observeFanout(opWindow, touched) }()
+	wvs, cost, err := c.windowScatter(ctx, idxs, w)
+	if err != nil {
+		return nil, cost, err
+	}
 	if n := resultCount(wvs); n == 0 && len(idxs) < len(c.shards) {
 		// Empty result: the validity region is bounded by the globally
 		// nearest point, so the untouched shards must weigh in too.
@@ -47,14 +67,18 @@ func (c *Cluster) WindowQuery(w geom.Rect) (*core.WindowValidity, core.QueryCost
 				rest = append(rest, i)
 			}
 		}
-		restWvs, extra := c.windowScatter(rest, w)
-		for _, i := range rest {
-			wvs[i] = restWvs[i]
-		}
+		touched += len(rest)
+		restWvs, extra, err := c.windowScatter(ctx, rest, w)
 		cost.ResultNA += extra.ResultNA
 		cost.ResultPA += extra.ResultPA
 		cost.InfNA += extra.InfNA
 		cost.InfPA += extra.InfPA
+		if err != nil {
+			return nil, cost, err
+		}
+		for _, i := range rest {
+			wvs[i] = restWvs[i]
+		}
 	}
 
 	out := &core.WindowValidity{Window: w, Focus: w.Center()}
@@ -98,15 +122,16 @@ func (c *Cluster) WindowQuery(w geom.Rect) (*core.WindowValidity, core.QueryCost
 		}
 	}
 	out.Conservative = out.Region.ConservativeRect(out.Focus)
-	return out, cost
+	return out, cost, nil
 }
 
 // windowScatter runs the single-server window query on each listed
-// shard, summing the per-phase costs.
-func (c *Cluster) windowScatter(idxs []int, w geom.Rect) ([]*core.WindowValidity, core.QueryCost) {
+// shard, summing the per-phase costs (costs already paid are reported
+// even when the scatter is aborted by ctx).
+func (c *Cluster) windowScatter(ctx context.Context, idxs []int, w geom.Rect) ([]*core.WindowValidity, core.QueryCost, error) {
 	wvs := make([]*core.WindowValidity, len(c.shards))
 	pcs := make([]core.QueryCost, len(c.shards))
-	c.scatter(idxs, func(i int, s *node) {
+	err := c.scatter(ctx, idxs, func(i int, s *node) {
 		wvs[i], pcs[i] = s.srv.WindowQuery(w)
 	})
 	var cost core.QueryCost
@@ -116,7 +141,7 @@ func (c *Cluster) windowScatter(idxs []int, w geom.Rect) ([]*core.WindowValidity
 		cost.InfNA += pcs[i].InfNA
 		cost.InfPA += pcs[i].InfPA
 	}
-	return wvs, cost
+	return wvs, cost, err
 }
 
 func resultCount(wvs []*core.WindowValidity) int {

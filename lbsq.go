@@ -24,18 +24,29 @@
 package lbsq
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 
 	"lbsq/internal/core"
 	"lbsq/internal/dataset"
 	"lbsq/internal/geom"
 	"lbsq/internal/nn"
+	"lbsq/internal/obs"
 	"lbsq/internal/rtree"
 	"lbsq/internal/shard"
 	"lbsq/internal/storage"
 	"lbsq/internal/tp"
 )
+
+// ErrShardedUnsupported is returned by operations that require a single
+// server when the DB runs as a shard cluster (Options.Shards > 1): the
+// baseline clients replay the paper's single-server experiments and
+// index persistence snapshots one tree.
+var ErrShardedUnsupported = errors.New("operation requires an unsharded DB (Options.Shards ≤ 1)")
 
 // Re-exported geometry and storage types: the public API speaks in these.
 type (
@@ -132,6 +143,27 @@ type Options struct {
 	ShardWorkers int
 }
 
+// validate rejects out-of-range option values with a descriptive error.
+// Zero values always mean "use the default" and are valid.
+func (o *Options) validate() error {
+	if o.PageSize < 0 {
+		return fmt.Errorf("lbsq: PageSize %d, want ≥ 0 (0 selects the default)", o.PageSize)
+	}
+	if o.BufferFraction < 0 || o.BufferFraction > 1 {
+		return fmt.Errorf("lbsq: BufferFraction %g, want in [0, 1] (0 disables buffering)", o.BufferFraction)
+	}
+	if o.BulkLoadFill < 0 || o.BulkLoadFill > 1 {
+		return fmt.Errorf("lbsq: BulkLoadFill %g, want in (0, 1] (0 selects the default)", o.BulkLoadFill)
+	}
+	if o.Shards < 0 {
+		return fmt.Errorf("lbsq: Shards %d, want ≥ 0 (0 or 1 keeps a single server)", o.Shards)
+	}
+	if o.ShardWorkers < 0 {
+		return fmt.Errorf("lbsq: ShardWorkers %d, want ≥ 0 (0 selects GOMAXPROCS)", o.ShardWorkers)
+	}
+	return nil
+}
+
 // DB is an in-memory location-based query processor over a point
 // dataset: the "server" of the paper's client/server architecture.
 //
@@ -148,6 +180,22 @@ type DB struct {
 	mu      sync.RWMutex
 	server  *core.Server
 	cluster *shard.Cluster
+
+	reg  *obs.Registry
+	met  *dbMetrics
+	hook atomic.Value // TraceHook
+}
+
+// instrument wires the DB's metrics registry (shared with the shard
+// cluster, which has already registered its own instruments on it).
+func (db *DB) instrument() *DB {
+	if db.cluster != nil {
+		db.reg = db.cluster.Registry()
+	} else {
+		db.reg = obs.NewRegistry()
+	}
+	db.met = newDBMetrics(db.reg, db)
+	return db
 }
 
 // Open bulk-loads the items into an R*-tree over the given universe and
@@ -159,6 +207,9 @@ func Open(items []Item, universe Rect, opts *Options) (*DB, error) {
 	var o Options
 	if opts != nil {
 		o = *opts
+	}
+	if err := o.validate(); err != nil {
+		return nil, err
 	}
 	for _, it := range items {
 		if !universe.Contains(it.P) {
@@ -177,14 +228,14 @@ func Open(items []Item, universe Rect, opts *Options) (*DB, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &DB{cluster: c}, nil
+		return (&DB{cluster: c}).instrument(), nil
 	}
 	tree := rtree.BulkLoad(items, rtree.Options{PageSize: o.PageSize}, o.BulkLoadFill)
 	srv := core.NewServer(tree, universe)
 	if o.BufferFraction > 0 {
 		srv.AttachBuffer(o.BufferFraction)
 	}
-	return &DB{server: srv}, nil
+	return (&DB{server: srv}).instrument(), nil
 }
 
 // OpenSharded is shorthand for Open with Options.Shards = shards: it
@@ -270,68 +321,147 @@ func (db *DB) Delete(it Item) bool {
 // neighbors of q plus the validity region within which that answer
 // stays exact.
 func (db *DB) NN(q Point, k int) (*NNValidity, QueryCost, error) {
+	return db.NNCtx(context.Background(), q, k)
+}
+
+// NNCtx is NN honoring context cancellation: on a sharded DB a
+// cancelled context aborts the scatter between shard tasks; on a single
+// server it is checked once before the (non-preemptible) query runs.
+func (db *DB) NNCtx(ctx context.Context, q Point, k int) (*NNValidity, QueryCost, error) {
+	start, tasks0 := db.begin()
+	var (
+		v    *NNValidity
+		cost QueryCost
+		err  error
+	)
 	if db.cluster != nil {
-		return db.cluster.NNQuery(q, k)
+		v, cost, err = db.cluster.NNQueryCtx(ctx, q, k)
+	} else if err = ctx.Err(); err == nil {
+		db.mu.RLock()
+		v, cost, err = db.server.NNQuery(q, k)
+		db.mu.RUnlock()
 	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.server.NNQuery(q, k)
+	area := math.NaN()
+	if v != nil {
+		area = v.Region.Area()
+	}
+	db.finish(&QueryTrace{Op: OpNN, At: q, K: k, Cost: cost, RegionArea: area, Err: err}, start, tasks0)
+	return v, cost, err
 }
 
 // Window answers a location-based window query for the window w.
-func (db *DB) Window(w Rect) (*WindowValidity, QueryCost) {
+func (db *DB) Window(w Rect) (*WindowValidity, QueryCost, error) {
+	return db.WindowCtx(context.Background(), w)
+}
+
+// WindowCtx is Window honoring context cancellation (see NNCtx).
+func (db *DB) WindowCtx(ctx context.Context, w Rect) (*WindowValidity, QueryCost, error) {
+	start, tasks0 := db.begin()
+	var (
+		wv   *WindowValidity
+		cost QueryCost
+		err  error
+	)
 	if db.cluster != nil {
-		return db.cluster.WindowQuery(w)
+		wv, cost, err = db.cluster.WindowQueryCtx(ctx, w)
+	} else if err = ctx.Err(); err == nil {
+		db.mu.RLock()
+		wv, cost = db.server.WindowQuery(w)
+		db.mu.RUnlock()
 	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.server.WindowQuery(w)
+	area := math.NaN()
+	if wv != nil {
+		area = wv.Region.Area()
+	}
+	db.finish(&QueryTrace{Op: OpWindow, At: w.Center(), Window: w, Cost: cost, RegionArea: area, Err: err}, start, tasks0)
+	return wv, cost, err
 }
 
 // WindowAt answers a location-based window query for a qx×qy window
 // centered at the focus.
-func (db *DB) WindowAt(focus Point, qx, qy float64) (*WindowValidity, QueryCost) {
-	if db.cluster != nil {
-		return db.cluster.WindowQueryAt(focus, qx, qy)
-	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.server.WindowQueryAt(focus, qx, qy)
+func (db *DB) WindowAt(focus Point, qx, qy float64) (*WindowValidity, QueryCost, error) {
+	return db.WindowCtx(context.Background(), geom.RectCenteredAt(focus, qx, qy))
+}
+
+// WindowAtCtx is WindowAt honoring context cancellation (see NNCtx).
+func (db *DB) WindowAtCtx(ctx context.Context, focus Point, qx, qy float64) (*WindowValidity, QueryCost, error) {
+	return db.WindowCtx(ctx, geom.RectCenteredAt(focus, qx, qy))
 }
 
 // Count returns the number of items inside w using aggregate
 // subtree counts: large windows cost far fewer node accesses than
 // enumeration.
-func (db *DB) Count(w Rect) int {
+func (db *DB) Count(w Rect) (int, error) {
+	return db.CountCtx(context.Background(), w)
+}
+
+// CountCtx is Count honoring context cancellation (see NNCtx).
+func (db *DB) CountCtx(ctx context.Context, w Rect) (int, error) {
+	start, tasks0 := db.begin()
+	var (
+		n   int
+		err error
+	)
 	if db.cluster != nil {
-		return db.cluster.CountWindow(w)
+		n, err = db.cluster.CountWindowCtx(ctx, w)
+	} else if err = ctx.Err(); err == nil {
+		db.mu.RLock()
+		n = db.server.Tree.CountWindow(w)
+		db.mu.RUnlock()
 	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.server.Tree.CountWindow(w)
+	db.finish(&QueryTrace{Op: OpCount, At: w.Center(), Window: w, RegionArea: math.NaN(), Err: err}, start, tasks0)
+	return n, err
 }
 
 // RangeSearch returns the items inside w (a plain, non-location-based
 // window query).
-func (db *DB) RangeSearch(w Rect) []Item {
+func (db *DB) RangeSearch(w Rect) ([]Item, error) {
+	return db.RangeSearchCtx(context.Background(), w)
+}
+
+// RangeSearchCtx is RangeSearch honoring context cancellation (see
+// NNCtx).
+func (db *DB) RangeSearchCtx(ctx context.Context, w Rect) ([]Item, error) {
+	start, tasks0 := db.begin()
+	var (
+		items []Item
+		err   error
+	)
 	if db.cluster != nil {
-		return db.cluster.SearchItems(w)
+		items, err = db.cluster.SearchItemsCtx(ctx, w)
+	} else if err = ctx.Err(); err == nil {
+		db.mu.RLock()
+		items = db.server.Tree.SearchItems(w)
+		db.mu.RUnlock()
 	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.server.Tree.SearchItems(w)
+	db.finish(&QueryTrace{Op: OpSearch, At: w.Center(), Window: w, RegionArea: math.NaN(), Err: err}, start, tasks0)
+	return items, err
 }
 
 // Range answers a location-based range query: all points within radius
 // of center, plus the arc-bounded validity region of that answer (the
 // paper's Sec. 7 future-work extension).
-func (db *DB) Range(center Point, radius float64) (*RangeValidity, QueryCost) {
+func (db *DB) Range(center Point, radius float64) (*RangeValidity, QueryCost, error) {
+	return db.RangeCtx(context.Background(), center, radius)
+}
+
+// RangeCtx is Range honoring context cancellation (see NNCtx).
+func (db *DB) RangeCtx(ctx context.Context, center Point, radius float64) (*RangeValidity, QueryCost, error) {
+	start, tasks0 := db.begin()
+	var (
+		rv   *RangeValidity
+		cost QueryCost
+		err  error
+	)
 	if db.cluster != nil {
-		return db.cluster.RangeQuery(center, radius)
+		rv, cost, err = db.cluster.RangeQueryCtx(ctx, center, radius)
+	} else if err = ctx.Err(); err == nil {
+		db.mu.RLock()
+		rv, cost = db.server.RangeQuery(center, radius)
+		db.mu.RUnlock()
 	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.server.RangeQuery(center, radius)
+	db.finish(&QueryTrace{Op: OpRange, At: center, Radius: radius, Cost: cost, RegionArea: math.NaN(), Err: err}, start, tasks0)
+	return rv, cost, err
 }
 
 // NewRangeClient returns a mobile client maintaining a fixed-radius
@@ -342,26 +472,52 @@ func (db *DB) NewRangeClient(radius float64) *RangeClient {
 
 // KNearest returns the k nearest neighbors of q (a plain NN query,
 // without validity computation), using best-first search [HS99].
-func (db *DB) KNearest(q Point, k int) []Neighbor {
+func (db *DB) KNearest(q Point, k int) ([]Neighbor, error) {
+	return db.KNearestCtx(context.Background(), q, k)
+}
+
+// KNearestCtx is KNearest honoring context cancellation (see NNCtx).
+func (db *DB) KNearestCtx(ctx context.Context, q Point, k int) ([]Neighbor, error) {
+	start, tasks0 := db.begin()
+	var (
+		nbs []Neighbor
+		err error
+	)
 	if db.cluster != nil {
-		return db.cluster.KNearest(q, k)
+		nbs, err = db.cluster.KNearestCtx(ctx, q, k)
+	} else if err = ctx.Err(); err == nil {
+		db.mu.RLock()
+		nbs = nn.KNearest(db.server.Tree, q, k)
+		db.mu.RUnlock()
 	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return nn.KNearest(db.server.Tree, q, k)
+	db.finish(&QueryTrace{Op: OpKNN, At: q, K: k, RegionArea: math.NaN(), Err: err}, start, tasks0)
+	return nbs, err
 }
 
 // RouteNN returns the continuous nearest neighbors along the segment
 // from a to b ([TPS02]-style): a partition of the route into intervals,
 // each with its nearest neighbor. A client with a known straight route
 // can fetch its entire sequence of answers in one interaction.
-func (db *DB) RouteNN(a, b Point) []RouteInterval {
+func (db *DB) RouteNN(a, b Point) ([]RouteInterval, error) {
+	return db.RouteNNCtx(context.Background(), a, b)
+}
+
+// RouteNNCtx is RouteNN honoring context cancellation (see NNCtx).
+func (db *DB) RouteNNCtx(ctx context.Context, a, b Point) ([]RouteInterval, error) {
+	start, tasks0 := db.begin()
+	var (
+		route []RouteInterval
+		err   error
+	)
 	if db.cluster != nil {
-		return db.cluster.RouteNN(a, b)
+		route, err = db.cluster.RouteNNCtx(ctx, a, b)
+	} else if err = ctx.Err(); err == nil {
+		db.mu.RLock()
+		route = tp.CNN(db.server.Tree, a, b)
+		db.mu.RUnlock()
 	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return tp.CNN(db.server.Tree, a, b)
+	db.finish(&QueryTrace{Op: OpRoute, At: a, RegionArea: math.NaN(), Err: err}, start, tasks0)
+	return route, err
 }
 
 // RouteInterval is one piece of a RouteNN answer.
@@ -378,7 +534,7 @@ func RouteNNAt(intervals []RouteInterval, t float64) (RouteInterval, bool) {
 // saved: persist the items and re-open with the same shard options.
 func (db *DB) SaveIndex(path string) error {
 	if db.cluster != nil {
-		return fmt.Errorf("lbsq: SaveIndex does not support sharded DBs")
+		return fmt.Errorf("lbsq: SaveIndex: %w", ErrShardedUnsupported)
 	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
@@ -403,6 +559,9 @@ func OpenIndex(path string, universe Rect, opts *Options) (*DB, error) {
 	if opts != nil {
 		o = *opts
 	}
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
 	pf, err := storage.Open(path)
 	if err != nil {
 		return nil, err
@@ -416,7 +575,7 @@ func OpenIndex(path string, universe Rect, opts *Options) (*DB, error) {
 	if o.BufferFraction > 0 {
 		srv.AttachBuffer(o.BufferFraction)
 	}
-	return &DB{server: srv}, nil
+	return (&DB{server: srv}).instrument(), nil
 }
 
 // Server exposes the underlying query server for advanced use
@@ -428,16 +587,6 @@ func (db *DB) Server() *core.Server { return db.server }
 // for an unsharded one.
 func (db *DB) Cluster() *shard.Cluster { return db.cluster }
 
-// mustServer returns the single server backing the DB, panicking with a
-// clear message when the DB is sharded: the baseline clients replay the
-// paper's single-server experiments and have no sharded counterpart.
-func (db *DB) mustServer(what string) *core.Server {
-	if db.server == nil {
-		panic(fmt.Sprintf("lbsq: %s requires an unsharded DB (Options.Shards ≤ 1)", what))
-	}
-	return db.server
-}
-
 // NewNNClient returns a mobile client for k-NN queries against this DB.
 func (db *DB) NewNNClient(k int) *NNClient { return core.NewNNClient(db.engine(), k) }
 
@@ -447,29 +596,41 @@ func (db *DB) NewWindowClient(qx, qy float64) *WindowClient {
 }
 
 // NewSR01Client returns the [SR01] baseline client (m ≥ k buffered
-// neighbors). Baseline clients require an unsharded DB.
-func (db *DB) NewSR01Client(k, m int) *SR01Client {
-	return core.NewSR01Client(db.mustServer("NewSR01Client"), k, m)
+// neighbors). Baseline clients require an unsharded DB: they replay the
+// paper's single-server experiments (ErrShardedUnsupported otherwise).
+func (db *DB) NewSR01Client(k, m int) (*SR01Client, error) {
+	if db.server == nil {
+		return nil, fmt.Errorf("lbsq: NewSR01Client: %w", ErrShardedUnsupported)
+	}
+	return core.NewSR01Client(db.server, k, m), nil
 }
 
 // NewTP02Client returns the [TP02] baseline client. Baseline clients
-// require an unsharded DB.
-func (db *DB) NewTP02Client(k int) *TP02Client {
-	return core.NewTP02Client(db.mustServer("NewTP02Client"), k)
+// require an unsharded DB (ErrShardedUnsupported otherwise).
+func (db *DB) NewTP02Client(k int) (*TP02Client, error) {
+	if db.server == nil {
+		return nil, fmt.Errorf("lbsq: NewTP02Client: %w", ErrShardedUnsupported)
+	}
+	return core.NewTP02Client(db.server, k), nil
 }
 
 // NewNaiveClient returns the conventional re-query-always client.
-// Baseline clients require an unsharded DB.
-func (db *DB) NewNaiveClient(k int) *NaiveClient {
-	return core.NewNaiveClient(db.mustServer("NewNaiveClient"), k)
+// Baseline clients require an unsharded DB (ErrShardedUnsupported
+// otherwise).
+func (db *DB) NewNaiveClient(k int) (*NaiveClient, error) {
+	if db.server == nil {
+		return nil, fmt.Errorf("lbsq: NewNaiveClient: %w", ErrShardedUnsupported)
+	}
+	return core.NewNaiveClient(db.server, k), nil
 }
 
 // NewZL01Client precomputes the Voronoi diagram and returns the [ZL01]
 // baseline client, which assumes clients move at most at maxSpeed.
-// Baseline clients require an unsharded DB.
+// Baseline clients require an unsharded DB (ErrShardedUnsupported
+// otherwise).
 func (db *DB) NewZL01Client(maxSpeed float64) (*ZL01Client, error) {
 	if db.server == nil {
-		return nil, fmt.Errorf("lbsq: NewZL01Client requires an unsharded DB (Options.Shards ≤ 1)")
+		return nil, fmt.Errorf("lbsq: NewZL01Client: %w", ErrShardedUnsupported)
 	}
 	s, err := core.NewZL01Server(db.server.Tree, db.server.Universe, maxSpeed)
 	if err != nil {

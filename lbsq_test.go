@@ -25,15 +25,15 @@ func TestOpenAndQuery(t *testing.T) {
 	if !v.Valid(Pt(0.5, 0.5)) {
 		t.Fatal("query point must be valid")
 	}
-	wv, _ := db.WindowAt(Pt(0.5, 0.5), 0.05, 0.05)
+	wv, _, _ := db.WindowAt(Pt(0.5, 0.5), 0.05, 0.05)
 	if wv.Region == nil || !wv.Valid(Pt(0.5, 0.5)) {
 		t.Fatal("window answer incomplete")
 	}
 	// Plain queries.
-	if got := db.KNearest(Pt(0.2, 0.2), 5); len(got) != 5 {
+	if got, _ := db.KNearest(Pt(0.2, 0.2), 5); len(got) != 5 {
 		t.Fatalf("KNearest returned %d", len(got))
 	}
-	if got := db.RangeSearch(uni); len(got) != 5000 {
+	if got, _ := db.RangeSearch(uni); len(got) != 5000 {
 		t.Fatalf("RangeSearch universe returned %d", len(got))
 	}
 }
@@ -84,15 +84,24 @@ func TestClientsViaFacade(t *testing.T) {
 	if _, err := wc.At(Pt(0.5, 0.5)); err != nil {
 		t.Fatal(err)
 	}
-	sr := db.NewSR01Client(1, 5)
+	sr, err := db.NewSR01Client(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := sr.At(Pt(0.5, 0.5)); err != nil {
 		t.Fatal(err)
 	}
-	tp := db.NewTP02Client(1)
+	tp, err := db.NewTP02Client(1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := tp.At(Pt(0.5, 0.5), Pt(1, 0)); err != nil {
 		t.Fatal(err)
 	}
-	nv := db.NewNaiveClient(1)
+	nv, err := db.NewNaiveClient(1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := nv.At(Pt(0.5, 0.5)); err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +150,7 @@ func TestHTTPRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	localW, _ := db.WindowAt(Pt(0.5, 0.5), 0.1, 0.1)
+	localW, _, _ := db.WindowAt(Pt(0.5, 0.5), 0.1, 0.1)
 	if len(wv.Result) != len(localW.Result) {
 		t.Fatalf("remote window result differs: %d vs %d", len(wv.Result), len(localW.Result))
 	}
@@ -174,18 +183,21 @@ func TestWindowAndCount(t *testing.T) {
 		t.Fatal(err)
 	}
 	w := R(0.2, 0.2, 0.6, 0.5)
-	wv, cost := db.Window(w)
+	wv, cost, err := db.Window(w)
+	if err != nil {
+		t.Fatalf("Window: %v", err)
+	}
 	if cost.Total() == 0 {
 		t.Fatal("window cost missing")
 	}
 	// Count agrees with the enumerated result.
-	if got := db.Count(w); got != len(wv.Result) {
+	if got, _ := db.Count(w); got != len(wv.Result) {
 		t.Fatalf("Count = %d, result = %d", got, len(wv.Result))
 	}
-	if got := db.Count(uni); got != 4000 {
+	if got, _ := db.Count(uni); got != 4000 {
 		t.Fatalf("universe count = %d", got)
 	}
-	if got := db.Count(R(2, 2, 3, 3)); got != 0 {
+	if got, _ := db.Count(R(2, 2, 3, 3)); got != 0 {
 		t.Fatalf("empty window count = %d", got)
 	}
 }

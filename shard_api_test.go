@@ -1,6 +1,7 @@
 package lbsq
 
 import (
+	"errors"
 	"math/rand"
 	"sort"
 	"testing"
@@ -69,30 +70,34 @@ func TestOpenShardedEquivalence(t *testing.T) {
 		if perr == nil && !eq(ids(pv.Result()), ids(sv.Result())) {
 			t.Fatalf("NN result mismatch at %v k=%d", q, k)
 		}
-		pw, _ := plain.WindowAt(q, 0.05, 0.04)
-		sw, _ := db.WindowAt(q, 0.05, 0.04)
+		pw, _, _ := plain.WindowAt(q, 0.05, 0.04)
+		sw, _, _ := db.WindowAt(q, 0.05, 0.04)
 		if !eq(ids(pw.Result), ids(sw.Result)) {
 			t.Fatalf("window result mismatch at %v", q)
 		}
-		pr, _ := plain.Range(q, 0.03)
-		sr, _ := db.Range(q, 0.03)
+		pr, _, _ := plain.Range(q, 0.03)
+		sr, _, _ := db.Range(q, 0.03)
 		if !eq(ids(pr.Result), ids(sr.Result)) {
 			t.Fatalf("range result mismatch at %v", q)
 		}
 		w := R(q.X-0.1, q.Y-0.1, q.X+0.1, q.Y+0.1)
-		if plain.Count(w) != db.Count(w) {
+		pc, _ := plain.Count(w)
+		dc, _ := db.Count(w)
+		if pc != dc {
 			t.Fatalf("count mismatch at %v", w)
 		}
-		if !eq(ids(plain.RangeSearch(w)), ids(db.RangeSearch(w))) {
+		ps, _ := plain.RangeSearch(w)
+		ds, _ := db.RangeSearch(w)
+		if !eq(ids(ps), ids(ds)) {
 			t.Fatalf("range search mismatch at %v", w)
 		}
 	}
 
 	// KNearest and RouteNN sanity.
-	if nbs := db.KNearest(Pt(0.5, 0.5), 5); len(nbs) != 5 {
+	if nbs, _ := db.KNearest(Pt(0.5, 0.5), 5); len(nbs) != 5 {
 		t.Fatalf("KNearest returned %d neighbors", len(nbs))
 	}
-	ivs := db.RouteNN(Pt(0.1, 0.1), Pt(0.9, 0.9))
+	ivs, _ := db.RouteNN(Pt(0.1, 0.1), Pt(0.9, 0.9))
 	if len(ivs) == 0 {
 		t.Fatal("RouteNN returned no intervals")
 	}
@@ -150,17 +155,18 @@ func TestShardedUnsupported(t *testing.T) {
 	if _, err := db.NewZL01Client(0.01); err == nil {
 		t.Fatal("NewZL01Client on a sharded DB must error")
 	}
-	mustPanic := func(name string, f func()) {
-		defer func() {
-			if recover() == nil {
-				t.Errorf("%s on a sharded DB must panic", name)
-			}
-		}()
-		f()
+	if _, err := db.NewSR01Client(1, 4); !errors.Is(err, ErrShardedUnsupported) {
+		t.Errorf("NewSR01Client on a sharded DB: err = %v, want ErrShardedUnsupported", err)
 	}
-	mustPanic("NewSR01Client", func() { db.NewSR01Client(1, 4) })
-	mustPanic("NewTP02Client", func() { db.NewTP02Client(1) })
-	mustPanic("NewNaiveClient", func() { db.NewNaiveClient(1) })
+	if _, err := db.NewTP02Client(1); !errors.Is(err, ErrShardedUnsupported) {
+		t.Errorf("NewTP02Client on a sharded DB: err = %v, want ErrShardedUnsupported", err)
+	}
+	if _, err := db.NewNaiveClient(1); !errors.Is(err, ErrShardedUnsupported) {
+		t.Errorf("NewNaiveClient on a sharded DB: err = %v, want ErrShardedUnsupported", err)
+	}
+	if err := db.SaveIndex(t.TempDir() + "/idx2.lbsq"); !errors.Is(err, ErrShardedUnsupported) {
+		t.Errorf("SaveIndex on a sharded DB: err = %v, want ErrShardedUnsupported", err)
+	}
 
 	if _, err := OpenSharded(items, uni, 0, nil); err == nil {
 		t.Fatal("OpenSharded with 0 shards must error")
