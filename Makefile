@@ -1,0 +1,41 @@
+# Correctness tooling entry points. CI runs the same three gates; see
+# .github/workflows/ci.yml and the "Correctness tooling" section of the
+# README.
+
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all build test vet race fuzz-smoke fmt
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# vet builds the project-specific multichecker (floatcmp, droppederr,
+# ctxflow, obslabel) and runs it over every package via the standard
+# go vet -vettool driver.
+vet:
+	$(GO) build -o bin/lbsq-vet ./cmd/lbsq-vet
+	$(GO) vet -vettool=$(CURDIR)/bin/lbsq-vet ./...
+
+# race runs the full suite under the race detector with the lbsqcheck
+# invariant assertions compiled in. The experiments package alone needs
+# well over the default 10m package timeout under -race on small runners.
+race:
+	$(GO) test -race -tags lbsqcheck -timeout 30m ./...
+
+# fuzz-smoke gives each native fuzz target a short budget on top of the
+# checked-in corpus replay (which plain `go test` already performs).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzPolygonClip -fuzztime=$(FUZZTIME) ./internal/geom
+	$(GO) test -run '^$$' -fuzz FuzzWindowMinkowski -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz 'FuzzDecodeNN$$' -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz 'FuzzDecodeWindow$$' -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzHTTPParams -fuzztime=$(FUZZTIME) .
+
+fmt:
+	gofmt -w .

@@ -130,7 +130,9 @@ func BenchmarkOpKNearest(b *testing.B) {
 	pts := benchPoints(1024)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		db.KNearest(pts[i%len(pts)], 1)
+		if _, err := db.KNearest(pts[i%len(pts)], 1); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -166,7 +168,9 @@ func BenchmarkOpWindowValidity(b *testing.B) {
 	pts := benchPoints(1024)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		db.WindowAt(pts[i%len(pts)], 0.0316, 0.0316)
+		if _, _, err := db.WindowAt(pts[i%len(pts)], 0.0316, 0.0316); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -176,7 +180,9 @@ func BenchmarkOpRangeSearch(b *testing.B) {
 	pts := benchPoints(1024)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		db.RangeSearch(squareAt(pts[i%len(pts)], 0.0316))
+		if _, err := db.RangeSearch(squareAt(pts[i%len(pts)], 0.0316)); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -273,15 +279,20 @@ func BenchmarkShardScaling(b *testing.B) {
 					for pb.Next() {
 						i := atomic.AddInt64(&ctr, 1)
 						q := pts[i%int64(len(pts))]
+						var err error
 						switch i % 4 {
 						case 0:
-							db.NN(q, 1)
+							_, _, err = db.NN(q, 1)
 						case 1:
-							db.NN(q, int(i%16)+1)
+							_, _, err = db.NN(q, int(i%16)+1)
 						case 2:
-							db.WindowAt(q, qx, qy)
+							_, _, err = db.WindowAt(q, qx, qy)
 						default:
-							db.Range(q, radius)
+							_, _, err = db.Range(q, radius)
+						}
+						if err != nil {
+							b.Error(err)
+							return
 						}
 					}
 				})

@@ -1,0 +1,28 @@
+// Command lbsq-vet is the project's vet multichecker: it bundles the
+// lbsq-specific analyzers and speaks the `go vet -vettool=` driver
+// protocol, so the whole module is checked with
+//
+//	go build -o bin/lbsq-vet ./cmd/lbsq-vet
+//	go vet -vettool=$PWD/bin/lbsq-vet ./...
+//
+// or simply `make vet`. Individual analyzers can be disabled with
+// -NAME=false (e.g. -floatcmp=false). Findings are suppressed per line
+// with //lbsq:nocheck NAME comments; see internal/analysis.
+package main
+
+import (
+	"lbsq/internal/analysis"
+	"lbsq/internal/analysis/ctxflow"
+	"lbsq/internal/analysis/droppederr"
+	"lbsq/internal/analysis/floatcmp"
+	"lbsq/internal/analysis/obslabel"
+)
+
+func main() {
+	analysis.Main("lbsq-vet",
+		floatcmp.Analyzer,
+		droppederr.Analyzer,
+		ctxflow.Analyzer,
+		obslabel.Analyzer,
+	)
+}

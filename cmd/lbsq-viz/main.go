@@ -89,7 +89,10 @@ func main() {
 		sc.Text(q.Add(lbsq.Pt(view.Width()/80, view.Width()/80)), "q", "font-size:16px;fill:#1f6fb2")
 	case "window":
 		side := math.Sqrt(*qs) * uni.Width()
-		wv, _, _ := db.WindowAt(q, side, side)
+		wv, _, err := db.WindowAt(q, side, side)
+		if err != nil {
+			log.Fatal(err)
+		}
 		ext := 3 * math.Max(wv.InnerRect.Width(), side) / uni.Width()
 		sc = scene(ext)
 		sc.RectRegion(wv.Region,
@@ -106,7 +109,10 @@ func main() {
 		sc.Marker(q, 5, "fill:#1f6fb2")
 	case "range":
 		r := *radius * uni.Width()
-		rv, _, _ := db.Range(q, r)
+		rv, _, err := db.Range(q, r)
+		if err != nil {
+			log.Fatal(err)
+		}
 		sc = scene(6 * *radius)
 		for _, d := range rv.Inner.Disks {
 			sc.Circle(d.C, d.R, "fill:#cfe8ff;stroke:none;fill-opacity:0.25")

@@ -32,11 +32,20 @@ func TestConcurrentQueries(t *testing.T) {
 						return
 					}
 				case 1:
-					db.WindowAt(p, 0.03, 0.03)
+					if _, _, err := db.WindowAt(p, 0.03, 0.03); err != nil {
+						errs <- err
+						return
+					}
 				case 2:
-					db.Range(p, 0.02)
+					if _, _, err := db.Range(p, 0.02); err != nil {
+						errs <- err
+						return
+					}
 				case 3:
-					db.KNearest(p, 3)
+					if _, err := db.KNearest(p, 3); err != nil {
+						errs <- err
+						return
+					}
 				}
 			}
 		}(int64(w))
@@ -67,7 +76,12 @@ func TestConcurrentQueriesWithUpdates(t *testing.T) {
 			rng := rand.New(rand.NewSource(seed))
 			for i := 0; i < 100; i++ {
 				p := Pt(rng.Float64(), rng.Float64())
-				if got, _ := db.KNearest(p, 2); len(got) < 2 {
+				got, err := db.KNearest(p, 2)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(got) < 2 {
 					t.Errorf("KNearest returned %d", len(got))
 					return
 				}

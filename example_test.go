@@ -12,7 +12,10 @@ func ExampleDB_NN() {
 	items, universe := lbsq.UniformDataset(100_000, 42)
 	db, _ := lbsq.Open(items, universe, nil)
 
-	v, cost, _ := db.NN(lbsq.Pt(0.4, 0.6), 1)
+	v, cost, err := db.NN(lbsq.Pt(0.4, 0.6), 1)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println("neighbors:", len(v.Neighbors))
 	fmt.Println("region edges:", v.Region.Edges())
 	fmt.Println("influence objects:", len(v.Influence))
@@ -32,7 +35,10 @@ func ExampleDB_WindowAt() {
 	items, universe := lbsq.UniformDataset(100_000, 42)
 	db, _ := lbsq.Open(items, universe, nil)
 
-	w, _, _ := db.WindowAt(lbsq.Pt(0.5, 0.5), 0.05, 0.05)
+	w, _, err := db.WindowAt(lbsq.Pt(0.5, 0.5), 0.05, 0.05)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println("on screen:", len(w.Result))
 	fmt.Println("inner influence:", len(w.InnerInfluence))
 	fmt.Println("focus valid:", w.Valid(lbsq.Pt(0.5, 0.5)))
@@ -68,7 +74,10 @@ func ExampleDB_Range() {
 	items, universe := lbsq.UniformDataset(100_000, 42)
 	db, _ := lbsq.Open(items, universe, nil)
 
-	rv, _, _ := db.Range(lbsq.Pt(0.5, 0.5), 0.02)
+	rv, _, err := db.Range(lbsq.Pt(0.5, 0.5), 0.02)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println("within radius:", len(rv.Result))
 	fmt.Println("can move safely:", rv.SafeDistance(lbsq.Pt(0.5, 0.5)) > 0)
 	// Output:
@@ -81,7 +90,10 @@ func ExampleDB_RouteNN() {
 	items, universe := lbsq.UniformDataset(100_000, 42)
 	db, _ := lbsq.Open(items, universe, nil)
 
-	route, _ := db.RouteNN(lbsq.Pt(0.10, 0.50), lbsq.Pt(0.12, 0.50))
+	route, err := db.RouteNN(lbsq.Pt(0.10, 0.50), lbsq.Pt(0.12, 0.50))
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println("intervals:", len(route))
 	iv, _ := lbsq.RouteNNAt(route, 0.01)
 	fmt.Println("covers mid-route:", iv.From <= 0.01 && iv.To >= 0.01)

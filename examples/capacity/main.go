@@ -37,7 +37,7 @@ func main() {
 		{"average", d.Universe.Center()},
 	} {
 		rho := hist.DensityForNN(spot.q, 1)
-		if rho == 0 {
+		if rho <= 0 {
 			rho = globalDensity
 		}
 		area := costmodel.NNValidityArea(rho, 1)
@@ -64,7 +64,10 @@ func main() {
 	queries := dataset.QueryPoints(d, 500, 99)
 	var sumArea, sumNA1, sumNA2 float64
 	for _, q := range queries {
-		wv, cost, _ := db.WindowAt(q, side, side)
+		wv, cost, err := db.WindowAt(q, side, side)
+		if err != nil {
+			panic(err)
+		}
 		sumArea += wv.Region.Area()
 		sumNA1 += float64(cost.ResultNA)
 		sumNA2 += float64(cost.InfNA)

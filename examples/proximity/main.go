@@ -25,7 +25,10 @@ func main() {
 	// A single query, inspected.
 	me := lbsq.Pt(400_000, 400_000)
 	const radius = 5_000.0 // 5 km
-	rv, cost, _ := db.Range(me, radius)
+	rv, cost, err := db.Range(me, radius)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("within 5 km of %v: %d points (%d node accesses)\n",
 		me, len(rv.Result), cost.Total())
 	fmt.Printf("validity region: %d inner + %d outer influence objects, "+

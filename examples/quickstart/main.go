@@ -43,7 +43,10 @@ func main() {
 
 	// --- Location-based window query ------------------------------------
 	// A 0.05×0.05 viewport centered on us (e.g. POIs on screen).
-	w, _, _ := db.WindowAt(me, 0.05, 0.05)
+	w, _, err := db.WindowAt(me, 0.05, 0.05)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("\nwindow result: %d points; validity region area %.3g "+
 		"(%d inner + %d outer influence objects)\n",
 		len(w.Result), w.Region.Area(), len(w.InnerInfluence), len(w.OuterInfluence))

@@ -79,7 +79,10 @@ func TestRouteNNViaFacade(t *testing.T) {
 	u := b.Sub(a).Unit()
 	for _, iv := range route {
 		mid := a.Add(u.Scale((iv.From + iv.To) / 2))
-		nbs, _ := db.KNearest(mid, 1)
+		nbs, err := db.KNearest(mid, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
 		nb := nbs[0]
 		if nb.Item.ID != iv.NN.ID && math.Abs(nb.Dist-iv.NN.P.Dist(mid)) > 1e-9 {
 			t.Fatalf("interval [%v,%v]: route says %d, NN query says %d",
@@ -132,7 +135,10 @@ func TestHTTPRange(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	local, _, _ := db.Range(Pt(0.5, 0.5), 0.08)
+	local, _, err := db.Range(Pt(0.5, 0.5), 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rv.Result) != len(local.Result) {
 		t.Fatalf("remote range result differs: %d vs %d", len(rv.Result), len(local.Result))
 	}
@@ -238,7 +244,10 @@ func TestHTTPDeltaSessionAndRoute(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	local, _ := db.RouteNN(Pt(0.1, 0.5), Pt(0.9, 0.5))
+	local, err := db.RouteNN(Pt(0.1, 0.5), Pt(0.9, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(route) != len(local) {
 		t.Fatalf("remote route %d intervals, local %d", len(route), len(local))
 	}

@@ -163,7 +163,9 @@ func (db *DB) Handler() http.Handler {
 	})
 	handle("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		db.WriteMetrics(w)
+		// A write error means the scrape client disconnected mid-body;
+		// the status line is already out, so there is nothing to send.
+		db.WriteMetrics(w) //lbsq:nocheck droppederr
 	})
 	return mux
 }

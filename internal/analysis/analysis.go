@@ -1,0 +1,172 @@
+// Package analysis is a minimal, dependency-free reimplementation of
+// the golang.org/x/tools/go/analysis vocabulary, sufficient to host the
+// project-specific analyzers behind `go vet -vettool=` (see the
+// unitchecker protocol in unitchecker.go) without importing anything
+// outside the standard library.
+//
+// An Analyzer inspects one type-checked package at a time and reports
+// Diagnostics. Analyzers are purely local (no cross-package facts), so
+// dependency packages are processed in constant time.
+//
+// Findings can be suppressed per line with a comment of the form
+//
+//	//lbsq:nocheck floatcmp
+//	//lbsq:nocheck floatcmp,droppederr
+//	//lbsq:nocheck
+//
+// placed on the flagged line or alone on the line directly above it.
+// The bare form suppresses every analyzer; use it sparingly.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one analysis: its name, documentation, and the
+// function that runs it on a single package.
+type Analyzer struct {
+	// Name is the analyzer's command-line and suppression name
+	// (lower-case identifier).
+	Name string
+	// Doc is a one-paragraph description of what the analyzer checks.
+	Doc string
+	// Run inspects the package described by pass and reports findings
+	// via pass.Report / pass.Reportf.
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzer with the parsed and type-checked
+// package under analysis.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Report emits one diagnostic.
+func (p *Pass) Report(d Diagnostic) { p.report(d) }
+
+// Reportf emits one diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding of an analyzer.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+	// Analyzer is the reporting analyzer's name; filled by the driver.
+	Analyzer string
+}
+
+// NewTypesInfo returns a types.Info with every map populated, as
+// analyzers expect.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// Run executes the analyzers over one type-checked package and returns
+// the surviving diagnostics (suppression comments applied), sorted by
+// position.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	sup := collectSuppressions(fset, files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			report: func(d Diagnostic) {
+				d.Analyzer = a.Name
+				if !sup.suppresses(fset.Position(d.Pos), a.Name) {
+					out = append(out, d)
+				}
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %v", a.Name, err)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := fset.Position(out[i].Pos), fset.Position(out[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}
+
+// suppressions maps file -> line -> analyzer names (empty set value
+// means "all analyzers") for //lbsq:nocheck comments.
+type suppressions map[string]map[int]map[string]bool
+
+const nocheckPrefix = "//lbsq:nocheck"
+
+func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
+	sup := make(suppressions)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, nocheckPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, nocheckPrefix))
+				names := make(map[string]bool)
+				for _, n := range strings.Split(rest, ",") {
+					if n = strings.TrimSpace(n); n != "" {
+						names[n] = true
+					}
+				}
+				pos := fset.Position(c.Pos())
+				lines := sup[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					sup[pos.Filename] = lines
+				}
+				// The comment applies to its own line and — so it can sit
+				// above a long expression — to the following line.
+				for _, ln := range []int{pos.Line, pos.Line + 1} {
+					if lines[ln] == nil {
+						lines[ln] = make(map[string]bool)
+					}
+					for n := range names {
+						lines[ln][n] = true
+					}
+					if len(names) == 0 {
+						lines[ln]["*"] = true
+					}
+				}
+			}
+		}
+	}
+	return sup
+}
+
+func (s suppressions) suppresses(pos token.Position, analyzer string) bool {
+	names := s[pos.Filename][pos.Line]
+	return names != nil && (names["*"] || names[analyzer])
+}

@@ -1,0 +1,219 @@
+// Package analysistest runs one analyzer over small fixture packages
+// and checks its diagnostics against expectations written in the
+// fixtures themselves — a dependency-free analogue of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixture packages live under testdata/src/<pkg>/. An expectation is a
+// comment on the flagged line:
+//
+//	db.Query() // want `result of DB\.Query is discarded`
+//
+// Each string after "want" (backquoted or double-quoted) is a regular
+// expression that must match the message of one diagnostic reported on
+// that line. Lines without a want comment must produce no diagnostics,
+// so fixtures double as negative tests (including //lbsq:nocheck
+// suppressions, which are applied exactly as in the vet driver).
+//
+// Imports inside fixtures resolve first against sibling fixture
+// packages in testdata/src (so mocks like a fake obs.Registry can be
+// shared), then against the standard library via the source importer.
+package analysistest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"lbsq/internal/analysis"
+)
+
+// TestData returns the absolute path of the calling package's testdata
+// directory.
+func TestData(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// Run loads each named fixture package from testdata/src, applies the
+// analyzer, and reports mismatches between diagnostics and the // want
+// expectations as test errors.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	imp := &fixtureImporter{
+		fset: fset,
+		src:  filepath.Join(testdata, "src"),
+		std:  importer.ForCompiler(fset, "source", nil),
+		pkgs: make(map[string]*loadedPkg),
+	}
+	for _, p := range pkgs {
+		p := p
+		t.Run(p, func(t *testing.T) {
+			runPkg(t, imp, a, p)
+		})
+	}
+}
+
+func runPkg(t *testing.T, imp *fixtureImporter, a *analysis.Analyzer, path string) {
+	t.Helper()
+	l, err := imp.load(path)
+	if err != nil {
+		t.Fatalf("loading fixture package %s: %v", path, err)
+	}
+	diags, err := analysis.Run(imp.fset, l.files, l.pkg, l.info, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	expects := collectExpectations(t, imp.fset, l.files)
+
+	for _, d := range diags {
+		pos := imp.fset.Position(d.Pos)
+		if e := matchExpectation(expects, pos, d.Message); e != nil {
+			e.matched = true
+			continue
+		}
+		t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.re.String())
+		}
+	}
+}
+
+// An expectation is one "// want" regexp at a file:line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+func matchExpectation(expects []*expectation, pos token.Position, msg string) *expectation {
+	for _, e := range expects {
+		if !e.matched && e.file == pos.Filename && e.line == pos.Line && e.re.MatchString(msg) {
+			return e
+		}
+	}
+	return nil
+}
+
+// wantArg matches one backquoted or double-quoted string.
+var wantArg = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+func collectExpectations(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") && !strings.HasPrefix(text, "want\t") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				args := wantArg.FindAllString(text[len("want"):], -1)
+				if len(args) == 0 {
+					t.Errorf("%s: malformed want comment (no quoted regexp): %s", pos, c.Text)
+					continue
+				}
+				for _, arg := range args {
+					pat := arg
+					if pat[0] == '`' {
+						pat = pat[1 : len(pat)-1]
+					} else if unq, err := strconv.Unquote(pat); err == nil {
+						pat = unq
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, pat, err)
+						continue
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// fixtureImporter resolves imports against testdata/src first, then the
+// standard library (compiled from source, so no export data is needed).
+type fixtureImporter struct {
+	fset *token.FileSet
+	src  string
+	std  types.Importer
+	pkgs map[string]*loadedPkg
+}
+
+type loadedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+func (im *fixtureImporter) Import(path string) (*types.Package, error) {
+	l, err := im.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return l.pkg, nil
+}
+
+func (im *fixtureImporter) load(path string) (*loadedPkg, error) {
+	if l, ok := im.pkgs[path]; ok {
+		return l, nil
+	}
+	dir := filepath.Join(im.src, path)
+	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+		pkg, err := im.std.Import(path)
+		if err != nil {
+			return nil, err
+		}
+		l := &loadedPkg{pkg: pkg}
+		im.pkgs[path] = l
+		return l, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(im.fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := analysis.NewTypesInfo()
+	cfg := &types.Config{Importer: im}
+	pkg, err := cfg.Check(path, im.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	l := &loadedPkg{pkg: pkg, files: files, info: info}
+	im.pkgs[path] = l
+	return l, nil
+}

@@ -1,0 +1,117 @@
+// Package ctxflow defines an analyzer that enforces context threading
+// on request paths.
+//
+// Every query path in lbsq is context-aware (the Ctx method variants,
+// the HTTP handlers via r.Context(), the shard scatter). A function
+// that already has a context.Context in scope — an explicit parameter,
+// or an *http.Request whose Context method supplies one — must thread
+// it; minting a fresh context.Background() or context.TODO() inside
+// such a function detaches the downstream work from cancellation and
+// deadlines, so a disconnected client no longer aborts its scatter
+// fan-out.
+//
+// Functions without an incoming context (top-level convenience
+// wrappers, main, tests' setup helpers) are free to start from
+// context.Background.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"lbsq/internal/analysis"
+)
+
+// Analyzer is the ctxflow analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "request-path functions must thread their incoming context, not context.Background/TODO",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			source := incomingContext(pass, fd.Type.Params)
+			if source == "" {
+				return true
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				// A nested function literal with its own context
+				// parameter starts a new scope of responsibility.
+				if fl, ok := n.(*ast.FuncLit); ok && incomingContext(pass, fl.Type.Params) != "" {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name := freshContextCall(pass, call); name != "" {
+					pass.Reportf(call.Pos(), "%s called in a function with an incoming context (%s); thread that context instead", name, source)
+				}
+				return true
+			})
+			return true
+		})
+	}
+	return nil
+}
+
+// incomingContext reports how the function receives a context: a
+// context.Context parameter or an *http.Request parameter ("" if
+// neither).
+func incomingContext(pass *analysis.Pass, params *ast.FieldList) string {
+	if params == nil {
+		return ""
+	}
+	for _, fld := range params.List {
+		t := pass.TypesInfo.Types[fld.Type].Type
+		if t == nil {
+			continue
+		}
+		if isNamed(t, "context", "Context") {
+			return "parameter " + fieldName(fld)
+		}
+		if p, ok := t.(*types.Pointer); ok && isNamed(p.Elem(), "net/http", "Request") {
+			return fieldName(fld) + ".Context()"
+		}
+	}
+	return ""
+}
+
+func fieldName(fld *ast.Field) string {
+	if len(fld.Names) > 0 {
+		return fld.Names[0].Name
+	}
+	return "_"
+}
+
+// freshContextCall reports whether call is context.Background() or
+// context.TODO(), returning its display name.
+func freshContextCall(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "context" {
+		return ""
+	}
+	if obj.Name() == "Background" || obj.Name() == "TODO" {
+		return "context." + obj.Name()
+	}
+	return ""
+}
+
+func isNamed(t types.Type, pkgPath, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}

@@ -1,0 +1,26 @@
+// Fixture for the ctxflow analyzer.
+package a
+
+import "context"
+
+func handle(ctx context.Context) {
+	_ = context.Background() // want `context\.Background called in a function with an incoming context \(parameter ctx\)`
+	c := context.TODO()      // want `context\.TODO called in a function with an incoming context`
+	_ = c
+	_ = ctx
+}
+
+func helper() context.Context {
+	return context.Background() // no incoming context: allowed.
+}
+
+func nested(ctx context.Context) {
+	// A literal with its own context parameter starts a new scope of
+	// responsibility; its body is exempt at this declaration.
+	scoped := func(ctx context.Context) { _ = ctx }
+	scoped(ctx)
+	plain := func() {
+		_ = context.Background() // want `context\.Background called in a function with an incoming context`
+	}
+	plain()
+}

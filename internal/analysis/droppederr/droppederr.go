@@ -1,0 +1,141 @@
+// Package droppederr defines an analyzer that flags ignored errors
+// from the lbsq query surface.
+//
+// The PR 2 API redesign made every query path error-returning: DB,
+// RemoteClient, and shard.Cluster methods report context cancellation
+// and transport failures through their final error result. Dropping
+// that error — calling a query as a bare statement, or assigning the
+// error to the blank identifier — silently converts a cancelled or
+// failed query into an empty result, exactly the failure mode the
+// redesign exists to prevent.
+//
+// The analyzer flags, for methods on the configured receiver types
+// whose last result is an error:
+//   - expression statements (all results discarded),
+//   - go / defer statements (results always discarded),
+//   - assignments whose error position is the blank identifier.
+//
+// Compatibility shims that deliberately swallow the error must carry a
+// //lbsq:nocheck droppederr comment explaining the contract.
+package droppederr
+
+import (
+	"go/ast"
+	"go/types"
+
+	"lbsq/internal/analysis"
+)
+
+// Analyzer is the droppederr analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "droppederr",
+	Doc:  "flag ignored errors from DB/RemoteClient/Cluster query methods",
+	Run:  run,
+}
+
+// receiverNames are the named types whose error-returning methods form
+// the guarded query surface. Matching is by type name so that fixture
+// packages (and future facades) are covered without import cycles.
+var receiverNames = map[string]bool{
+	"DB":           true,
+	"RemoteClient": true,
+	"Cluster":      true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					if name, ok := guardedCall(pass, call); ok {
+						pass.Reportf(call.Pos(), "result of %s is discarded, dropping its error; handle the error or annotate with //lbsq:nocheck droppederr", name)
+					}
+				}
+			case *ast.GoStmt:
+				if name, ok := guardedCall(pass, n.Call); ok {
+					pass.Reportf(n.Call.Pos(), "go statement discards the error of %s; call it in a closure and handle the error", name)
+				}
+			case *ast.DeferStmt:
+				if name, ok := guardedCall(pass, n.Call); ok {
+					pass.Reportf(n.Call.Pos(), "defer statement discards the error of %s; call it in a closure and handle the error", name)
+				}
+			case *ast.AssignStmt:
+				checkAssign(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkAssign flags `..., _ := guarded(...)` where the blank discards
+// the call's error result.
+func checkAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	// Only the single-call multi-value form can discard an error
+	// positionally: x, err := f().
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	name, errPos, ok := guardedCallErrPos(pass, call)
+	if !ok || errPos >= len(as.Lhs) {
+		return
+	}
+	if id, ok := as.Lhs[errPos].(*ast.Ident); ok && id.Name == "_" {
+		pass.Reportf(id.Pos(), "error of %s assigned to blank identifier; handle the error or annotate with //lbsq:nocheck droppederr", name)
+	}
+}
+
+// guardedCall reports whether call is a method call on a guarded
+// receiver type returning an error, and the method's display name.
+func guardedCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	name, _, ok := guardedCallErrPos(pass, call)
+	return name, ok
+}
+
+// guardedCallErrPos additionally returns the index of the error result.
+func guardedCallErrPos(pass *analysis.Pass, call *ast.CallExpr) (string, int, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", 0, false
+	}
+	selection := pass.TypesInfo.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return "", 0, false
+	}
+	recv := selection.Recv()
+	named := namedOf(recv)
+	if named == nil || !receiverNames[named.Obj().Name()] {
+		return "", 0, false
+	}
+	sig, ok := selection.Obj().Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return "", 0, false
+	}
+	last := sig.Results().Len() - 1
+	if !isErrorType(sig.Results().At(last).Type()) {
+		return "", 0, false
+	}
+	return named.Obj().Name() + "." + selection.Obj().Name(), last, true
+}
+
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			return u
+		default:
+			return nil
+		}
+	}
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool { return types.Identical(t, errorType) }

@@ -1,0 +1,12 @@
+package droppederr_test
+
+import (
+	"testing"
+
+	"lbsq/internal/analysis/analysistest"
+	"lbsq/internal/analysis/droppederr"
+)
+
+func TestDroppedErr(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), droppederr.Analyzer, "a")
+}

@@ -1,0 +1,32 @@
+// Fixture for the droppederr analyzer. The guarded surface is matched
+// by receiver type name, so the mocks here stand in for the real
+// lbsq.DB, lbsq.RemoteClient, and shard.Cluster.
+package a
+
+type DB struct{}
+
+func (*DB) Query() error      { return nil }
+func (*DB) Get() (int, error) { return 0, nil }
+
+type Cluster struct{}
+
+func (*Cluster) Count() (int, error) { return 0, nil }
+
+type Other struct{}
+
+func (*Other) Query() error { return nil }
+
+func drops(db *DB, c *Cluster, o *Other) {
+	db.Query()       // want `result of DB\.Query is discarded`
+	go db.Query()    // want `go statement discards the error of DB\.Query`
+	defer db.Query() // want `defer statement discards the error of DB\.Query`
+	n, _ := db.Get() // want `error of DB\.Get assigned to blank identifier`
+	_ = n
+	m, _ := c.Count() // want `error of Cluster\.Count assigned to blank identifier`
+	_ = m
+	o.Query() // unguarded receiver type: allowed.
+	if err := db.Query(); err != nil {
+		panic(err) // handled: allowed.
+	}
+	db.Query() //lbsq:nocheck droppederr
+}

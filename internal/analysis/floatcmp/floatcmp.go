@@ -1,0 +1,113 @@
+// Package floatcmp defines an analyzer that forbids raw == and !=
+// on floating-point operands.
+//
+// The validity-region algorithms rest on epsilon-tolerant geometric
+// predicates (geom.Eps): a raw float equality silently reintroduces
+// the boundary-noise bugs Lemmas 3.1/3.2 are proved to exclude.
+// Comparisons must go through the approved helpers in
+// internal/geom/cmp.go — Eq/Zero for tolerant comparison, ExactEq/
+// ExactZero/SamePoint when bit-exact comparison is the intended
+// semantics (sort comparators, sentinels, tie detection).
+//
+// Allowed without a helper:
+//   - x != x and x == x (the IEEE NaN idiom),
+//   - the bodies of the helpers themselves (internal/geom/cmp.go),
+//   - _test.go files (tests routinely compare exact expected values).
+//
+// Struct and array equality is flagged too when the compared type
+// contains a floating-point field (e.g. geom.Point), since it desugars
+// to the same raw comparisons.
+package floatcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"lbsq/internal/analysis"
+)
+
+// Analyzer is the floatcmp analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatcmp",
+	Doc:  "forbid raw ==/!= on float64 values outside the geom epsilon helpers",
+	Run:  run,
+}
+
+// allowedFile is the one file whose function bodies may compare floats
+// directly: the approved helpers themselves.
+const allowedFile = "internal/geom/cmp.go"
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") || isAllowedFile(name) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			t := pass.TypesInfo.Types[be.X].Type
+			if t == nil || !containsFloat(t) {
+				return true
+			}
+			if sameExpr(be.X, be.Y) {
+				return true // NaN idiom: x != x
+			}
+			kind := "floating-point"
+			if _, isBasic := t.Underlying().(*types.Basic); !isBasic {
+				kind = "float-containing " + t.String()
+			}
+			pass.Reportf(be.OpPos, "raw %s comparison of %s values; use geom.Eq/Zero (tolerant) or geom.ExactEq/ExactZero/SamePoint (intentionally exact)", be.Op, kind)
+			return true
+		})
+	}
+	return nil
+}
+
+func isAllowedFile(name string) bool {
+	return strings.HasSuffix(name, allowedFile)
+}
+
+// containsFloat reports whether comparing two values of type t compares
+// floating-point representations: floats and complexes themselves,
+// and structs/arrays with float-containing elements.
+func containsFloat(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&(types.IsFloat|types.IsComplex) != 0 && u.Info()&types.IsUntyped == 0
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsFloat(u.Field(i).Type()) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsFloat(u.Elem())
+	}
+	return false
+}
+
+// sameExpr reports whether two expressions are syntactically identical
+// simple operands (identifiers or selector chains), covering the
+// x != x NaN test without a full structural comparison.
+func sameExpr(a, b ast.Expr) bool {
+	return flatName(a) != "" && flatName(a) == flatName(b)
+}
+
+func flatName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if base := flatName(e.X); base != "" {
+			return base + "." + e.Sel.Name
+		}
+	case *ast.ParenExpr:
+		return flatName(e.X)
+	}
+	return ""
+}

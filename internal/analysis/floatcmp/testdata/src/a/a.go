@@ -1,0 +1,26 @@
+// Fixture for the floatcmp analyzer.
+package a
+
+type Point struct{ X, Y float64 }
+
+type intPair struct{ A, B int }
+
+func compare(a, b float64, p, q Point, m, n int, ip, iq intPair) bool {
+	if a == b { // want `raw == comparison of floating-point values`
+		return true
+	}
+	if a != b { // want `raw != comparison of floating-point values`
+		return false
+	}
+	if p == q { // want `raw == comparison of float-containing a\.Point values`
+		return true
+	}
+	if a != a { // NaN idiom: allowed.
+		return false
+	}
+	if m == n || ip == iq { // integer comparisons: allowed.
+		return true
+	}
+	//lbsq:nocheck floatcmp
+	return a == b
+}

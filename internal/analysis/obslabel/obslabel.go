@@ -1,0 +1,225 @@
+// Package obslabel defines an analyzer that keeps the metric namespace
+// of internal/obs statically bounded.
+//
+// Prometheus-style instruments explode in cardinality when names or
+// label sets are built from request data (a query coordinate formatted
+// into a label value creates one series per query). The analyzer
+// therefore requires, for every registration call on an obs.Registry
+// (Counter, Gauge, Histogram, CounterFunc, GaugeFunc):
+//
+//   - the name and help arguments are compile-time constants;
+//   - the labels argument is nil, an obs.Labels literal, or a local
+//     variable assigned only obs.Labels literals in the same function;
+//   - label keys in those literals are compile-time constants;
+//   - label values are constants, plain identifiers/selectors (bounded
+//     by construction: loop variables over fixed op lists, handler
+//     paths), or strconv.Itoa/FormatInt of small ints (status codes).
+//     Arbitrary expressions — fmt.Sprintf, float formatting, string
+//     concatenation of non-constants — are flagged.
+package obslabel
+
+import (
+	"go/ast"
+	"go/types"
+
+	"lbsq/internal/analysis"
+)
+
+// Analyzer is the obslabel analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "obslabel",
+	Doc:  "obs metric names and labels must be compile-time bounded (no dynamic cardinality)",
+	Run:  run,
+}
+
+// registerMethods maps obs.Registry method name to the index of its
+// labels argument (name and help are always arguments 0 and 1).
+var registerMethods = map[string]int{
+	"Counter":     2,
+	"Gauge":       2,
+	"Histogram":   2,
+	"CounterFunc": 2,
+	"GaugeFunc":   2,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		// Track the enclosing function body so identifier label sets
+		// can be resolved to their local literal assignments.
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			labelsIdx, ok := registryCall(pass, call)
+			if !ok || len(call.Args) <= labelsIdx {
+				return true
+			}
+			for i, what := range []string{"metric name", "metric help"} {
+				if pass.TypesInfo.Types[call.Args[i]].Value == nil {
+					pass.Reportf(call.Args[i].Pos(), "%s must be a compile-time constant", what)
+				}
+			}
+			checkLabels(pass, call.Args[labelsIdx], enclosingFunc(stack))
+			return true
+		})
+	}
+	return nil
+}
+
+// registryCall reports whether call registers an instrument on an
+// obs.Registry, returning the labels argument index.
+func registryCall(pass *analysis.Pass, call *ast.CallExpr) (int, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return 0, false
+	}
+	idx, ok := registerMethods[sel.Sel.Name]
+	if !ok {
+		return 0, false
+	}
+	selection := pass.TypesInfo.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return 0, false
+	}
+	named := namedOf(selection.Recv())
+	if named == nil || named.Obj().Name() != "Registry" || named.Obj().Pkg() == nil || named.Obj().Pkg().Name() != "obs" {
+		return 0, false
+	}
+	return idx, true
+}
+
+// checkLabels validates one labels argument.
+func checkLabels(pass *analysis.Pass, arg ast.Expr, fn ast.Node) {
+	switch e := ast.Unparen(arg).(type) {
+	case *ast.Ident:
+		if e.Name == "nil" {
+			return
+		}
+		// A local variable: every literal assigned to it in the
+		// enclosing function must validate; anything else is opaque.
+		lits, opaque := localLabelLiterals(pass, e, fn)
+		if opaque || len(lits) == 0 {
+			pass.Reportf(arg.Pos(), "labels must be nil or an obs.Labels literal (directly or via a local variable); %s is not statically bounded", e.Name)
+			return
+		}
+		for _, lit := range lits {
+			checkLabelLiteral(pass, lit)
+		}
+	case *ast.CompositeLit:
+		checkLabelLiteral(pass, e)
+	default:
+		pass.Reportf(arg.Pos(), "labels must be nil or an obs.Labels literal, not a dynamic expression")
+	}
+}
+
+// checkLabelLiteral validates the keys and values of one obs.Labels
+// composite literal.
+func checkLabelLiteral(pass *analysis.Pass, lit *ast.CompositeLit) {
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if pass.TypesInfo.Types[kv.Key].Value == nil {
+			pass.Reportf(kv.Key.Pos(), "label key must be a compile-time constant")
+		}
+		if !boundedLabelValue(pass, kv.Value) {
+			pass.Reportf(kv.Value.Pos(), "label value must be a constant, a plain identifier, or strconv.Itoa/FormatInt — dynamic values explode metric cardinality")
+		}
+	}
+}
+
+// boundedLabelValue accepts constants, plain identifiers and selector
+// chains (values bounded by construction), and integer formatting via
+// strconv (status codes and similar small enums).
+func boundedLabelValue(pass *analysis.Pass, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if pass.TypesInfo.Types[e].Value != nil {
+		return true
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		return true
+	case *ast.SelectorExpr:
+		return true
+	case *ast.CallExpr:
+		sel, ok := e.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		obj := pass.TypesInfo.Uses[sel.Sel]
+		if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "strconv" {
+			return false
+		}
+		return obj.Name() == "Itoa" || obj.Name() == "FormatInt"
+	}
+	return false
+}
+
+// localLabelLiterals collects the composite literals assigned to ident
+// within fn. opaque is true when the variable receives any non-literal
+// value (parameter, call result, map read, …).
+func localLabelLiterals(pass *analysis.Pass, ident *ast.Ident, fn ast.Node) (lits []*ast.CompositeLit, opaque bool) {
+	target := pass.TypesInfo.Uses[ident]
+	if target == nil || fn == nil {
+		return nil, true
+	}
+	ast.Inspect(fn, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj != target {
+				continue
+			}
+			if lit, ok := ast.Unparen(as.Rhs[i]).(*ast.CompositeLit); ok {
+				lits = append(lits, lit)
+			} else {
+				opaque = true
+			}
+		}
+		return true
+	})
+	return lits, opaque
+}
+
+// enclosingFunc returns the innermost FuncDecl or FuncLit in the
+// traversal stack.
+func enclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			return u
+		default:
+			return nil
+		}
+	}
+}

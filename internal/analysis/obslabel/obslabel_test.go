@@ -1,0 +1,12 @@
+package obslabel_test
+
+import (
+	"testing"
+
+	"lbsq/internal/analysis/analysistest"
+	"lbsq/internal/analysis/obslabel"
+)
+
+func TestObsLabel(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), obslabel.Analyzer, "a")
+}

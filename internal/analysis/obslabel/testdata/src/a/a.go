@@ -1,0 +1,29 @@
+// Fixture for the obslabel analyzer.
+package a
+
+import (
+	"strconv"
+
+	"obs"
+)
+
+const total = "lbsq_queries_total"
+
+func register(r *obs.Registry, op, dynamic string, code int) {
+	r.Counter(total, "number of queries", nil)
+	r.Counter("lbsq_errors_total", "errors", obs.Labels{"op": op}) // plain identifier value: allowed.
+	r.Counter(dynamic, "help", nil)                                // want `metric name must be a compile-time constant`
+	r.Gauge(total, "help "+dynamic, nil)                           // want `metric help must be a compile-time constant`
+	r.Counter(total, "queries", obs.Labels{"status": strconv.Itoa(code)})
+	r.Counter(total, "queries", obs.Labels{"q": dynamic + "!"}) // want `label value must be a constant`
+	r.Counter(total, "queries", obs.Labels{op: "v"})            // want `label key must be a compile-time constant`
+
+	labels := obs.Labels{"shard": "0"}
+	r.Gauge(total, "per-shard gauge", labels) // local variable holding only literals: allowed.
+
+	opaque := loadLabels()
+	r.Gauge(total, "gauge", opaque)           // want `labels must be nil or an obs\.Labels literal`
+	r.Counter(total, "queries", loadLabels()) // want `labels must be nil or an obs\.Labels literal, not a dynamic expression`
+}
+
+func loadLabels() obs.Labels { return nil }

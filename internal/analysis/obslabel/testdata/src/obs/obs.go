@@ -1,0 +1,16 @@
+// Package obs is a minimal mock of the real internal/obs registration
+// surface. The obslabel analyzer matches the receiver by name (type
+// Registry in a package named obs), so fixtures can exercise it
+// without importing the real package.
+package obs
+
+type Labels map[string]string
+
+type Counter struct{}
+
+type Gauge struct{}
+
+type Registry struct{}
+
+func (*Registry) Counter(name, help string, labels Labels) *Counter { return nil }
+func (*Registry) Gauge(name, help string, labels Labels) *Gauge     { return nil }

@@ -1,0 +1,254 @@
+package analysis
+
+// This file implements the `go vet -vettool=` driver protocol (the
+// role golang.org/x/tools/go/analysis/unitchecker plays for upstream
+// analyzers) using only the standard library. The go command invokes
+// the tool in three modes:
+//
+//	tool -V=full        print a version fingerprint for build caching
+//	tool -flags         describe supported flags as JSON
+//	tool [flags] x.cfg  analyze the single package unit described by
+//	                    the JSON config file, writing diagnostics to
+//	                    stderr and an (empty) facts file to VetxOutput
+//
+// Because every lbsq analyzer is local — no cross-package facts —
+// dependency units (VetxOnly: true) are satisfied by writing the empty
+// facts file without parsing or type-checking anything, so a whole-
+// module `go vet` pays the analysis cost only for the module's own
+// packages.
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"go/version"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+)
+
+// Config mirrors the JSON schema of the *.cfg files the go command
+// hands to vet tools (cmd/go/internal/work.vetConfig).
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main implements the vet-tool entry point for the given analyzers and
+// exits the process. progname is used in version output and usage.
+func Main(progname string, analyzers ...*Analyzer) {
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "%s: project-specific static analyzers for lbsq\n\n", progname)
+		fmt.Fprintf(os.Stderr, "usage: go vet -vettool=$(command -v %s) [-NAME=false] ./...\n\n", progname)
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, firstLine(a.Doc))
+		}
+		fs.PrintDefaults()
+	}
+	vFlag := fs.String("V", "", "print version and exit (-V=full for a fingerprint)")
+	flagsFlag := fs.Bool("flags", false, "print flags in JSON and exit")
+	printPath := fs.Bool("print-path", false, "print the path of this executable and exit")
+	enabled := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer: "+firstLine(a.Doc))
+	}
+	_ = fs.Parse(os.Args[1:])
+
+	switch {
+	case *vFlag != "":
+		printVersion(progname, *vFlag)
+		os.Exit(0)
+	case *flagsFlag:
+		printFlagsJSON(fs)
+		os.Exit(0)
+	case *printPath:
+		exe, err := os.Executable()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(exe)
+		os.Exit(0)
+	}
+
+	if fs.NArg() != 1 || !strings.HasSuffix(fs.Arg(0), ".cfg") {
+		fs.Usage()
+		os.Exit(2)
+	}
+	var active []*Analyzer
+	for _, a := range analyzers {
+		if *enabled[a.Name] {
+			active = append(active, a)
+		}
+	}
+	os.Exit(runUnit(fs.Arg(0), active))
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// printVersion emits the fingerprint line the go command hashes for
+// its build cache (same shape as x/tools analysisflags).
+func printVersion(progname, mode string) {
+	if mode != "full" {
+		fmt.Printf("%s version devel\n", progname)
+		return
+	}
+	exe, err := os.Executable()
+	if err == nil {
+		if f, err2 := os.Open(exe); err2 == nil {
+			h := sha256.New()
+			_, _ = io.Copy(h, f)
+			f.Close()
+			fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, h.Sum(nil))
+			return
+		}
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=unknown\n", progname)
+}
+
+// printFlagsJSON describes the tool's flags so the go command can
+// validate the vet flags it forwards.
+func printFlagsJSON(fs *flag.FlagSet) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var out []jsonFlag
+	fs.VisitAll(func(f *flag.Flag) {
+		isBool := false
+		if bf, ok := f.Value.(interface{ IsBoolFlag() bool }); ok {
+			isBool = bf.IsBoolFlag()
+		}
+		out = append(out, jsonFlag{Name: f.Name, Bool: isBool, Usage: f.Usage})
+	})
+	data, _ := json.Marshal(out)
+	os.Stdout.Write(data)
+	fmt.Println()
+}
+
+// runUnit analyzes one package unit and returns the process exit code.
+func runUnit(cfgFile string, analyzers []*Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: cannot decode JSON config: %v\n", cfgFile, err)
+		return 1
+	}
+	// The go command requires the facts file to exist after every unit,
+	// including dependency-only units. lbsq analyzers produce no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	pkg, info, err := typecheck(fset, cfg, files)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "%s: typecheck: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	diags, err := Run(fset, files, pkg, info, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// typecheck type-checks the unit's files against the export data the
+// go command supplied in the config.
+func typecheck(fset *token.FileSet, cfg *Config, files []*ast.File) (*types.Package, *types.Info, error) {
+	compImp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	tconf := &types.Config{
+		Importer: importerFunc(func(importPath string) (*types.Package, error) {
+			if mapped, ok := cfg.ImportMap[importPath]; ok {
+				importPath = mapped
+			}
+			return compImp.Import(importPath)
+		}),
+		Sizes: types.SizesFor("gc", goarch()),
+		Error: func(error) {}, // collect via returned error; keep first only
+	}
+	if version.IsValid(cfg.GoVersion) {
+		tconf.GoVersion = cfg.GoVersion
+	}
+	info := NewTypesInfo()
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	return pkg, info, err
+}
+
+func goarch() string {
+	if v := os.Getenv("GOARCH"); v != "" {
+		return v
+	}
+	return runtime.GOARCH
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

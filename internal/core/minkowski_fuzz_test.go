@@ -1,0 +1,71 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"lbsq/internal/geom"
+	"lbsq/internal/rtree"
+)
+
+// FuzzWindowMinkowski builds the rectilinear window validity region
+// (base rectangle minus the Minkowski rectangles of outer objects) from
+// arbitrary small datasets and window geometries, and checks the
+// region's defining invariants: it contains the query focus, the
+// conservative rectangle is a subset of it, and every reported result
+// point actually lies in the window.
+func FuzzWindowMinkowski(f *testing.F) {
+	f.Add(0.1, 0.2, 0.8, 0.3, 0.45, 0.55, 0.9, 0.9, 0.5, 0.5, 0.2, 0.15)
+	f.Add(0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.1, 0.1)
+	f.Add(0.05, 0.95, 0.95, 0.05, 0.3, 0.3, 0.6, 0.6, 0.25, 0.75, 0.4, 0.05)
+	f.Fuzz(func(t *testing.T, x1, y1, x2, y2, x3, y3, x4, y4, fx, fy, qx, qy float64) {
+		coord := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0.5
+			}
+			return math.Mod(math.Abs(v), 1)
+		}
+		tree := rtree.NewDefault()
+		pts := []geom.Point{
+			geom.Pt(coord(x1), coord(y1)),
+			geom.Pt(coord(x2), coord(y2)),
+			geom.Pt(coord(x3), coord(y3)),
+			geom.Pt(coord(x4), coord(y4)),
+		}
+		for i, p := range pts {
+			tree.Insert(rtree.Item{ID: int64(i + 1), P: p})
+		}
+		// Keep the focus away from the universe boundary and the window
+		// extents positive and modest, matching the paper's workloads
+		// (queries conform to the data space).
+		focus := geom.Pt(0.05+0.9*coord(fx), 0.05+0.9*coord(fy))
+		w := geom.RectCenteredAt(focus, 0.01+0.3*coord(qx), 0.01+0.3*coord(qy))
+
+		wv := WindowQuery(tree, w, universe)
+
+		if !wv.Region.Contains(wv.Focus) {
+			t.Fatalf("validity region excludes the query focus %v", wv.Focus)
+		}
+		if !wv.Valid(wv.Focus) {
+			t.Fatal("Valid(focus) is false")
+		}
+		for _, it := range wv.Result {
+			if !w.Inflate(geom.Eps, geom.Eps).Contains(it.P) {
+				t.Fatalf("result item %d at %v outside the window %v", it.ID, it.P, w)
+			}
+		}
+		// The conservative rectangle must lie inside the exact region:
+		// sample its corners pulled slightly toward the focus to stay
+		// clear of boundary-epsilon ambiguity.
+		cons := wv.Conservative
+		for _, corner := range []geom.Point{
+			geom.Pt(cons.MinX, cons.MinY), geom.Pt(cons.MaxX, cons.MinY),
+			geom.Pt(cons.MinX, cons.MaxY), geom.Pt(cons.MaxX, cons.MaxY),
+		} {
+			p := corner.Lerp(wv.Focus, 1e-6)
+			if !wv.Region.Contains(p) {
+				t.Fatalf("conservative corner %v escapes the exact region", p)
+			}
+		}
+	})
+}

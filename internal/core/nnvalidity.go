@@ -123,6 +123,9 @@ func InfluenceSetKNNOrdered(tree *rtree.Tree, q geom.Point, members []rtree.Item
 	for iter := 0; iter < maxInfluenceIterations; iter++ {
 		vi := vp.nextUnconfirmed(order, q)
 		if vi < 0 {
+			if geom.Checking {
+				assertRegion(q, vp.poly, universe)
+			}
 			v.Region = vp.poly
 			return v, nil
 		}
@@ -163,6 +166,24 @@ func InfluenceSetKNNOrdered(tree *rtree.Tree, q geom.Point, members []rtree.Item
 	}
 	v.Region = vp.poly
 	return v, fmt.Errorf("core: influence-set iteration cap reached (degenerate input?)")
+}
+
+// assertRegion checks the Lemma 3.1/3.2 invariants on a completed
+// validity region: it must contain the query point and stay convex (it
+// is an intersection of half-planes). The region is clipped to the
+// universe rectangle, so containment is only required for in-universe
+// queries. Guarded by geom.Checking, so the calls compile away outside
+// lbsqcheck builds.
+func assertRegion(q geom.Point, pg geom.Polygon, universe geom.Rect) {
+	if pg.IsEmpty() {
+		return
+	}
+	if universe.Contains(q) && !pg.Contains(q) {
+		panic("core: validity region does not contain the query point")
+	}
+	if !pg.IsConvex() {
+		panic("core: validity region is not convex")
+	}
 }
 
 // InfluenceSet1NN runs algorithm Retrieve_Influence_Set_1NN (Fig. 10).

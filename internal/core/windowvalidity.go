@@ -113,6 +113,11 @@ func windowQuery(tree *rtree.Tree, w geom.Rect, universe geom.Rect, afterResultP
 	out.Conservative = out.Region.ConservativeRect(out.Focus)
 	out.InnerInfluence = innerInfluence(out.Result, inner, universe, qx, qy, out.Region.Holes)
 	out.OuterInfluence = minimalOuter(out.Region, holes)
+	// The region's base rectangle is clipped to the universe, so the
+	// containment invariant only holds for in-universe focus points.
+	if geom.Checking && universe.Contains(out.Focus) && !out.Region.Contains(out.Focus) {
+		panic("core: window validity region does not contain the query focus")
+	}
 	return out
 }
 
@@ -384,7 +389,8 @@ func paretoStaircase(rects []geom.Rect, idxs []int, corner int) []int {
 	sort.Slice(order, func(a, b int) bool {
 		xa, ya := reach(order[a])
 		xb, yb := reach(order[b])
-		if xa != xb {
+		// Exact comparator: tolerant comparison breaks strict weak order.
+		if !geom.ExactEq(xa, xb) {
 			return xa > xb
 		}
 		return ya > yb

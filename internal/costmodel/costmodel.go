@@ -173,7 +173,7 @@ func WindowValidityAreaLocal(count func(geom.Rect) float64, w, universe geom.Rec
 		raw := count
 		count = func(r geom.Rect) float64 {
 			ov := r.Intersect(w)
-			if ov.IsEmpty() || ov.Area() == 0 {
+			if ov.IsEmpty() || geom.ExactZero(ov.Area()) {
 				return raw(r)
 			}
 			inside := raw(ov)

@@ -62,7 +62,7 @@ func ShardScaling(cfg Config) []Table {
 				strategy = st.String()
 			}
 			qps := shardThroughput(eng, d, qpts)
-			if base == 0 {
+			if geom.ExactZero(base) {
 				base = qps
 			}
 			t.Rows = append(t.Rows, []string{

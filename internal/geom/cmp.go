@@ -1,0 +1,37 @@
+package geom
+
+import "math"
+
+// This file is the approved home of floating-point comparison in the
+// module. The floatcmp analyzer (internal/analysis/floatcmp) forbids
+// raw == / != on float64 values everywhere else: geometric predicates
+// must either tolerate floating-point noise explicitly (Eq, Zero) or
+// declare — by calling an Exact* helper — that bit-exact comparison is
+// intended (sort comparators, sentinel values, sign-safety checks).
+// Keeping both families here makes every exact comparison greppable
+// and reviewable.
+
+// Eq reports whether a and b are equal within the absolute tolerance
+// Eps. Use for comparing computed coordinates, distances, and times.
+func Eq(a, b float64) bool { return math.Abs(a-b) <= Eps }
+
+// Zero reports whether |x| ≤ Eps. Use for testing computed quantities
+// (areas, cross products, normal magnitudes) against zero.
+func Zero(x float64) bool { return math.Abs(x) <= Eps }
+
+// ExactEq reports a == b with IEEE-754 semantics (so NaN != NaN and
+// -0 == +0). Use only where epsilon comparison would be wrong: sort
+// comparators (tolerant comparison breaks transitivity), sentinel
+// values such as ±Inf, and tie detection between values computed by
+// the identical expression.
+func ExactEq(a, b float64) bool { return a == b }
+
+// ExactZero reports x == 0 exactly. Use where the operand is known to
+// be exact (never rounded) or where the test guards a division and any
+// non-zero value — however small — is a valid divisor.
+func ExactZero(x float64) bool { return x == 0 }
+
+// SamePoint reports exact coordinate equality of two points. Use for
+// deduplicating vertices produced by the identical computation; use
+// Point.Eq for tolerant geometric coincidence.
+func SamePoint(a, b Point) bool { return a.X == b.X && a.Y == b.Y }

@@ -91,7 +91,7 @@ func (di *DiskIntersection) FeasiblePoint() (Point, bool) {
 		moved := false
 		for _, d := range di.Disks {
 			q := d.Project(p)
-			if q != p {
+			if !SamePoint(q, p) {
 				p, moved = q, true
 			}
 		}

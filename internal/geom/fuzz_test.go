@@ -1,0 +1,53 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzPolygonClip throws arbitrary half-planes — and bisectors of
+// arbitrary point pairs, the production pattern of the validity-region
+// algorithms — at the Sutherland–Hodgman clipper. Clipping a convex
+// polygon must preserve convexity, never grow the area, and keep every
+// surviving vertex on the accepted side of the cut (within tolerance).
+func FuzzPolygonClip(f *testing.F) {
+	f.Add(0.3, -0.7, 0.1, 0.2, 0.8, 0.9, 0.1)
+	f.Add(1.0, 0.0, 0.5, 0.25, 0.25, 0.75, 0.75)
+	f.Add(0.0, 0.0, 0.0, 0.5, 0.5, 0.5, 0.5)
+	f.Add(-1.0, -1.0, -3.0, 0.0, 0.0, 1.0, 1.0)
+	f.Fuzz(func(t *testing.T, a, b, c, px, py, qx, qy float64) {
+		for _, v := range []float64{a, b, c, px, py, qx, qy} {
+			if math.IsNaN(v) || math.Abs(v) > 1e6 {
+				t.Skip("geometry assumes finite, bounded coordinates")
+			}
+		}
+		base := R(0, 0, 1, 1).Polygon()
+		h := HalfPlane{A: a, B: b, C: c}
+		out := base.ClipHalfPlane(h)
+		checkClip(t, base, out, h)
+		// Chain a bisector cut on the result, as the influence-set loop
+		// does.
+		hb := Bisector(Pt(px, py), Pt(qx, qy))
+		out2 := out.ClipHalfPlane(hb)
+		checkClip(t, out, out2, hb)
+	})
+}
+
+func checkClip(t *testing.T, in, out Polygon, h HalfPlane) {
+	t.Helper()
+	if !out.IsConvex() {
+		t.Fatalf("clip result not convex: %v", out)
+	}
+	if out.Area() > in.Area()*(1+Eps)+Eps {
+		t.Fatalf("clip grew the area: %g -> %g", in.Area(), out.Area())
+	}
+	if h.Degenerate() {
+		return
+	}
+	tol := 1e-6 * (1 + math.Abs(h.A) + math.Abs(h.B) + math.Abs(h.C))
+	for _, v := range out {
+		if h.Eval(v) > tol {
+			t.Fatalf("vertex %v on the rejected side of the cut (eval %g)", v, h.Eval(v))
+		}
+	}
+}

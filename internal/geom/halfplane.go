@@ -43,7 +43,7 @@ func (h HalfPlane) ContainsStrict(p Point) bool {
 }
 
 // Degenerate reports whether the half-plane has a zero normal vector.
-func (h HalfPlane) Degenerate() bool { return h.A == 0 && h.B == 0 }
+func (h HalfPlane) Degenerate() bool { return ExactZero(h.A) && ExactZero(h.B) }
 
 // String implements fmt.Stringer.
 func (h HalfPlane) String() string {

@@ -12,7 +12,9 @@ func ConvexHull(pts []Point) []Point {
 	}
 	ps := append([]Point(nil), pts...)
 	sort.Slice(ps, func(i, j int) bool {
-		if ps[i].X != ps[j].X {
+		// Exact comparison: a tolerant comparator would not be a strict
+		// weak order and corrupts the sort.
+		if !ExactEq(ps[i].X, ps[j].X) {
 			return ps[i].X < ps[j].X
 		}
 		return ps[i].Y < ps[j].Y
@@ -20,7 +22,7 @@ func ConvexHull(pts []Point) []Point {
 	// Dedupe.
 	uniq := ps[:1]
 	for _, p := range ps[1:] {
-		if p != uniq[len(uniq)-1] {
+		if !SamePoint(p, uniq[len(uniq)-1]) {
 			uniq = append(uniq, p)
 		}
 	}

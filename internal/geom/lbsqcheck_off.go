@@ -1,0 +1,6 @@
+//go:build !lbsqcheck
+
+package geom
+
+// Checking is false in regular builds; see lbsqcheck_on.go.
+const Checking = false

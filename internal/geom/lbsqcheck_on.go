@@ -1,0 +1,10 @@
+//go:build lbsqcheck
+
+package geom
+
+// Checking enables the expensive invariant assertions guarded by
+// `if geom.Checking { ... }` throughout the query algorithms. Build
+// with -tags lbsqcheck (the CI race gate does) to turn them on; in
+// regular builds the constant is false and the guarded blocks are
+// eliminated as dead code.
+const Checking = true

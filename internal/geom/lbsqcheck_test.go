@@ -1,0 +1,14 @@
+//go:build lbsqcheck
+
+package geom
+
+import "testing"
+
+// TestCheckingEnabled pins the build-tag wiring: under -tags lbsqcheck
+// the assertion guards must be live (the CI race gate builds every
+// package this way, so all tests run with invariants asserted).
+func TestCheckingEnabled(t *testing.T) {
+	if !Checking {
+		t.Fatal("Checking must be true under -tags lbsqcheck")
+	}
+}

@@ -58,7 +58,7 @@ func (p Point) Dist2(d Point) float64 {
 // unchanged.
 func (p Point) Unit() Point {
 	n := p.Norm()
-	if n == 0 {
+	if ExactZero(n) {
 		return p
 	}
 	return Point{p.X / n, p.Y / n}

@@ -149,7 +149,32 @@ func (pg Polygon) ClipHalfPlane(h HalfPlane) Polygon {
 	if len(out) < 3 {
 		return Polygon{}
 	}
+	if Checking && !out.IsConvex() {
+		panic("geom: ClipHalfPlane produced a non-convex polygon")
+	}
 	return out
+}
+
+// IsConvex reports whether the polygon is convex with counter-clockwise
+// orientation, within the epsilon tolerance (collinear vertex triples
+// are accepted). Polygons with fewer than three vertices are trivially
+// convex. This is the invariant every clipping result must preserve;
+// lbsqcheck builds assert it after each construction.
+func (pg Polygon) IsConvex() bool {
+	n := len(pg)
+	if n < 3 {
+		return true
+	}
+	for i := 0; i < n; i++ {
+		a, b, c := pg[i], pg[(i+1)%n], pg[(i+2)%n]
+		ab, bc := b.Sub(a), c.Sub(b)
+		cross := ab.X*bc.Y - ab.Y*bc.X
+		tol := Eps * (1 + math.Sqrt(ab.Dot(ab)*bc.Dot(bc)))
+		if cross < -tol {
+			return false
+		}
+	}
+	return true
 }
 
 // ClipRect returns the intersection of the polygon with rectangle r.
@@ -191,7 +216,7 @@ func (pg Polygon) DistToBoundary(p Point) float64 {
 func distPointSegment(p, a, b Point) float64 {
 	ab := b.Sub(a)
 	n2 := ab.Norm2()
-	if n2 == 0 {
+	if ExactZero(n2) {
 		return p.Dist(a)
 	}
 	t := p.Sub(a).Dot(ab) / n2

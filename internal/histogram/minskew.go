@@ -50,7 +50,7 @@ func Build(points []geom.Point, universe geom.Rect, nx, ny, buckets int) (*Histo
 	if nx <= 0 || ny <= 0 || buckets <= 0 {
 		return nil, fmt.Errorf("histogram: non-positive dimensions")
 	}
-	if universe.IsEmpty() || universe.Area() == 0 {
+	if universe.IsEmpty() || geom.ExactZero(universe.Area()) {
 		return nil, fmt.Errorf("histogram: empty universe")
 	}
 	h := &Histogram{

@@ -33,7 +33,8 @@ type pq []pqEntry
 
 func (q pq) Len() int { return len(q) }
 func (q pq) Less(i, j int) bool {
-	if q[i].key != q[j].key {
+	// Exact comparator: tolerant comparison breaks strict weak order.
+	if !geom.ExactEq(q[i].key, q[j].key) {
 		return q[i].key < q[j].key
 	}
 	// Tie-break: items before nodes so equal-distance results surface

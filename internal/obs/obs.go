@@ -370,7 +370,9 @@ func withLabel(labelsText, key, value string) string {
 // formatValue renders a sample value: integers without a decimal point,
 // everything else in shortest-form scientific/decimal notation.
 func formatValue(v float64) string {
-	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+	// Exact comparison with Trunc is the IEEE integrality test; obs
+	// stays free of lbsq-internal imports, so no geom.ExactEq here.
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 { //lbsq:nocheck floatcmp
 		return fmt.Sprintf("%d", int64(v))
 	}
 	return fmt.Sprintf("%g", v)

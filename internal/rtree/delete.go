@@ -24,7 +24,7 @@ func (t *Tree) findLeaf(n *Node, it Item) (*Node, int) {
 	}
 	if n.leaf {
 		for i, have := range n.items {
-			if have.ID == it.ID && have.P == it.P {
+			if have.ID == it.ID && geom.SamePoint(have.P, it.P) {
 				return n, i
 			}
 		}

@@ -65,7 +65,9 @@ func chooseLeastAreaEnlargement(n *Node, r geom.Rect) *Node {
 	for _, c := range n.children {
 		enl := c.rect.Enlargement(r)
 		area := c.rect.Area()
-		if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+		// Exact tie comparison against the running minimum (copied from
+		// the same computation, so bit-equal on real ties).
+		if enl < bestEnl || (geom.ExactEq(enl, bestEnl) && area < bestArea) {
 			best, bestEnl, bestArea = c, enl, area
 		}
 	}
@@ -87,8 +89,8 @@ func chooseLeastOverlapEnlargement(n *Node, r geom.Rect) *Node {
 		enl := c.rect.Enlargement(r)
 		area := c.rect.Area()
 		if ov < bestOv ||
-			(ov == bestOv && enl < bestEnl) ||
-			(ov == bestOv && enl == bestEnl && area < bestArea) {
+			(geom.ExactEq(ov, bestOv) && enl < bestEnl) ||
+			(geom.ExactEq(ov, bestOv) && geom.ExactEq(enl, bestEnl) && area < bestArea) {
 			best, bestOv, bestEnl, bestArea = c, ov, enl, area
 		}
 	}

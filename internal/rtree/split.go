@@ -29,13 +29,14 @@ func chooseSplit(rects []geom.Rect, minFill int) (perm []int, splitAt int) {
 		}
 		sort.Slice(p, func(a, b int) bool {
 			ra, rb := rects[p[a]], rects[p[b]]
+			// Exact comparators: tolerant comparison breaks strict weak order.
 			if axis == 0 {
-				if ra.MinX != rb.MinX {
+				if !geom.ExactEq(ra.MinX, rb.MinX) {
 					return ra.MinX < rb.MinX
 				}
 				return ra.MaxX < rb.MaxX
 			}
-			if ra.MinY != rb.MinY {
+			if !geom.ExactEq(ra.MinY, rb.MinY) {
 				return ra.MinY < rb.MinY
 			}
 			return ra.MaxY < rb.MaxY
@@ -57,7 +58,7 @@ func chooseSplit(rects []geom.Rect, minFill int) (perm []int, splitAt int) {
 		l, r := groupRects(rects, bestPerm, k)
 		ov := l.Overlap(r)
 		area := l.Area() + r.Area()
-		if ov < bestOverlap || (ov == bestOverlap && area < bestArea) {
+		if ov < bestOverlap || (geom.ExactEq(ov, bestOverlap) && area < bestArea) {
 			bestOverlap, bestArea, splitAt = ov, area, k
 		}
 	}

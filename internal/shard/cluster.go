@@ -280,7 +280,8 @@ func (c *Cluster) byMinDist(q geom.Point) []int {
 		es[i] = entry{i, s.resp.MinDist2(q)}
 	}
 	sort.Slice(es, func(i, j int) bool {
-		if es[i].d2 != es[j].d2 {
+		// Exact comparator: tolerant comparison breaks strict weak order.
+		if !geom.ExactEq(es[i].d2, es[j].d2) {
 			return es[i].d2 < es[j].d2
 		}
 		return es[i].idx < es[j].idx
@@ -295,7 +296,9 @@ func (c *Cluster) byMinDist(q geom.Point) []int {
 // CountWindow returns the number of items inside w, summed over the
 // overlapping shards using aggregate subtree counts.
 func (c *Cluster) CountWindow(w geom.Rect) int {
-	n, _ := c.CountWindowCtx(context.Background(), w)
+	// Scatter errors only arise from ctx cancellation; Background
+	// cannot be cancelled, so the dropped error is provably nil.
+	n, _ := c.CountWindowCtx(context.Background(), w) //lbsq:nocheck droppederr
 	return n
 }
 
@@ -320,7 +323,8 @@ func (c *Cluster) CountWindowCtx(ctx context.Context, w geom.Rect) (int, error) 
 // SearchItems returns the items inside w, gathered from the overlapping
 // shards (order is by shard, then tree order within each shard).
 func (c *Cluster) SearchItems(w geom.Rect) []rtree.Item {
-	items, _ := c.SearchItemsCtx(context.Background(), w)
+	// Background cannot be cancelled: the dropped error is provably nil.
+	items, _ := c.SearchItemsCtx(context.Background(), w) //lbsq:nocheck droppederr
 	return items
 }
 

@@ -154,7 +154,8 @@ func (c *Cluster) NNQueryCtx(ctx context.Context, q geom.Point, k int) (*core.NN
 // KNearest returns the k nearest neighbors of q across all shards (a
 // plain k-NN query, without validity computation).
 func (c *Cluster) KNearest(q geom.Point, k int) []nn.Neighbor {
-	nbs, _ := c.KNearestCtx(context.Background(), q, k)
+	// Background cannot be cancelled: the dropped error is provably nil.
+	nbs, _ := c.KNearestCtx(context.Background(), q, k) //lbsq:nocheck droppederr
 	return nbs
 }
 
@@ -222,7 +223,8 @@ func (c *Cluster) gatherCandidates(ctx context.Context, q geom.Point, k int, ord
 		all = append(all, part...)
 	}
 	sort.Slice(all, func(i, j int) bool {
-		if all[i].Dist != all[j].Dist {
+		// Exact comparator: tolerant comparison breaks strict weak order.
+		if !geom.ExactEq(all[i].Dist, all[j].Dist) {
 			return all[i].Dist < all[j].Dist
 		}
 		return all[i].Item.ID < all[j].Item.ID

@@ -79,7 +79,7 @@ func Partitions(items []rtree.Item, universe geom.Rect, n int, strategy Strategy
 	if n < 1 {
 		return nil, fmt.Errorf("shard: shard count %d, want ≥ 1", n)
 	}
-	if universe.IsEmpty() || universe.Area() == 0 {
+	if universe.IsEmpty() || geom.ExactZero(universe.Area()) {
 		return nil, fmt.Errorf("shard: universe must have positive area")
 	}
 	var resps []geom.Rect

@@ -27,7 +27,8 @@ import (
 // An empty result falls back to a full NN fan-out for the globally
 // nearest point, which bounds the conservative safe disk.
 func (c *Cluster) RangeQuery(center geom.Point, radius float64) (*core.RangeValidity, core.QueryCost) {
-	rv, cost, _ := c.RangeQueryCtx(context.Background(), center, radius)
+	// Background cannot be cancelled: the dropped error is provably nil.
+	rv, cost, _ := c.RangeQueryCtx(context.Background(), center, radius) //lbsq:nocheck droppederr
 	return rv, cost
 }
 

@@ -16,7 +16,8 @@ import (
 // distance and crosses zero at most once — each fold step splits at
 // that bisector crossing.
 func (c *Cluster) RouteNN(a, b geom.Point) []tp.CNNInterval {
-	merged, _ := c.RouteNNCtx(context.Background(), a, b)
+	// Background cannot be cancelled: the dropped error is provably nil.
+	merged, _ := c.RouteNNCtx(context.Background(), a, b) //lbsq:nocheck droppederr
 	return merged
 }
 
@@ -47,7 +48,7 @@ func mergeCNN(x, y []tp.CNNInterval, a, b geom.Point) []tp.CNNInterval {
 	if len(y) == 0 {
 		return x
 	}
-	if a.Dist2(b) == 0 {
+	if geom.ExactZero(a.Dist2(b)) {
 		// Degenerate route: a single zero-length interval; keep the
 		// nearer item.
 		if a.Dist2(x[0].NN.P) <= a.Dist2(y[0].NN.P) {
@@ -91,7 +92,8 @@ func mergeCNN(x, y []tp.CNNInterval, a, b geom.Point) []tp.CNNInterval {
 				C := a.Dist2(xi.P) - a.Dist2(yj.P)
 				D := 2 * u.Dot(yj.P.Sub(xi.P))
 				ts := cur - 1 // out of range unless a crossing exists
-				if D != 0 {
+				// Exact zero test: any non-zero D is a valid divisor.
+				if !geom.ExactZero(D) {
 					ts = -C / D
 				}
 				if ts <= cur || ts >= end {

@@ -34,7 +34,8 @@ func (c *Cluster) WindowQueryAtCtx(ctx context.Context, focus geom.Point, qx, qy
 // validity region is bounded by the distance to the globally nearest
 // point, which only all shards together know.
 func (c *Cluster) WindowQuery(w geom.Rect) (*core.WindowValidity, core.QueryCost) {
-	wv, cost, _ := c.WindowQueryCtx(context.Background(), w)
+	// Background cannot be cancelled: the dropped error is provably nil.
+	wv, cost, _ := c.WindowQueryCtx(context.Background(), w) //lbsq:nocheck droppederr
 	return wv, cost
 }
 

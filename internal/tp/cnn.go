@@ -35,7 +35,7 @@ func CNN(tree *rtree.Tree, a, b geom.Point) []CNNInterval {
 		return nil
 	}
 	total := a.Dist(b)
-	if total == 0 {
+	if geom.ExactZero(total) {
 		return []CNNInterval{{From: 0, To: 0, NN: first.Item}}
 	}
 	u := b.Sub(a).Unit()

@@ -136,6 +136,9 @@ func KNN(tree *rtree.Tree, q, u geom.Point, members []rtree.Item, tMax float64) 
 	if !best.Found {
 		return Result{}
 	}
+	if geom.Checking && (best.T < 0 || math.IsNaN(best.T)) {
+		panic("tp: negative or NaN influence time")
+	}
 	return best
 }
 

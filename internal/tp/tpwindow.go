@@ -31,7 +31,7 @@ type WindowResult struct {
 func Window(tree *rtree.Tree, w geom.Rect, vel geom.Point) WindowResult {
 	res := WindowResult{T: math.Inf(1)}
 	res.Result = tree.SearchItems(w)
-	if vel.X == 0 && vel.Y == 0 {
+	if geom.ExactZero(vel.X) && geom.ExactZero(vel.Y) {
 		return res
 	}
 
@@ -45,7 +45,9 @@ func Window(tree *rtree.Tree, w geom.Rect, vel geom.Point) WindowResult {
 			res.T = t
 			res.Changes = res.Changes[:0]
 		}
-		if t == res.T && !math.IsInf(t, 1) {
+		// Exact tie detection: both sides come from the same exitTime
+		// computation, so equal inputs produce bit-equal times.
+		if geom.ExactEq(t, res.T) && !math.IsInf(t, 1) {
 			res.Changes = append(res.Changes, WindowChange{Obj: it, Enter: false})
 		}
 	}
@@ -70,7 +72,7 @@ func Window(tree *rtree.Tree, w geom.Rect, vel geom.Point) WindowResult {
 					res.T = t
 					res.Changes = res.Changes[:0]
 				}
-				if t == res.T && !math.IsInf(t, 1) {
+				if geom.ExactEq(t, res.T) && !math.IsInf(t, 1) {
 					res.Changes = append(res.Changes, WindowChange{Obj: it, Enter: true})
 				}
 			}
@@ -82,6 +84,9 @@ func Window(tree *rtree.Tree, w geom.Rect, vel geom.Point) WindowResult {
 				heap.Push(&h, nodeEntry{lb: lb, node: c})
 			}
 		}
+	}
+	if geom.Checking && (res.T < 0 || math.IsNaN(res.T)) {
+		panic("tp: negative or NaN window validity time")
 	}
 	return res
 }
@@ -118,8 +123,9 @@ func enterTimeRect(w geom.Rect, vel geom.Point, r geom.Rect) float64 {
 // axisCoverInterval returns the time interval during which the moving
 // segment [lo+v·t, hi+v·t] overlaps the static segment [a, b].
 func axisCoverInterval(lo, hi, v, a, b float64) [2]float64 {
-	// Overlap requires lo+v·t ≤ b and hi+v·t ≥ a.
-	if v == 0 {
+	// Overlap requires lo+v·t ≤ b and hi+v·t ≥ a. Exact zero test: any
+	// non-zero velocity, however small, is a valid divisor below.
+	if geom.ExactZero(v) {
 		if lo <= b && hi >= a {
 			return [2]float64{math.Inf(-1), math.Inf(1)}
 		}

@@ -62,6 +62,14 @@ func CellOf(tree *rtree.Tree, site rtree.Item, universe geom.Rect) Cell {
 			break // degenerate (duplicate sites)
 		}
 	}
+	if geom.Checking && !pg.IsEmpty() {
+		if !pg.Contains(site.P) {
+			panic("voronoi: cell does not contain its site")
+		}
+		if !pg.IsConvex() {
+			panic("voronoi: cell is not convex")
+		}
+	}
 	return Cell{Site: site, Polygon: pg}
 }
 

@@ -201,7 +201,7 @@ func (db *DB) instrument() *DB {
 // Open bulk-loads the items into an R*-tree over the given universe and
 // returns the query processor.
 func Open(items []Item, universe Rect, opts *Options) (*DB, error) {
-	if universe.IsEmpty() || universe.Area() == 0 {
+	if universe.IsEmpty() || geom.ExactZero(universe.Area()) {
 		return nil, fmt.Errorf("lbsq: universe must have positive area")
 	}
 	var o Options
@@ -552,7 +552,7 @@ func (db *DB) SaveIndex(path string) error {
 // OpenIndex loads a DB from an index file written by SaveIndex. The
 // universe and options must match the original Open call.
 func OpenIndex(path string, universe Rect, opts *Options) (*DB, error) {
-	if universe.IsEmpty() || universe.Area() == 0 {
+	if universe.IsEmpty() || geom.ExactZero(universe.Area()) {
 		return nil, fmt.Errorf("lbsq: universe must have positive area")
 	}
 	var o Options

@@ -25,16 +25,19 @@ func TestOpenAndQuery(t *testing.T) {
 	if !v.Valid(Pt(0.5, 0.5)) {
 		t.Fatal("query point must be valid")
 	}
-	wv, _, _ := db.WindowAt(Pt(0.5, 0.5), 0.05, 0.05)
+	wv, _, err := db.WindowAt(Pt(0.5, 0.5), 0.05, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if wv.Region == nil || !wv.Valid(Pt(0.5, 0.5)) {
 		t.Fatal("window answer incomplete")
 	}
 	// Plain queries.
-	if got, _ := db.KNearest(Pt(0.2, 0.2), 5); len(got) != 5 {
-		t.Fatalf("KNearest returned %d", len(got))
+	if got, err := db.KNearest(Pt(0.2, 0.2), 5); err != nil || len(got) != 5 {
+		t.Fatalf("KNearest returned %d (err %v)", len(got), err)
 	}
-	if got, _ := db.RangeSearch(uni); len(got) != 5000 {
-		t.Fatalf("RangeSearch universe returned %d", len(got))
+	if got, err := db.RangeSearch(uni); err != nil || len(got) != 5000 {
+		t.Fatalf("RangeSearch universe returned %d (err %v)", len(got), err)
 	}
 }
 
@@ -135,7 +138,10 @@ func TestHTTPRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	local, _, _ := db.NN(Pt(0.4, 0.6), 2)
+	local, _, err := db.NN(Pt(0.4, 0.6), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(v.Neighbors) != 2 || v.Neighbors[0].Item.ID != local.Neighbors[0].Item.ID {
 		t.Fatalf("remote NN differs: %v vs %v", v.Neighbors, local.Neighbors)
 	}
@@ -150,7 +156,10 @@ func TestHTTPRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	localW, _, _ := db.WindowAt(Pt(0.5, 0.5), 0.1, 0.1)
+	localW, _, err := db.WindowAt(Pt(0.5, 0.5), 0.1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(wv.Result) != len(localW.Result) {
 		t.Fatalf("remote window result differs: %d vs %d", len(wv.Result), len(localW.Result))
 	}
@@ -191,14 +200,14 @@ func TestWindowAndCount(t *testing.T) {
 		t.Fatal("window cost missing")
 	}
 	// Count agrees with the enumerated result.
-	if got, _ := db.Count(w); got != len(wv.Result) {
-		t.Fatalf("Count = %d, result = %d", got, len(wv.Result))
+	if got, err := db.Count(w); err != nil || got != len(wv.Result) {
+		t.Fatalf("Count = %d, result = %d (err %v)", got, len(wv.Result), err)
 	}
-	if got, _ := db.Count(uni); got != 4000 {
-		t.Fatalf("universe count = %d", got)
+	if got, err := db.Count(uni); err != nil || got != 4000 {
+		t.Fatalf("universe count = %d (err %v)", got, err)
 	}
-	if got, _ := db.Count(R(2, 2, 3, 3)); got != 0 {
-		t.Fatalf("empty window count = %d", got)
+	if got, err := db.Count(R(2, 2, 3, 3)); err != nil || got != 0 {
+		t.Fatalf("empty window count = %d (err %v)", got, err)
 	}
 }
 

@@ -70,34 +70,49 @@ func TestOpenShardedEquivalence(t *testing.T) {
 		if perr == nil && !eq(ids(pv.Result()), ids(sv.Result())) {
 			t.Fatalf("NN result mismatch at %v k=%d", q, k)
 		}
-		pw, _, _ := plain.WindowAt(q, 0.05, 0.04)
-		sw, _, _ := db.WindowAt(q, 0.05, 0.04)
+		pw, _, err1 := plain.WindowAt(q, 0.05, 0.04)
+		sw, _, err2 := db.WindowAt(q, 0.05, 0.04)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("window error at %v: %v / %v", q, err1, err2)
+		}
 		if !eq(ids(pw.Result), ids(sw.Result)) {
 			t.Fatalf("window result mismatch at %v", q)
 		}
-		pr, _, _ := plain.Range(q, 0.03)
-		sr, _, _ := db.Range(q, 0.03)
+		pr, _, err1 := plain.Range(q, 0.03)
+		sr, _, err2 := db.Range(q, 0.03)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("range error at %v: %v / %v", q, err1, err2)
+		}
 		if !eq(ids(pr.Result), ids(sr.Result)) {
 			t.Fatalf("range result mismatch at %v", q)
 		}
 		w := R(q.X-0.1, q.Y-0.1, q.X+0.1, q.Y+0.1)
-		pc, _ := plain.Count(w)
-		dc, _ := db.Count(w)
+		pc, err1 := plain.Count(w)
+		dc, err2 := db.Count(w)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("count error at %v: %v / %v", w, err1, err2)
+		}
 		if pc != dc {
 			t.Fatalf("count mismatch at %v", w)
 		}
-		ps, _ := plain.RangeSearch(w)
-		ds, _ := db.RangeSearch(w)
+		ps, err1 := plain.RangeSearch(w)
+		ds, err2 := db.RangeSearch(w)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("range search error at %v: %v / %v", w, err1, err2)
+		}
 		if !eq(ids(ps), ids(ds)) {
 			t.Fatalf("range search mismatch at %v", w)
 		}
 	}
 
 	// KNearest and RouteNN sanity.
-	if nbs, _ := db.KNearest(Pt(0.5, 0.5), 5); len(nbs) != 5 {
-		t.Fatalf("KNearest returned %d neighbors", len(nbs))
+	if nbs, err := db.KNearest(Pt(0.5, 0.5), 5); err != nil || len(nbs) != 5 {
+		t.Fatalf("KNearest returned %d neighbors (err %v)", len(nbs), err)
 	}
-	ivs, _ := db.RouteNN(Pt(0.1, 0.1), Pt(0.9, 0.9))
+	ivs, err := db.RouteNN(Pt(0.1, 0.1), Pt(0.9, 0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(ivs) == 0 {
 		t.Fatal("RouteNN returned no intervals")
 	}

@@ -1,0 +1,91 @@
+package lbsq
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestTraceHookRace drives concurrent queries of every kind on a
+// sharded DB while another goroutine installs, swaps, and removes
+// trace hooks. SetTraceHook documents that it is safe to call
+// concurrently with queries; this test is the claim's race-detector
+// witness (the CI race gate runs it under go test -race).
+func TestTraceHookRace(t *testing.T) {
+	items, uni := UniformDataset(5000, 8)
+	db, err := Open(items, uni, &Options{Shards: 4, ShardStrategy: ShardGrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var fired atomic.Int64
+	stop := make(chan struct{})
+	var swapper sync.WaitGroup
+	swapper.Add(1)
+	go func() {
+		defer swapper.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			switch i % 3 {
+			case 0:
+				db.SetTraceHook(func(tr QueryTrace) {
+					fired.Add(1)
+					if tr.Op == "" || !tr.Sharded {
+						t.Errorf("malformed trace: %+v", tr)
+					}
+				})
+			case 1:
+				db.SetTraceHook(func(QueryTrace) { fired.Add(1) })
+			default:
+				db.SetTraceHook(nil)
+			}
+		}
+	}()
+
+	var queriers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		queriers.Add(1)
+		go func(seed int64) {
+			defer queriers.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 60; i++ {
+				p := Pt(rng.Float64(), rng.Float64())
+				var err error
+				switch i % 4 {
+				case 0:
+					_, _, err = db.NN(p, 1+rng.Intn(4))
+				case 1:
+					_, _, err = db.WindowAt(p, 0.04, 0.04)
+				case 2:
+					_, _, err = db.Range(p, 0.02)
+				default:
+					_, err = db.KNearest(p, 2)
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(w))
+	}
+	queriers.Wait()
+	close(stop)
+	swapper.Wait()
+
+	// Deterministic tail: with a hook installed and no concurrent
+	// removal, one query must fire it exactly once more.
+	before := fired.Load()
+	db.SetTraceHook(func(QueryTrace) { fired.Add(1) })
+	if _, _, err := db.NN(Pt(0.5, 0.5), 1); err != nil {
+		t.Fatal(err)
+	}
+	db.SetTraceHook(nil)
+	if fired.Load() != before+1 {
+		t.Errorf("trace hook fired %d times after install, want 1", fired.Load()-before)
+	}
+}
