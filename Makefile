@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test vet race fuzz-smoke fmt
+.PHONY: all build test vet race fuzz-smoke fmt api api-check
 
 all: build vet test
 
@@ -39,3 +39,17 @@ fuzz-smoke:
 
 fmt:
 	gofmt -w .
+
+# api regenerates the public-API snapshot. Run it (and review the diff)
+# whenever the exported surface of package lbsq changes.
+api:
+	$(GO) run ./cmd/lbsq-apidump -dir . > docs/api.txt
+
+# api-check fails when the exported surface drifted from the checked-in
+# snapshot — CI runs this so every public-API change is an explicit,
+# reviewed diff of docs/api.txt.
+api-check:
+	@$(GO) run ./cmd/lbsq-apidump -dir . > bin/api.txt.new 2>/dev/null || \
+		{ mkdir -p bin && $(GO) run ./cmd/lbsq-apidump -dir . > bin/api.txt.new; }
+	@diff -u docs/api.txt bin/api.txt.new || \
+		{ echo "public API drifted from docs/api.txt; run 'make api' and review the diff" >&2; exit 1; }

@@ -12,6 +12,7 @@ package lbsq
 // trends are visible straight from the bench output.
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -130,7 +131,7 @@ func BenchmarkOpKNearest(b *testing.B) {
 	pts := benchPoints(1024)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := db.KNearest(pts[i%len(pts)], 1); err != nil {
+		if _, err := db.KNearest(context.Background(), pts[i%len(pts)], 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -143,7 +144,7 @@ func BenchmarkOpNNValidity(b *testing.B) {
 	pts := benchPoints(1024)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := db.NN(pts[i%len(pts)], 1); err != nil {
+		if _, _, err := db.NN(context.Background(), pts[i%len(pts)], 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -155,7 +156,7 @@ func BenchmarkOpNNValidityK10(b *testing.B) {
 	pts := benchPoints(1024)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := db.NN(pts[i%len(pts)], 10); err != nil {
+		if _, _, err := db.NN(context.Background(), pts[i%len(pts)], 10); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -168,7 +169,7 @@ func BenchmarkOpWindowValidity(b *testing.B) {
 	pts := benchPoints(1024)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := db.WindowAt(pts[i%len(pts)], 0.0316, 0.0316); err != nil {
+		if _, _, err := db.WindowAt(context.Background(), pts[i%len(pts)], 0.0316, 0.0316); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -180,7 +181,7 @@ func BenchmarkOpRangeSearch(b *testing.B) {
 	pts := benchPoints(1024)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := db.RangeSearch(squareAt(pts[i%len(pts)], 0.0316)); err != nil {
+		if _, err := db.RangeSearch(context.Background(), squareAt(pts[i%len(pts)], 0.0316)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -194,7 +195,7 @@ func squareAt(c Point, side float64) Rect {
 // BenchmarkOpEncodeNN measures response serialization.
 func BenchmarkOpEncodeNN(b *testing.B) {
 	db := benchDatabase(b)
-	v, _, err := db.NN(Pt(0.5, 0.5), 4)
+	v, _, err := db.NN(context.Background(), Pt(0.5, 0.5), 4)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -210,7 +211,7 @@ func BenchmarkOpEncodeNN(b *testing.B) {
 // BenchmarkOpDecodeNN measures response parsing (the client side).
 func BenchmarkOpDecodeNN(b *testing.B) {
 	db := benchDatabase(b)
-	v, _, err := db.NN(Pt(0.5, 0.5), 4)
+	v, _, err := db.NN(context.Background(), Pt(0.5, 0.5), 4)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -228,7 +229,7 @@ func BenchmarkOpDecodeNN(b *testing.B) {
 // the work a mobile device does per position update.
 func BenchmarkOpValidityCheck(b *testing.B) {
 	db := benchDatabase(b)
-	v, _, err := db.NN(Pt(0.5, 0.5), 1)
+	v, _, err := db.NN(context.Background(), Pt(0.5, 0.5), 1)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -282,13 +283,13 @@ func BenchmarkShardScaling(b *testing.B) {
 						var err error
 						switch i % 4 {
 						case 0:
-							_, _, err = db.NN(q, 1)
+							_, _, err = db.NN(context.Background(), q, 1)
 						case 1:
-							_, _, err = db.NN(q, int(i%16)+1)
+							_, _, err = db.NN(context.Background(), q, int(i%16)+1)
 						case 2:
-							_, _, err = db.WindowAt(q, qx, qy)
+							_, _, err = db.WindowAt(context.Background(), q, qx, qy)
 						default:
-							_, _, err = db.Range(q, radius)
+							_, _, err = db.Range(context.Background(), q, radius)
 						}
 						if err != nil {
 							b.Error(err)
@@ -316,4 +317,111 @@ func BenchmarkOpInsert(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkBatchScaling compares the batched query engine against the
+// sequential per-query path on an 8-shard DB: sequential issues one
+// scatter per query from parallel clients, batched issues one grouped
+// scatter per shard per phase for 64 queries at a time. One benchmark
+// iteration is one query either way, so ns/op (and the qps metric)
+// compare directly.
+func BenchmarkBatchScaling(b *testing.B) {
+	items, uni := UniformDataset(50_000, 2003)
+	db, err := Open(items, uni, &Options{Shards: 8, ShardStrategy: ShardGrid})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	qx, qy := 0.02*uni.Width(), 0.02*uni.Height()
+	radius := 0.01 * uni.Width()
+	reqs := make([]BatchRequest, 1024)
+	for i := range reqs {
+		q := Pt(rng.Float64(), rng.Float64())
+		switch i % 4 {
+		case 0:
+			reqs[i] = BatchRequest{Op: BatchNN, Q: q, K: 1}
+		case 1:
+			reqs[i] = BatchRequest{Op: BatchNN, Q: q, K: i%16 + 1}
+		case 2:
+			reqs[i] = BatchRequest{Op: BatchWindow, W: R(q.X-qx/2, q.Y-qy/2, q.X+qx/2, q.Y+qy/2)}
+		default:
+			reqs[i] = BatchRequest{Op: BatchRange, Q: q, Radius: radius}
+		}
+	}
+	ctx := context.Background()
+
+	b.Run("sequential", func(b *testing.B) {
+		var ctr int64
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				i := atomic.AddInt64(&ctr, 1)
+				if _, err := db.Batch(ctx, reqs[i%int64(len(reqs)):i%int64(len(reqs))+1]); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+	})
+	b.Run("batched", func(b *testing.B) {
+		const size = 64
+		for lo := 0; lo < b.N; lo += size {
+			n := size
+			if lo+n > b.N {
+				n = b.N - lo
+			}
+			start := lo % len(reqs)
+			if start+n > len(reqs) {
+				start = 0
+			}
+			if _, err := db.Batch(ctx, reqs[start:start+n]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+	})
+}
+
+// BenchmarkCacheHitPath measures the validity-cache fast path: the
+// cached variant serves a warmed region at zero node accesses, and the
+// uncached variant recomputes the same query every time.
+func BenchmarkCacheHitPath(b *testing.B) {
+	items, uni := UniformDataset(100_000, 2003)
+	q := Pt(0.42, 0.58)
+	ctx := context.Background()
+
+	b.Run("uncached", func(b *testing.B) {
+		db, err := Open(items, uni, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := db.NN(ctx, q, 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		db, err := Open(items, uni, &Options{CacheSize: 1024})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := db.NN(ctx, q, 4); err != nil { // warm the cache
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			v, cost, err := db.NN(ctx, q, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if cost.Total() != 0 {
+				b.Fatalf("cache hit cost %d node accesses, want 0", cost.Total())
+			}
+			if v == nil || !v.Valid(q) {
+				b.Fatal("cache hit returned an invalid region")
+			}
+		}
+	})
 }

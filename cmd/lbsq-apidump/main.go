@@ -1,0 +1,314 @@
+// Command lbsq-apidump prints the exported API surface of a Go package
+// as a stable, sorted, one-declaration-per-line text snapshot. The
+// checked-in snapshot (docs/api.txt) makes public-API drift an explicit,
+// reviewable diff: `make api-check` fails CI whenever the surface
+// changes without the snapshot being regenerated alongside it.
+//
+// Usage:
+//
+//	lbsq-apidump [-dir .]
+//
+// The dump is purely syntactic (go/ast, no type checking), so it is
+// fast, dependency-free, and independent of build tags beyond the
+// default file set. Test files are excluded.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "package directory to dump")
+	flag.Parse()
+
+	lines, err := dump(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbsq-apidump: %v\n", err)
+		os.Exit(1)
+	}
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+}
+
+// dump returns the sorted exported-API lines of the package in dir.
+func dump(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+
+	var lines []string
+	for _, pkg := range pkgs {
+		if strings.HasSuffix(pkg.Name, "_test") {
+			continue
+		}
+		for _, file := range pkg.Files {
+			lines = append(lines, dumpFile(file)...)
+		}
+	}
+	sort.Strings(lines)
+	return lines, nil
+}
+
+// dumpFile emits one line per exported declaration of the file.
+func dumpFile(file *ast.File) []string {
+	var lines []string
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if l := funcLine(d); l != "" {
+				lines = append(lines, l)
+			}
+		case *ast.GenDecl:
+			lines = append(lines, genLines(d)...)
+		}
+	}
+	return lines
+}
+
+// funcLine renders one exported function or method ("" when unexported
+// or attached to an unexported receiver).
+func funcLine(d *ast.FuncDecl) string {
+	if !d.Name.IsExported() {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("func ")
+	if d.Recv != nil && len(d.Recv.List) == 1 {
+		recv := typeString(d.Recv.List[0].Type)
+		if !exportedType(recv) {
+			return ""
+		}
+		fmt.Fprintf(&b, "(%s) ", recv)
+	}
+	b.WriteString(d.Name.Name)
+	b.WriteString(signature(d.Type))
+	if deprecated(d.Doc) {
+		b.WriteString("  // deprecated")
+	}
+	return b.String()
+}
+
+// genLines renders the exported declarations of one const/var/type
+// block.
+func genLines(d *ast.GenDecl) []string {
+	var lines []string
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			lines = append(lines, typeLines(d, s)...)
+		case *ast.ValueSpec:
+			for _, name := range s.Names {
+				if !name.IsExported() {
+					continue
+				}
+				kind := "const"
+				if d.Tok == token.VAR {
+					kind = "var"
+				}
+				l := kind + " " + name.Name
+				if s.Type != nil {
+					l += " " + typeString(s.Type)
+				}
+				if deprecated(firstDoc(d.Doc, s.Doc)) {
+					l += "  // deprecated"
+				}
+				lines = append(lines, l)
+			}
+		}
+	}
+	return lines
+}
+
+// typeLines renders one exported type and, for structs and interfaces,
+// one line per exported member.
+func typeLines(d *ast.GenDecl, s *ast.TypeSpec) []string {
+	if !s.Name.IsExported() {
+		return nil
+	}
+	dep := ""
+	if deprecated(firstDoc(d.Doc, s.Doc)) {
+		dep = "  // deprecated"
+	}
+	switch t := s.Type.(type) {
+	case *ast.StructType:
+		lines := []string{"type " + s.Name.Name + " struct" + dep}
+		for _, f := range t.Fields.List {
+			ft := typeString(f.Type)
+			fdep := ""
+			if deprecated(f.Doc) {
+				fdep = "  // deprecated"
+			}
+			if len(f.Names) == 0 { // embedded
+				if exportedType(ft) {
+					lines = append(lines, "type "+s.Name.Name+" struct, embed "+ft+fdep)
+				}
+				continue
+			}
+			for _, name := range f.Names {
+				if name.IsExported() {
+					lines = append(lines, "type "+s.Name.Name+" struct, field "+name.Name+" "+ft+fdep)
+				}
+			}
+		}
+		return lines
+	case *ast.InterfaceType:
+		lines := []string{"type " + s.Name.Name + " interface" + dep}
+		for _, m := range t.Methods.List {
+			for _, name := range m.Names {
+				if name.IsExported() {
+					sig := ""
+					if ft, ok := m.Type.(*ast.FuncType); ok {
+						sig = signature(ft)
+					}
+					lines = append(lines, "type "+s.Name.Name+" interface, method "+name.Name+sig)
+				}
+			}
+		}
+		return lines
+	default:
+		eq := " "
+		if s.Assign.IsValid() {
+			eq = " = "
+		}
+		return []string{"type " + s.Name.Name + eq + typeString(s.Type) + dep}
+	}
+}
+
+// signature renders a function type as "(params) (results)".
+func signature(t *ast.FuncType) string {
+	var b strings.Builder
+	b.WriteString("(")
+	b.WriteString(fieldList(t.Params))
+	b.WriteString(")")
+	if t.Results != nil && len(t.Results.List) > 0 {
+		res := fieldList(t.Results)
+		if len(t.Results.List) == 1 && len(t.Results.List[0].Names) == 0 {
+			b.WriteString(" " + res)
+		} else {
+			b.WriteString(" (" + res + ")")
+		}
+	}
+	return b.String()
+}
+
+// fieldList renders parameters or results, dropping names (the API
+// contract is positional) but keeping types.
+func fieldList(fl *ast.FieldList) string {
+	if fl == nil {
+		return ""
+	}
+	var parts []string
+	for _, f := range fl.List {
+		t := typeString(f.Type)
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			parts = append(parts, t)
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+// typeString renders a type expression as compact source text.
+func typeString(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return "*" + typeString(t.X)
+	case *ast.SelectorExpr:
+		return typeString(t.X) + "." + t.Sel.Name
+	case *ast.ArrayType:
+		if t.Len != nil {
+			return "[" + exprString(t.Len) + "]" + typeString(t.Elt)
+		}
+		return "[]" + typeString(t.Elt)
+	case *ast.MapType:
+		return "map[" + typeString(t.Key) + "]" + typeString(t.Value)
+	case *ast.FuncType:
+		return "func" + signature(t)
+	case *ast.ChanType:
+		switch t.Dir {
+		case ast.RECV:
+			return "<-chan " + typeString(t.Value)
+		case ast.SEND:
+			return "chan<- " + typeString(t.Value)
+		default:
+			return "chan " + typeString(t.Value)
+		}
+	case *ast.Ellipsis:
+		return "..." + typeString(t.Elt)
+	case *ast.InterfaceType:
+		if len(t.Methods.List) == 0 {
+			return "interface{}"
+		}
+		return "interface{...}"
+	case *ast.StructType:
+		if len(t.Fields.List) == 0 {
+			return "struct{}"
+		}
+		return "struct{...}"
+	case *ast.IndexExpr:
+		return typeString(t.X) + "[" + typeString(t.Index) + "]"
+	default:
+		return fmt.Sprintf("<%T>", e)
+	}
+}
+
+// exprString renders a constant expression (array lengths).
+func exprString(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.BasicLit:
+		return v.Value
+	case *ast.Ident:
+		return v.Name
+	default:
+		return "?"
+	}
+}
+
+// exportedType reports whether a receiver or embedded type name is
+// exported (dereferencing pointers and qualified names).
+func exportedType(name string) bool {
+	name = strings.TrimPrefix(name, "*")
+	if i := strings.LastIndex(name, "."); i >= 0 {
+		name = name[i+1:]
+	}
+	return ast.IsExported(name)
+}
+
+// deprecated reports whether a doc comment carries a "Deprecated:"
+// marker (the convention godoc and linters recognize).
+func deprecated(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.Contains(c.Text, "Deprecated:") {
+			return true
+		}
+	}
+	return false
+}
+
+// firstDoc returns the spec's own doc when present, else the block's.
+func firstDoc(blockDoc, specDoc *ast.CommentGroup) *ast.CommentGroup {
+	if specDoc != nil {
+		return specDoc
+	}
+	return blockDoc
+}

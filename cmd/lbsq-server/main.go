@@ -9,7 +9,9 @@
 //	lbsq-server -dataset gr                          # GR-like dataset
 //	lbsq-server -load points.lbsq                    # dataset file (see datagen)
 //
-// Endpoints: /nn?x=&y=&k=   /window?x=&y=&qx=&qy=   /info
+// Endpoints: /nn?x=&y=&k=   /window?x=&y=&qx=&qy=   /info, each also
+// mounted under /v1/ with JSON error envelopes, plus POST /v1/batch.
+// -cache enables the server-side validity-region cache.
 //
 // Observability: -metrics (default on) exposes Prometheus text metrics
 // at /metrics; -pprof additionally mounts net/http/pprof under
@@ -40,6 +42,7 @@ func main() {
 		shards   = flag.Int("shards", 1, "number of spatial shards (>1 enables scatter-gather)")
 		strategy = flag.String("shard-strategy", "grid", "shard partitioning: grid | kdmedian")
 		workers  = flag.Int("shard-workers", 0, "scatter-gather worker pool size (0 = GOMAXPROCS)")
+		cache    = flag.Int("cache", 0, "validity-region cache capacity in regions (0 disables)")
 		metrics  = flag.Bool("metrics", true, "expose Prometheus metrics at /metrics")
 		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
@@ -91,6 +94,7 @@ func main() {
 		Shards:         *shards,
 		ShardStrategy:  st,
 		ShardWorkers:   *workers,
+		CacheSize:      *cache,
 	})
 	if err != nil {
 		log.Fatalf("lbsq-server: %v", err)

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -68,7 +69,7 @@ func main() {
 	var sc *viz.Scene
 	switch *query {
 	case "nn":
-		v, _, err := db.NN(q, *k)
+		v, _, err := db.NN(context.Background(), q, *k)
 		if err != nil {
 			log.Fatalf("lbsq-viz: %v", err)
 		}
@@ -89,7 +90,7 @@ func main() {
 		sc.Text(q.Add(lbsq.Pt(view.Width()/80, view.Width()/80)), "q", "font-size:16px;fill:#1f6fb2")
 	case "window":
 		side := math.Sqrt(*qs) * uni.Width()
-		wv, _, err := db.WindowAt(q, side, side)
+		wv, _, err := db.WindowAt(context.Background(), q, side, side)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -109,7 +110,7 @@ func main() {
 		sc.Marker(q, 5, "fill:#1f6fb2")
 	case "range":
 		r := *radius * uni.Width()
-		rv, _, err := db.Range(q, r)
+		rv, _, err := db.Range(context.Background(), q, r)
 		if err != nil {
 			log.Fatal(err)
 		}

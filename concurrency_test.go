@@ -1,6 +1,7 @@
 package lbsq
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -27,22 +28,22 @@ func TestConcurrentQueries(t *testing.T) {
 				p := Pt(rng.Float64(), rng.Float64())
 				switch i % 4 {
 				case 0:
-					if _, _, err := db.NN(p, 1+rng.Intn(5)); err != nil {
+					if _, _, err := db.NN(context.Background(), p, 1+rng.Intn(5)); err != nil {
 						errs <- err
 						return
 					}
 				case 1:
-					if _, _, err := db.WindowAt(p, 0.03, 0.03); err != nil {
+					if _, _, err := db.WindowAt(context.Background(), p, 0.03, 0.03); err != nil {
 						errs <- err
 						return
 					}
 				case 2:
-					if _, _, err := db.Range(p, 0.02); err != nil {
+					if _, _, err := db.Range(context.Background(), p, 0.02); err != nil {
 						errs <- err
 						return
 					}
 				case 3:
-					if _, err := db.KNearest(p, 3); err != nil {
+					if _, err := db.KNearest(context.Background(), p, 3); err != nil {
 						errs <- err
 						return
 					}
@@ -76,7 +77,7 @@ func TestConcurrentQueriesWithUpdates(t *testing.T) {
 			rng := rand.New(rand.NewSource(seed))
 			for i := 0; i < 100; i++ {
 				p := Pt(rng.Float64(), rng.Float64())
-				got, err := db.KNearest(p, 2)
+				got, err := db.KNearest(context.Background(), p, 2)
 				if err != nil {
 					t.Error(err)
 					return

@@ -1,6 +1,7 @@
 package lbsq_test
 
 import (
+	"context"
 	"fmt"
 
 	"lbsq"
@@ -12,7 +13,7 @@ func ExampleDB_NN() {
 	items, universe := lbsq.UniformDataset(100_000, 42)
 	db, _ := lbsq.Open(items, universe, nil)
 
-	v, cost, err := db.NN(lbsq.Pt(0.4, 0.6), 1)
+	v, cost, err := db.NN(context.Background(), lbsq.Pt(0.4, 0.6), 1)
 	if err != nil {
 		panic(err)
 	}
@@ -35,7 +36,7 @@ func ExampleDB_WindowAt() {
 	items, universe := lbsq.UniformDataset(100_000, 42)
 	db, _ := lbsq.Open(items, universe, nil)
 
-	w, _, err := db.WindowAt(lbsq.Pt(0.5, 0.5), 0.05, 0.05)
+	w, _, err := db.WindowAt(context.Background(), lbsq.Pt(0.5, 0.5), 0.05, 0.05)
 	if err != nil {
 		panic(err)
 	}
@@ -74,7 +75,7 @@ func ExampleDB_Range() {
 	items, universe := lbsq.UniformDataset(100_000, 42)
 	db, _ := lbsq.Open(items, universe, nil)
 
-	rv, _, err := db.Range(lbsq.Pt(0.5, 0.5), 0.02)
+	rv, _, err := db.Range(context.Background(), lbsq.Pt(0.5, 0.5), 0.02)
 	if err != nil {
 		panic(err)
 	}
@@ -90,7 +91,7 @@ func ExampleDB_RouteNN() {
 	items, universe := lbsq.UniformDataset(100_000, 42)
 	db, _ := lbsq.Open(items, universe, nil)
 
-	route, err := db.RouteNN(lbsq.Pt(0.10, 0.50), lbsq.Pt(0.12, 0.50))
+	route, err := db.RouteNN(context.Background(), lbsq.Pt(0.10, 0.50), lbsq.Pt(0.12, 0.50))
 	if err != nil {
 		panic(err)
 	}

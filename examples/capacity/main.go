@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -64,7 +65,7 @@ func main() {
 	queries := dataset.QueryPoints(d, 500, 99)
 	var sumArea, sumNA1, sumNA2 float64
 	for _, q := range queries {
-		wv, cost, err := db.WindowAt(q, side, side)
+		wv, cost, err := db.WindowAt(context.Background(), q, side, side)
 		if err != nil {
 			panic(err)
 		}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"lbsq"
@@ -25,7 +26,7 @@ func main() {
 	// A single query, inspected.
 	me := lbsq.Pt(400_000, 400_000)
 	const radius = 5_000.0 // 5 km
-	rv, cost, err := db.Range(me, radius)
+	rv, cost, err := db.Range(context.Background(), me, radius)
 	if err != nil {
 		panic(err)
 	}

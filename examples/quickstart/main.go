@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"lbsq"
@@ -19,7 +20,7 @@ func main() {
 
 	// --- Location-based nearest neighbor --------------------------------
 	me := lbsq.Pt(0.4, 0.6)
-	v, cost, err := db.NN(me, 1)
+	v, cost, err := db.NN(context.Background(), me, 1)
 	if err != nil {
 		panic(err)
 	}
@@ -43,7 +44,7 @@ func main() {
 
 	// --- Location-based window query ------------------------------------
 	// A 0.05×0.05 viewport centered on us (e.g. POIs on screen).
-	w, _, err := db.WindowAt(me, 0.05, 0.05)
+	w, _, err := db.WindowAt(context.Background(), me, 0.05, 0.05)
 	if err != nil {
 		panic(err)
 	}

@@ -1,6 +1,7 @@
 package lbsq
 
 import (
+	"context"
 	"io"
 	"math"
 	"math/rand"
@@ -17,7 +18,7 @@ func TestRangeViaFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rv, cost, err := db.Range(Pt(0.5, 0.5), 0.05)
+	rv, cost, err := db.Range(context.Background(), Pt(0.5, 0.5), 0.05)
 	if err != nil {
 		t.Fatalf("Range: %v", err)
 	}
@@ -68,7 +69,7 @@ func TestRouteNNViaFacade(t *testing.T) {
 		t.Fatal(err)
 	}
 	a, b := Pt(0.1, 0.5), Pt(0.9, 0.5)
-	route, err := db.RouteNN(a, b)
+	route, err := db.RouteNN(context.Background(), a, b)
 	if err != nil {
 		t.Fatalf("RouteNN: %v", err)
 	}
@@ -79,7 +80,7 @@ func TestRouteNNViaFacade(t *testing.T) {
 	u := b.Sub(a).Unit()
 	for _, iv := range route {
 		mid := a.Add(u.Scale((iv.From + iv.To) / 2))
-		nbs, err := db.KNearest(mid, 1)
+		nbs, err := db.KNearest(context.Background(), mid, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -135,7 +136,7 @@ func TestHTTPRange(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	local, _, err := db.Range(Pt(0.5, 0.5), 0.08)
+	local, _, err := db.Range(context.Background(), Pt(0.5, 0.5), 0.08)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,11 +174,11 @@ func TestIndexPersistence(t *testing.T) {
 	}
 	// Queries agree.
 	for _, q := range []Point{Pt(0.3, 0.3), Pt(0.8, 0.2)} {
-		a, _, err := db.NN(q, 3)
+		a, _, err := db.NN(context.Background(), q, 3)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, _, err := db2.NN(q, 3)
+		b, _, err := db2.NN(context.Background(), q, 3)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -244,7 +245,7 @@ func TestHTTPDeltaSessionAndRoute(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	local, err := db.RouteNN(Pt(0.1, 0.5), Pt(0.9, 0.5))
+	local, err := db.RouteNN(context.Background(), Pt(0.1, 0.5), Pt(0.9, 0.5))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -27,10 +27,19 @@ const statusCanceled = 499
 
 // Handler returns an http.Handler exposing the query server:
 //
-//	GET /nn?x=..&y=..&k=..       → binary NN response (EncodeNN)
-//	GET /window?x=..&y=..&qx=..&qy=.. → binary window response
-//	GET /info                    → JSON {"count":..,"universe":[minx,miny,maxx,maxy]}
-//	GET /metrics                 → Prometheus text exposition of DB metrics
+//	GET  /v1/nn?x=..&y=..&k=..            → binary NN response (EncodeNN)
+//	GET  /v1/window?x=..&y=..&qx=..&qy=.. → binary window response
+//	GET  /v1/range?x=..&y=..&r=..         → binary range response
+//	GET  /v1/route?x1=..&y1=..&x2=..&y2=.. → binary route response
+//	POST /v1/batch                        → JSON batch (see batchWireReq)
+//	GET  /v1/info                         → JSON {"count":..,"universe":[..]}
+//	GET  /v1/metrics                      → Prometheus text exposition
+//
+// Every query endpoint is also reachable at its legacy unversioned
+// path (/nn, /window, ...) with byte-identical success payloads; the
+// paths differ only in error representation — /v1 errors are the
+// uniform JSON envelope {"error": ..., "code": ...}, legacy errors
+// stay plain text.
 //
 // Every handler passes the request context into the query, so a client
 // disconnect aborts a slow sharded scatter instead of burning workers
@@ -38,147 +47,198 @@ const statusCanceled = 499
 func (db *DB) Handler() http.Handler {
 	sessions := &sessionStore{sessions: make(map[string]*session)}
 	mux := http.NewServeMux()
-	handle := func(path string, h http.HandlerFunc) {
-		mux.Handle(path, db.instrumentHTTP(path, h))
+	// handle registers one endpoint twice: the legacy unversioned path
+	// with plain-text errors, and the /v1 path with the JSON envelope.
+	// Success payloads are produced by the same closure, so the two
+	// views can never drift.
+	handle := func(path string, mk func(errorWriter) http.HandlerFunc) {
+		mux.Handle(path, db.instrumentHTTP(path, mk(writePlainError)))
+		mux.Handle("/v1"+path, db.instrumentHTTP("/v1"+path, mk(writeJSONError)))
 	}
-	handle("/nn", func(w http.ResponseWriter, r *http.Request) {
-		q, err := parsePoint(r)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		k, err := parseInt(r, "k", 1)
-		if err != nil || k < 1 {
-			http.Error(w, "bad k", http.StatusBadRequest)
-			return
-		}
-		v, _, err := db.NNCtx(r.Context(), q, k)
-		if err != nil {
-			writeQueryError(w, r, err)
-			return
-		}
-		w.Header().Set("Content-Type", "application/octet-stream")
-		if sid := r.URL.Query().Get("session"); sid != "" {
-			// Delta transfer: items this session already received are
-			// referenced by id only. Encode and record under the
-			// session's own lock — concurrent requests for different
-			// sessions proceed in parallel, and the response write
-			// happens outside any lock.
-			ss := sessions.get(sid)
-			ss.mu.Lock()
-			payload := core.EncodeNNDelta(v, func(id int64) bool { return ss.ids[id] })
-			for _, nb := range v.Neighbors {
-				ss.ids[nb.Item.ID] = true
+	handle("/nn", func(ew errorWriter) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			q, err := parsePoint(r)
+			if err != nil {
+				ew(w, http.StatusBadRequest, err.Error())
+				return
 			}
-			for _, it := range v.Influence {
-				ss.ids[it.ID] = true
+			k, err := parseInt(r, "k", 1)
+			if err != nil || k < 1 {
+				ew(w, http.StatusBadRequest, "bad k")
+				return
 			}
-			ss.mu.Unlock()
-			w.Write(payload)
-			return
-		}
-		w.Write(EncodeNN(v))
-	})
-	handle("/route", func(w http.ResponseWriter, r *http.Request) {
-		x1, e1 := parseFloat(r, "x1")
-		y1, e2 := parseFloat(r, "y1")
-		x2, e3 := parseFloat(r, "x2")
-		y2, e4 := parseFloat(r, "y2")
-		if e1 != nil || e2 != nil || e3 != nil || e4 != nil {
-			http.Error(w, "bad route endpoints", http.StatusBadRequest)
-			return
-		}
-		ivs, err := db.RouteNNCtx(r.Context(), Pt(x1, y1), Pt(x2, y2))
-		if err != nil {
-			writeQueryError(w, r, err)
-			return
-		}
-		w.Header().Set("Content-Type", "application/octet-stream")
-		w.Write(core.EncodeRoute(ivs))
-	})
-	handle("/window", func(w http.ResponseWriter, r *http.Request) {
-		q, err := parsePoint(r)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		qx, err1 := parseFloat(r, "qx")
-		qy, err2 := parseFloat(r, "qy")
-		if err1 != nil || err2 != nil || qx <= 0 || qy <= 0 {
-			http.Error(w, "bad window extents", http.StatusBadRequest)
-			return
-		}
-		wv, _, err := db.WindowAtCtx(r.Context(), q, qx, qy)
-		if err != nil {
-			writeQueryError(w, r, err)
-			return
-		}
-		w.Header().Set("Content-Type", "application/octet-stream")
-		w.Write(EncodeWindow(wv))
-	})
-	handle("/range", func(w http.ResponseWriter, r *http.Request) {
-		q, err := parsePoint(r)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		radius, err := parseFloat(r, "r")
-		if err != nil || radius <= 0 {
-			http.Error(w, "bad radius", http.StatusBadRequest)
-			return
-		}
-		rv, _, err := db.RangeCtx(r.Context(), q, radius)
-		if err != nil {
-			writeQueryError(w, r, err)
-			return
-		}
-		w.Header().Set("Content-Type", "application/octet-stream")
-		w.Write(EncodeRange(rv))
-	})
-	handle("/info", func(w http.ResponseWriter, r *http.Request) {
-		u := db.Universe()
-		info := map[string]interface{}{
-			"count":    db.Len(),
-			"universe": [4]float64{u.MinX, u.MinY, u.MaxX, u.MaxY},
-			"shards":   db.NumShards(),
-		}
-		if stats := db.ShardStatsList(); stats != nil {
-			type shardInfo struct {
-				Resp         [4]float64 `json:"resp"`
-				Count        int        `json:"count"`
-				NodeAccesses int64      `json:"node_accesses"`
+			v, _, err := db.NN(r.Context(), q, k)
+			if err != nil {
+				writeQueryError(ew, w, r, err)
+				return
 			}
-			out := make([]shardInfo, len(stats))
-			for i, st := range stats {
-				out[i] = shardInfo{
-					Resp:         [4]float64{st.Resp.MinX, st.Resp.MinY, st.Resp.MaxX, st.Resp.MaxY},
-					Count:        st.Count,
-					NodeAccesses: st.NodeAccesses,
+			w.Header().Set("Content-Type", "application/octet-stream")
+			if sid := r.URL.Query().Get("session"); sid != "" {
+				// Delta transfer: items this session already received are
+				// referenced by id only. Encode and record under the
+				// session's own lock — concurrent requests for different
+				// sessions proceed in parallel, and the response write
+				// happens outside any lock.
+				ss := sessions.get(sid)
+				ss.mu.Lock()
+				payload := core.EncodeNNDelta(v, func(id int64) bool { return ss.ids[id] })
+				for _, nb := range v.Neighbors {
+					ss.ids[nb.Item.ID] = true
 				}
+				for _, it := range v.Influence {
+					ss.ids[it.ID] = true
+				}
+				ss.mu.Unlock()
+				w.Write(payload)
+				return
 			}
-			info["shard_stats"] = out
+			w.Write(EncodeNN(v))
 		}
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(info)
 	})
-	handle("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		// A write error means the scrape client disconnected mid-body;
-		// the status line is already out, so there is nothing to send.
-		db.WriteMetrics(w) //lbsq:nocheck droppederr
+	handle("/route", func(ew errorWriter) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			x1, e1 := parseFloat(r, "x1")
+			y1, e2 := parseFloat(r, "y1")
+			x2, e3 := parseFloat(r, "x2")
+			y2, e4 := parseFloat(r, "y2")
+			if e1 != nil || e2 != nil || e3 != nil || e4 != nil {
+				ew(w, http.StatusBadRequest, "bad route endpoints")
+				return
+			}
+			ivs, err := db.RouteNN(r.Context(), Pt(x1, y1), Pt(x2, y2))
+			if err != nil {
+				writeQueryError(ew, w, r, err)
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Write(core.EncodeRoute(ivs))
+		}
+	})
+	handle("/window", func(ew errorWriter) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			q, err := parsePoint(r)
+			if err != nil {
+				ew(w, http.StatusBadRequest, err.Error())
+				return
+			}
+			qx, err1 := parseFloat(r, "qx")
+			qy, err2 := parseFloat(r, "qy")
+			if err1 != nil || err2 != nil || qx <= 0 || qy <= 0 {
+				ew(w, http.StatusBadRequest, "bad window extents")
+				return
+			}
+			wv, _, err := db.WindowAt(r.Context(), q, qx, qy)
+			if err != nil {
+				writeQueryError(ew, w, r, err)
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Write(EncodeWindow(wv))
+		}
+	})
+	handle("/range", func(ew errorWriter) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			q, err := parsePoint(r)
+			if err != nil {
+				ew(w, http.StatusBadRequest, err.Error())
+				return
+			}
+			radius, err := parseFloat(r, "r")
+			if err != nil || radius <= 0 {
+				ew(w, http.StatusBadRequest, "bad radius")
+				return
+			}
+			rv, _, err := db.Range(r.Context(), q, radius)
+			if err != nil {
+				writeQueryError(ew, w, r, err)
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Write(EncodeRange(rv))
+		}
+	})
+	handle("/batch", func(ew errorWriter) http.HandlerFunc {
+		return db.batchHandler(ew)
+	})
+	handle("/info", func(ew errorWriter) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			u := db.Universe()
+			info := map[string]interface{}{
+				"count":    db.Len(),
+				"universe": [4]float64{u.MinX, u.MinY, u.MaxX, u.MaxY},
+				"shards":   db.NumShards(),
+			}
+			if stats := db.ShardStatsList(); stats != nil {
+				type shardInfo struct {
+					Resp         [4]float64 `json:"resp"`
+					Count        int        `json:"count"`
+					NodeAccesses int64      `json:"node_accesses"`
+				}
+				out := make([]shardInfo, len(stats))
+				for i, st := range stats {
+					out[i] = shardInfo{
+						Resp:         [4]float64{st.Resp.MinX, st.Resp.MinY, st.Resp.MaxX, st.Resp.MaxY},
+						Count:        st.Count,
+						NodeAccesses: st.NodeAccesses,
+					}
+				}
+				info["shard_stats"] = out
+			}
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(info)
+		}
+	})
+	handle("/metrics", func(ew errorWriter) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			// A write error means the scrape client disconnected mid-body;
+			// the status line is already out, so there is nothing to send.
+			db.WriteMetrics(w) //lbsq:nocheck droppederr
+		}
 	})
 	return mux
+}
+
+// errorWriter writes one error response. The legacy paths use plain
+// text (writePlainError); the /v1 paths use the JSON envelope
+// (writeJSONError). Handlers never write errors directly, so the two
+// path families differ only in error representation.
+type errorWriter func(w http.ResponseWriter, code int, msg string)
+
+// writePlainError is the legacy error representation: http.Error plain
+// text, and a bare status line for 499 (the client is gone; historic
+// behavior wrote no body).
+func writePlainError(w http.ResponseWriter, code int, msg string) {
+	if code == statusCanceled {
+		w.WriteHeader(code)
+		return
+	}
+	http.Error(w, msg, code)
+}
+
+// writeJSONError is the /v1 error envelope: every error, on every
+// endpoint, is {"error": <message>, "code": <status>}.
+func writeJSONError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorEnvelope{Error: msg, Code: code})
+}
+
+// errorEnvelope is the uniform /v1 JSON error body.
+type errorEnvelope struct {
+	Error string `json:"error"`
+	Code  int    `json:"code"`
 }
 
 // writeQueryError maps a query error onto an HTTP status: a cancelled
 // request context means the client went away (499); anything else is an
 // unprocessable query.
-func writeQueryError(w http.ResponseWriter, r *http.Request, err error) {
+func writeQueryError(ew errorWriter, w http.ResponseWriter, r *http.Request, err error) {
 	if r.Context().Err() != nil {
-		w.WriteHeader(statusCanceled)
+		ew(w, statusCanceled, "client canceled request")
 		return
 	}
-	http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+	ew(w, http.StatusUnprocessableEntity, err.Error())
 }
 
 // statusWriter records the response status for the request metrics.
@@ -276,20 +336,29 @@ func (s *sessionStore) get(sid string) *session {
 }
 
 // RemoteClient issues location-based queries against a DB served by
-// Handler.
+// Handler. Build one with NewRemoteClient and its functional options
+// (WithTimeout, WithHTTPClient, WithBaseHeader, WithSession); mutating
+// the exported fields directly is deprecated.
 type RemoteClient struct {
 	// Base is the server URL, e.g. "http://localhost:8080".
 	Base string
 	// HTTP is the client to use; nil selects a shared default with a
 	// 10-second timeout (unlike http.DefaultClient, which never times
-	// out). Set HTTP explicitly to change the timeout.
+	// out).
+	//
+	// Deprecated: configure via WithHTTPClient or WithTimeout.
 	HTTP *http.Client
 	// Universe must match the server's (fetch it with Info); needed to
 	// rebuild window validity regions client-side.
 	Universe Rect
 	// Session, when non-empty, enables incremental (delta) NN transfer:
 	// the server remembers which items this session has seen.
+	//
+	// Deprecated: configure via WithSession.
 	Session string
+
+	// header holds base headers added to every request (WithBaseHeader).
+	header http.Header
 
 	items core.ItemCache
 }
@@ -311,6 +380,7 @@ func (c *RemoteClient) get(ctx context.Context, path string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.applyHeader(req)
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return nil, err

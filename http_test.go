@@ -94,7 +94,7 @@ func TestConcurrentDeltaSessions(t *testing.T) {
 					errs <- err
 					return
 				}
-				want, _, err := db.NN(q, k)
+				want, _, err := db.NN(context.Background(), q, k)
 				if err != nil {
 					errs <- err
 					return

@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"lbsq/internal/dataset"
+	"lbsq/internal/geom"
+	"lbsq/internal/qexec"
+	"lbsq/internal/shard"
+)
+
+// batchSize is the request count per batch of the batching experiment —
+// a busy gateway's worth of concurrently arriving queries.
+const batchSize = 64
+
+// BatchThroughput measures the batched query engine against the
+// sequential per-query path, on the single server and on shard
+// clusters: sequential issues one fan-out per query, batched issues one
+// grouped scatter per shard per phase for 64 queries at a time. One
+// table: shards, mode, qps, speedup over the sequential single server.
+func BatchThroughput(cfg Config) []Table {
+	counts := []int{1, 2, 4, 8}
+	if cfg.Shards > 1 {
+		counts = []int{1, cfg.Shards}
+	}
+	n := 50_000
+	if cfg.Full {
+		n = 100_000
+	}
+	d := dataset.Uniform(n, cfg.Seed)
+	qpts := dataset.QueryPoints(d, cfg.queries(), cfg.Seed+1)
+	reqs := batchWorkload(d, qpts)
+
+	t := Table{
+		Title:   fmt.Sprintf("Batched vs sequential execution: %s (%d points, batches of %d)", d.Name, n, batchSize),
+		Columns: []string{"shards", "mode", "qps", "speedup"},
+	}
+	base := 0.0
+	for _, nShards := range counts {
+		exec := buildExecutor(d, cfg, nShards, 0)
+		for _, batched := range []bool{false, true} {
+			qps := batchThroughput(exec, reqs, batched)
+			if geom.ExactZero(base) {
+				base = qps
+			}
+			mode := "sequential"
+			if batched {
+				mode = "batched"
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", nShards), mode, fmt.Sprintf("%.0f", qps),
+				fmt.Sprintf("%.2fx", qps/base),
+			})
+		}
+	}
+	return []Table{t}
+}
+
+// CacheEffect measures the server-side validity-region cache under the
+// paper's motivating workload: moving clients whose consecutive
+// positions mostly stay inside the last validity region. One table:
+// cache entries, hit rate, node accesses per query, speedup over the
+// uncached engine.
+func CacheEffect(cfg Config) []Table {
+	n := 50_000
+	if cfg.Full {
+		n = 100_000
+	}
+	d := dataset.Uniform(n, cfg.Seed)
+	reqs := movingClientWorkload(d, cfg, 16)
+
+	t := Table{
+		Title:   fmt.Sprintf("Validity-region cache: %s (%d points, %d moving-client queries)", d.Name, n, len(reqs)),
+		Columns: []string{"cache", "hit rate", "NA/query", "qps", "speedup"},
+	}
+	base := 0.0
+	for _, size := range []int{0, 64, 512, 4096} {
+		exec := buildExecutor(d, cfg, 1, size)
+		hits, na, qps := cacheRun(exec, reqs)
+		if geom.ExactZero(base) {
+			base = qps
+		}
+		label := fmt.Sprintf("%d", size)
+		if size == 0 {
+			label = "off"
+		}
+		t.Rows = append(t.Rows, []string{
+			label,
+			fmt.Sprintf("%.0f%%", 100*hits),
+			fmt.Sprintf("%.1f", na),
+			fmt.Sprintf("%.0f", qps),
+			fmt.Sprintf("%.2fx", qps/base),
+		})
+	}
+	return []Table{t}
+}
+
+// buildExecutor assembles a query executor over the dataset: a single
+// server for nShards ≤ 1, a shard cluster otherwise.
+func buildExecutor(d *dataset.Dataset, cfg Config, nShards, cacheSize int) *qexec.Executor {
+	qcfg := qexec.Config{Workers: shardGoroutines, CacheSize: cacheSize, Registry: cfg.Obs}
+	if nShards > 1 {
+		c, err := shard.NewCluster(d.Items, d.Universe, shard.Options{
+			Shards: nShards, Strategy: shard.Grid, Registry: cfg.Obs,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return qexec.New(nil, nil, c, qcfg)
+	}
+	var mu sync.RWMutex
+	return qexec.New(buildServer(d, cfg, false), &mu, nil, qcfg)
+}
+
+// batchWorkload builds the mixed NN / window / range request list of
+// the batching experiment (same mix as shardThroughput).
+func batchWorkload(d *dataset.Dataset, qpts []geom.Point) []qexec.Request {
+	qx := d.Universe.Width() * 0.02
+	qy := d.Universe.Height() * 0.02
+	radius := d.Universe.Width() * 0.01
+	reqs := make([]qexec.Request, 0, len(qpts)*4)
+	for i, q := range qpts {
+		reqs = append(reqs,
+			qexec.Request{Op: qexec.OpNN, Q: q, K: 1},
+			qexec.Request{Op: qexec.OpNN, Q: q, K: i%16 + 1},
+			qexec.Request{Op: qexec.OpWindow, W: geom.RectCenteredAt(q, qx, qy)},
+			qexec.Request{Op: qexec.OpRange, Q: q, Radius: radius},
+		)
+	}
+	return reqs
+}
+
+// movingClientWorkload simulates 16 clients issuing NN queries along
+// short random walks: consecutive positions are perturbed by a fraction
+// of the expected validity-region diameter, so a server-side cache sees
+// the same region queried again and again.
+func movingClientWorkload(d *dataset.Dataset, cfg Config, clients int) []qexec.Request {
+	rng := rand.New(rand.NewSource(cfg.Seed + 7))
+	perClient := cfg.queries() / 4
+	step := d.Universe.Width() * 0.0005
+	pos := make([]geom.Point, clients)
+	for c := range pos {
+		pos[c] = geom.Pt(
+			d.Universe.MinX+rng.Float64()*d.Universe.Width(),
+			d.Universe.MinY+rng.Float64()*d.Universe.Height(),
+		)
+	}
+	// Interleave the clients round-robin, the way their queries would
+	// arrive at a shared gateway: one client's consecutive positions
+	// then span batches, so a stored region serves the follow-ups.
+	reqs := make([]qexec.Request, 0, clients*perClient)
+	for i := 0; i < perClient; i++ {
+		for c := 0; c < clients; c++ {
+			reqs = append(reqs, qexec.Request{Op: qexec.OpNN, Q: pos[c], K: 1 + c%3})
+			pos[c] = geom.Pt(
+				pos[c].X+(rng.Float64()-0.5)*step,
+				pos[c].Y+(rng.Float64()-0.5)*step,
+			)
+		}
+	}
+	return reqs
+}
+
+// batchThroughput runs the request list either as one-query-at-a-time
+// sequential calls from shardGoroutines client goroutines, or as
+// batches of batchSize, and returns queries per second.
+func batchThroughput(exec *qexec.Executor, reqs []qexec.Request, batched bool) float64 {
+	ctx := context.Background()
+	start := time.Now()
+	if batched {
+		for lo := 0; lo < len(reqs); lo += batchSize {
+			hi := lo + batchSize
+			if hi > len(reqs) {
+				hi = len(reqs)
+			}
+			if _, err := exec.Batch(ctx, reqs[lo:hi]); err != nil {
+				panic(err)
+			}
+		}
+	} else {
+		var wg sync.WaitGroup
+		stride := (len(reqs) + shardGoroutines - 1) / shardGoroutines
+		for g := 0; g < len(reqs); g += stride {
+			hi := g + stride
+			if hi > len(reqs) {
+				hi = len(reqs)
+			}
+			part := reqs[g:hi]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range part {
+					if _, err := exec.Batch(ctx, part[i:i+1]); err != nil {
+						panic(err)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	return float64(len(reqs)) / time.Since(start).Seconds()
+}
+
+// cacheRun executes the workload in batches and reports the hit rate,
+// mean node accesses per query, and throughput.
+func cacheRun(exec *qexec.Executor, reqs []qexec.Request) (hitRate, naPerQuery, qps float64) {
+	ctx := context.Background()
+	var hits, na int64
+	start := time.Now()
+	for lo := 0; lo < len(reqs); lo += batchSize {
+		hi := lo + batchSize
+		if hi > len(reqs) {
+			hi = len(reqs)
+		}
+		resps, err := exec.Batch(ctx, reqs[lo:hi])
+		if err != nil {
+			panic(err)
+		}
+		for i := range resps {
+			if resps[i].CacheHit {
+				hits++
+			}
+			na += int64(resps[i].Cost.Total())
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	n := float64(len(reqs))
+	return float64(hits) / n, float64(na) / n, n / elapsed
+}

@@ -183,6 +183,8 @@ func All() []Experiment {
 		{"semcache", "Extension: semantic cache of past validity regions", SemanticCache},
 		{"perf", "Engineering: query latency percentiles", Perf},
 		{"shards", "Engineering: sharded scatter-gather throughput scaling", ShardScaling},
+		{"batch", "Engineering: batched execution vs sequential fan-out", BatchThroughput},
+		{"cache", "Engineering: server-side validity-region cache", CacheEffect},
 	}
 }
 

@@ -1,0 +1,246 @@
+// Package qexec is the batched query execution engine and the
+// server-side validity-region cache. The cache is the paper's Sec. 3–4
+// machinery turned around: a validity region computed for one client
+// answers every later NN query that falls inside it, so a hit costs
+// zero node accesses. Batching executes many heterogeneous queries in
+// one pass — on sharded databases with one grouped scatter per shard
+// per round instead of one fan-out per query.
+package qexec
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"lbsq/internal/core"
+	"lbsq/internal/geom"
+)
+
+// cacheShards is the number of independently locked cache shards. A
+// power of two so the hash folds cheaply.
+const cacheShards = 64
+
+// gridCells is the per-axis resolution of the universe grid whose cell
+// coordinates feed the shard hash: nearby query points land in the same
+// cache shard, where a linear scan finds containing regions.
+const gridCells = 32
+
+// Cache is a sharded LRU of recently computed validity regions. An NN
+// entry answers any query with the same k whose point the region
+// contains; a window entry answers any query with the same extents
+// whose focus the conservative rectangle contains. Entries are
+// invalidated wholesale by epoch: every Insert/Delete bumps the epoch
+// and all previous entries lazily expire.
+//
+// Cached validity objects are shared between all readers that hit them
+// and must be treated as read-only.
+type Cache struct {
+	universe geom.Rect
+	perShard int
+	epoch    atomic.Uint64
+	shards   [cacheShards]cacheShard
+}
+
+type cacheShard struct {
+	mu sync.Mutex
+	// entries is a small LRU: most recently used last; evict from the
+	// front.
+	entries []*cacheEntry
+}
+
+// cacheEntry is one cached validity region (exactly one of nn/win set).
+type cacheEntry struct {
+	epoch uint64
+	k     int
+	qx    float64 // window extents
+	qy    float64
+	nn    *core.NNValidity
+	win   *core.WindowValidity
+}
+
+// NewCache returns a cache holding at most size entries (rounded up to
+// at least one per shard). A nil cache is valid and never hits.
+func NewCache(universe geom.Rect, size int) *Cache {
+	if size <= 0 {
+		return nil
+	}
+	per := (size + cacheShards - 1) / cacheShards
+	return &Cache{universe: universe, perShard: per}
+}
+
+// Epoch returns the current invalidation epoch. Snapshot it before
+// computing a region; Put refuses the store if a write landed since.
+func (c *Cache) Epoch() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.epoch.Load()
+}
+
+// Invalidate expires every cached region. Called on Insert/Delete.
+func (c *Cache) Invalidate() {
+	if c == nil {
+		return
+	}
+	c.epoch.Add(1)
+}
+
+// Len returns the number of live entries (stale ones may be counted
+// until lazily evicted).
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// cell returns the clamped grid-cell coordinates of p.
+func (c *Cache) cell(p geom.Point) (uint64, uint64) {
+	fx := (p.X - c.universe.MinX) / c.universe.Width() * gridCells
+	fy := (p.Y - c.universe.MinY) / c.universe.Height() * gridCells
+	cx := uint64(math.Min(math.Max(fx, 0), gridCells-1))
+	cy := uint64(math.Min(math.Max(fy, 0), gridCells-1))
+	return cx, cy
+}
+
+// shardFor hashes (op tag, grid cell, two extra words) with FNV-1a and
+// folds onto a shard.
+func (c *Cache) shardFor(tag byte, cx, cy, a, b uint64) *cacheShard {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime
+			v >>= 8
+		}
+	}
+	h ^= uint64(tag)
+	h *= prime
+	mix(cx)
+	mix(cy)
+	mix(a)
+	mix(b)
+	return &c.shards[h&(cacheShards-1)]
+}
+
+func (c *Cache) nnShard(q geom.Point, k int) *cacheShard {
+	cx, cy := c.cell(q)
+	return c.shardFor('n', cx, cy, uint64(k), 0)
+}
+
+func (c *Cache) windowShard(focus geom.Point, qx, qy float64) *cacheShard {
+	cx, cy := c.cell(focus)
+	return c.shardFor('w', cx, cy, math.Float64bits(qx), math.Float64bits(qy))
+}
+
+// lookup scans one shard newest-first for the first entry satisfying
+// ok, dropping stale-epoch entries on the way and promoting the hit to
+// most recently used.
+func (s *cacheShard) lookup(epoch uint64, ok func(*cacheEntry) bool) *cacheEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := len(s.entries) - 1; i >= 0; i-- {
+		e := s.entries[i]
+		if e.epoch != epoch {
+			s.entries = append(s.entries[:i], s.entries[i+1:]...)
+			continue
+		}
+		if ok(e) {
+			if i != len(s.entries)-1 {
+				s.entries = append(append(s.entries[:i], s.entries[i+1:]...), e)
+			}
+			return e
+		}
+	}
+	return nil
+}
+
+// store appends an entry, evicting the least recently used past cap.
+func (s *cacheShard) store(perShard int, e *cacheEntry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries = append(s.entries, e)
+	if len(s.entries) > perShard {
+		s.entries = s.entries[len(s.entries)-perShard:]
+	}
+}
+
+// GetNN returns a cached NN validity answering (q, k), or nil. A hit
+// requires the query point inside the universe: the influence set only
+// bounds the region there, so the half-plane validity test is exact
+// only for in-universe points.
+func (c *Cache) GetNN(q geom.Point, k int) *core.NNValidity {
+	if c == nil || !c.universe.Contains(q) {
+		return nil
+	}
+	epoch := c.epoch.Load()
+	e := c.nnShard(q, k).lookup(epoch, func(e *cacheEntry) bool {
+		return e.nn != nil && e.k == k && e.nn.Valid(q)
+	})
+	if e == nil {
+		return nil
+	}
+	return e.nn
+}
+
+// PutNN stores an NN validity computed while the epoch was epoch0. The
+// store is refused when a write landed since (the region may already be
+// stale) or when the region is degenerate.
+func (c *Cache) PutNN(epoch0 uint64, v *core.NNValidity) {
+	if c == nil || v == nil || len(v.Region) == 0 {
+		return
+	}
+	if c.epoch.Load() != epoch0 {
+		return
+	}
+	c.nnShard(v.Query, v.K).store(c.perShard, &cacheEntry{epoch: epoch0, k: v.K, nn: v})
+}
+
+// GetWindow returns a cached window validity answering a qx×qy window
+// at the focus, or nil. The hit test is the conservative rectangle —
+// cheap, and contained in the true validity region.
+func (c *Cache) GetWindow(focus geom.Point, qx, qy float64) *core.WindowValidity {
+	if c == nil {
+		return nil
+	}
+	epoch := c.epoch.Load()
+	e := c.windowShard(focus, qx, qy).lookup(epoch, func(e *cacheEntry) bool {
+		return e.win != nil && geom.ExactEq(e.qx, qx) && geom.ExactEq(e.qy, qy) &&
+			e.win.Conservative.Contains(focus)
+	})
+	if e == nil {
+		return nil
+	}
+	return e.win
+}
+
+// PutWindow stores a window validity computed while the epoch was
+// epoch0 (refused after an interleaved write, or when the conservative
+// rectangle is degenerate).
+func (c *Cache) PutWindow(epoch0 uint64, wv *core.WindowValidity) {
+	if c == nil || wv == nil {
+		return
+	}
+	cons := wv.Conservative
+	if cons.Width() <= 0 || cons.Height() <= 0 {
+		return
+	}
+	if c.epoch.Load() != epoch0 {
+		return
+	}
+	qx, qy := wv.Window.Width(), wv.Window.Height()
+	c.windowShard(wv.Focus, qx, qy).store(c.perShard, &cacheEntry{
+		epoch: epoch0, qx: qx, qy: qy, win: wv,
+	})
+}

@@ -1,0 +1,79 @@
+package qexec
+
+import (
+	"context"
+	"math"
+	"strconv"
+	"sync"
+
+	"lbsq/internal/core"
+	"lbsq/internal/geom"
+	"lbsq/internal/nn"
+)
+
+// flight is one in-progress computation that identical concurrent
+// misses attach to instead of recomputing. The leader fills the result
+// fields, closes done, and forgets the key; followers wait on done and
+// share the result at zero query cost.
+type flight struct {
+	done chan struct{}
+	nn   *core.NNValidity
+	nbs  []nn.Neighbor
+	win  *core.WindowValidity
+	err  error
+}
+
+// flightGroup coalesces identical in-flight cache misses.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flight
+}
+
+// join returns the flight for key and whether the caller is its leader.
+// A leader MUST call complete exactly once, on every path.
+func (g *flightGroup) join(key string) (*flight, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.calls[key]; ok {
+		return f, false
+	}
+	if g.calls == nil {
+		g.calls = make(map[string]*flight)
+	}
+	f := &flight{done: make(chan struct{})}
+	g.calls[key] = f
+	return f, true
+}
+
+// complete publishes the leader's result and releases the key so later
+// misses start a fresh computation.
+func (g *flightGroup) complete(key string, f *flight) {
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(f.done)
+}
+
+// wait blocks until the flight completes or ctx is cancelled.
+func (f *flight) wait(ctx context.Context) error {
+	select {
+	case <-f.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Flight keys identify queries by exact coordinate bits, so only truly
+// identical queries coalesce.
+
+func u64s(v uint64) string { return strconv.FormatUint(v, 16) }
+
+func nnFlightKey(q geom.Point, k int) string {
+	return "n|" + u64s(math.Float64bits(q.X)) + "|" + u64s(math.Float64bits(q.Y)) + "|" + strconv.Itoa(k)
+}
+
+func windowFlightKey(w geom.Rect) string {
+	return "w|" + u64s(math.Float64bits(w.MinX)) + "|" + u64s(math.Float64bits(w.MinY)) +
+		"|" + u64s(math.Float64bits(w.MaxX)) + "|" + u64s(math.Float64bits(w.MaxY))
+}

@@ -1,0 +1,84 @@
+package qexec
+
+import (
+	"lbsq/internal/obs"
+)
+
+// Cacheable operation names used as the op label of cache metrics.
+const (
+	opNN     = "nn"
+	opKNN    = "knn"
+	opWindow = "window"
+)
+
+var cacheOps = []string{opNN, opKNN, opWindow}
+
+// batchSizeBuckets spans batch sizes from single requests to large
+// client fan-ins.
+var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// Metrics holds the executor's always-on instruments.
+type Metrics struct {
+	hits      map[string]*obs.Counter
+	misses    map[string]*obs.Counter
+	coalesced *obs.Counter
+	batches   *obs.Counter
+	batchSize *obs.Histogram
+}
+
+// newMetrics registers the executor instruments on reg (nil reg → nil
+// metrics, and every record method tolerates a nil receiver).
+func newMetrics(reg *obs.Registry, cache *Cache) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	m := &Metrics{
+		hits:   make(map[string]*obs.Counter, len(cacheOps)),
+		misses: make(map[string]*obs.Counter, len(cacheOps)),
+	}
+	for _, op := range cacheOps {
+		m.hits[op] = reg.Counter("lbsq_cache_hits_total",
+			"Validity-cache hits (queries answered with zero node accesses), by operation.",
+			obs.Labels{"op": op})
+		m.misses[op] = reg.Counter("lbsq_cache_misses_total",
+			"Validity-cache misses, by operation.",
+			obs.Labels{"op": op})
+	}
+	m.coalesced = reg.Counter("lbsq_cache_coalesced_total",
+		"Identical in-flight misses coalesced onto one computation.", nil)
+	m.batches = reg.Counter("lbsq_batches_total",
+		"Query batches executed.", nil)
+	m.batchSize = reg.Histogram("lbsq_batch_size",
+		"Requests per executed batch.", nil, batchSizeBuckets)
+	if cache != nil {
+		reg.GaugeFunc("lbsq_cache_entries",
+			"Live validity-cache entries.", nil,
+			func() float64 { return float64(cache.Len()) })
+	}
+	return m
+}
+
+func (m *Metrics) hit(op string) {
+	if m != nil {
+		m.hits[op].Inc()
+	}
+}
+
+func (m *Metrics) miss(op string) {
+	if m != nil {
+		m.misses[op].Inc()
+	}
+}
+
+func (m *Metrics) coalesce() {
+	if m != nil {
+		m.coalesced.Inc()
+	}
+}
+
+func (m *Metrics) batch(n int) {
+	if m != nil {
+		m.batches.Inc()
+		m.batchSize.Observe(float64(n))
+	}
+}

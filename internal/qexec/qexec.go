@@ -1,0 +1,405 @@
+package qexec
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"lbsq/internal/core"
+	"lbsq/internal/geom"
+	"lbsq/internal/nn"
+	"lbsq/internal/obs"
+	"lbsq/internal/rtree"
+	"lbsq/internal/shard"
+)
+
+// Op discriminates the request union of a batch.
+type Op uint8
+
+// Batch operations.
+const (
+	OpNN     Op = iota + 1 // k-NN with validity region
+	OpKNN                  // plain k-NN (no validity)
+	OpWindow               // location-based window query
+	OpRange                // location-based range query
+	OpCount                // aggregate window count
+	OpSearch               // plain window enumeration
+)
+
+// Request is one query of a batch: a tagged union whose meaningful
+// fields depend on Op (Q+K for NN/kNN, W for window/count/search, Q+
+// Radius for range).
+type Request struct {
+	Op     Op
+	Q      geom.Point
+	K      int
+	W      geom.Rect
+	Radius float64
+}
+
+// Response is one request's answer. Exactly one result field is set
+// according to the request's Op; per-request failures are carried in
+// Err rather than failing the batch. Validity objects obtained from
+// cache hits or coalesced flights are shared and must be treated as
+// read-only.
+type Response struct {
+	NN        *core.NNValidity
+	Neighbors []nn.Neighbor
+	Window    *core.WindowValidity
+	Range     *core.RangeValidity
+	Count     int
+	Items     []rtree.Item
+	Cost      core.QueryCost
+	CacheHit  bool
+	Coalesced bool
+	Err       error
+}
+
+// Config parameterizes an Executor.
+type Config struct {
+	// Workers bounds the local worker pool of unsharded batch
+	// execution (≤ 0 → 4; sharded execution is bounded by the
+	// cluster's own pool).
+	Workers int
+	// CacheSize is the total validity-cache capacity in entries;
+	// 0 disables the cache.
+	CacheSize int
+	// Registry receives cache and batch metrics (nil → unmetered).
+	Registry *obs.Registry
+}
+
+// defaultWorkers bounds the local pool when Config.Workers is unset.
+const defaultWorkers = 4
+
+// Executor runs batches of queries and serves single queries through
+// the validity cache. Exactly one of the two engines is set: a local
+// core.Server guarded by its owner's RWMutex, or a sharded Cluster
+// (which does its own locking and pooling).
+type Executor struct {
+	single  *core.Server
+	mu      *sync.RWMutex
+	cluster *shard.Cluster
+	workers int
+	cache   *Cache
+	sf      flightGroup
+	met     *Metrics
+}
+
+// New returns an executor over either engine: pass (srv, mu, nil) for a
+// single-server database or (nil, nil, cluster) for a sharded one.
+func New(srv *core.Server, mu *sync.RWMutex, cluster *shard.Cluster, cfg Config) *Executor {
+	e := &Executor{single: srv, mu: mu, cluster: cluster, workers: cfg.Workers}
+	if e.workers <= 0 {
+		e.workers = defaultWorkers
+	}
+	universe := geom.Rect{}
+	if cluster != nil {
+		universe = cluster.Universe
+	} else if srv != nil {
+		universe = srv.Universe
+	}
+	e.cache = NewCache(universe, cfg.CacheSize)
+	e.met = newMetrics(cfg.Registry, e.cache)
+	return e
+}
+
+// Cache returns the executor's validity cache (nil when disabled).
+func (e *Executor) Cache() *Cache { return e.cache }
+
+// Invalidate expires every cached validity region; the owner calls it
+// on Insert/Delete.
+func (e *Executor) Invalidate() { e.cache.Invalidate() }
+
+// group is one set of identical cacheable requests within a batch,
+// attached to one (possibly cross-batch) flight.
+type group struct {
+	key    string
+	op     Op
+	idxs   []int
+	f      *flight
+	leader bool
+}
+
+// Batch executes a batch of queries: cache hits answer immediately,
+// identical misses coalesce onto one computation, and the remainder
+// executes in one pass — a grouped per-shard scatter on clusters, a
+// bounded worker pool locally. The returned slice parallels reqs. The
+// only batch-level error is context cancellation; per-request errors
+// are carried in Response.Err.
+func (e *Executor) Batch(ctx context.Context, reqs []Request) ([]Response, error) {
+	e.met.batch(len(reqs))
+	resps := make([]Response, len(reqs))
+	epoch0 := e.cache.Epoch()
+
+	var (
+		execIdx []int
+		groups  map[string]*group
+		order   []*group
+	)
+	joinGroup := func(i int, op Op, key string) {
+		if groups == nil {
+			groups = make(map[string]*group)
+		}
+		g := groups[key]
+		if g == nil {
+			f, leader := e.sf.join(key)
+			g = &group{key: key, op: op, f: f, leader: leader}
+			groups[key] = g
+			order = append(order, g)
+			if leader {
+				execIdx = append(execIdx, i)
+			}
+		}
+		g.idxs = append(g.idxs, i)
+	}
+
+	for i := range reqs {
+		r := &reqs[i]
+		switch r.Op {
+		case OpNN:
+			if v := e.cache.GetNN(r.Q, r.K); v != nil {
+				e.met.hit(opNN)
+				resps[i] = Response{NN: v, CacheHit: true}
+				continue
+			}
+			if e.cache != nil {
+				e.met.miss(opNN)
+			}
+			joinGroup(i, r.Op, nnFlightKey(r.Q, r.K))
+		case OpKNN:
+			if v := e.cache.GetNN(r.Q, r.K); v != nil {
+				e.met.hit(opKNN)
+				resps[i] = Response{Neighbors: v.Neighbors, CacheHit: true}
+				continue
+			}
+			if e.cache != nil {
+				e.met.miss(opKNN)
+			}
+			joinGroup(i, r.Op, "k|"+nnFlightKey(r.Q, r.K))
+		case OpWindow:
+			if wv := e.cache.GetWindow(r.W.Center(), r.W.Width(), r.W.Height()); wv != nil {
+				e.met.hit(opWindow)
+				resps[i] = Response{Window: wv, CacheHit: true}
+				continue
+			}
+			if e.cache != nil {
+				e.met.miss(opWindow)
+			}
+			joinGroup(i, r.Op, windowFlightKey(r.W))
+		default:
+			execIdx = append(execIdx, i)
+		}
+	}
+
+	bErr := e.execute(ctx, reqs, execIdx, resps)
+
+	// Publish leader flights on every path, so cross-batch followers
+	// never strand; store fresh regions under the pre-execution epoch.
+	for _, g := range order {
+		if !g.leader {
+			continue
+		}
+		lead := &resps[g.idxs[0]]
+		if bErr != nil {
+			g.f.err = bErr
+		} else {
+			g.f.nn, g.f.nbs, g.f.win, g.f.err = lead.NN, lead.Neighbors, lead.Window, lead.Err
+			if lead.Err == nil {
+				e.cache.PutNN(epoch0, lead.NN)
+				e.cache.PutWindow(epoch0, lead.Window)
+			}
+		}
+		e.sf.complete(g.key, g.f)
+	}
+	if bErr != nil {
+		return nil, bErr
+	}
+
+	for _, g := range order {
+		share := g.idxs[1:]
+		if !g.leader {
+			if err := g.f.wait(ctx); err != nil {
+				return nil, err
+			}
+			share = g.idxs
+		}
+		for _, i := range share {
+			e.met.coalesce()
+			resps[i] = Response{Coalesced: true, Err: g.f.err}
+			switch g.op {
+			case OpNN:
+				resps[i].NN = g.f.nn
+			case OpKNN:
+				resps[i].Neighbors = g.f.nbs
+			case OpWindow:
+				resps[i].Window = g.f.win
+			}
+		}
+	}
+	return resps, nil
+}
+
+// execute runs the listed requests on the underlying engine.
+func (e *Executor) execute(ctx context.Context, reqs []Request, idxs []int, resps []Response) error {
+	if len(idxs) == 0 {
+		return ctx.Err()
+	}
+	if e.cluster != nil {
+		breqs := make([]shard.BatchReq, len(idxs))
+		for j, i := range idxs {
+			r := &reqs[i]
+			breqs[j] = shard.BatchReq{Op: shardOp(r.Op), Q: r.Q, K: r.K, W: r.W, Radius: r.Radius}
+		}
+		bresps, err := e.cluster.BatchCtx(ctx, breqs)
+		if err != nil {
+			return err
+		}
+		for j, i := range idxs {
+			b := &bresps[j]
+			resps[i] = Response{
+				NN: b.NN, Neighbors: b.Neighbors, Window: b.Window,
+				Range: b.Range, Count: b.Count, Items: b.Items,
+				Cost: b.Cost, Err: b.Err,
+			}
+		}
+		return nil
+	}
+
+	sem := make(chan struct{}, e.workers)
+	var wg sync.WaitGroup
+	for _, i := range idxs {
+		if ctx.Err() != nil {
+			break
+		}
+		i := i
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			e.runOne(&reqs[i], &resps[i])
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// shardOp maps an executor op onto the cluster batch op (same order).
+func shardOp(op Op) shard.BatchOp {
+	return shard.BatchOp(op)
+}
+
+// runOne executes one request on the local server under the owner's
+// read lock, exactly like the corresponding single-query path.
+func (e *Executor) runOne(r *Request, resp *Response) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	switch r.Op {
+	case OpNN:
+		resp.NN, resp.Cost, resp.Err = e.single.NNQuery(r.Q, r.K)
+	case OpKNN:
+		resp.Neighbors = nn.KNearest(e.single.Tree, r.Q, r.K)
+	case OpWindow:
+		resp.Window, resp.Cost = e.single.WindowQuery(r.W)
+	case OpRange:
+		resp.Range, resp.Cost = e.single.RangeQuery(r.Q, r.Radius)
+	case OpCount:
+		resp.Count = e.single.Tree.CountWindow(r.W)
+	case OpSearch:
+		resp.Items = e.single.Tree.SearchItems(r.W)
+	default:
+		resp.Err = fmt.Errorf("qexec: unknown op %d", r.Op)
+	}
+}
+
+// NNCached answers one NN query through the cache: a hit returns the
+// shared region at zero cost; identical concurrent misses coalesce onto
+// one computation. hit and coalesced report which path answered.
+func (e *Executor) NNCached(ctx context.Context, q geom.Point, k int) (v *core.NNValidity, cost core.QueryCost, hit, coalesced bool, err error) {
+	if v := e.cache.GetNN(q, k); v != nil {
+		e.met.hit(opNN)
+		return v, core.QueryCost{}, true, false, nil
+	}
+	if e.cache == nil {
+		v, cost, err = e.runNN(ctx, q, k)
+		return v, cost, false, false, err
+	}
+	e.met.miss(opNN)
+	key := nnFlightKey(q, k)
+	f, leader := e.sf.join(key)
+	if !leader {
+		e.met.coalesce()
+		if err := f.wait(ctx); err != nil {
+			return nil, core.QueryCost{}, false, true, err
+		}
+		return f.nn, core.QueryCost{}, false, true, f.err
+	}
+	epoch0 := e.cache.Epoch()
+	v, cost, err = e.runNN(ctx, q, k)
+	if err == nil {
+		e.cache.PutNN(epoch0, v)
+	}
+	f.nn, f.err = v, err
+	e.sf.complete(key, f)
+	return v, cost, false, false, err
+}
+
+// WindowCached answers one window query through the cache (see
+// NNCached): a hit is a cached answer of identical extents whose
+// conservative rectangle contains this window's center.
+func (e *Executor) WindowCached(ctx context.Context, w geom.Rect) (wv *core.WindowValidity, cost core.QueryCost, hit, coalesced bool, err error) {
+	if wv := e.cache.GetWindow(w.Center(), w.Width(), w.Height()); wv != nil {
+		e.met.hit(opWindow)
+		return wv, core.QueryCost{}, true, false, nil
+	}
+	if e.cache == nil {
+		wv, cost, err = e.runWindow(ctx, w)
+		return wv, cost, false, false, err
+	}
+	e.met.miss(opWindow)
+	key := windowFlightKey(w)
+	f, leader := e.sf.join(key)
+	if !leader {
+		e.met.coalesce()
+		if err := f.wait(ctx); err != nil {
+			return nil, core.QueryCost{}, false, true, err
+		}
+		return f.win, core.QueryCost{}, false, true, f.err
+	}
+	epoch0 := e.cache.Epoch()
+	wv, cost, err = e.runWindow(ctx, w)
+	if err == nil {
+		e.cache.PutWindow(epoch0, wv)
+	}
+	f.win, f.err = wv, err
+	e.sf.complete(key, f)
+	return wv, cost, false, false, err
+}
+
+// runNN executes one uncached NN query on the underlying engine.
+func (e *Executor) runNN(ctx context.Context, q geom.Point, k int) (*core.NNValidity, core.QueryCost, error) {
+	if e.cluster != nil {
+		return e.cluster.NNQueryCtx(ctx, q, k)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, core.QueryCost{}, err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.single.NNQuery(q, k)
+}
+
+// runWindow executes one uncached window query on the underlying
+// engine.
+func (e *Executor) runWindow(ctx context.Context, w geom.Rect) (*core.WindowValidity, core.QueryCost, error) {
+	if e.cluster != nil {
+		return e.cluster.WindowQueryCtx(ctx, w)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, core.QueryCost{}, err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	wv, cost := e.single.WindowQuery(w)
+	return wv, cost, nil
+}

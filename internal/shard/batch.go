@@ -1,0 +1,562 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"lbsq/internal/core"
+	"lbsq/internal/geom"
+	"lbsq/internal/nn"
+	"lbsq/internal/rtree"
+)
+
+// Batched execution: a whole batch of heterogeneous queries is executed
+// with one scatter per round — every shard receives ONE task per round
+// carrying all the work the batch has for it — instead of one scatter
+// fan-out per query. The per-request algorithms and pruning rules are
+// exactly the per-query ones (the merge helpers are shared), so batched
+// answers are identical to sequential answers; only the scheduling
+// differs. Rounds:
+//
+//	round 1: NN/kNN owner-shard candidates, window queries on routed
+//	         shards, range result scans, count/search partials
+//	round 2: NN/kNN pruned candidate fan-out, window empty-result
+//	         fallback, range outer scans or empty-result NN probes
+//	round 3: NN influence on the owner shard (bounds the region)
+//	round 4: NN influence on the remaining shards within reach
+//
+// Rounds with no work are skipped, so a batch costs at most four
+// scatters regardless of its size. Shard jobs run concurrently across
+// shards, so they write only to their own per-shard slot; all merging
+// (and hence all ordering-sensitive work, like bisector clipping) is
+// done by the coordinator between rounds, in the same deterministic
+// order as the per-query paths.
+
+// BatchOp discriminates the request union of a cluster batch.
+type BatchOp uint8
+
+// Batch operations.
+const (
+	BatchNN     BatchOp = iota + 1 // k-NN with validity region
+	BatchKNN                       // plain k-NN (no validity)
+	BatchWindow                    // location-based window query
+	BatchRange                     // location-based range query
+	BatchCount                     // aggregate window count
+	BatchSearch                    // plain window enumeration
+)
+
+// BatchReq is one request of a cluster batch.
+type BatchReq struct {
+	Op     BatchOp
+	Q      geom.Point // NN/kNN query point, range center, window focus
+	K      int        // NN/kNN neighbor count
+	W      geom.Rect  // window / count / search rectangle
+	Radius float64    // range radius
+}
+
+// BatchResp is one request's answer. Exactly one result field is set
+// according to the request's Op; per-request failures land in Err
+// rather than failing the batch.
+type BatchResp struct {
+	NN        *core.NNValidity
+	Neighbors []nn.Neighbor
+	Window    *core.WindowValidity
+	Range     *core.RangeValidity
+	Count     int
+	Items     []rtree.Item
+	Cost      core.QueryCost
+	Err       error
+}
+
+// shardJob is one unit of per-shard work, run under the shard's read
+// lock inside that shard's (single) task for the round.
+type shardJob func(s *node)
+
+// runGrouped executes one round: every shard with queued jobs gets one
+// scatter task running them back to back.
+func (c *Cluster) runGrouped(ctx context.Context, jobs [][]shardJob) error {
+	var idxs []int
+	for i, js := range jobs {
+		if len(js) > 0 {
+			idxs = append(idxs, i)
+		}
+	}
+	if len(idxs) == 0 {
+		return ctx.Err()
+	}
+	return c.scatter(ctx, idxs, func(i int, s *node) {
+		for _, job := range jobs[i] {
+			job(s)
+		}
+	})
+}
+
+// batchState tracks one in-flight request across rounds. Shard jobs of
+// the same request run concurrently within a round, so every field a
+// job writes is a per-shard slot; scalars are only touched by the
+// coordinator between rounds.
+type batchState struct {
+	req     BatchReq
+	resp    *BatchResp
+	done    bool
+	touched map[int]bool
+
+	// Per-shard phase costs, accumulated by jobs into their own slot
+	// and summed by the coordinator when the request finishes.
+	resCosts []phaseCost      // NN/kNN candidate phases
+	infCosts []phaseCost      // NN influence phases
+	wCosts   []core.QueryCost // window queries (both phases)
+
+	// NN/kNN state.
+	order   []int
+	found   [][]nn.Neighbor
+	merger  *nnMerger
+	members []rtree.Item
+	dk      float64
+	infRest []int
+	parts   []*core.NNValidity
+	errs    []error
+
+	// Window state.
+	wvs    []*core.WindowValidity
+	routed []int
+
+	// Range state.
+	items    [][]rtree.Item
+	cands    []int
+	dists    []float64
+	inResult map[int64]bool
+	search   geom.Rect
+}
+
+func (st *batchState) touch(i int) {
+	if st.touched == nil {
+		st.touched = make(map[int]bool)
+	}
+	st.touched[i] = true
+}
+
+// fail finishes the request with a per-request error.
+func (st *batchState) fail(err error) {
+	st.resp.Err = err
+	st.done = true
+}
+
+// BatchCtx executes a batch of queries with grouped per-shard scatter
+// (see the package comment above). The returned slice parallels reqs;
+// per-request errors are carried in BatchResp.Err. The only batch-level
+// error is context cancellation, which aborts between rounds and
+// discards the partial gather.
+func (c *Cluster) BatchCtx(ctx context.Context, reqs []BatchReq) ([]BatchResp, error) {
+	resps := make([]BatchResp, len(reqs))
+	states := make([]*batchState, len(reqs))
+	for r := range reqs {
+		states[r] = &batchState{req: reqs[r], resp: &resps[r]}
+	}
+
+	defer func() {
+		for _, st := range states {
+			c.observeFanout(batchOpName(st.req.Op), len(st.touched))
+		}
+	}()
+
+	for round := 1; round <= 4; round++ {
+		jobs := make([][]shardJob, len(c.shards))
+		plan := func(i int, job shardJob) { jobs[i] = append(jobs[i], job) }
+		for _, st := range states {
+			if !st.done {
+				c.planRound(st, round, plan)
+			}
+		}
+		if err := c.runGrouped(ctx, jobs); err != nil {
+			return nil, err
+		}
+		for _, st := range states {
+			if !st.done {
+				c.afterRound(st, round)
+			}
+		}
+	}
+	return resps, nil
+}
+
+// batchOpName maps a BatchOp to its metrics label.
+func batchOpName(op BatchOp) string {
+	switch op {
+	case BatchNN:
+		return opNN
+	case BatchKNN:
+		return opKNN
+	case BatchWindow:
+		return opWindow
+	case BatchRange:
+		return opRange
+	case BatchCount:
+		return opCount
+	default:
+		return opSearch
+	}
+}
+
+// planRound queues one request's per-shard jobs for the given round.
+func (c *Cluster) planRound(st *batchState, round int, plan func(int, shardJob)) {
+	switch st.req.Op {
+	case BatchNN, BatchKNN:
+		c.planNN(st, round, plan)
+	case BatchWindow:
+		c.planWindow(st, round, plan)
+	case BatchRange:
+		c.planRange(st, round, plan)
+	case BatchCount, BatchSearch:
+		if round == 1 {
+			c.planEnumeration(st, plan)
+		}
+	default:
+		st.fail(fmt.Errorf("shard: unknown batch op %d", st.req.Op))
+	}
+}
+
+// afterRound merges one request's gathered partials after the round.
+func (c *Cluster) afterRound(st *batchState, round int) {
+	switch st.req.Op {
+	case BatchNN, BatchKNN:
+		c.afterNN(st, round)
+	case BatchWindow:
+		c.afterWindow(st, round)
+	case BatchRange:
+		c.afterRange(st, round)
+	case BatchCount, BatchSearch:
+		if round == 1 {
+			c.afterEnumeration(st)
+		}
+	}
+}
+
+// sumCosts folds the per-shard phase costs into the response's cost.
+// Called exactly once, when the request finishes.
+func (st *batchState) sumCosts() {
+	for _, pc := range st.resCosts {
+		st.resp.Cost.ResultNA += pc.na
+		st.resp.Cost.ResultPA += pc.pa
+	}
+	for _, pc := range st.infCosts {
+		st.resp.Cost.InfNA += pc.na
+		st.resp.Cost.InfPA += pc.pa
+	}
+	for _, qc := range st.wCosts {
+		st.resp.Cost.ResultNA += qc.ResultNA
+		st.resp.Cost.ResultPA += qc.ResultPA
+		st.resp.Cost.InfNA += qc.InfNA
+		st.resp.Cost.InfPA += qc.InfPA
+	}
+}
+
+// --- NN / kNN -------------------------------------------------------------
+
+func (c *Cluster) planNN(st *batchState, round int, plan func(int, shardJob)) {
+	q, k := st.req.Q, st.req.K
+	switch round {
+	case 1:
+		if k < 1 {
+			if st.req.Op == BatchNN {
+				st.fail(fmt.Errorf("shard: k must be ≥ 1"))
+			} else {
+				st.done = true // per-query KNearest returns nil for k < 1
+			}
+			return
+		}
+		st.order = c.byMinDist(q)
+		st.found = make([][]nn.Neighbor, len(c.shards))
+		st.resCosts = make([]phaseCost, len(c.shards))
+		st.candidateJob(st.order[0], q, k, plan)
+	case 2:
+		// Pruned candidate fan-out: only shards within the owner's k-th
+		// distance can contribute (exactly gatherCandidates' rule).
+		du := math.Inf(1)
+		if first := st.found[st.order[0]]; len(first) >= k {
+			du = first[k-1].Dist
+		}
+		for _, i := range c.withinReach(q, st.order[1:], du) {
+			st.candidateJob(i, q, k, plan)
+		}
+	case 3:
+		// Influence on the owner shard first, to bound the region
+		// before the reach pruning of round 4.
+		st.infCosts = make([]phaseCost, len(c.shards))
+		st.parts = make([]*core.NNValidity, len(c.shards))
+		st.errs = make([]error, len(c.shards))
+		st.influenceJob(st.order[0], q, c.Universe, plan)
+	case 4:
+		for _, i := range st.infRest {
+			st.influenceJob(i, q, c.Universe, plan)
+		}
+	}
+}
+
+// candidateJob queues a local k-NN candidate scan on shard i.
+func (st *batchState) candidateJob(i int, q geom.Point, k int, plan func(int, shardJob)) {
+	st.touch(i)
+	plan(i, func(s *node) {
+		na0, pa0 := s.srv.Tree.NodeAccesses(), s.faults()
+		st.found[i] = nn.KNearest(s.srv.Tree, q, k)
+		st.resCosts[i] = shardDelta(s, na0, pa0)
+	})
+}
+
+// influenceJob queues the influence-set computation of the global
+// members against shard i. The part is merged by the coordinator after
+// the round, in deterministic shard order.
+func (st *batchState) influenceJob(i int, q geom.Point, universe geom.Rect, plan func(int, shardJob)) {
+	st.touch(i)
+	plan(i, func(s *node) {
+		st.parts[i], st.infCosts[i], st.errs[i] = influenceShard(s, q, st.members, universe)
+	})
+}
+
+func (c *Cluster) afterNN(st *batchState, round int) {
+	q, k := st.req.Q, st.req.K
+	switch round {
+	case 2:
+		all := mergeNeighborParts(st.found)
+		if st.req.Op == BatchKNN {
+			if len(all) > k {
+				all = all[:k]
+			}
+			st.resp.Neighbors = all
+			st.sumCosts()
+			st.done = true
+			return
+		}
+		if len(all) < k {
+			st.sumCosts()
+			st.fail(fmt.Errorf("core: dataset has fewer than %d points", k))
+			return
+		}
+		all = all[:k]
+		st.members = make([]rtree.Item, k)
+		for i, nb := range all {
+			st.members[i] = nb.Item
+		}
+		st.dk = all[k-1].Dist
+		st.merger = newNNMerger(c.Universe, q, k, all)
+	case 3:
+		owner := st.order[0]
+		if st.errs[owner] != nil {
+			st.resp.NN = st.merger.finish()
+			st.sumCosts()
+			st.fail(st.errs[owner])
+			return
+		}
+		st.merger.add(st.parts[owner])
+		if reach, ok := st.merger.reach(q, st.dk); ok {
+			st.infRest = c.withinReach(q, st.order[1:], reach)
+		}
+	case 4:
+		var firstErr error
+		for _, i := range st.infRest {
+			if st.errs[i] != nil {
+				if firstErr == nil {
+					firstErr = st.errs[i]
+				}
+				continue
+			}
+			st.merger.add(st.parts[i])
+		}
+		st.resp.NN = st.merger.finish()
+		st.resp.Err = firstErr
+		st.sumCosts()
+		st.done = true
+	}
+}
+
+// --- window ---------------------------------------------------------------
+
+func (c *Cluster) planWindow(st *batchState, round int, plan func(int, shardJob)) {
+	w := st.req.W
+	switch round {
+	case 1:
+		idxs := c.overlapping(w.Inflate(w.Width(), w.Height()))
+		if len(idxs) == 0 {
+			idxs = c.allShards()
+		}
+		st.routed = idxs
+		st.wvs = make([]*core.WindowValidity, len(c.shards))
+		st.wCosts = make([]core.QueryCost, len(c.shards))
+		for _, i := range idxs {
+			st.windowJob(i, w, plan)
+		}
+	case 2:
+		// Empty result: the validity region is bounded by the globally
+		// nearest point, so the untouched shards must weigh in too.
+		if resultCount(st.wvs) > 0 || len(st.routed) == len(c.shards) {
+			return
+		}
+		queried := make(map[int]bool, len(st.routed))
+		for _, i := range st.routed {
+			queried[i] = true
+		}
+		for i := range c.shards {
+			if !queried[i] {
+				st.windowJob(i, w, plan)
+			}
+		}
+	}
+}
+
+// windowJob queues the full single-server window query on shard i.
+func (st *batchState) windowJob(i int, w geom.Rect, plan func(int, shardJob)) {
+	st.touch(i)
+	plan(i, func(s *node) {
+		st.wvs[i], st.wCosts[i] = s.srv.WindowQuery(w)
+	})
+}
+
+func (c *Cluster) afterWindow(st *batchState, round int) {
+	if round != 2 {
+		return
+	}
+	st.resp.Window = mergeWindowParts(c.Universe, st.req.W, st.wvs)
+	st.sumCosts()
+	st.done = true
+}
+
+// --- range ----------------------------------------------------------------
+
+func (c *Cluster) planRange(st *batchState, round int, plan func(int, shardJob)) {
+	center, radius := st.req.Q, st.req.Radius
+	switch round {
+	case 1:
+		st.resp.Range = &core.RangeValidity{Center: center, Radius: radius}
+		if radius <= 0 {
+			st.done = true
+			return
+		}
+		st.items = make([][]rtree.Item, len(c.shards))
+		st.resCosts = make([]phaseCost, len(c.shards))
+		r2 := radius * radius
+		bb := geom.RectCenteredAt(center, 2*radius, 2*radius)
+		for _, i := range c.overlapping(bb) {
+			i := i
+			st.touch(i)
+			st.routed = append(st.routed, i)
+			plan(i, func(s *node) {
+				na0, pa0 := s.srv.Tree.NodeAccesses(), s.faults()
+				s.srv.Tree.Search(bb, func(it rtree.Item) bool {
+					if it.P.Dist2(center) <= r2 {
+						st.items[i] = append(st.items[i], it)
+					}
+					return true
+				})
+				st.addRangeCost(i, s, na0, pa0)
+			})
+		}
+	case 2:
+		rv := st.resp.Range
+		for _, i := range st.routed {
+			rv.Result = append(rv.Result, st.items[i]...)
+		}
+		if len(rv.Result) == 0 {
+			// Conservative disk around the globally nearest point: probe
+			// every shard and keep the minimum distance.
+			st.dists = make([]float64, len(c.shards))
+			for i := range c.shards {
+				i := i
+				st.touch(i)
+				plan(i, func(s *node) {
+					na0, pa0 := s.srv.Tree.NodeAccesses(), s.faults()
+					if nb, ok := nn.Nearest(s.srv.Tree, center); ok {
+						st.dists[i] = nb.Dist
+					} else {
+						st.dists[i] = math.Inf(1)
+					}
+					st.addRangeCost(i, s, na0, pa0)
+				})
+			}
+			return
+		}
+		st.inResult = rangeInnerRegion(rv)
+		st.search = rangeOuterSearchRect(rv)
+		st.cands = make([]int, len(c.shards))
+		for _, i := range c.overlapping(st.search) {
+			i := i
+			st.touch(i)
+			st.items[i] = nil // reuse for outer points, gathered after the round
+			plan(i, func(s *node) {
+				na0, pa0 := s.srv.Tree.NodeAccesses(), s.faults()
+				st.items[i], st.cands[i] = rangeOuterScan(s.srv.Tree, st.search, rv, st.inResult)
+				st.addRangeCost(i, s, na0, pa0)
+			})
+		}
+	}
+}
+
+// addRangeCost accumulates one shard's access delta into that shard's
+// result-phase slot (range accounting uses the result phase only, as in
+// RangeQueryCtx; rounds are barriers, so += per slot is race-free).
+func (st *batchState) addRangeCost(i int, s *node, na0, pa0 int64) {
+	pc := shardDelta(s, na0, pa0)
+	st.resCosts[i].na += pc.na
+	st.resCosts[i].pa += pc.pa
+}
+
+func (c *Cluster) afterRange(st *batchState, round int) {
+	if round != 2 {
+		return
+	}
+	rv := st.resp.Range
+	if len(rv.Result) == 0 {
+		d := math.Inf(1)
+		for _, di := range st.dists {
+			if di < d {
+				d = di
+			}
+		}
+		if !math.IsInf(d, 1) {
+			rv.Inner.Add(geom.Disk{C: st.req.Q, R: math.Max(0, d-rv.Radius)})
+		}
+		st.sumCosts()
+		st.done = true
+		return
+	}
+	for i := range c.shards {
+		rv.OuterInfluence = append(rv.OuterInfluence, st.items[i]...)
+		rv.CandidateOuter += st.cands[i]
+	}
+	sort.Slice(rv.OuterInfluence, func(a, b int) bool {
+		return rv.OuterInfluence[a].ID < rv.OuterInfluence[b].ID
+	})
+	st.sumCosts()
+	st.done = true
+}
+
+// --- count / search -------------------------------------------------------
+
+func (c *Cluster) planEnumeration(st *batchState, plan func(int, shardJob)) {
+	w := st.req.W
+	st.items = make([][]rtree.Item, len(c.shards))
+	st.cands = make([]int, len(c.shards))
+	for _, i := range c.overlapping(w) {
+		i := i
+		st.touch(i)
+		st.routed = append(st.routed, i)
+		if st.req.Op == BatchCount {
+			plan(i, func(s *node) {
+				st.cands[i] = s.srv.Tree.CountWindow(w)
+			})
+		} else {
+			plan(i, func(s *node) {
+				st.items[i] = s.srv.Tree.SearchItems(w)
+			})
+		}
+	}
+}
+
+func (c *Cluster) afterEnumeration(st *batchState) {
+	for _, i := range st.routed {
+		st.resp.Count += st.cands[i]
+		st.resp.Items = append(st.resp.Items, st.items[i]...)
+	}
+	st.done = true
+}

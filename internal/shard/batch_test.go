@@ -1,0 +1,150 @@
+package shard
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"lbsq/internal/geom"
+)
+
+// randomBatch draws a mixed batch of every request kind, including
+// degenerate ones (k < 1, zero radius) that must fail or no-op exactly
+// like the per-query paths.
+func randomBatch(rng *rand.Rand, cfg equivConfig, n int) []BatchReq {
+	u := cfg.d.Universe
+	reqs := make([]BatchReq, n)
+	for i := range reqs {
+		q := queryPoint(rng, cfg.d)
+		switch rng.Intn(7) {
+		case 0:
+			reqs[i] = BatchReq{Op: BatchNN, Q: q, K: 1 + rng.Intn(8)}
+		case 1:
+			reqs[i] = BatchReq{Op: BatchKNN, Q: q, K: rng.Intn(9)} // k=0 allowed
+		case 2:
+			reqs[i] = BatchReq{Op: BatchWindow, Q: q,
+				W: geom.RectCenteredAt(q, (0.005+rng.Float64()*0.05)*u.Width(), (0.005+rng.Float64()*0.05)*u.Height())}
+		case 3:
+			reqs[i] = BatchReq{Op: BatchRange, Q: q, Radius: rng.Float64() * 0.04 * u.Width()}
+		case 4:
+			reqs[i] = BatchReq{Op: BatchCount, W: geom.RectCenteredAt(q, rng.Float64()*0.2*u.Width(), rng.Float64()*0.2*u.Height())}
+		case 5:
+			reqs[i] = BatchReq{Op: BatchSearch, W: geom.RectCenteredAt(q, rng.Float64()*0.2*u.Width(), rng.Float64()*0.2*u.Height())}
+		default:
+			reqs[i] = BatchReq{Op: BatchNN, Q: q, K: rng.Intn(2)} // k ∈ {0,1}
+		}
+	}
+	return reqs
+}
+
+// TestBatchEquivalence: every response of a mixed batch is deeply equal
+// to the corresponding per-query scatter answer — results, validity
+// regions, influence sets, error presence, and access costs.
+func TestBatchEquivalence(t *testing.T) {
+	ctx := context.Background()
+	for _, cfg := range equivConfigs() {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			_, c := buildPair(t, cfg)
+			rng := rand.New(rand.NewSource(707))
+			for round := 0; round < 12; round++ {
+				reqs := randomBatch(rng, cfg, 1+rng.Intn(24))
+				resps, err := c.BatchCtx(ctx, reqs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(resps) != len(reqs) {
+					t.Fatalf("batch returned %d responses for %d requests", len(resps), len(reqs))
+				}
+				for i, req := range reqs {
+					checkBatchResp(t, c, req, resps[i])
+				}
+			}
+		})
+	}
+}
+
+// checkBatchResp compares one batched response against the per-query
+// path for the same request.
+func checkBatchResp(t *testing.T, c *Cluster, req BatchReq, got BatchResp) {
+	t.Helper()
+	switch req.Op {
+	case BatchNN:
+		want, wantCost, wantErr := c.NNQuery(req.Q, req.K)
+		if (wantErr == nil) != (got.Err == nil) {
+			t.Fatalf("NN q=%v k=%d: per-query err=%v, batched err=%v", req.Q, req.K, wantErr, got.Err)
+		}
+		if wantErr != nil {
+			if wantErr.Error() != got.Err.Error() {
+				t.Fatalf("NN q=%v k=%d: per-query err %q, batched %q", req.Q, req.K, wantErr, got.Err)
+			}
+			return
+		}
+		if !reflect.DeepEqual(want, got.NN) {
+			t.Fatalf("NN q=%v k=%d: batched validity differs from per-query", req.Q, req.K)
+		}
+		if wantCost != got.Cost {
+			t.Fatalf("NN q=%v k=%d: per-query cost %+v, batched %+v", req.Q, req.K, wantCost, got.Cost)
+		}
+	case BatchKNN:
+		want := c.KNearest(req.Q, req.K)
+		if !reflect.DeepEqual(want, got.Neighbors) {
+			t.Fatalf("kNN q=%v k=%d: per-query %v, batched %v", req.Q, req.K, want, got.Neighbors)
+		}
+		if got.Err != nil {
+			t.Fatalf("kNN q=%v k=%d: unexpected batched error %v", req.Q, req.K, got.Err)
+		}
+	case BatchWindow:
+		want, wantCost := c.WindowQuery(req.W)
+		if !reflect.DeepEqual(want, got.Window) {
+			t.Fatalf("window %v: batched validity differs from per-query", req.W)
+		}
+		if wantCost != got.Cost {
+			t.Fatalf("window %v: per-query cost %+v, batched %+v", req.W, wantCost, got.Cost)
+		}
+	case BatchRange:
+		want, wantCost := c.RangeQuery(req.Q, req.Radius)
+		if !reflect.DeepEqual(want, got.Range) {
+			t.Fatalf("range q=%v r=%g: batched validity differs from per-query", req.Q, req.Radius)
+		}
+		if wantCost != got.Cost {
+			t.Fatalf("range q=%v r=%g: per-query cost %+v, batched %+v", req.Q, req.Radius, wantCost, got.Cost)
+		}
+	case BatchCount:
+		if want := c.CountWindow(req.W); want != got.Count {
+			t.Fatalf("count %v: per-query %d, batched %d", req.W, want, got.Count)
+		}
+	case BatchSearch:
+		want := sortedIDs(c.SearchItems(req.W))
+		if !sameIDs(want, sortedIDs(got.Items)) {
+			t.Fatalf("search %v: per-query %d items, batched %d", req.W, len(want), len(got.Items))
+		}
+	}
+}
+
+// TestBatchCancellation: a cancelled context aborts the batch with the
+// context error and no responses.
+func TestBatchCancellation(t *testing.T) {
+	cfg := equivConfigs()[0]
+	_, c := buildPair(t, cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	resps, err := c.BatchCtx(ctx, []BatchReq{{Op: BatchNN, Q: geom.Pt(0.5, 0.5), K: 2}})
+	if err == nil {
+		t.Fatal("want context error from cancelled batch")
+	}
+	if resps != nil {
+		t.Fatalf("want nil responses on batch-level error, got %d", len(resps))
+	}
+}
+
+// TestBatchEmpty: an empty batch is a no-op.
+func TestBatchEmpty(t *testing.T) {
+	cfg := equivConfigs()[0]
+	_, c := buildPair(t, cfg)
+	resps, err := c.BatchCtx(context.Background(), nil)
+	if err != nil || len(resps) != 0 {
+		t.Fatalf("empty batch: resps=%v err=%v", resps, err)
+	}
+}

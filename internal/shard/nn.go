@@ -66,26 +66,7 @@ func (c *Cluster) NNQueryCtx(ctx context.Context, q geom.Point, k int) (*core.NN
 	}
 	dk := nbs[k-1].Dist
 
-	v := &core.NNValidity{Query: q, K: k, Neighbors: nbs}
-	seenPairs := make(map[[2]int64]bool)
-	seenObjs := make(map[int64]bool)
-	region := c.Universe.Polygon()
-	merge := func(part *core.NNValidity) {
-		v.TPQueries += part.TPQueries
-		for _, pr := range part.Pairs {
-			key := [2]int64{pr.Obj.ID, pr.Member.ID}
-			if seenPairs[key] {
-				continue
-			}
-			seenPairs[key] = true
-			v.Pairs = append(v.Pairs, pr)
-			if !seenObjs[pr.Obj.ID] {
-				seenObjs[pr.Obj.ID] = true
-				v.Influence = append(v.Influence, pr.Obj)
-			}
-			region = region.ClipHalfPlane(geom.Bisector(pr.Member.P, pr.Obj.P))
-		}
-	}
+	m := newNNMerger(c.Universe, q, k, nbs)
 
 	// Influence phase, owner shard inline first to shrink the region.
 	var firstErr error
@@ -98,30 +79,17 @@ func (c *Cluster) NNQueryCtx(ctx context.Context, q geom.Point, k int) (*core.NN
 			firstErr = err
 			return
 		}
-		merge(part)
+		m.add(part)
 	})
 	if scErr != nil {
 		return nil, cost, scErr
 	}
 	if firstErr != nil {
-		v.Region = region
-		return v, cost, firstErr
+		return m.finish(), cost, firstErr
 	}
 
-	if !region.IsEmpty() {
-		rv := 0.0
-		for _, vert := range region {
-			if d := q.Dist(vert); d > rv {
-				rv = d
-			}
-		}
-		reach := 2*rv + dk
-		var rest []int
-		for _, i := range order[1:] {
-			if c.shards[i].resp.MinDist(q) <= reach+geom.Eps*(1+reach) {
-				rest = append(rest, i)
-			}
-		}
+	if reach, ok := m.reach(q, dk); ok {
+		rest := c.withinReach(q, order[1:], reach)
 		parts := make([]*core.NNValidity, len(c.shards))
 		costs := make([]phaseCost, len(c.shards))
 		errs := make([]error, len(c.shards))
@@ -138,17 +106,93 @@ func (c *Cluster) NNQueryCtx(ctx context.Context, q geom.Point, k int) (*core.NN
 				}
 				continue
 			}
-			merge(parts[i])
+			m.add(parts[i])
 		}
 		if scErr != nil {
 			return nil, cost, scErr
 		}
 	}
-	if region.IsEmpty() {
-		region = geom.Polygon{}
+	return m.finish(), cost, firstErr
+}
+
+// nnMerger accumulates per-shard influence parts into the global NN
+// validity answer: the merged region is the universe clipped by every
+// influence pair's bisector, with pairs and influence objects
+// deduplicated across shards. Used by both the per-query scatter path
+// and the batched executor so the two provably merge identically.
+type nnMerger struct {
+	v         *core.NNValidity
+	region    geom.Polygon
+	seenPairs map[[2]int64]bool
+	seenObjs  map[int64]bool
+}
+
+// newNNMerger starts a merge for query q with the already-gathered
+// global k nearest neighbors.
+func newNNMerger(universe geom.Rect, q geom.Point, k int, nbs []nn.Neighbor) *nnMerger {
+	return &nnMerger{
+		v:         &core.NNValidity{Query: q, K: k, Neighbors: nbs},
+		region:    universe.Polygon(),
+		seenPairs: make(map[[2]int64]bool),
+		seenObjs:  make(map[int64]bool),
 	}
-	v.Region = region
-	return v, cost, firstErr
+}
+
+// add merges one shard's influence part.
+func (m *nnMerger) add(part *core.NNValidity) {
+	m.v.TPQueries += part.TPQueries
+	for _, pr := range part.Pairs {
+		key := [2]int64{pr.Obj.ID, pr.Member.ID}
+		if m.seenPairs[key] {
+			continue
+		}
+		m.seenPairs[key] = true
+		m.v.Pairs = append(m.v.Pairs, pr)
+		if !m.seenObjs[pr.Obj.ID] {
+			m.seenObjs[pr.Obj.ID] = true
+			m.v.Influence = append(m.v.Influence, pr.Obj)
+		}
+		m.region = m.region.ClipHalfPlane(geom.Bisector(pr.Member.P, pr.Obj.P))
+	}
+}
+
+// reach returns the influence fan-out pruning radius 2·R_v + d_k (see
+// NNQuery) once the owner shard's clip has bounded the region; ok is
+// false when the region is already empty and no further shard can cut
+// it.
+func (m *nnMerger) reach(q geom.Point, dk float64) (float64, bool) {
+	if m.region.IsEmpty() {
+		return 0, false
+	}
+	rv := 0.0
+	for _, vert := range m.region {
+		if d := q.Dist(vert); d > rv {
+			rv = d
+		}
+	}
+	return 2*rv + dk, true
+}
+
+// finish normalizes and returns the merged answer.
+func (m *nnMerger) finish() *core.NNValidity {
+	if m.region.IsEmpty() {
+		m.v.Region = geom.Polygon{}
+	} else {
+		m.v.Region = m.region
+	}
+	return m.v
+}
+
+// withinReach filters idxs down to the shards whose responsibility
+// rectangle is within reach of q (with the usual tolerance).
+func (c *Cluster) withinReach(q geom.Point, idxs []int, reach float64) []int {
+	var out []int
+	for _, i := range idxs {
+		if c.shards[i].resp.MinDist(q) <= reach+geom.Eps*(1+reach) {
+			out = append(out, i)
+		}
+	}
+	return out
 }
 
 // KNearest returns the k nearest neighbors of q across all shards (a
@@ -218,6 +262,13 @@ func (c *Cluster) gatherCandidates(ctx context.Context, q geom.Point, k int, ord
 		return nil, costs, err
 	}
 
+	return mergeNeighborParts(found), costs, nil
+}
+
+// mergeNeighborParts flattens per-shard candidate lists and sorts them
+// by (distance, id) — the canonical global candidate order shared by
+// the per-query and batched paths.
+func mergeNeighborParts(found [][]nn.Neighbor) []nn.Neighbor {
 	var all []nn.Neighbor
 	for _, part := range found {
 		all = append(all, part...)
@@ -229,7 +280,7 @@ func (c *Cluster) gatherCandidates(ctx context.Context, q geom.Point, k int, ord
 		}
 		return all[i].Item.ID < all[j].Item.ID
 	})
-	return all, costs, nil
+	return all
 }
 
 // shardDelta snapshots the shard's access counters against a baseline.

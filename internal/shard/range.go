@@ -110,48 +110,18 @@ func (c *Cluster) RangeQueryCtx(ctx context.Context, center geom.Point, radius f
 	}
 
 	// Inner region: disks of the global result's hull vertices.
-	pts := make([]geom.Point, len(rv.Result))
-	byPos := make(map[geom.Point]rtree.Item, len(rv.Result))
-	inResult := make(map[int64]bool, len(rv.Result))
-	for i, it := range rv.Result {
-		pts[i] = it.P
-		byPos[it.P] = it
-		inResult[it.ID] = true
-	}
-	for _, h := range geom.ConvexHull(pts) {
-		rv.InnerInfluence = append(rv.InnerInfluence, byPos[h])
-		rv.Inner.Add(geom.Disk{C: h, R: radius})
-	}
+	inResult := rangeInnerRegion(rv)
 
 	// Phase 2: candidate outer points whose disks can reach the inner
 	// region, filtered by the same global lower bound as the single
 	// server (the farthest single inner disk).
-	innerBB := rv.Inner.Disks[0].Bounds()
-	for _, d := range rv.Inner.Disks[1:] {
-		innerBB = innerBB.Intersect(d.Bounds())
-	}
-	search := innerBB.Inflate(radius, radius)
+	search := rangeOuterSearchRect(rv)
 	idxs = c.overlapping(search)
 	outer := make([][]rtree.Item, len(c.shards))
 	cands := make([]int, len(c.shards))
 	scErr = c.scatter(ctx, idxs, func(i int, s *node) {
 		na0, pa0 := s.srv.Tree.NodeAccesses(), s.faults()
-		s.srv.Tree.Search(search, func(it rtree.Item) bool {
-			if inResult[it.ID] {
-				return true
-			}
-			cands[i]++
-			lb := 0.0
-			for _, d := range rv.Inner.Disks {
-				if sl := it.P.Dist(d.C) - d.R; sl > lb {
-					lb = sl
-				}
-			}
-			if lb < radius {
-				outer[i] = append(outer[i], it)
-			}
-			return true
-		})
+		outer[i], cands[i] = rangeOuterScan(s.srv.Tree, search, rv, inResult)
 		nas[i], pas[i] = s.srv.Tree.NodeAccesses()-na0, s.faults()-pa0
 	})
 	for _, i := range idxs {
@@ -174,4 +144,57 @@ func (c *Cluster) RangeQueryCtx(ctx context.Context, center geom.Point, radius f
 // accesses then equal node accesses, as in core.Server accounting).
 func (c *Cluster) unbuffered() bool {
 	return len(c.shards) == 0 || c.shards[0].srv.Buffer == nil
+}
+
+// rangeInnerRegion fills rv.Inner and rv.InnerInfluence from the merged
+// global result (disks of the result's convex-hull vertices) and
+// returns the result-membership set used by the outer scan. Shared by
+// the per-query scatter path and the batched executor.
+func rangeInnerRegion(rv *core.RangeValidity) map[int64]bool {
+	pts := make([]geom.Point, len(rv.Result))
+	byPos := make(map[geom.Point]rtree.Item, len(rv.Result))
+	inResult := make(map[int64]bool, len(rv.Result))
+	for i, it := range rv.Result {
+		pts[i] = it.P
+		byPos[it.P] = it
+		inResult[it.ID] = true
+	}
+	for _, h := range geom.ConvexHull(pts) {
+		rv.InnerInfluence = append(rv.InnerInfluence, byPos[h])
+		rv.Inner.Add(geom.Disk{C: h, R: rv.Radius})
+	}
+	return inResult
+}
+
+// rangeOuterSearchRect returns the phase-2 search rectangle: the inner
+// region's bounding box inflated by the radius.
+func rangeOuterSearchRect(rv *core.RangeValidity) geom.Rect {
+	innerBB := rv.Inner.Disks[0].Bounds()
+	for _, d := range rv.Inner.Disks[1:] {
+		innerBB = innerBB.Intersect(d.Bounds())
+	}
+	return innerBB.Inflate(rv.Radius, rv.Radius)
+}
+
+// rangeOuterScan scans one shard's tree for candidate outer points
+// whose disks can reach the inner region, filtering with the same
+// global lower bound as the single server.
+func rangeOuterScan(tree *rtree.Tree, search geom.Rect, rv *core.RangeValidity, inResult map[int64]bool) (outer []rtree.Item, cands int) {
+	tree.Search(search, func(it rtree.Item) bool {
+		if inResult[it.ID] {
+			return true
+		}
+		cands++
+		lb := 0.0
+		for _, d := range rv.Inner.Disks {
+			if sl := it.P.Dist(d.C) - d.R; sl > lb {
+				lb = sl
+			}
+		}
+		if lb < rv.Radius {
+			outer = append(outer, it)
+		}
+		return true
+	})
+	return outer, cands
 }

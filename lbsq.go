@@ -10,7 +10,8 @@
 //
 //	items, universe := lbsq.UniformDataset(100_000, 42)
 //	db, _ := lbsq.Open(items, universe, nil)
-//	v, _, _ := db.NN(lbsq.Pt(0.4, 0.6), 1)       // nearest neighbor...
+//	ctx := context.Background()
+//	v, _, _ := db.NN(ctx, lbsq.Pt(0.4, 0.6), 1)  // nearest neighbor...
 //	fmt.Println(v.Neighbors[0].Item, v.Region)   // ...and its validity region
 //	ok := v.Valid(lbsq.Pt(0.41, 0.61))           // still valid after moving?
 //
@@ -36,6 +37,7 @@ import (
 	"lbsq/internal/geom"
 	"lbsq/internal/nn"
 	"lbsq/internal/obs"
+	"lbsq/internal/qexec"
 	"lbsq/internal/rtree"
 	"lbsq/internal/shard"
 	"lbsq/internal/storage"
@@ -97,6 +99,31 @@ type (
 	ShardStrategy = shard.Strategy
 	// ShardStats describes one shard of a sharded DB.
 	ShardStats = shard.Stats
+
+	// BatchRequest is one query of a DB.Batch call: a tagged union
+	// whose meaningful fields depend on Op.
+	BatchRequest = qexec.Request
+	// BatchResponse is one answer of a DB.Batch call; per-request
+	// failures are carried in its Err field.
+	BatchResponse = qexec.Response
+	// BatchOp discriminates the BatchRequest union.
+	BatchOp = qexec.Op
+)
+
+// Batch operations.
+const (
+	// BatchNN is a location-based k-NN query (validity region).
+	BatchNN = qexec.OpNN
+	// BatchKNN is a plain k-NN query (no validity).
+	BatchKNN = qexec.OpKNN
+	// BatchWindow is a location-based window query.
+	BatchWindow = qexec.OpWindow
+	// BatchRange is a location-based range query.
+	BatchRange = qexec.OpRange
+	// BatchCount is an aggregate window count.
+	BatchCount = qexec.OpCount
+	// BatchSearch is a plain window enumeration.
+	BatchSearch = qexec.OpSearch
 )
 
 // Partitioning strategies for sharded DBs.
@@ -141,6 +168,16 @@ type Options struct {
 	// ShardWorkers bounds the scatter-gather worker pool when
 	// Shards > 1; zero selects GOMAXPROCS.
 	ShardWorkers int
+	// CacheSize enables the server-side validity-region cache with
+	// that many entries: an NN (or window) query answered by a cached
+	// region costs zero node accesses, and identical in-flight misses
+	// coalesce onto one computation. Zero disables the cache (the
+	// default — cached answers are shared, read-only objects).
+	CacheSize int
+	// BatchWorkers bounds the worker pool executing Batch requests on
+	// an unsharded DB; zero selects a small default. Sharded batches
+	// are bounded by the cluster's scatter-gather pool instead.
+	BatchWorkers int
 }
 
 // validate rejects out-of-range option values with a descriptive error.
@@ -161,6 +198,12 @@ func (o *Options) validate() error {
 	if o.ShardWorkers < 0 {
 		return fmt.Errorf("lbsq: ShardWorkers %d, want ≥ 0 (0 selects GOMAXPROCS)", o.ShardWorkers)
 	}
+	if o.CacheSize < 0 {
+		return fmt.Errorf("lbsq: CacheSize %d, want ≥ 0 (0 disables the validity cache)", o.CacheSize)
+	}
+	if o.BatchWorkers < 0 {
+		return fmt.Errorf("lbsq: BatchWorkers %d, want ≥ 0 (0 selects the default)", o.BatchWorkers)
+	}
 	return nil
 }
 
@@ -180,6 +223,7 @@ type DB struct {
 	mu      sync.RWMutex
 	server  *core.Server
 	cluster *shard.Cluster
+	exec    *qexec.Executor
 
 	reg  *obs.Registry
 	met  *dbMetrics
@@ -187,14 +231,20 @@ type DB struct {
 }
 
 // instrument wires the DB's metrics registry (shared with the shard
-// cluster, which has already registered its own instruments on it).
-func (db *DB) instrument() *DB {
+// cluster, which has already registered its own instruments on it) and
+// the batch/cache executor.
+func (db *DB) instrument(o *Options) *DB {
 	if db.cluster != nil {
 		db.reg = db.cluster.Registry()
 	} else {
 		db.reg = obs.NewRegistry()
 	}
 	db.met = newDBMetrics(db.reg, db)
+	db.exec = qexec.New(db.server, &db.mu, db.cluster, qexec.Config{
+		Workers:   o.BatchWorkers,
+		CacheSize: o.CacheSize,
+		Registry:  db.reg,
+	})
 	return db
 }
 
@@ -228,14 +278,14 @@ func Open(items []Item, universe Rect, opts *Options) (*DB, error) {
 		if err != nil {
 			return nil, err
 		}
-		return (&DB{cluster: c}).instrument(), nil
+		return (&DB{cluster: c}).instrument(&o), nil
 	}
 	tree := rtree.BulkLoad(items, rtree.Options{PageSize: o.PageSize}, o.BulkLoadFill)
 	srv := core.NewServer(tree, universe)
 	if o.BufferFraction > 0 {
 		srv.AttachBuffer(o.BufferFraction)
 	}
-	return (&DB{server: srv}).instrument(), nil
+	return (&DB{server: srv}).instrument(&o), nil
 }
 
 // OpenSharded is shorthand for Open with Options.Shards = shards: it
@@ -293,8 +343,16 @@ func (db *DB) Len() int {
 func (db *DB) Universe() Rect { return db.engine().UniverseRect() }
 
 // Insert adds a point (the index is dynamic even though the paper's
-// workloads are static).
+// workloads are static). Every insert expires the validity cache.
+//
+// The epoch is bumped on both sides of the mutation: the leading bump
+// refuses cache stores of regions computed against the old tree while
+// the write is in flight, and the trailing bump (which runs last, after
+// the mutation is visible) guarantees that once Insert returns, no
+// region computed before it can be served.
 func (db *DB) Insert(it Item) error {
+	db.exec.Invalidate()
+	defer db.exec.Invalidate()
 	if db.cluster != nil {
 		return db.cluster.Insert(it)
 	}
@@ -307,8 +365,12 @@ func (db *DB) Insert(it Item) error {
 	return nil
 }
 
-// Delete removes a point, reporting whether it was present.
+// Delete removes a point, reporting whether it was present. Every
+// delete expires the validity cache (see Insert for the epoch
+// discipline).
 func (db *DB) Delete(it Item) bool {
+	db.exec.Invalidate()
+	defer db.exec.Invalidate()
 	if db.cluster != nil {
 		return db.cluster.Delete(it)
 	}
@@ -319,22 +381,22 @@ func (db *DB) Delete(it Item) bool {
 
 // NN answers a location-based k-nearest-neighbor query: the k nearest
 // neighbors of q plus the validity region within which that answer
-// stays exact.
-func (db *DB) NN(q Point, k int) (*NNValidity, QueryCost, error) {
-	return db.NNCtx(context.Background(), q, k)
-}
-
-// NNCtx is NN honoring context cancellation: on a sharded DB a
-// cancelled context aborts the scatter between shard tasks; on a single
-// server it is checked once before the (non-preemptible) query runs.
-func (db *DB) NNCtx(ctx context.Context, q Point, k int) (*NNValidity, QueryCost, error) {
+// stays exact. On a sharded DB a cancelled context aborts the scatter
+// between shard tasks; on a single server it is checked once before
+// the (non-preemptible) query runs. With Options.CacheSize > 0 the
+// query is served through the validity cache: a hit returns a shared,
+// read-only region at zero node accesses.
+func (db *DB) NN(ctx context.Context, q Point, k int) (*NNValidity, QueryCost, error) {
 	start, tasks0 := db.begin()
 	var (
 		v    *NNValidity
 		cost QueryCost
 		err  error
+		hit  bool
 	)
-	if db.cluster != nil {
+	if db.exec.Cache() != nil {
+		v, cost, hit, _, err = db.exec.NNCached(ctx, q, k)
+	} else if db.cluster != nil {
 		v, cost, err = db.cluster.NNQueryCtx(ctx, q, k)
 	} else if err = ctx.Err(); err == nil {
 		db.mu.RLock()
@@ -345,24 +407,45 @@ func (db *DB) NNCtx(ctx context.Context, q Point, k int) (*NNValidity, QueryCost
 	if v != nil {
 		area = v.Region.Area()
 	}
-	db.finish(&QueryTrace{Op: OpNN, At: q, K: k, Cost: cost, RegionArea: area, Err: err}, start, tasks0)
+	db.finish(&QueryTrace{Op: OpNN, At: q, K: k, Cost: cost, RegionArea: area, CacheHit: hit, Err: err}, start, tasks0)
 	return v, cost, err
 }
 
-// Window answers a location-based window query for the window w.
-func (db *DB) Window(w Rect) (*WindowValidity, QueryCost, error) {
-	return db.WindowCtx(context.Background(), w)
+// NNCtx is an alias for NN.
+//
+// Deprecated: the canonical API is context-first; call NN directly.
+func (db *DB) NNCtx(ctx context.Context, q Point, k int) (*NNValidity, QueryCost, error) {
+	return db.NN(ctx, q, k)
 }
 
-// WindowCtx is Window honoring context cancellation (see NNCtx).
-func (db *DB) WindowCtx(ctx context.Context, w Rect) (*WindowValidity, QueryCost, error) {
+// Batch executes a heterogeneous batch of queries in one pass:
+// requests answered by the validity cache cost zero node accesses,
+// identical misses coalesce onto one computation, and on a sharded DB
+// the remainder runs with one grouped scatter per shard per phase
+// instead of one fan-out per query (an unsharded DB uses a bounded
+// worker pool). The returned slice parallels reqs; per-request
+// failures are carried in BatchResponse.Err, and the only batch-level
+// error is context cancellation. Batched queries update cluster and
+// cache metrics but do not fire per-query DB traces.
+func (db *DB) Batch(ctx context.Context, reqs []BatchRequest) ([]BatchResponse, error) {
+	return db.exec.Batch(ctx, reqs)
+}
+
+// Window answers a location-based window query for the window w (see
+// NN for context and cache semantics; a window cache hit requires
+// identical extents and a center inside the cached conservative
+// rectangle).
+func (db *DB) Window(ctx context.Context, w Rect) (*WindowValidity, QueryCost, error) {
 	start, tasks0 := db.begin()
 	var (
 		wv   *WindowValidity
 		cost QueryCost
 		err  error
+		hit  bool
 	)
-	if db.cluster != nil {
+	if db.exec.Cache() != nil {
+		wv, cost, hit, _, err = db.exec.WindowCached(ctx, w)
+	} else if db.cluster != nil {
 		wv, cost, err = db.cluster.WindowQueryCtx(ctx, w)
 	} else if err = ctx.Err(); err == nil {
 		db.mu.RLock()
@@ -373,30 +456,35 @@ func (db *DB) WindowCtx(ctx context.Context, w Rect) (*WindowValidity, QueryCost
 	if wv != nil {
 		area = wv.Region.Area()
 	}
-	db.finish(&QueryTrace{Op: OpWindow, At: w.Center(), Window: w, Cost: cost, RegionArea: area, Err: err}, start, tasks0)
+	db.finish(&QueryTrace{Op: OpWindow, At: w.Center(), Window: w, Cost: cost, RegionArea: area, CacheHit: hit, Err: err}, start, tasks0)
 	return wv, cost, err
 }
 
-// WindowAt answers a location-based window query for a qx×qy window
-// centered at the focus.
-func (db *DB) WindowAt(focus Point, qx, qy float64) (*WindowValidity, QueryCost, error) {
-	return db.WindowCtx(context.Background(), geom.RectCenteredAt(focus, qx, qy))
+// WindowCtx is an alias for Window.
+//
+// Deprecated: the canonical API is context-first; call Window directly.
+func (db *DB) WindowCtx(ctx context.Context, w Rect) (*WindowValidity, QueryCost, error) {
+	return db.Window(ctx, w)
 }
 
-// WindowAtCtx is WindowAt honoring context cancellation (see NNCtx).
+// WindowAt answers a location-based window query for a qx×qy window
+// centered at the focus (see NN for context and cache semantics).
+func (db *DB) WindowAt(ctx context.Context, focus Point, qx, qy float64) (*WindowValidity, QueryCost, error) {
+	return db.Window(ctx, geom.RectCenteredAt(focus, qx, qy))
+}
+
+// WindowAtCtx is an alias for WindowAt.
+//
+// Deprecated: the canonical API is context-first; call WindowAt
+// directly.
 func (db *DB) WindowAtCtx(ctx context.Context, focus Point, qx, qy float64) (*WindowValidity, QueryCost, error) {
-	return db.WindowCtx(ctx, geom.RectCenteredAt(focus, qx, qy))
+	return db.WindowAt(ctx, focus, qx, qy)
 }
 
 // Count returns the number of items inside w using aggregate
 // subtree counts: large windows cost far fewer node accesses than
-// enumeration.
-func (db *DB) Count(w Rect) (int, error) {
-	return db.CountCtx(context.Background(), w)
-}
-
-// CountCtx is Count honoring context cancellation (see NNCtx).
-func (db *DB) CountCtx(ctx context.Context, w Rect) (int, error) {
+// enumeration (see NN for context semantics).
+func (db *DB) Count(ctx context.Context, w Rect) (int, error) {
 	start, tasks0 := db.begin()
 	var (
 		n   int
@@ -413,15 +501,16 @@ func (db *DB) CountCtx(ctx context.Context, w Rect) (int, error) {
 	return n, err
 }
 
-// RangeSearch returns the items inside w (a plain, non-location-based
-// window query).
-func (db *DB) RangeSearch(w Rect) ([]Item, error) {
-	return db.RangeSearchCtx(context.Background(), w)
+// CountCtx is an alias for Count.
+//
+// Deprecated: the canonical API is context-first; call Count directly.
+func (db *DB) CountCtx(ctx context.Context, w Rect) (int, error) {
+	return db.Count(ctx, w)
 }
 
-// RangeSearchCtx is RangeSearch honoring context cancellation (see
-// NNCtx).
-func (db *DB) RangeSearchCtx(ctx context.Context, w Rect) ([]Item, error) {
+// RangeSearch returns the items inside w (a plain, non-location-based
+// window query; see NN for context semantics).
+func (db *DB) RangeSearch(ctx context.Context, w Rect) ([]Item, error) {
 	start, tasks0 := db.begin()
 	var (
 		items []Item
@@ -438,15 +527,18 @@ func (db *DB) RangeSearchCtx(ctx context.Context, w Rect) ([]Item, error) {
 	return items, err
 }
 
-// Range answers a location-based range query: all points within radius
-// of center, plus the arc-bounded validity region of that answer (the
-// paper's Sec. 7 future-work extension).
-func (db *DB) Range(center Point, radius float64) (*RangeValidity, QueryCost, error) {
-	return db.RangeCtx(context.Background(), center, radius)
+// RangeSearchCtx is an alias for RangeSearch.
+//
+// Deprecated: the canonical API is context-first; call RangeSearch
+// directly.
+func (db *DB) RangeSearchCtx(ctx context.Context, w Rect) ([]Item, error) {
+	return db.RangeSearch(ctx, w)
 }
 
-// RangeCtx is Range honoring context cancellation (see NNCtx).
-func (db *DB) RangeCtx(ctx context.Context, center Point, radius float64) (*RangeValidity, QueryCost, error) {
+// Range answers a location-based range query: all points within radius
+// of center, plus the arc-bounded validity region of that answer (the
+// paper's Sec. 7 future-work extension; see NN for context semantics).
+func (db *DB) Range(ctx context.Context, center Point, radius float64) (*RangeValidity, QueryCost, error) {
 	start, tasks0 := db.begin()
 	var (
 		rv   *RangeValidity
@@ -464,6 +556,13 @@ func (db *DB) RangeCtx(ctx context.Context, center Point, radius float64) (*Rang
 	return rv, cost, err
 }
 
+// RangeCtx is an alias for Range.
+//
+// Deprecated: the canonical API is context-first; call Range directly.
+func (db *DB) RangeCtx(ctx context.Context, center Point, radius float64) (*RangeValidity, QueryCost, error) {
+	return db.Range(ctx, center, radius)
+}
+
 // NewRangeClient returns a mobile client maintaining a fixed-radius
 // range query around its position.
 func (db *DB) NewRangeClient(radius float64) *RangeClient {
@@ -471,13 +570,9 @@ func (db *DB) NewRangeClient(radius float64) *RangeClient {
 }
 
 // KNearest returns the k nearest neighbors of q (a plain NN query,
-// without validity computation), using best-first search [HS99].
-func (db *DB) KNearest(q Point, k int) ([]Neighbor, error) {
-	return db.KNearestCtx(context.Background(), q, k)
-}
-
-// KNearestCtx is KNearest honoring context cancellation (see NNCtx).
-func (db *DB) KNearestCtx(ctx context.Context, q Point, k int) ([]Neighbor, error) {
+// without validity computation), using best-first search [HS99] (see
+// NN for context semantics).
+func (db *DB) KNearest(ctx context.Context, q Point, k int) ([]Neighbor, error) {
 	start, tasks0 := db.begin()
 	var (
 		nbs []Neighbor
@@ -494,16 +589,20 @@ func (db *DB) KNearestCtx(ctx context.Context, q Point, k int) ([]Neighbor, erro
 	return nbs, err
 }
 
+// KNearestCtx is an alias for KNearest.
+//
+// Deprecated: the canonical API is context-first; call KNearest
+// directly.
+func (db *DB) KNearestCtx(ctx context.Context, q Point, k int) ([]Neighbor, error) {
+	return db.KNearest(ctx, q, k)
+}
+
 // RouteNN returns the continuous nearest neighbors along the segment
 // from a to b ([TPS02]-style): a partition of the route into intervals,
 // each with its nearest neighbor. A client with a known straight route
-// can fetch its entire sequence of answers in one interaction.
-func (db *DB) RouteNN(a, b Point) ([]RouteInterval, error) {
-	return db.RouteNNCtx(context.Background(), a, b)
-}
-
-// RouteNNCtx is RouteNN honoring context cancellation (see NNCtx).
-func (db *DB) RouteNNCtx(ctx context.Context, a, b Point) ([]RouteInterval, error) {
+// can fetch its entire sequence of answers in one interaction (see NN
+// for context semantics).
+func (db *DB) RouteNN(ctx context.Context, a, b Point) ([]RouteInterval, error) {
 	start, tasks0 := db.begin()
 	var (
 		route []RouteInterval
@@ -518,6 +617,14 @@ func (db *DB) RouteNNCtx(ctx context.Context, a, b Point) ([]RouteInterval, erro
 	}
 	db.finish(&QueryTrace{Op: OpRoute, At: a, RegionArea: math.NaN(), Err: err}, start, tasks0)
 	return route, err
+}
+
+// RouteNNCtx is an alias for RouteNN.
+//
+// Deprecated: the canonical API is context-first; call RouteNN
+// directly.
+func (db *DB) RouteNNCtx(ctx context.Context, a, b Point) ([]RouteInterval, error) {
+	return db.RouteNN(ctx, a, b)
 }
 
 // RouteInterval is one piece of a RouteNN answer.
@@ -575,7 +682,7 @@ func OpenIndex(path string, universe Rect, opts *Options) (*DB, error) {
 	if o.BufferFraction > 0 {
 		srv.AttachBuffer(o.BufferFraction)
 	}
-	return (&DB{server: srv}).instrument(), nil
+	return (&DB{server: srv}).instrument(&o), nil
 }
 
 // Server exposes the underlying query server for advanced use

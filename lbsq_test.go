@@ -1,6 +1,7 @@
 package lbsq
 
 import (
+	"context"
 	"math/rand"
 	"net/http/httptest"
 	"testing"
@@ -15,7 +16,7 @@ func TestOpenAndQuery(t *testing.T) {
 	if db.Len() != 5000 || db.Universe() != uni {
 		t.Fatalf("Len=%d universe=%v", db.Len(), db.Universe())
 	}
-	v, cost, err := db.NN(Pt(0.5, 0.5), 3)
+	v, cost, err := db.NN(context.Background(), Pt(0.5, 0.5), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +26,7 @@ func TestOpenAndQuery(t *testing.T) {
 	if !v.Valid(Pt(0.5, 0.5)) {
 		t.Fatal("query point must be valid")
 	}
-	wv, _, err := db.WindowAt(Pt(0.5, 0.5), 0.05, 0.05)
+	wv, _, err := db.WindowAt(context.Background(), Pt(0.5, 0.5), 0.05, 0.05)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,10 +34,10 @@ func TestOpenAndQuery(t *testing.T) {
 		t.Fatal("window answer incomplete")
 	}
 	// Plain queries.
-	if got, err := db.KNearest(Pt(0.2, 0.2), 5); err != nil || len(got) != 5 {
+	if got, err := db.KNearest(context.Background(), Pt(0.2, 0.2), 5); err != nil || len(got) != 5 {
 		t.Fatalf("KNearest returned %d (err %v)", len(got), err)
 	}
-	if got, err := db.RangeSearch(uni); err != nil || len(got) != 5000 {
+	if got, err := db.RangeSearch(context.Background(), uni); err != nil || len(got) != 5000 {
 		t.Fatalf("RangeSearch universe returned %d (err %v)", len(got), err)
 	}
 }
@@ -138,7 +139,7 @@ func TestHTTPRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	local, _, err := db.NN(Pt(0.4, 0.6), 2)
+	local, _, err := db.NN(context.Background(), Pt(0.4, 0.6), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func TestHTTPRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	localW, _, err := db.WindowAt(Pt(0.5, 0.5), 0.1, 0.1)
+	localW, _, err := db.WindowAt(context.Background(), Pt(0.5, 0.5), 0.1, 0.1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestWindowAndCount(t *testing.T) {
 		t.Fatal(err)
 	}
 	w := R(0.2, 0.2, 0.6, 0.5)
-	wv, cost, err := db.Window(w)
+	wv, cost, err := db.Window(context.Background(), w)
 	if err != nil {
 		t.Fatalf("Window: %v", err)
 	}
@@ -200,13 +201,13 @@ func TestWindowAndCount(t *testing.T) {
 		t.Fatal("window cost missing")
 	}
 	// Count agrees with the enumerated result.
-	if got, err := db.Count(w); err != nil || got != len(wv.Result) {
+	if got, err := db.Count(context.Background(), w); err != nil || got != len(wv.Result) {
 		t.Fatalf("Count = %d, result = %d (err %v)", got, len(wv.Result), err)
 	}
-	if got, err := db.Count(uni); err != nil || got != 4000 {
+	if got, err := db.Count(context.Background(), uni); err != nil || got != 4000 {
 		t.Fatalf("universe count = %d (err %v)", got, err)
 	}
-	if got, err := db.Count(R(2, 2, 3, 3)); err != nil || got != 0 {
+	if got, err := db.Count(context.Background(), R(2, 2, 3, 3)); err != nil || got != 0 {
 		t.Fatalf("empty window count = %d (err %v)", got, err)
 	}
 }
@@ -229,7 +230,7 @@ func TestSkewedDatasetFacades(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := db.NN(naUni.Center(), 1); err != nil {
+	if _, _, err := db.NN(context.Background(), naUni.Center(), 1); err != nil {
 		t.Fatal(err)
 	}
 }

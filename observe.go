@@ -67,6 +67,9 @@ type QueryTrace struct {
 	ShardsTouched int
 	// Sharded reports whether the DB runs as a shard cluster.
 	Sharded bool
+	// CacheHit reports that the answer was served by the validity
+	// cache (zero node accesses).
+	CacheHit bool
 	// Err is the query's error, if any.
 	Err error
 }

@@ -56,25 +56,25 @@ func TestOptionsValidate(t *testing.T) {
 func runAllQueries(t *testing.T, db *DB) int {
 	t.Helper()
 	q := Pt(0.5, 0.5)
-	if _, _, err := db.NN(q, 2); err != nil {
+	if _, _, err := db.NN(context.Background(), q, 2); err != nil {
 		t.Fatalf("NN: %v", err)
 	}
-	if _, err := db.KNearest(q, 3); err != nil {
+	if _, err := db.KNearest(context.Background(), q, 3); err != nil {
 		t.Fatalf("KNearest: %v", err)
 	}
-	if _, _, err := db.WindowAt(q, 0.05, 0.05); err != nil {
+	if _, _, err := db.WindowAt(context.Background(), q, 0.05, 0.05); err != nil {
 		t.Fatalf("WindowAt: %v", err)
 	}
-	if _, _, err := db.Range(q, 0.05); err != nil {
+	if _, _, err := db.Range(context.Background(), q, 0.05); err != nil {
 		t.Fatalf("Range: %v", err)
 	}
-	if _, err := db.RouteNN(Pt(0.1, 0.1), Pt(0.9, 0.9)); err != nil {
+	if _, err := db.RouteNN(context.Background(), Pt(0.1, 0.1), Pt(0.9, 0.9)); err != nil {
 		t.Fatalf("RouteNN: %v", err)
 	}
-	if _, err := db.Count(R(0.2, 0.2, 0.8, 0.8)); err != nil {
+	if _, err := db.Count(context.Background(), R(0.2, 0.2, 0.8, 0.8)); err != nil {
 		t.Fatalf("Count: %v", err)
 	}
-	if _, err := db.RangeSearch(R(0.4, 0.4, 0.6, 0.6)); err != nil {
+	if _, err := db.RangeSearch(context.Background(), R(0.4, 0.4, 0.6, 0.6)); err != nil {
 		t.Fatalf("RangeSearch: %v", err)
 	}
 	return 7
@@ -135,7 +135,7 @@ func TestTraceHookExactlyOnce(t *testing.T) {
 
 			// Removing the hook stops delivery.
 			db.SetTraceHook(nil)
-			if _, _, err := db.NN(Pt(0.3, 0.3), 1); err != nil {
+			if _, _, err := db.NN(context.Background(), Pt(0.3, 0.3), 1); err != nil {
 				t.Fatal(err)
 			}
 			mu.Lock()
@@ -166,7 +166,7 @@ func TestTraceHookConcurrent(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < perG; i++ {
 				p := Pt(0.1+0.8*float64(i)/perG, 0.1+0.2*float64(g))
-				if _, _, err := db.NN(p, 1); err != nil {
+				if _, _, err := db.NN(context.Background(), p, 1); err != nil {
 					t.Errorf("NN: %v", err)
 				}
 			}

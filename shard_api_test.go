@@ -1,6 +1,7 @@
 package lbsq
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"sort"
@@ -62,24 +63,24 @@ func TestOpenShardedEquivalence(t *testing.T) {
 	for i := 0; i < 300; i++ {
 		q := Pt(rng.Float64(), rng.Float64())
 		k := 1 + i%8
-		pv, _, perr := plain.NN(q, k)
-		sv, _, serr := db.NN(q, k)
+		pv, _, perr := plain.NN(context.Background(), q, k)
+		sv, _, serr := db.NN(context.Background(), q, k)
 		if (perr == nil) != (serr == nil) {
 			t.Fatalf("NN error mismatch at %v: %v vs %v", q, perr, serr)
 		}
 		if perr == nil && !eq(ids(pv.Result()), ids(sv.Result())) {
 			t.Fatalf("NN result mismatch at %v k=%d", q, k)
 		}
-		pw, _, err1 := plain.WindowAt(q, 0.05, 0.04)
-		sw, _, err2 := db.WindowAt(q, 0.05, 0.04)
+		pw, _, err1 := plain.WindowAt(context.Background(), q, 0.05, 0.04)
+		sw, _, err2 := db.WindowAt(context.Background(), q, 0.05, 0.04)
 		if err1 != nil || err2 != nil {
 			t.Fatalf("window error at %v: %v / %v", q, err1, err2)
 		}
 		if !eq(ids(pw.Result), ids(sw.Result)) {
 			t.Fatalf("window result mismatch at %v", q)
 		}
-		pr, _, err1 := plain.Range(q, 0.03)
-		sr, _, err2 := db.Range(q, 0.03)
+		pr, _, err1 := plain.Range(context.Background(), q, 0.03)
+		sr, _, err2 := db.Range(context.Background(), q, 0.03)
 		if err1 != nil || err2 != nil {
 			t.Fatalf("range error at %v: %v / %v", q, err1, err2)
 		}
@@ -87,16 +88,16 @@ func TestOpenShardedEquivalence(t *testing.T) {
 			t.Fatalf("range result mismatch at %v", q)
 		}
 		w := R(q.X-0.1, q.Y-0.1, q.X+0.1, q.Y+0.1)
-		pc, err1 := plain.Count(w)
-		dc, err2 := db.Count(w)
+		pc, err1 := plain.Count(context.Background(), w)
+		dc, err2 := db.Count(context.Background(), w)
 		if err1 != nil || err2 != nil {
 			t.Fatalf("count error at %v: %v / %v", w, err1, err2)
 		}
 		if pc != dc {
 			t.Fatalf("count mismatch at %v", w)
 		}
-		ps, err1 := plain.RangeSearch(w)
-		ds, err2 := db.RangeSearch(w)
+		ps, err1 := plain.RangeSearch(context.Background(), w)
+		ds, err2 := db.RangeSearch(context.Background(), w)
 		if err1 != nil || err2 != nil {
 			t.Fatalf("range search error at %v: %v / %v", w, err1, err2)
 		}
@@ -106,10 +107,10 @@ func TestOpenShardedEquivalence(t *testing.T) {
 	}
 
 	// KNearest and RouteNN sanity.
-	if nbs, err := db.KNearest(Pt(0.5, 0.5), 5); err != nil || len(nbs) != 5 {
+	if nbs, err := db.KNearest(context.Background(), Pt(0.5, 0.5), 5); err != nil || len(nbs) != 5 {
 		t.Fatalf("KNearest returned %d neighbors (err %v)", len(nbs), err)
 	}
-	ivs, err := db.RouteNN(Pt(0.1, 0.1), Pt(0.9, 0.9))
+	ivs, err := db.RouteNN(context.Background(), Pt(0.1, 0.1), Pt(0.9, 0.9))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +138,7 @@ func TestShardedMobileClients(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		want, _, err := db.NN(p, 3)
+		want, _, err := db.NN(context.Background(), p, 3)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -209,7 +210,7 @@ func TestShardedInsertDelete(t *testing.T) {
 	if db.Len() != 1001 {
 		t.Fatalf("Len after insert = %d", db.Len())
 	}
-	v, _, err := db.NN(it.P, 1)
+	v, _, err := db.NN(context.Background(), it.P, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

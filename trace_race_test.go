@@ -1,6 +1,7 @@
 package lbsq
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -58,13 +59,13 @@ func TestTraceHookRace(t *testing.T) {
 				var err error
 				switch i % 4 {
 				case 0:
-					_, _, err = db.NN(p, 1+rng.Intn(4))
+					_, _, err = db.NN(context.Background(), p, 1+rng.Intn(4))
 				case 1:
-					_, _, err = db.WindowAt(p, 0.04, 0.04)
+					_, _, err = db.WindowAt(context.Background(), p, 0.04, 0.04)
 				case 2:
-					_, _, err = db.Range(p, 0.02)
+					_, _, err = db.Range(context.Background(), p, 0.02)
 				default:
-					_, err = db.KNearest(p, 2)
+					_, err = db.KNearest(context.Background(), p, 2)
 				}
 				if err != nil {
 					t.Error(err)
@@ -81,7 +82,7 @@ func TestTraceHookRace(t *testing.T) {
 	// removal, one query must fire it exactly once more.
 	before := fired.Load()
 	db.SetTraceHook(func(QueryTrace) { fired.Add(1) })
-	if _, _, err := db.NN(Pt(0.5, 0.5), 1); err != nil {
+	if _, _, err := db.NN(context.Background(), Pt(0.5, 0.5), 1); err != nil {
 		t.Fatal(err)
 	}
 	db.SetTraceHook(nil)
