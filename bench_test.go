@@ -382,6 +382,50 @@ func BenchmarkBatchScaling(b *testing.B) {
 	})
 }
 
+// BenchmarkSessions regenerates the continuous-session fleet
+// comparison (naive vs client-cached vs session+prefetch).
+func BenchmarkSessions(b *testing.B) { benchFigure(b, "sessions", 2, "queries") }
+
+// BenchmarkSessionMove measures the continuous-session fast path: a
+// position update that stays inside the armed validity region. The
+// benchmark asserts the paper's core claim for the server-tracked
+// protocol — an in-region move costs zero index node accesses.
+func BenchmarkSessionMove(b *testing.B) {
+	items, uni := UniformDataset(100_000, 2003)
+	db, err := Open(items, uni, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	q := Pt(0.42, 0.58)
+	s, _, err := db.OpenSession(ctx, q, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	// Wiggle inside the region: every move must be a hit.
+	pts := make([]Point, 64)
+	for i := range pts {
+		pts[i] = Pt(q.X+float64(i%8)*1e-9, q.Y+float64(i/8)*1e-9)
+	}
+	var na int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Move(ctx, pts[i%len(pts)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Hit {
+			b.Fatal("in-region move missed the armed region")
+		}
+		na += int64(res.Cost.Total())
+	}
+	if na != 0 {
+		b.Fatalf("in-region moves cost %d node accesses, want 0", na)
+	}
+	b.ReportMetric(float64(na)/float64(b.N), "NA/op")
+}
+
 // BenchmarkCacheHitPath measures the validity-cache fast path: the
 // cached variant serves a warmed region at zero node accesses, and the
 // uncached variant recomputes the same query every time.

@@ -35,6 +35,13 @@ const statusCanceled = 499
 //	GET  /v1/info                         → JSON {"count":..,"universe":[..]}
 //	GET  /v1/metrics                      → Prometheus text exposition
 //
+// Continuous-query sessions live only under /v1 (see httpsession.go):
+//
+//	POST   /v1/session             → open a session (JSON body)
+//	POST   /v1/session/{id}/move   → position update
+//	GET    /v1/session/{id}/events → long-poll for push invalidations
+//	DELETE /v1/session/{id}        → close
+//
 // Every query endpoint is also reachable at its legacy unversioned
 // path (/nn, /window, ...) with byte-identical success payloads; the
 // paths differ only in error representation — /v1 errors are the
@@ -196,6 +203,7 @@ func (db *DB) Handler() http.Handler {
 			db.WriteMetrics(w) //lbsq:nocheck droppederr
 		}
 	})
+	db.registerSessionRoutes(mux)
 	return mux
 }
 

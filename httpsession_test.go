@@ -1,0 +1,367 @@
+package lbsq
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// doJSON issues one request with an optional JSON body and returns the
+// status and raw response body.
+func doJSON(t *testing.T, method, url string, body interface{}) (int, []byte) {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		payload, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(payload)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
+func newSessionTestServer(t *testing.T) (*DB, *httptest.Server) {
+	t.Helper()
+	items, uni := UniformDataset(2000, 31)
+	db, err := Open(items, uni, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(db.Handler())
+	t.Cleanup(srv.Close)
+	return db, srv
+}
+
+// TestSessionHTTPLifecycle drives one NN session through the full wire
+// protocol: open, in-region move (hit, no payload), push invalidation
+// observed via the events long-poll, refreshing move, close.
+func TestSessionHTTPLifecycle(t *testing.T) {
+	db, srv := newSessionTestServer(t)
+
+	q := Pt(0.5, 0.5)
+	code, body := doJSON(t, http.MethodPost, srv.URL+"/v1/session",
+		sessionOpenWire{Type: "nn", X: q.X, Y: q.Y, K: 2})
+	if code != http.StatusOK {
+		t.Fatalf("open: status %d: %s", code, body)
+	}
+	var opened sessionOpenResp
+	if err := json.Unmarshal(body, &opened); err != nil {
+		t.Fatal(err)
+	}
+	if opened.ID == "" || opened.Kind != "nn" || len(opened.Payload) == 0 {
+		t.Fatalf("open response incomplete: %+v", opened)
+	}
+	v, err := DecodeNN(opened.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Neighbors) != 2 {
+		t.Fatalf("open payload has %d neighbors, want 2", len(v.Neighbors))
+	}
+
+	// A microscopic move stays in the region: hit, no payload resent.
+	code, body = doJSON(t, http.MethodPost, srv.URL+"/v1/session/"+opened.ID+"/move",
+		sessionMoveWire{X: q.X + 1e-9, Y: q.Y})
+	if code != http.StatusOK {
+		t.Fatalf("move: status %d: %s", code, body)
+	}
+	var mv sessionMoveResp
+	if err := json.Unmarshal(body, &mv); err != nil {
+		t.Fatal(err)
+	}
+	if !mv.Hit || len(mv.Payload) != 0 {
+		t.Fatalf("in-region move: hit=%v payload=%d bytes, want hit with no payload",
+			mv.Hit, len(mv.Payload))
+	}
+
+	// Insert an intruder next to the query point: the session must be
+	// push-invalidated, and the events long-poll must report it.
+	if err := db.Insert(Item{ID: 999999, P: Pt(q.X+1e-7, q.Y)}); err != nil {
+		t.Fatal(err)
+	}
+	code, body = doJSON(t, http.MethodGet,
+		srv.URL+"/v1/session/"+opened.ID+"/events?since=0&timeout_ms=5000", nil)
+	if code != http.StatusOK {
+		t.Fatalf("events: status %d: %s", code, body)
+	}
+	var ev sessionEventsResp
+	if err := json.Unmarshal(body, &ev); err != nil {
+		t.Fatal(err)
+	}
+	if !ev.Fired || ev.Seq == 0 {
+		t.Fatalf("events after insert: fired=%v seq=%d, want a push invalidation", ev.Fired, ev.Seq)
+	}
+
+	// The next move re-queries and the refreshed payload contains the
+	// intruder as the nearest neighbor.
+	code, body = doJSON(t, http.MethodPost, srv.URL+"/v1/session/"+opened.ID+"/move",
+		sessionMoveWire{X: q.X, Y: q.Y})
+	if code != http.StatusOK {
+		t.Fatalf("move after invalidation: status %d: %s", code, body)
+	}
+	if err := json.Unmarshal(body, &mv); err != nil {
+		t.Fatal(err)
+	}
+	if mv.Hit || !mv.Invalidated || len(mv.Payload) == 0 {
+		t.Fatalf("move after invalidation: %+v, want invalidated requery with payload", mv)
+	}
+	if v, err = DecodeNN(mv.Payload); err != nil {
+		t.Fatal(err)
+	}
+	if v.Neighbors[0].Item.ID != 999999 {
+		t.Fatalf("refreshed nearest neighbor is %d, want the intruder", v.Neighbors[0].Item.ID)
+	}
+
+	code, _ = doJSON(t, http.MethodDelete, srv.URL+"/v1/session/"+opened.ID, nil)
+	if code != http.StatusNoContent {
+		t.Fatalf("close: status %d, want 204", code)
+	}
+	if n := db.ActiveSessions(); n != 0 {
+		t.Fatalf("ActiveSessions after close = %d, want 0", n)
+	}
+}
+
+// TestSessionHTTPWindow exercises the window-session flavor of the
+// protocol: open, in-rect hit, region-exit requery with payload.
+func TestSessionHTTPWindow(t *testing.T) {
+	db, srv := newSessionTestServer(t)
+
+	code, body := doJSON(t, http.MethodPost, srv.URL+"/v1/session",
+		sessionOpenWire{Type: "window", X: 0.5, Y: 0.5, Qx: 0.2, Qy: 0.2})
+	if code != http.StatusOK {
+		t.Fatalf("open window: status %d: %s", code, body)
+	}
+	var opened sessionOpenResp
+	if err := json.Unmarshal(body, &opened); err != nil {
+		t.Fatal(err)
+	}
+	if opened.Kind != "window" || len(opened.Payload) == 0 {
+		t.Fatalf("open window response incomplete: %+v", opened)
+	}
+
+	code, body = doJSON(t, http.MethodPost, srv.URL+"/v1/session/"+opened.ID+"/move",
+		sessionMoveWire{X: 0.5 + 1e-9, Y: 0.5})
+	var mv sessionMoveResp
+	if err := json.Unmarshal(body, &mv); err != nil {
+		t.Fatalf("move: status %d: %v", code, err)
+	}
+	if !mv.Hit {
+		t.Fatalf("in-rect window move: %+v, want hit", mv)
+	}
+
+	// Jump across the universe: requery with a fresh window payload.
+	code, body = doJSON(t, http.MethodPost, srv.URL+"/v1/session/"+opened.ID+"/move",
+		sessionMoveWire{X: 0.05, Y: 0.95})
+	if err := json.Unmarshal(body, &mv); err != nil {
+		t.Fatalf("far move: status %d: %v", code, err)
+	}
+	if mv.Hit || len(mv.Payload) == 0 {
+		t.Fatalf("far window move: %+v, want requery with payload", mv)
+	}
+	if _, err := DecodeWindow(mv.Payload, db.Universe()); err != nil {
+		t.Fatalf("window payload does not decode: %v", err)
+	}
+}
+
+// TestSessionHTTPErrorEnvelope locks the session error contract:
+// unknown ids are 404 session_not_found, closed sessions are 410
+// session_expired, malformed requests are 400 — all in the uniform
+// {"error","code"} envelope.
+func TestSessionHTTPErrorEnvelope(t *testing.T) {
+	_, srv := newSessionTestServer(t)
+
+	// Open and immediately close one session so its id is tombstoned.
+	code, body := doJSON(t, http.MethodPost, srv.URL+"/v1/session",
+		sessionOpenWire{Type: "nn", X: 0.5, Y: 0.5, K: 1})
+	if code != http.StatusOK {
+		t.Fatalf("open: status %d: %s", code, body)
+	}
+	var opened sessionOpenResp
+	if err := json.Unmarshal(body, &opened); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ = doJSON(t, http.MethodDelete, srv.URL+"/v1/session/"+opened.ID, nil); code != http.StatusNoContent {
+		t.Fatalf("close: status %d", code)
+	}
+
+	cases := []struct {
+		name     string
+		method   string
+		path     string
+		body     interface{}
+		wantCode int
+		wantMsg  string
+	}{
+		{"move unknown id", http.MethodPost, "/v1/session/s999999/move",
+			sessionMoveWire{X: 0.5, Y: 0.5}, http.StatusNotFound, msgSessionNotFound},
+		{"events unknown id", http.MethodGet, "/v1/session/s999999/events?timeout_ms=10",
+			nil, http.StatusNotFound, msgSessionNotFound},
+		{"close unknown id", http.MethodDelete, "/v1/session/s999999",
+			nil, http.StatusNotFound, msgSessionNotFound},
+		{"malformed id", http.MethodPost, "/v1/session/bogus/move",
+			sessionMoveWire{X: 0.5, Y: 0.5}, http.StatusNotFound, msgSessionNotFound},
+		{"move closed session", http.MethodPost, "/v1/session/" + opened.ID + "/move",
+			sessionMoveWire{X: 0.5, Y: 0.5}, http.StatusGone, msgSessionExpired},
+		{"events closed session", http.MethodGet, "/v1/session/" + opened.ID + "/events?timeout_ms=10",
+			nil, http.StatusGone, msgSessionExpired},
+		{"double close", http.MethodDelete, "/v1/session/" + opened.ID,
+			nil, http.StatusGone, msgSessionExpired},
+		{"unknown type", http.MethodPost, "/v1/session",
+			sessionOpenWire{Type: "range", X: 0.5, Y: 0.5}, http.StatusBadRequest, ""},
+		{"bad k", http.MethodPost, "/v1/session",
+			sessionOpenWire{Type: "nn", X: 0.5, Y: 0.5, K: -2}, http.StatusBadRequest, ""},
+		{"bad window extents", http.MethodPost, "/v1/session",
+			sessionOpenWire{Type: "window", X: 0.5, Y: 0.5, Qx: -1, Qy: 0.1}, http.StatusBadRequest, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, body := doJSON(t, tc.method, srv.URL+tc.path, tc.body)
+			if code != tc.wantCode {
+				t.Fatalf("status %d, want %d (%s)", code, tc.wantCode, body)
+			}
+			var env errorEnvelope
+			if err := json.Unmarshal(body, &env); err != nil {
+				t.Fatalf("error body is not the envelope: %s", body)
+			}
+			if env.Code != tc.wantCode {
+				t.Errorf("envelope code %d, want %d", env.Code, tc.wantCode)
+			}
+			if tc.wantMsg != "" && env.Error != tc.wantMsg {
+				t.Errorf("envelope error %q, want %q", env.Error, tc.wantMsg)
+			}
+		})
+	}
+}
+
+// TestSessionEventsLongPollTimeout verifies an idle events poll returns
+// fired=false after roughly the requested wait, not immediately and not
+// hanging.
+func TestSessionEventsLongPollTimeout(t *testing.T) {
+	_, srv := newSessionTestServer(t)
+
+	code, body := doJSON(t, http.MethodPost, srv.URL+"/v1/session",
+		sessionOpenWire{Type: "nn", X: 0.4, Y: 0.4, K: 1})
+	if code != http.StatusOK {
+		t.Fatalf("open: status %d: %s", code, body)
+	}
+	var opened sessionOpenResp
+	if err := json.Unmarshal(body, &opened); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	code, body = doJSON(t, http.MethodGet,
+		srv.URL+"/v1/session/"+opened.ID+"/events?since="+fmt.Sprint(opened.Seq)+"&timeout_ms=100", nil)
+	if code != http.StatusOK {
+		t.Fatalf("events: status %d: %s", code, body)
+	}
+	var ev sessionEventsResp
+	if err := json.Unmarshal(body, &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Fired {
+		t.Fatalf("idle events poll fired: %+v", ev)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("events poll returned after %v, want a ~100ms long-poll", elapsed)
+	}
+}
+
+// TestMovingClient drives the client SDK end to end: local answers
+// while inside the cached region, a server round trip on region exit,
+// and a push-invalidation observed via PollEvents forcing a refresh.
+func TestMovingClient(t *testing.T) {
+	db, srv := newSessionTestServer(t)
+	c := NewRemoteClient(srv.URL)
+
+	start := Pt(0.5, 0.5)
+	mc, err := c.OpenMoving(context.Background(), start, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mc.Close(context.Background())
+
+	// Microscopic wiggles stay inside the region: all local.
+	before := mc.Stats.ServerQueries
+	for i := 0; i < 10; i++ {
+		v, err := mc.At(context.Background(), Pt(start.X+float64(i)*1e-10, start.Y))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(v.Neighbors) != 2 {
+			t.Fatalf("local answer has %d neighbors, want 2", len(v.Neighbors))
+		}
+	}
+	if mc.Stats.ServerQueries != before {
+		t.Fatalf("in-region moves contacted the server %d times, want 0",
+			mc.Stats.ServerQueries-before)
+	}
+	if mc.Stats.CacheHits != 10 {
+		t.Fatalf("CacheHits = %d, want 10", mc.Stats.CacheHits)
+	}
+
+	// A cross-universe jump must leave the region and refresh remotely.
+	before = mc.Stats.ServerQueries
+	if _, err := mc.At(context.Background(), Pt(0.05, 0.95)); err != nil {
+		t.Fatal(err)
+	}
+	if mc.Stats.ServerQueries != before+1 {
+		t.Fatalf("region exit issued %d server queries, want 1", mc.Stats.ServerQueries-before)
+	}
+
+	// Push invalidation: an intruder lands on the client's position.
+	// PollEvents observes it, and the next At refreshes even though the
+	// position did not change.
+	pos := Pt(0.05, 0.95)
+	if err := db.Insert(Item{ID: 888888, P: Pt(pos.X+1e-8, pos.Y)}); err != nil {
+		t.Fatal(err)
+	}
+	fired, err := mc.PollEvents(context.Background(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("PollEvents did not observe the push invalidation")
+	}
+	v, err := mc.At(context.Background(), pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Neighbors[0].Item.ID != 888888 {
+		t.Fatalf("post-invalidation nearest is %d, want the intruder", v.Neighbors[0].Item.ID)
+	}
+
+	if err := mc.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// The session is gone server-side: further moves surface the
+	// sentinel error.
+	if _, err := mc.At(context.Background(), Pt(0.9, 0.9)); err == nil {
+		t.Fatal("At after Close succeeded, want ErrSessionExpired")
+	} else if err != ErrSessionExpired {
+		t.Fatalf("At after Close: %v, want ErrSessionExpired", err)
+	}
+}

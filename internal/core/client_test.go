@@ -340,3 +340,17 @@ func TestNNQueryCostSplit(t *testing.T) {
 		t.Errorf("buffered TP faults %d not ≪ accesses %d", infPA, infNA)
 	}
 }
+
+// TestQueryRateZeroUpdates guards the divide-by-zero case: a client
+// that never reported a position must have rate 0, not NaN — a NaN
+// here poisons the bench summary averages silently.
+func TestQueryRateZeroUpdates(t *testing.T) {
+	var s ClientStats
+	if r := s.QueryRate(); math.IsNaN(r) || !geom.ExactZero(r) {
+		t.Fatalf("QueryRate with zero updates = %v, want 0", r)
+	}
+	s = ClientStats{PositionUpdates: 4, ServerQueries: 1}
+	if r := s.QueryRate(); !geom.Eq(r, 0.25) {
+		t.Fatalf("QueryRate = %v, want 0.25", r)
+	}
+}

@@ -185,6 +185,7 @@ func All() []Experiment {
 		{"shards", "Engineering: sharded scatter-gather throughput scaling", ShardScaling},
 		{"batch", "Engineering: batched execution vs sequential fan-out", BatchThroughput},
 		{"cache", "Engineering: server-side validity-region cache", CacheEffect},
+		{"sessions", "Engineering: continuous-query sessions vs naive and client-cached fleets", Sessions},
 	}
 }
 

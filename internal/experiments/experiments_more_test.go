@@ -216,3 +216,39 @@ func TestSemanticCacheShape(t *testing.T) {
 		t.Errorf("deep region cache saved too little on the commute: %v → %v", first, last)
 	}
 }
+
+func TestSessionsShape(t *testing.T) {
+	tables := Sessions(tiny())
+	if len(tables) != 1 {
+		t.Fatal("expected one table")
+	}
+	rows := tables[0].Rows
+	if len(rows)%3 != 0 || len(rows) == 0 {
+		t.Fatalf("expected naive/client-cached/session row triples, got %d rows", len(rows))
+	}
+	for i := 0; i < len(rows); i += 3 {
+		naive, cached, sess := rows[i], rows[i+1], rows[i+2]
+		if naive[1] != "naive" || cached[1] != "client-cached" || sess[1] != "session" {
+			t.Fatalf("unexpected mode order at fleet %s: %v", rows[i][0], rows[i:i+3])
+		}
+		naiveQ := parseF(t, naive[2])
+		cachedQ := parseF(t, cached[2])
+		sessQ := parseF(t, sess[2])
+		// The whole point: both region protocols beat re-querying every
+		// tick, and the server-tracked session does not regress the
+		// client-cached protocol's query count.
+		if sessQ >= naiveQ {
+			t.Errorf("fleet %s: session queries %v not below naive %v", naive[0], sessQ, naiveQ)
+		}
+		if cachedQ >= naiveQ {
+			t.Errorf("fleet %s: client-cached queries %v not below naive %v", naive[0], cachedQ, naiveQ)
+		}
+		// In-region session moves must be answered with near-zero index
+		// work (the armed region absorbs them).
+		sessNA := parseF(t, sess[3])
+		naiveNA := parseF(t, naive[3])
+		if sessNA >= naiveNA {
+			t.Errorf("fleet %s: session NA/move %v not below naive %v", naive[0], sessNA, naiveNA)
+		}
+	}
+}

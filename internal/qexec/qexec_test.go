@@ -373,3 +373,88 @@ func TestKNNServedFromNNCache(t *testing.T) {
 	}
 	var _ []nn.Neighbor = resps[0].Neighbors
 }
+
+// TestShardedDeleteVsBatchRace exercises the cache epoch protocol the
+// session prefetcher leans on: Batch queries race sharded Deletes, and
+// once a Delete has completed (with its leading/trailing Invalidate
+// bumps), no later Batch may serve the deleted item from the cache.
+// Run with -race.
+func TestShardedDeleteVsBatchRace(t *testing.T) {
+	d := dataset.Uniform(3000, 53)
+	cl, err := shard.NewCluster(d.Items, d.Universe, shard.Options{Shards: 4, Strategy: shard.Grid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(nil, nil, cl, Config{CacheSize: 4096})
+	ctx := context.Background()
+
+	// The observed item: pinned probes at its position make it the
+	// unambiguous 1-NN whenever present.
+	x := d.Items[0]
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Background batches hammering the cache across the whole universe.
+	for w := 0; w < 3; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(500 + w)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				reqs := randomRequests(rng, d, 16)
+				if _, err := e.Batch(ctx, reqs); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+
+	mutate := func(insert bool) {
+		e.Invalidate()
+		defer e.Invalidate()
+		if insert {
+			if err := cl.Insert(x); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+		if !cl.Delete(x) {
+			t.Fatal("observed item missing at delete")
+		}
+	}
+
+	probe := []Request{{Op: OpNN, Q: x.P, K: 1}}
+	for round := 0; round < 80; round++ {
+		mutate(false) // delete X
+		resps, err := e.Batch(ctx, probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resps[0].Err != nil {
+			t.Fatal(resps[0].Err)
+		}
+		if resps[0].NN.Neighbors[0].Item.ID == x.ID {
+			t.Fatalf("round %d: deleted item served from cache (hit=%v)", round, resps[0].CacheHit)
+		}
+		mutate(true) // reinsert X
+		resps, err = e.Batch(ctx, probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resps[0].Err != nil {
+			t.Fatal(resps[0].Err)
+		}
+		if resps[0].NN.Neighbors[0].Item.ID != x.ID {
+			t.Fatalf("round %d: reinserted item invisible (hit=%v)", round, resps[0].CacheHit)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

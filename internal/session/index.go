@@ -1,0 +1,222 @@
+package session
+
+import (
+	"sync"
+
+	"lbsq/internal/core"
+	"lbsq/internal/geom"
+)
+
+// gridDim is the region index's resolution per axis (gridDim² cells).
+const gridDim = 64
+
+// armed is one session's region as registered in the region index: the
+// cached validity state plus the conservative influence rectangle —
+// the area within which a mutation can possibly puncture the region.
+// Entries are immutable after publication; a re-arm builds a new one.
+type armed struct {
+	s *Session
+
+	// rect is the influence rectangle: every point whose insertion or
+	// deletion can change the session's answer anywhere in its region
+	// lies inside it (proof in the DESIGN.md §7 derivation).
+	rect geom.Rect
+
+	nn      *core.NNValidity
+	win     *core.WindowValidity
+	qx, qy  float64
+	members map[int64]struct{}
+
+	// Covered cell range, fixed at arm time so disarm visits the same
+	// cells even for rects straddling the universe boundary.
+	c0, r0, c1, r1 int
+}
+
+// buildArmed derives the index entry for a fresh answer; nil means the
+// region is degenerate (empty region — the result changes under any
+// movement) and the session cannot be armed.
+func buildArmed(s *Session, v *core.NNValidity, wv *core.WindowValidity) *armed {
+	switch s.kind {
+	case NN:
+		if v == nil || v.Region.IsEmpty() {
+			return nil
+		}
+		members := make(map[int64]struct{}, len(v.Neighbors))
+		// dmax bounds dist(x, member) over region points x: dist(·, m)
+		// is convex, so its maximum over the convex region is attained
+		// at a vertex. Any point p puncturing the region satisfies
+		// dist(x, p) < dist(x, m) ≤ dmax for some region point x, so p
+		// lies within dmax of the region's bounding box. The members
+		// themselves also lie within dmax of a region vertex, so the
+		// delete test is covered by the same rectangle.
+		dmax := 0.0
+		for _, nb := range v.Neighbors {
+			members[nb.Item.ID] = struct{}{}
+			for _, vert := range v.Region {
+				if d := vert.Dist(nb.Item.P); d > dmax {
+					dmax = d
+				}
+			}
+		}
+		return &armed{
+			s:       s,
+			rect:    v.Region.Bounds().Inflate(dmax, dmax),
+			nn:      v,
+			members: members,
+		}
+	case Window:
+		if wv == nil || wv.InnerRect.IsEmpty() {
+			return nil
+		}
+		members := make(map[int64]struct{}, len(wv.Result))
+		for _, it := range wv.Result {
+			members[it.ID] = struct{}{}
+		}
+		qx, qy := wv.Window.Width(), wv.Window.Height()
+		// A point can affect the window result at some focus f in the
+		// region only if its Minkowski rectangle reaches f; the region
+		// is contained in InnerRect, so inflating InnerRect by the
+		// half-extents covers every such point. Result members are
+		// within the half-extents of every InnerRect point by
+		// construction (InnerRect ⊆ each member's rectangle).
+		return &armed{
+			s:       s,
+			rect:    wv.InnerRect.Inflate(qx/2, qy/2),
+			win:     wv,
+			qx:      qx,
+			qy:      qy,
+			members: members,
+		}
+	}
+	return nil
+}
+
+// puncturedByInsert reports whether inserting a point at p can change
+// the session's answer somewhere in its armed region. NN: exact — p
+// punctures iff some region point is strictly closer to p than to some
+// result member (the clipped region is non-empty). Window:
+// conservative — p's Minkowski rectangle reaches the inner rectangle
+// (it might only reach already-subtracted holes, which costs a
+// spurious re-query, never a wrong answer).
+func (a *armed) puncturedByInsert(p geom.Point) bool {
+	if !a.rect.Contains(p) {
+		return false
+	}
+	if a.nn != nil {
+		for _, nb := range a.nn.Neighbors {
+			if !a.nn.Region.ClipHalfPlane(geom.Bisector(p, nb.Item.P)).IsEmpty() {
+				return true
+			}
+		}
+		return false
+	}
+	return geom.RectCenteredAt(p, a.qx, a.qy).Intersects(a.win.InnerRect)
+}
+
+// holdsMember reports whether the deleted item id is part of the
+// session's cached result (the only deletions that can shrink a result
+// or change a k-NN set inside the armed region).
+func (a *armed) holdsMember(id int64) bool {
+	_, ok := a.members[id]
+	return ok
+}
+
+// cell is one grid cell of the region index. The per-cell mutex also
+// orders an arm against a concurrent mutation scan: whichever runs
+// second observes the other's effect (entry present, or epoch moved).
+type cell struct {
+	mu      sync.Mutex
+	entries map[*armed]struct{}
+}
+
+// regionIndex is a uniform gridDim×gridDim grid over the universe
+// holding every armed session region, keyed by its influence
+// rectangle. Coordinates outside the universe clamp to the border
+// cells, so out-of-universe mutations still meet the regions whose
+// influence rectangles extend past the boundary.
+type regionIndex struct {
+	universe geom.Rect
+	cw, ch   float64
+	cells    []cell
+}
+
+func newRegionIndex(universe geom.Rect) *regionIndex {
+	return &regionIndex{
+		universe: universe,
+		cw:       universe.Width() / gridDim,
+		ch:       universe.Height() / gridDim,
+		cells:    make([]cell, gridDim*gridDim),
+	}
+}
+
+func clampCell(c int) int {
+	if c < 0 {
+		return 0
+	}
+	if c >= gridDim {
+		return gridDim - 1
+	}
+	return c
+}
+
+func (idx *regionIndex) col(x float64) int {
+	if idx.cw <= 0 {
+		return 0
+	}
+	return clampCell(int((x - idx.universe.MinX) / idx.cw))
+}
+
+func (idx *regionIndex) row(y float64) int {
+	if idx.ch <= 0 {
+		return 0
+	}
+	return clampCell(int((y - idx.universe.MinY) / idx.ch))
+}
+
+// arm registers the entry in every cell its influence rectangle
+// overlaps (clamped to the grid).
+func (idx *regionIndex) arm(a *armed) {
+	a.c0, a.r0 = idx.col(a.rect.MinX), idx.row(a.rect.MinY)
+	a.c1, a.r1 = idx.col(a.rect.MaxX), idx.row(a.rect.MaxY)
+	for r := a.r0; r <= a.r1; r++ {
+		for c := a.c0; c <= a.c1; c++ {
+			cl := &idx.cells[r*gridDim+c]
+			cl.mu.Lock()
+			if cl.entries == nil {
+				cl.entries = make(map[*armed]struct{})
+			}
+			cl.entries[a] = struct{}{}
+			cl.mu.Unlock()
+		}
+	}
+}
+
+// disarm removes the entry from the cells recorded at arm time.
+func (idx *regionIndex) disarm(a *armed) {
+	for r := a.r0; r <= a.r1; r++ {
+		for c := a.c0; c <= a.c1; c++ {
+			cl := &idx.cells[r*gridDim+c]
+			cl.mu.Lock()
+			delete(cl.entries, a)
+			cl.mu.Unlock()
+		}
+	}
+}
+
+// collect returns the armed entries whose influence rectangle contains
+// p — the only sessions a mutation at p can possibly affect. Only p's
+// cell is consulted: every entry whose rectangle contains p is
+// registered there (cell assignment is monotone in the clamped
+// coordinates).
+func (idx *regionIndex) collect(p geom.Point) []*armed {
+	cl := &idx.cells[idx.row(p.Y)*gridDim+idx.col(p.X)]
+	cl.mu.Lock()
+	var out []*armed
+	for a := range cl.entries {
+		if a.rect.Contains(p) {
+			out = append(out, a)
+		}
+	}
+	cl.mu.Unlock()
+	return out
+}

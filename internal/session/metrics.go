@@ -1,0 +1,89 @@
+package session
+
+import (
+	"lbsq/internal/geom"
+	"lbsq/internal/obs"
+)
+
+// Move outcome label values of lbsq_session_moves_total.
+const (
+	moveResultHit      = "hit"
+	moveResultPrefetch = "prefetch"
+	moveResultRequery  = "requery"
+)
+
+// Prefetch event label values of lbsq_session_prefetch_total.
+const (
+	pfEventIssued  = "issued"
+	pfEventHit     = "hit"
+	pfEventWaste   = "waste"
+	pfEventDropped = "dropped"
+)
+
+// metrics holds the manager's always-on instruments. A nil Registry in
+// Options meters into a private registry, so every field is non-nil
+// and the hot path stays branch-free.
+type metrics struct {
+	opens  *obs.Counter
+	closes *obs.Counter
+
+	moveHit      *obs.Counter
+	movePrefetch *obs.Counter
+	moveRequery  *obs.Counter
+
+	invalidations *obs.Counter
+
+	pfIssued  *obs.Counter
+	pfHit     *obs.Counter
+	pfWaste   *obs.Counter
+	pfDropped *obs.Counter
+}
+
+func newMetrics(reg *obs.Registry, m *Manager) *metrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	met := &metrics{
+		opens: reg.Counter("lbsq_sessions_opened_total",
+			"Continuous-query sessions opened.", nil),
+		closes: reg.Counter("lbsq_sessions_closed_total",
+			"Continuous-query sessions closed or expired.", nil),
+		moveHit: reg.Counter("lbsq_session_moves_total",
+			"Session position updates, by how they were answered.",
+			obs.Labels{"result": moveResultHit}),
+		movePrefetch: reg.Counter("lbsq_session_moves_total",
+			"Session position updates, by how they were answered.",
+			obs.Labels{"result": moveResultPrefetch}),
+		moveRequery: reg.Counter("lbsq_session_moves_total",
+			"Session position updates, by how they were answered.",
+			obs.Labels{"result": moveResultRequery}),
+		invalidations: reg.Counter("lbsq_session_invalidations_total",
+			"Armed session regions punctured by Insert/Delete (push invalidations).", nil),
+		pfIssued: reg.Counter("lbsq_session_prefetch_total",
+			"Trajectory-prefetch lifecycle events.",
+			obs.Labels{"event": pfEventIssued}),
+		pfHit: reg.Counter("lbsq_session_prefetch_total",
+			"Trajectory-prefetch lifecycle events.",
+			obs.Labels{"event": pfEventHit}),
+		pfWaste: reg.Counter("lbsq_session_prefetch_total",
+			"Trajectory-prefetch lifecycle events.",
+			obs.Labels{"event": pfEventWaste}),
+		pfDropped: reg.Counter("lbsq_session_prefetch_total",
+			"Trajectory-prefetch lifecycle events.",
+			obs.Labels{"event": pfEventDropped}),
+	}
+	reg.GaugeFunc("lbsq_sessions_active",
+		"Currently open continuous-query sessions.", nil,
+		func() float64 { return float64(m.Len()) })
+	reg.GaugeFunc("lbsq_session_region_hit_ratio",
+		"Fraction of session moves answered from the armed region with zero index work.", nil,
+		func() float64 {
+			hit := float64(met.moveHit.Value())
+			total := hit + float64(met.movePrefetch.Value()) + float64(met.moveRequery.Value())
+			if geom.ExactZero(total) {
+				return 0
+			}
+			return hit / total
+		})
+	return met
+}

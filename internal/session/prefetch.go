@@ -1,0 +1,110 @@
+package session
+
+import (
+	"context"
+
+	"lbsq/internal/core"
+	"lbsq/internal/geom"
+)
+
+// predictHorizon bounds the exit-point march: how many client steps
+// ahead the trajectory is extrapolated looking for the region's exit.
+const predictHorizon = 256
+
+// prefetched is a background-computed next region, usable only while
+// the mutation epoch it was computed under is still current.
+type prefetched struct {
+	nn    *core.NNValidity
+	win   *core.WindowValidity
+	epoch uint64
+}
+
+// covers reports whether the prefetched answer is exact at p (same
+// test as Session.coversLocked).
+func (pf *prefetched) covers(universe geom.Rect, p geom.Point) bool {
+	if pf.nn != nil {
+		return universe.Contains(p) && pf.nn.Valid(p)
+	}
+	if pf.win != nil {
+		return pf.win.Valid(p)
+	}
+	return false
+}
+
+// predictExitLocked extrapolates the client's last displacement to the
+// first predicted position outside the current region (s.mu held).
+// Stationary clients, clients whose extrapolation leaves the universe,
+// and regions not exited within the horizon yield no prediction.
+func (s *Session) predictExitLocked(p, delta geom.Point) (geom.Point, bool) {
+	step := delta.Norm()
+	if geom.Zero(step) {
+		return geom.Point{}, false
+	}
+	dir := delta.Scale(1 / step)
+	x := p
+	for i := 0; i < predictHorizon; i++ {
+		x = x.Add(dir.Scale(step))
+		if !s.m.universe.Contains(x) {
+			return geom.Point{}, false
+		}
+		if !s.coversLocked(x) {
+			return x, true
+		}
+	}
+	return geom.Point{}, false
+}
+
+// maybePrefetch schedules a background computation of the region the
+// client is predicted to enter next (s.mu held). At most one prefetch
+// per session is in flight, and the pool is bounded: under overload
+// the prefetch is dropped, never queued.
+func (m *Manager) maybePrefetch(s *Session, p, delta geom.Point) {
+	if m.pfSlots == nil || s.pfBusy || s.invalid.Load() {
+		return
+	}
+	exit, ok := s.predictExitLocked(p, delta)
+	if !ok {
+		return
+	}
+	if pf := s.pf; pf != nil && pf.epoch == m.epoch.Load() && pf.covers(m.universe, exit) {
+		return // the predicted exit is already prefetched
+	}
+	select {
+	case m.pfSlots <- struct{}{}:
+	default:
+		m.met.pfDropped.Inc()
+		return
+	}
+	s.pfBusy = true
+	m.met.pfIssued.Inc()
+	go m.runPrefetch(s, exit)
+}
+
+// runPrefetch computes the validity region at the predicted position
+// and stores it on the session if no mutation landed meanwhile. It
+// runs detached from any request (the requesting Move has long
+// returned), hence the background context.
+func (m *Manager) runPrefetch(s *Session, at geom.Point) {
+	defer func() { <-m.pfSlots }()
+	epoch0 := m.epoch.Load()
+	ctx := context.Background()
+	var (
+		v   *core.NNValidity
+		wv  *core.WindowValidity
+		err error
+	)
+	switch s.kind {
+	case NN:
+		v, _, _, _, err = m.exec.NNCached(ctx, at, s.k)
+	case Window:
+		wv, _, _, _, err = m.exec.WindowCached(ctx, geom.RectCenteredAt(at, s.qx, s.qy))
+	}
+	s.mu.Lock()
+	s.pfBusy = false
+	if err == nil && !s.closed.Load() && m.epoch.Load() == epoch0 {
+		s.pf = &prefetched{nn: v, win: wv, epoch: epoch0}
+	} else {
+		m.met.pfWaste.Inc()
+	}
+	s.mu.Unlock()
+}

@@ -1,0 +1,526 @@
+package session
+
+import (
+	"context"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"lbsq/internal/core"
+	"lbsq/internal/dataset"
+	"lbsq/internal/geom"
+	"lbsq/internal/qexec"
+	"lbsq/internal/rtree"
+)
+
+// harness couples a single-server engine with a session manager the
+// way the DB facade does, exposing the mutation hooks tests drive by
+// hand.
+type harness struct {
+	d   *dataset.Dataset
+	srv *core.Server
+	mu  sync.RWMutex
+	ex  *qexec.Executor
+	m   *Manager
+}
+
+func newHarness(t *testing.T, n int, seed int64, opts Options) *harness {
+	t.Helper()
+	h := &harness{d: dataset.Uniform(n, seed)}
+	h.srv = core.NewServer(h.d.Tree(), h.d.Universe)
+	h.ex = qexec.New(h.srv, &h.mu, nil, qexec.Config{})
+	h.m = NewManager(h.ex, h.d.Universe, opts)
+	return h
+}
+
+// insert mutates the tree with the full session epoch protocol.
+func (h *harness) insert(it rtree.Item) {
+	h.m.MutationBegin()
+	h.ex.Invalidate()
+	h.mu.Lock()
+	h.srv.Tree.Insert(it)
+	h.mu.Unlock()
+	h.ex.Invalidate()
+	h.m.OnInsert(it)
+}
+
+func (h *harness) delete(it rtree.Item) bool {
+	h.m.MutationBegin()
+	h.ex.Invalidate()
+	h.mu.Lock()
+	ok := h.srv.Tree.Delete(it)
+	h.mu.Unlock()
+	h.ex.Invalidate()
+	if ok {
+		h.m.OnDelete(it)
+	}
+	return ok
+}
+
+// freshNN answers the reference query directly against the tree.
+func (h *harness) freshNN(t *testing.T, q geom.Point, k int) *core.NNValidity {
+	t.Helper()
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	v, _, err := h.srv.NNQuery(q, k)
+	if err != nil {
+		t.Fatalf("reference NNQuery: %v", err)
+	}
+	return v
+}
+
+func ids(nbs []rtree.Item) map[int64]bool {
+	out := make(map[int64]bool, len(nbs))
+	for _, it := range nbs {
+		out[it.ID] = true
+	}
+	return out
+}
+
+// sameAnswer compares a session NN answer with the reference as a
+// set: the validity region preserves the k-NN membership, not its
+// ranking, and ties make raw ID comparison ambiguous — so the sorted
+// distance multisets (to the probe point) must match.
+func sameAnswer(q geom.Point, got, want *core.NNValidity) bool {
+	if len(got.Neighbors) != len(want.Neighbors) {
+		return false
+	}
+	dists := func(v *core.NNValidity) []float64 {
+		out := make([]float64, len(v.Neighbors))
+		for i, nb := range v.Neighbors {
+			out[i] = nb.Item.P.Dist(q)
+		}
+		sort.Float64s(out)
+		return out
+	}
+	g, w := dists(got), dists(want)
+	for i := range g {
+		if !geom.Eq(g[i], w[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMoveHitZeroAccesses(t *testing.T) {
+	h := newHarness(t, 2000, 7, Options{PrefetchWorkers: -1})
+	ctx := context.Background()
+	start := h.d.Universe.Center()
+	s, res, err := h.m.OpenNN(ctx, start, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Requeried || res.NN == nil {
+		t.Fatalf("open: want initial requery with answer, got %+v", res)
+	}
+	// Tiny steps stay inside the validity region (regions of uniform
+	// data are far larger than 1e-9 of the universe).
+	step := geom.Pt(h.d.Universe.Width()*1e-9, 0)
+	p := start
+	for i := 0; i < 5; i++ {
+		p = p.Add(step)
+		h.srv.Tree.ResetAccesses()
+		mv, err := h.m.Move(ctx, s.ID(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !mv.Hit {
+			t.Fatalf("move %d: want in-region hit, got %+v", i, mv)
+		}
+		if n := h.srv.Tree.NodeAccesses(); n != 0 {
+			t.Fatalf("move %d: in-region hit performed %d node accesses, want 0", i, n)
+		}
+		if want := h.freshNN(t, p, 2); !sameAnswer(p, mv.NN, want) {
+			t.Fatalf("move %d: hit answer differs from fresh query", i)
+		}
+	}
+}
+
+func TestMoveRequeryTracksTruth(t *testing.T) {
+	h := newHarness(t, 1500, 11, Options{PrefetchWorkers: -1})
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(3))
+	u := h.d.Universe
+	p := u.Center()
+	s, _, err := h.m.OpenNN(ctx, p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A random walk long enough to exit regions many times; every
+	// answer must match a fresh query at the same position.
+	for i := 0; i < 400; i++ {
+		p = geom.Pt(
+			clamp(p.X+(rng.Float64()-0.5)*u.Width()*0.01, u.MinX, u.MaxX),
+			clamp(p.Y+(rng.Float64()-0.5)*u.Height()*0.01, u.MinY, u.MaxY),
+		)
+		mv, err := h.m.Move(ctx, s.ID(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := h.freshNN(t, p, 3); !sameAnswer(p, mv.NN, want) {
+			t.Fatalf("step %d at %v: session answer diverged from fresh query (hit=%v)", i, p, mv.Hit)
+		}
+	}
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func TestInsertPushInvalidation(t *testing.T) {
+	h := newHarness(t, 2000, 13, Options{PrefetchWorkers: -1})
+	ctx := context.Background()
+	p := h.d.Universe.Center()
+	s, res, err := h.m.OpenNN(ctx, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq0 := res.Seq
+
+	// A point right on the query position displaces the current NN.
+	intruder := rtree.Item{ID: 1 << 40, P: p.Add(geom.Pt(1e-7, 1e-7))}
+	h.insert(intruder)
+
+	seq, ok, err := h.m.Events(ctx, s.ID(), seq0)
+	if err != nil || !ok || seq <= seq0 {
+		t.Fatalf("Events after puncturing insert: seq=%d ok=%v err=%v, want new seq", seq, ok, err)
+	}
+	mv, err := h.m.Move(ctx, s.ID(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mv.Requeried || !mv.Invalidated {
+		t.Fatalf("move after invalidation: want invalidated requery, got %+v", mv)
+	}
+	if mv.NN.Neighbors[0].Item.ID != intruder.ID {
+		t.Fatalf("move after insert: NN = %d, want intruder %d", mv.NN.Neighbors[0].Item.ID, intruder.ID)
+	}
+
+	// And the session recovers: the next in-region move is a hit again.
+	mv, err = h.m.Move(ctx, s.ID(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mv.Hit {
+		t.Fatalf("move after re-arm: want hit, got %+v", mv)
+	}
+}
+
+func TestDeleteMemberInvalidation(t *testing.T) {
+	h := newHarness(t, 2000, 17, Options{PrefetchWorkers: -1})
+	ctx := context.Background()
+	p := h.d.Universe.Center()
+	s, res, err := h.m.OpenNN(ctx, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := res.NN.Neighbors[0].Item
+	if !h.delete(victim) {
+		t.Fatalf("reference member %d not deletable", victim.ID)
+	}
+	mv, err := h.m.Move(ctx, s.ID(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mv.Requeried || !mv.Invalidated {
+		t.Fatalf("move after member delete: want invalidated requery, got %+v", mv)
+	}
+	if mv.NN.Neighbors[0].Item.ID == victim.ID {
+		t.Fatalf("deleted item %d still reported as NN", victim.ID)
+	}
+}
+
+func TestFarMutationsKeepRegionArmed(t *testing.T) {
+	h := newHarness(t, 2000, 19, Options{PrefetchWorkers: -1})
+	ctx := context.Background()
+	u := h.d.Universe
+	// Query near one corner, mutations near the opposite corner.
+	p := geom.Pt(u.MinX+u.Width()*0.1, u.MinY+u.Height()*0.1)
+	far := geom.Pt(u.MaxX-u.Width()*0.05, u.MaxY-u.Height()*0.05)
+	s, _, err := h.m.OpenNN(ctx, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := rtree.Item{ID: 1 << 41, P: far}
+	h.insert(it)
+	h.delete(it)
+	mv, err := h.m.Move(ctx, s.ID(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mv.Hit {
+		t.Fatalf("move after far-away churn: want hit (no invalidation), got %+v", mv)
+	}
+	if want := h.freshNN(t, p, 2); !sameAnswer(p, mv.NN, want) {
+		t.Fatal("hit answer diverged from fresh query after far churn")
+	}
+}
+
+func TestWindowSessionLifecycle(t *testing.T) {
+	h := newHarness(t, 2000, 23, Options{PrefetchWorkers: -1})
+	ctx := context.Background()
+	u := h.d.Universe
+	f := u.Center()
+	qx, qy := u.Width()*0.05, u.Height()*0.05
+	s, res, err := h.m.OpenWindow(ctx, f, qx, qy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Window == nil {
+		t.Fatal("open: no window answer")
+	}
+	// An in-region micro-move is a hit with zero accesses.
+	p := f.Add(geom.Pt(u.Width()*1e-9, 0))
+	h.srv.Tree.ResetAccesses()
+	mv, err := h.m.Move(ctx, s.ID(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mv.Hit || h.srv.Tree.NodeAccesses() != 0 {
+		t.Fatalf("window hit: got %+v with %d accesses", mv, h.srv.Tree.NodeAccesses())
+	}
+	// Inserting inside the current window punctures the region.
+	h.insert(rtree.Item{ID: 1 << 42, P: p})
+	mv, err = h.m.Move(ctx, s.ID(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mv.Requeried || !mv.Invalidated {
+		t.Fatalf("window move after insert: want invalidated requery, got %+v", mv)
+	}
+	found := false
+	for _, it := range mv.Window.Result {
+		if it.ID == 1<<42 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("window requery missing the inserted point")
+	}
+}
+
+func TestLifecycleErrors(t *testing.T) {
+	h := newHarness(t, 500, 29, Options{TTL: 10 * time.Millisecond, PrefetchWorkers: -1})
+	ctx := context.Background()
+	if _, err := h.m.Move(ctx, 999, h.d.Universe.Center()); err != ErrNotFound {
+		t.Fatalf("unknown id: err=%v, want ErrNotFound", err)
+	}
+	s, _, err := h.m.OpenNN(ctx, h.d.Universe.Center(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.m.Close(s.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.m.Move(ctx, s.ID(), h.d.Universe.Center()); err != ErrExpired {
+		t.Fatalf("closed session: err=%v, want ErrExpired", err)
+	}
+	if err := h.m.Close(s.ID()); err != ErrExpired {
+		t.Fatalf("double close: err=%v, want ErrExpired", err)
+	}
+	// TTL expiry.
+	s2, _, err := h.m.OpenNN(ctx, h.d.Universe.Center(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(25 * time.Millisecond)
+	if _, err := h.m.Move(ctx, s2.ID(), h.d.Universe.Center()); err != ErrExpired {
+		t.Fatalf("expired session: err=%v, want ErrExpired", err)
+	}
+	if h.m.Len() != 0 {
+		t.Fatalf("Len = %d after all sessions gone, want 0", h.m.Len())
+	}
+}
+
+func TestMaxSessions(t *testing.T) {
+	h := newHarness(t, 200, 31, Options{MaxSessions: 2, PrefetchWorkers: -1})
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, _, err := h.m.OpenNN(ctx, h.d.Universe.Center(), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := h.m.OpenNN(ctx, h.d.Universe.Center(), 1); err != ErrLimit {
+		t.Fatalf("over-limit open: err=%v, want ErrLimit", err)
+	}
+}
+
+func TestEventsLongPollTimeout(t *testing.T) {
+	h := newHarness(t, 500, 37, Options{PrefetchWorkers: -1})
+	s, _, err := h.m.OpenNN(context.Background(), h.d.Universe.Center(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	seq, ok, err := h.m.Events(ctx, s.ID(), 0)
+	if err != nil || ok {
+		t.Fatalf("quiet long-poll: seq=%d ok=%v err=%v, want timeout without event", seq, ok, err)
+	}
+	if time.Since(start) < 15*time.Millisecond {
+		t.Fatal("long-poll returned before the deadline with no event")
+	}
+}
+
+func TestPrefetchServesPredictedExit(t *testing.T) {
+	h := newHarness(t, 3000, 41, Options{PrefetchWorkers: 2})
+	ctx := context.Background()
+	u := h.d.Universe
+	p := geom.Pt(u.MinX+u.Width()*0.2, u.Center().Y)
+	s, _, err := h.m.OpenNN(ctx, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := geom.Pt(u.Width()*0.002, 0) // straight east, constant speed
+	sawPrefetch := false
+	for i := 0; i < 300 && !sawPrefetch; i++ {
+		p = p.Add(step)
+		if p.X >= u.MaxX {
+			break
+		}
+		mv, err := h.m.Move(ctx, s.ID(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sawPrefetch = mv.Prefetched
+		if want := h.freshNN(t, p, 1); !sameAnswer(p, mv.NN, want) {
+			t.Fatalf("step %d: answer diverged (prefetched=%v)", i, mv.Prefetched)
+		}
+		// Let the background prefetch land before the next report —
+		// the deterministic stand-in for a real client's dwell time.
+		waitPrefetchIdle(t, s)
+	}
+	if !sawPrefetch {
+		t.Fatal("directed fleet never hit a prefetched region")
+	}
+}
+
+// waitPrefetchIdle blocks until the session has no prefetch in flight.
+func waitPrefetchIdle(t *testing.T, s *Session) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s.mu.Lock()
+		busy := s.pfBusy
+		s.mu.Unlock()
+		if !busy {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("prefetch never completed")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestChurnNeverServesStaleResult is the subsystem's core correctness
+// property under concurrency: movers answering from armed regions race
+// Insert/Delete churn, and a session must never serve an answer that
+// excludes its true result. The checkable half: once a Delete(X) has
+// completed, no later Move may report X; once the observer's own
+// Insert(X) has completed, a Move pinned to X's position must report X
+// (X is made the unambiguous nearest neighbor). Run with -race.
+func TestChurnNeverServesStaleResult(t *testing.T) {
+	h := newHarness(t, 2000, 43, Options{PrefetchWorkers: 2})
+	ctx := context.Background()
+	u := h.d.Universe
+
+	// The observed item sits mid-universe; the observer pins its moves
+	// within a hair of it, so whenever X is present it is the true NN.
+	xp := geom.Pt(u.Center().X, u.Center().Y)
+	x := rtree.Item{ID: 1 << 43, P: xp}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Background movers: random walkers churning arm/disarm traffic.
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			p := geom.Pt(u.MinX+rng.Float64()*u.Width(), u.MinY+rng.Float64()*u.Height())
+			s, _, err := h.m.OpenNN(ctx, p, 2)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p = geom.Pt(
+					clamp(p.X+(rng.Float64()-0.5)*u.Width()*0.02, u.MinX, u.MaxX),
+					clamp(p.Y+(rng.Float64()-0.5)*u.Height()*0.02, u.MinY, u.MaxY),
+				)
+				if _, err := h.m.Move(ctx, s.ID(), p); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+
+	// Background churn away from X, stressing the epoch protocol.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(77))
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			it := rtree.Item{
+				ID: int64(1<<44) + int64(i%64),
+				P:  geom.Pt(u.MinX+rng.Float64()*u.Width(), u.MinY+rng.Float64()*u.Height()),
+			}
+			h.insert(it)
+			h.delete(it)
+		}
+	}()
+
+	// The observer: alternate X's presence and verify every Move
+	// against it. The insert/delete runs in this goroutine, so each
+	// check has a completed mutation ordered before it.
+	watcher, _, err := h.m.OpenNN(ctx, xp, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := xp.Add(geom.Pt(u.Width()*1e-10, 0))
+	for round := 0; round < 60; round++ {
+		h.insert(x)
+		mv, err := h.m.Move(ctx, watcher.ID(), probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mv.NN.Neighbors[0].Item.ID != x.ID {
+			t.Fatalf("round %d: X present but Move reports NN %d (hit=%v)", round, mv.NN.Neighbors[0].Item.ID, mv.Hit)
+		}
+		if !h.delete(x) {
+			t.Fatalf("round %d: X vanished", round)
+		}
+		mv, err = h.m.Move(ctx, watcher.ID(), probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mv.NN.Neighbors[0].Item.ID == x.ID {
+			t.Fatalf("round %d: X deleted but Move still reports it (hit=%v)", round, mv.Hit)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

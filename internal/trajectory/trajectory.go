@@ -11,6 +11,62 @@ import (
 	"lbsq/internal/geom"
 )
 
+// Config parameterizes Waypoints. The zero value of Jitter gives the
+// constant-speed classic model.
+type Config struct {
+	// Step is the nominal per-tick travel distance.
+	Step float64
+	// Jitter varies the per-tick speed uniformly in
+	// Step·[1−Jitter, 1+Jitter]; values are clamped to [0, 1).
+	Jitter float64
+	// Steps is the number of positions to generate.
+	Steps int
+	// Seed makes the trace deterministic: equal configs yield
+	// identical traces.
+	Seed int64
+}
+
+// Waypoints generates a random-waypoint trace inside universe under
+// cfg: pick a destination uniformly, travel to it in (possibly
+// jittered) steps, repeat. It generalizes RandomWaypoint with the
+// velocity jitter the session experiments use to stress
+// trajectory-prediction error.
+func Waypoints(universe geom.Rect, cfg Config) []geom.Point {
+	jitter := cfg.Jitter
+	if jitter < 0 {
+		jitter = 0
+	}
+	if jitter >= 1 {
+		jitter = 1 - 1e-9
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pos := geom.Pt(
+		universe.MinX+rng.Float64()*universe.Width(),
+		universe.MinY+rng.Float64()*universe.Height(),
+	)
+	dst := pos
+	out := make([]geom.Point, 0, cfg.Steps)
+	if cfg.Steps > 0 {
+		out = append(out, pos)
+	}
+	for len(out) < cfg.Steps {
+		step := cfg.Step
+		if jitter > 0 {
+			step *= 1 + jitter*(2*rng.Float64()-1)
+		}
+		if pos.Dist(dst) < step {
+			dst = geom.Pt(
+				universe.MinX+rng.Float64()*universe.Width(),
+				universe.MinY+rng.Float64()*universe.Height(),
+			)
+		}
+		dir := dst.Sub(pos).Unit()
+		pos = pos.Add(dir.Scale(step))
+		out = append(out, pos)
+	}
+	return out
+}
+
 // RandomWaypoint generates n positions of the classic random-waypoint
 // model inside universe: pick a destination uniformly, travel to it in
 // steps of the given length, repeat.

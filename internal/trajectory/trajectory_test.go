@@ -97,3 +97,55 @@ func TestHeadings(t *testing.T) {
 		t.Fatal("single-point path must give one heading")
 	}
 }
+
+func TestWaypointsDeterministic(t *testing.T) {
+	cfg := Config{Step: 0.01, Jitter: 0.4, Steps: 600, Seed: 9}
+	a := Waypoints(universe, cfg)
+	b := Waypoints(universe, cfg)
+	if len(a) != cfg.Steps || len(b) != cfg.Steps {
+		t.Fatalf("lengths = %d, %d, want %d", len(a), len(b), cfg.Steps)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same config diverges at step %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// A different seed must actually change the trace.
+	c := Waypoints(universe, Config{Step: 0.01, Jitter: 0.4, Steps: 600, Seed: 10})
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestWaypointsJitterBounds(t *testing.T) {
+	cfg := Config{Step: 0.01, Jitter: 0.5, Steps: 800, Seed: 4}
+	path := Waypoints(universe, cfg)
+	checkPath(t, path, cfg.Steps, cfg.Step*(1+cfg.Jitter))
+	varied := false
+	for i := 2; i < len(path); i++ {
+		d1 := path[i].Dist(path[i-1])
+		d0 := path[i-1].Dist(path[i-2])
+		if !geom.Eq(d1, d0) {
+			varied = true
+			break
+		}
+	}
+	if !varied {
+		t.Fatal("jittered trace moved at constant speed")
+	}
+	// Zero jitter reduces to the classic model.
+	plain := Waypoints(universe, Config{Step: 0.01, Steps: 300, Seed: 1})
+	classic := RandomWaypoint(universe, 0.01, 300, 1)
+	for i := range plain {
+		if plain[i] != classic[i] {
+			t.Fatalf("zero-jitter Waypoints diverges from RandomWaypoint at %d", i)
+		}
+	}
+}

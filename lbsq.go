@@ -31,6 +31,7 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lbsq/internal/core"
 	"lbsq/internal/dataset"
@@ -39,6 +40,7 @@ import (
 	"lbsq/internal/obs"
 	"lbsq/internal/qexec"
 	"lbsq/internal/rtree"
+	sess "lbsq/internal/session"
 	"lbsq/internal/shard"
 	"lbsq/internal/storage"
 	"lbsq/internal/tp"
@@ -178,6 +180,18 @@ type Options struct {
 	// an unsharded DB; zero selects a small default. Sharded batches
 	// are bounded by the cluster's scatter-gather pool instead.
 	BatchWorkers int
+	// SessionTTL expires continuous-query sessions idle for longer
+	// than this (no Move or Events activity). Zero keeps sessions
+	// until closed.
+	SessionTTL time.Duration
+	// SessionPrefetchWorkers bounds the background pool computing
+	// trajectory-predicted next regions for sessions. Zero selects a
+	// small default; negative disables prefetch.
+	SessionPrefetchWorkers int
+	// MaxSessions caps concurrently open continuous-query sessions
+	// (OpenSession returns ErrSessionLimit beyond it). Zero selects a
+	// generous default.
+	MaxSessions int
 }
 
 // validate rejects out-of-range option values with a descriptive error.
@@ -204,6 +218,12 @@ func (o *Options) validate() error {
 	if o.BatchWorkers < 0 {
 		return fmt.Errorf("lbsq: BatchWorkers %d, want ≥ 0 (0 selects the default)", o.BatchWorkers)
 	}
+	if o.SessionTTL < 0 {
+		return fmt.Errorf("lbsq: SessionTTL %v, want ≥ 0 (0 disables expiry)", o.SessionTTL)
+	}
+	if o.MaxSessions < 0 {
+		return fmt.Errorf("lbsq: MaxSessions %d, want ≥ 0 (0 selects the default)", o.MaxSessions)
+	}
 	return nil
 }
 
@@ -224,6 +244,7 @@ type DB struct {
 	server  *core.Server
 	cluster *shard.Cluster
 	exec    *qexec.Executor
+	sess    *sess.Manager
 
 	reg  *obs.Registry
 	met  *dbMetrics
@@ -244,6 +265,12 @@ func (db *DB) instrument(o *Options) *DB {
 		Workers:   o.BatchWorkers,
 		CacheSize: o.CacheSize,
 		Registry:  db.reg,
+	})
+	db.sess = sess.NewManager(db.exec, db.engine().UniverseRect(), sess.Options{
+		TTL:             o.SessionTTL,
+		MaxSessions:     o.MaxSessions,
+		PrefetchWorkers: o.SessionPrefetchWorkers,
+		Registry:        db.reg,
 	})
 	return db
 }
@@ -350,9 +377,23 @@ func (db *DB) Universe() Rect { return db.engine().UniverseRect() }
 // the write is in flight, and the trailing bump (which runs last, after
 // the mutation is visible) guarantees that once Insert returns, no
 // region computed before it can be served.
+// The session manager follows the same protocol around its own epoch
+// (MutationBegin / OnInsert), and additionally push-invalidates every
+// open session whose armed validity region the new point punctures.
 func (db *DB) Insert(it Item) error {
+	db.sess.MutationBegin()
 	db.exec.Invalidate()
-	defer db.exec.Invalidate()
+	err := db.insertItem(it)
+	db.exec.Invalidate()
+	if err != nil {
+		return err
+	}
+	db.sess.OnInsert(it)
+	return nil
+}
+
+// insertItem performs the raw index mutation of Insert.
+func (db *DB) insertItem(it Item) error {
 	if db.cluster != nil {
 		return db.cluster.Insert(it)
 	}
@@ -368,9 +409,21 @@ func (db *DB) Insert(it Item) error {
 // Delete removes a point, reporting whether it was present. Every
 // delete expires the validity cache (see Insert for the epoch
 // discipline).
+// Sessions whose cached result contains the removed item are
+// push-invalidated (see Insert).
 func (db *DB) Delete(it Item) bool {
+	db.sess.MutationBegin()
 	db.exec.Invalidate()
-	defer db.exec.Invalidate()
+	ok := db.deleteItem(it)
+	db.exec.Invalidate()
+	if ok {
+		db.sess.OnDelete(it)
+	}
+	return ok
+}
+
+// deleteItem performs the raw index mutation of Delete.
+func (db *DB) deleteItem(it Item) bool {
 	if db.cluster != nil {
 		return db.cluster.Delete(it)
 	}

@@ -1,0 +1,173 @@
+package lbsq
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+
+	sess "lbsq/internal/session"
+)
+
+// Continuous-query session errors.
+var (
+	// ErrSessionNotFound reports a session id that was never issued.
+	ErrSessionNotFound = sess.ErrNotFound
+	// ErrSessionExpired reports a session that was closed by the client
+	// or expired by Options.SessionTTL.
+	ErrSessionExpired = sess.ErrExpired
+	// ErrSessionLimit reports that Options.MaxSessions open sessions
+	// already exist.
+	ErrSessionLimit = sess.ErrLimit
+)
+
+// Session is a server-tracked continuous query: the DB keeps the
+// client's current validity region, answers in-region position updates
+// without touching the index, push-invalidates the session when an
+// Insert/Delete punctures the region, and prefetches the next region
+// along the client's trajectory. Obtain one with DB.OpenSession or
+// DB.OpenWindowSession; drive it with Move, watch invalidations with
+// Events, and release it with Close.
+type Session struct {
+	db *DB
+	id uint64
+}
+
+// SessionMove is the answer to one session position update. Exactly
+// one of Hit, Prefetched, Requeried is set; NN or Window carries the
+// current result according to the session's query kind. Validity
+// objects may be shared with the DB's caches — treat them as
+// read-only.
+type SessionMove struct {
+	// Hit: the position stayed inside the stored validity region; the
+	// answer required zero index node accesses.
+	Hit bool
+	// Prefetched: the position left the region but landed in the
+	// trajectory-prefetched next region; no synchronous query ran.
+	Prefetched bool
+	// Requeried: a full query re-executed and re-armed the session.
+	Requeried bool
+	// Invalidated: the preceding miss was caused by a push
+	// invalidation (an Insert/Delete punctured the region), not by the
+	// client leaving it.
+	Invalidated bool
+	// Seq is the session's invalidation sequence number, for Events.
+	Seq uint64
+
+	// NN is the current answer of an NN session (nil for window).
+	NN *NNValidity
+	// Window is the current answer of a window session (nil for NN).
+	Window *WindowValidity
+	// Cost is the index cost of this move (zero unless Requeried).
+	Cost QueryCost
+}
+
+func newSessionMove(r *sess.MoveResult) *SessionMove {
+	return &SessionMove{
+		Hit:         r.Hit,
+		Prefetched:  r.Prefetched,
+		Requeried:   r.Requeried,
+		Invalidated: r.Invalidated,
+		Seq:         r.Seq,
+		NN:          r.NN,
+		Window:      r.Window,
+		Cost:        r.Cost,
+	}
+}
+
+// OpenSession registers a continuous k-nearest-neighbor session
+// starting at q and returns it with the initial answer.
+func (db *DB) OpenSession(ctx context.Context, q Point, k int) (*Session, *SessionMove, error) {
+	s, res, err := db.sess.OpenNN(ctx, q, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Session{db: db, id: s.ID()}, newSessionMove(res), nil
+}
+
+// OpenWindowSession registers a continuous window session of extents
+// qx×qy centered at the focus and returns it with the initial answer.
+func (db *DB) OpenWindowSession(ctx context.Context, focus Point, qx, qy float64) (*Session, *SessionMove, error) {
+	s, res, err := db.sess.OpenWindow(ctx, focus, qx, qy)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Session{db: db, id: s.ID()}, newSessionMove(res), nil
+}
+
+// ID returns the session's identifier (the wire form used by the
+// HTTP session endpoints).
+func (s *Session) ID() string { return formatSessionID(s.id) }
+
+// Move reports the client's new position and returns the current
+// answer (see SessionMove for how it was obtained).
+func (s *Session) Move(ctx context.Context, p Point) (*SessionMove, error) {
+	r, err := s.db.sess.Move(ctx, s.id, p)
+	if err != nil {
+		return nil, err
+	}
+	return newSessionMove(r), nil
+}
+
+// Events blocks until the session has been invalidated more than
+// `since` times, returning the new sequence number and true; when ctx
+// expires first it returns the current sequence number and false.
+// Pair it with SessionMove.Seq for a lossless invalidation stream.
+func (s *Session) Events(ctx context.Context, since uint64) (uint64, bool, error) {
+	return s.db.sess.Events(ctx, s.id, since)
+}
+
+// Close releases the session. Further calls return ErrSessionExpired.
+func (s *Session) Close() error { return s.db.sess.Close(s.id) }
+
+// ActiveSessions returns the number of open continuous-query sessions.
+func (db *DB) ActiveSessions() int { return db.sess.Len() }
+
+// MoveSession is the id-addressed form of Session.Move, for callers
+// (like the HTTP layer) that track sessions by identifier.
+func (db *DB) MoveSession(ctx context.Context, id string, p Point) (*SessionMove, error) {
+	n, err := parseSessionID(id)
+	if err != nil {
+		return nil, err
+	}
+	r, err := db.sess.Move(ctx, n, p)
+	if err != nil {
+		return nil, err
+	}
+	return newSessionMove(r), nil
+}
+
+// CloseSession is the id-addressed form of Session.Close.
+func (db *DB) CloseSession(id string) error {
+	n, err := parseSessionID(id)
+	if err != nil {
+		return err
+	}
+	return db.sess.Close(n)
+}
+
+// SessionEvents is the id-addressed form of Session.Events.
+func (db *DB) SessionEvents(ctx context.Context, id string, since uint64) (uint64, bool, error) {
+	n, err := parseSessionID(id)
+	if err != nil {
+		return 0, false, err
+	}
+	return db.sess.Events(ctx, n, since)
+}
+
+// formatSessionID renders a session id in its wire form ("s17").
+func formatSessionID(n uint64) string { return "s" + strconv.FormatUint(n, 10) }
+
+// parseSessionID parses the wire form; ids that cannot have been
+// issued resolve to ErrSessionNotFound.
+func parseSessionID(id string) (uint64, error) {
+	rest, ok := strings.CutPrefix(id, "s")
+	if !ok {
+		return 0, fmt.Errorf("%w: bad id %q", ErrSessionNotFound, id)
+	}
+	n, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%w: bad id %q", ErrSessionNotFound, id)
+	}
+	return n, nil
+}
