@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -28,10 +29,10 @@ func main() {
 	)
 	flag.Parse()
 
-	rc := &lbsq.RemoteClient{Base: *server}
+	rc := lbsq.NewRemoteClient(*server)
 	count, universe, err := rc.Info()
 	if err != nil {
-		log.Fatalf("lbsq-client: %v", err)
+		fatal(err)
 	}
 	fmt.Printf("server holds %d points in %v\n", count, universe)
 
@@ -46,7 +47,7 @@ func main() {
 		}
 		v, err := rc.NN(p, *k)
 		if err != nil {
-			log.Fatalf("lbsq-client: %v", err)
+			fatal(err)
 		}
 		cached = v
 		queries++
@@ -63,4 +64,14 @@ func main() {
 		fmt.Printf("last answer      : %d neighbors, %d influence objects, region area %.3g\n",
 			len(cached.Neighbors), len(cached.Influence), region.Area())
 	}
+}
+
+// fatal exits with the error; server-side failures are unpacked from
+// the typed RemoteError so the envelope code is visible.
+func fatal(err error) {
+	var re *lbsq.RemoteError
+	if errors.As(err, &re) {
+		log.Fatalf("lbsq-client: server error (status %d, code %d): %s", re.Status, re.Code, re.Message)
+	}
+	log.Fatalf("lbsq-client: %v", err)
 }

@@ -11,7 +11,25 @@
 //
 // Endpoints: /nn?x=&y=&k=   /window?x=&y=&qx=&qy=   /info, each also
 // mounted under /v1/ with JSON error envelopes, plus POST /v1/batch.
-// -cache enables the server-side validity-region cache.
+// -cache enables the server-side validity-region cache. Every unsharded
+// server also answers the shard RPC at POST /v1/shard, so it can serve
+// as a data node of a distributed cluster.
+//
+// Cluster mode: -cluster runs the process as a distributed coordinator
+// over remote data nodes instead of serving data itself —
+//
+//	lbsq-server -addr :8081 -n 0 &                  # three data nodes
+//	lbsq-server -addr :8082 -n 0 &
+//	lbsq-server -addr :8083 -n 0 &
+//	lbsq-server -addr :8080 \
+//	  -cluster http://localhost:8081,http://localhost:8082,http://localhost:8083 \
+//	  -seed-cluster -n 100000                       # coordinator, seeds the nodes
+//
+// with -replicas grouping consecutive nodes into replica sets,
+// -placement choosing hash or spatial partition placement, and
+// -hedge-after bounding the tail latency of reads. A running data node
+// joins an existing cluster as an extra replica with
+// -join http://coordinator:8080 -advertise http://me:8084.
 //
 // Observability: -metrics (default on) exposes Prometheus text metrics
 // at /metrics; -pprof additionally mounts net/http/pprof under
@@ -19,13 +37,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"net/url"
 	"os"
 	"strings"
+	"time"
 
 	"lbsq"
 	"lbsq/internal/dataset"
@@ -45,8 +66,30 @@ func main() {
 		cache    = flag.Int("cache", 0, "validity-region cache capacity in regions (0 disables)")
 		metrics  = flag.Bool("metrics", true, "expose Prometheus metrics at /metrics")
 		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+
+		cluster    = flag.String("cluster", "", "comma-separated data node URLs: run as a distributed coordinator")
+		replicas   = flag.Int("replicas", 1, "replicas per group (consecutive -cluster nodes form a group)")
+		partitions = flag.Int("partitions", 0, "ring partitions (0 = one per group)")
+		placement  = flag.String("placement", "hash", "partition placement: hash | spatial")
+		hedgeAfter = flag.Duration("hedge-after", 0, "launch a backup replica read after this delay (0 disables)")
+		opTimeout  = flag.Duration("op-timeout", 5*time.Second, "per-attempt shard RPC timeout")
+		retries    = flag.Int("retries", 1, "extra full-group retry rounds after total failure")
+		seedDist   = flag.Bool("seed-cluster", false, "seed the cluster's data nodes with the generated/loaded dataset")
+		join       = flag.String("join", "", "coordinator URL: join its cluster as a new replica (data node mode)")
+		advertise  = flag.String("advertise", "", "externally reachable base URL of this node (required with -join)")
 	)
 	flag.Parse()
+
+	if *cluster != "" {
+		runCoordinator(coordinatorConfig{
+			addr: *addr, nodes: strings.Split(*cluster, ","),
+			replicas: *replicas, partitions: *partitions, placement: *placement,
+			hedgeAfter: *hedgeAfter, opTimeout: *opTimeout, retries: *retries,
+			seed: *seedDist, n: *n, kind: *kind, rngSeed: *seed, load: *load,
+			pprofOn: *pprofOn,
+		})
+		return
+	}
 
 	st, err := lbsq.ParseShardStrategy(*strategy)
 	if err != nil {
@@ -54,40 +97,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	var items []lbsq.Item
-	var universe lbsq.Rect
-	var name string
-	if *load != "" {
-		var d *dataset.Dataset
-		var err error
-		if strings.HasSuffix(*load, ".csv") {
-			f, ferr := os.Open(*load)
-			if ferr != nil {
-				log.Fatalf("lbsq-server: %v", ferr)
-			}
-			d, err = dataset.LoadCSV(f, *load, lbsq.Rect{})
-			f.Close()
-		} else {
-			d, err = dataset.LoadFile(*load)
-		}
-		if err != nil {
-			log.Fatalf("lbsq-server: %v", err)
-		}
-		items, universe, name = d.Items, d.Universe, d.Name
-	} else {
-		switch *kind {
-		case "uniform":
-			items, universe = lbsq.UniformDataset(*n, *seed)
-		case "gr":
-			items, universe = lbsq.GRLikeDataset(*n, *seed)
-		case "na":
-			items, universe = lbsq.NALikeDataset(*n, *seed)
-		default:
-			fmt.Fprintf(os.Stderr, "lbsq-server: unknown dataset %q\n", *kind)
-			os.Exit(2)
-		}
-		name = *kind
-	}
+	items, universe, name := loadDataset(*load, *kind, *n, *seed)
 
 	db, err := lbsq.Open(items, universe, &lbsq.Options{
 		BufferFraction: *buf,
@@ -113,15 +123,177 @@ func main() {
 		// operator opts out.
 		mux.HandleFunc("/metrics", http.NotFound)
 	} else {
-		log.Printf("metrics at http://localhost%s/metrics", *addr)
+		log.Printf("metrics at http://%s/metrics", displayAddr(*addr))
 	}
-	if *pprofOn {
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		log.Printf("pprof at http://localhost%s/debug/pprof/", *addr)
+	mountPprof(mux, *pprofOn, *addr)
+	if *join != "" {
+		if *advertise == "" {
+			log.Fatal("lbsq-server: -join requires -advertise (this node's reachable URL)")
+		}
+		go joinCluster(*join, *advertise)
 	}
 	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+// loadDataset resolves the -load / -dataset / -n flags into items.
+func loadDataset(load, kind string, n int, seed int64) ([]lbsq.Item, lbsq.Rect, string) {
+	if load != "" {
+		var d *dataset.Dataset
+		var err error
+		if strings.HasSuffix(load, ".csv") {
+			f, ferr := os.Open(load)
+			if ferr != nil {
+				log.Fatalf("lbsq-server: %v", ferr)
+			}
+			d, err = dataset.LoadCSV(f, load, lbsq.Rect{})
+			f.Close()
+		} else {
+			d, err = dataset.LoadFile(load)
+		}
+		if err != nil {
+			log.Fatalf("lbsq-server: %v", err)
+		}
+		return d.Items, d.Universe, d.Name
+	}
+	var items []lbsq.Item
+	var universe lbsq.Rect
+	switch kind {
+	case "uniform":
+		items, universe = lbsq.UniformDataset(n, seed)
+	case "gr":
+		items, universe = lbsq.GRLikeDataset(n, seed)
+	case "na":
+		items, universe = lbsq.NALikeDataset(n, seed)
+	default:
+		fmt.Fprintf(os.Stderr, "lbsq-server: unknown dataset %q\n", kind)
+		os.Exit(2)
+	}
+	return items, universe, kind
+}
+
+type coordinatorConfig struct {
+	addr       string
+	nodes      []string
+	replicas   int
+	partitions int
+	placement  string
+	hedgeAfter time.Duration
+	opTimeout  time.Duration
+	retries    int
+	seed       bool
+	n          int
+	kind       string
+	rngSeed    int64
+	load       string
+	pprofOn    bool
+}
+
+// runCoordinator connects to the data nodes and serves the cluster
+// front-end (control plane plus read-only binary query endpoints).
+func runCoordinator(cfg coordinatorConfig) {
+	pl, err := lbsq.ParseDistPlacement(cfg.placement)
+	if err != nil {
+		log.Fatalf("lbsq-server: %v", err)
+	}
+	for i := range cfg.nodes {
+		cfg.nodes[i] = strings.TrimSpace(cfg.nodes[i])
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	// The cluster universe: from the dataset when seeding, otherwise
+	// from the first data node (they must all agree anyway).
+	var items []lbsq.Item
+	var universe lbsq.Rect
+	if cfg.seed {
+		items, universe, _ = loadDataset(cfg.load, cfg.kind, cfg.n, cfg.rngSeed)
+	} else {
+		_, u, err := lbsq.NewRemoteClient(cfg.nodes[0]).InfoCtx(ctx)
+		if err != nil {
+			log.Fatalf("lbsq-server: fetching universe from %s: %v", cfg.nodes[0], err)
+		}
+		universe = u
+	}
+
+	d, err := lbsq.OpenDistributed(ctx, lbsq.DistOptions{
+		Nodes:      cfg.nodes,
+		Replicas:   cfg.replicas,
+		Universe:   universe,
+		Partitions: cfg.partitions,
+		Placement:  pl,
+		HedgeAfter: cfg.hedgeAfter,
+		OpTimeout:  cfg.opTimeout,
+		Retries:    cfg.retries,
+	})
+	if err != nil {
+		log.Fatalf("lbsq-server: %v", err)
+	}
+	if cfg.seed {
+		if err := d.Seed(ctx, items); err != nil {
+			log.Fatalf("lbsq-server: seeding cluster: %v", err)
+		}
+		log.Printf("seeded %d points across %d nodes", len(items), len(cfg.nodes))
+	}
+	log.Printf("coordinating %d nodes (%d groups × %d replicas, %s placement) in %v on %s",
+		len(cfg.nodes), d.Coordinator().NumGroups(), cfg.replicas, pl, universe, cfg.addr)
+
+	mux := http.NewServeMux()
+	mux.Handle("/", d.Handler())
+	mountPprof(mux, cfg.pprofOn, cfg.addr)
+	log.Fatal(http.ListenAndServe(cfg.addr, mux))
+}
+
+// joinCluster asks a running coordinator to add this node as a replica.
+// Retried briefly so a node can be started before its own listener is
+// accepting (the coordinator verifies reachability during the join).
+func joinCluster(coordinator, advertise string) {
+	target := strings.TrimRight(coordinator, "/") +
+		"/v1/cluster/join?addr=" + url.QueryEscape(advertise)
+	var lastErr error
+	for attempt := 0; attempt < 10; attempt++ {
+		time.Sleep(time.Duration(attempt) * 500 * time.Millisecond)
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, target, nil)
+		if err != nil {
+			cancel()
+			log.Fatalf("lbsq-server: join: %v", err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil && resp.StatusCode == http.StatusOK {
+			resp.Body.Close()
+			cancel()
+			log.Printf("joined cluster at %s as %s", coordinator, advertise)
+			return
+		}
+		if err != nil {
+			lastErr = err
+		} else {
+			lastErr = fmt.Errorf("join returned %s", resp.Status)
+			resp.Body.Close()
+		}
+		cancel()
+	}
+	log.Printf("lbsq-server: join failed: %v", lastErr)
+}
+
+// mountPprof mounts net/http/pprof when enabled.
+func mountPprof(mux *http.ServeMux, on bool, addr string) {
+	if !on {
+		return
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	log.Printf("pprof at http://%s/debug/pprof/", displayAddr(addr))
+}
+
+// displayAddr renders a listen address as a dialable host:port: a
+// bare ":8080" gets a localhost host, anything else is shown as-is.
+func displayAddr(addr string) string {
+	if strings.HasPrefix(addr, ":") {
+		return "localhost" + addr
+	}
+	return addr
 }

@@ -1,0 +1,228 @@
+package lbsq
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"time"
+
+	"lbsq/internal/dist"
+	"lbsq/internal/geom"
+	"lbsq/internal/obs"
+)
+
+// Networked multi-node clustering: OpenDistributed connects a
+// coordinator to remote lbsq-server data nodes speaking the /v1/shard
+// RPC (every unsharded DB served by Handler exposes it), places the
+// universe's grid partitions onto replica groups by consistent hashing
+// (or boundary-aware spatial runs), and answers the full location-based
+// query surface by scatter-gather with hedged reads, per-node circuit
+// breakers, and partial-failure-safe validity regions: when a shard is
+// unreachable in an influence phase, the answer is served degraded with
+// its validity region shrunk to exclude the dead territory — never as
+// fully valid.
+
+// Distributed-cluster type aliases: the public API speaks in these.
+type (
+	// DistStatus reports per-query degradation: whether any group was
+	// unreachable, which territory is dead, and the ring version used.
+	DistStatus = dist.Status
+	// DistNNValidity is a coordinator NN answer: the merged core answer
+	// plus dead territory; its Valid accounts for unknown objects.
+	DistNNValidity = dist.NNValidity
+	// DistRangeValidity is the range analogue of DistNNValidity.
+	DistRangeValidity = dist.RangeValidity
+	// DistClusterInfo is the /v1/cluster/info snapshot.
+	DistClusterInfo = dist.ClusterInfo
+	// DistNodeInfo describes one data node in DistClusterInfo.
+	DistNodeInfo = dist.NodeInfo
+	// DistPlacement selects hash or spatial partition placement.
+	DistPlacement = dist.Placement
+	// DistRing is one immutable version of the partition→group placement.
+	DistRing = dist.Ring
+)
+
+// Placement strategies for distributed clusters.
+const (
+	// DistPlacementHash places partitions by consistent hashing (64
+	// virtual nodes per group): adding a group moves ~1/G of them.
+	DistPlacementHash = dist.PlacementHash
+	// DistPlacementSpatial places contiguous partition runs per group,
+	// minimizing fan-out for spatially local queries.
+	DistPlacementSpatial = dist.PlacementSpatial
+)
+
+// ParseDistPlacement parses a placement name ("hash" or "spatial").
+func ParseDistPlacement(s string) (DistPlacement, error) { return dist.ParsePlacement(s) }
+
+// DistOptions configures OpenDistributed.
+type DistOptions struct {
+	// Nodes are the data node base URLs (e.g. "http://host:8081").
+	// Consecutive runs of Replicas nodes form one replica group.
+	Nodes []string
+	// Replicas is the replication factor per group (default 1).
+	Replicas int
+	// Universe is the cluster-wide data universe; every node must be
+	// configured with exactly this universe.
+	Universe Rect
+	// Partitions is the ring partition count (default: one per group).
+	Partitions int
+	// Placement selects the partition→group placement strategy.
+	Placement DistPlacement
+	// HedgeAfter launches a backup read on the next replica after this
+	// delay (0 disables time-based hedging; failures still fail over).
+	HedgeAfter time.Duration
+	// OpTimeout bounds each individual RPC attempt (0: caller's ctx).
+	OpTimeout time.Duration
+	// Retries is the number of extra full-group rounds after one in
+	// which every replica failed; Backoff the initial backoff between
+	// them.
+	Retries int
+	Backoff time.Duration
+	// BreakerThreshold consecutive failures open a node's circuit
+	// breaker for BreakerCooldown (defaults 3, 5s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Workers bounds the coordinator's fan-out pool (default
+	// GOMAXPROCS).
+	Workers int
+	// HTTPClient issues the shard RPCs (nil: a default client; set a
+	// Timeout only if you want a per-request cap on top of OpTimeout).
+	HTTPClient *http.Client
+}
+
+// DistDB is a distributed location-based query processor: a coordinator
+// over remote data nodes. It mirrors the DB query surface with explicit
+// partial-failure semantics — query methods additionally return a
+// DistStatus, and NN/Range answers come wrapped with their dead
+// territory. DistDB is safe for concurrent use.
+type DistDB struct {
+	coord *dist.Coordinator
+}
+
+// OpenDistributed connects to the data nodes and returns the
+// coordinator-backed query processor. All nodes must be reachable and
+// agree on the universe; see DistOptions for placement, replication,
+// hedging, and breaker knobs.
+func OpenDistributed(ctx context.Context, opts DistOptions) (*DistDB, error) {
+	c, err := dist.New(ctx, dist.Options{
+		Nodes:            opts.Nodes,
+		Replicas:         opts.Replicas,
+		Partitions:       opts.Partitions,
+		Placement:        opts.Placement,
+		Universe:         opts.Universe,
+		HedgeAfter:       opts.HedgeAfter,
+		OpTimeout:        opts.OpTimeout,
+		Retries:          opts.Retries,
+		Backoff:          opts.Backoff,
+		BreakerThreshold: opts.BreakerThreshold,
+		BreakerCooldown:  opts.BreakerCooldown,
+		Workers:          opts.Workers,
+		Transport:        &dist.HTTPTransport{Client: opts.HTTPClient},
+		Registry:         obs.NewRegistry(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DistDB{coord: c}, nil
+}
+
+// Coordinator exposes the underlying coordinator for advanced use.
+func (d *DistDB) Coordinator() *dist.Coordinator { return d.coord }
+
+// Universe returns the cluster universe.
+func (d *DistDB) Universe() Rect { return d.coord.UniverseRect() }
+
+// Seed splits the items by ring ownership and bulk-loads every group's
+// replicas — the cluster bootstrap.
+func (d *DistDB) Seed(ctx context.Context, items []Item) error {
+	return d.coord.Seed(ctx, items)
+}
+
+// NN answers a location-based k-NN query across the cluster. When an
+// influence-phase group is unreachable, the answer is degraded: the
+// status says so, and the validity region excludes the dead territory.
+func (d *DistDB) NN(ctx context.Context, q Point, k int) (*DistNNValidity, QueryCost, DistStatus, error) {
+	return d.coord.NN(ctx, q, k)
+}
+
+// KNearest returns the k nearest neighbors (no validity region).
+func (d *DistDB) KNearest(ctx context.Context, q Point, k int) ([]Neighbor, error) {
+	return d.coord.KNearest(ctx, q, k)
+}
+
+// Window answers a location-based window query across the cluster (see
+// NN for degradation semantics).
+func (d *DistDB) Window(ctx context.Context, w Rect) (*WindowValidity, QueryCost, DistStatus, error) {
+	return d.coord.Window(ctx, w)
+}
+
+// WindowAt is Window for a qx×qy window centered at the focus.
+func (d *DistDB) WindowAt(ctx context.Context, focus Point, qx, qy float64) (*WindowValidity, QueryCost, DistStatus, error) {
+	return d.coord.Window(ctx, geom.RectCenteredAt(focus, qx, qy))
+}
+
+// Range answers a location-based range query across the cluster (see
+// NN for degradation semantics).
+func (d *DistDB) Range(ctx context.Context, center Point, radius float64) (*DistRangeValidity, QueryCost, DistStatus, error) {
+	return d.coord.Range(ctx, center, radius)
+}
+
+// RouteNN returns the continuous nearest neighbors along a→b. Routes
+// cannot be conservatively degraded: any unreachable group fails the
+// query.
+func (d *DistDB) RouteNN(ctx context.Context, a, b Point) ([]RouteInterval, DistStatus, error) {
+	return d.coord.RouteNN(ctx, a, b)
+}
+
+// Count sums the window count across the overlapping groups.
+func (d *DistDB) Count(ctx context.Context, w Rect) (int, error) {
+	return d.coord.Count(ctx, w)
+}
+
+// RangeSearch returns the items inside w.
+func (d *DistDB) RangeSearch(ctx context.Context, w Rect) ([]Item, error) {
+	return d.coord.SearchItems(ctx, w)
+}
+
+// Insert writes the point to every replica of its owner group.
+func (d *DistDB) Insert(ctx context.Context, it Item) error {
+	return d.coord.Insert(ctx, it)
+}
+
+// Delete removes the point from every replica of its owner group.
+func (d *DistDB) Delete(ctx context.Context, it Item) (bool, error) {
+	return d.coord.Delete(ctx, it)
+}
+
+// Batch answers a heterogeneous batch through the coordinator; the
+// statuses slice parallels the responses.
+func (d *DistDB) Batch(ctx context.Context, reqs []BatchRequest) ([]BatchResponse, []DistStatus, error) {
+	return d.coord.Batch(ctx, reqs)
+}
+
+// Info polls every node and returns the cluster snapshot.
+func (d *DistDB) Info(ctx context.Context) DistClusterInfo {
+	return d.coord.Info(ctx)
+}
+
+// Rebalance replaces the placement ring and migrates data live (copy,
+// swap, delete); returns the number of items moved.
+func (d *DistDB) Rebalance(ctx context.Context, placement DistPlacement, partitions int) (int, error) {
+	return d.coord.Rebalance(ctx, placement, partitions)
+}
+
+// Join adds a node as a new replica of the least-replicated group and
+// returns the group it joined.
+func (d *DistDB) Join(ctx context.Context, addr string) (int, error) {
+	return d.coord.Join(ctx, addr)
+}
+
+// WriteMetrics writes the coordinator metrics (hedges, breaker states,
+// per-node latency, degraded responses) in Prometheus text format.
+func (d *DistDB) WriteMetrics(w io.Writer) error {
+	return d.coord.Registry().WritePrometheus(w)
+}
+
+// Close closes the connections to every node.
+func (d *DistDB) Close() error { return d.coord.Close() }

@@ -34,6 +34,10 @@ const statusCanceled = 499
 //	POST /v1/batch                        → JSON batch (see batchWireReq)
 //	GET  /v1/info                         → JSON {"count":..,"universe":[..]}
 //	GET  /v1/metrics                      → Prometheus text exposition
+//	POST /v1/shard                        → shard RPC (unsharded DBs only):
+//	                                        the surface a distributed
+//	                                        coordinator drives (see
+//	                                        OpenDistributed)
 //
 // Continuous-query sessions live only under /v1 (see httpsession.go):
 //
@@ -204,6 +208,7 @@ func (db *DB) Handler() http.Handler {
 		}
 	})
 	db.registerSessionRoutes(mux)
+	db.registerShardRoute(mux)
 	return mux
 }
 
@@ -399,7 +404,7 @@ func (c *RemoteClient) get(ctx context.Context, path string) ([]byte, error) {
 		return nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("lbsq: server returned %s: %s", resp.Status, body)
+		return nil, newRemoteError(resp.StatusCode, body)
 	}
 	return body, nil
 }
@@ -412,7 +417,7 @@ func (c *RemoteClient) Info() (int, Rect, error) {
 
 // InfoCtx is Info honoring context cancellation and deadline.
 func (c *RemoteClient) InfoCtx(ctx context.Context) (int, Rect, error) {
-	body, err := c.get(ctx, "/info")
+	body, err := c.get(ctx, "/v1/info")
 	if err != nil {
 		return 0, Rect{}, err
 	}
@@ -441,13 +446,13 @@ func (c *RemoteClient) NNCtx(ctx context.Context, q Point, k int) (*NNValidity, 
 		if c.items == nil {
 			c.items = make(core.ItemCache)
 		}
-		body, err := c.get(ctx, fmt.Sprintf("/nn?x=%g&y=%g&k=%d&session=%s", q.X, q.Y, k, c.Session))
+		body, err := c.get(ctx, fmt.Sprintf("/v1/nn?x=%g&y=%g&k=%d&session=%s", q.X, q.Y, k, c.Session))
 		if err != nil {
 			return nil, err
 		}
 		return core.DecodeNNDelta(body, c.items)
 	}
-	body, err := c.get(ctx, fmt.Sprintf("/nn?x=%g&y=%g&k=%d", q.X, q.Y, k))
+	body, err := c.get(ctx, fmt.Sprintf("/v1/nn?x=%g&y=%g&k=%d", q.X, q.Y, k))
 	if err != nil {
 		return nil, err
 	}
@@ -461,7 +466,7 @@ func (c *RemoteClient) RouteNN(a, b Point) ([]RouteInterval, error) {
 
 // RouteNNCtx is RouteNN honoring context cancellation and deadline.
 func (c *RemoteClient) RouteNNCtx(ctx context.Context, a, b Point) ([]RouteInterval, error) {
-	body, err := c.get(ctx, fmt.Sprintf("/route?x1=%g&y1=%g&x2=%g&y2=%g", a.X, a.Y, b.X, b.Y))
+	body, err := c.get(ctx, fmt.Sprintf("/v1/route?x1=%g&y1=%g&x2=%g&y2=%g", a.X, a.Y, b.X, b.Y))
 	if err != nil {
 		return nil, err
 	}
@@ -475,7 +480,7 @@ func (c *RemoteClient) Window(focus Point, qx, qy float64) (*WindowValidity, err
 
 // WindowCtx is Window honoring context cancellation and deadline.
 func (c *RemoteClient) WindowCtx(ctx context.Context, focus Point, qx, qy float64) (*WindowValidity, error) {
-	body, err := c.get(ctx, fmt.Sprintf("/window?x=%g&y=%g&qx=%g&qy=%g", focus.X, focus.Y, qx, qy))
+	body, err := c.get(ctx, fmt.Sprintf("/v1/window?x=%g&y=%g&qx=%g&qy=%g", focus.X, focus.Y, qx, qy))
 	if err != nil {
 		return nil, err
 	}
@@ -489,7 +494,7 @@ func (c *RemoteClient) Range(center Point, radius float64) (*RangeValidity, erro
 
 // RangeCtx is Range honoring context cancellation and deadline.
 func (c *RemoteClient) RangeCtx(ctx context.Context, center Point, radius float64) (*RangeValidity, error) {
-	body, err := c.get(ctx, fmt.Sprintf("/range?x=%g&y=%g&r=%g", center.X, center.Y, radius))
+	body, err := c.get(ctx, fmt.Sprintf("/v1/range?x=%g&y=%g&r=%g", center.X, center.Y, radius))
 	if err != nil {
 		return nil, err
 	}
@@ -499,6 +504,6 @@ func (c *RemoteClient) RangeCtx(ctx context.Context, center Point, radius float6
 // Metrics fetches the server's /metrics endpoint (Prometheus text
 // exposition) — handy for scraping from tests and tooling.
 func (c *RemoteClient) Metrics(ctx context.Context) (string, error) {
-	body, err := c.get(ctx, "/metrics")
+	body, err := c.get(ctx, "/v1/metrics")
 	return string(body), err
 }

@@ -272,17 +272,11 @@ func (c *RemoteClient) sessionDo(ctx context.Context, method, path string, body 
 	switch resp.StatusCode {
 	case http.StatusOK, http.StatusNoContent:
 		return out, nil
-	case http.StatusNotFound:
-		return nil, ErrSessionNotFound
-	case http.StatusGone:
-		return nil, ErrSessionExpired
-	case http.StatusTooManyRequests:
-		return nil, ErrSessionLimit
 	}
-	if msg := decodeErrorEnvelope(out); msg != "" {
-		return nil, fmt.Errorf("lbsq: server returned %s: %s", resp.Status, msg)
-	}
-	return nil, fmt.Errorf("lbsq: server returned %s: %s", resp.Status, out)
+	// The typed error compares equal (errors.Is) to ErrSessionNotFound /
+	// ErrSessionExpired / ErrSessionLimit via its status, and carries the
+	// envelope code and message for errors.As inspection.
+	return nil, newRemoteError(resp.StatusCode, out)
 }
 
 // MovingClient is the mobile side of a continuous NN session: it holds

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -361,7 +362,7 @@ func TestMovingClient(t *testing.T) {
 	// sentinel error.
 	if _, err := mc.At(context.Background(), Pt(0.9, 0.9)); err == nil {
 		t.Fatal("At after Close succeeded, want ErrSessionExpired")
-	} else if err != ErrSessionExpired {
+	} else if !errors.Is(err, ErrSessionExpired) {
 		t.Fatalf("At after Close: %v, want ErrSessionExpired", err)
 	}
 }

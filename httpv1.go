@@ -309,22 +309,9 @@ func (c *RemoteClient) post(ctx context.Context, path string, body interface{}) 
 		return nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		if msg := decodeErrorEnvelope(out); msg != "" {
-			return nil, fmt.Errorf("lbsq: server returned %s: %s", resp.Status, msg)
-		}
-		return nil, fmt.Errorf("lbsq: server returned %s: %s", resp.Status, out)
+		return nil, newRemoteError(resp.StatusCode, out)
 	}
 	return out, nil
-}
-
-// decodeErrorEnvelope extracts the message of a /v1 JSON error body
-// ("" when the body is not an envelope).
-func decodeErrorEnvelope(body []byte) string {
-	var env errorEnvelope
-	if err := json.Unmarshal(body, &env); err != nil {
-		return ""
-	}
-	return env.Error
 }
 
 // applyHeader stamps the client's base headers onto one request.

@@ -13,11 +13,21 @@
 // Functions without an incoming context (top-level convenience
 // wrappers, main, tests' setup helpers) are free to start from
 // context.Background.
+//
+// The analyzer additionally flags network calls that cannot carry a
+// deadline at all, anywhere in non-test files: http.NewRequest (which
+// silently binds context.Background) and the convenience helpers
+// http.Get/Head/Post/PostForm and their (*http.Client) method forms.
+// A distributed lbsq node talks to peers on every query; a single
+// context-free dial can hang a scatter fan-out forever. Build requests
+// with http.NewRequestWithContext instead — the coordinator's
+// OpTimeout and the caller's context then bound every attempt.
 package ctxflow
 
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 
 	"lbsq/internal/analysis"
 )
@@ -25,12 +35,15 @@ import (
 // Analyzer is the ctxflow analyzer.
 var Analyzer = &analysis.Analyzer{
 	Name: "ctxflow",
-	Doc:  "request-path functions must thread their incoming context, not context.Background/TODO",
+	Doc:  "request-path functions must thread their incoming context, not context.Background/TODO; network calls must carry a deadline-bearing context",
 	Run:  run,
 }
 
 func run(pass *analysis.Pass) error {
 	for _, f := range pass.Files {
+		if !strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			checkNetworkCalls(pass, f)
+		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			fd, ok := n.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
@@ -105,6 +118,58 @@ func freshContextCall(pass *analysis.Pass, call *ast.CallExpr) string {
 		return "context." + obj.Name()
 	}
 	return ""
+}
+
+// contextFreeNetHelpers are the net/http entry points that cannot
+// carry a caller context: the package-level convenience helpers and
+// their (*http.Client) method forms dial with no deadline, and
+// http.NewRequest binds context.Background.
+var contextFreeNetHelpers = map[string]bool{
+	"Get":      true,
+	"Head":     true,
+	"Post":     true,
+	"PostForm": true,
+}
+
+// checkNetworkCalls flags context-free network entry points anywhere
+// in a non-test file, regardless of whether the enclosing function has
+// an incoming context: a network call with no deadline can hang
+// forever either way.
+func checkNetworkCalls(pass *analysis.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[sel.Sel]
+		if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "net/http" {
+			return true
+		}
+		name := obj.Name()
+		if fn, ok := obj.(*types.Func); ok && fn.Type().(*types.Signature).Recv() != nil {
+			// Method form: only (*http.Client) carries the helpers.
+			recv := fn.Type().(*types.Signature).Recv().Type()
+			if p, ok := recv.(*types.Pointer); ok {
+				recv = p.Elem()
+			}
+			if isNamed(recv, "net/http", "Client") && contextFreeNetHelpers[name] {
+				pass.Reportf(call.Pos(), "(*http.Client).%s issues a network call without a deadline-bearing context; build the request with http.NewRequestWithContext and use Do", name)
+			}
+			return true
+		}
+		if name == "NewRequest" {
+			pass.Reportf(call.Pos(), "http.NewRequest binds context.Background; use http.NewRequestWithContext so the request honors deadlines and cancellation")
+			return true
+		}
+		if contextFreeNetHelpers[name] {
+			pass.Reportf(call.Pos(), "http.%s issues a network call without a deadline-bearing context; build the request with http.NewRequestWithContext and use a client", name)
+		}
+		return true
+	})
 }
 
 func isNamed(t types.Type, pkgPath, name string) bool {

@@ -8,5 +8,5 @@ import (
 )
 
 func TestCtxFlow(t *testing.T) {
-	analysistest.Run(t, analysistest.TestData(t), ctxflow.Analyzer, "a")
+	analysistest.Run(t, analysistest.TestData(t), ctxflow.Analyzer, "a", "netcall")
 }

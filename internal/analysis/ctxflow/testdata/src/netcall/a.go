@@ -1,0 +1,47 @@
+// Fixture for the ctxflow network-call rules: context-free net/http
+// entry points are flagged in non-test files, with or without an
+// incoming context in scope.
+package netcall
+
+import (
+	"context"
+	"net/http"
+	"strings"
+)
+
+func plainHelpers() {
+	_, _ = http.Get("http://node/v1/info")                                              // want `http\.Get issues a network call without a deadline-bearing context`
+	_, _ = http.Head("http://node/v1/info")                                             // want `http\.Head issues a network call without a deadline-bearing context`
+	_, _ = http.Post("http://node/v1/shard", "application/json", strings.NewReader("")) // want `http\.Post issues a network call without a deadline-bearing context`
+	_, _ = http.PostForm("http://node/v1/shard", nil)                                   // want `http\.PostForm issues a network call without a deadline-bearing context`
+}
+
+func requestWithoutContext() (*http.Request, error) {
+	return http.NewRequest("GET", "http://node/v1/info", nil) // want `http\.NewRequest binds context\.Background; use http\.NewRequestWithContext`
+}
+
+func clientHelpers(c *http.Client) {
+	_, _ = c.Get("http://node/v1/info")              // want `\(\*http\.Client\)\.Get issues a network call without a deadline-bearing context`
+	_, _ = c.Head("http://node/v1/info")             // want `\(\*http\.Client\)\.Head issues a network call without a deadline-bearing context`
+	_, _ = c.Post("http://node/v1/shard", "", nil)   // want `\(\*http\.Client\)\.Post issues a network call without a deadline-bearing context`
+	_, _ = c.PostForm("http://node/v1/shard", nil)   // want `\(\*http\.Client\)\.PostForm issues a network call without a deadline-bearing context`
+	_, _ = http.DefaultClient.Get("http://node/v1/") // want `\(\*http\.Client\)\.Get issues a network call without a deadline-bearing context`
+}
+
+// The context-carrying forms are the fix, not a finding.
+func threaded(ctx context.Context, c *http.Client) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://node/v1/info", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// Suppression works exactly as for the other rules.
+func suppressed() {
+	_, _ = http.Get("http://node/v1/info") //lbsq:nocheck ctxflow
+}

@@ -1,0 +1,9 @@
+// Test files are exempt from the network-call rules: tests routinely
+// hit local httptest servers with the convenience helpers.
+package netcall
+
+import "net/http"
+
+func testHelperUsesGet(url string) {
+	_, _ = http.Get(url) // no finding: _test.go files are exempt.
+}

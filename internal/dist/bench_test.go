@@ -1,0 +1,32 @@
+package dist_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"lbsq/internal/geom"
+)
+
+// BenchmarkDistScatter measures one coordinator k-NN over three live
+// HTTP nodes: ring lookup, candidate scatter, influence gathering, and
+// the JSON round-trips. It is the end-to-end latency floor of the
+// distributed read path on loopback.
+func BenchmarkDistScatter(b *testing.B) {
+	universe := geom.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}
+	items := testItems(3000, 7, universe)
+	addrs := startSeededNodes(b, items, universe, 3, 1)
+	c := newCoordinator(b, addrs, universe, nil)
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(42))
+	qs := make([]geom.Point, 256)
+	for i := range qs {
+		qs[i] = randPoint(rng, universe)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.KNearest(ctx, qs[i%len(qs)], 4); err != nil {
+			b.Fatalf("KNearest: %v", err)
+		}
+	}
+}

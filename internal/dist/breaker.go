@@ -1,0 +1,81 @@
+package dist
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker states, exposed as the lbsq_dist_breaker_state gauge.
+const (
+	breakerClosed   = 0
+	breakerOpen     = 1
+	breakerHalfOpen = 2
+)
+
+// breaker is a consecutive-failure circuit breaker for one replica.
+// threshold consecutive failures open it for cooldown; after the
+// cooldown one probe is allowed (half-open) — a success closes it, a
+// failure re-opens it for another cooldown. The zero value is unusable;
+// use newBreaker.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable for tests
+
+	mu        sync.Mutex
+	consec    int
+	openUntil time.Time // zero while closed
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// Ready reports whether the replica should be tried before replicas
+// with open breakers: true while closed or once the cooldown has
+// elapsed (half-open probe). It has no side effects.
+func (b *breaker) Ready() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.openUntil.IsZero() || !b.now().Before(b.openUntil)
+}
+
+// State returns the current breaker state constant.
+func (b *breaker) State() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case b.openUntil.IsZero():
+		return breakerClosed
+	case b.now().Before(b.openUntil):
+		return breakerOpen
+	default:
+		return breakerHalfOpen
+	}
+}
+
+// Success records a completed request and closes the breaker.
+func (b *breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consec = 0
+	b.openUntil = time.Time{}
+}
+
+// Failure records a failed request, opening the breaker when the
+// consecutive-failure threshold is reached (and re-arming the cooldown
+// on every further failure, so a failed half-open probe re-opens it).
+func (b *breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consec++
+	if b.consec >= b.threshold {
+		b.openUntil = b.now().Add(b.cooldown)
+	}
+}

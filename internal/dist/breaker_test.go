@@ -1,0 +1,82 @@
+package dist
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives a breaker deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(threshold int, cooldown time.Duration) (*breaker, *fakeClock) {
+	b := newBreaker(threshold, cooldown)
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	if !b.Ready() || b.State() != breakerClosed {
+		t.Fatalf("new breaker not closed/ready")
+	}
+	b.Failure()
+	b.Failure()
+	if !b.Ready() {
+		t.Fatalf("breaker opened before the threshold")
+	}
+	b.Failure()
+	if b.Ready() || b.State() != breakerOpen {
+		t.Fatalf("breaker not open after %d failures: state %d", 3, b.State())
+	}
+}
+
+func TestBreakerSuccessResetsConsecutiveCount(t *testing.T) {
+	b, _ := newTestBreaker(2, time.Second)
+	b.Failure()
+	b.Success()
+	b.Failure()
+	if b.State() != breakerClosed {
+		t.Fatalf("non-consecutive failures opened the breaker")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Failure()
+	if b.State() != breakerOpen || b.Ready() {
+		t.Fatalf("breaker not open after threshold")
+	}
+	clk.advance(500 * time.Millisecond)
+	if b.Ready() {
+		t.Fatalf("breaker ready mid-cooldown")
+	}
+	clk.advance(600 * time.Millisecond)
+	if !b.Ready() || b.State() != breakerHalfOpen {
+		t.Fatalf("breaker not half-open after cooldown: state %d", b.State())
+	}
+	// A failed probe re-opens for another full cooldown.
+	b.Failure()
+	if b.State() != breakerOpen || b.Ready() {
+		t.Fatalf("failed half-open probe did not re-open")
+	}
+	clk.advance(1100 * time.Millisecond)
+	if !b.Ready() {
+		t.Fatalf("breaker not ready after second cooldown")
+	}
+	// A successful probe closes it fully.
+	b.Success()
+	if b.State() != breakerClosed || !b.Ready() {
+		t.Fatalf("successful probe did not close the breaker")
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	b := newBreaker(0, 0)
+	if b.threshold != 3 || b.cooldown != 5*time.Second {
+		t.Fatalf("defaults: threshold %d cooldown %v", b.threshold, b.cooldown)
+	}
+}

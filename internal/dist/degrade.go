@@ -1,0 +1,130 @@
+package dist
+
+import (
+	"lbsq/internal/core"
+	"lbsq/internal/geom"
+	"lbsq/internal/rtree"
+)
+
+// Degraded validity wrappers. When a group fails in the influence
+// phase, objects in its territory are unknown — the answer's result
+// set is still exact (the result phase succeeded against every needed
+// group), but the validity region must exclude any position from which
+// an unknown object could change the answer. The wrappers add that
+// exclusion to the client-side Valid tests, which in core are defined
+// over influence pairs and distances rather than the region polygon.
+
+// NNValidity is a coordinator NN answer: the merged core answer plus
+// the dead territory rectangles of unreachable groups (empty when the
+// answer is not degraded). Region is already shrunk to exclude the
+// dead territory (see shrinkNNRegion); Valid adds the matching
+// pointwise test on top of the pairs-based core test.
+type NNValidity struct {
+	*core.NNValidity
+	// Dead are the unreachable groups' territory rectangles.
+	Dead []geom.Rect
+}
+
+// Valid reports whether the result set provably still holds at p: the
+// core influence-pair test, plus — for a degraded answer — the
+// requirement that every result member is strictly closer to p than
+// the nearest possible unknown object (the nearest point of each dead
+// rectangle).
+func (v *NNValidity) Valid(p geom.Point) bool {
+	if !v.NNValidity.Valid(p) {
+		return false
+	}
+	for _, dead := range v.Dead {
+		md := dead.MinDist(p)
+		for _, nb := range v.Neighbors {
+			if nb.Item.P.Dist(p) >= md {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// RangeValidity is a coordinator range answer plus dead territory.
+// The result and inner region are exact over the reachable data; the
+// unreachable groups' outer influence is compensated by Valid, which
+// rejects any focus within Radius of a dead rectangle (where an
+// unknown object could enter the range).
+type RangeValidity struct {
+	*core.RangeValidity
+	Dead []geom.Rect
+}
+
+// Valid reports whether the result set provably still holds at f.
+func (v *RangeValidity) Valid(f geom.Point) bool {
+	if !v.RangeValidity.Valid(f) {
+		return false
+	}
+	for _, dead := range v.Dead {
+		if dead.MinDist(f) <= v.Radius {
+			return false
+		}
+	}
+	return true
+}
+
+// shrinkNNRegion conservatively clips an NN validity region so that no
+// unknown object inside dead can beat a result member anywhere in the
+// clipped region. Let D be the maximum distance from any region vertex
+// to any member: distance-to-member is convex, so its maximum over the
+// (convex) region is attained at a vertex, and every p in the region
+// has every member within D. Clipping the region to the half-plane at
+// distance ≥ D from dead's facing side guarantees every unknown object
+// is at least D away — no closer than any member. Of the four
+// axis-aligned candidate half-planes (one per side of dead), the one
+// containing q with maximal slack is chosen; if none contains q, no
+// conservative nonempty region exists and the empty region is
+// returned.
+func shrinkNNRegion(region geom.Polygon, q geom.Point, members []rtree.Item, dead geom.Rect) geom.Polygon {
+	if region.IsEmpty() {
+		return geom.Polygon{}
+	}
+	d := 0.0
+	for _, v := range region {
+		for _, m := range members {
+			if dm := v.Dist(m.P); dm > d {
+				d = dm
+			}
+		}
+	}
+	type candidate struct {
+		h     geom.HalfPlane
+		slack float64
+	}
+	var best *candidate
+	consider := func(h geom.HalfPlane, slack float64) {
+		if slack < 0 {
+			return
+		}
+		if best == nil || slack > best.slack {
+			best = &candidate{h: h, slack: slack}
+		}
+	}
+	// x ≤ dead.MinX − D (q west of the rectangle), and symmetric sides.
+	consider(geom.HalfPlane{A: 1, B: 0, C: dead.MinX - d}, dead.MinX-d-q.X)
+	consider(geom.HalfPlane{A: -1, B: 0, C: -(dead.MaxX + d)}, q.X-(dead.MaxX+d))
+	consider(geom.HalfPlane{A: 0, B: 1, C: dead.MinY - d}, dead.MinY-d-q.Y)
+	consider(geom.HalfPlane{A: 0, B: -1, C: -(dead.MaxY + d)}, q.Y-(dead.MaxY+d))
+	if best == nil {
+		return geom.Polygon{}
+	}
+	return region.ClipHalfPlane(best.h)
+}
+
+// shrinkWindowRegion subtracts the Minkowski inflation of each dead
+// rectangle from a merged window region: an unknown object inside dead
+// can change a window answer only when the (qx×qy) window around the
+// focus reaches dead, i.e. when the focus is inside dead ⊕ (qx/2,
+// qy/2). The subtraction is exactly that hole.
+func shrinkWindowRegion(wv *core.WindowValidity, dead []geom.Rect) {
+	qx, qy := wv.Window.Width(), wv.Window.Height()
+	for _, t := range dead {
+		wv.Region.Subtract(t.Inflate(qx/2, qy/2))
+	}
+	wv.Conservative = wv.Region.ConservativeRect(wv.Focus)
+}

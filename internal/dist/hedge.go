@@ -1,0 +1,151 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"lbsq/internal/shard"
+)
+
+// call runs one backend operation against a replica group with
+// hedging, circuit breaking, and retries:
+//
+//   - Replicas whose breaker is open are ordered last (they are still
+//     tried as a fallback — a fully open group should degrade because
+//     its nodes fail, not because the coordinator refuses to ask).
+//   - The first replica is asked immediately; while the answer is
+//     outstanding, a backup request is launched every HedgeAfter. The
+//     first success wins and cancels the losers via context; a failure
+//     immediately launches the next replica instead of waiting.
+//   - Cancelled losers are not counted against their breaker; real
+//     failures (including per-attempt timeouts) are.
+//   - When every replica of the round failed, the round is retried up
+//     to Retries times with exponential backoff.
+func call[T any](ctx context.Context, c *Coordinator, g *group, fn func(ctx context.Context, b shard.Backend) (T, error)) (T, error) {
+	var zero T
+	var lastErr error
+	for round := 0; ; round++ {
+		reps := g.ordered()
+		if len(reps) == 0 {
+			return zero, fmt.Errorf("dist: group %d has no replicas", g.id)
+		}
+		v, err := hedgeRound(ctx, c, reps, fn)
+		if err == nil {
+			return v, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return zero, ctx.Err()
+		}
+		if round >= c.opts.Retries {
+			break
+		}
+		c.met.retries.Inc()
+		if c.opts.Backoff > 0 {
+			backoff := c.opts.Backoff << uint(round)
+			if max := 2 * time.Second; backoff > max {
+				backoff = max
+			}
+			timer := time.NewTimer(backoff)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				return zero, ctx.Err()
+			}
+		}
+	}
+	return zero, lastErr
+}
+
+// hedgeRound races the replicas in order, one hedge at a time.
+func hedgeRound[T any](ctx context.Context, c *Coordinator, reps []*replica, fn func(ctx context.Context, b shard.Backend) (T, error)) (T, error) {
+	var zero T
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type attempt struct {
+		v   T
+		err error
+		idx int
+	}
+	// Buffered to the replica count: goroutines finishing after the
+	// winner returns must not block.
+	ch := make(chan attempt, len(reps))
+	launched := 0
+	launch := func() {
+		idx := launched
+		r := reps[idx]
+		launched++
+		go func() {
+			actx, acancel := cctx, context.CancelFunc(func() {})
+			if c.opts.OpTimeout > 0 {
+				actx, acancel = context.WithTimeout(cctx, c.opts.OpTimeout)
+			}
+			defer acancel()
+			start := time.Now()
+			v, err := fn(actx, r.b)
+			c.observe(r, start, err, cctx)
+			ch <- attempt{v: v, err: err, idx: idx}
+		}()
+	}
+	launch()
+
+	var lastErr error
+	failed := 0
+	for {
+		var hedgeC <-chan time.Time
+		var timer *time.Timer
+		if launched < len(reps) && c.opts.HedgeAfter > 0 {
+			timer = time.NewTimer(c.opts.HedgeAfter)
+			hedgeC = timer.C
+		}
+		select {
+		case a := <-ch:
+			if timer != nil {
+				timer.Stop()
+			}
+			if a.err == nil {
+				if a.idx > 0 {
+					c.met.hedgeWins.Inc()
+				}
+				return a.v, nil
+			}
+			lastErr = a.err
+			failed++
+			if failed == len(reps) {
+				return zero, lastErr
+			}
+			if launched < len(reps) {
+				launch() // skip the hedge delay after a hard failure
+			}
+			// Otherwise attempts are still in flight; keep waiting.
+		case <-hedgeC:
+			c.met.hedges.Inc()
+			launch()
+		case <-ctx.Done():
+			if timer != nil {
+				timer.Stop()
+			}
+			return zero, ctx.Err()
+		}
+	}
+}
+
+// observe records one attempt's latency and updates the replica's
+// breaker. Attempts cancelled because another replica already won (or
+// the caller gave up) count neither way.
+func (c *Coordinator) observe(r *replica, start time.Time, err error, cctx context.Context) {
+	r.lat.Observe(float64(time.Since(start).Microseconds()))
+	if err == nil {
+		r.brk.Success()
+		r.okc.Inc()
+		return
+	}
+	if cctx.Err() != nil {
+		return
+	}
+	r.brk.Failure()
+	r.errc.Inc()
+}

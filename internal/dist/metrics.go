@@ -1,0 +1,61 @@
+package dist
+
+import (
+	"lbsq/internal/obs"
+)
+
+// Operations carried by the degraded-response counter.
+var degradedOps = []string{"nn", "window", "range"}
+
+// metrics holds the coordinator's always-on instruments. Per-node
+// instruments (latency histogram, request counters, breaker state) are
+// registered per replica as nodes are added and survive rebalances —
+// the node pool is persistent, so a ring change never re-registers a
+// gauge.
+type metrics struct {
+	reg       *obs.Registry
+	hedges    *obs.Counter
+	hedgeWins *obs.Counter
+	retries   *obs.Counter
+	degraded  map[string]*obs.Counter
+	moved     *obs.Counter
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	m := &metrics{
+		reg:      reg,
+		degraded: make(map[string]*obs.Counter, len(degradedOps)),
+	}
+	m.hedges = reg.Counter("lbsq_dist_hedges_total",
+		"Backup requests launched because the primary was slow.", nil)
+	m.hedgeWins = reg.Counter("lbsq_dist_hedge_wins_total",
+		"Requests won by a hedged (non-primary) replica.", nil)
+	m.retries = reg.Counter("lbsq_dist_retries_total",
+		"Full-group retry rounds after every replica failed.", nil)
+	for _, op := range degradedOps {
+		m.degraded[op] = reg.Counter("lbsq_dist_degraded_total",
+			"Responses served degraded (validity region shrunk), by operation.",
+			obs.Labels{"op": op})
+	}
+	m.moved = reg.Counter("lbsq_dist_rebalance_moved_total",
+		"Items moved between groups by rebalances.", nil)
+	return m
+}
+
+// nodeInstruments registers the per-node instruments for one replica.
+func (m *metrics) nodeInstruments(r *replica) {
+	r.lat = m.reg.Histogram("lbsq_dist_node_latency_us",
+		"Per-node shard RPC latency in microseconds (all attempts).",
+		obs.Labels{"node": r.addr}, obs.LatencyBucketsUS)
+	r.okc = m.reg.Counter("lbsq_dist_node_requests_total",
+		"Shard RPC attempts by node and outcome.",
+		obs.Labels{"node": r.addr, "outcome": "ok"})
+	r.errc = m.reg.Counter("lbsq_dist_node_requests_total",
+		"Shard RPC attempts by node and outcome.",
+		obs.Labels{"node": r.addr, "outcome": "error"})
+	brk := r.brk
+	m.reg.GaugeFunc("lbsq_dist_breaker_state",
+		"Circuit breaker state by node (0 closed, 1 open, 2 half-open).",
+		obs.Labels{"node": r.addr},
+		func() float64 { return float64(brk.State()) })
+}

@@ -1,0 +1,229 @@
+package dist
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"lbsq/internal/geom"
+	"lbsq/internal/rtree"
+	"lbsq/internal/shard"
+)
+
+// Placement selects how ring partitions map to replica groups.
+type Placement int
+
+const (
+	// PlacementHash assigns each partition to a group by consistent
+	// hashing (64 virtual nodes per group on an FNV-64a ring), so
+	// adding or removing a group moves only ~1/G of the partitions.
+	PlacementHash Placement = iota
+	// PlacementSpatial assigns contiguous row-major runs of partitions
+	// to groups — boundary-aware placement that keeps each group's
+	// territory compact, minimizing cross-group fan-out for local
+	// queries.
+	PlacementSpatial
+)
+
+// String implements fmt.Stringer.
+func (p Placement) String() string {
+	switch p {
+	case PlacementHash:
+		return "hash"
+	case PlacementSpatial:
+		return "spatial"
+	default:
+		return fmt.Sprintf("Placement(%d)", int(p))
+	}
+}
+
+// ParsePlacement maps the flag names "hash" and "spatial".
+func ParsePlacement(name string) (Placement, error) {
+	switch name {
+	case "hash":
+		return PlacementHash, nil
+	case "spatial":
+		return PlacementSpatial, nil
+	default:
+		return PlacementHash, fmt.Errorf("dist: unknown placement %q (want hash or spatial)", name)
+	}
+}
+
+// vnodesPerGroup is the consistent-hash virtual node count per group.
+const vnodesPerGroup = 64
+
+// Ring is one immutable version of the placement: a fixed grid of
+// universe partitions (the same near-square tiling shard.Partitions
+// uses) and the group owning each. The coordinator swaps whole rings
+// atomically; queries capture one ring for their lifetime, so a
+// rebalance never changes routing mid-query.
+type Ring struct {
+	Version   uint64      `json:"version"`
+	Universe  geom.Rect   `json:"universe"`
+	Placement Placement   `json:"placement"`
+	Parts     []geom.Rect `json:"parts"` // partition tiles, row-major
+	Owner     []int       `json:"owner"` // partition index → group index
+	Groups    int         `json:"groups"`
+}
+
+// NewRing places parts grid partitions of the universe onto groups.
+func NewRing(universe geom.Rect, parts, groups int, placement Placement) (*Ring, error) {
+	if groups < 1 {
+		return nil, fmt.Errorf("dist: %d groups, want ≥ 1", groups)
+	}
+	if parts < groups {
+		return nil, fmt.Errorf("dist: %d partitions for %d groups, want ≥ groups", parts, groups)
+	}
+	ps, err := shard.Partitions(nil, universe, parts, shard.Grid)
+	if err != nil {
+		return nil, err
+	}
+	r := &Ring{Version: 1, Universe: universe, Placement: placement, Groups: groups}
+	r.Parts = make([]geom.Rect, len(ps))
+	for i, p := range ps {
+		r.Parts[i] = p.Resp
+	}
+	r.Owner = make([]int, len(r.Parts))
+	switch placement {
+	case PlacementSpatial:
+		for i := range r.Owner {
+			r.Owner[i] = i * groups / len(r.Parts)
+		}
+	case PlacementHash:
+		ring := hashRing(groups)
+		for i := range r.Owner {
+			r.Owner[i] = ring.owner(fmt.Sprintf("part-%d", i))
+		}
+	default:
+		return nil, fmt.Errorf("dist: unknown placement %v", placement)
+	}
+	return r, nil
+}
+
+// OwnerGroup returns the group owning position p: the owner of the
+// first partition containing it (the same boundary rule Cluster and
+// shard.Partitions use), or −1 outside the universe.
+func (r *Ring) OwnerGroup(p geom.Point) int {
+	for i, t := range r.Parts {
+		if t.Contains(p) {
+			return r.Owner[i]
+		}
+	}
+	return -1
+}
+
+// Territory returns the partition tiles owned by group g, in partition
+// order.
+func (r *Ring) Territory(g int) []geom.Rect {
+	var out []geom.Rect
+	for i, o := range r.Owner {
+		if o == g {
+			out = append(out, r.Parts[i])
+		}
+	}
+	return out
+}
+
+// MinDist returns the minimum distance from q to group g's territory
+// (+Inf for a group owning no partitions).
+func (r *Ring) MinDist(g int, q geom.Point) (float64, bool) {
+	best, any := 0.0, false
+	for i, o := range r.Owner {
+		if o != g {
+			continue
+		}
+		d := r.Parts[i].MinDist(q)
+		if !any || d < best {
+			best, any = d, true
+		}
+	}
+	return best, any
+}
+
+// Overlapping returns the groups whose territory intersects w, in
+// group order.
+func (r *Ring) Overlapping(w geom.Rect) []int {
+	seen := make([]bool, r.Groups)
+	for i, t := range r.Parts {
+		if t.Intersects(w) {
+			seen[r.Owner[i]] = true
+		}
+	}
+	var out []int
+	for g, ok := range seen {
+		if ok {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// Split partitions items by owning group (the first-containing-tile
+// rule). Items outside the universe are rejected.
+func (r *Ring) Split(items []rtree.Item) ([][]rtree.Item, error) {
+	out := make([][]rtree.Item, r.Groups)
+	for _, it := range items {
+		g := r.OwnerGroup(it.P)
+		if g < 0 {
+			return nil, fmt.Errorf("dist: item %d at %v outside universe %v", it.ID, it.P, r.Universe)
+		}
+		out[g] = append(out[g], it)
+	}
+	return out, nil
+}
+
+// hashRing is the consistent-hash circle: sorted vnode hashes with
+// their group.
+type ringVnode struct {
+	h uint64
+	g int
+}
+
+type consistentRing []ringVnode
+
+func hashRing(groups int) consistentRing {
+	ring := make(consistentRing, 0, groups*vnodesPerGroup)
+	for g := 0; g < groups; g++ {
+		for v := 0; v < vnodesPerGroup; v++ {
+			ring = append(ring, ringVnode{h: fnv64(fmt.Sprintf("group-%d-vnode-%d", g, v)), g: g})
+		}
+	}
+	sort.Slice(ring, func(i, j int) bool {
+		if ring[i].h != ring[j].h {
+			return ring[i].h < ring[j].h
+		}
+		return ring[i].g < ring[j].g
+	})
+	return ring
+}
+
+// owner returns the group of the first vnode clockwise of key's hash.
+func (r consistentRing) owner(key string) int {
+	h := fnv64(key)
+	i := sort.Search(len(r), func(i int) bool { return r[i].h >= h })
+	if i == len(r) {
+		i = 0
+	}
+	return r[i].g
+}
+
+func fnv64(s string) uint64 {
+	h := fnv.New64a()
+	// Hash.Write never returns an error.
+	_, _ = h.Write([]byte(s)) //lbsq:nocheck droppederr
+	return mix64(h.Sum64())
+}
+
+// mix64 finalizes a hash with a full-avalanche mix (the splitmix64
+// finalizer). FNV-64a alone clusters short, similar keys into a narrow
+// band of the 64-bit space, which a sorted consistent-hash ring is
+// extremely sensitive to: without mixing, every partition key landed in
+// the same half of the circle and group balance collapsed.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,195 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+
+	"lbsq/internal/geom"
+	"lbsq/internal/rtree"
+)
+
+var ringUniverse = geom.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+
+func TestNewRingValidates(t *testing.T) {
+	if _, err := NewRing(ringUniverse, 4, 0, PlacementHash); err == nil {
+		t.Fatalf("0 groups accepted")
+	}
+	if _, err := NewRing(ringUniverse, 2, 3, PlacementHash); err == nil {
+		t.Fatalf("fewer partitions than groups accepted")
+	}
+	if _, err := NewRing(geom.Rect{}, 4, 2, PlacementHash); err == nil {
+		t.Fatalf("empty universe accepted")
+	}
+}
+
+func TestSpatialPlacementIsIdentityWhenPartsEqualGroups(t *testing.T) {
+	r, err := NewRing(ringUniverse, 4, 4, PlacementSpatial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range r.Owner {
+		if o != i {
+			t.Fatalf("Owner[%d] = %d, want %d (identity)", i, o, i)
+		}
+	}
+}
+
+func TestSpatialPlacementContiguousRuns(t *testing.T) {
+	r, err := NewRing(ringUniverse, 12, 3, PlacementSpatial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Owners must be non-decreasing (contiguous runs) and cover every
+	// group.
+	seen := make(map[int]int)
+	for i, o := range r.Owner {
+		if i > 0 && o < r.Owner[i-1] {
+			t.Fatalf("spatial owners not contiguous: %v", r.Owner)
+		}
+		seen[o]++
+	}
+	for g := 0; g < 3; g++ {
+		if seen[g] == 0 {
+			t.Fatalf("group %d owns no partitions: %v", g, r.Owner)
+		}
+	}
+}
+
+func TestRingOwnershipPartitionsUniverse(t *testing.T) {
+	for _, pl := range []Placement{PlacementHash, PlacementSpatial} {
+		r, err := NewRing(ringUniverse, 16, 4, pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(5))
+		for i := 0; i < 500; i++ {
+			p := geom.Point{X: 100 * rng.Float64(), Y: 100 * rng.Float64()}
+			g := r.OwnerGroup(p)
+			if g < 0 || g >= r.Groups {
+				t.Fatalf("%v: OwnerGroup(%v) = %d", pl, p, g)
+			}
+			// The owner's territory contains the point; its MinDist is 0.
+			if d, ok := r.MinDist(g, p); !ok || d != 0 {
+				t.Fatalf("%v: MinDist(owner %d, %v) = %v,%v", pl, g, p, d, ok)
+			}
+			// Overlapping a degenerate rect at p includes the owner.
+			found := false
+			for _, og := range r.Overlapping(geom.Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y}) {
+				if og == g {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("%v: Overlapping at %v misses owner %d", pl, p, g)
+			}
+		}
+		if g := r.OwnerGroup(geom.Point{X: -1, Y: 50}); g != -1 {
+			t.Fatalf("%v: point outside universe owned by %d", pl, g)
+		}
+	}
+}
+
+func TestRingSplitMatchesOwnership(t *testing.T) {
+	r, err := NewRing(ringUniverse, 8, 4, PlacementHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	items := make([]rtree.Item, 200)
+	for i := range items {
+		items[i] = rtree.Item{ID: int64(i), P: geom.Point{X: 100 * rng.Float64(), Y: 100 * rng.Float64()}}
+	}
+	split, err := r.Split(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for g, part := range split {
+		total += len(part)
+		for _, it := range part {
+			if og := r.OwnerGroup(it.P); og != g {
+				t.Fatalf("item %d split to group %d but owned by %d", it.ID, g, og)
+			}
+		}
+	}
+	if total != len(items) {
+		t.Fatalf("split lost items: %d of %d", total, len(items))
+	}
+	if _, err := r.Split([]rtree.Item{{ID: 1, P: geom.Point{X: 200, Y: 0}}}); err == nil {
+		t.Fatalf("item outside universe accepted by Split")
+	}
+}
+
+// TestHashPlacementStability is the consistent-hashing property:
+// growing the cluster by one group must move only a modest fraction of
+// partitions (~1/G on average), never reshuffle everything.
+func TestHashPlacementStability(t *testing.T) {
+	const parts = 256
+	a, err := NewRing(ringUniverse, parts, 4, PlacementHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(ringUniverse, parts, 5, PlacementHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	toNew := 0
+	for i := range a.Owner {
+		if a.Owner[i] != b.Owner[i] {
+			moved++
+			if b.Owner[i] == 4 {
+				toNew++
+			}
+		}
+	}
+	// Expected ~parts/5 moves; allow generous slack but reject a full
+	// reshuffle (naive modulo hashing moves ~4/5 of all partitions).
+	if moved > parts/2 {
+		t.Fatalf("adding a group moved %d/%d partitions — not consistent", moved, parts)
+	}
+	if moved == 0 {
+		t.Fatalf("adding a group moved nothing; the new group owns no load")
+	}
+	// Moves should overwhelmingly land on the new group.
+	if toNew*2 < moved {
+		t.Fatalf("only %d of %d moved partitions went to the new group", toNew, moved)
+	}
+}
+
+func TestHashPlacementBalance(t *testing.T) {
+	const parts, groups = 256, 4
+	r, err := NewRing(ringUniverse, parts, groups, PlacementHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, groups)
+	for _, o := range r.Owner {
+		counts[o]++
+	}
+	for g, n := range counts {
+		if n == 0 {
+			t.Fatalf("group %d owns no partitions: %v", g, counts)
+		}
+		// With 64 vnodes per group the load should be within a factor
+		// of ~3 of perfect balance.
+		if n > 3*parts/groups {
+			t.Fatalf("group %d owns %d of %d partitions — badly unbalanced", g, n, parts)
+		}
+	}
+}
+
+func TestParsePlacement(t *testing.T) {
+	for name, want := range map[string]Placement{"hash": PlacementHash, "spatial": PlacementSpatial} {
+		got, err := ParsePlacement(name)
+		if err != nil || got != want {
+			t.Fatalf("ParsePlacement(%q) = %v, %v", name, got, err)
+		}
+		if got.String() != name {
+			t.Fatalf("%v.String() = %q, want %q", got, got.String(), name)
+		}
+	}
+	if _, err := ParsePlacement("quantum"); err == nil {
+		t.Fatalf("unknown placement accepted")
+	}
+}

@@ -1,0 +1,175 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Transport delivers one shard RPC to a node. It is the seam between
+// the coordinator and the network: the production implementation posts
+// to the node's /v1/shard endpoint, and FaultTransport wraps any
+// Transport to inject latency, drops, and error statuses per node for
+// tests. ctx carries the caller's deadline and the hedging
+// cancellation; implementations must honor it.
+type Transport interface {
+	Do(ctx context.Context, addr string, body []byte) ([]byte, error)
+}
+
+// StatusError is a non-2xx shard RPC reply, with the v1 error
+// envelope's code and message when the node supplied one.
+type StatusError struct {
+	Status  int    // HTTP status
+	Code    int    // envelope code (0 when absent)
+	Message string // envelope error text (or raw body prefix)
+}
+
+// Error implements error.
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("dist: node returned %d: %s", e.Status, e.Message)
+}
+
+// maxRPCBody bounds RPC reply reads (replies are result sets of one
+// shard; 1 GiB is far above any realistic answer and only guards
+// against a misbehaving peer).
+const maxRPCBody = 1 << 30
+
+// HTTPTransport posts RPC bodies to addr + "/v1/shard" with the given
+// client (nil selects a private client with sane defaults; per-request
+// deadlines come from ctx, not the client).
+type HTTPTransport struct {
+	Client *http.Client
+}
+
+func (t *HTTPTransport) client() *http.Client {
+	if t.Client != nil {
+		return t.Client
+	}
+	return http.DefaultClient
+}
+
+// Do implements Transport.
+func (t *HTTPTransport) Do(ctx context.Context, addr string, body []byte) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/v1/shard", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := t.client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxRPCBody))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		se := &StatusError{Status: resp.StatusCode}
+		var env struct {
+			Error string `json:"error"`
+			Code  int    `json:"code"`
+		}
+		if json.Unmarshal(data, &env) == nil && env.Error != "" {
+			se.Code, se.Message = env.Code, env.Error
+		} else {
+			se.Message = truncate(string(data), 200)
+		}
+		return nil, se
+	}
+	return data, nil
+}
+
+func truncate(s string, n int) string {
+	if len(s) > n {
+		return s[:n] + "…"
+	}
+	return s
+}
+
+// Fault is one injected failure rule for FaultTransport.
+type Fault struct {
+	// Latency delays the request (honoring ctx cancellation) before the
+	// rest of the rule — or the real request, if nothing else is set —
+	// runs.
+	Latency time.Duration
+	// Drop fails the request with a connection-style error without
+	// reaching the node.
+	Drop bool
+	// Status, when non-zero, fails the request with a StatusError of
+	// that HTTP status.
+	Status int
+	// Err, when non-nil, fails the request with exactly this error.
+	Err error
+	// Match restricts the rule to request bodies containing this
+	// substring (e.g. `"op":"influence"` to fail only the influence
+	// phase). Empty matches every request.
+	Match string
+}
+
+// FaultTransport wraps Inner and applies per-node fault rules: the
+// first rule whose Match hits the request body wins. It is safe for
+// concurrent use; rules can be changed while requests are in flight.
+type FaultTransport struct {
+	Inner Transport
+
+	mu    sync.Mutex
+	rules map[string][]Fault
+}
+
+// NewFaultTransport wraps inner with no rules installed.
+func NewFaultTransport(inner Transport) *FaultTransport {
+	return &FaultTransport{Inner: inner, rules: make(map[string][]Fault)}
+}
+
+// Set replaces the fault rules for addr.
+func (t *FaultTransport) Set(addr string, rules ...Fault) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rules[addr] = rules
+}
+
+// Clear removes all rules for addr.
+func (t *FaultTransport) Clear(addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.rules, addr)
+}
+
+// Do implements Transport.
+func (t *FaultTransport) Do(ctx context.Context, addr string, body []byte) ([]byte, error) {
+	t.mu.Lock()
+	var rule *Fault
+	for i, f := range t.rules[addr] {
+		if f.Match == "" || bytes.Contains(body, []byte(f.Match)) {
+			rule = &t.rules[addr][i]
+			break
+		}
+	}
+	t.mu.Unlock()
+	if rule != nil {
+		if rule.Latency > 0 {
+			timer := time.NewTimer(rule.Latency)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				return nil, ctx.Err()
+			}
+		}
+		switch {
+		case rule.Err != nil:
+			return nil, rule.Err
+		case rule.Drop:
+			return nil, fmt.Errorf("dist: injected connection drop for %s", addr)
+		case rule.Status != 0:
+			return nil, &StatusError{Status: rule.Status, Message: "injected fault"}
+		}
+	}
+	return t.Inner.Do(ctx, addr, body)
+}

@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sort"
+	"time"
+
+	"lbsq/internal/core"
+	"lbsq/internal/dataset"
+	"lbsq/internal/dist"
+	"lbsq/internal/geom"
+	"lbsq/internal/rtree"
+	"lbsq/internal/shard"
+)
+
+// DistScatter quantifies the networked coordinator against the
+// in-process cluster it reproduces. Both engines hold the identical
+// grid partitioning of the same dataset; the distributed side pays
+// loopback HTTP, JSON codec, and scatter-gather coordination per
+// query. Table 1 reports mixed-workload throughput for both and the
+// resulting overhead factor. Table 2 demonstrates hedged reads: with
+// one replica of a two-replica group slowed by an injected fault,
+// time-based hedging restores tail latency that a primary-only read
+// policy loses.
+func DistScatter(cfg Config) []Table {
+	const groups = 3
+	n := 20_000
+	if cfg.Full {
+		n = 100_000
+	}
+	d := dataset.Uniform(n, cfg.Seed)
+	qpts := dataset.QueryPoints(d, cfg.queries(), cfg.Seed+1)
+
+	oracle, err := shard.NewCluster(d.Items, d.Universe, shard.Options{Shards: groups})
+	if err != nil {
+		panic(err)
+	}
+
+	tables := []Table{distThroughput(cfg, d, qpts, oracle, groups)}
+	tables = append(tables, distHedging(cfg, d, qpts))
+	return tables
+}
+
+// startDistNodes boots groups×replicas loopback HTTP data nodes, each
+// bulk-loaded with its group's grid partition, and returns their base
+// URLs plus a closer.
+func startDistNodes(d *dataset.Dataset, groups, replicas int) (addrs []string, closeAll func()) {
+	parts, err := shard.Partitions(d.Items, d.Universe, groups, shard.Grid)
+	if err != nil {
+		panic(err)
+	}
+	var servers []*httptest.Server
+	for g := 0; g < groups; g++ {
+		for r := 0; r < replicas; r++ {
+			tree := rtree.BulkLoad(parts[g].Items, rtree.Options{}, 0.7)
+			srv := httptest.NewServer(dist.NewBackendHandler(
+				shard.NewLocalBackend(core.NewServer(tree, d.Universe))))
+			servers = append(servers, srv)
+			addrs = append(addrs, srv.URL)
+		}
+	}
+	return addrs, func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}
+}
+
+// distThroughput runs the mixed NN / window / range workload through
+// the coordinator and the in-process cluster and reports both rates.
+func distThroughput(cfg Config, d *dataset.Dataset, qpts []geom.Point, oracle *shard.Cluster, groups int) Table {
+	addrs, closeAll := startDistNodes(d, groups, 1)
+	defer closeAll()
+	c, err := dist.New(context.Background(), dist.Options{
+		Nodes:     addrs,
+		Universe:  d.Universe,
+		Placement: dist.PlacementSpatial,
+		OpTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer c.Close()
+
+	t := Table{
+		Title: fmt.Sprintf("Distributed scatter-gather: coordinator over %d HTTP nodes vs in-process cluster (%s, %d points)",
+			groups, d.Name, len(d.Items)),
+		Columns: []string{"engine", "qps", "overhead"},
+	}
+	local := distWorkloadQPS(d, qpts, func(ctx context.Context, q geom.Point, i int) error {
+		switch i % 3 {
+		case 0:
+			_, _, err := oracle.NNQueryCtx(ctx, q, 4)
+			return err
+		case 1:
+			_, _, err := oracle.WindowQueryAtCtx(ctx, q, d.Universe.Width()*0.02, d.Universe.Height()*0.02)
+			return err
+		default:
+			_, _, err := oracle.RangeQueryCtx(ctx, q, d.Universe.Width()*0.01)
+			return err
+		}
+	})
+	remote := distWorkloadQPS(d, qpts, func(ctx context.Context, q geom.Point, i int) error {
+		switch i % 3 {
+		case 0:
+			_, _, _, err := c.NN(ctx, q, 4)
+			return err
+		case 1:
+			_, _, _, err := c.Window(ctx, geom.RectCenteredAt(q, d.Universe.Width()*0.02, d.Universe.Height()*0.02))
+			return err
+		default:
+			_, _, _, err := c.Range(ctx, q, d.Universe.Width()*0.01)
+			return err
+		}
+	})
+	t.Rows = append(t.Rows,
+		[]string{"in-process cluster", fmt.Sprintf("%.0f", local), "1.00x"},
+		[]string{"HTTP coordinator", fmt.Sprintf("%.0f", remote), fmt.Sprintf("%.2fx", local/remote)},
+	)
+	return t
+}
+
+// distWorkloadQPS drives one query per point and returns queries/sec.
+func distWorkloadQPS(d *dataset.Dataset, qpts []geom.Point, run func(ctx context.Context, q geom.Point, i int) error) float64 {
+	ctx := context.Background()
+	start := time.Now()
+	for i, q := range qpts {
+		if err := run(ctx, q, i); err != nil {
+			panic(err)
+		}
+	}
+	return float64(len(qpts)) / time.Since(start).Seconds()
+}
+
+// distHedging measures k-NN latency percentiles against a two-replica
+// group whose primary answers slowly, with hedging off and on.
+func distHedging(cfg Config, d *dataset.Dataset, qpts []geom.Point) Table {
+	const slow = 20 * time.Millisecond
+	t := Table{
+		Title: fmt.Sprintf("Hedged reads: one of two replicas slowed by %v (%s, %d k-NN queries)",
+			slow, d.Name, len(qpts)),
+		Columns: []string{"policy", "p50_ms", "p99_ms", "hedge_wins"},
+	}
+	for _, hedgeAfter := range []time.Duration{0, 2 * time.Millisecond} {
+		addrs, closeAll := startDistNodes(d, 1, 2)
+		ft := dist.NewFaultTransport(&dist.HTTPTransport{})
+		c, err := dist.New(context.Background(), dist.Options{
+			Nodes:      addrs,
+			Replicas:   2,
+			Universe:   d.Universe,
+			Placement:  dist.PlacementSpatial,
+			OpTimeout:  30 * time.Second,
+			HedgeAfter: hedgeAfter,
+			Transport:  ft,
+		})
+		if err != nil {
+			closeAll()
+			panic(err)
+		}
+		ft.Set(addrs[0], dist.Fault{Latency: slow})
+
+		ctx := context.Background()
+		lats := make([]time.Duration, 0, len(qpts))
+		for _, q := range qpts {
+			t0 := time.Now()
+			if _, err := c.KNearest(ctx, q, 4); err != nil {
+				panic(err)
+			}
+			lats = append(lats, time.Since(t0))
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		policy := "primary only"
+		if hedgeAfter > 0 {
+			policy = fmt.Sprintf("hedge after %v", hedgeAfter)
+		}
+		wins := 0.0
+		for _, m := range c.Registry().Snapshot() {
+			if m.Name == "lbsq_dist_hedge_wins_total" {
+				wins += m.Value
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			policy,
+			fmt.Sprintf("%.1f", float64(distPctile(lats, 50).Microseconds())/1000),
+			fmt.Sprintf("%.1f", float64(distPctile(lats, 99).Microseconds())/1000),
+			fmt.Sprintf("%.0f", wins),
+		})
+		c.Close()
+		closeAll()
+	}
+	return t
+}
+
+// distPctile returns the p-th percentile of sorted latencies.
+func distPctile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := (len(sorted) - 1) * p / 100
+	return sorted[i]
+}

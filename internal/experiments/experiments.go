@@ -186,6 +186,7 @@ func All() []Experiment {
 		{"batch", "Engineering: batched execution vs sequential fan-out", BatchThroughput},
 		{"cache", "Engineering: server-side validity-region cache", CacheEffect},
 		{"sessions", "Engineering: continuous-query sessions vs naive and client-cached fleets", Sessions},
+		{"dist", "Engineering: networked coordinator — scatter overhead and hedged tail rescue", DistScatter},
 	}
 }
 

@@ -14,7 +14,7 @@ func TestRegistryComplete(t *testing.T) {
 	// Every evaluation figure of the paper must have an experiment:
 	// 22a/22b/23/24/25/26/27/28/29/30/31/32/34/35 (+ savings).
 	want := []string{"22a", "22b", "23", "24", "25", "26", "27", "28",
-		"29", "30", "31", "32", "34", "35", "savings", "range", "delta", "ablation", "updates", "semcache", "perf", "shards", "batch", "cache", "sessions"}
+		"29", "30", "31", "32", "34", "35", "savings", "range", "delta", "ablation", "updates", "semcache", "perf", "shards", "batch", "cache", "sessions", "dist"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))

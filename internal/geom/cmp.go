@@ -35,3 +35,11 @@ func ExactZero(x float64) bool { return x == 0 }
 // deduplicating vertices produced by the identical computation; use
 // Point.Eq for tolerant geometric coincidence.
 func SamePoint(a, b Point) bool { return a.X == b.X && a.Y == b.Y }
+
+// SameRect reports exact coordinate equality of two rectangles. Use
+// for identity checks — universe agreement between cluster nodes,
+// configuration round-trips — where the two values must be bit-equal
+// copies of one another, not merely geometrically close.
+func SameRect(a, b Rect) bool {
+	return a.MinX == b.MinX && a.MinY == b.MinY && a.MaxX == b.MaxX && a.MaxY == b.MaxY
+}

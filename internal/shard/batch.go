@@ -112,7 +112,7 @@ type batchState struct {
 	// NN/kNN state.
 	order   []int
 	found   [][]nn.Neighbor
-	merger  *nnMerger
+	merger  *NNMerger
 	members []rtree.Item
 	dk      float64
 	infRest []int
@@ -319,7 +319,7 @@ func (c *Cluster) afterNN(st *batchState, round int) {
 	q, k := st.req.Q, st.req.K
 	switch round {
 	case 2:
-		all := mergeNeighborParts(st.found)
+		all := MergeNeighborParts(st.found)
 		if st.req.Op == BatchKNN {
 			if len(all) > k {
 				all = all[:k]
@@ -340,17 +340,17 @@ func (c *Cluster) afterNN(st *batchState, round int) {
 			st.members[i] = nb.Item
 		}
 		st.dk = all[k-1].Dist
-		st.merger = newNNMerger(c.Universe, q, k, all)
+		st.merger = NewNNMerger(c.Universe, q, k, all)
 	case 3:
 		owner := st.order[0]
 		if st.errs[owner] != nil {
-			st.resp.NN = st.merger.finish()
+			st.resp.NN = st.merger.Finish()
 			st.sumCosts()
 			st.fail(st.errs[owner])
 			return
 		}
-		st.merger.add(st.parts[owner])
-		if reach, ok := st.merger.reach(q, st.dk); ok {
+		st.merger.Add(st.parts[owner])
+		if reach, ok := st.merger.Reach(q, st.dk); ok {
 			st.infRest = c.withinReach(q, st.order[1:], reach)
 		}
 	case 4:
@@ -362,9 +362,9 @@ func (c *Cluster) afterNN(st *batchState, round int) {
 				}
 				continue
 			}
-			st.merger.add(st.parts[i])
+			st.merger.Add(st.parts[i])
 		}
-		st.resp.NN = st.merger.finish()
+		st.resp.NN = st.merger.Finish()
 		st.resp.Err = firstErr
 		st.sumCosts()
 		st.done = true
@@ -417,7 +417,7 @@ func (c *Cluster) afterWindow(st *batchState, round int) {
 	if round != 2 {
 		return
 	}
-	st.resp.Window = mergeWindowParts(c.Universe, st.req.W, st.wvs)
+	st.resp.Window = MergeWindowParts(c.Universe, st.req.W, st.wvs)
 	st.sumCosts()
 	st.done = true
 }
@@ -476,8 +476,8 @@ func (c *Cluster) planRange(st *batchState, round int, plan func(int, shardJob))
 			}
 			return
 		}
-		st.inResult = rangeInnerRegion(rv)
-		st.search = rangeOuterSearchRect(rv)
+		st.inResult = RangeInnerRegion(rv)
+		st.search = RangeOuterSearchRect(rv.Inner.Disks, rv.Radius)
 		st.cands = make([]int, len(c.shards))
 		for _, i := range c.overlapping(st.search) {
 			i := i
@@ -485,7 +485,7 @@ func (c *Cluster) planRange(st *batchState, round int, plan func(int, shardJob))
 			st.items[i] = nil // reuse for outer points, gathered after the round
 			plan(i, func(s *node) {
 				na0, pa0 := s.srv.Tree.NodeAccesses(), s.faults()
-				st.items[i], st.cands[i] = rangeOuterScan(s.srv.Tree, st.search, rv, st.inResult)
+				st.items[i], st.cands[i] = RangeOuterScan(s.srv.Tree, st.search, rv.Inner.Disks, rv.Radius, st.inResult)
 				st.addRangeCost(i, s, na0, pa0)
 			})
 		}

@@ -66,7 +66,7 @@ func (c *Cluster) NNQueryCtx(ctx context.Context, q geom.Point, k int) (*core.NN
 	}
 	dk := nbs[k-1].Dist
 
-	m := newNNMerger(c.Universe, q, k, nbs)
+	m := NewNNMerger(c.Universe, q, k, nbs)
 
 	// Influence phase, owner shard inline first to shrink the region.
 	var firstErr error
@@ -79,16 +79,16 @@ func (c *Cluster) NNQueryCtx(ctx context.Context, q geom.Point, k int) (*core.NN
 			firstErr = err
 			return
 		}
-		m.add(part)
+		m.Add(part)
 	})
 	if scErr != nil {
 		return nil, cost, scErr
 	}
 	if firstErr != nil {
-		return m.finish(), cost, firstErr
+		return m.Finish(), cost, firstErr
 	}
 
-	if reach, ok := m.reach(q, dk); ok {
+	if reach, ok := m.Reach(q, dk); ok {
 		rest := c.withinReach(q, order[1:], reach)
 		parts := make([]*core.NNValidity, len(c.shards))
 		costs := make([]phaseCost, len(c.shards))
@@ -106,31 +106,31 @@ func (c *Cluster) NNQueryCtx(ctx context.Context, q geom.Point, k int) (*core.NN
 				}
 				continue
 			}
-			m.add(parts[i])
+			m.Add(parts[i])
 		}
 		if scErr != nil {
 			return nil, cost, scErr
 		}
 	}
-	return m.finish(), cost, firstErr
+	return m.Finish(), cost, firstErr
 }
 
-// nnMerger accumulates per-shard influence parts into the global NN
+// NNMerger accumulates per-shard influence parts into the global NN
 // validity answer: the merged region is the universe clipped by every
 // influence pair's bisector, with pairs and influence objects
 // deduplicated across shards. Used by both the per-query scatter path
 // and the batched executor so the two provably merge identically.
-type nnMerger struct {
+type NNMerger struct {
 	v         *core.NNValidity
 	region    geom.Polygon
 	seenPairs map[[2]int64]bool
 	seenObjs  map[int64]bool
 }
 
-// newNNMerger starts a merge for query q with the already-gathered
+// NewNNMerger starts a merge for query q with the already-gathered
 // global k nearest neighbors.
-func newNNMerger(universe geom.Rect, q geom.Point, k int, nbs []nn.Neighbor) *nnMerger {
-	return &nnMerger{
+func NewNNMerger(universe geom.Rect, q geom.Point, k int, nbs []nn.Neighbor) *NNMerger {
+	return &NNMerger{
 		v:         &core.NNValidity{Query: q, K: k, Neighbors: nbs},
 		region:    universe.Polygon(),
 		seenPairs: make(map[[2]int64]bool),
@@ -139,7 +139,7 @@ func newNNMerger(universe geom.Rect, q geom.Point, k int, nbs []nn.Neighbor) *nn
 }
 
 // add merges one shard's influence part.
-func (m *nnMerger) add(part *core.NNValidity) {
+func (m *NNMerger) Add(part *core.NNValidity) {
 	m.v.TPQueries += part.TPQueries
 	for _, pr := range part.Pairs {
 		key := [2]int64{pr.Obj.ID, pr.Member.ID}
@@ -160,7 +160,7 @@ func (m *nnMerger) add(part *core.NNValidity) {
 // NNQuery) once the owner shard's clip has bounded the region; ok is
 // false when the region is already empty and no further shard can cut
 // it.
-func (m *nnMerger) reach(q geom.Point, dk float64) (float64, bool) {
+func (m *NNMerger) Reach(q geom.Point, dk float64) (float64, bool) {
 	if m.region.IsEmpty() {
 		return 0, false
 	}
@@ -174,7 +174,7 @@ func (m *nnMerger) reach(q geom.Point, dk float64) (float64, bool) {
 }
 
 // finish normalizes and returns the merged answer.
-func (m *nnMerger) finish() *core.NNValidity {
+func (m *NNMerger) Finish() *core.NNValidity {
 	if m.region.IsEmpty() {
 		m.v.Region = geom.Polygon{}
 	} else {
@@ -262,13 +262,13 @@ func (c *Cluster) gatherCandidates(ctx context.Context, q geom.Point, k int, ord
 		return nil, costs, err
 	}
 
-	return mergeNeighborParts(found), costs, nil
+	return MergeNeighborParts(found), costs, nil
 }
 
-// mergeNeighborParts flattens per-shard candidate lists and sorts them
+// MergeNeighborParts flattens per-shard candidate lists and sorts them
 // by (distance, id) — the canonical global candidate order shared by
 // the per-query and batched paths.
-func mergeNeighborParts(found [][]nn.Neighbor) []nn.Neighbor {
+func MergeNeighborParts(found [][]nn.Neighbor) []nn.Neighbor {
 	var all []nn.Neighbor
 	for _, part := range found {
 		all = append(all, part...)

@@ -110,18 +110,18 @@ func (c *Cluster) RangeQueryCtx(ctx context.Context, center geom.Point, radius f
 	}
 
 	// Inner region: disks of the global result's hull vertices.
-	inResult := rangeInnerRegion(rv)
+	inResult := RangeInnerRegion(rv)
 
 	// Phase 2: candidate outer points whose disks can reach the inner
 	// region, filtered by the same global lower bound as the single
 	// server (the farthest single inner disk).
-	search := rangeOuterSearchRect(rv)
+	search := RangeOuterSearchRect(rv.Inner.Disks, rv.Radius)
 	idxs = c.overlapping(search)
 	outer := make([][]rtree.Item, len(c.shards))
 	cands := make([]int, len(c.shards))
 	scErr = c.scatter(ctx, idxs, func(i int, s *node) {
 		na0, pa0 := s.srv.Tree.NodeAccesses(), s.faults()
-		outer[i], cands[i] = rangeOuterScan(s.srv.Tree, search, rv, inResult)
+		outer[i], cands[i] = RangeOuterScan(s.srv.Tree, search, rv.Inner.Disks, rv.Radius, inResult)
 		nas[i], pas[i] = s.srv.Tree.NodeAccesses()-na0, s.faults()-pa0
 	})
 	for _, i := range idxs {
@@ -146,11 +146,11 @@ func (c *Cluster) unbuffered() bool {
 	return len(c.shards) == 0 || c.shards[0].srv.Buffer == nil
 }
 
-// rangeInnerRegion fills rv.Inner and rv.InnerInfluence from the merged
+// RangeInnerRegion fills rv.Inner and rv.InnerInfluence from the merged
 // global result (disks of the result's convex-hull vertices) and
 // returns the result-membership set used by the outer scan. Shared by
 // the per-query scatter path and the batched executor.
-func rangeInnerRegion(rv *core.RangeValidity) map[int64]bool {
+func RangeInnerRegion(rv *core.RangeValidity) map[int64]bool {
 	pts := make([]geom.Point, len(rv.Result))
 	byPos := make(map[geom.Point]rtree.Item, len(rv.Result))
 	inResult := make(map[int64]bool, len(rv.Result))
@@ -166,32 +166,35 @@ func rangeInnerRegion(rv *core.RangeValidity) map[int64]bool {
 	return inResult
 }
 
-// rangeOuterSearchRect returns the phase-2 search rectangle: the inner
-// region's bounding box inflated by the radius.
-func rangeOuterSearchRect(rv *core.RangeValidity) geom.Rect {
-	innerBB := rv.Inner.Disks[0].Bounds()
-	for _, d := range rv.Inner.Disks[1:] {
+// RangeOuterSearchRect returns the phase-2 search rectangle: the inner
+// region's bounding box inflated by the radius. inner must be the
+// merged inner-region disks; radius the query radius.
+func RangeOuterSearchRect(inner []geom.Disk, radius float64) geom.Rect {
+	innerBB := inner[0].Bounds()
+	for _, d := range inner[1:] {
 		innerBB = innerBB.Intersect(d.Bounds())
 	}
-	return innerBB.Inflate(rv.Radius, rv.Radius)
+	return innerBB.Inflate(radius, radius)
 }
 
-// rangeOuterScan scans one shard's tree for candidate outer points
-// whose disks can reach the inner region, filtering with the same
-// global lower bound as the single server.
-func rangeOuterScan(tree *rtree.Tree, search geom.Rect, rv *core.RangeValidity, inResult map[int64]bool) (outer []rtree.Item, cands int) {
+// RangeOuterScan scans one shard's tree for candidate outer points
+// whose disks can reach the inner region (given by its disks and the
+// query radius), filtering with the same global lower bound as the
+// single server. The signature carries the global query parts
+// explicitly so a remote shard can run the scan from wire data.
+func RangeOuterScan(tree *rtree.Tree, search geom.Rect, inner []geom.Disk, radius float64, inResult map[int64]bool) (outer []rtree.Item, cands int) {
 	tree.Search(search, func(it rtree.Item) bool {
 		if inResult[it.ID] {
 			return true
 		}
 		cands++
 		lb := 0.0
-		for _, d := range rv.Inner.Disks {
+		for _, d := range inner {
 			if sl := it.P.Dist(d.C) - d.R; sl > lb {
 				lb = sl
 			}
 		}
-		if lb < rv.Radius {
+		if lb < radius {
 			outer = append(outer, it)
 		}
 		return true

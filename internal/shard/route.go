@@ -33,15 +33,15 @@ func (c *Cluster) RouteNNCtx(ctx context.Context, a, b geom.Point) ([]tp.CNNInte
 	}
 	var merged []tp.CNNInterval
 	for _, p := range parts {
-		merged = mergeCNN(merged, p, a, b)
+		merged = MergeCNN(merged, p, a, b)
 	}
 	return merged, nil
 }
 
-// mergeCNN folds two CNN partitions of the same route into the
+// MergeCNN folds two CNN partitions of the same route into the
 // piecewise-nearest partition. Either partition may be empty (an empty
 // shard contributes nothing).
-func mergeCNN(x, y []tp.CNNInterval, a, b geom.Point) []tp.CNNInterval {
+func MergeCNN(x, y []tp.CNNInterval, a, b geom.Point) []tp.CNNInterval {
 	if len(x) == 0 {
 		return y
 	}

@@ -82,16 +82,16 @@ func (c *Cluster) WindowQueryCtx(ctx context.Context, w geom.Rect) (*core.Window
 		}
 	}
 
-	return mergeWindowParts(c.Universe, w, wvs), cost, nil
+	return MergeWindowParts(c.Universe, w, wvs), cost, nil
 }
 
-// mergeWindowParts merges per-shard window answers (nil entries are
+// MergeWindowParts merges per-shard window answers (nil entries are
 // shards that did not run) into the global validity answer: base =
 // ∩ per-shard inner rectangles, holes = all per-shard Minkowski holes,
 // influence sets deduplicated with outer objects re-filtered against
 // the merged (smaller) base. Used by both the per-query scatter path
 // and the batched executor so the two provably merge identically.
-func mergeWindowParts(universe geom.Rect, w geom.Rect, wvs []*core.WindowValidity) *core.WindowValidity {
+func MergeWindowParts(universe geom.Rect, w geom.Rect, wvs []*core.WindowValidity) *core.WindowValidity {
 	qx, qy := w.Width(), w.Height()
 	out := &core.WindowValidity{Window: w, Focus: w.Center()}
 	base := universe

@@ -324,7 +324,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	}{
 		{`lbsq_queries_total{op="nn"} `, 5},
 		{`lbsq_queries_total{op="window"} `, 5},
-		{`lbsq_http_requests_total{code="200",path="/nn"} `, 5},
+		{`lbsq_http_requests_total{code="200",path="/v1/nn"} `, 5},
 		{`lbsq_shards `, 4},
 	}
 	for _, c := range checks {
@@ -337,7 +337,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	for _, fam := range []string{
 		`lbsq_query_duration_us_count{op="nn"}`,
 		`lbsq_shard_fanout_count{op="nn"}`,
-		`lbsq_http_request_duration_us_count{path="/window"}`,
+		`lbsq_http_request_duration_us_count{path="/v1/window"}`,
 		`lbsq_validity_area_ratio_count{op="nn"}`,
 	} {
 		if v, ok := samples[fam]; !ok || v < 1 {
