@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test vet race fuzz-smoke cluster-smoke fmt api api-check
+.PHONY: all build test vet race fuzz-smoke cluster-smoke crash-smoke fmt api api-check
 
 all: build vet test
 
@@ -36,12 +36,21 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzDecodeNN$$' -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz 'FuzzDecodeWindow$$' -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzHTTPParams -fuzztime=$(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime=$(FUZZTIME) ./internal/wal
 
 # cluster-smoke runs the networked-cluster integration suite — real
 # HTTP data nodes, coordinator parity against the in-process oracle,
 # fault injection — under the race detector.
 cluster-smoke:
 	$(GO) test -race -tags lbsqcheck -timeout 15m ./internal/dist/ ./internal/shard/
+
+# crash-smoke runs the durability suite — WAL replay, checkpoint
+# truncation, torn-tail handling, and the kill-mid-write subprocess
+# harness — under the race detector.
+crash-smoke:
+	$(GO) test -race -tags lbsqcheck -timeout 10m \
+		-run 'Durable|Crash|Admin|WAL|Snapshot|Checkpoint|Recover|Store' \
+		. ./internal/wal ./internal/storage
 
 fmt:
 	gofmt -w .

@@ -303,7 +303,8 @@ func BenchmarkShardScaling(b *testing.B) {
 	}
 }
 
-// BenchmarkOpInsert measures dynamic R*-tree insertion.
+// BenchmarkOpInsert measures dynamic R*-tree insertion (in-memory
+// baseline for BenchmarkOpInsertDurable).
 func BenchmarkOpInsert(b *testing.B) {
 	items, uni := UniformDataset(10_000, 5)
 	db, err := Open(items, uni, nil)
@@ -316,6 +317,34 @@ func BenchmarkOpInsert(b *testing.B) {
 		if err := db.Insert(Item{ID: int64(100_000 + i), P: Pt(rng.Float64(), rng.Float64())}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkOpInsertDurable measures write-ahead-logged insertion
+// against BenchmarkOpInsert's in-memory line: "always" pays a
+// group-commit fsync per acknowledged insert (single writer, so no
+// batching), "os" pays only the log append.
+func BenchmarkOpInsertDurable(b *testing.B) {
+	for _, mode := range []SyncMode{SyncAlways, SyncOS} {
+		b.Run(string(mode), func(b *testing.B) {
+			items, uni := UniformDataset(10_000, 5)
+			db, err := Open(items, uni, &Options{DataDir: b.TempDir(), SyncMode: mode})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer func() {
+				if err := db.Close(); err != nil {
+					b.Error(err)
+				}
+			}()
+			rng := rand.New(rand.NewSource(6))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := db.Insert(Item{ID: int64(100_000 + i), P: Pt(rng.Float64(), rng.Float64())}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -31,6 +31,13 @@
 // joins an existing cluster as an extra replica with
 // -join http://coordinator:8080 -advertise http://me:8084.
 //
+// Durability: -data-dir makes the server crash-safe — every Insert and
+// Delete is write-ahead logged before it is acknowledged, the store is
+// checkpointed every -checkpoint-every writes (POST /v1/admin/checkpoint
+// forces one), and restarting with the same -data-dir recovers the
+// acknowledged state instead of regenerating the dataset. -sync picks
+// the fsync policy (always | os).
+//
 // Observability: -metrics (default on) exposes Prometheus text metrics
 // at /metrics; -pprof additionally mounts net/http/pprof under
 // /debug/pprof/ for live profiling.
@@ -45,7 +52,9 @@ import (
 	"net/http/pprof"
 	"net/url"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"lbsq"
@@ -66,6 +75,10 @@ func main() {
 		cache    = flag.Int("cache", 0, "validity-region cache capacity in regions (0 disables)")
 		metrics  = flag.Bool("metrics", true, "expose Prometheus metrics at /metrics")
 		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+
+		dataDir    = flag.String("data-dir", "", "durable data directory: WAL every write, recover on restart (empty = in-memory)")
+		syncMode   = flag.String("sync", "always", "WAL fsync policy with -data-dir: always | os")
+		checkEvery = flag.Int("checkpoint-every", 10_000, "auto-checkpoint after this many logged writes (0 = manual only)")
 
 		cluster    = flag.String("cluster", "", "comma-separated data node URLs: run as a distributed coordinator")
 		replicas   = flag.Int("replicas", 1, "replicas per group (consecutive -cluster nodes form a group)")
@@ -97,23 +110,53 @@ func main() {
 		os.Exit(2)
 	}
 
-	items, universe, name := loadDataset(*load, *kind, *n, *seed)
-
-	db, err := lbsq.Open(items, universe, &lbsq.Options{
-		BufferFraction: *buf,
-		Shards:         *shards,
-		ShardStrategy:  st,
-		ShardWorkers:   *workers,
-		CacheSize:      *cache,
-	})
+	sync, err := lbsq.ParseSyncMode(*syncMode)
 	if err != nil {
-		log.Fatalf("lbsq-server: %v", err)
+		fmt.Fprintf(os.Stderr, "lbsq-server: %v\n", err)
+		os.Exit(2)
 	}
-	if db.Sharded() {
-		log.Printf("serving %d points (%s) in %v on %s (%d %s shards)",
-			db.Len(), name, universe, *addr, db.NumShards(), st)
+
+	var db *lbsq.DB
+	if *dataDir != "" && lbsq.StoreExists(*dataDir) {
+		// An existing store wins over the dataset flags: recover the
+		// acknowledged state instead of regenerating.
+		db, err = lbsq.OpenDir(*dataDir, &lbsq.Options{
+			BufferFraction:  *buf,
+			CacheSize:       *cache,
+			SyncMode:        sync,
+			CheckpointEvery: *checkEvery,
+		})
+		if err != nil {
+			log.Fatalf("lbsq-server: %v", err)
+		}
+		stats, _ := db.StorageStats()
+		log.Printf("recovered %d points from %s (generation %d, %d WAL records replayed) on %s",
+			db.Len(), *dataDir, stats.Generation, stats.RecoveredRecords, *addr)
 	} else {
-		log.Printf("serving %d points (%s) in %v on %s", db.Len(), name, universe, *addr)
+		items, universe, name := loadDataset(*load, *kind, *n, *seed)
+		db, err = lbsq.Open(items, universe, &lbsq.Options{
+			BufferFraction:  *buf,
+			Shards:          *shards,
+			ShardStrategy:   st,
+			ShardWorkers:    *workers,
+			CacheSize:       *cache,
+			DataDir:         *dataDir,
+			SyncMode:        sync,
+			CheckpointEvery: *checkEvery,
+		})
+		if err != nil {
+			log.Fatalf("lbsq-server: %v", err)
+		}
+		switch {
+		case db.Sharded():
+			log.Printf("serving %d points (%s) in %v on %s (%d %s shards)",
+				db.Len(), name, universe, *addr, db.NumShards(), st)
+		case *dataDir != "":
+			log.Printf("serving %d points (%s) in %v on %s (durable in %s, sync=%s)",
+				db.Len(), name, universe, *addr, *dataDir, sync)
+		default:
+			log.Printf("serving %d points (%s) in %v on %s", db.Len(), name, universe, *addr)
+		}
 	}
 
 	mux := http.NewServeMux()
@@ -132,7 +175,28 @@ func main() {
 		}
 		go joinCluster(*join, *advertise)
 	}
-	log.Fatal(http.ListenAndServe(*addr, mux))
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests and seal
+	// the durable store so no acknowledged write is lost on shutdown.
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe() }()
+	select {
+	case err := <-done:
+		log.Fatalf("lbsq-server: %v", err)
+	case sig := <-stop:
+		log.Printf("lbsq-server: %v: shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("lbsq-server: shutdown: %v", err)
+		}
+		cancel()
+		if err := db.Close(); err != nil {
+			log.Fatalf("lbsq-server: closing store: %v", err)
+		}
+	}
 }
 
 // loadDataset resolves the -load / -dataset / -n flags into items.

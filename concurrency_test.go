@@ -101,8 +101,8 @@ func TestConcurrentQueriesWithUpdates(t *testing.T) {
 				return
 			}
 			if i%2 == 0 {
-				if !db.Delete(it) {
-					t.Error("delete of just-inserted item failed")
+				if ok, err := db.Delete(it); err != nil || !ok {
+					t.Errorf("delete of just-inserted item failed: ok=%v err=%v", ok, err)
 					return
 				}
 			}

@@ -209,6 +209,7 @@ func (db *DB) Handler() http.Handler {
 	})
 	db.registerSessionRoutes(mux)
 	db.registerShardRoute(mux)
+	db.registerAdminRoutes(mux)
 	return mux
 }
 

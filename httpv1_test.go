@@ -334,7 +334,10 @@ func TestCacheUnderConcurrentMutation(t *testing.T) {
 							t.Error(err)
 							return
 						}
-						db.Delete(it)
+						if _, err := db.Delete(it); err != nil {
+							t.Error(err)
+							return
+						}
 						id++
 					}
 				}(int64(g + 1))
@@ -384,7 +387,9 @@ func TestCacheUnderConcurrentMutation(t *testing.T) {
 				if err := db.Insert(sentinel); err != nil {
 					t.Fatal(err)
 				}
-				db.Delete(sentinel)
+				if _, err := db.Delete(sentinel); err != nil {
+					t.Fatal(err)
+				}
 				k := 1 + i%3
 				fresh, err := db.Batch(ctx, []BatchRequest{{Op: BatchNN, Q: q, K: k}})
 				if err != nil {

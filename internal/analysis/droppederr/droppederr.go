@@ -15,6 +15,11 @@
 //   - go / defer statements (results always discarded),
 //   - assignments whose error position is the blank identifier.
 //
+// The durable-store PR extended the guarded surface to the persistence
+// layer (Store, Log, PageFile): a discarded Close error there can mean
+// an unflushed WAL tail — acknowledged writes silently lost — so
+// `defer db.Close()` is flagged just like a dropped query error.
+//
 // Compatibility shims that deliberately swallow the error must carry a
 // //lbsq:nocheck droppederr comment explaining the contract.
 package droppederr
@@ -29,17 +34,21 @@ import (
 // Analyzer is the droppederr analyzer.
 var Analyzer = &analysis.Analyzer{
 	Name: "droppederr",
-	Doc:  "flag ignored errors from DB/RemoteClient/Cluster query methods",
+	Doc:  "flag ignored errors from DB/RemoteClient/Cluster query methods and Store/Log/PageFile persistence methods",
 	Run:  run,
 }
 
 // receiverNames are the named types whose error-returning methods form
-// the guarded query surface. Matching is by type name so that fixture
-// packages (and future facades) are covered without import cycles.
+// the guarded query and persistence surface. Matching is by type name
+// so that fixture packages (and future facades) are covered without
+// import cycles.
 var receiverNames = map[string]bool{
 	"DB":           true,
 	"RemoteClient": true,
 	"Cluster":      true,
+	"Store":        true,
+	"Log":          true,
+	"PageFile":     true,
 }
 
 func run(pass *analysis.Pass) error {

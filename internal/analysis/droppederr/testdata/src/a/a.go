@@ -1,20 +1,27 @@
 // Fixture for the droppederr analyzer. The guarded surface is matched
 // by receiver type name, so the mocks here stand in for the real
-// lbsq.DB, lbsq.RemoteClient, and shard.Cluster.
+// lbsq.DB, lbsq.RemoteClient, shard.Cluster, and the persistence layer
+// (storage.Store, wal.Log, storage.PageFile).
 package a
 
 type DB struct{}
 
 func (*DB) Query() error      { return nil }
 func (*DB) Get() (int, error) { return 0, nil }
+func (*DB) Close() error      { return nil }
 
 type Cluster struct{}
 
 func (*Cluster) Count() (int, error) { return 0, nil }
 
+type Store struct{}
+
+func (*Store) Close() error { return nil }
+
 type Other struct{}
 
 func (*Other) Query() error { return nil }
+func (*Other) Close() error { return nil }
 
 func drops(db *DB, c *Cluster, o *Other) {
 	db.Query()       // want `result of DB\.Query is discarded`
@@ -29,4 +36,17 @@ func drops(db *DB, c *Cluster, o *Other) {
 		panic(err) // handled: allowed.
 	}
 	db.Query() //lbsq:nocheck droppederr
+}
+
+// closes covers the persistence surface: a dropped Close error can hide
+// an unflushed WAL tail, so every discard form is flagged.
+func closes(db *DB, s *Store, o *Other) {
+	db.Close()       // want `result of DB\.Close is discarded`
+	defer db.Close() // want `defer statement discards the error of DB\.Close`
+	s.Close()        // want `result of Store\.Close is discarded`
+	defer s.Close()  // want `defer statement discards the error of Store\.Close`
+	o.Close()        // unguarded receiver type: allowed.
+	if err := db.Close(); err != nil {
+		panic(err) // handled: allowed.
+	}
 }

@@ -106,7 +106,7 @@ type LocalBackend struct {
 	Srv *core.Server
 
 	InsertFn func(it rtree.Item) error
-	DeleteFn func(it rtree.Item) bool
+	DeleteFn func(it rtree.Item) (bool, error)
 
 	epoch atomic.Uint64
 }
@@ -263,7 +263,7 @@ func (b *LocalBackend) Delete(ctx context.Context, it rtree.Item) (bool, error) 
 	}
 	defer b.epoch.Add(1)
 	if b.DeleteFn != nil {
-		return b.DeleteFn(it), nil
+		return b.DeleteFn(it)
 	}
 	b.Mu.Lock()
 	defer b.Mu.Unlock()
@@ -304,7 +304,9 @@ func (b *LocalBackend) Unload(ctx context.Context, items []rtree.Item) error {
 	}
 	if b.DeleteFn != nil {
 		for _, it := range items {
-			b.DeleteFn(it)
+			if _, err := b.DeleteFn(it); err != nil {
+				return err
+			}
 		}
 		b.epoch.Add(1)
 		return nil

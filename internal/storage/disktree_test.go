@@ -25,7 +25,11 @@ func buildSaved(t *testing.T, n int, seed int64) (*rtree.Tree, *PageFile) {
 	if err := SaveTree(pf, tree); err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { pf.Close() })
+	t.Cleanup(func() {
+		if err := pf.Close(); err != nil {
+			t.Errorf("closing page file: %v", err)
+		}
+	})
 	return tree, pf
 }
 

@@ -1,0 +1,47 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+
+	"lbsq/internal/rtree"
+)
+
+// SaveSnapshot writes the tree as a page file at path, atomically: the
+// pages go to a temporary file in the same directory, which is synced,
+// renamed over path, and made durable with a directory fsync. A crash
+// at any point leaves either the previous file intact or the complete
+// new one — never a torn snapshot. The page size is chosen to fit the
+// tree's fanout (RequiredPageSize).
+func SaveSnapshot(path string, t *rtree.Tree) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-")
+	if err != nil {
+		return err
+	}
+	tmpPath := tmp.Name()
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	pf, err := Create(tmpPath, RequiredPageSize(t.MaxEntries()))
+	if err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := SaveTree(pf, t); err != nil {
+		cerr := pf.Close()
+		_ = cerr //lbsq:nocheck droppederr — the save already failed; report the root cause
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := pf.Close(); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := os.Rename(tmpPath, path); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	return syncDir(dir)
+}

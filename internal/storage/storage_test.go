@@ -16,6 +16,14 @@ func tmpFile(t *testing.T) string {
 	return filepath.Join(t.TempDir(), "test.lbsqt")
 }
 
+// closePF closes a page file at cleanup, failing the test on error.
+func closePF(t *testing.T, pf *PageFile) {
+	t.Helper()
+	if err := pf.Close(); err != nil {
+		t.Errorf("closing page file: %v", err)
+	}
+}
+
 func TestPageFileBasics(t *testing.T) {
 	path := tmpFile(t)
 	pf, err := Create(path, 512)
@@ -46,7 +54,7 @@ func TestPageFileBasics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer pf2.Close()
+	defer closePF(t, pf2)
 	if pf2.PageSize() != 512 || pf2.NumPages() != 2 || pf2.Root() != id {
 		t.Fatalf("header round trip: ps=%d pages=%d root=%d",
 			pf2.PageSize(), pf2.NumPages(), pf2.Root())
@@ -66,7 +74,7 @@ func TestPageFileErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer pf.Close()
+	defer closePF(t, pf)
 	// Out-of-range pages.
 	if err := pf.WritePage(0, nil); err == nil {
 		t.Error("writing the header page must error")
@@ -103,7 +111,9 @@ func TestPageChecksumDetectsCorruption(t *testing.T) {
 	if err := pf.WritePage(id, []byte("important data")); err != nil {
 		t.Fatal(err)
 	}
-	pf.Close()
+	if err := pf.Close(); err != nil {
+		t.Fatal(err)
+	}
 	// Flip a byte in the stored payload.
 	raw, _ := os.ReadFile(path)
 	raw[256+3] ^= 0xFF
@@ -112,7 +122,7 @@ func TestPageChecksumDetectsCorruption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer pf2.Close()
+	defer closePF(t, pf2)
 	if _, err := pf2.ReadPage(id); err == nil {
 		t.Fatal("corrupted page must fail its checksum")
 	}
@@ -143,7 +153,7 @@ func TestTreeRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer pf2.Close()
+	defer closePF(t, pf2)
 	loaded, err := LoadTree(pf2, opts)
 	if err != nil {
 		t.Fatal(err)
@@ -186,7 +196,7 @@ func TestSaveTreePageSizeValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer pf.Close()
+	defer closePF(t, pf)
 	if err := SaveTree(pf, tree); err == nil {
 		t.Fatal("undersized pages must be rejected")
 	}
@@ -198,7 +208,7 @@ func TestLoadTreeValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer pf.Close()
+	defer closePF(t, pf)
 	if _, err := LoadTree(pf, rtree.Options{}); err == nil {
 		t.Fatal("missing root must error")
 	}
@@ -219,7 +229,7 @@ func TestRequiredPageSize(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer pf.Close()
+	defer closePF(t, pf)
 	if err := SaveTree(pf, tree); err != nil {
 		t.Fatal(err)
 	}

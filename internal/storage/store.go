@@ -1,0 +1,469 @@
+package storage
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lbsq/internal/geom"
+	"lbsq/internal/rtree"
+	"lbsq/internal/wal"
+)
+
+// Durable writable store: a data directory holding one checkpoint
+// generation (a page-file snapshot of the tree) plus the write-ahead
+// log of every Insert/Delete since that checkpoint, tied together by a
+// small JSON manifest that is only ever replaced atomically.
+//
+// Directory layout (generation g):
+//
+//	MANIFEST               → {"generation": g, ...}, temp+rename
+//	checkpoint-<g>.lbsq    → page-file snapshot (SaveTree format)
+//	wal-<g>.log            → records applied on top of the snapshot
+//
+// Checkpoint protocol (writers excluded by the caller): write
+// checkpoint-<g+1> via SaveSnapshot (temp+rename), create wal-<g+1>,
+// then atomically replace MANIFEST to point at g+1, and only then
+// retire generation g. A crash at any step leaves either a complete
+// generation g (plus sweepable g+1 orphans) or a complete generation
+// g+1 — never a half-state. Recovery (OpenStore) loads the manifest's
+// checkpoint, replays the WAL's valid prefix over it (truncating any
+// torn tail), and sweeps orphan files from interrupted checkpoints.
+
+// manifestName is the store's root pointer file.
+const manifestName = "MANIFEST"
+
+// manifest is the persistent root of a store directory.
+type manifest struct {
+	Version      int        `json:"version"`
+	Generation   uint64     `json:"generation"`
+	TreePageSize int        `json:"tree_page_size"`
+	Universe     [4]float64 `json:"universe"`
+}
+
+// checkpointFile names generation gen's snapshot.
+func checkpointFile(gen uint64) string { return fmt.Sprintf("checkpoint-%08d.lbsq", gen) }
+
+// walFile names generation gen's log.
+func walFile(gen uint64) string { return fmt.Sprintf("wal-%08d.log", gen) }
+
+// Exists reports whether dir holds a store (its manifest is present).
+func Exists(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, manifestName))
+	return err == nil
+}
+
+// StoreOptions configures a Store.
+type StoreOptions struct {
+	// SyncMode selects the WAL fsync policy (default wal.SyncAlways).
+	SyncMode wal.SyncMode
+	// TreePageSize is the R-tree node page size; OpenStore validates it
+	// against the manifest (zero accepts the stored value).
+	TreePageSize int
+}
+
+// StoreStats is a point-in-time snapshot of a store's durability
+// counters.
+type StoreStats struct {
+	// Dir is the data directory.
+	Dir string
+	// Generation is the current checkpoint generation.
+	Generation uint64
+	// WALRecords / WALBytes / WALFsyncs count appends and fsyncs since
+	// the store was opened (across WAL generations).
+	WALRecords int64
+	WALBytes   int64
+	WALFsyncs  int64
+	// WALSizeBytes is the current live WAL file size; checkpoints reset
+	// it to the file header.
+	WALSizeBytes int64
+	// SinceCheckpoint counts records logged since the last checkpoint.
+	SinceCheckpoint int64
+	// Checkpoints counts checkpoints taken since open.
+	Checkpoints int64
+	// LastCheckpointMicros is the duration of the most recent
+	// checkpoint, in microseconds (zero if none ran).
+	LastCheckpointMicros int64
+	// RecoveredRecords is the number of WAL records replayed when the
+	// store was opened.
+	RecoveredRecords int64
+}
+
+// CommitToken identifies one logged record for Commit: the record's
+// sequence number within its WAL generation.
+type CommitToken struct {
+	gen uint64
+	seq uint64
+}
+
+// Store is the durable half of a writable DB: it logs mutations,
+// checkpoints snapshots, and recovers state on open. The caller owns
+// the tree and its locking; LogInsert/LogDelete must be called in tree
+// apply order (under the caller's write lock), Commit and Stats may be
+// called concurrently, and Checkpoint requires writers to be excluded
+// for its whole duration.
+type Store struct {
+	dir      string
+	universe geom.Rect
+	treeOpts rtree.Options
+	mode     wal.SyncMode
+
+	mu     sync.Mutex // guards log, gen, closed, and checkpoint sequencing
+	log    *wal.Log
+	gen    uint64
+	closed bool
+
+	records          atomic.Int64
+	bytes            atomic.Int64
+	doneFsyncs       atomic.Int64 // fsyncs of retired WAL generations
+	sinceCheckpoint  atomic.Int64
+	checkpoints      atomic.Int64
+	lastCheckpointUS atomic.Int64
+	recovered        int64
+}
+
+// ErrStoreClosed reports an operation on a closed store.
+var ErrStoreClosed = fmt.Errorf("storage: store is closed")
+
+// CreateStore initializes a new store in dir seeded with the tree's
+// current contents as checkpoint generation 1. dir is created if
+// needed; a directory that already holds a store is refused (recover it
+// with OpenStore instead).
+func CreateStore(dir string, t *rtree.Tree, universe geom.Rect, o StoreOptions) (*Store, error) {
+	mode, err := wal.ParseSyncMode(string(o.SyncMode))
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if Exists(dir) {
+		return nil, fmt.Errorf("storage: %s already holds a store (recover it with OpenStore/lbsq.OpenDir)", dir)
+	}
+	if o.TreePageSize == 0 {
+		o.TreePageSize = rtree.DefaultPageSize
+	}
+	const gen = 1
+	if err := SaveSnapshot(filepath.Join(dir, checkpointFile(gen)), t); err != nil {
+		return nil, err
+	}
+	log, err := wal.Create(filepath.Join(dir, walFile(gen)), gen, mode)
+	if err != nil {
+		return nil, err
+	}
+	m := manifest{
+		Version:      1,
+		Generation:   gen,
+		TreePageSize: o.TreePageSize,
+		Universe:     [4]float64{universe.MinX, universe.MinY, universe.MaxX, universe.MaxY},
+	}
+	if err := writeManifest(dir, m); err != nil {
+		cerr := log.Close()
+		_ = cerr //lbsq:nocheck droppederr — creation already failed; report the root cause
+		return nil, err
+	}
+	return &Store{
+		dir:      dir,
+		universe: universe,
+		treeOpts: rtree.Options{PageSize: o.TreePageSize},
+		mode:     mode,
+		log:      log,
+		gen:      gen,
+	}, nil
+}
+
+// OpenStore recovers a store from dir: it loads the manifest's
+// checkpoint snapshot, replays the WAL's valid prefix over it
+// (dropping any torn tail), sweeps orphan files left by an interrupted
+// checkpoint, and returns the store together with the recovered tree
+// and universe.
+func OpenStore(dir string, o StoreOptions) (*Store, *rtree.Tree, geom.Rect, error) {
+	mode, err := wal.ParseSyncMode(string(o.SyncMode))
+	if err != nil {
+		return nil, nil, geom.Rect{}, err
+	}
+	m, err := readManifest(dir)
+	if err != nil {
+		return nil, nil, geom.Rect{}, err
+	}
+	if o.TreePageSize != 0 && o.TreePageSize != m.TreePageSize {
+		return nil, nil, geom.Rect{}, fmt.Errorf(
+			"storage: tree page size %d does not match the store's %d", o.TreePageSize, m.TreePageSize)
+	}
+	universe := geom.R(m.Universe[0], m.Universe[1], m.Universe[2], m.Universe[3])
+	treeOpts := rtree.Options{PageSize: m.TreePageSize}
+
+	pf, err := Open(filepath.Join(dir, checkpointFile(m.Generation)))
+	if err != nil {
+		return nil, nil, geom.Rect{}, fmt.Errorf("storage: opening checkpoint %d: %w", m.Generation, err)
+	}
+	t, err := LoadTree(pf, treeOpts)
+	if cerr := pf.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, nil, geom.Rect{}, fmt.Errorf("storage: loading checkpoint %d: %w", m.Generation, err)
+	}
+
+	log, recs, err := wal.Open(filepath.Join(dir, walFile(m.Generation)), mode)
+	if err != nil {
+		return nil, nil, geom.Rect{}, fmt.Errorf("storage: opening wal %d: %w", m.Generation, err)
+	}
+	for _, r := range recs {
+		it := rtree.Item{ID: r.ID, P: geom.Pt(r.X, r.Y)}
+		switch r.Op {
+		case wal.OpInsert:
+			t.Insert(it)
+		case wal.OpDelete:
+			t.Delete(it)
+		}
+	}
+	sweepOrphans(dir, m.Generation)
+
+	s := &Store{
+		dir:       dir,
+		universe:  universe,
+		treeOpts:  treeOpts,
+		mode:      mode,
+		log:       log,
+		gen:       m.Generation,
+		recovered: int64(len(recs)),
+	}
+	s.sinceCheckpoint.Store(int64(len(recs)))
+	return s, t, universe, nil
+}
+
+// sweepOrphans removes generation files other than the live one and
+// leftover temporary files — debris of checkpoints interrupted by a
+// crash. Removal failures are ignored: orphans are garbage, not state,
+// and the next open sweeps again.
+func sweepOrphans(dir string, live uint64) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if name == manifestName || name == checkpointFile(live) || name == walFile(live) {
+			continue
+		}
+		if strings.HasPrefix(name, "checkpoint-") || strings.HasPrefix(name, "wal-") ||
+			strings.Contains(name, ".tmp-") {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+}
+
+// Dir returns the data directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Universe returns the universe recorded in the manifest.
+func (s *Store) Universe() geom.Rect { return s.universe }
+
+// Generation returns the current checkpoint generation.
+func (s *Store) Generation() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gen
+}
+
+// LogInsert appends an insert record. Call under the same lock that
+// ordered the tree mutation; make it durable with Commit.
+func (s *Store) LogInsert(it rtree.Item) (CommitToken, error) {
+	return s.append(wal.Record{Op: wal.OpInsert, ID: it.ID, X: it.P.X, Y: it.P.Y})
+}
+
+// LogDelete appends a delete record (see LogInsert).
+func (s *Store) LogDelete(it rtree.Item) (CommitToken, error) {
+	return s.append(wal.Record{Op: wal.OpDelete, ID: it.ID, X: it.P.X, Y: it.P.Y})
+}
+
+func (s *Store) append(r wal.Record) (CommitToken, error) {
+	s.mu.Lock()
+	log, gen, closed := s.log, s.gen, s.closed
+	s.mu.Unlock()
+	if closed {
+		return CommitToken{}, ErrStoreClosed
+	}
+	seq, err := log.Append(r)
+	if err != nil {
+		return CommitToken{}, err
+	}
+	s.records.Add(1)
+	s.bytes.Add(wal.RecordLen)
+	s.sinceCheckpoint.Add(1)
+	return CommitToken{gen: gen, seq: seq}, nil
+}
+
+// Commit makes a logged record durable (group-commit fsync under
+// SyncAlways). A token from a generation that a checkpoint has since
+// retired is already durable — the checkpoint captured the record — and
+// commits as a no-op.
+func (s *Store) Commit(tok CommitToken) error {
+	s.mu.Lock()
+	log, gen := s.log, s.gen
+	s.mu.Unlock()
+	if tok.gen != gen {
+		return nil
+	}
+	if err := log.Commit(tok.seq); err != nil {
+		// The log may have been retired between the reads above and the
+		// fsync; if a newer generation took over, the record is durable.
+		s.mu.Lock()
+		cur := s.gen
+		s.mu.Unlock()
+		if cur != tok.gen {
+			return nil
+		}
+		return err
+	}
+	return nil
+}
+
+// Checkpoint writes the tree as the next generation's snapshot, swaps
+// in a fresh WAL, and retires the previous generation. The caller must
+// exclude writers (tree mutations and LogInsert/LogDelete) for the
+// whole call; readers may proceed.
+func (s *Store) Checkpoint(t *rtree.Tree) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrStoreClosed
+	}
+	start := time.Now()
+	gen := s.gen + 1
+	cpPath := filepath.Join(s.dir, checkpointFile(gen))
+	if err := SaveSnapshot(cpPath, t); err != nil {
+		return err
+	}
+	newLog, err := wal.Create(filepath.Join(s.dir, walFile(gen)), gen, s.mode)
+	if err != nil {
+		os.Remove(cpPath)
+		return err
+	}
+	m := manifest{
+		Version:      1,
+		Generation:   gen,
+		TreePageSize: s.treeOpts.PageSize,
+		Universe:     [4]float64{s.universe.MinX, s.universe.MinY, s.universe.MaxX, s.universe.MaxY},
+	}
+	if err := writeManifest(s.dir, m); err != nil {
+		cerr := newLog.Close()
+		_ = cerr //lbsq:nocheck droppederr — the checkpoint already failed; report the root cause
+		os.Remove(cpPath)
+		os.Remove(filepath.Join(s.dir, walFile(gen)))
+		return err
+	}
+	old, oldGen := s.log, s.gen
+	s.log, s.gen = newLog, gen
+	s.doneFsyncs.Add(old.Fsyncs())
+	s.sinceCheckpoint.Store(0)
+	s.checkpoints.Add(1)
+	s.lastCheckpointUS.Store(time.Since(start).Microseconds())
+	// Retire the old generation. The new manifest is durable, so these
+	// files are garbage; failures leave orphans for the next sweep.
+	closeErr := old.Close()
+	os.Remove(filepath.Join(s.dir, checkpointFile(oldGen)))
+	os.Remove(filepath.Join(s.dir, walFile(oldGen)))
+	if closeErr != nil {
+		return fmt.Errorf("storage: checkpoint %d installed; closing retired wal: %w", gen, closeErr)
+	}
+	return nil
+}
+
+// Stats returns a point-in-time snapshot of the store's counters.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	log, gen := s.log, s.gen
+	s.mu.Unlock()
+	return StoreStats{
+		Dir:                  s.dir,
+		Generation:           gen,
+		WALRecords:           s.records.Load(),
+		WALBytes:             s.bytes.Load(),
+		WALFsyncs:            s.doneFsyncs.Load() + log.Fsyncs(),
+		WALSizeBytes:         log.Size(),
+		SinceCheckpoint:      s.sinceCheckpoint.Load(),
+		Checkpoints:          s.checkpoints.Load(),
+		LastCheckpointMicros: s.lastCheckpointUS.Load(),
+		RecoveredRecords:     s.recovered,
+	}
+}
+
+// SinceCheckpoint returns the number of records logged since the last
+// checkpoint (including records replayed at open).
+func (s *Store) SinceCheckpoint() int64 { return s.sinceCheckpoint.Load() }
+
+// Close seals the WAL (final fsync) and closes it. Idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.log.Close()
+}
+
+// writeManifest atomically replaces dir's manifest: the JSON goes to a
+// temporary file in dir, is synced, and is renamed over MANIFEST.
+func writeManifest(dir string, m manifest) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(dir, manifestName+".tmp-")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(append(data, '\n')); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, filepath.Join(dir, manifestName))
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// readManifest loads and validates dir's manifest.
+func readManifest(dir string) (manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return manifest{}, fmt.Errorf("storage: %s holds no store: %w", dir, err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return manifest{}, fmt.Errorf("storage: corrupt manifest in %s: %w", dir, err)
+	}
+	if m.Version != 1 || m.Generation < 1 {
+		return manifest{}, fmt.Errorf("storage: manifest in %s: unsupported version %d / generation %d",
+			dir, m.Version, m.Generation)
+	}
+	return m, nil
+}
+
+// syncDir fsyncs a directory so renames within it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

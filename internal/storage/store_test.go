@@ -1,0 +1,320 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"lbsq/internal/geom"
+	"lbsq/internal/rtree"
+	"lbsq/internal/wal"
+)
+
+var testUniverse = geom.R(0, 0, 100, 100)
+
+// storeItems returns the sorted item set of a tree for state comparison.
+func storeItems(t *rtree.Tree) []rtree.Item {
+	var items []rtree.Item
+	t.All(func(it rtree.Item) bool { items = append(items, it); return true })
+	sort.Slice(items, func(i, j int) bool { return items[i].ID < items[j].ID })
+	return items
+}
+
+// newStoreTree builds a small tree for store tests.
+func newStoreTree(n int) *rtree.Tree {
+	items := make([]rtree.Item, n)
+	for i := range items {
+		items[i] = rtree.Item{ID: int64(i), P: geom.Pt(float64(i%10), float64(i/10))}
+	}
+	return rtree.BulkLoad(items, rtree.Options{}, 0.7)
+}
+
+func mustCreateStore(t *testing.T, dir string, tree *rtree.Tree) *Store {
+	t.Helper()
+	s, err := CreateStore(dir, tree, testUniverse, StoreOptions{})
+	if err != nil {
+		t.Fatalf("CreateStore: %v", err)
+	}
+	return s
+}
+
+func logAndCommit(t *testing.T, s *Store, tree *rtree.Tree, op wal.Op, it rtree.Item) {
+	t.Helper()
+	var tok CommitToken
+	var err error
+	switch op {
+	case wal.OpInsert:
+		tree.Insert(it)
+		tok, err = s.LogInsert(it)
+	case wal.OpDelete:
+		tree.Delete(it)
+		tok, err = s.LogDelete(it)
+	}
+	if err != nil {
+		t.Fatalf("log: %v", err)
+	}
+	if err := s.Commit(tok); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+}
+
+func TestStoreCreateOpenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	tree := newStoreTree(40)
+	s := mustCreateStore(t, dir, tree)
+
+	// Log some mutations on top of the checkpoint.
+	for i := 40; i < 60; i++ {
+		logAndCommit(t, s, tree, wal.OpInsert, rtree.Item{ID: int64(i), P: geom.Pt(float64(i), 1)})
+	}
+	logAndCommit(t, s, tree, wal.OpDelete, rtree.Item{ID: 3, P: geom.Pt(3, 0)})
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v (want idempotent nil)", err)
+	}
+	if _, err := s.LogInsert(rtree.Item{ID: 999}); err != ErrStoreClosed {
+		t.Errorf("LogInsert after Close: err = %v, want ErrStoreClosed", err)
+	}
+
+	s2, tree2, uni, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	defer func() {
+		if err := s2.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	if uni != testUniverse {
+		t.Errorf("universe = %v, want %v", uni, testUniverse)
+	}
+	if !reflect.DeepEqual(storeItems(tree2), storeItems(tree)) {
+		t.Fatalf("recovered tree has %d items, want %d", tree2.Len(), tree.Len())
+	}
+	st := s2.Stats()
+	if st.RecoveredRecords != 21 {
+		t.Errorf("RecoveredRecords = %d, want 21", st.RecoveredRecords)
+	}
+	if st.Generation != 1 {
+		t.Errorf("Generation = %d, want 1", st.Generation)
+	}
+}
+
+func TestStoreCreateRefusesExisting(t *testing.T) {
+	dir := t.TempDir()
+	tree := newStoreTree(5)
+	s := mustCreateStore(t, dir, tree)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CreateStore(dir, tree, testUniverse, StoreOptions{}); err == nil {
+		t.Fatal("CreateStore on an existing store succeeded; want refusal")
+	}
+}
+
+func TestStoreOpenMissingDir(t *testing.T) {
+	if _, _, _, err := OpenStore(filepath.Join(t.TempDir(), "nope"), StoreOptions{}); err == nil {
+		t.Fatal("OpenStore on a missing directory succeeded")
+	}
+}
+
+func TestStoreOpenPageSizeMismatch(t *testing.T) {
+	dir := t.TempDir()
+	s := mustCreateStore(t, dir, newStoreTree(5))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, err := OpenStore(dir, StoreOptions{TreePageSize: 8192})
+	if err == nil || !strings.Contains(err.Error(), "page size") {
+		t.Fatalf("OpenStore with mismatched page size: err = %v, want page-size error", err)
+	}
+}
+
+func TestStoreCheckpointTruncatesWALAndRetiresGeneration(t *testing.T) {
+	dir := t.TempDir()
+	tree := newStoreTree(20)
+	s := mustCreateStore(t, dir, tree)
+	defer func() {
+		if err := s.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	for i := 20; i < 120; i++ {
+		logAndCommit(t, s, tree, wal.OpInsert, rtree.Item{ID: int64(i), P: geom.Pt(float64(i%10)+0.5, float64(i/10))})
+	}
+	before := s.Stats()
+	if before.SinceCheckpoint != 100 {
+		t.Fatalf("SinceCheckpoint = %d, want 100", before.SinceCheckpoint)
+	}
+	if err := s.Checkpoint(tree); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	after := s.Stats()
+	if after.Generation != 2 {
+		t.Errorf("generation = %d after checkpoint, want 2", after.Generation)
+	}
+	if after.SinceCheckpoint != 0 {
+		t.Errorf("SinceCheckpoint = %d after checkpoint, want 0", after.SinceCheckpoint)
+	}
+	if after.WALSizeBytes >= before.WALSizeBytes {
+		t.Errorf("WAL size %d not reduced by checkpoint (was %d)", after.WALSizeBytes, before.WALSizeBytes)
+	}
+	if after.Checkpoints != 1 || after.LastCheckpointMicros <= 0 {
+		t.Errorf("checkpoint counters: %+v", after)
+	}
+	// Generation-1 files are retired.
+	for _, gone := range []string{checkpointFile(1), walFile(1)} {
+		if _, err := os.Stat(filepath.Join(dir, gone)); !os.IsNotExist(err) {
+			t.Errorf("%s still present after checkpoint", gone)
+		}
+	}
+
+	// A pre-checkpoint token commits as a no-op: the checkpoint made it
+	// durable and retired its log.
+	tree.Insert(rtree.Item{ID: 1000, P: geom.Pt(1, 1)})
+	tok, err := s.LogInsert(rtree.Item{ID: 1000, P: geom.Pt(1, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(tree); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(tok); err != nil {
+		t.Errorf("Commit of a checkpointed token: %v (want nil no-op)", err)
+	}
+
+	// Reopen: post-checkpoint state must match exactly.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, tree2, _, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(storeItems(tree2), storeItems(tree)) {
+		t.Fatalf("reopened tree has %d items, want %d", tree2.Len(), tree.Len())
+	}
+	if st := s2.Stats(); st.RecoveredRecords != 0 {
+		t.Errorf("RecoveredRecords = %d after clean checkpoint, want 0", st.RecoveredRecords)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// mustCreateStore above replaced s; silence the double close in the
+	// deferred cleanup by design (Close is idempotent).
+}
+
+func TestStoreSweepsOrphans(t *testing.T) {
+	dir := t.TempDir()
+	tree := newStoreTree(10)
+	s := mustCreateStore(t, dir, tree)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-checkpoint: stray next-generation files and a
+	// temp file alongside the live generation.
+	for _, orphan := range []string{checkpointFile(2), walFile(2), "MANIFEST.tmp-123"} {
+		if err := os.WriteFile(filepath.Join(dir, orphan), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2, tree2, _, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatalf("OpenStore with orphans: %v", err)
+	}
+	defer func() {
+		if err := s2.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	if !reflect.DeepEqual(storeItems(tree2), storeItems(tree)) {
+		t.Fatal("orphan files changed recovered state")
+	}
+	for _, orphan := range []string{checkpointFile(2), walFile(2), "MANIFEST.tmp-123"} {
+		if _, err := os.Stat(filepath.Join(dir, orphan)); !os.IsNotExist(err) {
+			t.Errorf("orphan %s survived open", orphan)
+		}
+	}
+}
+
+func TestStoreRecoversTornWALTail(t *testing.T) {
+	dir := t.TempDir()
+	tree := newStoreTree(10)
+	s := mustCreateStore(t, dir, tree)
+	for i := 10; i < 15; i++ {
+		logAndCommit(t, s, tree, wal.OpInsert, rtree.Item{ID: int64(i), P: geom.Pt(float64(i), 2)})
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last record in half, as a crash mid-write would.
+	path := filepath.Join(dir, walFile(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-wal.RecordLen/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, tree2, _, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatalf("OpenStore over torn tail: %v", err)
+	}
+	defer func() {
+		if err := s2.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	// The torn record (ID 14) is dropped whole; 10..13 survive.
+	tree.Delete(rtree.Item{ID: 14, P: geom.Pt(14, 2)})
+	if !reflect.DeepEqual(storeItems(tree2), storeItems(tree)) {
+		t.Fatalf("recovered %d items, want %d (torn record dropped whole)", tree2.Len(), tree.Len())
+	}
+	if st := s2.Stats(); st.RecoveredRecords != 4 {
+		t.Errorf("RecoveredRecords = %d, want 4", st.RecoveredRecords)
+	}
+}
+
+func TestSaveSnapshotAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.lbsq")
+	tree := newStoreTree(30)
+	if err := SaveSnapshot(path, tree); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+	// Overwrite with a different tree: readers of path must see one
+	// complete snapshot or the other, and no temp debris may remain.
+	tree2 := newStoreTree(50)
+	if err := SaveSnapshot(path, tree2); err != nil {
+		t.Fatalf("second SaveSnapshot: %v", err)
+	}
+	pf, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadTree(pf, rtree.Options{})
+	if cerr := pf.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(storeItems(loaded), storeItems(tree2)) {
+		t.Fatal("snapshot does not round-trip the second tree")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("temp file %s left behind", e.Name())
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package wal
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// BenchmarkWALAppend measures the append+commit path per record: the
+// "always" case pays a group-commit fsync per op (single writer, so no
+// batching), the "os" case measures the pure append.
+func BenchmarkWALAppend(b *testing.B) {
+	for _, mode := range []SyncMode{SyncAlways, SyncOS} {
+		b.Run(string(mode), func(b *testing.B) {
+			l, err := Create(filepath.Join(b.TempDir(), "wal.log"), 1, mode)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer func() {
+				if err := l.Close(); err != nil {
+					b.Error(err)
+				}
+			}()
+			r := Record{Op: OpInsert, ID: 1, X: 0.25, Y: 0.75}
+			b.SetBytes(RecordLen)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.ID = int64(i)
+				seq, err := l.Append(r)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := l.Commit(seq); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

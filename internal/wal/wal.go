@@ -1,0 +1,349 @@
+// Package wal implements the write-ahead log of the durable store: an
+// append-only file of length-prefixed, CRC32-checksummed Insert/Delete
+// records with group-commit fsync.
+//
+// Durability contract: once Commit returns for a record's sequence
+// number under SyncAlways, the record survives a crash. Recovery (Open
+// or ScanRecords) replays the longest valid prefix of the file and
+// truncates everything after it, so a torn or corrupt tail record —
+// a partial write interrupted by a crash — is dropped cleanly, never
+// half-applied: a record either passes its checksum whole or does not
+// exist.
+//
+// File layout:
+//
+//	header: magic "LBSQWAL1" (8 B) | generation u64 (8 B)
+//	record: payload length u32 | crc32(payload) u32 | payload
+//	payload: op u8 | id u64 | x float64-bits u64 | y float64-bits u64
+//
+// All integers are little-endian. Every record has the same 25-byte
+// payload, so the only accepted length is payloadLen — any other value
+// marks a corrupt tail.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// magic identifies a WAL file (first header bytes).
+var magic = []byte("LBSQWAL1")
+
+const (
+	// headerLen is the file header: magic + generation.
+	headerLen = 16
+	// recordHeaderLen prefixes each record: payload length + CRC32.
+	recordHeaderLen = 8
+	// payloadLen is the fixed record payload: op + id + x + y.
+	payloadLen = 25
+	// RecordLen is the total on-disk size of one record.
+	RecordLen = recordHeaderLen + payloadLen
+)
+
+// Op discriminates WAL records.
+type Op uint8
+
+// Record operations.
+const (
+	OpInsert Op = 1
+	OpDelete Op = 2
+)
+
+// Record is one logged mutation.
+type Record struct {
+	Op   Op
+	ID   int64
+	X, Y float64
+}
+
+// SyncMode selects when appended records are fsynced.
+type SyncMode string
+
+const (
+	// SyncAlways fsyncs on every Commit (group commit: one fsync covers
+	// every record appended since the previous one). The default.
+	SyncAlways SyncMode = "always"
+	// SyncOS leaves write-back to the operating system: Commit is a
+	// no-op and records are only guaranteed on disk after an explicit
+	// Sync (checkpoint, Close). Faster, but a crash can lose the tail
+	// of acknowledged writes.
+	SyncOS SyncMode = "os"
+)
+
+// ParseSyncMode parses a sync-mode name; the empty string selects
+// SyncAlways.
+func ParseSyncMode(s string) (SyncMode, error) {
+	switch SyncMode(s) {
+	case "", SyncAlways:
+		return SyncAlways, nil
+	case SyncOS:
+		return SyncOS, nil
+	}
+	return "", fmt.Errorf("wal: unknown sync mode %q (want %q or %q)", s, SyncAlways, SyncOS)
+}
+
+// Errors.
+var (
+	// ErrClosed reports an operation on a closed log.
+	ErrClosed = errors.New("wal: log is closed")
+	// ErrWriteLimit reports that the test failpoint interrupted a write
+	// mid-record, simulating a crash (see FailAfter).
+	ErrWriteLimit = errors.New("wal: write interrupted by failpoint")
+)
+
+// Log is an append-only record log over one file. Append assigns
+// sequence numbers under an internal lock (callers serialize appends
+// against their own data structure so log order matches apply order);
+// Commit performs group-commit fsync and may be called concurrently.
+type Log struct {
+	mode SyncMode
+	gen  uint64
+
+	mu         sync.Mutex // guards f, off, seq, closed, writeLimit
+	f          *os.File
+	off        int64
+	seq        uint64
+	closed     bool
+	writeLimit int64 // failpoint: byte offset past which writes tear; -1 disables
+
+	syncMu sync.Mutex // serializes fsync batches (group commit)
+	synced atomic.Uint64
+
+	bytes   atomic.Int64
+	records atomic.Int64
+	fsyncs  atomic.Int64
+}
+
+// EncodeRecord returns the on-disk bytes of one record.
+func EncodeRecord(r Record) []byte {
+	buf := make([]byte, RecordLen)
+	binary.LittleEndian.PutUint32(buf, payloadLen)
+	p := buf[recordHeaderLen:]
+	p[0] = byte(r.Op)
+	binary.LittleEndian.PutUint64(p[1:], uint64(r.ID))
+	binary.LittleEndian.PutUint64(p[9:], math.Float64bits(r.X))
+	binary.LittleEndian.PutUint64(p[17:], math.Float64bits(r.Y))
+	binary.LittleEndian.PutUint32(buf[4:], crc32.ChecksumIEEE(p))
+	return buf
+}
+
+// ScanRecords parses the record stream b (the log body, after the file
+// header) and returns the records of the longest valid prefix plus that
+// prefix's length in bytes. The scan ends at the first short header,
+// short payload, unexpected length, CRC mismatch, or unknown op — a
+// record with a bad checksum is never decoded, and everything after the
+// valid prefix is the torn tail the caller truncates.
+func ScanRecords(b []byte) ([]Record, int) {
+	var recs []Record
+	off := 0
+	for len(b)-off >= RecordLen {
+		if binary.LittleEndian.Uint32(b[off:]) != payloadLen {
+			break
+		}
+		p := b[off+recordHeaderLen : off+RecordLen]
+		if crc32.ChecksumIEEE(p) != binary.LittleEndian.Uint32(b[off+4:]) {
+			break
+		}
+		op := Op(p[0])
+		if op != OpInsert && op != OpDelete {
+			break
+		}
+		recs = append(recs, Record{
+			Op: op,
+			ID: int64(binary.LittleEndian.Uint64(p[1:])),
+			X:  math.Float64frombits(binary.LittleEndian.Uint64(p[9:])),
+			Y:  math.Float64frombits(binary.LittleEndian.Uint64(p[17:])),
+		})
+		off += RecordLen
+	}
+	return recs, off
+}
+
+// Create makes a new empty log at path (truncating any previous file)
+// and syncs its header.
+func Create(path string, gen uint64, mode SyncMode) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, headerLen)
+	copy(hdr, magic)
+	binary.LittleEndian.PutUint64(hdr[len(magic):], gen)
+	if _, err := f.WriteAt(hdr, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Log{mode: mode, gen: gen, f: f, off: headerLen, writeLimit: -1}, nil
+}
+
+// Open opens an existing log, returns the records of its valid prefix
+// (for the caller to replay), truncates any torn tail, and positions
+// the log for appending. The returned log's sequence numbering
+// continues after the replayed records.
+func Open(path string, mode SyncMode) (*Log, []Record, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: reading %s: %w", path, err)
+	}
+	if len(data) < headerLen || string(data[:len(magic)]) != string(magic) {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: %s: bad header", path)
+	}
+	gen := binary.LittleEndian.Uint64(data[len(magic):headerLen])
+	recs, valid := ScanRecords(data[headerLen:])
+	end := int64(headerLen + valid)
+	if end < int64(len(data)) {
+		// Drop the torn tail so the next generation of appends never
+		// interleaves with garbage.
+		if err := f.Truncate(end); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: truncating torn tail of %s: %w", path, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	l := &Log{mode: mode, gen: gen, f: f, off: end, seq: uint64(len(recs)), writeLimit: -1}
+	l.synced.Store(uint64(len(recs)))
+	return l, recs, nil
+}
+
+// Gen returns the generation stamped in the log header.
+func (l *Log) Gen() uint64 { return l.gen }
+
+// Append writes one record and returns its sequence number; the record
+// is durable only after Commit(seq) returns (under SyncAlways).
+func (l *Log) Append(r Record) (uint64, error) {
+	buf := EncodeRecord(r)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.writeLimit >= 0 && l.off+int64(len(buf)) > l.writeLimit {
+		// Failpoint: tear the write mid-record, as a crash would.
+		if l.off < l.writeLimit {
+			n, _ := l.f.WriteAt(buf[:l.writeLimit-l.off], l.off)
+			l.off += int64(n)
+		}
+		return 0, ErrWriteLimit
+	}
+	n, err := l.f.WriteAt(buf, l.off)
+	l.off += int64(n)
+	if err != nil {
+		return 0, err
+	}
+	l.seq++
+	l.records.Add(1)
+	l.bytes.Add(int64(len(buf)))
+	return l.seq, nil
+}
+
+// Commit makes the record with the given sequence number durable.
+// Under SyncAlways it group-commits: if a concurrent Commit's fsync
+// already covered seq, it returns without touching the disk; otherwise
+// one fsync covers every record appended so far. Under SyncOS it is a
+// no-op.
+func (l *Log) Commit(seq uint64) error {
+	if l.mode != SyncAlways {
+		return nil
+	}
+	if l.synced.Load() >= seq {
+		return nil
+	}
+	return l.sync()
+}
+
+// Sync fsyncs the log regardless of mode.
+func (l *Log) Sync() error { return l.sync() }
+
+func (l *Log) sync() error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.mu.Lock()
+	cur, closed := l.seq, l.closed
+	l.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.fsyncs.Add(1)
+	if l.synced.Load() < cur {
+		l.synced.Store(cur)
+	}
+	return nil
+}
+
+// Close seals the log: a final fsync flushes every appended record,
+// then the file is closed. Close is idempotent.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	f := l.f
+	l.mu.Unlock()
+	serr := f.Sync()
+	if serr == nil {
+		l.fsyncs.Add(1)
+	}
+	cerr := f.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// Size returns the current file size in bytes (header included).
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.off
+}
+
+// Seq returns the sequence number of the last appended record.
+func (l *Log) Seq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Records returns the number of records appended since open.
+func (l *Log) Records() int64 { return l.records.Load() }
+
+// Bytes returns the record bytes appended since open.
+func (l *Log) Bytes() int64 { return l.bytes.Load() }
+
+// Fsyncs returns the number of fsyncs issued.
+func (l *Log) Fsyncs() int64 { return l.fsyncs.Load() }
+
+// FailAfter installs the crash failpoint: any append that would extend
+// the file past the given byte offset is torn mid-record and returns
+// ErrWriteLimit, exactly as a crash during the write would leave the
+// file. A negative offset disables the failpoint. Test use only.
+func (l *Log) FailAfter(offset int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.writeLimit = offset
+}

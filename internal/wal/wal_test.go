@@ -1,0 +1,283 @@
+package wal
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// testRecords is a deterministic mixed op sequence.
+func testRecords(n int) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		op := OpInsert
+		if i%5 == 4 {
+			op = OpDelete
+		}
+		recs[i] = Record{
+			Op: op,
+			ID: int64(i),
+			X:  math.Sqrt(float64(i + 1)),
+			Y:  1 / float64(i+1),
+		}
+	}
+	return recs
+}
+
+// appendAll appends and commits recs, failing the test on error.
+func appendAll(t *testing.T, l *Log, recs []Record) {
+	t.Helper()
+	for _, r := range recs {
+		seq, err := l.Append(r)
+		if err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		if err := l.Commit(seq); err != nil {
+			t.Fatalf("Commit(%d): %v", seq, err)
+		}
+	}
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Create(path, 3, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := testRecords(100)
+	appendAll(t, l, recs)
+	if l.Records() != 100 || l.Bytes() != 100*RecordLen {
+		t.Errorf("stats: records=%d bytes=%d, want 100 and %d", l.Records(), l.Bytes(), 100*RecordLen)
+	}
+	if l.Fsyncs() == 0 {
+		t.Error("SyncAlways commits issued no fsync")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second Close: %v (want idempotent nil)", err)
+	}
+
+	l2, replayed, err := Open(path, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Gen() != 3 {
+		t.Errorf("Gen = %d, want 3", l2.Gen())
+	}
+	if !reflect.DeepEqual(replayed, recs) {
+		t.Fatalf("replayed %d records differ from appended", len(replayed))
+	}
+	// Appending continues after the replayed prefix.
+	seq, err := l2.Append(Record{Op: OpInsert, ID: 999, X: 1, Y: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 101 {
+		t.Errorf("post-replay seq = %d, want 101", seq)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Create(path, 1, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := testRecords(10)
+	appendAll(t, l, recs)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the file at every byte position inside the last record: the
+	// replay must recover exactly the first 9 records each time.
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < RecordLen; cut++ {
+		torn := filepath.Join(t.TempDir(), "torn.log")
+		if err := os.WriteFile(torn, whole[:len(whole)-cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l2, replayed, err := Open(torn, SyncAlways)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if !reflect.DeepEqual(replayed, recs[:9]) {
+			t.Fatalf("cut %d: replayed %d records, want the 9-record prefix", cut, len(replayed))
+		}
+		// The torn bytes are gone from the file.
+		fi, err := os.Stat(torn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := int64(headerLen + 9*RecordLen); fi.Size() != want {
+			t.Fatalf("cut %d: size %d after truncate, want %d", cut, fi.Size(), want)
+		}
+		if err := l2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCorruptRecordDropped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Create(path, 1, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := testRecords(5)
+	appendAll(t, l, recs)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte of record 3: records 3 and 4 (everything
+	// from the corruption on) must be dropped, never half-applied.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[headerLen+3*RecordLen+recordHeaderLen+4] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, replayed, err := Open(path, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := l2.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	if !reflect.DeepEqual(replayed, recs[:3]) {
+		t.Fatalf("replayed %d records past a corrupt one, want 3", len(replayed))
+	}
+}
+
+func TestFailpointTearsWrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Create(path, 1, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := testRecords(8)
+	appendAll(t, l, recs[:6])
+	// Allow half of the next record, then "crash".
+	l.FailAfter(l.Size() + RecordLen/2)
+	if _, err := l.Append(recs[6]); err != ErrWriteLimit {
+		t.Fatalf("Append past failpoint: err = %v, want ErrWriteLimit", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, replayed, err := Open(path, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := l2.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	if !reflect.DeepEqual(replayed, recs[:6]) {
+		t.Fatalf("replayed %d records, want the 6 acknowledged ones", len(replayed))
+	}
+	// The torn half-record is truncated; new appends extend cleanly.
+	if seq, err := l2.Append(recs[7]); err != nil || seq != 7 {
+		t.Fatalf("append after torn-tail recovery: seq=%d err=%v", seq, err)
+	}
+}
+
+func TestClosedLogRejectsAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Create(path, 1, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(Record{Op: OpInsert}); err != ErrClosed {
+		t.Errorf("Append on closed log: err = %v, want ErrClosed", err)
+	}
+	if err := l.Sync(); err != ErrClosed {
+		t.Errorf("Sync on closed log: err = %v, want ErrClosed", err)
+	}
+}
+
+func TestParseSyncMode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SyncMode
+		ok   bool
+	}{
+		{"", SyncAlways, true},
+		{"always", SyncAlways, true},
+		{"os", SyncOS, true},
+		{"never", "", false},
+	} {
+		got, err := ParseSyncMode(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParseSyncMode(%q) = %q, %v; want %q, ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestGroupCommitConcurrent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Create(path, 1, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 8, 50
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			for i := 0; i < perWriter; i++ {
+				seq, err := l.Append(Record{Op: OpInsert, ID: int64(w*perWriter + i)})
+				if err == nil {
+					err = l.Commit(seq)
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}(w)
+	}
+	for w := 0; w < writers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := int64(writers * perWriter)
+	if l.Records() != total {
+		t.Errorf("records = %d, want %d", l.Records(), total)
+	}
+	if l.Fsyncs() >= total {
+		t.Logf("no group-commit batching observed (%d fsyncs for %d commits) — legal but slow", l.Fsyncs(), total)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, replayed, err := Open(path, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(replayed)) != total {
+		t.Errorf("replayed %d records, want %d", len(replayed), total)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"lbsq/internal/shard"
 	"lbsq/internal/storage"
 	"lbsq/internal/tp"
+	"lbsq/internal/wal"
 )
 
 // ErrShardedUnsupported is returned by operations that require a single
@@ -51,6 +52,40 @@ import (
 // baseline clients replay the paper's single-server experiments and
 // index persistence snapshots one tree.
 var ErrShardedUnsupported = errors.New("operation requires an unsharded DB (Options.Shards ≤ 1)")
+
+// ErrNotDurable is returned by persistence operations (Checkpoint,
+// StorageStats-backed endpoints) on a DB opened without a data
+// directory: there is nothing to flush or report. Open the DB with
+// Options.DataDir, or recover one with OpenDir.
+var ErrNotDurable = errors.New("DB has no data directory (set Options.DataDir or open with lbsq.OpenDir)")
+
+// SyncMode selects when a durable DB fsyncs acknowledged writes
+// (Options.SyncMode).
+type SyncMode = wal.SyncMode
+
+// Sync modes.
+const (
+	// SyncAlways fsyncs before every Insert/Delete returns (group
+	// commit: one fsync covers every write logged since the previous
+	// one). An acknowledged write survives a crash. The default.
+	SyncAlways = wal.SyncAlways
+	// SyncOS leaves write-back to the operating system: writes are on
+	// disk only after a checkpoint or Close. Faster; a crash can lose
+	// the acknowledged tail.
+	SyncOS = wal.SyncOS
+)
+
+// ParseSyncMode parses a sync-mode name ("always" or "os"; the empty
+// string selects SyncAlways).
+func ParseSyncMode(s string) (SyncMode, error) { return wal.ParseSyncMode(s) }
+
+// StorageStats reports a durable DB's persistence counters (WAL size
+// and traffic, checkpoint generation and timings, recovery replay).
+type StorageStats = storage.StoreStats
+
+// StoreExists reports whether dir holds a durable store written by a
+// previous Open with Options.DataDir (recover it with OpenDir).
+func StoreExists(dir string) bool { return storage.Exists(dir) }
 
 // Re-exported geometry and storage types: the public API speaks in these.
 type (
@@ -192,6 +227,23 @@ type Options struct {
 	// (OpenSession returns ErrSessionLimit beyond it). Zero selects a
 	// generous default.
 	MaxSessions int
+	// DataDir, if non-empty, makes the DB durable: Open seeds the
+	// directory with a checkpoint of the dataset, every Insert/Delete is
+	// write-ahead logged there before it is acknowledged, and OpenDir
+	// recovers the exact acknowledged state after a crash or restart.
+	// Empty keeps the DB purely in-memory. Incompatible with Shards > 1
+	// (persist the items and re-shard on open instead).
+	DataDir string
+	// SyncMode selects the WAL fsync policy of a durable DB: SyncAlways
+	// (the default — acknowledged writes survive a crash) or SyncOS
+	// (faster, crash may lose the tail). Ignored without DataDir.
+	SyncMode SyncMode
+	// CheckpointEvery, if positive, checkpoints the durable store
+	// automatically once that many mutations have been logged since the
+	// last checkpoint, bounding WAL size and recovery time. Zero leaves
+	// checkpointing to explicit DB.Checkpoint calls. Ignored without
+	// DataDir.
+	CheckpointEvery int
 }
 
 // validate rejects out-of-range option values with a descriptive error.
@@ -224,6 +276,15 @@ func (o *Options) validate() error {
 	if o.MaxSessions < 0 {
 		return fmt.Errorf("lbsq: MaxSessions %d, want ≥ 0 (0 selects the default)", o.MaxSessions)
 	}
+	if _, err := wal.ParseSyncMode(string(o.SyncMode)); err != nil {
+		return fmt.Errorf("lbsq: %w", err)
+	}
+	if o.CheckpointEvery < 0 {
+		return fmt.Errorf("lbsq: CheckpointEvery %d, want ≥ 0 (0 disables automatic checkpoints)", o.CheckpointEvery)
+	}
+	if o.DataDir != "" && o.Shards > 1 {
+		return fmt.Errorf("lbsq: DataDir is incompatible with Shards > 1: %w", ErrShardedUnsupported)
+	}
 	return nil
 }
 
@@ -245,6 +306,17 @@ type DB struct {
 	cluster *shard.Cluster
 	exec    *qexec.Executor
 	sess    *sess.Manager
+
+	// store is the durable half of a DB opened with Options.DataDir
+	// (nil for an in-memory DB): mutations are write-ahead logged under
+	// db.mu's write lock, so log order matches apply order, and
+	// checkpoints run under the read lock, which excludes writers while
+	// queries proceed.
+	store           *storage.Store
+	checkpointEvery int64
+	checkpointing   atomic.Bool
+	closeOnce       sync.Once
+	closeErr        error
 
 	reg  *obs.Registry
 	met  *dbMetrics
@@ -312,7 +384,52 @@ func Open(items []Item, universe Rect, opts *Options) (*DB, error) {
 	if o.BufferFraction > 0 {
 		srv.AttachBuffer(o.BufferFraction)
 	}
-	return (&DB{server: srv}).instrument(&o), nil
+	db := &DB{server: srv, checkpointEvery: int64(o.CheckpointEvery)}
+	if o.DataDir != "" {
+		st, err := storage.CreateStore(o.DataDir, tree, universe, storage.StoreOptions{
+			SyncMode:     o.SyncMode,
+			TreePageSize: o.PageSize,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("lbsq: creating store: %w", err)
+		}
+		db.store = st
+	}
+	return db.instrument(&o), nil
+}
+
+// OpenDir recovers a durable DB from a data directory written by a
+// previous Open with Options.DataDir: it loads the latest checkpoint,
+// replays the write-ahead log over it (dropping any torn tail record
+// whole, never half-applied), and returns a DB holding exactly the
+// acknowledged state. The returned DB keeps logging to the same
+// directory. opts configures the runtime exactly as in Open; DataDir
+// is implied by dir, the universe comes from the store, and a non-zero
+// PageSize must match the stored tree's.
+func OpenDir(dir string, opts *Options) (*DB, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	if o.Shards > 1 {
+		return nil, fmt.Errorf("lbsq: OpenDir: %w", ErrShardedUnsupported)
+	}
+	st, tree, universe, err := storage.OpenStore(dir, storage.StoreOptions{
+		SyncMode:     o.SyncMode,
+		TreePageSize: o.PageSize,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("lbsq: opening store: %w", err)
+	}
+	srv := core.NewServer(tree, universe)
+	if o.BufferFraction > 0 {
+		srv.AttachBuffer(o.BufferFraction)
+	}
+	db := &DB{server: srv, store: st, checkpointEvery: int64(o.CheckpointEvery)}
+	return db.instrument(&o), nil
 }
 
 // OpenSharded is shorthand for Open with Options.Shards = shards: it
@@ -380,56 +497,169 @@ func (db *DB) Universe() Rect { return db.engine().UniverseRect() }
 // The session manager follows the same protocol around its own epoch
 // (MutationBegin / OnInsert), and additionally push-invalidates every
 // open session whose armed validity region the new point punctures.
+// On a durable DB the insert is write-ahead logged before this method
+// returns: under SyncAlways the acknowledgment implies the record is
+// fsynced (group commit) and the write survives a crash.
 func (db *DB) Insert(it Item) error {
 	db.sess.MutationBegin()
 	db.exec.Invalidate()
-	err := db.insertItem(it)
+	tok, logged, err := db.insertItem(it)
 	db.exec.Invalidate()
 	if err != nil {
 		return err
 	}
 	db.sess.OnInsert(it)
+	if logged {
+		if err := db.store.Commit(tok); err != nil {
+			return fmt.Errorf("lbsq: insert applied and logged but not fsynced: %w", err)
+		}
+		return db.maybeCheckpoint()
+	}
 	return nil
 }
 
-// insertItem performs the raw index mutation of Insert.
-func (db *DB) insertItem(it Item) error {
+// insertItem performs the raw index mutation of Insert, logging it to
+// the durable store (if any) under the same write lock so log order
+// matches apply order. The returned token commits the record.
+func (db *DB) insertItem(it Item) (storage.CommitToken, bool, error) {
 	if db.cluster != nil {
-		return db.cluster.Insert(it)
+		return storage.CommitToken{}, false, db.cluster.Insert(it)
 	}
 	if !db.server.Universe.Contains(it.P) {
-		return fmt.Errorf("lbsq: point %v outside universe", it.P)
+		return storage.CommitToken{}, false, fmt.Errorf("lbsq: point %v outside universe", it.P)
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.server.Tree.Insert(it)
-	return nil
+	if db.store == nil {
+		return storage.CommitToken{}, false, nil
+	}
+	tok, err := db.store.LogInsert(it)
+	if err != nil {
+		// Unlogged writes must not survive: roll the tree back so the
+		// in-memory state never diverges from what recovery can rebuild.
+		db.server.Tree.Delete(it)
+		return storage.CommitToken{}, false, fmt.Errorf("lbsq: logging insert: %w", err)
+	}
+	return tok, true, nil
 }
 
 // Delete removes a point, reporting whether it was present. Every
 // delete expires the validity cache (see Insert for the epoch
 // discipline).
 // Sessions whose cached result contains the removed item are
-// push-invalidated (see Insert).
-func (db *DB) Delete(it Item) bool {
+// push-invalidated (see Insert). On a durable DB the delete is
+// write-ahead logged before this method returns (see Insert).
+func (db *DB) Delete(it Item) (bool, error) {
 	db.sess.MutationBegin()
 	db.exec.Invalidate()
-	ok := db.deleteItem(it)
+	ok, tok, logged, err := db.deleteItem(it)
 	db.exec.Invalidate()
+	if err != nil {
+		return false, err
+	}
 	if ok {
 		db.sess.OnDelete(it)
 	}
-	return ok
+	if logged {
+		if err := db.store.Commit(tok); err != nil {
+			return true, fmt.Errorf("lbsq: delete applied and logged but not fsynced: %w", err)
+		}
+		return true, db.maybeCheckpoint()
+	}
+	return ok, nil
 }
 
-// deleteItem performs the raw index mutation of Delete.
-func (db *DB) deleteItem(it Item) bool {
+// deleteItem performs the raw index mutation of Delete (see insertItem
+// for the logging discipline).
+func (db *DB) deleteItem(it Item) (bool, storage.CommitToken, bool, error) {
 	if db.cluster != nil {
-		return db.cluster.Delete(it)
+		return db.cluster.Delete(it), storage.CommitToken{}, false, nil
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return db.server.Tree.Delete(it)
+	if !db.server.Tree.Delete(it) {
+		return false, storage.CommitToken{}, false, nil
+	}
+	if db.store == nil {
+		return true, storage.CommitToken{}, false, nil
+	}
+	tok, err := db.store.LogDelete(it)
+	if err != nil {
+		// Roll back: an unlogged delete would vanish on recovery.
+		db.server.Tree.Insert(it)
+		return false, storage.CommitToken{}, false, fmt.Errorf("lbsq: logging delete: %w", err)
+	}
+	return true, tok, true, nil
+}
+
+// maybeCheckpoint runs an automatic checkpoint once CheckpointEvery
+// mutations have been logged; concurrent writers skip past an
+// in-flight one rather than queueing behind it.
+func (db *DB) maybeCheckpoint() error {
+	if db.checkpointEvery <= 0 || db.store.SinceCheckpoint() < db.checkpointEvery {
+		return nil
+	}
+	if !db.checkpointing.CompareAndSwap(false, true) {
+		return nil
+	}
+	defer db.checkpointing.Store(false)
+	if err := db.checkpoint(); err != nil {
+		// The triggering write is applied, logged, and fsynced — only
+		// WAL compaction failed. Surface that distinctly.
+		return fmt.Errorf("lbsq: write is durable, but automatic checkpoint failed: %w", err)
+	}
+	return nil
+}
+
+// checkpoint writes the next checkpoint generation and truncates the
+// WAL, excluding writers (but not queries) for the duration.
+func (db *DB) checkpoint() error {
+	start := time.Now()
+	db.mu.RLock()
+	err := db.store.Checkpoint(db.server.Tree)
+	db.mu.RUnlock()
+	if err == nil && db.met != nil {
+		db.met.observeCheckpoint(time.Since(start))
+	}
+	return err
+}
+
+// Checkpoint flushes the durable store: the current tree becomes the
+// next checkpoint generation (written atomically alongside the old
+// one, then swapped in) and the write-ahead log is truncated, bounding
+// recovery time. Writers block for the duration; queries proceed.
+// In-memory DBs return ErrNotDurable.
+func (db *DB) Checkpoint(ctx context.Context) error {
+	if db.store == nil {
+		return fmt.Errorf("lbsq: Checkpoint: %w", ErrNotDurable)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return db.checkpoint()
+}
+
+// StorageStats reports the durable store's counters; ok is false for
+// an in-memory DB.
+func (db *DB) StorageStats() (stats StorageStats, ok bool) {
+	if db.store == nil {
+		return StorageStats{}, false
+	}
+	return db.store.Stats(), true
+}
+
+// Close releases the DB's durable resources: the write-ahead log is
+// sealed with a final fsync and closed. Queries and mutations must not
+// be in flight. Closing an in-memory DB (or closing twice) is a no-op
+// returning nil.
+func (db *DB) Close() error {
+	db.closeOnce.Do(func() {
+		if db.store != nil {
+			db.closeErr = db.store.Close()
+		}
+	})
+	return db.closeErr
 }
 
 // NN answers a location-based k-nearest-neighbor query: the k nearest
@@ -690,27 +920,30 @@ func RouteNNAt(intervals []RouteInterval, t float64) (RouteInterval, bool) {
 }
 
 // SaveIndex persists the R*-tree to a paged index file (one node per
-// checksummed page); reopen with OpenIndex. Sharded DBs cannot be
-// saved: persist the items and re-open with the same shard options.
+// checksummed page), written atomically: the pages go to a temporary
+// file renamed over path, so a crash mid-save never corrupts an
+// existing snapshot. Sharded DBs cannot be saved: persist the items
+// and re-open with the same shard options.
+//
+// Deprecated: SaveIndex writes a read-only snapshot with no write-ahead
+// log; mutations after the save are lost. The canonical persistence
+// surface is Options.DataDir / OpenDir / DB.Checkpoint, which keeps
+// every acknowledged write durable.
 func (db *DB) SaveIndex(path string) error {
 	if db.cluster != nil {
 		return fmt.Errorf("lbsq: SaveIndex: %w", ErrShardedUnsupported)
 	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	pf, err := storage.Create(path, storage.RequiredPageSize(db.server.Tree.MaxEntries()))
-	if err != nil {
-		return err
-	}
-	if err := storage.SaveTree(pf, db.server.Tree); err != nil {
-		pf.Close()
-		return err
-	}
-	return pf.Close()
+	return storage.SaveSnapshot(path, db.server.Tree)
 }
 
 // OpenIndex loads a DB from an index file written by SaveIndex. The
 // universe and options must match the original Open call.
+//
+// Deprecated: OpenIndex reads the old snapshot-only format; it cannot
+// replay writes. The canonical persistence surface is OpenDir over a
+// data directory written with Options.DataDir.
 func OpenIndex(path string, universe Rect, opts *Options) (*DB, error) {
 	if universe.IsEmpty() || geom.ExactZero(universe.Area()) {
 		return nil, fmt.Errorf("lbsq: universe must have positive area")
@@ -726,8 +959,10 @@ func OpenIndex(path string, universe Rect, opts *Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer pf.Close()
 	tree, err := storage.LoadTree(pf, rtree.Options{PageSize: o.PageSize})
+	if cerr := pf.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -66,11 +66,11 @@ func TestInsertDelete(t *testing.T) {
 	if db.Len() != 1 {
 		t.Fatalf("Len = %d", db.Len())
 	}
-	if !db.Delete(Item{ID: 1, P: Pt(0.3, 0.3)}) {
-		t.Fatal("delete failed")
+	if ok, err := db.Delete(Item{ID: 1, P: Pt(0.3, 0.3)}); err != nil || !ok {
+		t.Fatalf("delete failed: ok=%v err=%v", ok, err)
 	}
-	if db.Delete(Item{ID: 1, P: Pt(0.3, 0.3)}) {
-		t.Fatal("double delete must fail")
+	if ok, err := db.Delete(Item{ID: 1, P: Pt(0.3, 0.3)}); err != nil || ok {
+		t.Fatalf("double delete must report absent: ok=%v err=%v", ok, err)
 	}
 }
 

@@ -102,6 +102,15 @@ type dbMetrics struct {
 	pageAcc   map[string]*obs.Histogram
 	areaRatio map[string]*obs.Histogram
 	tpQueries *obs.Counter
+	// checkpointDur is registered only on durable DBs.
+	checkpointDur *obs.Histogram
+}
+
+// observeCheckpoint records a completed checkpoint's duration.
+func (m *dbMetrics) observeCheckpoint(d time.Duration) {
+	if m.checkpointDur != nil {
+		m.checkpointDur.Observe(float64(d.Microseconds()))
+	}
 }
 
 // newDBMetrics registers the facade instruments for db on reg.
@@ -139,6 +148,31 @@ func newDBMetrics(reg *obs.Registry, db *DB) *dbMetrics {
 			func() float64 { return float64(db.server.Buffer.Hits()) })
 		reg.CounterFunc("lbsq_buffer_misses_total", "Page-buffer misses (faults).", nil,
 			func() float64 { return float64(db.server.Buffer.Faults()) })
+	}
+	if st := db.store; st != nil {
+		reg.CounterFunc("lbsq_storage_wal_records_total",
+			"Mutations write-ahead logged since open.", nil,
+			func() float64 { return float64(st.Stats().WALRecords) })
+		reg.CounterFunc("lbsq_storage_wal_bytes_total",
+			"WAL bytes appended since open.", nil,
+			func() float64 { return float64(st.Stats().WALBytes) })
+		reg.CounterFunc("lbsq_storage_wal_fsyncs_total",
+			"WAL fsyncs issued since open (group commit batches many writes per fsync).", nil,
+			func() float64 { return float64(st.Stats().WALFsyncs) })
+		reg.CounterFunc("lbsq_storage_checkpoints_total",
+			"Checkpoints taken since open.", nil,
+			func() float64 { return float64(st.Stats().Checkpoints) })
+		reg.GaugeFunc("lbsq_storage_wal_size_bytes",
+			"Live WAL file size; checkpoints truncate it.", nil,
+			func() float64 { return float64(st.Stats().WALSizeBytes) })
+		reg.GaugeFunc("lbsq_storage_generation",
+			"Current checkpoint generation.", nil,
+			func() float64 { return float64(st.Stats().Generation) })
+		reg.GaugeFunc("lbsq_storage_recovery_replayed_records",
+			"WAL records replayed when the store was opened.", nil,
+			func() float64 { return float64(st.Stats().RecoveredRecords) })
+		m.checkpointDur = reg.Histogram("lbsq_storage_checkpoint_duration_us",
+			"Checkpoint duration in microseconds.", nil, obs.LatencyBucketsUS)
 	}
 	return m
 }

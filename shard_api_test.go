@@ -217,8 +217,8 @@ func TestShardedInsertDelete(t *testing.T) {
 	if v.Neighbors[0].Item.ID != it.ID {
 		t.Fatalf("NN after insert = %d, want %d", v.Neighbors[0].Item.ID, it.ID)
 	}
-	if !db.Delete(it) {
-		t.Fatal("Delete reported item absent")
+	if ok, err := db.Delete(it); err != nil || !ok {
+		t.Fatalf("Delete failed: ok=%v err=%v", ok, err)
 	}
 	if err := db.Insert(Item{ID: 5, P: Pt(7, 7)}); err == nil {
 		t.Fatal("insert outside universe must error")
