@@ -16,8 +16,11 @@ test:
 	$(GO) test ./...
 
 # vet builds the project-specific multichecker (floatcmp, droppederr,
-# ctxflow, obslabel) and runs it over every package via the standard
-# go vet -vettool driver.
+# ctxflow, obslabel, lockscope, lockorder, hotpath, nocheckaudit — see
+# docs/ANALYZERS.md) and runs it over every package via the standard
+# go vet -vettool driver, with cross-package facts flowing through the
+# vetx protocol. The tree must be warning-clean: every remaining
+# finding is either fixed or carries a justified directive.
 vet:
 	$(GO) build -o bin/lbsq-vet ./cmd/lbsq-vet
 	$(GO) vet -vettool=$(CURDIR)/bin/lbsq-vet ./...

@@ -437,11 +437,21 @@ func BenchmarkSessionMove(b *testing.B) {
 	for i := range pts {
 		pts[i] = Pt(q.X+float64(i%8)*1e-9, q.Y+float64(i/8)*1e-9)
 	}
+	// The fast path is asserted allocation-free: every function on it
+	// carries //lbsq:hotpath (see TestHotpathCoverage).
+	var res SessionMove
+	if allocs := testing.AllocsPerRun(100, func() {
+		if err := s.MoveInto(ctx, pts[0], &res); err != nil || !res.Hit {
+			b.Fatalf("in-region move failed: hit=%v err=%v", res.Hit, err)
+		}
+	}); allocs != 0 {
+		b.Fatalf("in-region move allocated %.1f times per op, want 0", allocs)
+	}
 	var na int64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := s.Move(ctx, pts[i%len(pts)])
-		if err != nil {
+		if err := s.MoveInto(ctx, pts[i%len(pts)], &res); err != nil {
 			b.Fatal(err)
 		}
 		if !res.Hit {
@@ -483,6 +493,16 @@ func BenchmarkCacheHitPath(b *testing.B) {
 		if _, _, err := db.NN(ctx, q, 4); err != nil { // warm the cache
 			b.Fatal(err)
 		}
+		// The cache-hit path is asserted allocation-free: every function
+		// on it carries //lbsq:hotpath (see TestHotpathCoverage).
+		if allocs := testing.AllocsPerRun(100, func() {
+			if _, _, err := db.NN(ctx, q, 4); err != nil {
+				b.Fatal(err)
+			}
+		}); allocs != 0 {
+			b.Fatalf("cache hit allocated %.1f times per op, want 0", allocs)
+		}
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			v, cost, err := db.NN(ctx, q, 4)

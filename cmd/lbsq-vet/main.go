@@ -7,7 +7,14 @@
 //
 // or simply `make vet`. Individual analyzers can be disabled with
 // -NAME=false (e.g. -floatcmp=false). Findings are suppressed per line
-// with //lbsq:nocheck NAME comments; see internal/analysis.
+// with //lbsq:nocheck NAME comments — audited for staleness by the
+// nocheckaudit analyzer — and lockscope has its own //lbsq:allowblock
+// escape hatch. See docs/ANALYZERS.md for the full directive
+// reference.
+//
+// lockscope, lockorder, and hotpath exchange cross-package facts
+// through the vetx files the go command schedules for dependency
+// units; see internal/analysis/unitchecker.go.
 package main
 
 import (
@@ -15,6 +22,10 @@ import (
 	"lbsq/internal/analysis/ctxflow"
 	"lbsq/internal/analysis/droppederr"
 	"lbsq/internal/analysis/floatcmp"
+	"lbsq/internal/analysis/hotpath"
+	"lbsq/internal/analysis/lockorder"
+	"lbsq/internal/analysis/lockscope"
+	"lbsq/internal/analysis/nocheckaudit"
 	"lbsq/internal/analysis/obslabel"
 )
 
@@ -24,5 +35,9 @@ func main() {
 		droppederr.Analyzer,
 		ctxflow.Analyzer,
 		obslabel.Analyzer,
+		lockscope.Analyzer,
+		lockorder.Analyzer,
+		hotpath.Analyzer,
+		nocheckaudit.Analyzer,
 	)
 }

@@ -221,7 +221,7 @@ func (d *DistDB) Handler() http.Handler {
 	mux.HandleFunc("/v1/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		// A write error means the scrape client disconnected mid-body.
-		d.WriteMetrics(w) //lbsq:nocheck droppederr
+		d.WriteMetrics(w)
 	})
 	return mux
 }

@@ -5,8 +5,11 @@
 // outside the standard library.
 //
 // An Analyzer inspects one type-checked package at a time and reports
-// Diagnostics. Analyzers are purely local (no cross-package facts), so
-// dependency packages are processed in constant time.
+// Diagnostics. Analyzers may additionally export facts — serialized
+// per-object or per-package summaries — which the driver writes to the
+// unit's vetx file and feeds back to the analysis of every dependent
+// package, so analyzers can reason about transitive callees across
+// package boundaries (the role facts play in x/tools' unitchecker).
 //
 // Findings can be suppressed per line with a comment of the form
 //
@@ -15,10 +18,14 @@
 //	//lbsq:nocheck
 //
 // placed on the flagged line or alone on the line directly above it.
-// The bare form suppresses every analyzer; use it sparingly.
+// The bare form suppresses every analyzer; use it sparingly. The driver
+// records which suppressions actually matched a diagnostic, so an
+// auditing analyzer (Analyzer.AuditSuppressions) can flag the stale
+// ones.
 package analysis
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
@@ -38,10 +45,37 @@ type Analyzer struct {
 	// Run inspects the package described by pass and reports findings
 	// via pass.Report / pass.Reportf.
 	Run func(*Pass) error
+	// AuditSuppressions marks an analyzer that inspects the unit's
+	// //lbsq:nocheck comments rather than its code. The driver runs it
+	// after every other analyzer, so Pass.Suppressions reflects which
+	// comments actually matched a diagnostic.
+	AuditSuppressions bool
+}
+
+// Facts holds one package's exported facts: analyzer name → object key
+// (ObjectKey; "" is the package-level fact) → serialized fact.
+type Facts map[string]map[string]json.RawMessage
+
+// PackageFacts maps package import paths to their exported Facts. The
+// driver hands each unit the transitive facts of its dependencies.
+type PackageFacts map[string]Facts
+
+// ObjectKey returns the stable cross-package key of an object. For
+// functions and methods it is types.Func.FullName (e.g.
+// "(*lbsq/internal/wal.Log).Append"); other objects use
+// "pkgpath.Name".
+func ObjectKey(obj types.Object) string {
+	if f, ok := obj.(*types.Func); ok {
+		return f.FullName()
+	}
+	if obj.Pkg() != nil {
+		return obj.Pkg().Path() + "." + obj.Name()
+	}
+	return obj.Name()
 }
 
 // A Pass provides one analyzer with the parsed and type-checked
-// package under analysis.
+// package under analysis, plus the fact store.
 type Pass struct {
 	Analyzer  *Analyzer
 	Fset      *token.FileSet
@@ -49,7 +83,12 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
-	report func(Diagnostic)
+	report     func(Diagnostic)
+	imported   PackageFacts
+	exported   Facts
+	sup        *suppressions
+	active     []string
+	registered []string
 }
 
 // Report emits one diagnostic.
@@ -58,6 +97,123 @@ func (p *Pass) Report(d Diagnostic) { p.report(d) }
 // Reportf emits one diagnostic at pos with a formatted message.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ExportObjectFact records a fact about obj (which must belong to the
+// package under analysis), visible to later ImportObjectFact calls in
+// this unit and — through the vetx file — to dependent packages.
+func (p *Pass) ExportObjectFact(obj types.Object, fact any) error {
+	return p.export(ObjectKey(obj), fact)
+}
+
+// ExportPackageFact records a fact about the package as a whole.
+func (p *Pass) ExportPackageFact(fact any) error {
+	return p.export("", fact)
+}
+
+func (p *Pass) export(key string, fact any) error {
+	data, err := json.Marshal(fact)
+	if err != nil {
+		return fmt.Errorf("%s: marshaling fact for %q: %v", p.Analyzer.Name, key, err)
+	}
+	m := p.exported[p.Analyzer.Name]
+	if m == nil {
+		m = make(map[string]json.RawMessage)
+		p.exported[p.Analyzer.Name] = m
+	}
+	m[key] = data
+	return nil
+}
+
+// ImportObjectFact loads this analyzer's fact about obj into dst,
+// reporting whether one exists. Facts about objects of the package
+// under analysis come from this unit's exports; facts about imported
+// objects come from the dependency's vetx summary.
+func (p *Pass) ImportObjectFact(obj types.Object, dst any) bool {
+	if obj == nil {
+		return false
+	}
+	return p.importFact(packagePathOf(obj, p.Pkg), ObjectKey(obj), dst)
+}
+
+// ImportPackageFact loads this analyzer's package-level fact of the
+// package with the given import path into dst.
+func (p *Pass) ImportPackageFact(path string, dst any) bool {
+	return p.importFact(path, "", dst)
+}
+
+// AllPackageFacts returns every package-level fact of this analyzer
+// visible to the unit — those of all transitive dependencies, plus its
+// own if already exported — keyed by package path.
+func (p *Pass) AllPackageFacts() map[string]json.RawMessage {
+	out := make(map[string]json.RawMessage)
+	for path, facts := range p.imported {
+		if raw, ok := facts[p.Analyzer.Name][""]; ok {
+			out[path] = raw
+		}
+	}
+	if raw, ok := p.exported[p.Analyzer.Name][""]; ok {
+		out[p.Pkg.Path()] = raw
+	}
+	return out
+}
+
+func (p *Pass) importFact(path, key string, dst any) bool {
+	var raw json.RawMessage
+	var ok bool
+	if path == p.Pkg.Path() {
+		raw, ok = p.exported[p.Analyzer.Name][key]
+	} else {
+		raw, ok = p.imported[path][p.Analyzer.Name][key]
+	}
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(raw, dst) == nil
+}
+
+func packagePathOf(obj types.Object, cur *types.Package) string {
+	if obj.Pkg() != nil {
+		return obj.Pkg().Path()
+	}
+	return cur.Path()
+}
+
+// ActiveAnalyzers returns the names of the analyzers running in this
+// unit (suppression names for these can be judged live or stale).
+func (p *Pass) ActiveAnalyzers() []string { return p.active }
+
+// RegisteredAnalyzers returns every analyzer name the driver knows,
+// including ones disabled by flags (suppression names for those are
+// skipped by audits, not reported as unknown).
+func (p *Pass) RegisteredAnalyzers() []string { return p.registered }
+
+// A Suppression describes one //lbsq:nocheck comment and which
+// analyzer names it actually suppressed during this unit's analysis.
+// Available to AuditSuppressions analyzers via Pass.Suppressions.
+type Suppression struct {
+	// Pos is the comment's position.
+	Pos token.Pos
+	// Names are the analyzer names the comment lists (nil for the bare
+	// form, which suppresses everything).
+	Names []string
+	// Used records the analyzer names whose diagnostics the comment
+	// suppressed in this unit.
+	Used map[string]bool
+}
+
+// Suppressions returns the unit's //lbsq:nocheck comments with their
+// usage, in source order. Only meaningful for AuditSuppressions
+// analyzers, which the driver runs after every other analyzer.
+func (p *Pass) Suppressions() []*Suppression {
+	if p.sup == nil {
+		return nil
+	}
+	out := make([]*Suppression, 0, len(p.sup.entries))
+	for _, e := range p.sup.entries {
+		out = append(out, &Suppression{Pos: e.pos, Names: e.names, Used: e.used})
+	}
+	return out
 }
 
 // A Diagnostic is one finding of an analyzer.
@@ -82,32 +238,89 @@ func NewTypesInfo() *types.Info {
 	}
 }
 
+// A Unit bundles one type-checked package with its dependency facts
+// for RunUnit.
+type Unit struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Imported holds the transitive facts of the unit's dependencies
+	// (nil when none are available).
+	Imported PackageFacts
+	// Registered lists every analyzer name the driver knows, including
+	// disabled ones; nil defaults to the analyzers being run.
+	Registered []string
+}
+
 // Run executes the analyzers over one type-checked package and returns
-// the surviving diagnostics (suppression comments applied), sorted by
-// position.
+// the surviving diagnostics, discarding facts. Kept for callers that
+// predate the fact layer.
 func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
-	sup := collectSuppressions(fset, files)
-	var out []Diagnostic
+	diags, _, err := RunUnit(Unit{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}, analyzers)
+	return diags, err
+}
+
+// RunUnit executes the analyzers over one type-checked package and
+// returns the surviving diagnostics (suppression comments applied),
+// sorted by position, together with the unit's exported facts.
+// Auditing analyzers (AuditSuppressions) run after all others so they
+// observe complete suppression usage.
+func RunUnit(u Unit, analyzers []*Analyzer) ([]Diagnostic, Facts, error) {
+	sup := collectSuppressions(u.Fset, u.Files)
+	exported := make(Facts)
+	active := make([]string, 0, len(analyzers))
 	for _, a := range analyzers {
+		active = append(active, a.Name)
+	}
+	registered := u.Registered
+	if registered == nil {
+		registered = active
+	}
+
+	var ordered []*Analyzer
+	for _, a := range analyzers {
+		if !a.AuditSuppressions {
+			ordered = append(ordered, a)
+		}
+	}
+	for _, a := range analyzers {
+		if a.AuditSuppressions {
+			ordered = append(ordered, a)
+		}
+	}
+
+	var out []Diagnostic
+	for _, a := range ordered {
+		a := a
 		pass := &Pass{
-			Analyzer:  a,
-			Fset:      fset,
-			Files:     files,
-			Pkg:       pkg,
-			TypesInfo: info,
+			Analyzer:   a,
+			Fset:       u.Fset,
+			Files:      u.Files,
+			Pkg:        u.Pkg,
+			TypesInfo:  u.TypesInfo,
+			imported:   u.Imported,
+			exported:   exported,
+			sup:        sup,
+			active:     active,
+			registered: registered,
 			report: func(d Diagnostic) {
 				d.Analyzer = a.Name
-				if !sup.suppresses(fset.Position(d.Pos), a.Name) {
+				// An audit finding is reported at the suppression
+				// comment itself, so only a comment naming the audit
+				// analyzer explicitly may silence it — otherwise a bare
+				// //lbsq:nocheck would hide its own staleness.
+				if !sup.suppresses(u.Fset.Position(d.Pos), a.Name, a.AuditSuppressions) {
 					out = append(out, d)
 				}
 			},
 		}
 		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("analyzer %s: %v", a.Name, err)
+			return nil, nil, fmt.Errorf("analyzer %s: %v", a.Name, err)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
-		pi, pj := fset.Position(out[i].Pos), fset.Position(out[j].Pos)
+		pi, pj := u.Fset.Position(out[i].Pos), u.Fset.Position(out[j].Pos)
 		if pi.Filename != pj.Filename {
 			return pi.Filename < pj.Filename
 		}
@@ -116,17 +329,40 @@ func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types
 		}
 		return out[i].Analyzer < out[j].Analyzer
 	})
-	return out, nil
+	return out, exported, nil
 }
 
-// suppressions maps file -> line -> analyzer names (empty set value
-// means "all analyzers") for //lbsq:nocheck comments.
-type suppressions map[string]map[int]map[string]bool
+// supEntry is one //lbsq:nocheck comment; used tracks the analyzers it
+// suppressed.
+type supEntry struct {
+	pos   token.Pos
+	names []string // nil = bare form (all analyzers)
+	used  map[string]bool
+}
+
+func (e *supEntry) covers(analyzer string, explicitOnly bool) bool {
+	if len(e.names) == 0 {
+		return !explicitOnly
+	}
+	for _, n := range e.names {
+		if n == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// suppressions indexes //lbsq:nocheck comments by file and line; each
+// comment covers its own line and the following one.
+type suppressions struct {
+	entries []*supEntry
+	byLine  map[string]map[int][]*supEntry
+}
 
 const nocheckPrefix = "//lbsq:nocheck"
 
-func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
-	sup := make(suppressions)
+func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
+	sup := &suppressions{byLine: make(map[string]map[int][]*supEntry)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -135,38 +371,44 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
 					continue
 				}
 				rest := strings.TrimSpace(strings.TrimPrefix(text, nocheckPrefix))
-				names := make(map[string]bool)
+				// Everything after "—" or "--" is justification prose.
+				if i := strings.IndexAny(rest, "—"); i >= 0 {
+					rest = strings.TrimSpace(rest[:i])
+				}
+				if i := strings.Index(rest, "--"); i >= 0 {
+					rest = strings.TrimSpace(rest[:i])
+				}
+				var names []string
 				for _, n := range strings.Split(rest, ",") {
 					if n = strings.TrimSpace(n); n != "" {
-						names[n] = true
+						names = append(names, n)
 					}
 				}
+				e := &supEntry{pos: c.Pos(), names: names, used: make(map[string]bool)}
+				sup.entries = append(sup.entries, e)
 				pos := fset.Position(c.Pos())
-				lines := sup[pos.Filename]
+				lines := sup.byLine[pos.Filename]
 				if lines == nil {
-					lines = make(map[int]map[string]bool)
-					sup[pos.Filename] = lines
+					lines = make(map[int][]*supEntry)
+					sup.byLine[pos.Filename] = lines
 				}
 				// The comment applies to its own line and — so it can sit
 				// above a long expression — to the following line.
-				for _, ln := range []int{pos.Line, pos.Line + 1} {
-					if lines[ln] == nil {
-						lines[ln] = make(map[string]bool)
-					}
-					for n := range names {
-						lines[ln][n] = true
-					}
-					if len(names) == 0 {
-						lines[ln]["*"] = true
-					}
-				}
+				lines[pos.Line] = append(lines[pos.Line], e)
+				lines[pos.Line+1] = append(lines[pos.Line+1], e)
 			}
 		}
 	}
 	return sup
 }
 
-func (s suppressions) suppresses(pos token.Position, analyzer string) bool {
-	names := s[pos.Filename][pos.Line]
-	return names != nil && (names["*"] || names[analyzer])
+func (s *suppressions) suppresses(pos token.Position, analyzer string, explicitOnly bool) bool {
+	hit := false
+	for _, e := range s.byLine[pos.Filename][pos.Line] {
+		if e.covers(analyzer, explicitOnly) {
+			e.used[analyzer] = true
+			hit = true
+		}
+	}
+	return hit
 }

@@ -52,6 +52,21 @@ func TestData(t *testing.T) string {
 // expectations as test errors.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
+	RunAll(t, testdata, []*analysis.Analyzer{a}, pkgs...)
+}
+
+// RunAll is Run for a set of analyzers sharing one diagnostic stream —
+// needed by suppression-audit fixtures, where the audited analyzer must
+// run alongside nocheckaudit so suppression usage is observable.
+//
+// Facts cross fixture package boundaries exactly as under go vet: when
+// the target package imports sibling fixture packages, the (non-audit)
+// analyzers first run over those dependencies facts-only, and the
+// resulting summaries are fed into the target's analysis. Dependency
+// fixtures contribute facts, not diagnostics; only the target package's
+// want comments are checked.
+func RunAll(t *testing.T, testdata string, analyzers []*analysis.Analyzer, pkgs ...string) {
+	t.Helper()
 	fset := token.NewFileSet()
 	imp := &fixtureImporter{
 		fset: fset,
@@ -62,18 +77,25 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 	for _, p := range pkgs {
 		p := p
 		t.Run(p, func(t *testing.T) {
-			runPkg(t, imp, a, p)
+			runPkg(t, imp, analyzers, p)
 		})
 	}
 }
 
-func runPkg(t *testing.T, imp *fixtureImporter, a *analysis.Analyzer, path string) {
+func runPkg(t *testing.T, imp *fixtureImporter, analyzers []*analysis.Analyzer, path string) {
 	t.Helper()
 	l, err := imp.load(path)
 	if err != nil {
 		t.Fatalf("loading fixture package %s: %v", path, err)
 	}
-	diags, err := analysis.Run(imp.fset, l.files, l.pkg, l.info, []*analysis.Analyzer{a})
+	facts := depFacts(t, imp, analyzers, path)
+	diags, _, err := analysis.RunUnit(analysis.Unit{
+		Fset:      imp.fset,
+		Files:     l.files,
+		Pkg:       l.pkg,
+		TypesInfo: l.info,
+		Imported:  facts,
+	}, analyzers)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,6 +114,44 @@ func runPkg(t *testing.T, imp *fixtureImporter, a *analysis.Analyzer, path strin
 			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.re.String())
 		}
 	}
+}
+
+// depFacts runs the non-audit analyzers facts-only over every fixture
+// package loaded before the target — imports load before importers, so
+// iterating in load order mirrors go vet's dependency scheduling — and
+// returns the accumulated transitive facts.
+func depFacts(t *testing.T, imp *fixtureImporter, analyzers []*analysis.Analyzer, target string) analysis.PackageFacts {
+	t.Helper()
+	var factOnly []*analysis.Analyzer
+	for _, a := range analyzers {
+		if !a.AuditSuppressions {
+			factOnly = append(factOnly, a)
+		}
+	}
+	facts := make(analysis.PackageFacts)
+	for _, path := range imp.order {
+		if path == target {
+			continue
+		}
+		dep := imp.pkgs[path]
+		if dep == nil || dep.files == nil { // std package: no fixture source
+			continue
+		}
+		_, exported, err := analysis.RunUnit(analysis.Unit{
+			Fset:      imp.fset,
+			Files:     dep.files,
+			Pkg:       dep.pkg,
+			TypesInfo: dep.info,
+			Imported:  facts,
+		}, factOnly)
+		if err != nil {
+			t.Fatalf("computing facts for fixture dependency %s: %v", path, err)
+		}
+		if len(exported) > 0 {
+			facts[path] = exported
+		}
+	}
+	return facts
 }
 
 // An expectation is one "// want" regexp at a file:line.
@@ -120,7 +180,16 @@ func collectExpectations(t *testing.T, fset *token.FileSet, files []*ast.File) [
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				// Block form `/* want ... */` lets an expectation share a
+				// line with a // comment under audit (two // comments
+				// cannot coexist on one line).
+				text := c.Text
+				if strings.HasPrefix(text, "/*") {
+					text = strings.TrimSuffix(strings.TrimPrefix(text, "/*"), "*/")
+				} else {
+					text = strings.TrimPrefix(text, "//")
+				}
+				text = strings.TrimSpace(text)
 				if !strings.HasPrefix(text, "want ") && !strings.HasPrefix(text, "want\t") {
 					continue
 				}
@@ -157,6 +226,10 @@ type fixtureImporter struct {
 	src  string
 	std  types.Importer
 	pkgs map[string]*loadedPkg
+	// order records fixture load order; a package's imports are loaded
+	// (and hence appended) before the package itself, giving a
+	// topological order for the fact passes in depFacts.
+	order []string
 }
 
 type loadedPkg struct {
@@ -215,5 +288,6 @@ func (im *fixtureImporter) load(path string) (*loadedPkg, error) {
 	}
 	l := &loadedPkg{pkg: pkg, files: files, info: info}
 	im.pkgs[path] = l
+	im.order = append(im.order, path)
 	return l, nil
 }

@@ -49,6 +49,7 @@ var receiverNames = map[string]bool{
 	"Store":        true,
 	"Log":          true,
 	"PageFile":     true,
+	"legacyQuery":  true,
 }
 
 func run(pass *analysis.Pass) error {
@@ -113,7 +114,18 @@ func guardedCallErrPos(pass *analysis.Pass, call *ast.CallExpr) (string, int, bo
 		return "", 0, false
 	}
 	selection := pass.TypesInfo.Selections[sel]
-	if selection == nil || selection.Kind() != types.MethodVal {
+	if selection == nil {
+		return "", 0, false
+	}
+	switch selection.Kind() {
+	case types.MethodVal:
+	case types.FieldVal:
+		// Func-typed fields on guarded receivers (the legacyQuery
+		// adapter's run hook) are part of the guarded surface too.
+		if _, ok := selection.Obj().Type().Underlying().(*types.Signature); !ok {
+			return "", 0, false
+		}
+	default:
 		return "", 0, false
 	}
 	recv := selection.Recv()

@@ -50,3 +50,20 @@ func closes(db *DB, s *Store, o *Other) {
 		panic(err) // handled: allowed.
 	}
 }
+
+// legacyQuery mirrors the shard package's legacy adapter: its
+// func-typed run field is part of the guarded surface, so dropping the
+// field call's error is flagged like a method call's.
+type legacyQuery struct {
+	run func() (int, error)
+}
+
+func fields(q legacyQuery, o Other) {
+	v, _ := q.run() // want `error of legacyQuery\.run assigned to blank identifier`
+	_ = v
+	q.run() // want `result of legacyQuery\.run is discarded`
+	if w, err := q.run(); err == nil {
+		_ = w // handled: allowed.
+	}
+	_ = o // field-free type: no guarded fields to flag.
+}

@@ -1,0 +1,445 @@
+// Package hotpath defines an analyzer that keeps annotated hot paths
+// allocation-free.
+//
+// The sessions experiment and the bench smoke assert 0 allocs/op for
+// the NN/window candidate walk, the Session.Move in-region path, the
+// qexec cache-hit path, and the WAL append encode path. Mark such a
+// function by putting
+//
+//	//lbsq:hotpath
+//
+// in its doc comment. Inside an annotated function the analyzer flags
+// the constructs that make the Go compiler heap-allocate:
+//
+//   - function literals that are not immediately invoked (escaping
+//     closures; deferred literals are exempt — open-coded defers keep
+//     them on the stack)
+//   - interface boxing at call sites: a concrete non-pointer value
+//     passed where the callee takes an interface (constants and nil
+//     are exempt)
+//   - append to a slice declared in the same function without
+//     capacity
+//   - any fmt.* call
+//   - map and slice composite literals, make, and new
+//   - non-constant string concatenation
+//
+// Struct literals (including &T{...}) are deliberately not flagged:
+// escape analysis stack-allocates them when they do not escape, which
+// is exactly the *out-parameter and trace-value idiom the hot paths
+// use.
+//
+// Every function's allocation constructs are also summarized as a
+// fact, transitively: calling a function that (transitively) contains
+// one is flagged at the call site, across package boundaries. A callee
+// that carries its own //lbsq:hotpath annotation is trusted — it is
+// checked at its own definition — so annotation follows the call graph
+// of the hot paths themselves. Dynamic calls (func values, interface
+// methods) are invisible; keep hot paths monomorphic. Cold branches
+// inside an annotated function (cache-miss handoffs, error paths) are
+// suppressed with //lbsq:nocheck hotpath; keep one per function by
+// delegating the cold work to an un-annotated helper.
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"lbsq/internal/analysis"
+	"lbsq/internal/analysis/lockutil"
+)
+
+// Analyzer is the hotpath analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc:  "functions annotated //lbsq:hotpath (and their transitive callees, via facts) must avoid allocation constructs: escaping closures, interface boxing, growing appends, fmt, map/slice literals, string concatenation",
+	Run:  run,
+}
+
+// Directive is the doc-comment marker for hot functions.
+const Directive = "//lbsq:hotpath"
+
+// hotFact summarizes a function for its callers: Hot means the
+// function is annotated (and therefore checked at its definition);
+// Allocs lists up to three allocation constructs reachable through it.
+type hotFact struct {
+	Hot    bool     `json:",omitempty"`
+	Allocs []string `json:",omitempty"`
+}
+
+const allocsCap = 3
+
+type construct struct {
+	pos  token.Pos
+	desc string
+}
+
+type fnInfo struct {
+	decl *ast.FuncDecl
+	obj  *types.Func
+	hot  bool
+	// own are the constructs in the function body itself.
+	own []construct
+	// allocs is the transitive summary (fixpoint state), capped.
+	allocs []string
+	calls  []callSite
+}
+
+type callSite struct {
+	callee *types.Func
+	pos    token.Pos
+}
+
+func run(pass *analysis.Pass) error {
+	var fns []*fnInfo
+	byObj := make(map[*types.Func]*fnInfo)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fi := &fnInfo{decl: fd, obj: obj, hot: IsHot(fd)}
+			scan(pass, fi)
+			for _, c := range fi.own {
+				if len(fi.allocs) < allocsCap {
+					fi.allocs = append(fi.allocs, c.desc)
+				}
+			}
+			fns = append(fns, fi)
+			byObj[obj] = fi
+		}
+	}
+
+	// Transitive allocation summaries: a function inherits the (first)
+	// construct of every non-hot callee, cross-package via facts.
+	calleeFact := func(callee *types.Func) hotFact {
+		if fi, ok := byObj[callee]; ok {
+			return hotFact{Hot: fi.hot, Allocs: fi.allocs}
+		}
+		var hf hotFact
+		pass.ImportObjectFact(callee, &hf)
+		return hf
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range fns {
+			if len(fi.allocs) >= allocsCap {
+				continue
+			}
+			for _, cs := range fi.calls {
+				hf := calleeFact(cs.callee)
+				if hf.Hot || len(hf.Allocs) == 0 {
+					continue
+				}
+				entry := "calls " + shortName(cs.callee) + ": " + hf.Allocs[0]
+				if !contains(fi.allocs, entry) && len(fi.allocs) < allocsCap {
+					fi.allocs = append(fi.allocs, entry)
+					changed = true
+				}
+			}
+		}
+	}
+	for _, fi := range fns {
+		if fi.hot || len(fi.allocs) > 0 {
+			if err := pass.ExportObjectFact(fi.obj, hotFact{Hot: fi.hot, Allocs: fi.allocs}); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Diagnostics: only inside annotated functions.
+	for _, fi := range fns {
+		if !fi.hot {
+			continue
+		}
+		for _, c := range fi.own {
+			pass.Reportf(c.pos, "%s on a %s path; hoist it out of the hot path or move the cold branch behind //lbsq:nocheck hotpath", c.desc, Directive)
+		}
+		for _, cs := range fi.calls {
+			hf := calleeFact(cs.callee)
+			if hf.Hot || len(hf.Allocs) == 0 {
+				continue
+			}
+			pass.Reportf(cs.pos, "call to %s allocates on a %s path (%s); annotate the callee %s if it is part of the hot path, or move the call to a cold branch behind //lbsq:nocheck hotpath",
+				shortName(cs.callee), Directive, hf.Allocs[0], Directive)
+		}
+	}
+	return nil
+}
+
+// IsHot reports whether the declaration's doc comment carries the
+// //lbsq:hotpath directive. Exported for the annotation-coverage test.
+func IsHot(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), Directive) {
+			return true
+		}
+	}
+	return false
+}
+
+// scan records fi's own allocation constructs and outgoing static
+// calls. Goroutine bodies are excluded (asynchronous work is not on
+// the caller's path); non-invoked function literals are flagged as
+// closures and not descended into.
+func scan(pass *analysis.Pass, fi *fnInfo) {
+	info := pass.TypesInfo
+
+	// Slices declared locally without capacity, for the append rule.
+	noCap := make(map[types.Object]bool)
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || i >= len(n.Rhs) && len(n.Rhs) != 1 {
+					continue
+				}
+				rhs := n.Rhs[0]
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				}
+				obj := info.Defs[id]
+				if obj == nil || !isSlice(obj.Type()) {
+					continue
+				}
+				if !hasCapacity(info, rhs) {
+					noCap[obj] = true
+				}
+			}
+		case *ast.DeclStmt:
+			if gd, ok := n.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok || len(vs.Values) > 0 {
+						continue
+					}
+					for _, name := range vs.Names {
+						if obj := info.Defs[name]; obj != nil && isSlice(obj.Type()) {
+							noCap[obj] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	add := func(pos token.Pos, desc string) {
+		fi.own = append(fi.own, construct{pos: pos, desc: desc})
+	}
+
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				return false
+			case *ast.DeferStmt:
+				// Deferred literal calls stay on the stack (open-coded
+				// defers); the call's arguments and non-literal callees
+				// are still on the path.
+				if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+					walk(lit.Body)
+					return false
+				}
+				return true
+			case *ast.FuncLit:
+				add(n.Pos(), "escaping closure")
+				return false
+			case *ast.CompositeLit:
+				t := info.Types[n].Type
+				if t == nil {
+					return true
+				}
+				switch t.Underlying().(type) {
+				case *types.Map:
+					add(n.Pos(), "map literal")
+				case *types.Slice:
+					add(n.Pos(), "slice literal")
+				}
+				return true
+			case *ast.BinaryExpr:
+				if n.Op == token.ADD {
+					if tv, ok := info.Types[n]; ok && tv.Value == nil && isString(tv.Type) {
+						add(n.OpPos, "string concatenation")
+						// Report once per concatenation chain.
+						return false
+					}
+				}
+			case *ast.CallExpr:
+				checkCall(pass, fi, n, noCap, add)
+				// Don't descend into an immediately invoked literal's
+				// body twice — checkCall walks it.
+				if lit, ok := ast.Unparen(n.Fun).(*ast.FuncLit); ok {
+					for _, arg := range n.Args {
+						walk(arg)
+					}
+					walk(lit.Body)
+					return false
+				}
+			}
+			return true
+		})
+	}
+	walk(fi.decl.Body)
+}
+
+func checkCall(pass *analysis.Pass, fi *fnInfo, call *ast.CallExpr, noCap map[types.Object]bool, add func(token.Pos, string)) {
+	info := pass.TypesInfo
+
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				if len(call.Args) > 0 {
+					if base, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+						if noCap[info.Uses[base]] {
+							add(call.Pos(), "append to a slice declared without capacity")
+						}
+					}
+				}
+			case "make":
+				if t := info.Types[call].Type; t != nil {
+					switch t.Underlying().(type) {
+					case *types.Map:
+						add(call.Pos(), "make(map)")
+					case *types.Slice:
+						add(call.Pos(), "make(slice)")
+					case *types.Chan:
+						add(call.Pos(), "make(chan)")
+					}
+				}
+			case "new":
+				add(call.Pos(), "new()")
+			}
+			return
+		}
+	}
+	// Type conversions are not calls, but string↔slice conversions copy.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			to, from := info.Types[call].Type, info.Types[call.Args[0]].Type
+			if to != nil && from != nil {
+				if isString(to) && isSlice(from) {
+					add(call.Pos(), "slice-to-string conversion")
+				} else if isSlice(to) && isString(from) {
+					add(call.Pos(), "string-to-slice conversion")
+				}
+			}
+		}
+		return
+	}
+
+	callee := lockutil.Callee(info, call)
+	if callee != nil {
+		if callee.Pkg() != nil && callee.Pkg().Path() == "fmt" {
+			add(call.Pos(), "fmt."+callee.Name()+" call")
+			return
+		}
+		fi.calls = append(fi.calls, callSite{callee: callee, pos: call.Pos()})
+	}
+
+	// Interface boxing: concrete non-pointer value passed to an
+	// interface parameter.
+	sig := signatureOf(info, call)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		tv, ok := info.Types[arg]
+		if !ok || tv.Value != nil || tv.IsNil() {
+			continue // constants and nil never box on the heap
+		}
+		at := tv.Type
+		if at == nil || types.IsInterface(at) {
+			continue
+		}
+		if _, isPtr := at.Underlying().(*types.Pointer); isPtr {
+			continue // pointers fit the interface word
+		}
+		add(arg.Pos(), "interface boxing of "+at.String())
+	}
+}
+
+func signatureOf(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+func isSlice(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func hasCapacity(info *types.Info, rhs ast.Expr) bool {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "make" {
+		return false
+	}
+	return len(call.Args) == 3
+}
+
+func contains(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func shortName(fn *types.Func) string {
+	full := fn.FullName()
+	if i := strings.LastIndex(full, "/"); i >= 0 {
+		for j := i; j >= 0; j-- {
+			if full[j] == '(' || full[j] == '*' {
+				return full[:j+1] + full[i+1:]
+			}
+		}
+		return full[i+1:]
+	}
+	return full
+}

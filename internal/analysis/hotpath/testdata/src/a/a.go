@@ -1,0 +1,108 @@
+// Fixture for the hotpath analyzer: allocation constructs under the
+// //lbsq:hotpath directive.
+package a
+
+import "fmt"
+
+type res struct{ x, y int }
+
+// Hit is the clean shape: out-parameter filled with a struct literal
+// (stack-allocated), no constructs.
+//
+//lbsq:hotpath
+func Hit(dst *res, xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	*dst = res{x: s, y: len(xs)}
+	return s
+}
+
+//lbsq:hotpath
+func Bad(xs []int) string {
+	f := func() int { return 1 } // want `escaping closure on a //lbsq:hotpath path`
+	_ = f
+	m := map[int]int{} // want `map literal on a //lbsq:hotpath path`
+	_ = m
+	s := fmt.Sprintf("%d", len(xs)) // want `fmt\.Sprintf call on a //lbsq:hotpath path`
+	return s + "!"                  // want `string concatenation on a //lbsq:hotpath path`
+}
+
+//lbsq:hotpath
+func Gather(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want `append to a slice declared without capacity on a //lbsq:hotpath path`
+	}
+	return out
+}
+
+// Fill appends into a caller-provided slice: the declaration is not
+// visible here, so growth is the caller's contract. Not flagged.
+//
+//lbsq:hotpath
+func Fill(out []int, xs []int) []int {
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+func sink(v interface{}) {}
+
+//lbsq:hotpath
+func Box(p *res, n int) {
+	sink(p)  // pointer fits the interface word: fine
+	sink(n)  // want `interface boxing of int on a //lbsq:hotpath path`
+	sink(42) // constant: fine
+}
+
+//lbsq:hotpath
+func News(b []byte) string {
+	p := new(res)     // want `new\(\) on a //lbsq:hotpath path`
+	xs := []int{1, 2} // want `slice literal on a //lbsq:hotpath path`
+	_ = p
+	_ = xs
+	return string(b) // want `slice-to-string conversion on a //lbsq:hotpath path`
+}
+
+// step is itself annotated, so callers trust it.
+//
+//lbsq:hotpath
+func step(dst *res) { dst.x++ }
+
+// slowHelper carries an allocation fact (fmt call) but is not hot.
+func slowHelper() string { return fmt.Sprint("x") }
+
+//lbsq:hotpath
+func Walk2(dst *res) {
+	step(dst)
+	slowHelper() // want `call to a\.slowHelper allocates on a //lbsq:hotpath path \(fmt\.Sprint call\)`
+}
+
+func slowCold() { fmt.Println("miss") }
+
+// WithCold keeps its cold branch behind a named suppression.
+//
+//lbsq:hotpath
+func WithCold(dst *res, miss bool) {
+	if miss {
+		slowCold() //lbsq:nocheck hotpath — fixture: miss path pays a full query
+		return
+	}
+	dst.x++
+}
+
+// Spawn hands work to a goroutine; asynchronous work is off-path.
+//
+//lbsq:hotpath
+func Spawn(ch chan int) {
+	go func() { ch <- 1 }()
+}
+
+// cold is un-annotated: constructs here produce facts, not
+// diagnostics.
+func cold() map[int]int {
+	return map[int]int{1: 2}
+}

@@ -1,0 +1,13 @@
+// Dependency fixture: Describe exports an allocation fact, Fast
+// exports a hot (trusted) fact; both cross the package boundary.
+package hotdep
+
+import "fmt"
+
+// Describe allocates: it formats.
+func Describe(n int) string { return fmt.Sprintf("n=%d", n) }
+
+// Fast is annotated, so callers trust it and it is checked here.
+//
+//lbsq:hotpath
+func Fast(n int) int { return n * 2 }

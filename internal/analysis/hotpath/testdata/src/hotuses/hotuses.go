@@ -1,0 +1,11 @@
+// Two-package fixture: hotdep.Describe's allocation fact is reported
+// at this call site; hotdep.Fast's hot fact makes it trusted.
+package hotuses
+
+import "hotdep"
+
+//lbsq:hotpath
+func Serve(n int) int {
+	hotdep.Describe(n) // want `call to hotdep\.Describe allocates on a //lbsq:hotpath path \(fmt\.Sprintf call\)`
+	return hotdep.Fast(n)
+}

@@ -1,0 +1,286 @@
+// Package lockorder defines an analyzer that builds the program-wide
+// mutex-acquisition graph and reports ordering cycles.
+//
+// Every mutex receiver is canonicalized to a "lock class" (see
+// lockutil.Class): the DB write lock is lbsq.DB.mu, the store mutex is
+// lbsq/internal/storage.Store.mu, the session region-index shard locks
+// are one class per cell type, and so on. While walking each function,
+// acquiring class B with class A already held records the directed
+// edge A → B; calling a function whose (transitive) acquisition set
+// contains B does the same. Per-function acquisition sets travel as
+// object facts and each package's local edges as a package fact, so
+// the graph spans package boundaries: the checker of any package sees
+// the union of its own edges and every dependency's.
+//
+// A cycle in the merged graph — including a self-edge, acquiring a
+// lock class while an instance of the same class is held — is a
+// potential deadlock and is reported at the local edge that closes it.
+// Hand-over-hand locking of sibling instances is rare in lbsq; where
+// it is intentional, suppress the closing edge with
+// //lbsq:nocheck lockorder and a justification.
+package lockorder
+
+import (
+	"encoding/json"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"lbsq/internal/analysis"
+	"lbsq/internal/analysis/lockutil"
+)
+
+// Analyzer is the lockorder analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "mutex acquisition edges must form a DAG across packages; cycles (including same-class self-edges) are potential deadlocks",
+	Run:  run,
+}
+
+// acquiresFact is a function's transitive lock-acquisition set.
+type acquiresFact struct {
+	Classes []string
+}
+
+// edge is one observed acquisition ordering: To was acquired while
+// From was held, at position At.
+type edge struct {
+	From, To string
+	At       string
+}
+
+// edgesFact is a package's locally observed edges.
+type edgesFact struct {
+	Edges []edge
+}
+
+type fnInfo struct {
+	decl *ast.FuncDecl
+	obj  *types.Func
+	// acquires is the transitive set of lock classes (fixpoint state).
+	acquires map[string]bool
+	calls    []*types.Func
+}
+
+func run(pass *analysis.Pass) error {
+	// Pass 1: per-function local acquisitions, call lists, and the
+	// package's local edges from direct lock-while-locked nesting.
+	var fns []*fnInfo
+	byObj := make(map[*types.Func]*fnInfo)
+	type localEdge struct {
+		from, to string
+		pos      token.Pos
+	}
+	var locals []localEdge
+	type pendingCall struct {
+		fn     *fnInfo
+		callee *types.Func
+		held   string
+		pos    token.Pos
+	}
+	var pending []pendingCall
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fi := &fnInfo{decl: fd, obj: obj, acquires: make(map[string]bool)}
+			var held []string
+			lockutil.Walk(pass.TypesInfo, fd.Name.Name, fd.Body, lockutil.Hooks{
+				Acquire: func(class string, read bool, pos token.Pos) {
+					if class != "" {
+						fi.acquires[class] = true
+						if len(held) > 0 && held[len(held)-1] != "" {
+							locals = append(locals, localEdge{from: held[len(held)-1], to: class, pos: pos})
+						}
+					}
+					held = append(held, class)
+				},
+				Release: func(class string, read bool) {
+					for i := len(held) - 1; i >= 0; i-- {
+						if held[i] == class {
+							held = append(held[:i], held[i+1:]...)
+							return
+						}
+					}
+					if class == "" && len(held) > 0 {
+						held = held[:len(held)-1]
+					}
+				},
+				Call: func(call *ast.CallExpr, pos token.Pos) {
+					callee := lockutil.Callee(pass.TypesInfo, call)
+					if callee == nil {
+						return
+					}
+					fi.calls = append(fi.calls, callee)
+					if len(held) > 0 && held[len(held)-1] != "" {
+						pending = append(pending, pendingCall{fn: fi, callee: callee, held: held[len(held)-1], pos: pos})
+					}
+				},
+			})
+			fns = append(fns, fi)
+			byObj[obj] = fi
+		}
+	}
+
+	// Pass 2: transitive acquisition sets (local fixpoint + imported
+	// object facts), then edges from calls made under a held lock.
+	calleeAcquires := func(callee *types.Func) []string {
+		if fi, ok := byObj[callee]; ok {
+			out := make([]string, 0, len(fi.acquires))
+			for c := range fi.acquires {
+				out = append(out, c)
+			}
+			return out
+		}
+		var af acquiresFact
+		if pass.ImportObjectFact(callee, &af) {
+			return af.Classes
+		}
+		return nil
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range fns {
+			for _, callee := range fi.calls {
+				for _, c := range calleeAcquires(callee) {
+					if !fi.acquires[c] {
+						fi.acquires[c] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	for _, pc := range pending {
+		for _, c := range calleeAcquires(pc.callee) {
+			locals = append(locals, localEdge{from: pc.held, to: c, pos: pc.pos})
+		}
+	}
+
+	// Export facts: acquisition sets per function, local edges as the
+	// package fact (sorted for deterministic vetx bytes).
+	for _, fi := range fns {
+		if len(fi.acquires) == 0 {
+			continue
+		}
+		classes := make([]string, 0, len(fi.acquires))
+		for c := range fi.acquires {
+			classes = append(classes, c)
+		}
+		sort.Strings(classes)
+		if err := pass.ExportObjectFact(fi.obj, acquiresFact{Classes: classes}); err != nil {
+			return err
+		}
+	}
+	dedup := make(map[string]localEdge)
+	for _, e := range locals {
+		key := e.from + "\x00" + e.to
+		if _, ok := dedup[key]; !ok {
+			dedup[key] = e
+		}
+	}
+	var pkgEdges []edge
+	for _, e := range dedup {
+		pkgEdges = append(pkgEdges, edge{From: e.from, To: e.to, At: pass.Fset.Position(e.pos).String()})
+	}
+	sort.Slice(pkgEdges, func(i, j int) bool {
+		if pkgEdges[i].From != pkgEdges[j].From {
+			return pkgEdges[i].From < pkgEdges[j].From
+		}
+		return pkgEdges[i].To < pkgEdges[j].To
+	})
+	if len(pkgEdges) > 0 {
+		if err := pass.ExportPackageFact(edgesFact{Edges: pkgEdges}); err != nil {
+			return err
+		}
+	}
+
+	// Pass 3: merge every visible package's edges and report each local
+	// edge that closes a cycle, at its own position.
+	adj := make(map[string]map[string]string) // from → to → where recorded
+	addEdge := func(e edge) {
+		m := adj[e.From]
+		if m == nil {
+			m = make(map[string]string)
+			adj[e.From] = m
+		}
+		if _, ok := m[e.To]; !ok {
+			m[e.To] = e.At
+		}
+	}
+	for _, raw := range pass.AllPackageFacts() {
+		var ef edgesFact
+		if json.Unmarshal(raw, &ef) == nil {
+			for _, e := range ef.Edges {
+				addEdge(e)
+			}
+		}
+	}
+
+	seen := make(map[string]bool) // one report per local from→to pair
+	for _, e := range dedup {
+		key := e.from + "\x00" + e.to
+		if seen[key] {
+			continue
+		}
+		if e.from == e.to {
+			seen[key] = true
+			pass.Reportf(e.pos, "acquiring %s while an instance of the same class is already held (possible self-deadlock); release first, or annotate intentional hand-over-hand locking with //lbsq:nocheck lockorder", e.to)
+			continue
+		}
+		if path := findPath(adj, e.to, e.from); path != nil {
+			seen[key] = true
+			cycle := append([]string{e.from}, path...)
+			backAt := adj[path[len(path)-2]][e.from]
+			pass.Reportf(e.pos, "mutex acquisition order cycle: %s (closing edge %s → %s recorded at %s); acquire these locks in one global order",
+				strings.Join(cycle, " → "), path[len(path)-2], e.from, backAt)
+		}
+	}
+	return nil
+}
+
+// findPath returns the node path from src to dst through adj (src and
+// dst included), or nil if unreachable.
+func findPath(adj map[string]map[string]string, src, dst string) []string {
+	type frame struct {
+		node string
+		prev int
+	}
+	frames := []frame{{node: src, prev: -1}}
+	visited := map[string]bool{src: true}
+	for i := 0; i < len(frames); i++ {
+		cur := frames[i]
+		if cur.node == dst {
+			var rev []string
+			for j := i; j >= 0; j = frames[j].prev {
+				rev = append(rev, frames[j].node)
+			}
+			path := make([]string, 0, len(rev))
+			for j := len(rev) - 1; j >= 0; j-- {
+				path = append(path, rev[j])
+			}
+			return path
+		}
+		next := make([]string, 0, len(adj[cur.node]))
+		for to := range adj[cur.node] {
+			next = append(next, to)
+		}
+		sort.Strings(next)
+		for _, to := range next {
+			if !visited[to] {
+				visited[to] = true
+				frames = append(frames, frame{node: to, prev: i})
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"lbsq/internal/analysis/analysistest"
+	"lbsq/internal/analysis/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), lockorder.Analyzer, "a", "useshier")
+}

@@ -1,0 +1,73 @@
+// Fixture for the lockorder analyzer: mutex acquisition cycles.
+package a
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+var av A
+var bv B
+
+// ab establishes a.A.mu → a.B.mu; because ba inverts it, this edge
+// also closes the cycle seen from its side.
+func ab() {
+	av.mu.Lock()
+	bv.mu.Lock() // want `mutex acquisition order cycle: a\.A\.mu → a\.B\.mu → a\.A\.mu`
+	bv.mu.Unlock()
+	av.mu.Unlock()
+}
+
+// ba inverts ab's ordering.
+func ba() {
+	bv.mu.Lock()
+	av.mu.Lock() // want `mutex acquisition order cycle: a\.B\.mu → a\.A\.mu → a\.B\.mu`
+	av.mu.Unlock()
+	bv.mu.Unlock()
+}
+
+type Cell struct{ mu sync.Mutex }
+
+// move locks two instances of the same class: a self-edge.
+func move(src, dst *Cell) {
+	src.mu.Lock()
+	dst.mu.Lock() // want `acquiring a\.Cell\.mu while an instance of the same class is already held`
+	dst.mu.Unlock()
+	src.mu.Unlock()
+}
+
+type C struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+type E struct{ mu sync.Mutex }
+
+var cv C
+var dv D
+var ev E
+
+func lockD() {
+	dv.mu.Lock()
+	dv.mu.Unlock()
+}
+
+// cThenD acquires D through a call while holding C.
+func cThenD() {
+	cv.mu.Lock()
+	lockD() // want `mutex acquisition order cycle: a\.C\.mu → a\.D\.mu → a\.C\.mu`
+	cv.mu.Unlock()
+}
+
+// dThenC inverts cThenD's call-through ordering.
+func dThenC() {
+	dv.mu.Lock()
+	cv.mu.Lock() // want `mutex acquisition order cycle: a\.D\.mu → a\.C\.mu → a\.D\.mu`
+	cv.mu.Unlock()
+	dv.mu.Unlock()
+}
+
+// ce follows a consistent global order; no report.
+func ce() {
+	cv.mu.Lock()
+	ev.mu.Lock()
+	ev.mu.Unlock()
+	cv.mu.Unlock()
+}

@@ -1,0 +1,26 @@
+// Dependency fixture: records the edge dephier.High.mu →
+// dephier.Low.mu as a package fact and exports LockHigh's acquisition
+// set as an object fact.
+package dephier
+
+import "sync"
+
+type Low struct{ Mu sync.Mutex }
+type High struct{ Mu sync.Mutex }
+
+var L Low
+var H High
+
+// HighLow establishes High before Low — the package's lock hierarchy.
+func HighLow() {
+	H.Mu.Lock()
+	L.Mu.Lock()
+	L.Mu.Unlock()
+	H.Mu.Unlock()
+}
+
+// LockHigh acquires the High lock on behalf of callers.
+func LockHigh() {
+	H.Mu.Lock()
+	H.Mu.Unlock()
+}

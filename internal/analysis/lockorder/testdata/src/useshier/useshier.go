@@ -1,0 +1,12 @@
+// Two-package fixture: dephier's recorded High → Low edge (package
+// fact) plus LockHigh's acquisition set (object fact) make this
+// Low-then-High call a cross-package cycle.
+package useshier
+
+import "dephier"
+
+func LowHigh() {
+	dephier.L.Mu.Lock()
+	dephier.LockHigh() // want `mutex acquisition order cycle: dephier\.Low\.Mu → dephier\.High\.Mu → dephier\.Low\.Mu`
+	dephier.L.Mu.Unlock()
+}

@@ -1,0 +1,307 @@
+// Package lockscope defines an analyzer that keeps blocking operations
+// out of critical sections.
+//
+// The WAL ordering discipline (PR 7) is that fsync happens outside the
+// DB write lock; the distribution layer's discipline (PRs 5–6) is that
+// shard RPCs never run under a region-index shard lock. Both are
+// invisible to the compiler. lockscope computes a "blocking" fact for
+// every function — it sleeps, performs file or network I/O, or
+// operates on channels, directly or through any transitive callee —
+// and reports calls to blocking functions (and intrinsic channel
+// operations) made while a sync.Mutex or sync.RWMutex is held.
+//
+// Facts cross package boundaries through the driver's vetx exchange,
+// so a storage-layer helper that grows an fsync is flagged at every
+// locked call site in lbsq proper on the next `make vet`. Standard-
+// library packages are not analyzed; their blocking entry points are a
+// curated list (file I/O, net/http round trips, time.Sleep,
+// WaitGroup/Cond waits). Lock-granularity blocking — calling a
+// function that briefly takes another mutex — is deliberately not
+// "blocking" here; lockorder owns lock-vs-lock concerns.
+//
+// A select with a default case never blocks and is exempt. Where
+// holding the lock across a blocking call is the design (WAL append
+// order under the write lock, per-session serialization), annotate the
+// call line — or the line above it — with
+//
+//	//lbsq:allowblock — <justification>
+//
+// which is lockscope's own escape hatch and is not subject to
+// nocheckaudit.
+package lockscope
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"lbsq/internal/analysis"
+	"lbsq/internal/analysis/lockutil"
+)
+
+// Analyzer is the lockscope analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockscope",
+	Doc:  "no blocking calls (fsync, file/network I/O, channel ops, sleeps) inside sync.Mutex/RWMutex critical sections; blocking-ness propagates through transitive callees via facts",
+	Run:  run,
+}
+
+// blockingFact marks a function that may block; exported per function
+// so dependent packages see it.
+type blockingFact struct {
+	Why string // human-readable immediate reason
+}
+
+// blockingPrimitives maps types.Func.FullName of standard-library
+// entry points to why they block. The standard library is never
+// analyzed for facts, so this curated list is the fact base of the
+// transitive closure. Plain io.Reader/io.Writer calls are deliberately
+// absent: through an interface the target is unresolvable anyway, and
+// flagging every buffered write would be noise — the os.File and net
+// layers below them are what actually block.
+var blockingPrimitives = map[string]string{
+	"time.Sleep": "sleeps",
+
+	"os.Open":       "opens a file",
+	"os.OpenFile":   "opens a file",
+	"os.Create":     "creates a file",
+	"os.CreateTemp": "creates a file",
+	"os.ReadFile":   "reads a file",
+	"os.WriteFile":  "writes a file",
+	"os.ReadDir":    "reads a directory",
+	"os.Remove":     "touches the filesystem",
+	"os.RemoveAll":  "touches the filesystem",
+	"os.Rename":     "touches the filesystem",
+	"os.Mkdir":      "touches the filesystem",
+	"os.MkdirAll":   "touches the filesystem",
+	"os.MkdirTemp":  "touches the filesystem",
+	"os.Stat":       "touches the filesystem",
+	"os.Truncate":   "touches the filesystem",
+
+	"(*os.File).Read":        "reads a file",
+	"(*os.File).ReadAt":      "reads a file",
+	"(*os.File).Write":       "writes a file",
+	"(*os.File).WriteAt":     "writes a file",
+	"(*os.File).WriteString": "writes a file",
+	"(*os.File).Seek":        "seeks a file",
+	"(*os.File).Sync":        "fsyncs",
+	"(*os.File).Truncate":    "truncates a file",
+	"(*os.File).Close":       "closes a file",
+
+	"net/http.Get":      "performs an HTTP round trip",
+	"net/http.Head":     "performs an HTTP round trip",
+	"net/http.Post":     "performs an HTTP round trip",
+	"net/http.PostForm": "performs an HTTP round trip",
+
+	"(*net/http.Client).Do":           "performs an HTTP round trip",
+	"(*net/http.Client).Get":          "performs an HTTP round trip",
+	"(*net/http.Client).Head":         "performs an HTTP round trip",
+	"(*net/http.Client).Post":         "performs an HTTP round trip",
+	"(*net/http.Client).PostForm":     "performs an HTTP round trip",
+	"(*net/http.Transport).RoundTrip": "performs an HTTP round trip",
+
+	"net.Dial":        "dials the network",
+	"net.DialTimeout": "dials the network",
+	"net.Listen":      "listens on the network",
+
+	"(*sync.WaitGroup).Wait": "waits on a WaitGroup",
+	"(*sync.Cond).Wait":      "waits on a Cond",
+}
+
+// fnInfo is the per-function state of the local fixpoint.
+type fnInfo struct {
+	decl     *ast.FuncDecl
+	obj      *types.Func
+	blocking bool
+	why      string
+	// calls are the statically resolved callees (any package).
+	calls []*types.Func
+}
+
+func run(pass *analysis.Pass) error {
+	allow := collectAllows(pass)
+
+	// Pass 1: immediate blocking-ness and the local call graph.
+	var fns []*fnInfo
+	byObj := make(map[*types.Func]*fnInfo)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fi := &fnInfo{decl: fd, obj: obj}
+			lockutil.Walk(pass.TypesInfo, fd.Name.Name, fd.Body, lockutil.Hooks{
+				Blocking: func(pos token.Pos, what string) {
+					if !fi.blocking {
+						fi.blocking, fi.why = true, what
+					}
+				},
+				Call: func(call *ast.CallExpr, pos token.Pos) {
+					callee := lockutil.Callee(pass.TypesInfo, call)
+					if callee == nil {
+						return
+					}
+					if why, ok := blockingPrimitives[callee.FullName()]; ok {
+						if !fi.blocking {
+							fi.blocking, fi.why = true, why
+						}
+						return
+					}
+					fi.calls = append(fi.calls, callee)
+				},
+			})
+			fns = append(fns, fi)
+			byObj[obj] = fi
+		}
+	}
+
+	// Pass 2: transitive closure — local fixpoint plus imported facts.
+	blocksVia := func(callee *types.Func) (string, bool) {
+		if fi, ok := byObj[callee]; ok {
+			if fi.blocking {
+				return fi.why, true
+			}
+			return "", false
+		}
+		var bf blockingFact
+		if pass.ImportObjectFact(callee, &bf) {
+			return bf.Why, true
+		}
+		return "", false
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range fns {
+			if fi.blocking {
+				continue
+			}
+			for _, callee := range fi.calls {
+				if why, ok := blocksVia(callee); ok {
+					fi.blocking = true
+					fi.why = "calls " + shortName(callee) + ", which " + why
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for _, fi := range fns {
+		if fi.blocking {
+			if err := pass.ExportObjectFact(fi.obj, blockingFact{Why: fi.why}); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Pass 3: critical-section walk with diagnostics.
+	for _, fi := range fns {
+		fi := fi
+		var held []string // lock classes currently held, acquisition order
+		heldDesc := func() string {
+			last := held[len(held)-1]
+			if last == "" {
+				return "a mutex"
+			}
+			return last
+		}
+		report := func(pos token.Pos, msg string) {
+			if allow.allows(pass.Fset.Position(pos)) {
+				return
+			}
+			pass.Reportf(pos, "%s; move it outside the lock or annotate with //lbsq:allowblock", msg)
+		}
+		lockutil.Walk(pass.TypesInfo, fi.decl.Name.Name, fi.decl.Body, lockutil.Hooks{
+			Acquire: func(class string, read bool, pos token.Pos) {
+				held = append(held, class)
+			},
+			Release: func(class string, read bool) {
+				for i := len(held) - 1; i >= 0; i-- {
+					if held[i] == class {
+						held = append(held[:i], held[i+1:]...)
+						return
+					}
+				}
+				if class == "" && len(held) > 0 {
+					held = held[:len(held)-1]
+				}
+			},
+			Blocking: func(pos token.Pos, what string) {
+				if len(held) > 0 {
+					report(pos, what+" inside critical section ("+heldDesc()+" held)")
+				}
+			},
+			Call: func(call *ast.CallExpr, pos token.Pos) {
+				if len(held) == 0 {
+					return
+				}
+				callee := lockutil.Callee(pass.TypesInfo, call)
+				if callee == nil {
+					return
+				}
+				why, blocking := "", false
+				if w, ok := blockingPrimitives[callee.FullName()]; ok {
+					why, blocking = w, true
+				} else if w, ok := blocksVia(callee); ok {
+					why, blocking = w, true
+				}
+				if blocking {
+					report(pos, "call to "+shortName(callee)+" may block ("+why+") while "+heldDesc()+" is held")
+				}
+			},
+		})
+	}
+	return nil
+}
+
+// shortName renders a callee compactly: pkgname.Func or
+// (*pkgname.Type).Method.
+func shortName(fn *types.Func) string {
+	full := fn.FullName()
+	// Trim import-path directories, keeping the final package element:
+	// "(*lbsq/internal/wal.Log).Append" → "(*wal.Log).Append".
+	if i := strings.LastIndex(full, "/"); i >= 0 {
+		for j := i; j >= 0; j-- {
+			if full[j] == '(' || full[j] == '*' {
+				return full[:j+1] + full[i+1:]
+			}
+		}
+		return full[i+1:]
+	}
+	return full
+}
+
+const allowPrefix = "//lbsq:allowblock"
+
+// allowTable indexes //lbsq:allowblock comments by file and line; like
+// nocheck comments they cover their own line and the next.
+type allowTable map[string]map[int]bool
+
+func (t allowTable) allows(pos token.Position) bool { return t[pos.Filename][pos.Line] }
+
+func collectAllows(pass *analysis.Pass) allowTable {
+	t := make(allowTable)
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(strings.TrimSpace(c.Text), allowPrefix) {
+					continue
+				}
+				pos := pass.Fset.Position(c.Pos())
+				lines := t[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]bool)
+					t[pos.Filename] = lines
+				}
+				lines[pos.Line] = true
+				lines[pos.Line+1] = true
+			}
+		}
+	}
+	return t
+}

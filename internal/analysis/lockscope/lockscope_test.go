@@ -1,0 +1,12 @@
+package lockscope_test
+
+import (
+	"testing"
+
+	"lbsq/internal/analysis/analysistest"
+	"lbsq/internal/analysis/lockscope"
+)
+
+func TestLockScope(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), lockscope.Analyzer, "a", "uses")
+}

@@ -1,0 +1,98 @@
+// Fixture for the lockscope analyzer: blocking operations inside
+// sync.Mutex/RWMutex critical sections.
+package a
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type Store struct {
+	mu sync.Mutex
+	f  *os.File
+	n  int
+}
+
+// CommitBad is the seeded fsync-under-lock mutation from the WAL
+// ordering discipline: sync must happen after the write lock drops.
+func (s *Store) CommitBad() {
+	s.mu.Lock()
+	s.f.Sync() // want `call to \(\*os\.File\)\.Sync may block \(fsyncs\) while a\.Store\.mu is held`
+	s.mu.Unlock()
+}
+
+// CommitGood syncs after releasing the lock.
+func (s *Store) CommitGood() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	s.f.Sync()
+}
+
+// Flush documents an intentional sync-under-lock via allowblock.
+func (s *Store) Flush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.f.Sync() //lbsq:allowblock — fixture: commit ordering requires sync under the lock
+}
+
+func (s *Store) sleepy() {
+	time.Sleep(time.Millisecond)
+}
+
+// Tick blocks transitively: sleepy sleeps, and the lock is held by a
+// deferred unlock until return.
+func (s *Store) Tick() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sleepy() // want `call to \(\*a\.Store\)\.sleepy may block \(sleeps\) while a\.Store\.mu is held`
+}
+
+// Notify sends on a channel while holding the lock, then again safely
+// after releasing it.
+func (s *Store) Notify(ch chan int) {
+	s.mu.Lock()
+	ch <- 1 // want `channel send inside critical section \(a\.Store\.mu held\)`
+	s.mu.Unlock()
+	ch <- 2
+}
+
+// TryNotify uses a select with default: non-blocking, exempt.
+func (s *Store) TryNotify(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case ch <- 1:
+	default:
+	}
+}
+
+// Wait blocks on a select with no default.
+func (s *Store) Wait(ch chan int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `select without default inside critical section \(a\.Store\.mu held\)`
+	case v := <-ch:
+		return v
+	}
+}
+
+// Spawn starts a goroutine under the lock; the goroutine body does not
+// run under the caller's critical section.
+func (s *Store) Spawn(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() { ch <- 1 }()
+}
+
+type Index struct {
+	mu sync.RWMutex
+}
+
+// Snapshot performs file I/O under a read lock: readers block writers.
+func (ix *Index) Snapshot() {
+	ix.mu.RLock()
+	os.ReadFile("x") // want `call to os\.ReadFile may block \(reads a file\) while a\.Index\.mu is held`
+	ix.mu.RUnlock()
+}

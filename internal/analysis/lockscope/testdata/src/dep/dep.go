@@ -1,0 +1,13 @@
+// Dependency fixture: exports a blocking fact for Flush, consumed by
+// the uses package across the package boundary.
+package dep
+
+import "os"
+
+type Sink struct{ f *os.File }
+
+// Flush fsyncs, so it carries a blocking fact.
+func (s *Sink) Flush() error { return s.f.Sync() }
+
+// Peek is pure and carries no fact.
+func (s *Sink) Peek() int { return 0 }

@@ -1,0 +1,25 @@
+// Two-package fixture: the blocking fact of dep.(*Sink).Flush crosses
+// the package boundary and is reported at this locked call site.
+package uses
+
+import (
+	"dep"
+	"sync"
+)
+
+type Wrap struct {
+	mu sync.Mutex
+	s  *dep.Sink
+}
+
+func (w *Wrap) Commit() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.s.Flush() // want `call to \(\*dep\.Sink\)\.Flush may block \(fsyncs\) while uses\.Wrap\.mu is held`
+}
+
+func (w *Wrap) Inspect() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.s.Peek()
+}

@@ -1,0 +1,354 @@
+// Package lockutil holds the mutex-awareness shared by the lockscope
+// and lockorder analyzers: recognizing sync.Mutex/RWMutex operations,
+// canonicalizing a lock expression to a stable cross-package "lock
+// class" name, and walking a function body in source order while
+// tracking which locks are held.
+//
+// The walk uses sequential semantics: branches do not fork the held
+// set, so a lock released on only one arm of an if-statement is
+// treated as released. This trades false negatives (a blocking call
+// after an early unlock in the other arm goes unreported) for zero
+// branch-explosion cost, which is the right trade for a vet-time
+// checker. `defer mu.Unlock()` keeps the lock held to the end of the
+// function; deferred non-unlock calls are visited as ordinary calls at
+// the defer statement with the held set of that point, which under
+// LIFO defer ordering matches when they actually run relative to a
+// deferred unlock registered earlier.
+package lockutil
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"lbsq/internal/analysis"
+)
+
+// A LockOp is one recognized mutex operation.
+type LockOp struct {
+	// Method is Lock, Unlock, RLock, or RUnlock.
+	Method string
+	// Recv is the receiver expression the mutex was reached through.
+	Recv ast.Expr
+}
+
+// MutexOp reports whether call invokes a sync.Mutex or sync.RWMutex
+// lock method (directly or promoted through embedding).
+func MutexOp(info *types.Info, call *ast.CallExpr) (LockOp, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return LockOp{}, false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return LockOp{}, false
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+		return LockOp{Method: fn.Name(), Recv: sel.X}, true
+	}
+	return LockOp{}, false
+}
+
+// Class canonicalizes the mutex receiver expression to a stable name
+// usable across packages:
+//
+//	s.mu.Lock()   (s *storage.Store)   → lbsq/internal/storage.Store.mu
+//	db.mu.Lock()  (method on *DB)      → lbsq.DB.mu
+//	st.Lock()     (Store embeds Mutex) → lbsq/internal/storage.Store
+//	globalMu.Lock()  (package var)     → lbsq/internal/x.globalMu
+//	mu.Lock()     (local var)          → lbsq/internal/x.f.mu
+//
+// enclosing is the name of the function being walked (for local-var
+// classes). Returns "" when the expression cannot be resolved to a
+// stable identity (e.g. a mutex reached through an interface).
+func Class(info *types.Info, enclosing string, recv ast.Expr) string {
+	recv = unwrap(recv)
+	switch e := recv.(type) {
+	case *ast.SelectorExpr:
+		obj := info.Uses[e.Sel]
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return ""
+		}
+		if !v.IsField() {
+			// Package-qualified variable: pkgname.GlobalMu.
+			if v.Pkg() != nil {
+				return v.Pkg().Path() + "." + v.Name()
+			}
+			return ""
+		}
+		// Field access: name it after the innermost named owner type.
+		if owner := namedOf(info.Types[e.X].Type); owner != nil {
+			return typeClass(owner) + "." + v.Name()
+		}
+		return ""
+	case *ast.Ident:
+		v, ok := info.Uses[e].(*types.Var)
+		if !ok {
+			return ""
+		}
+		// Promoted method on a struct embedding the mutex: the receiver
+		// is the struct value itself, so the class is the type.
+		if owner := namedOf(v.Type()); owner != nil && !isSyncMutex(owner) {
+			return typeClass(owner)
+		}
+		if v.Pkg() == nil {
+			return ""
+		}
+		if v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+		return v.Pkg().Path() + "." + enclosing + "." + v.Name()
+	case *ast.CallExpr, *ast.IndexExpr:
+		// Mutex reached through a call or index (e.g. a shard-picker
+		// like c.shards[i].mu): name it after the element's owner if we
+		// can see a field, handled by the SelectorExpr case above when
+		// present; otherwise unknown.
+		return ""
+	}
+	return ""
+}
+
+func unwrap(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				e = x.X
+				continue
+			}
+			return e
+		default:
+			return e
+		}
+	}
+}
+
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+func typeClass(n *types.Named) string {
+	if n.Obj().Pkg() == nil {
+		return n.Obj().Name()
+	}
+	return n.Obj().Pkg().Path() + "." + n.Obj().Name()
+}
+
+func isSyncMutex(n *types.Named) bool {
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// FuncKey returns the cross-package fact key of a declared function
+// (analysis.ObjectKey of its types.Func), or "" if unresolved.
+func FuncKey(info *types.Info, fn *ast.FuncDecl) string {
+	if obj, ok := info.Defs[fn.Name].(*types.Func); ok {
+		return analysis.ObjectKey(obj)
+	}
+	return ""
+}
+
+// Callee resolves the static callee of a call: a declared function,
+// method, or package-level function from any package. Dynamic calls —
+// func values, interface methods — return nil; analyzers treat those
+// conservatively via facts they cannot have.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		if fn == nil {
+			return nil
+		}
+		// An interface method has no body anywhere we can see; its
+		// FullName would never match a fact key.
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if types.IsInterface(sig.Recv().Type()) {
+				return nil
+			}
+		}
+		return fn
+	case *ast.IndexExpr:
+		// Generic instantiation f[T](...).
+		if id, ok := fun.X.(*ast.Ident); ok {
+			fn, _ := info.Uses[id].(*types.Func)
+			return fn
+		}
+	}
+	return nil
+}
+
+// Hooks receives the events of a critical-section walk.
+type Hooks struct {
+	// Acquire fires on mu.Lock / mu.RLock. class may be "" (unresolved).
+	Acquire func(class string, read bool, pos token.Pos)
+	// Release fires on a non-deferred mu.Unlock / mu.RUnlock.
+	Release func(class string, read bool)
+	// Blocking fires on an intrinsically blocking construct: channel
+	// send/receive, range over a channel, select without a default.
+	Blocking func(pos token.Pos, what string)
+	// Call fires on every non-mutex call (including deferred calls and
+	// calls inside immediately-invoked literals).
+	Call func(call *ast.CallExpr, pos token.Pos)
+}
+
+// Walk visits fn's body in source order, firing Hooks. Goroutine
+// bodies and non-invoked function literals are skipped: they do not
+// run while the walked function holds its locks (any lock they take
+// themselves is analyzed at their own declaration only if named).
+func Walk(info *types.Info, enclosing string, body *ast.BlockStmt, h Hooks) {
+	w := &walker{info: info, enclosing: enclosing, h: h}
+	w.stmt(body)
+}
+
+type walker struct {
+	info      *types.Info
+	enclosing string
+	h         Hooks
+}
+
+func (w *walker) stmt(n ast.Node) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// The spawned goroutine does not run under the caller's
+			// locks; spawning itself does not block.
+			return false
+		case *ast.DeferStmt:
+			// Deferred unlocks pin the lock to function end; other
+			// deferred calls are visited in place (see package doc).
+			if op, ok := lockOpOf(w.info, n.Call); ok {
+				_ = op // deferred Lock/Unlock: no event either way
+				return false
+			}
+			w.call(n.Call)
+			return false
+		case *ast.FuncLit:
+			// Visited only via the IIFE path in call().
+			return false
+		case *ast.SelectStmt:
+			w.selectStmt(n)
+			return false
+		case *ast.SendStmt:
+			if w.h.Blocking != nil {
+				w.h.Blocking(n.Arrow, "channel send")
+			}
+			return true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && w.h.Blocking != nil {
+				w.h.Blocking(n.OpPos, "channel receive")
+			}
+			return true
+		case *ast.RangeStmt:
+			if t := w.info.Types[n.X].Type; t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok && w.h.Blocking != nil {
+					w.h.Blocking(n.For, "range over channel")
+				}
+			}
+			return true
+		case *ast.CallExpr:
+			w.call(n)
+			return false
+		}
+		return true
+	})
+}
+
+func (w *walker) call(call *ast.CallExpr) {
+	// Arguments evaluate before the call.
+	for _, arg := range call.Args {
+		w.stmt(arg)
+	}
+	if op, ok := lockOpOf(w.info, call); ok {
+		class := Class(w.info, w.enclosing, op.Recv)
+		switch op.Method {
+		case "Lock", "RLock":
+			if w.h.Acquire != nil {
+				w.h.Acquire(class, op.Method == "RLock", call.Pos())
+			}
+		case "Unlock", "RUnlock":
+			if w.h.Release != nil {
+				w.h.Release(class, op.Method == "RUnlock")
+			}
+		}
+		return
+	}
+	// Immediately-invoked function literal: its body runs here.
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		w.stmt(lit.Body)
+		return
+	}
+	w.stmt(call.Fun)
+	if w.h.Call != nil {
+		w.h.Call(call, call.Pos())
+	}
+}
+
+func (w *walker) selectStmt(sel *ast.SelectStmt) {
+	hasDefault := false
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault && w.h.Blocking != nil {
+		w.h.Blocking(sel.Select, "select without default")
+	}
+	// Walk the clause bodies. The comm statements themselves never fire
+	// channel-op Blocking events: with a default the select is
+	// non-blocking, and without one the select-level event above
+	// already accounts for it.
+	for _, c := range sel.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm != nil {
+			w.visitCommCalls(cc.Comm)
+		}
+		for _, s := range cc.Body {
+			w.stmt(s)
+		}
+	}
+}
+
+// visitCommCalls visits calls nested in a select communication clause
+// without re-triggering channel-op Blocking events (the select already
+// decided whether those block).
+func (w *walker) visitCommCalls(comm ast.Stmt) {
+	ast.Inspect(comm, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, isLock := lockOpOf(w.info, call); !isLock && w.h.Call != nil {
+				if _, isLit := ast.Unparen(call.Fun).(*ast.FuncLit); !isLit {
+					w.h.Call(call, call.Pos())
+				}
+			}
+			return true
+		}
+		return true
+	})
+}
+
+func lockOpOf(info *types.Info, call *ast.CallExpr) (LockOp, bool) {
+	return MutexOp(info, call)
+}

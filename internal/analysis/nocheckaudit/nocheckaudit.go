@@ -1,0 +1,63 @@
+// Package nocheckaudit defines an analyzer that audits the
+// //lbsq:nocheck suppression comments themselves.
+//
+// Suppressions rot: the code they excused gets refactored, the
+// analyzer's rule changes, or a name is simply misspelled, and the
+// comment silently keeps a hole open in the vet gate. The driver runs
+// nocheckaudit after every other analyzer and hands it the unit's
+// suppression table with usage bits, so it can report:
+//
+//   - a suppression naming an analyzer that is registered and ran but
+//     matched no diagnostic on its lines (stale — delete it)
+//   - a suppression naming an analyzer the driver has never heard of
+//     (typo, or the analyzer was removed)
+//   - a bare //lbsq:nocheck that matched nothing (stale, and overly
+//     broad even when live — prefer the named form)
+//
+// Names of registered-but-disabled analyzers (-NAME=false) are skipped
+// rather than reported: they cannot be judged on this run. The
+// //lbsq:allowblock directive is lockscope's own escape hatch and is
+// not part of this audit.
+package nocheckaudit
+
+import (
+	"lbsq/internal/analysis"
+)
+
+// Analyzer is the nocheckaudit analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:              "nocheckaudit",
+	Doc:               "//lbsq:nocheck comments must still suppress a diagnostic of a registered analyzer; stale, unknown-name, and dead bare suppressions are flagged for deletion",
+	AuditSuppressions: true,
+	Run:               run,
+}
+
+func run(pass *analysis.Pass) error {
+	active := make(map[string]bool)
+	for _, n := range pass.ActiveAnalyzers() {
+		active[n] = true
+	}
+	registered := make(map[string]bool)
+	for _, n := range pass.RegisteredAnalyzers() {
+		registered[n] = true
+	}
+	for _, s := range pass.Suppressions() {
+		if len(s.Names) == 0 {
+			if len(s.Used) == 0 {
+				pass.Reportf(s.Pos, "stale suppression: bare //lbsq:nocheck matched no diagnostic; delete it (and prefer the named form when one is needed)")
+			}
+			continue
+		}
+		for _, n := range s.Names {
+			switch {
+			case !registered[n]:
+				pass.Reportf(s.Pos, "//lbsq:nocheck names unknown analyzer %q; fix the name or delete the suppression", n)
+			case !active[n]:
+				// Disabled on this run; cannot judge.
+			case !s.Used[n]:
+				pass.Reportf(s.Pos, "stale suppression: //lbsq:nocheck %s matched no %s diagnostic; delete it", n, n)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package nocheckaudit_test
+
+import (
+	"testing"
+
+	"lbsq/internal/analysis"
+	"lbsq/internal/analysis/analysistest"
+	"lbsq/internal/analysis/floatcmp"
+	"lbsq/internal/analysis/nocheckaudit"
+)
+
+func TestNocheckAudit(t *testing.T) {
+	analysistest.RunAll(t, analysistest.TestData(t),
+		[]*analysis.Analyzer{floatcmp.Analyzer, nocheckaudit.Analyzer}, "a")
+}

@@ -1,0 +1,32 @@
+// Fixture for the nocheckaudit analyzer, co-run with floatcmp so
+// suppression usage is observable. Expectations about a comment's own
+// line use the block form /* want ... */ because two // comments
+// cannot share a line.
+package a
+
+func f(a, b float64) bool {
+	//lbsq:nocheck floatcmp — live: suppresses the comparison below
+	live := a == b
+	_ = live
+
+	stale := a < b // ordered comparison: floatcmp does not flag it
+	_ = stale
+
+	/* want `stale suppression: //lbsq:nocheck floatcmp matched no floatcmp diagnostic` */ //lbsq:nocheck floatcmp
+	notFloat := a < b
+	_ = notFloat
+
+	/* want `//lbsq:nocheck names unknown analyzer "flaotcmp"` */ //lbsq:nocheck flaotcmp
+	typo := a == b                                                // want `raw == comparison of floating-point values`
+	_ = typo
+
+	/* want `stale suppression: bare //lbsq:nocheck matched no diagnostic` */ //lbsq:nocheck
+	bare := a < b
+	_ = bare
+
+	//lbsq:nocheck — bare but live: suppresses the comparison below
+	liveBare := a == b
+	_ = liveBare
+
+	return a != a
+}

@@ -9,13 +9,17 @@ package analysis
 //	tool -flags         describe supported flags as JSON
 //	tool [flags] x.cfg  analyze the single package unit described by
 //	                    the JSON config file, writing diagnostics to
-//	                    stderr and an (empty) facts file to VetxOutput
+//	                    stderr and a facts file to VetxOutput
 //
-// Because every lbsq analyzer is local — no cross-package facts —
-// dependency units (VetxOnly: true) are satisfied by writing the empty
-// facts file without parsing or type-checking anything, so a whole-
-// module `go vet` pays the analysis cost only for the module's own
-// packages.
+// Facts flow the way they do in x/tools' unitchecker: the go command
+// schedules a VetxOnly unit for every dependency, hands each unit the
+// vetx files of its direct dependencies via PackageVetx, and caches
+// VetxOutput. A unit's vetx file holds the *transitive* facts — its
+// own package's exports merged with everything it imported — encoded
+// as JSON (PackageFacts), so one hop of PackageVetx is enough.
+// Standard-library units are not analyzed (analyzers carry curated
+// knowledge of stdlib blocking/allocating primitives instead); their
+// vetx files are empty, which keeps whole-module `go vet` cheap.
 
 import (
 	"crypto/sha256"
@@ -30,6 +34,7 @@ import (
 	"go/version"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 )
@@ -97,12 +102,14 @@ func Main(progname string, analyzers ...*Analyzer) {
 		os.Exit(2)
 	}
 	var active []*Analyzer
+	registered := make([]string, 0, len(analyzers))
 	for _, a := range analyzers {
+		registered = append(registered, a.Name)
 		if *enabled[a.Name] {
 			active = append(active, a)
 		}
 	}
-	os.Exit(runUnit(fs.Arg(0), active))
+	os.Exit(runUnit(fs.Arg(0), active, registered))
 }
 
 func firstLine(s string) string {
@@ -154,7 +161,7 @@ func printFlagsJSON(fs *flag.FlagSet) {
 }
 
 // runUnit analyzes one package unit and returns the process exit code.
-func runUnit(cfgFile string, analyzers []*Analyzer) int {
+func runUnit(cfgFile string, analyzers []*Analyzer, registered []string) int {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -165,16 +172,17 @@ func runUnit(cfgFile string, analyzers []*Analyzer) int {
 		fmt.Fprintf(os.Stderr, "%s: cannot decode JSON config: %v\n", cfgFile, err)
 		return 1
 	}
-	// The go command requires the facts file to exist after every unit,
-	// including dependency-only units. lbsq analyzers produce no facts.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 1
-		}
-	}
-	if cfg.VetxOnly {
-		return 0
+	// Standard-library units are never analyzed: analyzers encode what
+	// they need to know about stdlib primitives directly (see the
+	// curated call lists in lockscope/hotpath), so their facts are
+	// empty. Without this, blocking-ness becomes viral through runtime
+	// internals (everything transitively reaches the allocator's
+	// channel operations) and the facts are pure noise. The go command
+	// still requires the vetx file to exist. cfg.Standard only maps the
+	// unit's *imports*, so std-ness of the unit itself is detected by
+	// its sources living under GOROOT.
+	if isStdUnit(cfg) {
+		return writeVetx(cfg, nil)
 	}
 
 	fset := token.NewFileSet()
@@ -183,7 +191,7 @@ func runUnit(cfgFile string, analyzers []*Analyzer) int {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				return 0
+				return writeVetx(cfg, nil)
 			}
 			fmt.Fprintln(os.Stderr, err)
 			return 1
@@ -194,22 +202,123 @@ func runUnit(cfgFile string, analyzers []*Analyzer) int {
 	pkg, info, err := typecheck(fset, cfg, files)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			return 0
+			return writeVetx(cfg, nil)
 		}
 		fmt.Fprintf(os.Stderr, "%s: typecheck: %v\n", cfg.ImportPath, err)
 		return 1
 	}
 
-	diags, err := Run(fset, files, pkg, info, analyzers)
+	imported := readVetx(cfg)
+	run := analyzers
+	if cfg.VetxOnly {
+		// Dependency units exist only to produce facts; suppression
+		// audits report on code, not facts, so skip them here.
+		run = nil
+		for _, a := range analyzers {
+			if !a.AuditSuppressions {
+				run = append(run, a)
+			}
+		}
+	}
+	diags, exported, err := RunUnit(Unit{
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		TypesInfo:  info,
+		Imported:   imported,
+		Registered: registered,
+	}, run)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
+	}
+
+	// The unit's vetx holds the transitive facts: everything imported
+	// plus this package's own exports.
+	merged := make(PackageFacts, len(imported)+1)
+	for path, f := range imported {
+		merged[path] = f
+	}
+	if len(exported) > 0 {
+		merged[cfg.ImportPath] = exported
+	}
+	if code := writeVetx(cfg, merged); code != 0 {
+		return code
+	}
+	if cfg.VetxOnly {
+		return 0
 	}
 	for _, d := range diags {
 		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
 	}
 	if len(diags) > 0 {
 		return 2
+	}
+	return 0
+}
+
+// isStdUnit reports whether the unit being analyzed is a standard-
+// library package (its Go files live under GOROOT/src).
+func isStdUnit(cfg *Config) bool {
+	if cfg.Standard[cfg.ImportPath] || cfg.ImportPath == "unsafe" {
+		return true
+	}
+	if len(cfg.GoFiles) == 0 {
+		return true
+	}
+	goroot := os.Getenv("GOROOT")
+	if goroot == "" {
+		goroot = runtime.GOROOT()
+	}
+	if goroot == "" {
+		return false
+	}
+	root := filepath.Join(goroot, "src") + string(filepath.Separator)
+	return strings.HasPrefix(cfg.GoFiles[0], root)
+}
+
+// readVetx decodes the dependency facts the go command supplied via
+// PackageVetx. Each file holds a transitive PackageFacts map; merging
+// direct dependencies therefore yields the full transitive closure.
+func readVetx(cfg *Config) PackageFacts {
+	merged := make(PackageFacts)
+	for _, file := range cfg.PackageVetx {
+		data, err := os.ReadFile(file)
+		if err != nil || len(data) == 0 {
+			continue // std unit or older empty-format file
+		}
+		var pf PackageFacts
+		if json.Unmarshal(data, &pf) != nil {
+			continue
+		}
+		for path, f := range pf {
+			if len(f) > 0 {
+				merged[path] = f
+			}
+		}
+	}
+	return merged
+}
+
+// writeVetx writes the unit's facts file (required by the go command
+// even when empty) and returns a process exit code.
+func writeVetx(cfg *Config, facts PackageFacts) int {
+	if cfg.VetxOutput == "" {
+		return 0
+	}
+	var data []byte
+	if len(facts) > 0 {
+		var err error
+		// encoding/json sorts map keys, so the output is deterministic
+		// and safe for the go command's content-addressed build cache.
+		if data, err = json.Marshal(facts); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if err := os.WriteFile(cfg.VetxOutput, data, 0o666); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
 	}
 	return 0
 }

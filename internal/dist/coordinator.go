@@ -275,6 +275,7 @@ func (c *Coordinator) Seed(ctx context.Context, items []rtree.Item) error {
 	if err != nil {
 		return err
 	}
+	//lbsq:allowblock — wmu exists to serialize bootstrap/writes against rebalances; holding it across the scatter is its purpose
 	errs, scErr := c.scatterGroups(ctx, c.allGroups(), func(gi int) error {
 		return c.eachReplicaBulk(ctx, c.groups[gi], func(actx context.Context, r *replica) error {
 			return r.b.Load(actx, split[gi])
@@ -1189,6 +1190,7 @@ func (c *Coordinator) Rebalance(ctx context.Context, placement Placement, partit
 	moves := make([][]rtree.Item, len(c.groups)) // destination group → items
 	deletes := make([][]rtree.Item, len(c.groups))
 	for gi := range c.groups {
+		//lbsq:allowblock — rebalance holds wmu exclusively to freeze writers while dumping; that stall is the rebalance contract
 		items, err := call(ctx, c, c.groups[gi], func(ctx context.Context, b shard.Backend) ([]rtree.Item, error) {
 			return b.SearchItems(ctx, c.universe)
 		})
@@ -1224,7 +1226,6 @@ func (c *Coordinator) Rebalance(ctx context.Context, placement Placement, partit
 				if len(moves[rb]) == 0 {
 					continue
 				}
-				//lbsq:nocheck droppederr
 				_ = c.eachReplicaBulk(ctx, c.groups[rb], func(actx context.Context, r *replica) error {
 					return r.b.Unload(actx, moves[rb])
 				})
@@ -1278,6 +1279,7 @@ func (c *Coordinator) Join(ctx context.Context, addr string) (int, error) {
 	if err := c.verifyNode(ctx, r); err != nil {
 		return 0, err
 	}
+	//lbsq:allowblock — join holds wmu exclusively so the copied group image cannot drift while the new replica loads
 	items, err := call(ctx, c, c.groups[best], func(ctx context.Context, b shard.Backend) ([]rtree.Item, error) {
 		return b.SearchItems(ctx, c.universe)
 	})

@@ -210,7 +210,7 @@ func (r consistentRing) owner(key string) int {
 func fnv64(s string) uint64 {
 	h := fnv.New64a()
 	// Hash.Write never returns an error.
-	_, _ = h.Write([]byte(s)) //lbsq:nocheck droppederr
+	_, _ = h.Write([]byte(s))
 	return mix64(h.Sum64())
 }
 

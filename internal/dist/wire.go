@@ -213,7 +213,7 @@ func writeRPCError(w http.ResponseWriter, status int, msg string) {
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	// Encoding a flat struct of string+int cannot fail.
-	_ = enc.Encode(struct { //lbsq:nocheck droppederr
+	_ = enc.Encode(struct {
 		Error string `json:"error"`
 		Code  int    `json:"code"`
 	}{Error: msg, Code: status})

@@ -196,7 +196,7 @@ func replayFleet(srv *core.Server, exec *qexec.Executor, universe geom.Rect, pat
 		for _, id := range ids {
 			// Drop the fleet so the next mode starts clean; errors are
 			// impossible for ids we just issued.
-			m.Close(id) //lbsq:nocheck droppederr
+			m.Close(id)
 		}
 	}
 	return r

@@ -102,6 +102,8 @@ func (c *Cache) Len() int {
 }
 
 // cell returns the clamped grid-cell coordinates of p.
+//
+//lbsq:hotpath
 func (c *Cache) cell(p geom.Point) (uint64, uint64) {
 	fx := (p.X - c.universe.MinX) / c.universe.Width() * gridCells
 	fy := (p.Y - c.universe.MinY) / c.universe.Height() * gridCells
@@ -110,44 +112,57 @@ func (c *Cache) cell(p geom.Point) (uint64, uint64) {
 	return cx, cy
 }
 
+// fnvMix folds one 64-bit word into an FNV-1a state byte by byte.
+//
+//lbsq:hotpath
+func fnvMix(h, v uint64) uint64 {
+	const prime = 1099511628211
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= prime
+		v >>= 8
+	}
+	return h
+}
+
 // shardFor hashes (op tag, grid cell, two extra words) with FNV-1a and
 // folds onto a shard.
+//
+//lbsq:hotpath
 func (c *Cache) shardFor(tag byte, cx, cy, a, b uint64) *cacheShard {
 	const (
 		offset = 14695981039346656037
 		prime  = 1099511628211
 	)
 	h := uint64(offset)
-	mix := func(v uint64) {
-		for i := 0; i < 8; i++ {
-			h ^= v & 0xff
-			h *= prime
-			v >>= 8
-		}
-	}
 	h ^= uint64(tag)
 	h *= prime
-	mix(cx)
-	mix(cy)
-	mix(a)
-	mix(b)
+	h = fnvMix(h, cx)
+	h = fnvMix(h, cy)
+	h = fnvMix(h, a)
+	h = fnvMix(h, b)
 	return &c.shards[h&(cacheShards-1)]
 }
 
+//lbsq:hotpath
 func (c *Cache) nnShard(q geom.Point, k int) *cacheShard {
 	cx, cy := c.cell(q)
 	return c.shardFor('n', cx, cy, uint64(k), 0)
 }
 
+//lbsq:hotpath
 func (c *Cache) windowShard(focus geom.Point, qx, qy float64) *cacheShard {
 	cx, cy := c.cell(focus)
 	return c.shardFor('w', cx, cy, math.Float64bits(qx), math.Float64bits(qy))
 }
 
-// lookup scans one shard newest-first for the first entry satisfying
-// ok, dropping stale-epoch entries on the way and promoting the hit to
-// most recently used.
-func (s *cacheShard) lookup(epoch uint64, ok func(*cacheEntry) bool) *cacheEntry {
+// lookupNN scans one shard newest-first for an NN entry answering
+// (q, k), dropping stale-epoch entries on the way and promoting the
+// hit to most recently used. Closure-free twin of lookupWindow so the
+// cache-hit path does not allocate.
+//
+//lbsq:hotpath
+func (s *cacheShard) lookupNN(epoch uint64, q geom.Point, k int) *cacheEntry {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for i := len(s.entries) - 1; i >= 0; i-- {
@@ -156,14 +171,46 @@ func (s *cacheShard) lookup(epoch uint64, ok func(*cacheEntry) bool) *cacheEntry
 			s.entries = append(s.entries[:i], s.entries[i+1:]...)
 			continue
 		}
-		if ok(e) {
-			if i != len(s.entries)-1 {
-				s.entries = append(append(s.entries[:i], s.entries[i+1:]...), e)
-			}
+		if e.nn != nil && e.k == k && e.nn.Valid(q) {
+			s.promote(i, e)
 			return e
 		}
 	}
 	return nil
+}
+
+// lookupWindow is lookupNN for window entries: same extents, focus
+// inside the conservative rectangle.
+//
+//lbsq:hotpath
+func (s *cacheShard) lookupWindow(epoch uint64, focus geom.Point, qx, qy float64) *cacheEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := len(s.entries) - 1; i >= 0; i-- {
+		e := s.entries[i]
+		if e.epoch != epoch {
+			s.entries = append(s.entries[:i], s.entries[i+1:]...)
+			continue
+		}
+		if e.win != nil && geom.ExactEq(e.qx, qx) && geom.ExactEq(e.qy, qy) &&
+			e.win.Conservative.Contains(focus) {
+			s.promote(i, e)
+			return e
+		}
+	}
+	return nil
+}
+
+// promote moves entry e (at index i) to the most-recently-used slot.
+// Callers hold s.mu.
+//
+//lbsq:hotpath
+func (s *cacheShard) promote(i int, e *cacheEntry) {
+	if i == len(s.entries)-1 {
+		return
+	}
+	copy(s.entries[i:], s.entries[i+1:])
+	s.entries[len(s.entries)-1] = e
 }
 
 // store appends an entry, evicting the least recently used past cap.
@@ -180,14 +227,14 @@ func (s *cacheShard) store(perShard int, e *cacheEntry) {
 // requires the query point inside the universe: the influence set only
 // bounds the region there, so the half-plane validity test is exact
 // only for in-universe points.
+//
+//lbsq:hotpath
 func (c *Cache) GetNN(q geom.Point, k int) *core.NNValidity {
 	if c == nil || !c.universe.Contains(q) {
 		return nil
 	}
 	epoch := c.epoch.Load()
-	e := c.nnShard(q, k).lookup(epoch, func(e *cacheEntry) bool {
-		return e.nn != nil && e.k == k && e.nn.Valid(q)
-	})
+	e := c.nnShard(q, k).lookupNN(epoch, q, k)
 	if e == nil {
 		return nil
 	}
@@ -210,15 +257,14 @@ func (c *Cache) PutNN(epoch0 uint64, v *core.NNValidity) {
 // GetWindow returns a cached window validity answering a qx×qy window
 // at the focus, or nil. The hit test is the conservative rectangle —
 // cheap, and contained in the true validity region.
+//
+//lbsq:hotpath
 func (c *Cache) GetWindow(focus geom.Point, qx, qy float64) *core.WindowValidity {
 	if c == nil {
 		return nil
 	}
 	epoch := c.epoch.Load()
-	e := c.windowShard(focus, qx, qy).lookup(epoch, func(e *cacheEntry) bool {
-		return e.win != nil && geom.ExactEq(e.qx, qx) && geom.ExactEq(e.qy, qy) &&
-			e.win.Conservative.Contains(focus)
-	})
+	e := c.windowShard(focus, qx, qy).lookupWindow(epoch, focus, qx, qy)
 	if e == nil {
 		return nil
 	}

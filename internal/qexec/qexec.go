@@ -315,11 +315,20 @@ func (e *Executor) runOne(r *Request, resp *Response) {
 // NNCached answers one NN query through the cache: a hit returns the
 // shared region at zero cost; identical concurrent misses coalesce onto
 // one computation. hit and coalesced report which path answered.
+//
+//lbsq:hotpath
 func (e *Executor) NNCached(ctx context.Context, q geom.Point, k int) (v *core.NNValidity, cost core.QueryCost, hit, coalesced bool, err error) {
 	if v := e.cache.GetNN(q, k); v != nil {
 		e.met.hit(opNN)
 		return v, core.QueryCost{}, true, false, nil
 	}
+	//lbsq:nocheck hotpath — cache miss: the full query runs anyway, its cost dwarfs any allocation here
+	return e.nnMiss(ctx, q, k)
+}
+
+// nnMiss is NNCached's cache-miss slow path: run the query (coalescing
+// concurrent identical misses) and store the region.
+func (e *Executor) nnMiss(ctx context.Context, q geom.Point, k int) (v *core.NNValidity, cost core.QueryCost, hit, coalesced bool, err error) {
 	if e.cache == nil {
 		v, cost, err = e.runNN(ctx, q, k)
 		return v, cost, false, false, err
@@ -347,11 +356,19 @@ func (e *Executor) NNCached(ctx context.Context, q geom.Point, k int) (v *core.N
 // WindowCached answers one window query through the cache (see
 // NNCached): a hit is a cached answer of identical extents whose
 // conservative rectangle contains this window's center.
+//
+//lbsq:hotpath
 func (e *Executor) WindowCached(ctx context.Context, w geom.Rect) (wv *core.WindowValidity, cost core.QueryCost, hit, coalesced bool, err error) {
 	if wv := e.cache.GetWindow(w.Center(), w.Width(), w.Height()); wv != nil {
 		e.met.hit(opWindow)
 		return wv, core.QueryCost{}, true, false, nil
 	}
+	//lbsq:nocheck hotpath — cache miss: the full query runs anyway, its cost dwarfs any allocation here
+	return e.windowMiss(ctx, w)
+}
+
+// windowMiss is WindowCached's cache-miss slow path (see nnMiss).
+func (e *Executor) windowMiss(ctx context.Context, w geom.Rect) (wv *core.WindowValidity, cost core.QueryCost, hit, coalesced bool, err error) {
 	if e.cache == nil {
 		wv, cost, err = e.runWindow(ctx, w)
 		return wv, cost, false, false, err

@@ -265,6 +265,8 @@ func (m *Manager) open(ctx context.Context, s *Session, start geom.Point) (*Sess
 
 // lookup resolves an id to its session, expiring it first if the idle
 // TTL has elapsed.
+//
+//lbsq:hotpath
 func (m *Manager) lookup(id uint64) (*Session, error) {
 	m.mu.RLock()
 	s := m.sessions[id]
@@ -277,7 +279,7 @@ func (m *Manager) lookup(id uint64) (*Session, error) {
 		return nil, ErrNotFound
 	}
 	if m.ttl > 0 && time.Since(time.Unix(0, s.active.Load())) > m.ttl {
-		m.retire(s)
+		m.retire(s) //lbsq:nocheck hotpath — TTL expiry: a cold, once-per-session event
 		return nil, ErrExpired
 	}
 	return s, nil
@@ -326,9 +328,22 @@ func (m *Manager) Close(id uint64) error {
 // prefetched next region when the predicted exit was right, and by
 // re-executing the query otherwise.
 func (m *Manager) Move(ctx context.Context, id uint64, p geom.Point) (*MoveResult, error) {
+	res := new(MoveResult)
+	if err := m.MoveInto(ctx, id, p, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// MoveInto is Move writing the answer into a caller-supplied result,
+// so a region hit — the steady state of a tracked client — performs no
+// heap allocation at all (asserted by BenchmarkSessionMove).
+//
+//lbsq:hotpath
+func (m *Manager) MoveInto(ctx context.Context, id uint64, p geom.Point, out *MoveResult) error {
 	s, err := m.lookup(id)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	s.touch()
 	s.mu.Lock()
@@ -338,11 +353,18 @@ func (m *Manager) Move(ctx context.Context, id uint64, p geom.Point) (*MoveResul
 
 	if !s.invalid.Load() && s.coversLocked(p) {
 		m.met.moveHit.Inc()
-		res := s.resultLocked()
-		res.Hit = true
+		s.resultInto(out)
+		out.Hit = true
 		m.maybePrefetch(s, p, delta)
-		return res, nil
+		return nil
 	}
+	//lbsq:allowblock — per-session serialization by design: a session is a single moving client, and concurrent Moves on one session must not interleave requery with adopt
+	return m.moveSlowLocked(ctx, s, p, delta, out) //lbsq:nocheck hotpath — miss path: the requery (or prefetch adoption) dominates, allocation here is immaterial
+}
+
+// moveSlowLocked handles the Move miss paths — prefetch adoption or a
+// synchronous requery — with s.mu held.
+func (m *Manager) moveSlowLocked(ctx context.Context, s *Session, p, delta geom.Point, out *MoveResult) error {
 	invalidated := s.invalid.Load()
 
 	// Region exit (or push invalidation): try the prefetched region
@@ -354,10 +376,10 @@ func (m *Manager) Move(ctx context.Context, id uint64, p geom.Point) (*MoveResul
 			s.adoptLocked(pf.nn, pf.win, pf.epoch)
 			m.met.movePrefetch.Inc()
 			m.met.pfHit.Inc()
-			res := s.resultLocked()
-			res.Prefetched = true
+			s.resultInto(out)
+			out.Prefetched = true
 			m.maybePrefetch(s, p, delta)
-			return res, nil
+			return nil
 		}
 		m.met.pfWaste.Inc()
 	}
@@ -365,14 +387,15 @@ func (m *Manager) Move(ctx context.Context, id uint64, p geom.Point) (*MoveResul
 	epoch0 := m.epoch.Load()
 	res, err := m.runQuery(ctx, s, p)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	s.adoptLocked(res.NN, res.Window, epoch0)
 	m.met.moveRequery.Inc()
 	res.Invalidated = invalidated
 	res.Seq = s.seq.Load()
 	m.maybePrefetch(s, p, delta)
-	return res, nil
+	*out = *res
+	return nil
 }
 
 // runQuery executes the session's full query at p through the DB's
@@ -400,7 +423,16 @@ func (m *Manager) runQuery(ctx context.Context, s *Session, p geom.Point) (*Move
 
 // resultLocked snapshots the session's current answer (s.mu held).
 func (s *Session) resultLocked() *MoveResult {
-	return &MoveResult{NN: s.nn, Window: s.win, Seq: s.seq.Load()}
+	res := new(MoveResult)
+	s.resultInto(res)
+	return res
+}
+
+// resultInto writes the session's current answer into out (s.mu held).
+//
+//lbsq:hotpath
+func (s *Session) resultInto(out *MoveResult) {
+	*out = MoveResult{NN: s.nn, Window: s.win, Seq: s.seq.Load()}
 }
 
 // coversLocked reports whether the armed answer is still exact at p

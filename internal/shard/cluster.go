@@ -296,10 +296,9 @@ func (c *Cluster) byMinDist(q geom.Point) []int {
 // CountWindow returns the number of items inside w, summed over the
 // overlapping shards using aggregate subtree counts.
 func (c *Cluster) CountWindow(w geom.Rect) int {
-	// Scatter errors only arise from ctx cancellation; Background
-	// cannot be cancelled, so the dropped error is provably nil.
-	n, _ := c.CountWindowCtx(context.Background(), w) //lbsq:nocheck droppederr
-	return n
+	return legacy(func(ctx context.Context) (int, error) {
+		return c.CountWindowCtx(ctx, w)
+	})
 }
 
 // CountWindowCtx is CountWindow honoring context cancellation.
@@ -323,9 +322,9 @@ func (c *Cluster) CountWindowCtx(ctx context.Context, w geom.Rect) (int, error) 
 // SearchItems returns the items inside w, gathered from the overlapping
 // shards (order is by shard, then tree order within each shard).
 func (c *Cluster) SearchItems(w geom.Rect) []rtree.Item {
-	// Background cannot be cancelled: the dropped error is provably nil.
-	items, _ := c.SearchItemsCtx(context.Background(), w) //lbsq:nocheck droppederr
-	return items
+	return legacy(func(ctx context.Context) ([]rtree.Item, error) {
+		return c.SearchItemsCtx(ctx, w)
+	})
 }
 
 // SearchItemsCtx is SearchItems honoring context cancellation.

@@ -1,0 +1,43 @@
+package shard
+
+import (
+	"context"
+
+	"lbsq/internal/core"
+)
+
+// This file is the single home of the legacy no-context wrappers'
+// error handling. The pre-context Cluster API (RangeQuery, WindowQuery,
+// KNearest, RouteNN, CountWindow, SearchItems) predates the *Ctx
+// variants and survives for callers that cannot be cancelled. Every
+// wrapper funnels through legacyQuery.do below, so exactly one
+// suppression in the whole package vouches for the "Background cannot
+// be cancelled" argument — the droppederr analyzer audits the wrappers
+// themselves, and nocheckaudit keeps this one suppression honest.
+
+// legacyQuery adapts a context-aware query to the legacy no-context
+// signature. T is the wrapper's full result (use a tuple struct for
+// multi-value queries).
+type legacyQuery[T any] struct {
+	run func(context.Context) (T, error)
+}
+
+// do runs the query under context.Background. Scatter errors only
+// arise from ctx cancellation and Background cannot be cancelled, so
+// the dropped error is provably nil.
+func (q legacyQuery[T]) do() T {
+	v, _ := q.run(context.Background()) //lbsq:nocheck droppederr — Background cannot be cancelled; the only error source is ctx
+	return v
+}
+
+// legacy is the call-site shorthand for legacyQuery.do.
+func legacy[T any](run func(context.Context) (T, error)) T {
+	return legacyQuery[T]{run: run}.do()
+}
+
+// withCost pairs a validity answer with its query cost so two-value
+// queries fit the single-result legacyQuery shape.
+type withCost[T any] struct {
+	v    T
+	cost core.QueryCost
+}

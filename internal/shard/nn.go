@@ -198,9 +198,9 @@ func (c *Cluster) withinReach(q geom.Point, idxs []int, reach float64) []int {
 // KNearest returns the k nearest neighbors of q across all shards (a
 // plain k-NN query, without validity computation).
 func (c *Cluster) KNearest(q geom.Point, k int) []nn.Neighbor {
-	// Background cannot be cancelled: the dropped error is provably nil.
-	nbs, _ := c.KNearestCtx(context.Background(), q, k) //lbsq:nocheck droppederr
-	return nbs
+	return legacy(func(ctx context.Context) ([]nn.Neighbor, error) {
+		return c.KNearestCtx(ctx, q, k)
+	})
 }
 
 // KNearestCtx is KNearest honoring context cancellation.

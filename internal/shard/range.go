@@ -27,9 +27,11 @@ import (
 // An empty result falls back to a full NN fan-out for the globally
 // nearest point, which bounds the conservative safe disk.
 func (c *Cluster) RangeQuery(center geom.Point, radius float64) (*core.RangeValidity, core.QueryCost) {
-	// Background cannot be cancelled: the dropped error is provably nil.
-	rv, cost, _ := c.RangeQueryCtx(context.Background(), center, radius) //lbsq:nocheck droppederr
-	return rv, cost
+	out := legacy(func(ctx context.Context) (withCost[*core.RangeValidity], error) {
+		rv, cost, err := c.RangeQueryCtx(ctx, center, radius)
+		return withCost[*core.RangeValidity]{rv, cost}, err
+	})
+	return out.v, out.cost
 }
 
 // RangeQueryCtx is RangeQuery honoring context cancellation: a

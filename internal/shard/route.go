@@ -16,9 +16,9 @@ import (
 // distance and crosses zero at most once — each fold step splits at
 // that bisector crossing.
 func (c *Cluster) RouteNN(a, b geom.Point) []tp.CNNInterval {
-	// Background cannot be cancelled: the dropped error is provably nil.
-	merged, _ := c.RouteNNCtx(context.Background(), a, b) //lbsq:nocheck droppederr
-	return merged
+	return legacy(func(ctx context.Context) ([]tp.CNNInterval, error) {
+		return c.RouteNNCtx(ctx, a, b)
+	})
 }
 
 // RouteNNCtx is RouteNN honoring context cancellation.

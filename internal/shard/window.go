@@ -34,9 +34,11 @@ func (c *Cluster) WindowQueryAtCtx(ctx context.Context, focus geom.Point, qx, qy
 // validity region is bounded by the distance to the globally nearest
 // point, which only all shards together know.
 func (c *Cluster) WindowQuery(w geom.Rect) (*core.WindowValidity, core.QueryCost) {
-	// Background cannot be cancelled: the dropped error is provably nil.
-	wv, cost, _ := c.WindowQueryCtx(context.Background(), w) //lbsq:nocheck droppederr
-	return wv, cost
+	out := legacy(func(ctx context.Context) (withCost[*core.WindowValidity], error) {
+		wv, cost, err := c.WindowQueryCtx(ctx, w)
+		return withCost[*core.WindowValidity]{wv, cost}, err
+	})
+	return out.v, out.cost
 }
 
 // WindowQueryCtx is WindowQuery honoring context cancellation: a

@@ -31,7 +31,7 @@ func SaveSnapshot(path string, t *rtree.Tree) error {
 	}
 	if err := SaveTree(pf, t); err != nil {
 		cerr := pf.Close()
-		_ = cerr //lbsq:nocheck droppederr — the save already failed; report the root cause
+		_ = cerr // the save already failed; report the root cause
 		os.Remove(tmpPath)
 		return err
 	}

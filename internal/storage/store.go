@@ -164,7 +164,7 @@ func CreateStore(dir string, t *rtree.Tree, universe geom.Rect, o StoreOptions) 
 	}
 	if err := writeManifest(dir, m); err != nil {
 		cerr := log.Close()
-		_ = cerr //lbsq:nocheck droppederr — creation already failed; report the root cause
+		_ = cerr // creation already failed; report the root cause
 		return nil, err
 	}
 	return &Store{
@@ -335,6 +335,12 @@ func (s *Store) Checkpoint(t *rtree.Tree) error {
 	if s.closed {
 		return ErrStoreClosed
 	}
+	//lbsq:allowblock — s.mu must cover snapshot + WAL swap + manifest so appends cannot land in a generation that is being retired; stalling writers is the documented checkpoint cost
+	return s.checkpointLocked(t)
+}
+
+// checkpointLocked does the checkpoint I/O; s.mu must be held.
+func (s *Store) checkpointLocked(t *rtree.Tree) error {
 	start := time.Now()
 	gen := s.gen + 1
 	cpPath := filepath.Join(s.dir, checkpointFile(gen))
@@ -354,7 +360,7 @@ func (s *Store) Checkpoint(t *rtree.Tree) error {
 	}
 	if err := writeManifest(s.dir, m); err != nil {
 		cerr := newLog.Close()
-		_ = cerr //lbsq:nocheck droppederr — the checkpoint already failed; report the root cause
+		_ = cerr // the checkpoint already failed; report the root cause
 		os.Remove(cpPath)
 		os.Remove(filepath.Join(s.dir, walFile(gen)))
 		return err
@@ -407,6 +413,7 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
+	//lbsq:allowblock — the final fsync must cover every append admitted before closed flipped, so it happens under s.mu
 	return s.log.Close()
 }
 

@@ -21,7 +21,19 @@ func BenchmarkWALAppend(b *testing.B) {
 				}
 			}()
 			r := Record{Op: OpInsert, ID: 1, X: 0.25, Y: 0.75}
+			if mode == SyncOS {
+				// The pure append path is asserted allocation-free:
+				// Append and encodeRecord carry //lbsq:hotpath.
+				if allocs := testing.AllocsPerRun(100, func() {
+					if _, err := l.Append(r); err != nil {
+						b.Fatal(err)
+					}
+				}); allocs != 0 {
+					b.Fatalf("append allocated %.1f times per op, want 0", allocs)
+				}
+			}
 			b.SetBytes(RecordLen)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				r.ID = int64(i)

@@ -111,7 +111,8 @@ type Log struct {
 	off        int64
 	seq        uint64
 	closed     bool
-	writeLimit int64 // failpoint: byte offset past which writes tear; -1 disables
+	writeLimit int64           // failpoint: byte offset past which writes tear; -1 disables
+	scratch    [RecordLen]byte // reused append encode buffer (WriteAt leaks its arg, so a stack array would escape)
 
 	syncMu sync.Mutex // serializes fsync batches (group commit)
 	synced atomic.Uint64
@@ -124,6 +125,16 @@ type Log struct {
 // EncodeRecord returns the on-disk bytes of one record.
 func EncodeRecord(r Record) []byte {
 	buf := make([]byte, RecordLen)
+	encodeRecord(r, buf)
+	return buf
+}
+
+// encodeRecord fills buf (len RecordLen) with the on-disk bytes of one
+// record; Append uses it with a stack array so the append path does
+// not allocate.
+//
+//lbsq:hotpath
+func encodeRecord(r Record, buf []byte) {
 	binary.LittleEndian.PutUint32(buf, payloadLen)
 	p := buf[recordHeaderLen:]
 	p[0] = byte(r.Op)
@@ -131,7 +142,6 @@ func EncodeRecord(r Record) []byte {
 	binary.LittleEndian.PutUint64(p[9:], math.Float64bits(r.X))
 	binary.LittleEndian.PutUint64(p[17:], math.Float64bits(r.Y))
 	binary.LittleEndian.PutUint32(buf[4:], crc32.ChecksumIEEE(p))
-	return buf
 }
 
 // ScanRecords parses the record stream b (the log body, after the file
@@ -230,21 +240,26 @@ func (l *Log) Gen() uint64 { return l.gen }
 
 // Append writes one record and returns its sequence number; the record
 // is durable only after Commit(seq) returns (under SyncAlways).
+//
+//lbsq:hotpath
 func (l *Log) Append(r Record) (uint64, error) {
-	buf := EncodeRecord(r)
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return 0, ErrClosed
 	}
+	buf := l.scratch[:]
+	encodeRecord(r, buf)
 	if l.writeLimit >= 0 && l.off+int64(len(buf)) > l.writeLimit {
 		// Failpoint: tear the write mid-record, as a crash would.
 		if l.off < l.writeLimit {
+			//lbsq:allowblock — the torn tail must land at the same offset a real crash would leave
 			n, _ := l.f.WriteAt(buf[:l.writeLimit-l.off], l.off)
 			l.off += int64(n)
 		}
 		return 0, ErrWriteLimit
 	}
+	//lbsq:allowblock — writes ordered under l.mu are the on-disk record order (the WAL invariant); the fsync happens in Commit, outside this lock
 	n, err := l.f.WriteAt(buf, l.off)
 	l.off += int64(n)
 	if err != nil {
@@ -283,6 +298,7 @@ func (l *Log) sync() error {
 	if closed {
 		return ErrClosed
 	}
+	//lbsq:allowblock — group commit: syncMu makes one fsync cover every record appended before it, and appends (l.mu) proceed meanwhile
 	if err := l.f.Sync(); err != nil {
 		return err
 	}

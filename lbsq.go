@@ -534,6 +534,7 @@ func (db *DB) insertItem(it Item) (storage.CommitToken, bool, error) {
 	if db.store == nil {
 		return storage.CommitToken{}, false, nil
 	}
+	//lbsq:allowblock — WAL-append order under db.mu is the recovery invariant (PR 7); the fsync itself happens in store.Commit, outside this lock
 	tok, err := db.store.LogInsert(it)
 	if err != nil {
 		// Unlogged writes must not survive: roll the tree back so the
@@ -584,6 +585,7 @@ func (db *DB) deleteItem(it Item) (bool, storage.CommitToken, bool, error) {
 	if db.store == nil {
 		return true, storage.CommitToken{}, false, nil
 	}
+	//lbsq:allowblock — WAL-append order under db.mu is the recovery invariant (PR 7); the fsync itself happens in store.Commit, outside this lock
 	tok, err := db.store.LogDelete(it)
 	if err != nil {
 		// Roll back: an unlogged delete would vanish on recovery.
@@ -617,6 +619,7 @@ func (db *DB) maybeCheckpoint() error {
 func (db *DB) checkpoint() error {
 	start := time.Now()
 	db.mu.RLock()
+	//lbsq:allowblock — the read lock excludes tree mutations for the whole snapshot write; queries proceed, and stalling writers here is the documented checkpoint cost
 	err := db.store.Checkpoint(db.server.Tree)
 	db.mu.RUnlock()
 	if err == nil && db.met != nil {
@@ -669,6 +672,8 @@ func (db *DB) Close() error {
 // the (non-preemptible) query runs. With Options.CacheSize > 0 the
 // query is served through the validity cache: a hit returns a shared,
 // read-only region at zero node accesses.
+//
+//lbsq:hotpath
 func (db *DB) NN(ctx context.Context, q Point, k int) (*NNValidity, QueryCost, error) {
 	start, tasks0 := db.begin()
 	var (
@@ -680,10 +685,10 @@ func (db *DB) NN(ctx context.Context, q Point, k int) (*NNValidity, QueryCost, e
 	if db.exec.Cache() != nil {
 		v, cost, hit, _, err = db.exec.NNCached(ctx, q, k)
 	} else if db.cluster != nil {
-		v, cost, err = db.cluster.NNQueryCtx(ctx, q, k)
+		v, cost, err = db.cluster.NNQueryCtx(ctx, q, k) //lbsq:nocheck hotpath — cacheless cluster fan-out: the scatter dominates
 	} else if err = ctx.Err(); err == nil {
 		db.mu.RLock()
-		v, cost, err = db.server.NNQuery(q, k)
+		v, cost, err = db.server.NNQuery(q, k) //lbsq:nocheck hotpath — cacheless single-server query: the tree descent dominates
 		db.mu.RUnlock()
 	}
 	area := math.NaN()
@@ -935,6 +940,7 @@ func (db *DB) SaveIndex(path string) error {
 	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	//lbsq:allowblock — deprecated snapshot path: the read lock must cover the full tree walk so the saved image is consistent
 	return storage.SaveSnapshot(path, db.server.Tree)
 }
 

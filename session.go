@@ -63,7 +63,16 @@ type SessionMove struct {
 }
 
 func newSessionMove(r *sess.MoveResult) *SessionMove {
-	return &SessionMove{
+	out := new(SessionMove)
+	fillSessionMove(out, r)
+	return out
+}
+
+// fillSessionMove converts the internal move result in place.
+//
+//lbsq:hotpath
+func fillSessionMove(out *SessionMove, r *sess.MoveResult) {
+	*out = SessionMove{
 		Hit:         r.Hit,
 		Prefetched:  r.Prefetched,
 		Requeried:   r.Requeried,
@@ -102,11 +111,25 @@ func (s *Session) ID() string { return formatSessionID(s.id) }
 // Move reports the client's new position and returns the current
 // answer (see SessionMove for how it was obtained).
 func (s *Session) Move(ctx context.Context, p Point) (*SessionMove, error) {
-	r, err := s.db.sess.Move(ctx, s.id, p)
-	if err != nil {
+	out := new(SessionMove)
+	if err := s.MoveInto(ctx, p, out); err != nil {
 		return nil, err
 	}
-	return newSessionMove(r), nil
+	return out, nil
+}
+
+// MoveInto is Move writing the answer into a caller-supplied result:
+// a region hit — the steady state of a tracked client — performs no
+// heap allocation at all (asserted by BenchmarkSessionMove).
+//
+//lbsq:hotpath
+func (s *Session) MoveInto(ctx context.Context, p Point, out *SessionMove) error {
+	var r sess.MoveResult
+	if err := s.db.sess.MoveInto(ctx, s.id, p, &r); err != nil {
+		return err
+	}
+	fillSessionMove(out, &r)
+	return nil
 }
 
 // Events blocks until the session has been invalidated more than
