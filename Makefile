@@ -40,6 +40,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzDecodeWindow$$' -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzHTTPParams -fuzztime=$(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime=$(FUZZTIME) ./internal/wal
+	$(GO) test -run '^$$' -fuzz FuzzArenaFreeze -fuzztime=$(FUZZTIME) ./internal/rtree/arena
 
 # cluster-smoke runs the networked-cluster integration suite — real
 # HTTP data nodes, coordinator parity against the in-process oracle,

@@ -23,6 +23,7 @@ import (
 	"testing"
 
 	"lbsq/internal/experiments"
+	"lbsq/internal/nn"
 )
 
 func benchConfig() experiments.Config {
@@ -421,49 +422,124 @@ func BenchmarkSessions(b *testing.B) { benchFigure(b, "sessions", 2, "queries") 
 // protocol — an in-region move costs zero index node accesses.
 func BenchmarkSessionMove(b *testing.B) {
 	items, uni := UniformDataset(100_000, 2003)
-	db, err := Open(items, uni, nil)
+	for _, layout := range []string{LayoutPointer, LayoutArena} {
+		b.Run(layout, func(b *testing.B) {
+			db, err := Open(items, uni, &Options{Layout: layout})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			q := Pt(0.42, 0.58)
+			s, _, err := db.OpenSession(ctx, q, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			// Wiggle inside the region: every move must be a hit.
+			pts := make([]Point, 64)
+			for i := range pts {
+				pts[i] = Pt(q.X+float64(i%8)*1e-9, q.Y+float64(i/8)*1e-9)
+			}
+			// The fast path is asserted allocation-free: every function on it
+			// carries //lbsq:hotpath (see TestHotpathCoverage).
+			var res SessionMove
+			if allocs := testing.AllocsPerRun(100, func() {
+				if err := s.MoveInto(ctx, pts[0], &res); err != nil || !res.Hit {
+					b.Fatalf("in-region move failed: hit=%v err=%v", res.Hit, err)
+				}
+			}); allocs != 0 {
+				b.Fatalf("in-region move allocated %.1f times per op, want 0", allocs)
+			}
+			var na int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.MoveInto(ctx, pts[i%len(pts)], &res); err != nil {
+					b.Fatal(err)
+				}
+				if !res.Hit {
+					b.Fatal("in-region move missed the armed region")
+				}
+				na += int64(res.Cost.Total())
+			}
+			if na != 0 {
+				b.Fatalf("in-region moves cost %d node accesses, want 0", na)
+			}
+			b.ReportMetric(float64(na)/float64(b.N), "NA/op")
+		})
+	}
+}
+
+// BenchmarkArenaNN measures the zero-allocation k-NN read path over the
+// flat arena layout: best-first search with pooled heap scratch and a
+// caller-supplied result slice. The benchmark asserts 0 allocs/op —
+// every function on the path carries //lbsq:hotpath.
+func BenchmarkArenaNN(b *testing.B) {
+	items, uni := UniformDataset(100_000, 2003)
+	db, err := Open(items, uni, &Options{Layout: LayoutArena})
 	if err != nil {
 		b.Fatal(err)
 	}
-	ctx := context.Background()
-	q := Pt(0.42, 0.58)
-	s, _, err := db.OpenSession(ctx, q, 4)
-	if err != nil {
-		b.Fatal(err)
-	}
-	defer s.Close()
-	// Wiggle inside the region: every move must be a hit.
+	ix := db.server.Index
 	pts := make([]Point, 64)
 	for i := range pts {
-		pts[i] = Pt(q.X+float64(i%8)*1e-9, q.Y+float64(i/8)*1e-9)
+		pts[i] = Pt(0.1+0.8*float64(i%8)/8, 0.1+0.8*float64(i/8)/8)
 	}
-	// The fast path is asserted allocation-free: every function on it
-	// carries //lbsq:hotpath (see TestHotpathCoverage).
-	var res SessionMove
+	dst := make([]Neighbor, 0, 16)
 	if allocs := testing.AllocsPerRun(100, func() {
-		if err := s.MoveInto(ctx, pts[0], &res); err != nil || !res.Hit {
-			b.Fatalf("in-region move failed: hit=%v err=%v", res.Hit, err)
+		dst = nn.KNearestInto(ix, pts[0], 4, dst)
+		if len(dst) != 4 {
+			b.Fatalf("got %d neighbors, want 4", len(dst))
 		}
 	}); allocs != 0 {
-		b.Fatalf("in-region move allocated %.1f times per op, want 0", allocs)
+		b.Fatalf("arena k-NN allocated %.1f times per op, want 0", allocs)
 	}
-	var na int64
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := s.MoveInto(ctx, pts[i%len(pts)], &res); err != nil {
-			b.Fatal(err)
-		}
-		if !res.Hit {
-			b.Fatal("in-region move missed the armed region")
-		}
-		na += int64(res.Cost.Total())
+		dst = nn.KNearestInto(ix, pts[i%len(pts)], 4, dst)
 	}
-	if na != 0 {
-		b.Fatalf("in-region moves cost %d node accesses, want 0", na)
-	}
-	b.ReportMetric(float64(na)/float64(b.N), "NA/op")
+	sinkNeighbors = dst
 }
+
+// BenchmarkArenaWindow measures the zero-allocation window read path
+// over the flat arena layout: SearchAppend into a reused caller buffer.
+// The benchmark asserts 0 allocs/op.
+func BenchmarkArenaWindow(b *testing.B) {
+	items, uni := UniformDataset(100_000, 2003)
+	db, err := Open(items, uni, &Options{Layout: LayoutArena})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix := db.server.Index
+	ws := make([]Rect, 16)
+	for i := range ws {
+		c := Pt(0.2+0.6*float64(i)/16, 0.5)
+		ws[i] = R(c.X-0.01, c.Y-0.01, c.X+0.01, c.Y+0.01)
+	}
+	buf := make([]Item, 0, 256)
+	if allocs := testing.AllocsPerRun(100, func() {
+		buf = ix.SearchAppend(buf[:0], ws[0])
+		if len(buf) == 0 {
+			b.Fatal("window query returned no items")
+		}
+	}); allocs != 0 {
+		b.Fatalf("arena window allocated %.1f times per op, want 0", allocs)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = ix.SearchAppend(buf[:0], ws[i%len(ws)])
+	}
+	sinkItems = buf
+}
+
+// Benchmark sinks keep results live so the compiler cannot elide the
+// measured calls.
+var (
+	sinkNeighbors []Neighbor
+	sinkItems     []Item
+)
 
 // BenchmarkCacheHitPath measures the validity-cache fast path: the
 // cached variant serves a warmed region at zero node accesses, and the

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -30,7 +31,7 @@ func main() {
 	flag.Parse()
 
 	rc := lbsq.NewRemoteClient(*server)
-	count, universe, err := rc.Info()
+	count, universe, err := rc.Info(context.Background())
 	if err != nil {
 		fatal(err)
 	}
@@ -45,7 +46,7 @@ func main() {
 			hits++
 			continue
 		}
-		v, err := rc.NN(p, *k)
+		v, err := rc.NN(context.Background(), p, *k)
 		if err != nil {
 			fatal(err)
 		}

@@ -73,6 +73,7 @@ func main() {
 		strategy = flag.String("shard-strategy", "grid", "shard partitioning: grid | kdmedian")
 		workers  = flag.Int("shard-workers", 0, "scatter-gather worker pool size (0 = GOMAXPROCS)")
 		cache    = flag.Int("cache", 0, "validity-region cache capacity in regions (0 disables)")
+		layout   = flag.String("layout", "", "index layout: pointer | arena (arena is read-optimized, incompatible with -shards > 1)")
 		metrics  = flag.Bool("metrics", true, "expose Prometheus metrics at /metrics")
 		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 
@@ -125,6 +126,7 @@ func main() {
 			CacheSize:       *cache,
 			SyncMode:        sync,
 			CheckpointEvery: *checkEvery,
+			Layout:          *layout,
 		})
 		if err != nil {
 			log.Fatalf("lbsq-server: %v", err)
@@ -143,6 +145,7 @@ func main() {
 			DataDir:         *dataDir,
 			SyncMode:        sync,
 			CheckpointEvery: *checkEvery,
+			Layout:          *layout,
 		})
 		if err != nil {
 			log.Fatalf("lbsq-server: %v", err)
@@ -154,6 +157,9 @@ func main() {
 		case *dataDir != "":
 			log.Printf("serving %d points (%s) in %v on %s (durable in %s, sync=%s)",
 				db.Len(), name, universe, *addr, *dataDir, sync)
+		case *layout == lbsq.LayoutArena:
+			log.Printf("serving %d points (%s) in %v on %s (arena layout)",
+				db.Len(), name, universe, *addr)
 		default:
 			log.Printf("serving %d points (%s) in %v on %s", db.Len(), name, universe, *addr)
 		}
@@ -272,7 +278,7 @@ func runCoordinator(cfg coordinatorConfig) {
 	if cfg.seed {
 		items, universe, _ = loadDataset(cfg.load, cfg.kind, cfg.n, cfg.rngSeed)
 	} else {
-		_, u, err := lbsq.NewRemoteClient(cfg.nodes[0]).InfoCtx(ctx)
+		_, u, err := lbsq.NewRemoteClient(cfg.nodes[0]).Info(ctx)
 		if err != nil {
 			log.Fatalf("lbsq-server: fetching universe from %s: %v", cfg.nodes[0], err)
 		}

@@ -132,7 +132,7 @@ func TestHTTPRange(t *testing.T) {
 	srv := httptest.NewServer(db.Handler())
 	defer srv.Close()
 	rc := &RemoteClient{Base: srv.URL}
-	rv, err := rc.Range(Pt(0.5, 0.5), 0.08)
+	rv, err := rc.Range(context.Background(), Pt(0.5, 0.5), 0.08)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +150,7 @@ func TestHTTPRange(t *testing.T) {
 			t.Fatalf("remote range validity differs at %v", f)
 		}
 	}
-	if _, err := rc.Range(Pt(0.5, 0.5), -1); err == nil {
+	if _, err := rc.Range(context.Background(), Pt(0.5, 0.5), -1); err == nil {
 		t.Fatal("negative radius must error")
 	}
 }
@@ -209,11 +209,11 @@ func TestHTTPDeltaSessionAndRoute(t *testing.T) {
 	var plainBytes, deltaBytes int
 	for i := 0; i < 10; i++ {
 		q := Pt(0.5+float64(i)*0.0004, 0.5)
-		a, err := plain.NN(q, 3)
+		a, err := plain.NN(context.Background(), q, 3)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := delta.NN(q, 3)
+		b, err := delta.NN(context.Background(), q, 3)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -241,7 +241,7 @@ func TestHTTPDeltaSessionAndRoute(t *testing.T) {
 	}
 
 	// Route endpoint.
-	route, err := plain.RouteNN(Pt(0.1, 0.5), Pt(0.9, 0.5))
+	route, err := plain.RouteNN(context.Background(), Pt(0.1, 0.5), Pt(0.9, 0.5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,7 +257,7 @@ func TestHTTPDeltaSessionAndRoute(t *testing.T) {
 			t.Fatal("remote route interval mismatch")
 		}
 	}
-	if _, err := plain.RouteNN(Pt(0.1, 0.5), Pt(0.1, 0.5)); err != nil {
+	if _, err := plain.RouteNN(context.Background(), Pt(0.1, 0.5), Pt(0.1, 0.5)); err != nil {
 		t.Fatal(err)
 	}
 }

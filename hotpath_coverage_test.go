@@ -12,16 +12,22 @@ import (
 
 // hotpathAsserted maps source files to the functions whose
 // allocation-freedom a benchmark asserts (testing.AllocsPerRun == 0 in
-// BenchmarkSessionMove, BenchmarkCacheHitPath/hit, and
-// BenchmarkWALAppend/os). Every one of them must carry the
-// //lbsq:hotpath directive so `make vet` guards what the benchmarks
-// measure: an allocation regression on these paths is caught by the
-// analyzer at vet time, not only by the bench smoke.
+// BenchmarkSessionMove, BenchmarkCacheHitPath/hit, BenchmarkWALAppend/os,
+// BenchmarkArenaNN, and BenchmarkArenaWindow). Every one of them must
+// carry the //lbsq:hotpath directive so `make vet` guards what the
+// benchmarks measure: an allocation regression on these paths is caught
+// by the analyzer at vet time, not only by the bench smoke.
 var hotpathAsserted = map[string][]string{
 	"lbsq.go":    {"NN"},
 	"session.go": {"MoveInto", "fillSessionMove"},
 	filepath.Join("internal", "session", "session.go"): {
 		"MoveInto", "resultInto", "lookup",
+	},
+	filepath.Join("internal", "nn", "nn.go"): {
+		"KNearestInto", "expand",
+	},
+	filepath.Join("internal", "rtree", "arena", "arena.go"): {
+		"SearchAppend", "searchAppend", "Visit", "visitSlab",
 	},
 	filepath.Join("internal", "qexec", "qexec.go"): {
 		"NNCached", "WindowCached",

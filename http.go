@@ -411,13 +411,9 @@ func (c *RemoteClient) get(ctx context.Context, path string) ([]byte, error) {
 }
 
 // Info fetches the served dataset size and universe, storing the
-// universe on the client.
-func (c *RemoteClient) Info() (int, Rect, error) {
-	return c.InfoCtx(context.Background())
-}
-
-// InfoCtx is Info honoring context cancellation and deadline.
-func (c *RemoteClient) InfoCtx(ctx context.Context) (int, Rect, error) {
+// universe on the client. Like every RemoteClient query it is
+// context-first: the request carries ctx, and cancellation aborts it.
+func (c *RemoteClient) Info(ctx context.Context) (int, Rect, error) {
 	body, err := c.get(ctx, "/v1/info")
 	if err != nil {
 		return 0, Rect{}, err
@@ -433,16 +429,11 @@ func (c *RemoteClient) InfoCtx(ctx context.Context) (int, Rect, error) {
 	return out.Count, c.Universe, nil
 }
 
-// NN issues a location-based k-NN query. With Session set, responses
-// use the incremental (delta) encoding: items already received in this
-// session travel as bare ids resolved from the client's item cache.
-func (c *RemoteClient) NN(q Point, k int) (*NNValidity, error) {
-	return c.NNCtx(context.Background(), q, k)
-}
-
-// NNCtx is NN honoring context cancellation and deadline: the request
-// carries ctx, and the server aborts the query when it is cancelled.
-func (c *RemoteClient) NNCtx(ctx context.Context, q Point, k int) (*NNValidity, error) {
+// NN issues a location-based k-NN query; the server aborts it when ctx
+// is cancelled. With a session set, responses use the incremental
+// (delta) encoding: items already received in this session travel as
+// bare ids resolved from the client's item cache.
+func (c *RemoteClient) NN(ctx context.Context, q Point, k int) (*NNValidity, error) {
 	if c.Session != "" {
 		if c.items == nil {
 			c.items = make(core.ItemCache)
@@ -461,12 +452,7 @@ func (c *RemoteClient) NNCtx(ctx context.Context, q Point, k int) (*NNValidity, 
 }
 
 // RouteNN fetches the continuous-NN partition of the segment a→b.
-func (c *RemoteClient) RouteNN(a, b Point) ([]RouteInterval, error) {
-	return c.RouteNNCtx(context.Background(), a, b)
-}
-
-// RouteNNCtx is RouteNN honoring context cancellation and deadline.
-func (c *RemoteClient) RouteNNCtx(ctx context.Context, a, b Point) ([]RouteInterval, error) {
+func (c *RemoteClient) RouteNN(ctx context.Context, a, b Point) ([]RouteInterval, error) {
 	body, err := c.get(ctx, fmt.Sprintf("/v1/route?x1=%g&y1=%g&x2=%g&y2=%g", a.X, a.Y, b.X, b.Y))
 	if err != nil {
 		return nil, err
@@ -475,12 +461,7 @@ func (c *RemoteClient) RouteNNCtx(ctx context.Context, a, b Point) ([]RouteInter
 }
 
 // Window issues a location-based window query centered at the focus.
-func (c *RemoteClient) Window(focus Point, qx, qy float64) (*WindowValidity, error) {
-	return c.WindowCtx(context.Background(), focus, qx, qy)
-}
-
-// WindowCtx is Window honoring context cancellation and deadline.
-func (c *RemoteClient) WindowCtx(ctx context.Context, focus Point, qx, qy float64) (*WindowValidity, error) {
+func (c *RemoteClient) Window(ctx context.Context, focus Point, qx, qy float64) (*WindowValidity, error) {
 	body, err := c.get(ctx, fmt.Sprintf("/v1/window?x=%g&y=%g&qx=%g&qy=%g", focus.X, focus.Y, qx, qy))
 	if err != nil {
 		return nil, err
@@ -489,12 +470,7 @@ func (c *RemoteClient) WindowCtx(ctx context.Context, focus Point, qx, qy float6
 }
 
 // Range issues a location-based range query around the center.
-func (c *RemoteClient) Range(center Point, radius float64) (*RangeValidity, error) {
-	return c.RangeCtx(context.Background(), center, radius)
-}
-
-// RangeCtx is Range honoring context cancellation and deadline.
-func (c *RemoteClient) RangeCtx(ctx context.Context, center Point, radius float64) (*RangeValidity, error) {
+func (c *RemoteClient) Range(ctx context.Context, center Point, radius float64) (*RangeValidity, error) {
 	body, err := c.get(ctx, fmt.Sprintf("/v1/range?x=%g&y=%g&r=%g", center.X, center.Y, radius))
 	if err != nil {
 		return nil, err

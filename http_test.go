@@ -89,7 +89,7 @@ func TestConcurrentDeltaSessions(t *testing.T) {
 			for i := 0; i < steps; i++ {
 				q := Pt(0.1+0.8*float64(i)/steps, 0.1+0.8*float64((i+s)%steps)/steps)
 				k := 1 + (i+s)%5
-				got, err := rc.NN(q, k)
+				got, err := rc.NN(context.Background(), q, k)
 				if err != nil {
 					errs <- err
 					return
@@ -151,7 +151,7 @@ func TestInfoReportsShards(t *testing.T) {
 	defer srv.Close()
 
 	rc := &RemoteClient{Base: srv.URL}
-	count, gotUni, err := rc.Info()
+	count, gotUni, err := rc.Info(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -323,12 +323,12 @@ func (c *RemoteClient) applyHeader(req *http.Request) {
 	}
 }
 
-// BatchCtx executes a heterogeneous batch of queries in one POST
+// Batch executes a heterogeneous batch of queries in one POST
 // /v1/batch round trip. The returned slice parallels reqs; per-request
 // failures are carried in BatchResponse.Err. Fetch (or set) the
 // client's Universe first — window validity regions are rebuilt
 // client-side against it.
-func (c *RemoteClient) BatchCtx(ctx context.Context, reqs []BatchRequest) ([]BatchResponse, error) {
+func (c *RemoteClient) Batch(ctx context.Context, reqs []BatchRequest) ([]BatchResponse, error) {
 	wire, err := fromWireRequests(reqs)
 	if err != nil {
 		return nil, err

@@ -114,7 +114,7 @@ func TestV1ErrorEnvelope(t *testing.T) {
 }
 
 // TestBatchHTTPRoundTrip drives a heterogeneous batch through POST
-// /v1/batch via RemoteClient.BatchCtx and checks every answer against
+// /v1/batch via RemoteClient.Batch and checks every answer against
 // the corresponding local single-query API.
 func TestBatchHTTPRoundTrip(t *testing.T) {
 	items, uni := UniformDataset(4000, 13)
@@ -126,7 +126,7 @@ func TestBatchHTTPRoundTrip(t *testing.T) {
 	defer srv.Close()
 
 	rc := NewRemoteClient(srv.URL)
-	if _, _, err := rc.InfoCtx(context.Background()); err != nil {
+	if _, _, err := rc.Info(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 
@@ -141,7 +141,7 @@ func TestBatchHTTPRoundTrip(t *testing.T) {
 		{Op: BatchNN, Q: Pt(0.4, 0.6), K: 0}, // per-request error
 	}
 	ctx := context.Background()
-	got, err := rc.BatchCtx(ctx, reqs)
+	got, err := rc.Batch(ctx, reqs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,13 +272,13 @@ func TestRemoteClientOptions(t *testing.T) {
 		t.Errorf("WithTimeout: client timeout %v, want 5s", rc.httpClient().Timeout)
 	}
 	ctx := context.Background()
-	if _, _, err := rc.InfoCtx(ctx); err != nil {
+	if _, _, err := rc.Info(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := rc.NNCtx(ctx, Pt(0.5, 0.5), 1); err != nil {
+	if _, err := rc.NN(ctx, Pt(0.5, 0.5), 1); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := rc.BatchCtx(ctx, []BatchRequest{{Op: BatchCount, W: uni}}); err != nil {
+	if _, err := rc.Batch(ctx, []BatchRequest{{Op: BatchCount, W: uni}}); err != nil {
 		t.Fatal(err)
 	}
 	mu.Lock()

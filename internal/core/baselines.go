@@ -26,11 +26,11 @@ type SR01Response struct {
 }
 
 // SR01Query asks the server for m ≥ k neighbors.
-func SR01Query(tree *rtree.Tree, q geom.Point, k, m int) (*SR01Response, error) {
+func SR01Query(ix rtree.Index, q geom.Point, k, m int) (*SR01Response, error) {
 	if m < k {
 		return nil, fmt.Errorf("core: SR01 requires m ≥ k (got m=%d k=%d)", m, k)
 	}
-	nbs := nn.KNearest(tree, q, m)
+	nbs := nn.KNearest(ix, q, m)
 	if len(nbs) < m {
 		return nil, fmt.Errorf("core: dataset has fewer than %d points", m)
 	}
@@ -86,7 +86,7 @@ func (c *SR01Client) At(p geom.Point) ([]rtree.Item, error) {
 		c.Stats.CacheHits++
 		return c.cached.ResultAt(p), nil
 	}
-	r, err := SR01Query(c.Server.Tree, p, c.K, c.M)
+	r, err := SR01Query(c.Server.Index, p, c.K, c.M)
 	if err != nil {
 		return nil, err
 	}
@@ -110,8 +110,8 @@ type TP02Response struct {
 
 // TP02NNQuery executes a TP k-NN query from q in unit direction u.
 // horizon caps the lookahead (use the universe diameter).
-func TP02NNQuery(tree *rtree.Tree, q, u geom.Point, k int, horizon float64) (*TP02Response, error) {
-	nbs := nn.KNearest(tree, q, k)
+func TP02NNQuery(ix rtree.Index, q, u geom.Point, k int, horizon float64) (*TP02Response, error) {
+	nbs := nn.KNearest(ix, q, k)
 	if len(nbs) < k {
 		return nil, fmt.Errorf("core: dataset has fewer than %d points", k)
 	}
@@ -120,7 +120,7 @@ func TP02NNQuery(tree *rtree.Tree, q, u geom.Point, k int, horizon float64) (*TP
 		members[i] = nb.Item
 	}
 	resp := &TP02Response{Query: q, Dir: u, Members: members, T: horizon}
-	res := tp.KNN(tree, q, u, members, horizon)
+	res := tp.KNN(ix, q, u, members, horizon)
 	if res.Found {
 		obj, mem := res.Obj, res.Member
 		resp.T = res.T
@@ -172,7 +172,7 @@ func (c *TP02Client) At(p geom.Point, u geom.Point) ([]rtree.Item, error) {
 		c.Stats.CacheHits++
 		return c.cached.Members, nil
 	}
-	r, err := TP02NNQuery(c.Server.Tree, p, u, c.K, c.Horizon)
+	r, err := TP02NNQuery(c.Server.Index, p, u, c.K, c.Horizon)
 	if err != nil {
 		return nil, err
 	}
@@ -200,7 +200,7 @@ func NewNaiveClient(s *Server, k int) *NaiveClient { return &NaiveClient{Server:
 // At always queries the server.
 func (c *NaiveClient) At(p geom.Point) ([]rtree.Item, error) {
 	c.Stats.PositionUpdates++
-	nbs := nn.KNearest(c.Server.Tree, p, c.K)
+	nbs := nn.KNearest(c.Server.Index, p, c.K)
 	if len(nbs) < c.K {
 		return nil, fmt.Errorf("core: dataset has fewer than %d points", c.K)
 	}

@@ -100,14 +100,14 @@ const vertexCapEps = 1e-9
 //
 // members must be the exact k nearest neighbors of q. The universe
 // rectangle bounds the initial region.
-func InfluenceSetKNN(tree *rtree.Tree, q geom.Point, members []rtree.Item, universe geom.Rect) (*NNValidity, error) {
-	return InfluenceSetKNNOrdered(tree, q, members, universe, OrderFirst)
+func InfluenceSetKNN(ix rtree.Index, q geom.Point, members []rtree.Item, universe geom.Rect) (*NNValidity, error) {
+	return InfluenceSetKNNOrdered(ix, q, members, universe, OrderFirst)
 }
 
 // InfluenceSetKNNOrdered is InfluenceSetKNN with an explicit
 // vertex-probing order (see VertexOrder); used by the ablation
 // experiments.
-func InfluenceSetKNNOrdered(tree *rtree.Tree, q geom.Point, members []rtree.Item, universe geom.Rect, order VertexOrder) (*NNValidity, error) {
+func InfluenceSetKNNOrdered(ix rtree.Index, q geom.Point, members []rtree.Item, universe geom.Rect, order VertexOrder) (*NNValidity, error) {
 	v := &NNValidity{Query: q, K: len(members)}
 	for _, m := range members {
 		v.Neighbors = append(v.Neighbors, nn.Neighbor{Item: m, Dist: m.P.Dist(q)})
@@ -139,7 +139,7 @@ func InfluenceSetKNNOrdered(tree *rtree.Tree, q geom.Point, members []rtree.Item
 		}
 		u := vert.Sub(q).Unit()
 		tCap := d*(1+vertexCapEps) + 1e-12
-		res := tp.KNN(tree, q, u, members, tCap)
+		res := tp.KNN(ix, q, u, members, tCap)
 		v.TPQueries++
 
 		key := [2]int64{0, 0}
@@ -187,6 +187,6 @@ func assertRegion(q geom.Point, pg geom.Polygon, universe geom.Rect) {
 }
 
 // InfluenceSet1NN runs algorithm Retrieve_Influence_Set_1NN (Fig. 10).
-func InfluenceSet1NN(tree *rtree.Tree, q geom.Point, o rtree.Item, universe geom.Rect) (*NNValidity, error) {
-	return InfluenceSetKNN(tree, q, []rtree.Item{o}, universe)
+func InfluenceSet1NN(ix rtree.Index, q geom.Point, o rtree.Item, universe geom.Rect) (*NNValidity, error) {
+	return InfluenceSetKNN(ix, q, []rtree.Item{o}, universe)
 }

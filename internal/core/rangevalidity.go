@@ -95,7 +95,7 @@ func (rv *RangeValidity) AreaEstimate(n int) float64 {
 
 // RangeQuery answers a location-based range query: all points within
 // radius of center, plus the validity region of that answer.
-func RangeQuery(tree *rtree.Tree, center geom.Point, radius float64, universe geom.Rect) *RangeValidity {
+func RangeQuery(ix rtree.Index, center geom.Point, radius float64, universe geom.Rect) *RangeValidity {
 	rv := &RangeValidity{Center: center, Radius: radius}
 	if radius <= 0 {
 		return rv
@@ -104,7 +104,7 @@ func RangeQuery(tree *rtree.Tree, center geom.Point, radius float64, universe ge
 
 	// Phase 1: the result — a window query filtered by distance.
 	bb := geom.RectCenteredAt(center, 2*radius, 2*radius)
-	tree.Search(bb, func(it rtree.Item) bool {
+	ix.Search(bb, func(it rtree.Item) bool {
 		if it.P.Dist2(center) <= r2 {
 			rv.Result = append(rv.Result, it)
 		}
@@ -114,7 +114,7 @@ func RangeQuery(tree *rtree.Tree, center geom.Point, radius float64, universe ge
 	if len(rv.Result) == 0 {
 		// Conservative disk: with the nearest point at distance d > r,
 		// any focus within d − r of the center keeps the result empty.
-		nb, ok := nn.Nearest(tree, center)
+		nb, ok := nn.Nearest(ix, center)
 		if !ok {
 			return rv // empty dataset: valid everywhere
 		}
@@ -146,7 +146,7 @@ func RangeQuery(tree *rtree.Tree, center geom.Point, radius float64, universe ge
 		innerBB = innerBB.Intersect(d.Bounds())
 	}
 	search := innerBB.Inflate(radius, radius)
-	tree.Search(search, func(it rtree.Item) bool {
+	ix.Search(search, func(it rtree.Item) bool {
 		if inResult[it.ID] {
 			return true
 		}
@@ -212,9 +212,9 @@ func (c *RangeClient) Cached() *RangeValidity { return c.cached }
 // RangeQueryCost runs a range query with per-phase cost accounting.
 func (s *Server) RangeQuery(center geom.Point, radius float64) (*RangeValidity, QueryCost) {
 	var cost QueryCost
-	na0, pa0 := s.Tree.NodeAccesses(), s.faults()
-	rv := RangeQuery(s.Tree, center, radius, s.Universe)
-	na1, pa1 := s.Tree.NodeAccesses(), s.faults()
+	na0, pa0 := s.Index.NodeAccesses(), s.faults()
+	rv := RangeQuery(s.Index, center, radius, s.Universe)
+	na1, pa1 := s.Index.NodeAccesses(), s.faults()
 	// RangeQuery interleaves both phases in one pass structure; report
 	// the total as the result phase and the candidate scan count via
 	// CandidateOuter.

@@ -7,6 +7,7 @@ import (
 	"lbsq/internal/geom"
 	"lbsq/internal/nn"
 	"lbsq/internal/rtree"
+	"lbsq/internal/rtree/arena"
 )
 
 // QueryCost reports the server-side cost of one location-based query,
@@ -47,7 +48,12 @@ type QueryEngine interface {
 // Server processes location-based spatial queries over a static point
 // dataset indexed by an R*-tree.
 type Server struct {
-	Tree     *rtree.Tree
+	// Tree is the mutable pointer R*-tree; writes always go here.
+	Tree *rtree.Tree
+	// Index is the read path: the Tree itself under the pointer layout,
+	// or a frozen arena.Arena after UseArena. All queries and cost
+	// accounting run against it.
+	Index    rtree.Index
 	Universe geom.Rect
 	Buffer   *buffer.LRU // nil = unbuffered
 }
@@ -57,7 +63,7 @@ func (s *Server) UniverseRect() geom.Rect { return s.Universe }
 
 // NewServer wraps an R-tree whose points live inside universe.
 func NewServer(tree *rtree.Tree, universe geom.Rect) *Server {
-	return &Server{Tree: tree, Universe: universe}
+	return &Server{Tree: tree, Index: tree, Universe: universe}
 }
 
 // AttachBuffer installs an LRU buffer holding the given fraction of the
@@ -65,15 +71,44 @@ func NewServer(tree *rtree.Tree, universe geom.Rect) *Server {
 func (s *Server) AttachBuffer(fraction float64) {
 	if fraction <= 0 {
 		s.Buffer = nil
-		s.Tree.SetTracker(nil)
+		s.Index.SetTracker(nil)
 		return
 	}
-	pages := int(float64(s.Tree.NodeCount()) * fraction)
+	pages := int(float64(s.Index.NodeCount()) * fraction)
 	if pages < 1 {
 		pages = 1
 	}
 	s.Buffer = buffer.NewLRU(pages)
-	s.Tree.SetTracker(s.Buffer)
+	s.Index.SetTracker(s.Buffer)
+}
+
+// UseArena freezes the pointer tree into a flat arena and switches the
+// read path onto it. The cumulative access counter carries over so
+// NA/PA deltas taken across the swap stay monotonic; the page tracker
+// (if any) moves with it. Callers must not mutate the tree afterwards
+// without calling RefreshArena.
+func (s *Server) UseArena() {
+	a := arena.Freeze(s.Tree)
+	a.SeedAccesses(s.Index.NodeAccesses())
+	if s.Buffer != nil {
+		a.SetTracker(s.Buffer)
+	}
+	s.Index = a
+}
+
+// UsingArena reports whether the read path runs on a frozen arena.
+func (s *Server) UsingArena() bool {
+	_, ok := s.Index.(*arena.Arena)
+	return ok
+}
+
+// RefreshArena re-freezes the arena from the (just mutated) pointer
+// tree. A no-op under the pointer layout, where Tree and Index are the
+// same structure.
+func (s *Server) RefreshArena() {
+	if s.UsingArena() {
+		s.UseArena()
+	}
 }
 
 func (s *Server) faults() int64 {
@@ -89,9 +124,9 @@ func (s *Server) faults() int64 {
 // both, with the validity region.
 func (s *Server) NNQuery(q geom.Point, k int) (*NNValidity, QueryCost, error) {
 	var cost QueryCost
-	na0, pa0 := s.Tree.NodeAccesses(), s.faults()
-	nbs := nn.KNearest(s.Tree, q, k)
-	na1, pa1 := s.Tree.NodeAccesses(), s.faults()
+	na0, pa0 := s.Index.NodeAccesses(), s.faults()
+	nbs := nn.KNearest(s.Index, q, k)
+	na1, pa1 := s.Index.NodeAccesses(), s.faults()
 	if len(nbs) < k {
 		return nil, cost, fmt.Errorf("core: dataset has fewer than %d points", k)
 	}
@@ -99,8 +134,8 @@ func (s *Server) NNQuery(q geom.Point, k int) (*NNValidity, QueryCost, error) {
 	for i, nb := range nbs {
 		members[i] = nb.Item
 	}
-	v, err := InfluenceSetKNN(s.Tree, q, members, s.Universe)
-	na2, pa2 := s.Tree.NodeAccesses(), s.faults()
+	v, err := InfluenceSetKNN(s.Index, q, members, s.Universe)
+	na2, pa2 := s.Index.NodeAccesses(), s.faults()
 	cost = QueryCost{
 		ResultNA: na1 - na0, InfNA: na2 - na1,
 		ResultPA: pa1 - pa0, InfPA: pa2 - pa1,
@@ -121,12 +156,12 @@ func (s *Server) WindowQueryAt(focus geom.Point, qx, qy float64) (*WindowValidit
 // WindowQuery answers a location-based window query (Sec. 4).
 func (s *Server) WindowQuery(w geom.Rect) (*WindowValidity, QueryCost) {
 	var cost QueryCost
-	na0, pa0 := s.Tree.NodeAccesses(), s.faults()
-	wv := windowQuery(s.Tree, w, s.Universe, func() {
-		cost.ResultNA = s.Tree.NodeAccesses() - na0
+	na0, pa0 := s.Index.NodeAccesses(), s.faults()
+	wv := windowQuery(s.Index, w, s.Universe, func() {
+		cost.ResultNA = s.Index.NodeAccesses() - na0
 		cost.ResultPA = s.faults() - pa0
 	})
-	cost.InfNA = s.Tree.NodeAccesses() - na0 - cost.ResultNA
+	cost.InfNA = s.Index.NodeAccesses() - na0 - cost.ResultNA
 	cost.InfPA = s.faults() - pa0 - cost.ResultPA
 	if s.Buffer == nil {
 		cost.ResultPA, cost.InfPA = cost.ResultNA, cost.InfNA

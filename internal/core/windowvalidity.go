@@ -57,19 +57,19 @@ func (w *WindowValidity) Valid(f geom.Point) bool { return w.Region.Contains(f) 
 // the extended rectangle q′) are visible in the tree's access counters;
 // callers wanting the per-phase split should snapshot the counters around
 // the call (see Server.WindowQuery).
-func WindowQuery(tree *rtree.Tree, w geom.Rect, universe geom.Rect) *WindowValidity {
-	return windowQuery(tree, w, universe, nil)
+func WindowQuery(ix rtree.Index, w geom.Rect, universe geom.Rect) *WindowValidity {
+	return windowQuery(ix, w, universe, nil)
 }
 
 // windowQuery implements WindowQuery; afterResultPhase, if non-nil, runs
 // between the result retrieval and the extended candidate search so
 // callers can snapshot access counters per phase.
-func windowQuery(tree *rtree.Tree, w geom.Rect, universe geom.Rect, afterResultPhase func()) *WindowValidity {
+func windowQuery(ix rtree.Index, w geom.Rect, universe geom.Rect, afterResultPhase func()) *WindowValidity {
 	qx, qy := w.Width(), w.Height()
 	out := &WindowValidity{Window: w, Focus: w.Center()}
 
 	// Phase 1: retrieve the result and build the inner validity region.
-	out.Result = tree.SearchItems(w)
+	out.Result = ix.SearchItems(w)
 	inner := universe
 	for _, it := range out.Result {
 		inner = inner.Intersect(geom.RectCenteredAt(it.P, qx, qy))
@@ -81,7 +81,7 @@ func windowQuery(tree *rtree.Tree, w geom.Rect, universe geom.Rect, afterResultP
 		// the base to a local box scaled by the distance to the nearest
 		// point — a conservative but compact region; the paper's
 		// workloads (queries conforming to the data) never hit this.
-		inner = inner.Intersect(emptyResultBase(tree, out.Focus, qx, qy))
+		inner = inner.Intersect(emptyResultBase(ix, out.Focus, qx, qy))
 	}
 	out.InnerRect = inner
 	out.Region = geom.NewRectRegion(inner)
@@ -99,7 +99,7 @@ func windowQuery(tree *rtree.Tree, w geom.Rect, universe geom.Rect, afterResultP
 		inResult[it.ID] = true
 	}
 	var holes []rtree.Item
-	tree.Search(extended, func(it rtree.Item) bool {
+	ix.Search(extended, func(it rtree.Item) bool {
 		if inResult[it.ID] {
 			return true
 		}
@@ -126,8 +126,8 @@ func windowQuery(tree *rtree.Tree, w geom.Rect, universe geom.Rect, afterResultP
 // the nearest data point, so only that point's neighborhood contributes
 // Minkowski holes. Any subset of the true validity region containing the
 // focus is a correct (conservative) validity region.
-func emptyResultBase(tree *rtree.Tree, focus geom.Point, qx, qy float64) geom.Rect {
-	nb, ok := nn.Nearest(tree, focus)
+func emptyResultBase(ix rtree.Index, focus geom.Point, qx, qy float64) geom.Rect {
+	nb, ok := nn.Nearest(ix, focus)
 	if !ok {
 		return geom.R(math.Inf(-1), math.Inf(-1), math.Inf(1), math.Inf(1))
 	}

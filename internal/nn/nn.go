@@ -3,13 +3,15 @@
 // best-first ("distance browsing") algorithm of [HS99], and an
 // incremental neighbor iterator used by the Voronoi-cell construction.
 //
-// All algorithms count node accesses through rtree.Tree.CountAccess so
-// the experiments report the same NA/PA metrics as the paper.
+// All algorithms run against the rtree.Index seam — the pointer tree
+// and the flat arena layout interchangeably — and count node accesses
+// through Index.Visit so the experiments report the same NA/PA metrics
+// as the paper regardless of layout.
 package nn
 
 import (
-	"container/heap"
 	"math"
+	"sync"
 
 	"lbsq/internal/geom"
 	"lbsq/internal/rtree"
@@ -25,30 +27,71 @@ type Neighbor struct {
 // item, keyed by (squared) distance from the query point.
 type pqEntry struct {
 	key  float64
-	node *rtree.Node // nil for item entries
+	node bool // node entry (ref set) vs item entry (item set)
+	ref  rtree.NodeRef
 	item rtree.Item
 }
 
+// pq is a typed binary min-heap of pqEntry. The sift operations follow
+// container/heap's algorithm exactly (same comparison and swap order),
+// so pop order — and therefore node-access counts — are identical to
+// the previous container/heap implementation, without the interface
+// boxing heap.Push forces on every entry.
 type pq []pqEntry
 
-func (q pq) Len() int { return len(q) }
-func (q pq) Less(i, j int) bool {
+func (q pq) less(i, j int) bool {
 	// Exact comparator: tolerant comparison breaks strict weak order.
 	if !geom.ExactEq(q[i].key, q[j].key) {
 		return q[i].key < q[j].key
 	}
 	// Tie-break: items before nodes so equal-distance results surface
 	// deterministically.
-	return q[i].node == nil && q[j].node != nil
+	return !q[i].node && q[j].node
 }
-func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqEntry)) }
-func (q *pq) Pop() interface{} {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	*q = old[:n-1]
+
+func (q *pq) push(e pqEntry) {
+	*q = append(*q, e)
+	q.up(len(*q) - 1)
+}
+
+func (q *pq) pop() pqEntry {
+	h := *q
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	q.down(0, n)
+	e := h[n]
+	*q = h[:n]
 	return e
+}
+
+func (q pq) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !q.less(j, i) {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		j = i
+	}
+}
+
+func (q pq) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && q.less(j2, j1) {
+			j = j2 // = 2*i + 2  // right child
+		}
+		if !q.less(j, i) {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		i = j
+	}
 }
 
 // Browser incrementally reports the data items nearest to a query point
@@ -56,65 +99,105 @@ func (q *pq) Pop() interface{} {
 // whose MBRs are closer than the next reported neighbor — the optimal
 // node-access behaviour.
 type Browser struct {
-	tree *rtree.Tree
+	ix   rtree.Index
 	q    geom.Point
 	heap pq
 }
 
 // NewBrowser starts distance browsing from q.
-func NewBrowser(t *rtree.Tree, q geom.Point) *Browser {
-	b := &Browser{tree: t, q: q}
-	root := t.Root()
-	b.heap = pq{{key: root.Rect().MinDist2(q), node: root}}
-	heap.Init(&b.heap)
+func NewBrowser(ix rtree.Index, q geom.Point) *Browser {
+	b := &Browser{ix: ix, q: q}
+	if root := ix.RootRef(); root.Valid() {
+		b.heap = pq{{key: ix.RefRect(root).MinDist2(q), node: true, ref: root}}
+	}
 	return b
 }
 
 // Next returns the next nearest item and its distance, or ok=false when
 // the dataset is exhausted.
 func (b *Browser) Next() (Neighbor, bool) {
-	for b.heap.Len() > 0 {
-		e := heap.Pop(&b.heap).(pqEntry)
-		if e.node == nil {
+	for len(b.heap) > 0 {
+		e := b.heap.pop()
+		if !e.node {
 			return Neighbor{Item: e.item, Dist: math.Sqrt(e.key)}, true
 		}
-		b.tree.CountAccess(e.node)
-		if e.node.Leaf() {
-			for _, it := range e.node.Items() {
-				heap.Push(&b.heap, pqEntry{key: it.P.Dist2(b.q), item: it})
-			}
-			continue
-		}
-		for _, c := range e.node.Children() {
-			heap.Push(&b.heap, pqEntry{key: c.Rect().MinDist2(b.q), node: c})
-		}
+		expand(b.ix, &b.heap, e.ref, b.q)
 	}
 	return Neighbor{}, false
+}
+
+// expand visits a node and pushes its entries keyed by (squared)
+// distance from q.
+//
+//lbsq:hotpath
+func expand(ix rtree.Index, h *pq, r rtree.NodeRef, q geom.Point) {
+	ix.Visit(r)
+	n := ix.RefFanout(r)
+	if ix.RefLeaf(r) {
+		for i := 0; i < n; i++ {
+			it := ix.RefItem(r, i)
+			h.push(pqEntry{key: it.P.Dist2(q), item: it})
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		h.push(pqEntry{key: ix.RefChildRect(r, i).MinDist2(q), node: true, ref: ix.RefChild(r, i)})
+	}
 }
 
 // KNearest returns the k nearest neighbors of q using best-first search
 // [HS99], ordered by increasing distance. Fewer than k are returned only
 // if the dataset is smaller than k.
-func KNearest(t *rtree.Tree, q geom.Point, k int) []Neighbor {
+func KNearest(ix rtree.Index, q geom.Point, k int) []Neighbor {
 	if k <= 0 {
 		return nil
 	}
-	b := NewBrowser(t, q)
-	out := make([]Neighbor, 0, k)
-	for len(out) < k {
-		nb, ok := b.Next()
-		if !ok {
-			break
-		}
-		out = append(out, nb)
+	return KNearestInto(ix, q, k, make([]Neighbor, 0, k))
+}
+
+// nnScratch is the reusable best-first state for KNearestInto.
+type nnScratch struct {
+	heap pq
+}
+
+var nnPool = sync.Pool{New: func() interface{} {
+	return &nnScratch{heap: make(pq, 0, 512)}
+}}
+
+// KNearestInto is KNearest appending into a caller-supplied slice
+// (reset to length 0 first): with a warm pool and a dst with capacity,
+// the whole query performs zero heap allocations.
+//
+//lbsq:hotpath
+func KNearestInto(ix rtree.Index, q geom.Point, k int, dst []Neighbor) []Neighbor {
+	dst = dst[:0]
+	if k <= 0 {
+		return dst
 	}
-	return out
+	root := ix.RootRef()
+	if !root.Valid() {
+		return dst
+	}
+	sc := nnPool.Get().(*nnScratch)
+	h := sc.heap[:0]
+	h.push(pqEntry{key: ix.RefRect(root).MinDist2(q), node: true, ref: root})
+	for len(h) > 0 && len(dst) < k {
+		e := h.pop()
+		if !e.node {
+			dst = append(dst, Neighbor{Item: e.item, Dist: math.Sqrt(e.key)})
+			continue
+		}
+		expand(ix, &h, e.ref, q)
+	}
+	sc.heap = h
+	nnPool.Put(sc)
+	return dst
 }
 
 // Nearest returns the single nearest neighbor of q, and ok=false on an
 // empty tree.
-func Nearest(t *rtree.Tree, q geom.Point) (Neighbor, bool) {
-	res := KNearest(t, q, 1)
+func Nearest(ix rtree.Index, q geom.Point) (Neighbor, bool) {
+	res := KNearest(ix, q, 1)
 	if len(res) == 0 {
 		return Neighbor{}, false
 	}
@@ -127,29 +210,32 @@ func Nearest(t *rtree.Tree, q geom.Point) (Neighbor, bool) {
 // mindist exceeds the current k-th neighbor distance. It visits at least
 // as many nodes as best-first search; both are kept for the ablation
 // benchmarks.
-func KNearestDepthFirst(t *rtree.Tree, q geom.Point, k int) []Neighbor {
+func KNearestDepthFirst(ix rtree.Index, q geom.Point, k int) []Neighbor {
 	if k <= 0 {
 		return nil
 	}
 	best := &kBest{k: k}
-	dfVisit(t, t.Root(), q, best)
+	if root := ix.RootRef(); root.Valid() {
+		dfVisit(ix, root, q, best)
+	}
 	return best.sorted()
 }
 
-func dfVisit(t *rtree.Tree, n *rtree.Node, q geom.Point, best *kBest) {
-	t.CountAccess(n)
-	if n.Leaf() {
-		for _, it := range n.Items() {
+func dfVisit(ix rtree.Index, r rtree.NodeRef, q geom.Point, best *kBest) {
+	ix.Visit(r)
+	if ix.RefLeaf(r) {
+		for i, n := 0, ix.RefFanout(r); i < n; i++ {
+			it := ix.RefItem(r, i)
 			best.offer(Neighbor{Item: it, Dist: it.P.Dist(q)})
 		}
 		return
 	}
-	children := n.Children()
-	order := make([]int, len(children))
-	keys := make([]float64, len(children))
-	for i, c := range children {
+	fan := ix.RefFanout(r)
+	order := make([]int, fan)
+	keys := make([]float64, fan)
+	for i := 0; i < fan; i++ {
 		order[i] = i
-		keys[i] = c.Rect().MinDist2(q)
+		keys[i] = ix.RefChildRect(r, i).MinDist2(q)
 	}
 	// Insertion sort by mindist (fanouts are small relative to sort cost).
 	for i := 1; i < len(order); i++ {
@@ -161,7 +247,7 @@ func dfVisit(t *rtree.Tree, n *rtree.Node, q geom.Point, best *kBest) {
 		if best.full() && keys[idx] >= best.worst2() {
 			break // remaining entries are at least as far
 		}
-		dfVisit(t, children[idx], q, best)
+		dfVisit(ix, ix.RefChild(r, idx), q, best)
 	}
 }
 

@@ -298,15 +298,15 @@ func (e *Executor) runOne(r *Request, resp *Response) {
 	case OpNN:
 		resp.NN, resp.Cost, resp.Err = e.single.NNQuery(r.Q, r.K)
 	case OpKNN:
-		resp.Neighbors = nn.KNearest(e.single.Tree, r.Q, r.K)
+		resp.Neighbors = nn.KNearest(e.single.Index, r.Q, r.K)
 	case OpWindow:
 		resp.Window, resp.Cost = e.single.WindowQuery(r.W)
 	case OpRange:
 		resp.Range, resp.Cost = e.single.RangeQuery(r.Q, r.Radius)
 	case OpCount:
-		resp.Count = e.single.Tree.CountWindow(r.W)
+		resp.Count = e.single.Index.CountWindow(r.W)
 	case OpSearch:
-		resp.Items = e.single.Tree.SearchItems(r.W)
+		resp.Items = e.single.Index.SearchItems(r.W)
 	default:
 		resp.Err = fmt.Errorf("qexec: unknown op %d", r.Op)
 	}

@@ -1,0 +1,437 @@
+// Package arena provides a flat, index-addressed layout of a built
+// R*-tree: all nodes live in one []Slab with child and entry indices
+// instead of pointers, and leaf coordinates are stored as
+// structure-of-arrays (ids/xs/ys) for cache-friendly linear scans.
+//
+// An Arena is immutable. It is constructed either by freezing a
+// pointer tree (Freeze) or bottom-up from decoded storage pages
+// (Builder); in both cases child order, MBRs, page ids and subtree
+// counts are copied bit-for-bit from the source, so traversals charge
+// exactly the node accesses the pointer tree would — the equivalence
+// the property tests assert.
+//
+// The slab layout deliberately mirrors internal/storage's page format:
+// one slab holds what one disk page holds (kind, level, entry count,
+// then leaf point entries or internal MBR+child entries), so a page
+// maps onto a slab without a per-node decode on the read path.
+package arena
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"lbsq/internal/geom"
+	"lbsq/internal/rtree"
+)
+
+// Slab is one flattened R-tree node. Leaf slabs index Count entries
+// starting at Start in the arena's ids/xs/ys arrays; internal slabs
+// index Count entries starting at Start in childRect/childIdx.
+type Slab struct {
+	Page  int64
+	Rect  geom.Rect
+	Start int32
+	Count int32
+	Sub   int32 // subtree cardinality (aggregate-count shortcut)
+	Level uint8
+	Leaf  bool
+}
+
+// Arena is a frozen, read-only R*-tree in flat index-addressed form.
+// It satisfies rtree.Index; all traversal state is in typed arrays, so
+// queries allocate nothing beyond caller-supplied buffers.
+type Arena struct {
+	slabs     []Slab
+	ids       []int64
+	xs, ys    []float64
+	childRect []geom.Rect
+	childIdx  []int32
+	root      int32
+	height    int
+	size      int
+
+	accesses atomic.Int64
+	tracker  rtree.PageTracker
+}
+
+// Freeze flattens a built pointer tree into an Arena, preserving child
+// order, MBRs, page ids and subtree counts exactly so query results
+// and NA/PA costs match the source tree.
+func Freeze(t *rtree.Tree) *Arena {
+	a := &Arena{root: -1, size: t.Len(), height: t.Height()}
+	if root := t.Root(); root != nil {
+		a.root = a.addNode(root)
+	}
+	return a
+}
+
+// addNode appends n's slab, reserving the contiguous child range
+// before recursing so a parent's entries are adjacent regardless of
+// subtree sizes.
+func (a *Arena) addNode(n *rtree.Node) int32 {
+	idx := int32(len(a.slabs))
+	s := Slab{
+		Page:  n.Page(),
+		Rect:  n.Rect(),
+		Sub:   int32(n.SubtreeCount()),
+		Level: uint8(n.Level()),
+		Leaf:  n.Leaf(),
+	}
+	if n.Leaf() {
+		items := n.Items()
+		s.Start = int32(len(a.ids))
+		s.Count = int32(len(items))
+		for _, it := range items {
+			a.ids = append(a.ids, it.ID)
+			a.xs = append(a.xs, it.P.X)
+			a.ys = append(a.ys, it.P.Y)
+		}
+		a.slabs = append(a.slabs, s)
+		return idx
+	}
+	children := n.Children()
+	s.Start = int32(len(a.childIdx))
+	s.Count = int32(len(children))
+	for _, c := range children {
+		a.childRect = append(a.childRect, c.Rect())
+		a.childIdx = append(a.childIdx, -1)
+	}
+	a.slabs = append(a.slabs, s)
+	for i, c := range children {
+		a.childIdx[s.Start+int32(i)] = a.addNode(c)
+	}
+	return idx
+}
+
+// RootRef returns a ref to the root slab (I < 0 when empty).
+func (a *Arena) RootRef() rtree.NodeRef { return rtree.NodeRef{I: a.root} }
+
+// RefLeaf reports whether the referenced slab is a leaf.
+func (a *Arena) RefLeaf(r rtree.NodeRef) bool { return a.slabs[r.I].Leaf }
+
+// RefRect returns the referenced slab's MBR.
+func (a *Arena) RefRect(r rtree.NodeRef) geom.Rect { return a.slabs[r.I].Rect }
+
+// RefFanout returns the referenced slab's entry count.
+func (a *Arena) RefFanout(r rtree.NodeRef) int { return int(a.slabs[r.I].Count) }
+
+// RefChild returns a ref to the i-th child slab.
+func (a *Arena) RefChild(r rtree.NodeRef, i int) rtree.NodeRef {
+	return rtree.NodeRef{I: a.childIdx[a.slabs[r.I].Start+int32(i)]}
+}
+
+// RefChildRect returns the MBR of the i-th child without visiting it.
+func (a *Arena) RefChildRect(r rtree.NodeRef, i int) geom.Rect {
+	return a.childRect[a.slabs[r.I].Start+int32(i)]
+}
+
+// RefItem returns the i-th item of a leaf slab.
+func (a *Arena) RefItem(r rtree.NodeRef, i int) rtree.Item {
+	j := a.slabs[r.I].Start + int32(i)
+	return rtree.Item{ID: a.ids[j], P: geom.Point{X: a.xs[j], Y: a.ys[j]}}
+}
+
+// RefSubtreeCount returns the number of items under the slab.
+func (a *Arena) RefSubtreeCount(r rtree.NodeRef) int { return int(a.slabs[r.I].Sub) }
+
+// Visit counts one node access, mirroring Tree.CountAccess.
+//
+//lbsq:hotpath
+func (a *Arena) Visit(r rtree.NodeRef) {
+	a.accesses.Add(1)
+	if a.tracker != nil {
+		a.tracker.Access(a.slabs[r.I].Page)
+	}
+}
+
+// Search invokes fn for every item inside w in tree order, stopping
+// early when fn returns false. Counts node accesses like Tree.Search.
+func (a *Arena) Search(w geom.Rect, fn func(rtree.Item) bool) {
+	if a.root < 0 {
+		return
+	}
+	a.search(a.root, w, fn)
+}
+
+func (a *Arena) search(idx int32, w geom.Rect, fn func(rtree.Item) bool) bool {
+	a.visitSlab(idx)
+	s := &a.slabs[idx]
+	if s.Leaf {
+		for j := s.Start; j < s.Start+s.Count; j++ {
+			if w.Contains(geom.Point{X: a.xs[j], Y: a.ys[j]}) {
+				if !fn(rtree.Item{ID: a.ids[j], P: geom.Point{X: a.xs[j], Y: a.ys[j]}}) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for e := s.Start; e < s.Start+s.Count; e++ {
+		if w.Intersects(a.childRect[e]) {
+			if !a.search(a.childIdx[e], w, fn) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// visitSlab is Visit by slab index (avoids constructing a NodeRef in
+// internal traversals).
+//
+//lbsq:hotpath
+func (a *Arena) visitSlab(idx int32) {
+	a.accesses.Add(1)
+	if a.tracker != nil {
+		a.tracker.Access(a.slabs[idx].Page)
+	}
+}
+
+// SearchAppend appends every item inside w to dst and returns the
+// extended slice. Allocation-free when dst has capacity; charges the
+// same node accesses as Search.
+//
+//lbsq:hotpath
+func (a *Arena) SearchAppend(dst []rtree.Item, w geom.Rect) []rtree.Item {
+	if a.root < 0 {
+		return dst
+	}
+	return a.searchAppend(dst, a.root, w)
+}
+
+//lbsq:hotpath
+func (a *Arena) searchAppend(dst []rtree.Item, idx int32, w geom.Rect) []rtree.Item {
+	a.visitSlab(idx)
+	s := &a.slabs[idx]
+	if s.Leaf {
+		for j := s.Start; j < s.Start+s.Count; j++ {
+			if w.Contains(geom.Point{X: a.xs[j], Y: a.ys[j]}) {
+				dst = append(dst, rtree.Item{ID: a.ids[j], P: geom.Point{X: a.xs[j], Y: a.ys[j]}})
+			}
+		}
+		return dst
+	}
+	for e := s.Start; e < s.Start+s.Count; e++ {
+		if w.Intersects(a.childRect[e]) {
+			dst = a.searchAppend(dst, a.childIdx[e], w)
+		}
+	}
+	return dst
+}
+
+// SearchItems returns all items inside the window.
+func (a *Arena) SearchItems(w geom.Rect) []rtree.Item {
+	var out []rtree.Item
+	a.Search(w, func(it rtree.Item) bool {
+		out = append(out, it)
+		return true
+	})
+	return out
+}
+
+// CountWindow counts the items inside w, taking the subtree-count
+// shortcut for fully covered slabs exactly like Tree.CountWindow.
+func (a *Arena) CountWindow(w geom.Rect) int {
+	if a.root < 0 {
+		return 0
+	}
+	return a.countWindow(a.root, w)
+}
+
+func (a *Arena) countWindow(idx int32, w geom.Rect) int {
+	a.visitSlab(idx)
+	s := &a.slabs[idx]
+	if s.Leaf {
+		c := 0
+		for j := s.Start; j < s.Start+s.Count; j++ {
+			if w.Contains(geom.Point{X: a.xs[j], Y: a.ys[j]}) {
+				c++
+			}
+		}
+		return c
+	}
+	c := 0
+	for e := s.Start; e < s.Start+s.Count; e++ {
+		if !w.Intersects(a.childRect[e]) {
+			continue
+		}
+		ci := a.childIdx[e]
+		if w.ContainsRect(a.childRect[e]) {
+			c += int(a.slabs[ci].Sub)
+			continue
+		}
+		c += a.countWindow(ci, w)
+	}
+	return c
+}
+
+// CountContainedNodes counts slabs wholly contained in w without
+// charging node accesses, mirroring Tree.CountContainedNodes.
+func (a *Arena) CountContainedNodes(w geom.Rect) int {
+	if a.root < 0 {
+		return 0
+	}
+	var walk func(idx int32) int
+	walk = func(idx int32) int {
+		s := &a.slabs[idx]
+		c := 0
+		if w.ContainsRect(s.Rect) {
+			c++
+		}
+		if !s.Leaf {
+			for e := s.Start; e < s.Start+s.Count; e++ {
+				if w.Intersects(a.childRect[e]) {
+					c += walk(a.childIdx[e])
+				}
+			}
+		}
+		return c
+	}
+	return walk(a.root)
+}
+
+// All invokes fn for every item without charging node accesses.
+func (a *Arena) All(fn func(rtree.Item) bool) {
+	if a.root < 0 {
+		return
+	}
+	var walk func(idx int32) bool
+	walk = func(idx int32) bool {
+		s := &a.slabs[idx]
+		if s.Leaf {
+			for j := s.Start; j < s.Start+s.Count; j++ {
+				if !fn(rtree.Item{ID: a.ids[j], P: geom.Point{X: a.xs[j], Y: a.ys[j]}}) {
+					return false
+				}
+			}
+			return true
+		}
+		for e := s.Start; e < s.Start+s.Count; e++ {
+			if !walk(a.childIdx[e]) {
+				return false
+			}
+		}
+		return true
+	}
+	walk(a.root)
+}
+
+// Len returns the number of items in the arena.
+func (a *Arena) Len() int { return a.size }
+
+// Height returns the tree height (1 for a lone leaf).
+func (a *Arena) Height() int { return a.height }
+
+// NodeCount returns the number of slabs.
+func (a *Arena) NodeCount() int { return len(a.slabs) }
+
+// NodeAccesses returns the cumulative node-access count.
+func (a *Arena) NodeAccesses() int64 { return a.accesses.Load() }
+
+// ResetAccesses zeroes the node-access counter.
+func (a *Arena) ResetAccesses() { a.accesses.Store(0) }
+
+// SeedAccesses sets the access counter, used when an arena replaces a
+// pointer tree (or a prior arena) mid-flight so cumulative NA
+// accounting stays monotonic across the swap.
+func (a *Arena) SeedAccesses(n int64) { a.accesses.Store(n) }
+
+// SetTracker attaches a page tracker observing every slab visit.
+func (a *Arena) SetTracker(t rtree.PageTracker) { a.tracker = t }
+
+// NumSlabs returns the number of slabs (for page-compat encoders).
+func (a *Arena) NumSlabs() int { return len(a.slabs) }
+
+// SlabAt returns a copy of slab i.
+func (a *Arena) SlabAt(i int32) Slab { return a.slabs[i] }
+
+// PageOf returns the page id of the referenced slab.
+func (a *Arena) PageOf(r rtree.NodeRef) int64 { return a.slabs[r.I].Page }
+
+// Builder assembles an Arena bottom-up from already-decoded storage
+// pages: children are added before their parent, exactly the order
+// storage.SaveTree allocated pages in.
+type Builder struct {
+	a Arena
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	b := &Builder{}
+	b.a.root = -1
+	return b
+}
+
+// AddLeaf appends a leaf slab holding items and returns its index. The
+// slab MBR is recomputed with the same expansion order as the pointer
+// tree's recomputeRect, keeping rects bit-identical.
+func (b *Builder) AddLeaf(page int64, level int, items []rtree.Item) int32 {
+	a := &b.a
+	idx := int32(len(a.slabs))
+	r := geom.EmptyRect()
+	s := Slab{
+		Page:  page,
+		Start: int32(len(a.ids)),
+		Count: int32(len(items)),
+		Sub:   int32(len(items)),
+		Level: uint8(level),
+		Leaf:  true,
+	}
+	for _, it := range items {
+		r = r.ExpandPoint(it.P)
+		a.ids = append(a.ids, it.ID)
+		a.xs = append(a.xs, it.P.X)
+		a.ys = append(a.ys, it.P.Y)
+	}
+	s.Rect = r
+	a.slabs = append(a.slabs, s)
+	a.size += len(items)
+	return idx
+}
+
+// AddInternal appends an internal slab over previously added children
+// (given as slab indices, with the MBRs the parent page recorded for
+// them) and returns its index.
+func (b *Builder) AddInternal(page int64, level int, rects []geom.Rect, children []int32) (int32, error) {
+	if len(rects) != len(children) {
+		return -1, fmt.Errorf("arena: %d child rects for %d children", len(rects), len(children))
+	}
+	a := &b.a
+	idx := int32(len(a.slabs))
+	r := geom.EmptyRect()
+	sub := int32(0)
+	s := Slab{
+		Page:  page,
+		Start: int32(len(a.childIdx)),
+		Count: int32(len(children)),
+		Level: uint8(level),
+	}
+	for i, ci := range children {
+		if ci < 0 || int(ci) >= len(a.slabs) {
+			return -1, fmt.Errorf("arena: child index %d out of range (have %d slabs)", ci, len(a.slabs))
+		}
+		r = r.Union(rects[i])
+		sub += a.slabs[ci].Sub
+		a.childRect = append(a.childRect, rects[i])
+		a.childIdx = append(a.childIdx, ci)
+	}
+	s.Rect = r
+	s.Sub = sub
+	a.slabs = append(a.slabs, s)
+	return idx, nil
+}
+
+// Finish validates the root and returns the built arena. The Builder
+// must not be reused afterwards.
+func (b *Builder) Finish(root int32) (*Arena, error) {
+	a := &b.a
+	if root < 0 || int(root) >= len(a.slabs) {
+		return nil, fmt.Errorf("arena: root index %d out of range (have %d slabs)", root, len(a.slabs))
+	}
+	a.root = root
+	a.height = int(a.slabs[root].Level) + 1
+	a.size = int(a.slabs[root].Sub)
+	return a, nil
+}
+
+var _ rtree.Index = (*Arena)(nil)

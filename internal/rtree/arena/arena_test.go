@@ -1,0 +1,254 @@
+package arena_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"lbsq/internal/core"
+	"lbsq/internal/geom"
+	"lbsq/internal/nn"
+	"lbsq/internal/rtree"
+	"lbsq/internal/rtree/arena"
+	"lbsq/internal/tp"
+)
+
+func makeItems(rng *rand.Rand, n int) []rtree.Item {
+	items := make([]rtree.Item, n)
+	for i := range items {
+		items[i] = rtree.Item{ID: int64(i), P: geom.Pt(rng.Float64(), rng.Float64())}
+	}
+	return items
+}
+
+// buildBoth returns a pointer tree and its frozen arena over the same
+// items. Insert-built trees exercise Freeze on R*-tree split/reinsert
+// shapes that bulk loading never produces.
+func buildBoth(rng *rand.Rand, n, pageSize int, insertBuilt bool) (*rtree.Tree, *arena.Arena, []rtree.Item) {
+	items := makeItems(rng, n)
+	var t *rtree.Tree
+	if insertBuilt {
+		t = rtree.New(rtree.Options{PageSize: pageSize})
+		for _, it := range items {
+			t.Insert(it)
+		}
+	} else {
+		t = rtree.BulkLoad(items, rtree.Options{PageSize: pageSize}, 0.7)
+	}
+	return t, arena.Freeze(t), items
+}
+
+// runBoth resets both access counters, runs f against each index, and
+// returns the two results with their node-access deltas.
+func runBoth(t *rtree.Tree, a *arena.Arena, f func(ix rtree.Index) interface{}) (tr, ar interface{}, tNA, aNA int64) {
+	t.ResetAccesses()
+	a.ResetAccesses()
+	tr = f(t)
+	ar = f(a)
+	return tr, ar, t.NodeAccesses(), a.NodeAccesses()
+}
+
+// check asserts result and node-access equivalence for one query.
+func check(tt *testing.T, label string, t *rtree.Tree, a *arena.Arena, f func(ix rtree.Index) interface{}) {
+	tt.Helper()
+	tr, ar, tNA, aNA := runBoth(t, a, f)
+	if !reflect.DeepEqual(tr, ar) {
+		tt.Fatalf("%s: pointer %v vs arena %v", label, tr, ar)
+	}
+	if tNA != aNA {
+		tt.Fatalf("%s: pointer charged %d node accesses, arena %d", label, tNA, aNA)
+	}
+}
+
+// TestFreezeStructure verifies Freeze copies the tree's shape exactly.
+func TestFreezeStructure(t *testing.T) {
+	for _, cfg := range []struct {
+		n, pageSize int
+		insert      bool
+	}{
+		{0, 512, false}, {1, 512, false}, {17, 256, false},
+		{900, 512, false}, {900, 512, true}, {3000, 1024, false},
+	} {
+		rng := rand.New(rand.NewSource(int64(cfg.n + cfg.pageSize)))
+		tree, a, items := buildBoth(rng, cfg.n, cfg.pageSize, cfg.insert)
+		if a.Len() != tree.Len() {
+			t.Fatalf("n=%d: arena Len %d, tree %d", cfg.n, a.Len(), tree.Len())
+		}
+		if a.NodeCount() != tree.NodeCount() {
+			t.Fatalf("n=%d: arena NodeCount %d, tree %d", cfg.n, a.NodeCount(), tree.NodeCount())
+		}
+		if a.Height() != tree.Height() {
+			t.Fatalf("n=%d: arena Height %d, tree %d", cfg.n, a.Height(), tree.Height())
+		}
+		// All enumerates every item in tree order, charging nothing.
+		var got, want []rtree.Item
+		a.All(func(it rtree.Item) bool { got = append(got, it); return true })
+		tree.All(func(it rtree.Item) bool { want = append(want, it); return true })
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("n=%d: All enumeration differs", cfg.n)
+		}
+		if a.NodeAccesses() != 0 {
+			t.Fatalf("n=%d: All charged %d accesses on the arena", cfg.n, a.NodeAccesses())
+		}
+		_ = items
+	}
+}
+
+// TestFreezeQueryEquivalence runs the full query matrix on a pointer
+// tree and its frozen arena, asserting identical results AND identical
+// node-access charges — the costs the paper's experiments measure.
+func TestFreezeQueryEquivalence(t *testing.T) {
+	for _, cfg := range []struct {
+		n, pageSize int
+		insert      bool
+	}{
+		{60, 256, false}, {1500, 512, false}, {1500, 512, true}, {4000, 1024, false},
+	} {
+		rng := rand.New(rand.NewSource(int64(7*cfg.n + cfg.pageSize)))
+		tree, a, _ := buildBoth(rng, cfg.n, cfg.pageSize, cfg.insert)
+		universe := geom.R(0, 0, 1, 1)
+		for trial := 0; trial < 40; trial++ {
+			q := geom.Pt(rng.Float64(), rng.Float64())
+			k := 1 + rng.Intn(8)
+			w := geom.RectCenteredAt(geom.Pt(rng.Float64(), rng.Float64()),
+				0.01+rng.Float64()*0.3, 0.01+rng.Float64()*0.3)
+
+			check(t, "KNearest", tree, a, func(ix rtree.Index) interface{} {
+				return nn.KNearest(ix, q, k)
+			})
+			check(t, "Nearest", tree, a, func(ix rtree.Index) interface{} {
+				nb, ok := nn.Nearest(ix, q)
+				return struct {
+					Nb nn.Neighbor
+					OK bool
+				}{nb, ok}
+			})
+			check(t, "KNearestDepthFirst", tree, a, func(ix rtree.Index) interface{} {
+				return nn.KNearestDepthFirst(ix, q, k)
+			})
+			check(t, "SearchItems", tree, a, func(ix rtree.Index) interface{} {
+				return ix.SearchItems(w)
+			})
+			check(t, "SearchAppend", tree, a, func(ix rtree.Index) interface{} {
+				return ix.SearchAppend(nil, w)
+			})
+			check(t, "Search-early-stop", tree, a, func(ix rtree.Index) interface{} {
+				var first []rtree.Item
+				ix.Search(w, func(it rtree.Item) bool {
+					first = append(first, it)
+					return len(first) < 3
+				})
+				return first
+			})
+			check(t, "CountWindow", tree, a, func(ix rtree.Index) interface{} {
+				return ix.CountWindow(w)
+			})
+			check(t, "CountContainedNodes", tree, a, func(ix rtree.Index) interface{} {
+				return ix.CountContainedNodes(w)
+			})
+
+			// TP queries: the validity-region workhorses.
+			members := nn.KNearest(tree, q, k)
+			mitems := make([]rtree.Item, len(members))
+			for i, nb := range members {
+				mitems[i] = nb.Item
+			}
+			u := geom.Pt(rng.Float64()-0.5, rng.Float64()-0.5).Unit()
+			check(t, "tp.KNN", tree, a, func(ix rtree.Index) interface{} {
+				return tp.KNN(ix, q, u, mitems, 2)
+			})
+			check(t, "tp.Window", tree, a, func(ix rtree.Index) interface{} {
+				return tp.Window(ix, w, u)
+			})
+			if trial < 10 {
+				b := geom.Pt(rng.Float64(), rng.Float64())
+				check(t, "tp.CNN", tree, a, func(ix rtree.Index) interface{} {
+					return tp.CNN(ix, q, b)
+				})
+
+				// Full location-based queries over the Index seam.
+				check(t, "core.InfluenceSetKNN", tree, a, func(ix rtree.Index) interface{} {
+					v, err := core.InfluenceSetKNN(ix, q, mitems, universe)
+					if err != nil {
+						t.Fatalf("InfluenceSetKNN: %v", err)
+					}
+					return v
+				})
+				check(t, "core.WindowQuery", tree, a, func(ix rtree.Index) interface{} {
+					return core.WindowQuery(ix, w, universe)
+				})
+				radius := 0.02 + rng.Float64()*0.1
+				check(t, "core.RangeQuery", tree, a, func(ix rtree.Index) interface{} {
+					return core.RangeQuery(ix, q, radius, universe)
+				})
+			}
+		}
+	}
+}
+
+// TestSeedAccesses verifies the counter carries across a freeze swap.
+func TestSeedAccesses(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tree, _, _ := buildBoth(rng, 200, 512, false)
+	nn.KNearest(tree, geom.Pt(0.5, 0.5), 3)
+	before := tree.NodeAccesses()
+	if before == 0 {
+		t.Fatal("query charged no accesses")
+	}
+	a := arena.Freeze(tree)
+	a.SeedAccesses(before)
+	if got := a.NodeAccesses(); got != before {
+		t.Fatalf("seeded accesses = %d, want %d", got, before)
+	}
+	nn.KNearest(a, geom.Pt(0.5, 0.5), 3)
+	if got := a.NodeAccesses(); got <= before {
+		t.Fatalf("accesses did not advance past seed: %d", got)
+	}
+}
+
+// FuzzArenaFreeze asserts the freeze→query fixpoint: for any dataset
+// and query the frozen arena returns the same answers with the same
+// node-access charges as the pointer tree it was frozen from.
+func FuzzArenaFreeze(f *testing.F) {
+	f.Add(int64(1), int64(100), 0.5, 0.5, 0.1, 0.1, int64(3))
+	f.Add(int64(42), int64(0), 0.2, 0.9, 0.5, 0.01, int64(1))
+	f.Add(int64(7), int64(1300), 0.99, 0.01, 0.8, 0.8, int64(6))
+	f.Fuzz(func(t *testing.T, seed, nRaw int64, qx, qy, wdx, wdy float64, kRaw int64) {
+		n := int(nRaw % 2000)
+		if n < 0 {
+			n = -n
+		}
+		k := int(kRaw%8) + 1
+		if k < 1 {
+			k = 1
+		}
+		clamp := func(v float64) float64 {
+			if !(v >= 0) { // NaN and negatives
+				return 0
+			}
+			if v > 1 {
+				return 1
+			}
+			return v
+		}
+		q := geom.Pt(clamp(qx), clamp(qy))
+		w := geom.RectCenteredAt(q, clamp(wdx), clamp(wdy))
+
+		rng := rand.New(rand.NewSource(seed))
+		tree, a, _ := buildBoth(rng, n, 256, false)
+
+		checkF := func(label string, f func(ix rtree.Index) interface{}) {
+			tr, ar, tNA, aNA := runBoth(tree, a, f)
+			if !reflect.DeepEqual(tr, ar) {
+				t.Fatalf("%s: pointer %v vs arena %v", label, tr, ar)
+			}
+			if tNA != aNA {
+				t.Fatalf("%s: pointer charged %d accesses, arena %d", label, tNA, aNA)
+			}
+		}
+		checkF("KNearest", func(ix rtree.Index) interface{} { return nn.KNearest(ix, q, k) })
+		checkF("SearchItems", func(ix rtree.Index) interface{} { return ix.SearchItems(w) })
+		checkF("CountWindow", func(ix rtree.Index) interface{} { return ix.CountWindow(w) })
+		checkF("CountContainedNodes", func(ix rtree.Index) interface{} { return ix.CountContainedNodes(w) })
+	})
+}

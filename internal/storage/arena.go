@@ -1,0 +1,177 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"lbsq/internal/geom"
+	"lbsq/internal/nn"
+	"lbsq/internal/rtree"
+	"lbsq/internal/rtree/arena"
+)
+
+// Arena-backed read path: a saved tree file maps directly onto the
+// flat arena layout — one page per slab, decoded exactly once at load
+// time — so queries skip the per-access page re-parse of the generic
+// DiskTree path. The layouts agree by construction (see EncodeArenaPage,
+// which reproduces a slab's page bytes bit-for-bit; the byte-compat
+// test asserts equality against the file for every slab).
+
+// LoadArena maps a saved tree file onto a flat arena: every page is
+// read and decoded once, bottom-up (children before parents, the order
+// SaveTree allocated them), preserving the stored structure, MBRs and
+// page ids exactly. Unlike LoadTree it does not rebuild via bulk load,
+// so the arena's traversal — and its node-access counts — mirror the
+// file's actual node layout.
+func LoadArena(pf *PageFile) (*arena.Arena, error) {
+	root := pf.Root()
+	if root == 0 {
+		return nil, fmt.Errorf("storage: file has no tree root")
+	}
+	b := arena.NewBuilder()
+	ri, err := loadArenaNode(pf, b, root)
+	if err != nil {
+		return nil, err
+	}
+	return b.Finish(ri)
+}
+
+func loadArenaNode(pf *PageFile, b *arena.Builder, page int64) (int32, error) {
+	buf, err := pf.ReadPage(page)
+	if err != nil {
+		return -1, err
+	}
+	if len(buf) < nodeHeader {
+		return -1, fmt.Errorf("storage: page %d too short", page)
+	}
+	kind, level := buf[0], int(buf[1])
+	count := int(binary.LittleEndian.Uint16(buf[2:]))
+	off := nodeHeader
+	switch kind {
+	case 1: // leaf
+		if len(buf) != nodeHeader+count*leafEntry {
+			return -1, fmt.Errorf("storage: leaf page %d length mismatch", page)
+		}
+		items := make([]rtree.Item, count)
+		for i := 0; i < count; i++ {
+			items[i] = rtree.Item{
+				ID: int64(binary.LittleEndian.Uint64(buf[off:])),
+				P: geom.Pt(
+					math.Float64frombits(binary.LittleEndian.Uint64(buf[off+8:])),
+					math.Float64frombits(binary.LittleEndian.Uint64(buf[off+16:])),
+				),
+			}
+			off += leafEntry
+		}
+		return b.AddLeaf(page, level, items), nil
+	case 0: // internal
+		if len(buf) != nodeHeader+count*internalEntry {
+			return -1, fmt.Errorf("storage: internal page %d length mismatch", page)
+		}
+		rects := make([]geom.Rect, count)
+		children := make([]int32, count)
+		for i := 0; i < count; i++ {
+			rects[i] = geom.R(
+				math.Float64frombits(binary.LittleEndian.Uint64(buf[off:])),
+				math.Float64frombits(binary.LittleEndian.Uint64(buf[off+8:])),
+				math.Float64frombits(binary.LittleEndian.Uint64(buf[off+16:])),
+				math.Float64frombits(binary.LittleEndian.Uint64(buf[off+24:])),
+			)
+			child := int64(binary.LittleEndian.Uint64(buf[off+32:]))
+			ci, err := loadArenaNode(pf, b, child)
+			if err != nil {
+				return -1, err
+			}
+			children[i] = ci
+			off += internalEntry
+		}
+		return b.AddInternal(page, level, rects, children)
+	default:
+		return -1, fmt.Errorf("storage: page %d has bad node kind %d", page, kind)
+	}
+}
+
+// EncodeArenaPage re-encodes slab i in the on-disk page format of
+// SaveTree — the byte-compatibility contract between the two layouts:
+// for an arena produced by LoadArena, the result equals the file's page
+// bytes exactly.
+func EncodeArenaPage(a *arena.Arena, i int32) []byte {
+	s := a.SlabAt(i)
+	ref := rtree.NodeRef{I: i}
+	n := int(s.Count)
+	if s.Leaf {
+		buf := make([]byte, 0, nodeHeader+n*leafEntry)
+		buf = append(buf, 1, s.Level)
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(n))
+		for j := 0; j < n; j++ {
+			it := a.RefItem(ref, j)
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(it.ID))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(it.P.X))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(it.P.Y))
+		}
+		return buf
+	}
+	buf := make([]byte, 0, nodeHeader+n*internalEntry)
+	buf = append(buf, 0, s.Level)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(n))
+	for j := 0; j < n; j++ {
+		r := a.RefChildRect(ref, j)
+		for _, f := range []float64{r.MinX, r.MinY, r.MaxX, r.MaxY} {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(a.PageOf(a.RefChild(ref, j))))
+	}
+	return buf
+}
+
+// arenaCounter bridges arena slab visits onto the DiskTree's logical/
+// physical counters (and its LRU buffer, when attached).
+type arenaCounter struct{ dt *DiskTree }
+
+func (c arenaCounter) Access(page int64) bool {
+	c.dt.total++
+	hit := false
+	if c.dt.buf != nil {
+		hit = c.dt.buf.Access(page)
+	}
+	if !hit {
+		c.dt.reads++
+	}
+	return hit
+}
+
+// UseArena switches the DiskTree onto the arena-backed read path: the
+// whole file is decoded once into a flat arena, and subsequent queries
+// traverse it without touching the page file. Logical accesses and
+// buffer-modelled physical reads keep flowing through the same
+// counters, so Accesses/Reads stay comparable with the decode-per-read
+// path.
+func (dt *DiskTree) UseArena() error {
+	a, err := LoadArena(dt.pf)
+	if err != nil {
+		return err
+	}
+	a.SetTracker(arenaCounter{dt})
+	dt.ar = a
+	return nil
+}
+
+// Arena returns the loaded arena (nil before UseArena).
+func (dt *DiskTree) Arena() *arena.Arena { return dt.ar }
+
+// searchArena answers Search from the arena.
+func (dt *DiskTree) searchArena(w geom.Rect) []rtree.Item {
+	return dt.ar.SearchItems(w)
+}
+
+// kNearestArena answers KNearest from the arena via the shared
+// best-first implementation.
+func (dt *DiskTree) kNearestArena(q geom.Point, k int) []rtree.Item {
+	nbs := nn.KNearest(dt.ar, q, k)
+	out := make([]rtree.Item, len(nbs))
+	for i, nb := range nbs {
+		out[i] = nb.Item
+	}
+	return out
+}

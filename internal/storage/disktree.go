@@ -9,6 +9,7 @@ import (
 	"lbsq/internal/buffer"
 	"lbsq/internal/geom"
 	"lbsq/internal/rtree"
+	"lbsq/internal/rtree/arena"
 )
 
 // Disk-resident query execution: the searches below read node pages
@@ -20,7 +21,8 @@ import (
 // DiskTree executes queries directly against a saved tree file.
 type DiskTree struct {
 	pf  *PageFile
-	buf *buffer.LRU // nil = unbuffered
+	buf *buffer.LRU  // nil = unbuffered
+	ar  *arena.Arena // non-nil after UseArena: decode-free read path
 
 	reads int64 // physical page reads (buffer misses, or all reads if unbuffered)
 	total int64 // logical node accesses
@@ -110,8 +112,12 @@ func (dt *DiskTree) readNode(page int64) (*diskNode, error) {
 	return n, nil
 }
 
-// Search returns the items inside window w, reading pages on demand.
+// Search returns the items inside window w, reading pages on demand
+// (or from the decoded arena after UseArena).
 func (dt *DiskTree) Search(w geom.Rect) ([]rtree.Item, error) {
+	if dt.ar != nil {
+		return dt.searchArena(w), nil
+	}
 	var out []rtree.Item
 	var walk func(page int64) error
 	walk = func(page int64) error {
@@ -168,6 +174,9 @@ func (h *diskHeap) Pop() interface{} {
 func (dt *DiskTree) KNearest(q geom.Point, k int) ([]rtree.Item, error) {
 	if k <= 0 {
 		return nil, nil
+	}
+	if dt.ar != nil {
+		return dt.kNearestArena(q, k), nil
 	}
 	h := diskHeap{{key: 0, page: dt.pf.Root()}}
 	heap.Init(&h)

@@ -29,8 +29,8 @@ const maxCNNIntervals = 1 << 20
 // CNN computes the continuous nearest neighbors along the segment from
 // a to b. The empty slice is returned for an empty tree or a
 // zero-length segment with no data.
-func CNN(tree *rtree.Tree, a, b geom.Point) []CNNInterval {
-	first, ok := nn.Nearest(tree, a)
+func CNN(ix rtree.Index, a, b geom.Point) []CNNInterval {
+	first, ok := nn.Nearest(ix, a)
 	if !ok {
 		return nil
 	}
@@ -45,7 +45,7 @@ func CNN(tree *rtree.Tree, a, b geom.Point) []CNNInterval {
 	pos := 0.0
 	for len(out) < maxCNNIntervals {
 		q := a.Add(u.Scale(pos))
-		res := NN(tree, q, u, cur, (total-pos)*(1+vertexEps)+1e-12)
+		res := NN(ix, q, u, cur, (total-pos)*(1+vertexEps)+1e-12)
 		if !res.Found || pos+res.T >= total {
 			out = append(out, CNNInterval{From: pos, To: total, NN: cur})
 			return out

@@ -8,15 +8,18 @@
 // discovers a new influence object (the first outsider to become closer
 // than a current result member along the ray) or confirms the vertex.
 //
-// The search is best-first over the tree with a conservative
-// influence-distance lower bound for node MBRs; correctness requires only
-// that the bound never exceeds the true minimum influence distance of any
-// point in the subtree.
+// The search is best-first over the rtree.Index seam (pointer tree or
+// flat arena) with a conservative influence-distance lower bound for
+// node MBRs; correctness requires only that the bound never exceeds the
+// true minimum influence distance of any point in the subtree. Scratch
+// state (the node heap, per-member precomputations) is pooled so the
+// validity probes that fire dozens of TP queries per region do not
+// allocate per probe.
 package tp
 
 import (
-	"container/heap"
 	"math"
+	"sync"
 
 	"lbsq/internal/geom"
 	"lbsq/internal/rtree"
@@ -64,22 +67,87 @@ type Result struct {
 
 // nodeEntry orders tree nodes by their influence-distance lower bound.
 type nodeEntry struct {
-	lb   float64
-	node *rtree.Node
+	lb  float64
+	ref rtree.NodeRef
 }
 
+// nodeHeap is a typed binary min-heap by lb. The sift operations follow
+// container/heap's algorithm exactly so pop order — and therefore node
+// accesses — match the previous container/heap implementation without
+// boxing every entry.
 type nodeHeap []nodeEntry
 
-func (h nodeHeap) Len() int            { return len(h) }
-func (h nodeHeap) Less(i, j int) bool  { return h[i].lb < h[j].lb }
-func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(nodeEntry)) }
-func (h *nodeHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
+func (h *nodeHeap) push(e nodeEntry) {
+	*h = append(*h, e)
+	h.up(len(*h) - 1)
+}
+
+func (h *nodeHeap) pop() nodeEntry {
+	q := *h
+	n := len(q) - 1
+	q[0], q[n] = q[n], q[0]
+	h.down(0, n)
+	e := q[n]
+	*h = q[:n]
 	return e
+}
+
+func (h nodeHeap) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !(h[j].lb < h[i].lb) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (h nodeHeap) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 {
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && h[j2].lb < h[j1].lb {
+			j = j2
+		}
+		if !(h[j].lb < h[i].lb) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}
+
+// scratch holds the reusable best-first state of one TP query: the
+// node heap and the per-member precomputations. Pooled because the
+// validity-region construction issues one TP query per vertex probe.
+type scratch struct {
+	heap nodeHeap
+	d2   []float64
+	proj []float64
+}
+
+var scratchPool = sync.Pool{New: func() interface{} {
+	return &scratch{
+		heap: make(nodeHeap, 0, 256),
+		d2:   make([]float64, 0, 16),
+		proj: make([]float64, 0, 16),
+	}
+}}
+
+// isMember reports whether id is one of the current result members.
+// Linear scan: k is small, and this avoids building a map per query.
+func isMember(members []rtree.Item, id int64) bool {
+	for i := range members {
+		if members[i].ID == id {
+			return true
+		}
+	}
+	return false
 }
 
 // KNN performs a TPkNN query: the query point starts at q and moves in
@@ -90,31 +158,35 @@ func (h *nodeHeap) Pop() interface{} {
 // distance d should pass a slightly inflated cap (d·(1+ε)) so crossings
 // landing exactly on the vertex — re-discoveries of known influence
 // objects — are still reported.
-func KNN(tree *rtree.Tree, q, u geom.Point, members []rtree.Item, tMax float64) Result {
+func KNN(ix rtree.Index, q, u geom.Point, members []rtree.Item, tMax float64) Result {
 	if len(members) == 0 || tMax <= 0 {
 		return Result{}
 	}
-	memberIDs := make(map[int64]bool, len(members))
-	memberD2 := make([]float64, len(members))
-	memberProj := make([]float64, len(members))
-	for i, m := range members {
-		memberIDs[m.ID] = true
-		memberD2[i] = q.Dist2(m.P)
-		memberProj[i] = u.Dot(m.P)
+	root := ix.RootRef()
+	if !root.Valid() {
+		return Result{}
+	}
+	sc := scratchPool.Get().(*scratch)
+	memberD2 := sc.d2[:0]
+	memberProj := sc.proj[:0]
+	for _, m := range members {
+		memberD2 = append(memberD2, q.Dist2(m.P))
+		memberProj = append(memberProj, u.Dot(m.P))
 	}
 
 	best := Result{T: tMax}
-	h := nodeHeap{{lb: nodeLB(tree.Root(), q, u, memberD2, memberProj), node: tree.Root()}}
-	heap.Init(&h)
-	for h.Len() > 0 {
-		e := heap.Pop(&h).(nodeEntry)
+	h := sc.heap[:0]
+	h.push(nodeEntry{lb: nodeLB(ix.RefRect(root), q, u, memberD2, memberProj), ref: root})
+	for len(h) > 0 {
+		e := h.pop()
 		if e.lb >= best.T {
 			break // no remaining subtree can improve the crossing
 		}
-		tree.CountAccess(e.node)
-		if e.node.Leaf() {
-			for _, it := range e.node.Items() {
-				if memberIDs[it.ID] {
+		ix.Visit(e.ref)
+		if ix.RefLeaf(e.ref) {
+			for i, n := 0, ix.RefFanout(e.ref); i < n; i++ {
+				it := ix.RefItem(e.ref, i)
+				if isMember(members, it.ID) {
 					continue
 				}
 				for mi, m := range members {
@@ -126,13 +198,15 @@ func KNN(tree *rtree.Tree, q, u geom.Point, members []rtree.Item, tMax float64) 
 			}
 			continue
 		}
-		for _, c := range e.node.Children() {
-			lb := nodeLB(c, q, u, memberD2, memberProj)
+		for i, n := 0, ix.RefFanout(e.ref); i < n; i++ {
+			lb := nodeLB(ix.RefChildRect(e.ref, i), q, u, memberD2, memberProj)
 			if lb < best.T {
-				heap.Push(&h, nodeEntry{lb: lb, node: c})
+				h.push(nodeEntry{lb: lb, ref: ix.RefChild(e.ref, i)})
 			}
 		}
 	}
+	sc.heap, sc.d2, sc.proj = h[:0], memberD2[:0], memberProj[:0]
+	scratchPool.Put(sc)
 	if !best.Found {
 		return Result{}
 	}
@@ -143,8 +217,8 @@ func KNN(tree *rtree.Tree, q, u geom.Point, members []rtree.Item, tMax float64) 
 }
 
 // NN performs a TPNN query with a single current nearest neighbor.
-func NN(tree *rtree.Tree, q, u geom.Point, o rtree.Item, tMax float64) Result {
-	return KNN(tree, q, u, []rtree.Item{o}, tMax)
+func NN(ix rtree.Index, q, u geom.Point, o rtree.Item, tMax float64) Result {
+	return KNN(ix, q, u, []rtree.Item{o}, tMax)
 }
 
 // crossDistPre is CrossDist with the member's squared distance and
@@ -162,7 +236,7 @@ func crossDistPre(q, u geom.Point, oD2, oProj float64, a geom.Point) float64 {
 }
 
 // nodeLB returns a lower bound on the influence distance of any point in
-// the node's MBR: for each member o,
+// the MBR r: for each member o,
 //
 //	t_a = (|qa|² − |qo|²) / (2·u·(a−o)) ≥ (mindist²(q,E) − |qo|²) / (2·maxProj)
 //
@@ -170,8 +244,7 @@ func crossDistPre(q, u geom.Point, oD2, oProj float64, a geom.Point) float64 {
 // linear, so the corner maximum is exact). The bound is conservative —
 // never above the true minimum — which is all the best-first search
 // needs for correctness.
-func nodeLB(n *rtree.Node, q, u geom.Point, memberD2, memberProj []float64) float64 {
-	r := n.Rect()
+func nodeLB(r geom.Rect, q, u geom.Point, memberD2, memberProj []float64) float64 {
 	corners := r.Corners()
 	maxCorner := math.Inf(-1)
 	for _, c := range corners {

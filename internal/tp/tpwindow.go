@@ -1,7 +1,6 @@
 package tp
 
 import (
-	"container/heap"
 	"math"
 
 	"lbsq/internal/geom"
@@ -28,9 +27,9 @@ type WindowResult struct {
 // (data static). It returns the current result, the travel time until
 // the first change, and the objects causing it. A zero velocity yields
 // T = +Inf and no changes.
-func Window(tree *rtree.Tree, w geom.Rect, vel geom.Point) WindowResult {
+func Window(ix rtree.Index, w geom.Rect, vel geom.Point) WindowResult {
 	res := WindowResult{T: math.Inf(1)}
-	res.Result = tree.SearchItems(w)
+	res.Result = ix.SearchItems(w)
 	if geom.ExactZero(vel.X) && geom.ExactZero(vel.Y) {
 		return res
 	}
@@ -52,18 +51,24 @@ func Window(tree *rtree.Tree, w geom.Rect, vel geom.Point) WindowResult {
 		}
 	}
 
+	root := ix.RootRef()
+	if !root.Valid() {
+		return res
+	}
 	// Enter events: best-first over the tree by the earliest time the
 	// moving window reaches each MBR.
-	h := nodeHeap{{lb: enterTimeRect(w, vel, tree.Root().Rect()), node: tree.Root()}}
-	heap.Init(&h)
-	for h.Len() > 0 {
-		e := heap.Pop(&h).(nodeEntry)
+	sc := scratchPool.Get().(*scratch)
+	h := sc.heap[:0]
+	h.push(nodeEntry{lb: enterTimeRect(w, vel, ix.RefRect(root)), ref: root})
+	for len(h) > 0 {
+		e := h.pop()
 		if e.lb > res.T {
 			break
 		}
-		tree.CountAccess(e.node)
-		if e.node.Leaf() {
-			for _, it := range e.node.Items() {
+		ix.Visit(e.ref)
+		if ix.RefLeaf(e.ref) {
+			for i, n := 0, ix.RefFanout(e.ref); i < n; i++ {
+				it := ix.RefItem(e.ref, i)
 				if inResult[it.ID] {
 					continue
 				}
@@ -78,13 +83,15 @@ func Window(tree *rtree.Tree, w geom.Rect, vel geom.Point) WindowResult {
 			}
 			continue
 		}
-		for _, c := range e.node.Children() {
-			lb := enterTimeRect(w, vel, c.Rect())
+		for i, n := 0, ix.RefFanout(e.ref); i < n; i++ {
+			lb := enterTimeRect(w, vel, ix.RefChildRect(e.ref, i))
 			if lb <= res.T {
-				heap.Push(&h, nodeEntry{lb: lb, node: c})
+				h.push(nodeEntry{lb: lb, ref: ix.RefChild(e.ref, i)})
 			}
 		}
 	}
+	sc.heap = h[:0]
+	scratchPool.Put(sc)
 	if geom.Checking && (res.T < 0 || math.IsNaN(res.T)) {
 		panic("tp: negative or NaN window validity time")
 	}

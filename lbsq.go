@@ -59,6 +59,28 @@ var ErrShardedUnsupported = errors.New("operation requires an unsharded DB (Opti
 // Options.DataDir, or recover one with OpenDir.
 var ErrNotDurable = errors.New("DB has no data directory (set Options.DataDir or open with lbsq.OpenDir)")
 
+// ErrUnknownLayout is returned by Open (and friends) when
+// Options.Layout names a layout this build does not know. Valid values
+// are LayoutPointer, LayoutArena, and the empty string (default).
+var ErrUnknownLayout = errors.New(`unknown Options.Layout (want "", "pointer" or "arena")`)
+
+// Index layouts selectable with Options.Layout.
+const (
+	// LayoutPointer is the classic mutable R*-tree of linked nodes:
+	// writes apply in place and reads chase child pointers. The default
+	// for Open and OpenDir.
+	LayoutPointer = "pointer"
+	// LayoutArena freezes the tree into a flat, index-addressed arena —
+	// node slabs in one slice, leaf points in struct-of-arrays form —
+	// after every mutation. Reads are allocation-free and touch
+	// contiguous memory; writes pay a full re-freeze, so the layout
+	// suits read-mostly workloads. Results, node-access and page-access
+	// costs are identical to the pointer layout by construction.
+	// Incompatible with Shards > 1. The default for OpenIndex
+	// (read-only snapshots).
+	LayoutArena = "arena"
+)
+
 // SyncMode selects when a durable DB fsyncs acknowledged writes
 // (Options.SyncMode).
 type SyncMode = wal.SyncMode
@@ -244,6 +266,13 @@ type Options struct {
 	// checkpointing to explicit DB.Checkpoint calls. Ignored without
 	// DataDir.
 	CheckpointEvery int
+	// Layout selects the in-memory index layout serving reads:
+	// LayoutPointer (linked R*-tree nodes; the default) or LayoutArena
+	// (flat index-addressed slabs, allocation-free queries, re-frozen on
+	// every write — best for read-mostly data). Unknown values are
+	// rejected with ErrUnknownLayout; LayoutArena is incompatible with
+	// Shards > 1.
+	Layout string
 }
 
 // validate rejects out-of-range option values with a descriptive error.
@@ -284,6 +313,14 @@ func (o *Options) validate() error {
 	}
 	if o.DataDir != "" && o.Shards > 1 {
 		return fmt.Errorf("lbsq: DataDir is incompatible with Shards > 1: %w", ErrShardedUnsupported)
+	}
+	switch o.Layout {
+	case "", LayoutPointer, LayoutArena:
+	default:
+		return fmt.Errorf("lbsq: Layout %q: %w", o.Layout, ErrUnknownLayout)
+	}
+	if o.Layout == LayoutArena && o.Shards > 1 {
+		return fmt.Errorf("lbsq: Layout %q is incompatible with Shards > 1: %w", o.Layout, ErrShardedUnsupported)
 	}
 	return nil
 }
@@ -384,6 +421,9 @@ func Open(items []Item, universe Rect, opts *Options) (*DB, error) {
 	if o.BufferFraction > 0 {
 		srv.AttachBuffer(o.BufferFraction)
 	}
+	if o.Layout == LayoutArena {
+		srv.UseArena()
+	}
 	db := &DB{server: srv, checkpointEvery: int64(o.CheckpointEvery)}
 	if o.DataDir != "" {
 		st, err := storage.CreateStore(o.DataDir, tree, universe, storage.StoreOptions{
@@ -427,6 +467,9 @@ func OpenDir(dir string, opts *Options) (*DB, error) {
 	srv := core.NewServer(tree, universe)
 	if o.BufferFraction > 0 {
 		srv.AttachBuffer(o.BufferFraction)
+	}
+	if o.Layout == LayoutArena {
+		srv.UseArena()
 	}
 	db := &DB{server: srv, store: st, checkpointEvery: int64(o.CheckpointEvery)}
 	return db.instrument(&o), nil
@@ -480,7 +523,7 @@ func (db *DB) Len() int {
 	if db.cluster != nil {
 		return db.cluster.Len()
 	}
-	return db.server.Tree.Len()
+	return db.server.Index.Len()
 }
 
 // Universe returns the data universe.
@@ -532,6 +575,7 @@ func (db *DB) insertItem(it Item) (storage.CommitToken, bool, error) {
 	defer db.mu.Unlock()
 	db.server.Tree.Insert(it)
 	if db.store == nil {
+		db.server.RefreshArena()
 		return storage.CommitToken{}, false, nil
 	}
 	//lbsq:allowblock — WAL-append order under db.mu is the recovery invariant (PR 7); the fsync itself happens in store.Commit, outside this lock
@@ -539,9 +583,12 @@ func (db *DB) insertItem(it Item) (storage.CommitToken, bool, error) {
 	if err != nil {
 		// Unlogged writes must not survive: roll the tree back so the
 		// in-memory state never diverges from what recovery can rebuild.
+		// The rollback restores the tree the arena was frozen from, so no
+		// re-freeze is needed on this path.
 		db.server.Tree.Delete(it)
 		return storage.CommitToken{}, false, fmt.Errorf("lbsq: logging insert: %w", err)
 	}
+	db.server.RefreshArena()
 	return tok, true, nil
 }
 
@@ -583,15 +630,18 @@ func (db *DB) deleteItem(it Item) (bool, storage.CommitToken, bool, error) {
 		return false, storage.CommitToken{}, false, nil
 	}
 	if db.store == nil {
+		db.server.RefreshArena()
 		return true, storage.CommitToken{}, false, nil
 	}
 	//lbsq:allowblock — WAL-append order under db.mu is the recovery invariant (PR 7); the fsync itself happens in store.Commit, outside this lock
 	tok, err := db.store.LogDelete(it)
 	if err != nil {
-		// Roll back: an unlogged delete would vanish on recovery.
+		// Roll back: an unlogged delete would vanish on recovery (the
+		// restored tree is what the arena was frozen from — no re-freeze).
 		db.server.Tree.Insert(it)
 		return false, storage.CommitToken{}, false, fmt.Errorf("lbsq: logging delete: %w", err)
 	}
+	db.server.RefreshArena()
 	return true, tok, true, nil
 }
 
@@ -699,13 +749,6 @@ func (db *DB) NN(ctx context.Context, q Point, k int) (*NNValidity, QueryCost, e
 	return v, cost, err
 }
 
-// NNCtx is an alias for NN.
-//
-// Deprecated: the canonical API is context-first; call NN directly.
-func (db *DB) NNCtx(ctx context.Context, q Point, k int) (*NNValidity, QueryCost, error) {
-	return db.NN(ctx, q, k)
-}
-
 // Batch executes a heterogeneous batch of queries in one pass:
 // requests answered by the validity cache cost zero node accesses,
 // identical misses coalesce onto one computation, and on a sharded DB
@@ -748,25 +791,10 @@ func (db *DB) Window(ctx context.Context, w Rect) (*WindowValidity, QueryCost, e
 	return wv, cost, err
 }
 
-// WindowCtx is an alias for Window.
-//
-// Deprecated: the canonical API is context-first; call Window directly.
-func (db *DB) WindowCtx(ctx context.Context, w Rect) (*WindowValidity, QueryCost, error) {
-	return db.Window(ctx, w)
-}
-
 // WindowAt answers a location-based window query for a qx×qy window
 // centered at the focus (see NN for context and cache semantics).
 func (db *DB) WindowAt(ctx context.Context, focus Point, qx, qy float64) (*WindowValidity, QueryCost, error) {
 	return db.Window(ctx, geom.RectCenteredAt(focus, qx, qy))
-}
-
-// WindowAtCtx is an alias for WindowAt.
-//
-// Deprecated: the canonical API is context-first; call WindowAt
-// directly.
-func (db *DB) WindowAtCtx(ctx context.Context, focus Point, qx, qy float64) (*WindowValidity, QueryCost, error) {
-	return db.WindowAt(ctx, focus, qx, qy)
 }
 
 // Count returns the number of items inside w using aggregate
@@ -782,18 +810,11 @@ func (db *DB) Count(ctx context.Context, w Rect) (int, error) {
 		n, err = db.cluster.CountWindowCtx(ctx, w)
 	} else if err = ctx.Err(); err == nil {
 		db.mu.RLock()
-		n = db.server.Tree.CountWindow(w)
+		n = db.server.Index.CountWindow(w)
 		db.mu.RUnlock()
 	}
 	db.finish(&QueryTrace{Op: OpCount, At: w.Center(), Window: w, RegionArea: math.NaN(), Err: err}, start, tasks0)
 	return n, err
-}
-
-// CountCtx is an alias for Count.
-//
-// Deprecated: the canonical API is context-first; call Count directly.
-func (db *DB) CountCtx(ctx context.Context, w Rect) (int, error) {
-	return db.Count(ctx, w)
 }
 
 // RangeSearch returns the items inside w (a plain, non-location-based
@@ -808,19 +829,11 @@ func (db *DB) RangeSearch(ctx context.Context, w Rect) ([]Item, error) {
 		items, err = db.cluster.SearchItemsCtx(ctx, w)
 	} else if err = ctx.Err(); err == nil {
 		db.mu.RLock()
-		items = db.server.Tree.SearchItems(w)
+		items = db.server.Index.SearchItems(w)
 		db.mu.RUnlock()
 	}
 	db.finish(&QueryTrace{Op: OpSearch, At: w.Center(), Window: w, RegionArea: math.NaN(), Err: err}, start, tasks0)
 	return items, err
-}
-
-// RangeSearchCtx is an alias for RangeSearch.
-//
-// Deprecated: the canonical API is context-first; call RangeSearch
-// directly.
-func (db *DB) RangeSearchCtx(ctx context.Context, w Rect) ([]Item, error) {
-	return db.RangeSearch(ctx, w)
 }
 
 // Range answers a location-based range query: all points within radius
@@ -844,13 +857,6 @@ func (db *DB) Range(ctx context.Context, center Point, radius float64) (*RangeVa
 	return rv, cost, err
 }
 
-// RangeCtx is an alias for Range.
-//
-// Deprecated: the canonical API is context-first; call Range directly.
-func (db *DB) RangeCtx(ctx context.Context, center Point, radius float64) (*RangeValidity, QueryCost, error) {
-	return db.Range(ctx, center, radius)
-}
-
 // NewRangeClient returns a mobile client maintaining a fixed-radius
 // range query around its position.
 func (db *DB) NewRangeClient(radius float64) *RangeClient {
@@ -870,19 +876,11 @@ func (db *DB) KNearest(ctx context.Context, q Point, k int) ([]Neighbor, error) 
 		nbs, err = db.cluster.KNearestCtx(ctx, q, k)
 	} else if err = ctx.Err(); err == nil {
 		db.mu.RLock()
-		nbs = nn.KNearest(db.server.Tree, q, k)
+		nbs = nn.KNearest(db.server.Index, q, k)
 		db.mu.RUnlock()
 	}
 	db.finish(&QueryTrace{Op: OpKNN, At: q, K: k, RegionArea: math.NaN(), Err: err}, start, tasks0)
 	return nbs, err
-}
-
-// KNearestCtx is an alias for KNearest.
-//
-// Deprecated: the canonical API is context-first; call KNearest
-// directly.
-func (db *DB) KNearestCtx(ctx context.Context, q Point, k int) ([]Neighbor, error) {
-	return db.KNearest(ctx, q, k)
 }
 
 // RouteNN returns the continuous nearest neighbors along the segment
@@ -900,19 +898,11 @@ func (db *DB) RouteNN(ctx context.Context, a, b Point) ([]RouteInterval, error) 
 		route, err = db.cluster.RouteNNCtx(ctx, a, b)
 	} else if err = ctx.Err(); err == nil {
 		db.mu.RLock()
-		route = tp.CNN(db.server.Tree, a, b)
+		route = tp.CNN(db.server.Index, a, b)
 		db.mu.RUnlock()
 	}
 	db.finish(&QueryTrace{Op: OpRoute, At: a, RegionArea: math.NaN(), Err: err}, start, tasks0)
 	return route, err
-}
-
-// RouteNNCtx is an alias for RouteNN.
-//
-// Deprecated: the canonical API is context-first; call RouteNN
-// directly.
-func (db *DB) RouteNNCtx(ctx context.Context, a, b Point) ([]RouteInterval, error) {
-	return db.RouteNN(ctx, a, b)
 }
 
 // RouteInterval is one piece of a RouteNN answer.
@@ -945,7 +935,9 @@ func (db *DB) SaveIndex(path string) error {
 }
 
 // OpenIndex loads a DB from an index file written by SaveIndex. The
-// universe and options must match the original Open call.
+// universe and options must match the original Open call. Because the
+// snapshot is read-only, OpenIndex defaults to the flat arena layout;
+// set Options.Layout to LayoutPointer to keep linked nodes.
 //
 // Deprecated: OpenIndex reads the old snapshot-only format; it cannot
 // replay writes. The canonical persistence surface is OpenDir over a
@@ -975,6 +967,11 @@ func OpenIndex(path string, universe Rect, opts *Options) (*DB, error) {
 	srv := core.NewServer(tree, universe)
 	if o.BufferFraction > 0 {
 		srv.AttachBuffer(o.BufferFraction)
+	}
+	// Snapshot opens are read-mostly by definition: default to the flat
+	// arena layout unless the caller explicitly asked for pointers.
+	if o.Layout != LayoutPointer {
+		srv.UseArena()
 	}
 	return (&DB{server: srv}).instrument(&o), nil
 }

@@ -128,14 +128,14 @@ func TestHTTPRoundTrip(t *testing.T) {
 	defer srv.Close()
 
 	rc := &RemoteClient{Base: srv.URL}
-	count, gotUni, err := rc.Info()
+	count, gotUni, err := rc.Info(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if count != 2000 || gotUni != uni {
 		t.Fatalf("info: count=%d universe=%v", count, gotUni)
 	}
-	v, err := rc.NN(Pt(0.4, 0.6), 2)
+	v, err := rc.NN(context.Background(), Pt(0.4, 0.6), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +153,7 @@ func TestHTTPRoundTrip(t *testing.T) {
 			t.Fatalf("remote validity differs at %v", p)
 		}
 	}
-	wv, err := rc.Window(Pt(0.5, 0.5), 0.1, 0.1)
+	wv, err := rc.Window(context.Background(), Pt(0.5, 0.5), 0.1, 0.1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,16 +172,16 @@ func TestHTTPErrors(t *testing.T) {
 	srv := httptest.NewServer(db.Handler())
 	defer srv.Close()
 	rc := &RemoteClient{Base: srv.URL}
-	if _, err := rc.NN(Pt(0.5, 0.5), 0); err == nil {
+	if _, err := rc.NN(context.Background(), Pt(0.5, 0.5), 0); err == nil {
 		t.Error("k=0 must error")
 	}
-	if _, err := rc.NN(Pt(0.5, 0.5), 1000); err == nil {
+	if _, err := rc.NN(context.Background(), Pt(0.5, 0.5), 1000); err == nil {
 		t.Error("k > n must error")
 	}
-	if _, err := rc.Window(Pt(0.5, 0.5), -1, 0.1); err == nil {
+	if _, err := rc.Window(context.Background(), Pt(0.5, 0.5), -1, 0.1); err == nil {
 		t.Error("negative window must error")
 	}
-	if _, _, err := (&RemoteClient{Base: "http://127.0.0.1:1"}).Info(); err == nil {
+	if _, _, err := (&RemoteClient{Base: "http://127.0.0.1:1"}).Info(context.Background()); err == nil {
 		t.Error("unreachable server must error")
 	}
 }

@@ -300,15 +300,15 @@ func TestMetricsEndpoint(t *testing.T) {
 	srv := httptest.NewServer(db.Handler())
 	defer srv.Close()
 	rc := &RemoteClient{Base: srv.URL}
-	if _, _, err := rc.Info(); err != nil {
+	if _, _, err := rc.Info(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
 		p := Pt(0.1+0.2*float64(i), 0.5)
-		if _, err := rc.NN(p, 2); err != nil {
+		if _, err := rc.NN(context.Background(), p, 2); err != nil {
 			t.Fatalf("NN: %v", err)
 		}
-		if _, err := rc.Window(p, 0.05, 0.05); err != nil {
+		if _, err := rc.Window(context.Background(), p, 0.05, 0.05); err != nil {
 			t.Fatalf("Window: %v", err)
 		}
 	}
@@ -350,7 +350,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 
 	// A second load round must move the counters monotonically.
-	if _, err := rc.NN(Pt(0.5, 0.5), 1); err != nil {
+	if _, err := rc.NN(context.Background(), Pt(0.5, 0.5), 1); err != nil {
 		t.Fatal(err)
 	}
 	text2, err := rc.Metrics(context.Background())
@@ -374,26 +374,26 @@ func TestContextCancellation(t *testing.T) {
 		}
 		ctx, cancel := context.WithCancel(context.Background())
 		cancel()
-		if _, _, err := db.NNCtx(ctx, Pt(0.5, 0.5), 1); !errors.Is(err, context.Canceled) {
-			t.Errorf("shards=%d: NNCtx err = %v, want context.Canceled", shards, err)
+		if _, _, err := db.NN(ctx, Pt(0.5, 0.5), 1); !errors.Is(err, context.Canceled) {
+			t.Errorf("shards=%d: NN err = %v, want context.Canceled", shards, err)
 		}
-		if _, _, err := db.WindowAtCtx(ctx, Pt(0.5, 0.5), 0.05, 0.05); !errors.Is(err, context.Canceled) {
-			t.Errorf("shards=%d: WindowAtCtx err = %v, want context.Canceled", shards, err)
+		if _, _, err := db.WindowAt(ctx, Pt(0.5, 0.5), 0.05, 0.05); !errors.Is(err, context.Canceled) {
+			t.Errorf("shards=%d: WindowAt err = %v, want context.Canceled", shards, err)
 		}
-		if _, _, err := db.RangeCtx(ctx, Pt(0.5, 0.5), 0.05); !errors.Is(err, context.Canceled) {
-			t.Errorf("shards=%d: RangeCtx err = %v, want context.Canceled", shards, err)
+		if _, _, err := db.Range(ctx, Pt(0.5, 0.5), 0.05); !errors.Is(err, context.Canceled) {
+			t.Errorf("shards=%d: Range err = %v, want context.Canceled", shards, err)
 		}
-		if _, err := db.KNearestCtx(ctx, Pt(0.5, 0.5), 2); !errors.Is(err, context.Canceled) {
-			t.Errorf("shards=%d: KNearestCtx err = %v, want context.Canceled", shards, err)
+		if _, err := db.KNearest(ctx, Pt(0.5, 0.5), 2); !errors.Is(err, context.Canceled) {
+			t.Errorf("shards=%d: KNearest err = %v, want context.Canceled", shards, err)
 		}
-		if _, err := db.RouteNNCtx(ctx, Pt(0.1, 0.1), Pt(0.9, 0.9)); !errors.Is(err, context.Canceled) {
-			t.Errorf("shards=%d: RouteNNCtx err = %v, want context.Canceled", shards, err)
+		if _, err := db.RouteNN(ctx, Pt(0.1, 0.1), Pt(0.9, 0.9)); !errors.Is(err, context.Canceled) {
+			t.Errorf("shards=%d: RouteNN err = %v, want context.Canceled", shards, err)
 		}
-		if _, err := db.CountCtx(ctx, R(0.2, 0.2, 0.8, 0.8)); !errors.Is(err, context.Canceled) {
-			t.Errorf("shards=%d: CountCtx err = %v, want context.Canceled", shards, err)
+		if _, err := db.Count(ctx, R(0.2, 0.2, 0.8, 0.8)); !errors.Is(err, context.Canceled) {
+			t.Errorf("shards=%d: Count err = %v, want context.Canceled", shards, err)
 		}
-		if _, err := db.RangeSearchCtx(ctx, R(0.2, 0.2, 0.8, 0.8)); !errors.Is(err, context.Canceled) {
-			t.Errorf("shards=%d: RangeSearchCtx err = %v, want context.Canceled", shards, err)
+		if _, err := db.RangeSearch(ctx, R(0.2, 0.2, 0.8, 0.8)); !errors.Is(err, context.Canceled) {
+			t.Errorf("shards=%d: RangeSearch err = %v, want context.Canceled", shards, err)
 		}
 		// Cancelled queries are still counted, as errors.
 		if v, ok := metricValue(db.Metrics(), "lbsq_query_errors_total", map[string]string{"op": OpNN}); !ok || v != 1 {
@@ -402,8 +402,8 @@ func TestContextCancellation(t *testing.T) {
 		// The remote client propagates cancellation too.
 		srv := httptest.NewServer(db.Handler())
 		rc := &RemoteClient{Base: srv.URL}
-		if _, err := rc.NNCtx(ctx, Pt(0.5, 0.5), 1); !errors.Is(err, context.Canceled) {
-			t.Errorf("shards=%d: remote NNCtx err = %v, want context.Canceled", shards, err)
+		if _, err := rc.NN(ctx, Pt(0.5, 0.5), 1); !errors.Is(err, context.Canceled) {
+			t.Errorf("shards=%d: remote NN err = %v, want context.Canceled", shards, err)
 		}
 		srv.Close()
 	}
