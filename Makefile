@@ -39,6 +39,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzDecodeNN$$' -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz 'FuzzDecodeWindow$$' -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzHTTPParams -fuzztime=$(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz FuzzInfluentialSet -fuzztime=$(FUZZTIME) ./internal/insq
 	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime=$(FUZZTIME) ./internal/wal
 	$(GO) test -run '^$$' -fuzz FuzzArenaFreeze -fuzztime=$(FUZZTIME) ./internal/rtree/arena
 

@@ -470,6 +470,59 @@ func BenchmarkSessionMove(b *testing.B) {
 	}
 }
 
+// BenchmarkSessionStrategies compares the NN session strategies on the
+// in-region fast path. Both must answer an in-region move with zero
+// index node accesses, and both fast paths are asserted allocation-free
+// — for insq that is the influential-set Covers check, pure distance
+// arithmetic over at most k+slack points (//lbsq:hotpath, see
+// TestHotpathCoverage).
+func BenchmarkSessionStrategies(b *testing.B) {
+	items, uni := UniformDataset(100_000, 2003)
+	for _, strategy := range []string{SessionStrategyTPKNN, SessionStrategyINSQ} {
+		b.Run(strategy, func(b *testing.B) {
+			db, err := Open(items, uni, &Options{SessionStrategy: strategy})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			q := Pt(0.42, 0.58)
+			s, _, err := db.OpenSession(ctx, q, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			pts := make([]Point, 64)
+			for i := range pts {
+				pts[i] = Pt(q.X+float64(i%8)*1e-9, q.Y+float64(i/8)*1e-9)
+			}
+			var res SessionMove
+			if allocs := testing.AllocsPerRun(100, func() {
+				if err := s.MoveInto(ctx, pts[0], &res); err != nil || !res.Hit {
+					b.Fatalf("in-region move failed: hit=%v err=%v", res.Hit, err)
+				}
+			}); allocs != 0 {
+				b.Fatalf("%s in-region move allocated %.1f times per op, want 0", strategy, allocs)
+			}
+			var na int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.MoveInto(ctx, pts[i%len(pts)], &res); err != nil {
+					b.Fatal(err)
+				}
+				if !res.Hit {
+					b.Fatal("in-region move missed the armed region")
+				}
+				na += int64(res.Cost.Total())
+			}
+			if na != 0 {
+				b.Fatalf("in-region moves cost %d node accesses, want 0", na)
+			}
+			b.ReportMetric(float64(na)/float64(b.N), "NA/op")
+		})
+	}
+}
+
 // BenchmarkArenaNN measures the zero-allocation k-NN read path over the
 // flat arena layout: best-first search with pooled heap scratch and a
 // caller-supplied result slice. The benchmark asserts 0 allocs/op —

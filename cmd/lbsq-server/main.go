@@ -63,19 +63,20 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		n        = flag.Int("n", 100_000, "synthetic dataset cardinality")
-		kind     = flag.String("dataset", "uniform", "synthetic dataset: uniform | gr | na")
-		seed     = flag.Int64("seed", 2003, "random seed")
-		load     = flag.String("load", "", "load a dataset file instead of generating")
-		buf      = flag.Float64("buffer", 0.10, "LRU buffer fraction of tree size (0 disables)")
-		shards   = flag.Int("shards", 1, "number of spatial shards (>1 enables scatter-gather)")
-		strategy = flag.String("shard-strategy", "grid", "shard partitioning: grid | kdmedian")
-		workers  = flag.Int("shard-workers", 0, "scatter-gather worker pool size (0 = GOMAXPROCS)")
-		cache    = flag.Int("cache", 0, "validity-region cache capacity in regions (0 disables)")
-		layout   = flag.String("layout", "", "index layout: pointer | arena (arena is read-optimized, incompatible with -shards > 1)")
-		metrics  = flag.Bool("metrics", true, "expose Prometheus metrics at /metrics")
-		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		addr      = flag.String("addr", ":8080", "listen address")
+		n         = flag.Int("n", 100_000, "synthetic dataset cardinality")
+		kind      = flag.String("dataset", "uniform", "synthetic dataset: uniform | gr | na")
+		seed      = flag.Int64("seed", 2003, "random seed")
+		load      = flag.String("load", "", "load a dataset file instead of generating")
+		buf       = flag.Float64("buffer", 0.10, "LRU buffer fraction of tree size (0 disables)")
+		shards    = flag.Int("shards", 1, "number of spatial shards (>1 enables scatter-gather)")
+		strategy  = flag.String("shard-strategy", "grid", "shard partitioning: grid | kdmedian")
+		workers   = flag.Int("shard-workers", 0, "scatter-gather worker pool size (0 = GOMAXPROCS)")
+		cache     = flag.Int("cache", 0, "validity-region cache capacity in regions (0 disables)")
+		layout    = flag.String("layout", "", "index layout: pointer | arena (arena is read-optimized, incompatible with -shards > 1)")
+		sessStrat = flag.String("session-strategy", "", "NN session strategy: tpknn | insq (insq repairs an influential neighbor set instead of re-querying; incompatible with -shards > 1)")
+		metrics   = flag.Bool("metrics", true, "expose Prometheus metrics at /metrics")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 
 		dataDir    = flag.String("data-dir", "", "durable data directory: WAL every write, recover on restart (empty = in-memory)")
 		syncMode   = flag.String("sync", "always", "WAL fsync policy with -data-dir: always | os")
@@ -127,6 +128,7 @@ func main() {
 			SyncMode:        sync,
 			CheckpointEvery: *checkEvery,
 			Layout:          *layout,
+			SessionStrategy: *sessStrat,
 		})
 		if err != nil {
 			log.Fatalf("lbsq-server: %v", err)
@@ -146,6 +148,7 @@ func main() {
 			SyncMode:        sync,
 			CheckpointEvery: *checkEvery,
 			Layout:          *layout,
+			SessionStrategy: *sessStrat,
 		})
 		if err != nil {
 			log.Fatalf("lbsq-server: %v", err)

@@ -12,8 +12,8 @@ import (
 
 // hotpathAsserted maps source files to the functions whose
 // allocation-freedom a benchmark asserts (testing.AllocsPerRun == 0 in
-// BenchmarkSessionMove, BenchmarkCacheHitPath/hit, BenchmarkWALAppend/os,
-// BenchmarkArenaNN, and BenchmarkArenaWindow). Every one of them must
+// BenchmarkSessionMove, BenchmarkSessionStrategies, BenchmarkCacheHitPath/hit,
+// BenchmarkWALAppend/os, BenchmarkArenaNN, and BenchmarkArenaWindow). Every one of them must
 // carry the //lbsq:hotpath directive so `make vet` guards what the
 // benchmarks measure: an allocation regression on these paths is caught
 // by the analyzer at vet time, not only by the bench smoke.
@@ -22,6 +22,9 @@ var hotpathAsserted = map[string][]string{
 	"session.go": {"MoveInto", "fillSessionMove"},
 	filepath.Join("internal", "session", "session.go"): {
 		"MoveInto", "resultInto", "lookup",
+	},
+	filepath.Join("internal", "insq", "insq.go"): {
+		"Covers",
 	},
 	filepath.Join("internal", "nn", "nn.go"): {
 		"KNearestInto", "expand",

@@ -175,9 +175,10 @@ func (db *DB) Handler() http.Handler {
 		return func(w http.ResponseWriter, r *http.Request) {
 			u := db.Universe()
 			info := map[string]interface{}{
-				"count":    db.Len(),
-				"universe": [4]float64{u.MinX, u.MinY, u.MaxX, u.MaxY},
-				"shards":   db.NumShards(),
+				"count":            db.Len(),
+				"universe":         [4]float64{u.MinX, u.MinY, u.MaxX, u.MaxY},
+				"shards":           db.NumShards(),
+				"session_strategy": db.SessionStrategy(),
 			}
 			if stats := db.ShardStatsList(); stats != nil {
 				type shardInfo struct {

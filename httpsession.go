@@ -56,12 +56,14 @@ type sessionOpenWire struct {
 }
 
 // sessionOpenResp is the POST /v1/session response. Payload is the
-// binary initial result (EncodeNN or EncodeWindow per Kind).
+// binary initial result (EncodeNN or EncodeWindow per Kind); Strategy
+// reports the server's NN session strategy ("tpknn" or "insq").
 type sessionOpenResp struct {
-	ID      string `json:"id"`
-	Kind    string `json:"kind"`
-	Seq     uint64 `json:"seq"`
-	Payload []byte `json:"payload"`
+	ID       string `json:"id"`
+	Kind     string `json:"kind"`
+	Strategy string `json:"strategy"`
+	Seq      uint64 `json:"seq"`
+	Payload  []byte `json:"payload"`
 }
 
 // sessionMoveWire is the POST /v1/session/{id}/move body.
@@ -71,11 +73,12 @@ type sessionMoveWire struct {
 }
 
 // sessionMoveResp is the move response. Payload is present only when
-// the answer changed regions (prefetched or requeried); on a hit the
-// client's cached result is still current.
+// the answer changed regions (prefetched, repaired or requeried); on a
+// hit the client's cached result is still current.
 type sessionMoveResp struct {
 	Hit         bool   `json:"hit"`
 	Prefetched  bool   `json:"prefetched"`
+	Repaired    bool   `json:"repaired,omitempty"`
 	Requeried   bool   `json:"requeried"`
 	Invalidated bool   `json:"invalidated"`
 	Seq         uint64 `json:"seq"`
@@ -156,7 +159,7 @@ func (db *DB) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
 		writeSessionError(w, r, err)
 		return
 	}
-	resp = sessionOpenResp{ID: s.ID(), Kind: body.Type, Seq: res.Seq}
+	resp = sessionOpenResp{ID: s.ID(), Kind: body.Type, Strategy: db.SessionStrategy(), Seq: res.Seq}
 	if res.NN != nil {
 		resp.Payload = EncodeNN(res.NN)
 	} else if res.Window != nil {
@@ -180,6 +183,7 @@ func (db *DB) handleSessionMove(w http.ResponseWriter, r *http.Request) {
 	resp := sessionMoveResp{
 		Hit:         res.Hit,
 		Prefetched:  res.Prefetched,
+		Repaired:    res.Repaired,
 		Requeried:   res.Requeried,
 		Invalidated: res.Invalidated,
 		Seq:         res.Seq,

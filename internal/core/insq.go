@@ -1,0 +1,61 @@
+package core
+
+import (
+	"math"
+
+	"lbsq/internal/geom"
+	"lbsq/internal/insq"
+	"lbsq/internal/nn"
+)
+
+// InfluenceSetINSQ builds an INSQ influential neighbor set at q (see
+// internal/insq): one (k+slack+1)-NN best-first query, no TP probes.
+// The cost is reported in the same shape as NNQuery, with the whole
+// traversal attributed to the result (the guard is a by-product).
+func (s *Server) InfluenceSetINSQ(q geom.Point, k, slack int) (*insq.Set, QueryCost, error) {
+	var cost QueryCost
+	na0, pa0 := s.Index.NodeAccesses(), s.faults()
+	set, err := insq.Build(s.Index, q, k, slack)
+	cost.ResultNA = s.Index.NodeAccesses() - na0
+	cost.ResultPA = s.faults() - pa0
+	if s.Buffer == nil {
+		cost.ResultPA = cost.ResultNA
+	}
+	return set, cost, err
+}
+
+// GuardedValidity converts an influential neighbor set (ranked at its
+// Pos by Build or a successful Repair) into the client-facing guarded
+// validity answer: the k members, the influence pairs member×guard
+// (every member must beat every influential non-member), and the guard
+// circle around Pos inside which no unseen object can intrude. When the
+// set spans the whole dataset (infinite guard) the pairs alone are
+// exact and no circle is attached.
+func GuardedValidity(set *insq.Set, universe geom.Rect) *NNValidity {
+	v := &NNValidity{Query: set.Pos, K: set.K}
+	members := set.Members()
+	for _, m := range members {
+		v.Neighbors = append(v.Neighbors, nn.Neighbor{Item: m, Dist: m.P.Dist(set.Pos)})
+	}
+	guards := set.Influential()
+	v.Influence = append(v.Influence, guards...)
+	for _, o := range guards {
+		for _, m := range members {
+			v.Pairs = append(v.Pairs, InfluencePair{Obj: o, Member: m})
+		}
+	}
+	if !math.IsInf(set.Guard, 1) {
+		v.GuardCenter = set.Pos
+		r := set.SafeRadius()
+		if r <= 0 {
+			// The ranking position sits on the ellipse boundary: the
+			// answer is proven only at Pos itself. A subnormal radius
+			// keeps the guard active (Valid accepts only the exact
+			// center — r² underflows to zero) without over-claiming.
+			r = math.SmallestNonzeroFloat64
+		}
+		v.GuardRadius = r
+	}
+	v.Region = v.RegionPolygon(universe)
+	return v
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+
+	"lbsq/internal/geom"
+	"lbsq/internal/mlvoronoi"
+	"lbsq/internal/rtree"
+)
+
+// MLVoronoiServer is the multi-layer Voronoi baseline: the k>1
+// generalization of [ZL01]. The diagram is precomputed once; a moving
+// kNN query costs one point-location probe plus a walk over the stored
+// adjacency, and the client receives the exact order-k validity region
+// instead of a speed-dependent validity time.
+type MLVoronoiServer struct {
+	Diagram  *mlvoronoi.Diagram
+	Universe geom.Rect
+
+	ix rtree.Index
+}
+
+// NewMLVoronoiServer precomputes the multi-layer diagram over the index
+// seam (pointer tree or frozen arena alike).
+func NewMLVoronoiServer(ix rtree.Index, universe geom.Rect) *MLVoronoiServer {
+	return &MLVoronoiServer{Diagram: mlvoronoi.Build(ix, universe), Universe: universe, ix: ix}
+}
+
+// MLVoronoiResponse carries the kNN result and its order-k validity
+// region (exact, so the client re-queries only on true region exit).
+type MLVoronoiResponse struct {
+	Query   geom.Point
+	Members []rtree.Item
+	Region  geom.Polygon
+}
+
+// Query answers a kNN query at q from the precomputed diagram and
+// reports the node accesses of the point-location probe (the only index
+// touch).
+func (s *MLVoronoiServer) Query(q geom.Point, k int) (*MLVoronoiResponse, QueryCost, error) {
+	var cost QueryCost
+	na0 := s.ix.NodeAccesses()
+	members, region, err := s.Diagram.RegionK(q, k)
+	cost.ResultNA = s.ix.NodeAccesses() - na0
+	cost.ResultPA = cost.ResultNA
+	if err != nil {
+		return nil, cost, err
+	}
+	return &MLVoronoiResponse{Query: q, Members: members, Region: region}, cost, nil
+}
+
+// MLVoronoiClient simulates a moving client of the multi-layer scheme:
+// it re-queries only when it leaves the cached order-k region.
+type MLVoronoiClient struct {
+	Server *MLVoronoiServer
+	K      int
+	Stats  ClientStats
+
+	cached *MLVoronoiResponse
+}
+
+// NewMLVoronoiClient returns a k-NN client of the given server.
+func NewMLVoronoiClient(s *MLVoronoiServer, k int) (*MLVoronoiClient, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("core: MLVoronoi client needs positive k, got %d", k)
+	}
+	return &MLVoronoiClient{Server: s, K: k}, nil
+}
+
+// At returns the kNN at position p, serving from the cached region
+// when possible.
+func (c *MLVoronoiClient) At(p geom.Point) ([]rtree.Item, error) {
+	c.Stats.PositionUpdates++
+	if c.cached != nil && !c.cached.Region.IsEmpty() && c.cached.Region.Contains(p) {
+		c.Stats.CacheHits++
+		return c.cached.Members, nil
+	}
+	r, _, err := c.Server.Query(p, c.K)
+	if err != nil {
+		return nil, err
+	}
+	c.cached = r
+	c.Stats.ServerQueries++
+	c.Stats.BytesReceived += int64(itemBytes*len(r.Members) + 16*len(r.Region))
+	return r.Members, nil
+}

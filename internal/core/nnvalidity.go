@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"lbsq/internal/geom"
 	"lbsq/internal/nn"
@@ -40,6 +41,15 @@ type NNValidity struct {
 	// TPQueries is the number of TP(k)NN probes executed; by Lemma 3.2
 	// it equals the number of influence pairs plus confirmed vertices.
 	TPQueries int
+
+	// GuardCenter/GuardRadius describe an optional guard circle produced
+	// by the INSQ strategy (internal/insq): the influence pairs constrain
+	// the result only against the *influential* neighbors, so the answer
+	// is additionally valid only while the client stays within GuardRadius
+	// of GuardCenter — outside, an unseen object could enter the result.
+	// GuardRadius == 0 means no guard (the TPkNN region is exact).
+	GuardCenter geom.Point
+	GuardRadius float64
 }
 
 // Result returns the result items without distances.
@@ -55,8 +65,13 @@ func (v *NNValidity) Result() []rtree.Item {
 // p, using the half-plane test the paper prescribes for thin clients:
 // p must be closer to each result member than to the member's paired
 // influence objects. (The test deliberately ignores the universe
-// boundary: Voronoi cells of border sites extend beyond it.)
+// boundary: Voronoi cells of border sites extend beyond it.) A guarded
+// answer (GuardRadius > 0, see internal/insq) additionally requires p
+// to stay inside the guard circle.
 func (v *NNValidity) Valid(p geom.Point) bool {
+	if v.GuardRadius > 0 && p.Dist2(v.GuardCenter) > v.GuardRadius*v.GuardRadius {
+		return false
+	}
 	for _, pr := range v.Pairs {
 		if p.Dist2(pr.Obj.P) < p.Dist2(pr.Member.P) {
 			return false
@@ -72,11 +87,33 @@ func (v *NNValidity) Valid(p geom.Point) bool {
 // just membership tests.
 func (v *NNValidity) RegionPolygon(universe geom.Rect) geom.Polygon {
 	pg := universe.Polygon()
+	if v.GuardRadius > 0 {
+		pg = pg.IntersectConvex(inscribedPolygon(v.GuardCenter, v.GuardRadius, guardPolygonSides))
+		if pg.IsEmpty() {
+			return geom.Polygon{}
+		}
+	}
 	for _, pr := range v.Pairs {
 		pg = pg.ClipHalfPlane(geom.Bisector(pr.Member.P, pr.Obj.P))
 		if pg.IsEmpty() {
 			return geom.Polygon{}
 		}
+	}
+	return pg
+}
+
+// guardPolygonSides is the vertex count of the regular polygon used to
+// approximate a guard circle. Inscribed vertices keep the approximation
+// a subset of the circle, so guarded regions stay conservative.
+const guardPolygonSides = 16
+
+// inscribedPolygon returns the regular n-gon inscribed in the circle of
+// radius r around c (counter-clockwise).
+func inscribedPolygon(c geom.Point, r float64, n int) geom.Polygon {
+	pg := make(geom.Polygon, n)
+	for i := 0; i < n; i++ {
+		a := 2 * math.Pi * float64(i) / float64(n)
+		pg[i] = geom.Pt(c.X+r*math.Cos(a), c.Y+r*math.Sin(a))
 	}
 	return pg
 }

@@ -19,15 +19,21 @@ import (
 //	NN response:  'N' k | query(16) | nNbr nInf nPair (uint16 each)
 //	              | nbr items (24 each) | inf items (24 each)
 //	              | pairs (objIdx uint16, memberIdx uint16)
+//	Guarded NN:   'G' k | ... as 'N' ... | guard center (16) guard radius (8)
 //	Window resp.: 'W' | window rect (32) | nResult nInner nOuter
 //	              | result items | innerIdx (uint16 each) | outer items
 //
-// Items are id (int64) + point (2×float64) = 24 bytes.
+// Items are id (int64) + point (2×float64) = 24 bytes. The guarded
+// variant ('G', produced by the INSQ strategy) appends the guard circle
+// after the pairs; answers without a guard always use 'N', so stateless
+// endpoints are byte-identical to earlier versions.
 
 const (
-	nnMagic     = 'N'
-	windowMagic = 'W'
-	itemBytes   = 24
+	nnMagic      = 'N'
+	nnGuardMagic = 'G'
+	windowMagic  = 'W'
+	itemBytes    = 24
+	guardBytes   = 24
 )
 
 func appendItem(b []byte, it rtree.Item) []byte {
@@ -48,9 +54,15 @@ func readItem(b []byte) rtree.Item {
 }
 
 // EncodeNN serializes an NN response for transmission to the client.
+// Guarded answers (GuardRadius > 0) use the 'G' variant carrying the
+// guard circle; everything else emits the classic 'N' form.
 func EncodeNN(v *NNValidity) []byte {
-	b := make([]byte, 0, 8+16+itemBytes*(len(v.Neighbors)+len(v.Influence))+4*len(v.Pairs))
-	b = append(b, nnMagic, byte(v.K))
+	magic, tail := byte(nnMagic), 0
+	if v.GuardRadius > 0 {
+		magic, tail = nnGuardMagic, guardBytes
+	}
+	b := make([]byte, 0, 8+16+itemBytes*(len(v.Neighbors)+len(v.Influence))+4*len(v.Pairs)+tail)
+	b = append(b, magic, byte(v.K))
 	b = binary.LittleEndian.AppendUint16(b, uint16(len(v.Neighbors)))
 	b = binary.LittleEndian.AppendUint16(b, uint16(len(v.Influence)))
 	b = binary.LittleEndian.AppendUint16(b, uint16(len(v.Pairs)))
@@ -70,20 +82,29 @@ func EncodeNN(v *NNValidity) []byte {
 		b = binary.LittleEndian.AppendUint16(b, infIdx[pr.Obj.ID])
 		b = binary.LittleEndian.AppendUint16(b, nbrIdx[pr.Member.ID])
 	}
+	if v.GuardRadius > 0 {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v.GuardCenter.X))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v.GuardCenter.Y))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v.GuardRadius))
+	}
 	return b
 }
 
 // DecodeNN reconstructs an NN response (without server-side cost
 // metadata) from its wire form.
 func DecodeNN(b []byte) (*NNValidity, error) {
-	if len(b) < 24 || b[0] != nnMagic {
+	if len(b) < 24 || (b[0] != nnMagic && b[0] != nnGuardMagic) {
 		return nil, fmt.Errorf("core: bad NN response header")
 	}
+	guarded := b[0] == nnGuardMagic
 	v := &NNValidity{K: int(b[1])}
 	nNbr := int(binary.LittleEndian.Uint16(b[2:]))
 	nInf := int(binary.LittleEndian.Uint16(b[4:]))
 	nPair := int(binary.LittleEndian.Uint16(b[6:]))
 	want := 24 + itemBytes*(nNbr+nInf) + 4*nPair
+	if guarded {
+		want += guardBytes
+	}
 	if len(b) != want {
 		return nil, fmt.Errorf("core: NN response length %d, want %d", len(b), want)
 	}
@@ -109,6 +130,16 @@ func DecodeNN(b []byte) (*NNValidity, error) {
 		}
 		v.Pairs = append(v.Pairs, InfluencePair{Obj: v.Influence[oi], Member: v.Neighbors[mi].Item})
 		off += 4
+	}
+	if guarded {
+		v.GuardCenter = geom.Pt(
+			math.Float64frombits(binary.LittleEndian.Uint64(b[off:])),
+			math.Float64frombits(binary.LittleEndian.Uint64(b[off+8:])),
+		)
+		v.GuardRadius = math.Float64frombits(binary.LittleEndian.Uint64(b[off+16:]))
+		if !(v.GuardRadius > 0) || math.IsInf(v.GuardRadius, 0) {
+			return nil, fmt.Errorf("core: guarded NN response with invalid radius")
+		}
 	}
 	return v, nil
 }

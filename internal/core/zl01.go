@@ -21,12 +21,13 @@ type ZL01Server struct {
 	MaxSpeed float64
 }
 
-// NewZL01Server precomputes the diagram. maxSpeed must be positive.
-func NewZL01Server(tree *rtree.Tree, universe geom.Rect, maxSpeed float64) (*ZL01Server, error) {
+// NewZL01Server precomputes the diagram over the index seam (pointer
+// tree or frozen arena alike). maxSpeed must be positive.
+func NewZL01Server(ix rtree.Index, universe geom.Rect, maxSpeed float64) (*ZL01Server, error) {
 	if maxSpeed <= 0 {
 		return nil, fmt.Errorf("core: ZL01 max speed must be positive")
 	}
-	return &ZL01Server{Diagram: voronoi.Build(tree, universe), MaxSpeed: maxSpeed}, nil
+	return &ZL01Server{Diagram: voronoi.Build(ix, universe), MaxSpeed: maxSpeed}, nil
 }
 
 // ZL01Response carries the NN and its validity time.

@@ -76,7 +76,7 @@ func ClientSavings(cfg Config) []Table {
 	}
 	record("TP02 (known velocity)", tp.Stats)
 
-	zs, err := core.NewZL01Server(s.Tree, s.Universe, step)
+	zs, err := core.NewZL01Server(s.Index, s.Universe, step)
 	if err != nil {
 		panic(err)
 	}

@@ -223,18 +223,21 @@ func TestSessionsShape(t *testing.T) {
 		t.Fatal("expected one table")
 	}
 	rows := tables[0].Rows
-	if len(rows)%3 != 0 || len(rows) == 0 {
-		t.Fatalf("expected naive/client-cached/session row triples, got %d rows", len(rows))
+	if len(rows)%5 != 0 || len(rows) == 0 {
+		t.Fatalf("expected naive/client-cached/mlvoronoi/session-tpknn/session-insq row groups, got %d rows", len(rows))
 	}
-	for i := 0; i < len(rows); i += 3 {
-		naive, cached, sess := rows[i], rows[i+1], rows[i+2]
-		if naive[1] != "naive" || cached[1] != "client-cached" || sess[1] != "session" {
-			t.Fatalf("unexpected mode order at fleet %s: %v", rows[i][0], rows[i:i+3])
+	for i := 0; i < len(rows); i += 5 {
+		naive, cached, mlv, sess, insq := rows[i], rows[i+1], rows[i+2], rows[i+3], rows[i+4]
+		if naive[1] != "naive" || cached[1] != "client-cached" || mlv[1] != "mlvoronoi" ||
+			sess[1] != "session-tpknn" || insq[1] != "session-insq" {
+			t.Fatalf("unexpected mode order at fleet %s: %v", rows[i][0], rows[i:i+5])
 		}
 		naiveQ := parseF(t, naive[2])
 		cachedQ := parseF(t, cached[2])
+		mlvQ := parseF(t, mlv[2])
 		sessQ := parseF(t, sess[2])
-		// The whole point: both region protocols beat re-querying every
+		insqQ := parseF(t, insq[2])
+		// The whole point: every region protocol beats re-querying each
 		// tick, and the server-tracked session does not regress the
 		// client-cached protocol's query count.
 		if sessQ >= naiveQ {
@@ -243,12 +246,28 @@ func TestSessionsShape(t *testing.T) {
 		if cachedQ >= naiveQ {
 			t.Errorf("fleet %s: client-cached queries %v not below naive %v", naive[0], cachedQ, naiveQ)
 		}
+		if mlvQ >= naiveQ {
+			t.Errorf("fleet %s: mlvoronoi queries %v not below naive %v", naive[0], mlvQ, naiveQ)
+		}
+		// INSQ repairs replace requeries, so it must issue no more full
+		// queries than tpknn.
+		if insqQ > sessQ {
+			t.Errorf("fleet %s: insq queries %v above tpknn %v", naive[0], insqQ, sessQ)
+		}
 		// In-region session moves must be answered with near-zero index
 		// work (the armed region absorbs them).
 		sessNA := parseF(t, sess[3])
 		naiveNA := parseF(t, naive[3])
 		if sessNA >= naiveNA {
 			t.Errorf("fleet %s: session NA/move %v not below naive %v", naive[0], sessNA, naiveNA)
+		}
+		// Zero-node-access repairs dilute INSQ's per-rebuild index work:
+		// it must be strictly below tpknn's (which pays a full query for
+		// every rebuild).
+		sessNAR := parseF(t, sess[4])
+		insqNAR := parseF(t, insq[4])
+		if insqNAR >= sessNAR {
+			t.Errorf("fleet %s: insq NA/rebuild %v not strictly below tpknn %v", naive[0], insqNAR, sessNAR)
 		}
 	}
 }

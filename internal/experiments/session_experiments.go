@@ -29,18 +29,23 @@ const naiveSampleCap = 256
 // sessionK is the continuous query's k.
 const sessionK = 4
 
-// Sessions replays trajectory fleets of moving clients in three
+// Sessions replays trajectory fleets of moving clients in five
 // protocols and compares the server work they induce:
 //
 //	naive          every position update runs a fresh k-NN query
 //	client-cached  the paper's protocol: the client re-queries only
 //	               after leaving its cached validity region
-//	session        server-tracked continuous sessions with
+//	mlvoronoi      the client caches the exact order-k region of the
+//	               precomputed multi-layer Voronoi diagram
+//	session-tpknn  server-tracked continuous sessions with
 //	               trajectory-aware prefetch (internal/session)
+//	session-insq   sessions with the INSQ strategy: region exits
+//	               repair the influential neighbor set instead of
+//	               re-querying the index
 //
 // One table: fleet size, mode, full queries issued, index node
-// accesses per move, region-hit rate, prefetch hits, move latency
-// percentiles.
+// accesses per move, node accesses per region rebuild (requery or
+// repair), region-hit rate, prefetch hits, move latency percentiles.
 func Sessions(cfg Config) []Table {
 	n := 20_000
 	fleets := []int{500, 2_000}
@@ -52,13 +57,14 @@ func Sessions(cfg Config) []Table {
 	}
 	d := dataset.Uniform(n, cfg.Seed)
 	srv := buildServer(d, cfg, false)
+	mlv := core.NewMLVoronoiServer(srv.Index, d.Universe)
 	var mu sync.RWMutex
 	exec := qexec.New(srv, &mu, nil, qexec.Config{Registry: cfg.Obs})
 
 	t := Table{
 		Title: fmt.Sprintf("Continuous-query sessions: %s (%d points, %d steps/client, fleets >%d clients sampled)",
 			d.Name, n, steps, sessionSampleCap),
-		Columns: []string{"clients", "mode", "queries", "NA/move", "hit rate", "pf hits", "p50", "p99"},
+		Columns: []string{"clients", "mode", "queries", "NA/move", "NA/rebuild", "hit rate", "pf hits", "p50", "p99"},
 	}
 	for _, fleet := range fleets {
 		sample := fleet
@@ -71,17 +77,22 @@ func Sessions(cfg Config) []Table {
 				Step: 0.003, Jitter: 0.2, Steps: steps, Seed: cfg.Seed + int64(i),
 			})
 		}
-		for _, mode := range []string{"naive", "client-cached", "session"} {
+		for _, mode := range []string{"naive", "client-cached", "mlvoronoi", "session-tpknn", "session-insq"} {
 			modePaths := paths
 			if mode == "naive" && len(modePaths) > naiveSampleCap {
 				modePaths = modePaths[:naiveSampleCap]
 			}
 			scale := float64(fleet) / float64(len(modePaths))
-			r := replayFleet(srv, exec, d.Universe, modePaths, mode, cfg)
+			r := replayFleet(srv, mlv, exec, d.Universe, modePaths, mode, cfg)
+			naPerRebuild := 0.0
+			if r.rebuilds > 0 {
+				naPerRebuild = float64(r.nodeAccesses) / float64(r.rebuilds)
+			}
 			t.Rows = append(t.Rows, []string{
 				fmtN(fleet), mode,
 				fmt.Sprintf("%.0f", float64(r.queries)*scale),
 				fmt.Sprintf("%.2f", float64(r.nodeAccesses)/float64(r.moves)),
+				fmt.Sprintf("%.2f", naPerRebuild),
 				fmt.Sprintf("%.0f%%", 100*float64(r.hits)/float64(r.moves)),
 				fmt.Sprintf("%.0f", float64(r.prefetchHits)*scale),
 				r.pct(0.50).Round(time.Microsecond).String(),
@@ -96,6 +107,7 @@ func Sessions(cfg Config) []Table {
 type fleetResult struct {
 	moves        int
 	queries      int // full index queries issued
+	rebuilds     int // validity-region rebuilds: requeries plus INSQ repairs
 	nodeAccesses int64
 	hits         int // moves answered without a query (region/cache hit)
 	prefetchHits int
@@ -117,7 +129,7 @@ func (r *fleetResult) pct(p float64) time.Duration {
 // then the next), matching how a fleet's updates interleave at a
 // server and giving the session prefetcher the same between-update
 // window it has in production.
-func replayFleet(srv *core.Server, exec *qexec.Executor, universe geom.Rect, paths [][]geom.Point, mode string, cfg Config) fleetResult {
+func replayFleet(srv *core.Server, mlv *core.MLVoronoiServer, exec *qexec.Executor, universe geom.Rect, paths [][]geom.Point, mode string, cfg Config) fleetResult {
 	var r fleetResult
 	switch mode {
 	case "naive":
@@ -131,6 +143,7 @@ func replayFleet(srv *core.Server, exec *qexec.Executor, universe geom.Rect, pat
 				}
 				r.moves++
 				r.queries++
+				r.rebuilds++
 				r.nodeAccesses += int64(cost.ResultNA + cost.InfNA)
 			}
 		}
@@ -152,15 +165,44 @@ func replayFleet(srv *core.Server, exec *qexec.Executor, universe geom.Rect, pat
 		}
 		for _, c := range clients {
 			r.queries += c.Stats.ServerQueries
+			r.rebuilds += c.Stats.ServerQueries
 			r.hits += c.Stats.CacheHits
 		}
 		// NNClient does not expose per-query costs; approximate node
 		// accesses with a fresh probe per issued query is not worth a
 		// second replay — report the query count and leave NA to the
 		// modes that measure it exactly.
-	case "session":
+	case "mlvoronoi":
+		cached := make([]*core.MLVoronoiResponse, len(paths))
+		for step := 0; len(paths) > 0 && step < len(paths[0]); step++ {
+			for i, path := range paths {
+				p := path[step]
+				start := time.Now()
+				if c := cached[i]; c != nil && !c.Region.IsEmpty() && c.Region.Contains(p) {
+					r.observe(time.Since(start))
+					r.moves++
+					r.hits++
+					continue
+				}
+				res, cost, err := mlv.Query(p, sessionK)
+				r.observe(time.Since(start))
+				if err != nil {
+					continue
+				}
+				cached[i] = res
+				r.moves++
+				r.queries++
+				r.rebuilds++
+				r.nodeAccesses += int64(cost.ResultNA + cost.InfNA)
+			}
+		}
+	case "session-tpknn", "session-insq":
+		strategy := session.StrategyTPKNN
+		if mode == "session-insq" {
+			strategy = session.StrategyINSQ
+		}
 		m := session.NewManager(exec, universe, session.Options{
-			PrefetchWorkers: 4, Registry: cfg.Obs,
+			PrefetchWorkers: 4, Registry: cfg.Obs, Strategy: strategy,
 		})
 		ctx := context.Background()
 		ids := make([]uint64, len(paths))
@@ -171,6 +213,7 @@ func replayFleet(srv *core.Server, exec *qexec.Executor, universe geom.Rect, pat
 			}
 			ids[i] = s.ID()
 			r.queries++
+			r.rebuilds++
 			r.nodeAccesses += int64(res.Cost.ResultNA + res.Cost.InfNA)
 		}
 		for step := 1; len(paths) > 0 && step < len(paths[0]); step++ {
@@ -188,8 +231,13 @@ func replayFleet(srv *core.Server, exec *qexec.Executor, universe geom.Rect, pat
 					r.hits++
 				case res.Prefetched:
 					r.prefetchHits++
+				case res.Repaired:
+					// An INSQ repair re-derives the validity region from
+					// the influential set with zero index node accesses.
+					r.rebuilds++
 				default:
 					r.queries++
+					r.rebuilds++
 				}
 			}
 		}

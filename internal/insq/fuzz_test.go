@@ -1,0 +1,65 @@
+package insq_test
+
+import (
+	"math"
+	"testing"
+
+	"lbsq/internal/core"
+	"lbsq/internal/dataset"
+	"lbsq/internal/geom"
+	"lbsq/internal/insq"
+)
+
+// FuzzInfluentialSet fuzzes the INSQ safe-region properties: for an
+// arbitrary dataset seed, query point and k, the guarded validity
+// region must contain the query point, and at every probe position the
+// region (or the raw Covers test) deems valid, the k members must be
+// the exact k nearest neighbors — i.e. the result is order-invariant
+// inside the safe region.
+func FuzzInfluentialSet(f *testing.F) {
+	f.Add(int64(1), 0.5, 0.5, uint8(1), 0.01, 0.0)
+	f.Add(int64(7), 0.25, 0.75, uint8(4), -0.02, 0.015)
+	f.Add(int64(42), 0.9, 0.1, uint8(8), 0.3, -0.4)
+	f.Fuzz(func(t *testing.T, seed int64, qx, qy float64, kRaw uint8, dx, dy float64) {
+		if math.IsNaN(qx) || math.IsNaN(qy) || math.IsInf(qx, 0) || math.IsInf(qy, 0) ||
+			math.IsNaN(dx) || math.IsNaN(dy) || math.IsInf(dx, 0) || math.IsInf(dy, 0) {
+			t.Skip()
+		}
+		// Clamp the query into the unit universe and k into [1, 16].
+		qx = math.Min(1, math.Max(0, qx))
+		qy = math.Min(1, math.Max(0, qy))
+		k := 1 + int(kRaw%16)
+		d := dataset.Uniform(64+int(uint64(seed)%256), seed)
+		ix := d.Tree()
+
+		q := geom.Pt(qx, qy)
+		s, err := insq.Build(ix, q, k, insq.DefaultSlack(k))
+		if err != nil {
+			t.Skip() // dataset smaller than k
+		}
+		if !s.Covers(q) {
+			t.Fatalf("set does not cover its own anchor %v", q)
+		}
+		v := core.GuardedValidity(s, d.Universe)
+		if !v.Valid(q) {
+			t.Fatalf("guarded validity rejects its own query point %v", q)
+		}
+		if !v.Region.IsEmpty() && !v.Region.Contains(q) {
+			t.Fatalf("guarded region does not contain the query point %v", q)
+		}
+
+		// Walk toward (dx, dy) in small steps: everywhere the region
+		// claims validity, the members must still be the exact kNN.
+		dx = math.Min(1, math.Max(-1, dx))
+		dy = math.Min(1, math.Max(-1, dy))
+		for i := 1; i <= 8; i++ {
+			p := geom.Pt(q.X+dx*float64(i)/8, q.Y+dy*float64(i)/8)
+			if s.Covers(p) && !sameResult(p, s.Members(), exactKNN(ix, p, k)) {
+				t.Fatalf("covered position %v has a stale result", p)
+			}
+			if v.Valid(p) && !sameResult(p, s.Members(), exactKNN(ix, p, k)) {
+				t.Fatalf("valid position %v has a stale result", p)
+			}
+		}
+	})
+}

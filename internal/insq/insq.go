@@ -1,0 +1,231 @@
+// Package insq implements the influential neighbor set of INSQ [Li+16]
+// as a moving-kNN session strategy: instead of the paper's TPkNN
+// validity region (an order-k Voronoi cell assembled from many TP
+// probes, Sec. 3.2), the server answers one slightly larger
+// (k+slack+1)-NN query and remembers
+//
+//   - the influential set S: the k+slack nearest objects of the query
+//     anchor a, and
+//   - the guard distance G: the distance from a to the first object
+//     NOT in S.
+//
+// Invariant: every object outside S is at least G from the anchor. The
+// set is maintained under updates — an insert closer than G to the
+// anchor joins S, an insert at distance ≥ G can be ignored outright,
+// and a delete leaves S (a removed non-member only makes the cached
+// constraints conservative). While the invariant holds, the exact kNN
+// at any position p follows from pure distance arithmetic over S:
+//
+//	kNN(p) = top-k of S ranked at p, provided
+//	    d(p, m_k) + d(p, a) <= G        (ellipse constraint)
+//
+// because any unseen object u satisfies d(p, u) >= G - d(p, a) by the
+// triangle inequality. Verifying a move therefore costs zero node
+// accesses and zero allocations (Covers), and repairing the result
+// after churn is a re-ranking of at most k+slack points (Repair) — the
+// expensive tree traversal happens only when the client escapes the
+// ellipse or the set underflows.
+//
+// The package depends only on geom/nn/rtree; the conversion to a
+// client-facing guarded validity region lives in core (GuardedValidity)
+// to keep the dependency arrow pointing one way.
+package insq
+
+import (
+	"fmt"
+	"math"
+
+	"lbsq/internal/geom"
+	"lbsq/internal/nn"
+	"lbsq/internal/rtree"
+)
+
+// DefaultSlack returns the default influential-set slack for a k-NN
+// session: k extra neighbors (so |S| = 2k), but at least 4 so 1NN
+// sessions still get a usable guard distance.
+func DefaultSlack(k int) int {
+	if k < 4 {
+		return 4
+	}
+	return k
+}
+
+// Set is the influential neighbor set of one continuous kNN query.
+//
+// The first K entries of the backing slice are the current result
+// members, ranked by distance to Pos; the remainder are the influential
+// non-result neighbors. After any mutating call that reports a change
+// (ApplyInsert/ApplyDelete), the ranking is stale and Repair must run
+// before the members are served again.
+type Set struct {
+	// Anchor is the position of the full (k+slack+1)-NN query that
+	// built the set; Guard is measured from here.
+	Anchor geom.Point
+	// Pos is the position the member ranking was last established at
+	// (by Build or a successful Repair).
+	Pos geom.Point
+	// K is the result cardinality.
+	K int
+	// Guard is the distance from Anchor to the nearest object outside
+	// the set — +Inf when the set holds the whole dataset. Objects
+	// inserted at distance >= Guard from Anchor can never displace a
+	// member anywhere inside the safe region, so they are ignored.
+	Guard float64
+
+	all []rtree.Item
+}
+
+// Build runs one (k+slack+1)-nearest-neighbor query at q and returns
+// the influential set anchored there. It fails only when the dataset
+// holds fewer than k objects.
+func Build(ix rtree.Index, q geom.Point, k, slack int) (*Set, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("insq: non-positive k %d", k)
+	}
+	if slack < 0 {
+		slack = 0
+	}
+	n := k + slack + 1
+	nbs := nn.KNearest(ix, q, n)
+	if len(nbs) < k {
+		return nil, fmt.Errorf("insq: dataset has fewer than %d points", k)
+	}
+	s := &Set{Anchor: q, Pos: q, K: k, Guard: math.Inf(1)}
+	if len(nbs) == n {
+		// The (k+slack+1)-th neighbor is the first object outside the
+		// set: its distance is the guard.
+		s.Guard = nbs[n-1].Dist
+		nbs = nbs[:n-1]
+	}
+	s.all = make([]rtree.Item, len(nbs))
+	for i, nb := range nbs {
+		s.all[i] = nb.Item
+	}
+	return s, nil
+}
+
+// Len returns the current size of the influential set.
+func (s *Set) Len() int { return len(s.all) }
+
+// Members returns the current k result members, ranked at Pos. The
+// slice is a view into the set: valid until the next mutating call.
+func (s *Set) Members() []rtree.Item { return s.all[:s.K] }
+
+// Influential returns the non-result influential neighbors (a view,
+// like Members).
+func (s *Set) Influential() []rtree.Item { return s.all[s.K:] }
+
+// Items returns the whole influential set, members first (a view).
+func (s *Set) Items() []rtree.Item { return s.all }
+
+// Covers reports whether the current members are still an exact kNN
+// result at p: every member must (weakly) beat every influential
+// non-member, and the ellipse constraint d(p, m_k) + d(p, Anchor) <= G
+// must hold so no unseen object can intrude. Pure distance arithmetic —
+// zero node accesses, zero allocations.
+//
+//lbsq:hotpath
+func (s *Set) Covers(p geom.Point) bool {
+	if len(s.all) < s.K {
+		return false
+	}
+	maxM2 := 0.0
+	for _, m := range s.all[:s.K] {
+		if d2 := p.Dist2(m.P); d2 > maxM2 {
+			maxM2 = d2
+		}
+	}
+	if !math.IsInf(s.Guard, 1) && math.Sqrt(maxM2)+p.Dist(s.Anchor) > s.Guard {
+		return false
+	}
+	for _, o := range s.all[s.K:] {
+		if p.Dist2(o.P) < maxM2 {
+			return false
+		}
+	}
+	return true
+}
+
+// Repair re-ranks the set at p and promotes the k nearest entries to
+// members, without touching the tree. It returns false — leaving the
+// set unusable until a fresh Build — when the set has shrunk below k
+// or p has escaped the ellipse in which the set provably contains the
+// true kNN; the caller must then re-query.
+func (s *Set) Repair(p geom.Point) bool {
+	if len(s.all) < s.K {
+		return false
+	}
+	// Insertion sort by distance to p: the set holds at most k+slack
+	// (+ a few pending inserts) entries, and recomputing the squared
+	// distance per comparison keeps this allocation-free.
+	for i := 1; i < len(s.all); i++ {
+		for j := i; j > 0 && s.all[j].P.Dist2(p) < s.all[j-1].P.Dist2(p); j-- {
+			s.all[j], s.all[j-1] = s.all[j-1], s.all[j]
+		}
+	}
+	s.Pos = p
+	return s.Covers(p)
+}
+
+// ApplyInsert folds a freshly inserted object into the set. It returns
+// true when the set changed (the object landed strictly inside the
+// guard distance), in which case the ranking is stale until Repair.
+// Inserts at distance >= Guard from the anchor are provably harmless
+// and are dropped. Idempotent: re-applying an object already in the set
+// is a no-op.
+func (s *Set) ApplyInsert(it rtree.Item) bool {
+	if !math.IsInf(s.Guard, 1) && it.P.Dist(s.Anchor) >= s.Guard {
+		return false
+	}
+	for _, e := range s.all {
+		if e.ID == it.ID {
+			return false
+		}
+	}
+	s.all = append(s.all, it)
+	return true
+}
+
+// ApplyDelete removes an object from the set. It returns true when the
+// set changed; the ranking is then stale until Repair. Idempotent.
+func (s *Set) ApplyDelete(id int64) bool {
+	for i, e := range s.all {
+		if e.ID == id {
+			copy(s.all[i:], s.all[i+1:])
+			s.all = s.all[:len(s.all)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// SafeRadius returns the radius of a circle around Pos in which no
+// object from outside the set can enter the kNN result:
+//
+//	r = (G - d(Pos, Anchor) - d(Pos, m_k)) / 2
+//
+// For any p within r of Pos, each member is at most d(Pos, m_k) + r
+// away while every unseen object is at least G - d(Pos, Anchor) - r
+// away, and the definition of r makes the former never exceed the
+// latter. Inside the circle the result can therefore only change by
+// trading places with an influential non-member — exactly what the
+// member×guard half-plane pairs of core.GuardedValidity rule out, so
+// circle ∧ half-planes is a sound client-side validity region (and
+// implies the Covers ellipse). Non-positive when the ranking position
+// sits on the ellipse boundary; +Inf when the set holds the whole
+// dataset.
+func (s *Set) SafeRadius() float64 {
+	if math.IsInf(s.Guard, 1) {
+		return math.Inf(1)
+	}
+	if len(s.all) < s.K {
+		return 0
+	}
+	dk := 0.0
+	for _, m := range s.all[:s.K] {
+		if d := s.Pos.Dist(m.P); d > dk {
+			dk = d
+		}
+	}
+	return (s.Guard - s.Pos.Dist(s.Anchor) - dk) / 2
+}

@@ -1,0 +1,297 @@
+package insq_test
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"lbsq/internal/core"
+	"lbsq/internal/dataset"
+	"lbsq/internal/geom"
+	"lbsq/internal/insq"
+	"lbsq/internal/nn"
+	"lbsq/internal/rtree"
+)
+
+// sameResult compares two kNN answers as distance multisets from p, so
+// equal-distance ties in either order count as the same answer.
+func sameResult(p geom.Point, a, b []rtree.Item) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	da := make([]float64, len(a))
+	db := make([]float64, len(b))
+	for i := range a {
+		da[i] = a[i].P.Dist(p)
+		db[i] = b[i].P.Dist(p)
+	}
+	sort.Float64s(da)
+	sort.Float64s(db)
+	for i := range da {
+		if !geom.Eq(da[i], db[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func exactKNN(ix rtree.Index, p geom.Point, k int) []rtree.Item {
+	nbs := nn.KNearest(ix, p, k)
+	out := make([]rtree.Item, len(nbs))
+	for i, nb := range nbs {
+		out[i] = nb.Item
+	}
+	return out
+}
+
+func TestBuildInvariants(t *testing.T) {
+	d := dataset.Uniform(2000, 7)
+	ix := d.Tree()
+	q := geom.Pt(0.41, 0.57)
+	const k, slack = 4, 4
+	s, err := insq.Build(ix, q, k, slack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != k+slack {
+		t.Fatalf("set size %d, want %d", s.Len(), k+slack)
+	}
+	if math.IsInf(s.Guard, 1) {
+		t.Fatal("guard should be finite on a 2000-point dataset")
+	}
+	// Every set element is strictly closer than the guard; the exact
+	// (k+slack+1)-th neighbor defines it.
+	for _, it := range s.Items() {
+		if it.P.Dist(q) > s.Guard {
+			t.Fatalf("set element %d at %g beyond guard %g", it.ID, it.P.Dist(q), s.Guard)
+		}
+	}
+	want := nn.KNearest(ix, q, k+slack+1)[k+slack].Dist
+	if !geom.Eq(s.Guard, want) {
+		t.Fatalf("guard %g, want %g", s.Guard, want)
+	}
+	if !s.Covers(q) {
+		t.Fatal("set must cover its own anchor")
+	}
+	if !sameResult(q, s.Members(), exactKNN(ix, q, k)) {
+		t.Fatal("members at anchor differ from exact kNN")
+	}
+}
+
+func TestBuildSmallDataset(t *testing.T) {
+	d := dataset.Uniform(6, 3)
+	ix := d.Tree()
+	q := geom.Pt(0.5, 0.5)
+	s, err := insq.Build(ix, q, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(s.Guard, 1) {
+		t.Fatalf("guard %g, want +Inf when the set spans the dataset", s.Guard)
+	}
+	if s.Len() != 6 {
+		t.Fatalf("set size %d, want 6", s.Len())
+	}
+	// With the whole dataset in the set, every position is covered
+	// after a repair.
+	p := geom.Pt(0.93, 0.04)
+	if !s.Repair(p) {
+		t.Fatal("repair must succeed with an infinite guard")
+	}
+	if !sameResult(p, s.Members(), exactKNN(ix, p, 4)) {
+		t.Fatal("members differ from exact kNN")
+	}
+	if _, err := insq.Build(ix, q, 7, 0); err == nil {
+		t.Fatal("want error for k larger than the dataset")
+	}
+}
+
+// TestCoversIsExact is the central correctness property: wherever
+// Covers reports true, the members are the exact kNN (as a distance
+// multiset); and wherever the client-facing guarded validity accepts a
+// point (half-plane pairs ∧ guard circle), Covers must accept it too.
+func TestCoversIsExact(t *testing.T) {
+	d := dataset.Uniform(3000, 11)
+	ix := d.Tree()
+	rng := rand.New(rand.NewSource(99))
+	hits := 0
+	for trial := 0; trial < 50; trial++ {
+		q := geom.Pt(rng.Float64(), rng.Float64())
+		k := 1 + rng.Intn(6)
+		s, err := insq.Build(ix, q, k, insq.DefaultSlack(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := s.SafeRadius()
+		if r <= 0 {
+			t.Fatalf("trial %d: non-positive safe radius %g at a fresh anchor", trial, r)
+		}
+		v := core.GuardedValidity(s, d.Universe)
+		for probe := 0; probe < 60; probe++ {
+			// Mix nearby probes (exercising hits) with far ones.
+			scale := r * 4 * rng.Float64()
+			a := 2 * math.Pi * rng.Float64()
+			p := geom.Pt(q.X+scale*math.Cos(a), q.Y+scale*math.Sin(a))
+			in := s.Covers(p)
+			if v.Valid(p) && !in {
+				t.Fatalf("trial %d: client-valid point %v not covered by the set", trial, p)
+			}
+			if in {
+				hits++
+				if !sameResult(p, s.Members(), exactKNN(ix, p, k)) {
+					t.Fatalf("trial %d: covered point %v has wrong members", trial, p)
+				}
+			}
+		}
+	}
+	if hits == 0 {
+		t.Fatal("probe cloud never hit the safe region")
+	}
+}
+
+// TestRepairIsExact drives a random walk: every successful repair must
+// leave the members exactly equal to the true kNN at the new position,
+// and a failed repair must coincide with leaving the guard ellipse.
+func TestRepairIsExact(t *testing.T) {
+	d := dataset.Uniform(3000, 13)
+	ix := d.Tree()
+	rng := rand.New(rand.NewSource(17))
+	const k = 4
+	q := geom.Pt(0.5, 0.5)
+	s, err := insq.Build(ix, q, k, insq.DefaultSlack(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	repaired, rebuilt := 0, 0
+	p := q
+	for step := 0; step < 400; step++ {
+		p = geom.Pt(p.X+(rng.Float64()-0.5)*0.02, p.Y+(rng.Float64()-0.5)*0.02)
+		if p.X < 0 || p.X > 1 || p.Y < 0 || p.Y > 1 {
+			p = geom.Pt(0.5, 0.5)
+		}
+		if s.Repair(p) {
+			repaired++
+			if !sameResult(p, s.Members(), exactKNN(ix, p, k)) {
+				t.Fatalf("step %d: repaired members differ from exact kNN", step)
+			}
+		} else {
+			rebuilt++
+			if s, err = insq.Build(ix, p, k, insq.DefaultSlack(k)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if repaired == 0 || rebuilt == 0 {
+		t.Fatalf("walk exercised only one path: %d repairs, %d rebuilds", repaired, rebuilt)
+	}
+}
+
+// TestApplyMutations churns the set with inserts and deletes and checks
+// that the INSQ invariant keeps repairs exact against a mirror of the
+// dataset.
+func TestApplyMutations(t *testing.T) {
+	d := dataset.Uniform(1500, 23)
+	tree := d.Tree()
+	rng := rand.New(rand.NewSource(29))
+	const k = 3
+	q := geom.Pt(0.3, 0.7)
+	s, err := insq.Build(tree, q, k, insq.DefaultSlack(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nextID := int64(1 << 20)
+	var added []rtree.Item
+	for round := 0; round < 120; round++ {
+		if rng.Intn(2) == 0 || len(added) == 0 {
+			it := rtree.Item{ID: nextID, P: geom.Pt(rng.Float64(), rng.Float64())}
+			nextID++
+			tree.Insert(it)
+			added = append(added, it)
+			changed := s.ApplyInsert(it)
+			if !changed && it.P.Dist(s.Anchor) < s.Guard {
+				t.Fatalf("round %d: in-guard insert reported no change", round)
+			}
+		} else {
+			i := rng.Intn(len(added))
+			it := added[i]
+			added = append(added[:i], added[i+1:]...)
+			tree.Delete(it)
+			s.ApplyDelete(it.ID)
+		}
+		// Re-applying is a no-op (idempotent drain of a pending log).
+		for _, it := range added {
+			if it.P.Dist(s.Anchor) < s.Guard && s.ApplyInsert(it) {
+				// First application may change the set; the second
+				// must not.
+				if s.ApplyInsert(it) {
+					t.Fatalf("round %d: duplicate insert changed the set", round)
+				}
+			}
+		}
+		p := geom.Pt(q.X+(rng.Float64()-0.5)*0.01, q.Y+(rng.Float64()-0.5)*0.01)
+		if s.Repair(p) {
+			if !sameResult(p, s.Members(), exactKNN(tree, p, k)) {
+				t.Fatalf("round %d: post-churn repair differs from exact kNN", round)
+			}
+		} else {
+			if s, err = insq.Build(tree, p, k, insq.DefaultSlack(k)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestGuardedValidity checks the client-facing conversion: the wire
+// region must contain the ranking position, every point it deems valid
+// must carry the exact kNN, and the encode/decode round trip must
+// preserve the guard.
+func TestGuardedValidity(t *testing.T) {
+	d := dataset.Uniform(2500, 31)
+	ix := d.Tree()
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 30; trial++ {
+		q := geom.Pt(0.05+0.9*rng.Float64(), 0.05+0.9*rng.Float64())
+		k := 1 + rng.Intn(5)
+		s, err := insq.Build(ix, q, k, insq.DefaultSlack(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := core.GuardedValidity(s, d.Universe)
+		if v.GuardRadius <= 0 {
+			t.Fatalf("trial %d: fresh guarded validity without a guard circle", trial)
+		}
+		if !v.Valid(q) {
+			t.Fatalf("trial %d: validity rejects its own query point", trial)
+		}
+		if v.Region.IsEmpty() || !v.Region.Contains(q) {
+			t.Fatalf("trial %d: region empty or missing the query point", trial)
+		}
+		got, err := core.DecodeNN(core.EncodeNN(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !geom.Eq(got.GuardRadius, v.GuardRadius) || !geom.SamePoint(got.GuardCenter, v.GuardCenter) {
+			t.Fatalf("trial %d: guard lost in the wire round trip", trial)
+		}
+		for probe := 0; probe < 60; probe++ {
+			p := geom.Pt(q.X+(rng.Float64()-0.5)*0.1, q.Y+(rng.Float64()-0.5)*0.1)
+			if got.Valid(p) && !sameResult(p, s.Members(), exactKNN(ix, p, k)) {
+				t.Fatalf("trial %d: decoded validity accepts %v with a stale result", trial, p)
+			}
+		}
+	}
+}
+
+func TestCoversZeroAlloc(t *testing.T) {
+	d := dataset.Uniform(500, 41)
+	ix := d.Tree()
+	s, err := insq.Build(ix, geom.Pt(0.5, 0.5), 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := geom.Pt(0.5001, 0.5001)
+	if got := testing.AllocsPerRun(200, func() { s.Covers(p) }); got != 0 {
+		t.Fatalf("Covers allocates %v times per run, want 0", got)
+	}
+}

@@ -1,0 +1,294 @@
+// Package mlvoronoi precomputes a multi-layer Voronoi diagram [Li19]
+// over internal/voronoi and serves order-k nearest-neighbor and
+// validity-region lookups from it — the k>1 generalization of the
+// [ZL01] precomputed-diagram baseline.
+//
+// Layer 1 is the ordinary Voronoi diagram with its Delaunay adjacency;
+// layer i is reached by expanding that adjacency i-1 hops. The classic
+// multi-layer property makes the expansion exact: for any query q, the
+// j-th nearest site is a Voronoi (layer-1) neighbor of one of the j-1
+// nearer sites. A best-first walk over the adjacency graph, seeded at
+// the located cell's site, therefore enumerates *all* sites in
+// non-decreasing distance from q — the first k popped are the exact
+// kNN, and the layer-i frontier is exactly the order-i expansion. After
+// the single point-location probe, no index node is touched.
+//
+// Order-k regions come from the same walk: the validity region of a
+// result set R is the order-k Voronoi cell ∩_{m∈R, o∉R} H(m, o), and an
+// outsider o can only clip the running polygon while it is closer to
+// some polygon vertex than that vertex's farthest member — once
+//
+//	d(q, o) >= max_v d(v, q) + max_{v,m} d(v, m)
+//
+// (the security-radius argument of voronoi.CellOf generalized to k
+// members), no farther site's bisector can reach the region and the
+// walk stops.
+package mlvoronoi
+
+import (
+	"fmt"
+	"math"
+
+	"lbsq/internal/geom"
+	"lbsq/internal/nn"
+	"lbsq/internal/rtree"
+	"lbsq/internal/voronoi"
+)
+
+// Diagram is the precomputed multi-layer structure: the layer-1 cells
+// plus the Delaunay adjacency they induce. The site index is retained
+// only for point location.
+type Diagram struct {
+	universe geom.Rect
+	ix       rtree.Index
+	cells    map[int64]voronoi.Cell
+	adj      map[int64][]rtree.Item
+}
+
+// Build precomputes the diagram over the index seam (pointer tree or
+// frozen arena). The adjacency of a site is recovered from its cell
+// geometry: reflecting the site across the supporting line of a cell
+// edge lands exactly on the neighbor contributing that bisector (and
+// nowhere near a site for universe-boundary edges), so each edge costs
+// one point probe instead of the quadratic candidate filtering of
+// voronoi.NeighborsOf.
+//
+// The adjacency is that of the universe-clipped diagram, which is
+// sufficient for in-universe queries: the witness edge between the j-th
+// nearest site and a closer site (walk a point along the segment from
+// the query to the site and track its nearest site) is crossed on that
+// segment, hence inside the convex universe, so clipping never removes
+// it.
+func Build(ix rtree.Index, universe geom.Rect) *Diagram {
+	d := &Diagram{
+		universe: universe,
+		ix:       ix,
+		cells:    make(map[int64]voronoi.Cell, ix.Len()),
+		adj:      make(map[int64][]rtree.Item, ix.Len()),
+	}
+	ix.All(func(it rtree.Item) bool {
+		cell := voronoi.CellOf(ix, it, universe)
+		d.cells[it.ID] = cell
+		d.adj[it.ID] = edgeNeighbors(ix, it, cell.Polygon)
+		return true
+	})
+	return d
+}
+
+// reflectTol2 is the squared distance within which the nearest site to
+// an edge reflection is accepted as the contributing neighbor; the
+// reflection is exact up to floating-point noise, so anything farther
+// marks a universe-boundary edge.
+const reflectTol2 = 1e-18
+
+func edgeNeighbors(ix rtree.Index, site rtree.Item, pg geom.Polygon) []rtree.Item {
+	if pg.IsEmpty() {
+		return nil
+	}
+	var out []rtree.Item
+	seen := map[int64]bool{site.ID: true}
+	for i := range pg {
+		a, b := pg[i], pg[(i+1)%len(pg)]
+		ab := b.Sub(a)
+		n2 := ab.Norm2()
+		if geom.ExactZero(n2) {
+			continue
+		}
+		t := site.P.Sub(a).Dot(ab) / n2
+		foot := a.Add(ab.Scale(t))
+		refl := foot.Scale(2).Sub(site.P)
+		nb, ok := nn.Nearest(ix, refl)
+		if !ok || seen[nb.Item.ID] || nb.Item.P.Dist2(refl) > reflectTol2 {
+			continue
+		}
+		seen[nb.Item.ID] = true
+		out = append(out, nb.Item)
+	}
+	return out
+}
+
+// Len returns the number of sites.
+func (d *Diagram) Len() int { return len(d.cells) }
+
+// Neighbors returns the layer-1 (Delaunay) adjacency of a site.
+func (d *Diagram) Neighbors(id int64) []rtree.Item { return d.adj[id] }
+
+// Cell returns the layer-1 cell of a site.
+func (d *Diagram) Cell(id int64) (voronoi.Cell, bool) {
+	c, ok := d.cells[id]
+	return c, ok
+}
+
+// walker is the best-first traversal of the adjacency graph: it pops
+// sites in non-decreasing distance from q, touching no index node.
+type walker struct {
+	d       *Diagram
+	q       geom.Point
+	heap    []walkEntry // min-heap on d2
+	visited map[int64]bool
+}
+
+type walkEntry struct {
+	it rtree.Item
+	d2 float64
+}
+
+func (d *Diagram) newWalker(q geom.Point) (*walker, error) {
+	// The only index touch: locate the layer-1 cell via nearest-site
+	// search. Everything after runs on the precomputed adjacency.
+	first, ok := nn.Nearest(d.ix, q)
+	if !ok {
+		return nil, fmt.Errorf("mlvoronoi: empty diagram")
+	}
+	w := &walker{d: d, q: q, visited: map[int64]bool{first.Item.ID: true}}
+	w.heap = append(w.heap, walkEntry{it: first.Item, d2: first.Dist * first.Dist})
+	return w, nil
+}
+
+// next pops the closest unvisited site and pushes its layer-1
+// neighbors. By the multi-layer property the pop order is globally
+// sorted by distance.
+func (w *walker) next() (rtree.Item, float64, bool) {
+	if len(w.heap) == 0 {
+		return rtree.Item{}, 0, false
+	}
+	top := w.pop()
+	for _, nb := range w.d.adj[top.it.ID] {
+		if !w.visited[nb.ID] {
+			w.visited[nb.ID] = true
+			w.push(walkEntry{it: nb, d2: nb.P.Dist2(w.q)})
+		}
+	}
+	return top.it, top.d2, true
+}
+
+func (w *walker) push(e walkEntry) {
+	w.heap = append(w.heap, e)
+	i := len(w.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if w.heap[p].d2 <= w.heap[i].d2 {
+			break
+		}
+		w.heap[p], w.heap[i] = w.heap[i], w.heap[p]
+		i = p
+	}
+}
+
+func (w *walker) pop() walkEntry {
+	h := w.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	w.heap = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && w.heap[l].d2 < w.heap[small].d2 {
+			small = l
+		}
+		if r < n && w.heap[r].d2 < w.heap[small].d2 {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		w.heap[i], w.heap[small] = w.heap[small], w.heap[i]
+		i = small
+	}
+	return top
+}
+
+// KNN returns the exact k nearest sites of q in increasing distance,
+// using one point-location probe and a layer-by-layer expansion of the
+// precomputed adjacency. Fewer than k are returned only when the
+// diagram is smaller than k.
+func (d *Diagram) KNN(q geom.Point, k int) ([]nn.Neighbor, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	w, err := d.newWalker(q)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]nn.Neighbor, 0, k)
+	for len(out) < k {
+		it, d2, ok := w.next()
+		if !ok {
+			break
+		}
+		out = append(out, nn.Neighbor{Item: it, Dist: math.Sqrt(d2)})
+	}
+	return out, nil
+}
+
+// RegionK returns the exact k nearest sites of q and their order-k
+// validity region: the order-k Voronoi cell of the result set, clipped
+// to the universe. The members are popped first; the walk then keeps
+// consuming outsiders in increasing distance, clipping the region by
+// every member×outsider bisector, until the security radius guarantees
+// no farther site can contribute an edge.
+func (d *Diagram) RegionK(q geom.Point, k int) ([]rtree.Item, geom.Polygon, error) {
+	if k <= 0 {
+		return nil, geom.Polygon{}, fmt.Errorf("mlvoronoi: non-positive k %d", k)
+	}
+	w, err := d.newWalker(q)
+	if err != nil {
+		return nil, geom.Polygon{}, err
+	}
+	members := make([]rtree.Item, 0, k)
+	for len(members) < k {
+		it, _, ok := w.next()
+		if !ok {
+			return nil, geom.Polygon{}, fmt.Errorf("mlvoronoi: diagram has fewer than %d sites", k)
+		}
+		members = append(members, it)
+	}
+	pg := d.universe.Polygon()
+	for {
+		o, d2, ok := w.next()
+		if !ok {
+			break
+		}
+		if bound := d.securityBound(pg, members, q); bound >= 0 && d2 > bound*bound {
+			break
+		}
+		for _, m := range members {
+			pg = pg.ClipHalfPlane(geom.Bisector(m.P, o.P))
+			if pg.IsEmpty() {
+				return members, geom.Polygon{}, nil
+			}
+		}
+	}
+	if geom.Checking && !pg.IsEmpty() && d.universe.Contains(q) && !pg.Contains(q) {
+		panic("mlvoronoi: order-k region does not contain the query point")
+	}
+	return members, pg, nil
+}
+
+// securityBound returns the distance from q beyond which no outsider
+// can clip the running region: an outsider's bisector with member m
+// reaches the region only if some vertex v has d(v, o) < d(v, m), and
+//
+//	d(q, o) <= d(q, v) + d(v, o) < maxVertexDist + maxMemberDist.
+//
+// Negative when the region is empty.
+func (d *Diagram) securityBound(pg geom.Polygon, members []rtree.Item, q geom.Point) float64 {
+	if pg.IsEmpty() {
+		return -1
+	}
+	maxV := 0.0
+	maxM := 0.0
+	for _, v := range pg {
+		if dv := v.Dist(q); dv > maxV {
+			maxV = dv
+		}
+		for _, m := range members {
+			if dm := v.Dist(m.P); dm > maxM {
+				maxM = dm
+			}
+		}
+	}
+	return maxV + maxM
+}

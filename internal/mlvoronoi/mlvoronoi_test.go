@@ -1,0 +1,197 @@
+package mlvoronoi_test
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"lbsq/internal/core"
+	"lbsq/internal/dataset"
+	"lbsq/internal/geom"
+	"lbsq/internal/mlvoronoi"
+	"lbsq/internal/nn"
+	"lbsq/internal/rtree"
+	"lbsq/internal/rtree/arena"
+	"lbsq/internal/voronoi"
+)
+
+// insertBuilt grows a tree by repeated insertion (instead of bulk
+// loading), producing a different node structure over the same items.
+func insertBuilt(items []rtree.Item) *rtree.Tree {
+	t := rtree.New(rtree.Options{})
+	for _, it := range items {
+		t.Insert(it)
+	}
+	return t
+}
+
+func TestAdjacencyMatchesNeighborsOf(t *testing.T) {
+	d := dataset.Uniform(400, 5)
+	tree := d.Tree()
+	diag := mlvoronoi.Build(tree, d.Universe)
+	for _, it := range d.Items[:80] {
+		want := voronoi.NeighborsOf(tree, it, d.Universe)
+		got := diag.Neighbors(it.ID)
+		wantIDs := make(map[int64]bool, len(want))
+		for _, w := range want {
+			wantIDs[w.ID] = true
+		}
+		if len(got) != len(want) {
+			t.Fatalf("site %d: %d neighbors via reflection, %d via NeighborsOf", it.ID, len(got), len(want))
+		}
+		for _, g := range got {
+			if !wantIDs[g.ID] {
+				t.Fatalf("site %d: reflection found non-neighbor %d", it.ID, g.ID)
+			}
+		}
+	}
+}
+
+func TestKNNMatchesBestFirst(t *testing.T) {
+	d := dataset.Uniform(1200, 15)
+	tree := d.Tree()
+	diag := mlvoronoi.Build(tree, d.Universe)
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 200; trial++ {
+		q := geom.Pt(rng.Float64(), rng.Float64())
+		k := 1 + rng.Intn(10)
+		got, err := diag.KNN(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := nn.KNearest(tree, q, k)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d results, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if !geom.Eq(got[i].Dist, want[i].Dist) {
+				t.Fatalf("trial %d: result %d at distance %g, want %g", trial, i, got[i].Dist, want[i].Dist)
+			}
+		}
+	}
+}
+
+// samePolygon compares two convex polygons by area and mutual vertex
+// containment under a small tolerance: construction order differs
+// between the two algorithms, so vertices are only equal up to
+// floating-point noise.
+func samePolygon(t *testing.T, a, b geom.Polygon) bool {
+	t.Helper()
+	if a.IsEmpty() != b.IsEmpty() {
+		return false
+	}
+	if a.IsEmpty() {
+		return true
+	}
+	if math.Abs(a.Area()-b.Area()) > 1e-9 {
+		return false
+	}
+	const eps = 1e-7
+	for _, v := range a {
+		if !b.Contains(v) && b.DistToBoundary(v) > eps {
+			return false
+		}
+	}
+	for _, v := range b {
+		if !a.Contains(v) && a.DistToBoundary(v) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRegionKMatchesTPRegion is the cross-check the paper's Sec. 3.1
+// Observation generalizes to k>1: the order-k cell from the multi-layer
+// diagram must equal the kNN validity region the TP machinery derives
+// (core.InfluenceSetKNN), on bulk- and insert-built trees and on both
+// index layouts.
+func TestRegionKMatchesTPRegion(t *testing.T) {
+	d := dataset.Uniform(900, 21)
+	bulk := d.Tree()
+	grown := insertBuilt(d.Items)
+	layouts := []struct {
+		name string
+		ix   rtree.Index
+	}{
+		{"bulk-pointer", bulk},
+		{"bulk-arena", arena.Freeze(bulk)},
+		{"insert-pointer", grown},
+		{"insert-arena", arena.Freeze(grown)},
+	}
+	for _, l := range layouts {
+		l := l
+		t.Run(l.name, func(t *testing.T) {
+			diag := mlvoronoi.Build(l.ix, d.Universe)
+			rng := rand.New(rand.NewSource(33))
+			for trial := 0; trial < 60; trial++ {
+				q := geom.Pt(rng.Float64(), rng.Float64())
+				k := 1 + rng.Intn(6)
+				members, region, err := diag.RegionK(q, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := core.InfluenceSetKNN(l.ix, q, exactMembers(l.ix, q, k), d.Universe)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !sameIDs(members, want.Result()) {
+					t.Fatalf("trial %d (k=%d): member sets differ", trial, k)
+				}
+				if !samePolygon(t, region, want.Region) {
+					t.Fatalf("trial %d (k=%d): order-k region %v != TP region %v",
+						trial, k, region, want.Region)
+				}
+			}
+		})
+	}
+}
+
+func exactMembers(ix rtree.Index, q geom.Point, k int) []rtree.Item {
+	nbs := nn.KNearest(ix, q, k)
+	out := make([]rtree.Item, len(nbs))
+	for i, nb := range nbs {
+		out[i] = nb.Item
+	}
+	return out
+}
+
+func sameIDs(a, b []rtree.Item) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ia := make([]int64, len(a))
+	ib := make([]int64, len(b))
+	for i := range a {
+		ia[i], ib[i] = a[i].ID, b[i].ID
+	}
+	sort.Slice(ia, func(i, j int) bool { return ia[i] < ia[j] })
+	sort.Slice(ib, func(i, j int) bool { return ib[i] < ib[j] })
+	for i := range ia {
+		if ia[i] != ib[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRegionZeroIndexAccesses checks the multi-layer selling point:
+// after the single point-location probe, order-k lookups touch no
+// index node.
+func TestRegionZeroIndexAccesses(t *testing.T) {
+	d := dataset.Uniform(800, 27)
+	tree := d.Tree()
+	diag := mlvoronoi.Build(tree, d.Universe)
+	locateOnly := func() int64 {
+		na0 := tree.NodeAccesses()
+		nn.Nearest(tree, geom.Pt(0.31, 0.62))
+		return tree.NodeAccesses() - na0
+	}()
+	na0 := tree.NodeAccesses()
+	if _, _, err := diag.RegionK(geom.Pt(0.31, 0.62), 5); err != nil {
+		t.Fatal(err)
+	}
+	if na := tree.NodeAccesses() - na0; na != locateOnly {
+		t.Fatalf("RegionK cost %d node accesses, want the %d of point location alone", na, locateOnly)
+	}
+}

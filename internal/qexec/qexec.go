@@ -2,11 +2,13 @@ package qexec
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
 	"lbsq/internal/core"
 	"lbsq/internal/geom"
+	"lbsq/internal/insq"
 	"lbsq/internal/nn"
 	"lbsq/internal/obs"
 	"lbsq/internal/rtree"
@@ -391,6 +393,26 @@ func (e *Executor) windowMiss(ctx context.Context, w geom.Rect) (wv *core.Window
 	f.win, f.err = wv, err
 	e.sf.complete(key, f)
 	return wv, cost, false, false, err
+}
+
+// ErrINSQSharded reports that the insq session strategy was requested
+// on a sharded database; the influential set must observe one
+// consistent index, which a scatter over shards does not provide.
+var ErrINSQSharded = errors.New("qexec: insq session strategy requires an unsharded database")
+
+// INSQSet builds an INSQ influential neighbor set at q — the insq
+// session strategy's rebuild query. Never cached: unlike the shared
+// validity regions, the set is private mutable session state.
+func (e *Executor) INSQSet(ctx context.Context, q geom.Point, k, slack int) (*insq.Set, core.QueryCost, error) {
+	if e.cluster != nil {
+		return nil, core.QueryCost{}, ErrINSQSharded
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, core.QueryCost{}, err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.single.InfluenceSetINSQ(q, k, slack)
 }
 
 // runNN executes one uncached NN query on the underlying engine.

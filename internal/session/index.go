@@ -1,6 +1,7 @@
 package session
 
 import (
+	"math"
 	"sync"
 
 	"lbsq/internal/core"
@@ -27,6 +28,14 @@ type armed struct {
 	qx, qy  float64
 	members map[int64]struct{}
 
+	// INSQ entries (insq strategy NN sessions) dispatch mutations by
+	// distance to the set's anchor instead of puncture geometry: inside
+	// insGuard a mutation is logged for the next repair, outside it is
+	// provably irrelevant.
+	insq      bool
+	insAnchor geom.Point
+	insGuard  float64
+
 	// Covered cell range, fixed at arm time so disarm visits the same
 	// cells even for rects straddling the universe boundary.
 	c0, r0, c1, r1 int
@@ -38,6 +47,9 @@ type armed struct {
 func buildArmed(s *Session, v *core.NNValidity, wv *core.WindowValidity) *armed {
 	switch s.kind {
 	case NN:
+		if s.usesINSQ() {
+			return buildArmedINSQ(s, v)
+		}
 		if v == nil || v.Region.IsEmpty() {
 			return nil
 		}
@@ -89,6 +101,35 @@ func buildArmed(s *Session, v *core.NNValidity, wv *core.WindowValidity) *armed 
 		}
 	}
 	return nil
+}
+
+// buildArmedINSQ derives the index entry of an insq-strategy NN
+// session. The influence area is the guard disk around the set's
+// anchor: only mutations strictly inside the guard can affect the
+// answer, and every such point lies in the anchor±G square. A set with
+// an infinite guard (whole dataset) or a degenerate one cannot be
+// armed — the session then rebuilds on every move, which only happens
+// on datasets barely larger than k+slack.
+func buildArmedINSQ(s *Session, v *core.NNValidity) *armed {
+	set := s.ins
+	if v == nil || set == nil || set.Len() < set.K ||
+		math.IsInf(set.Guard, 1) || !(set.Guard > 0) {
+		return nil
+	}
+	members := make(map[int64]struct{}, set.K)
+	for _, m := range set.Members() {
+		members[m.ID] = struct{}{}
+	}
+	g := set.Guard
+	return &armed{
+		s:         s,
+		rect:      geom.R(set.Anchor.X-g, set.Anchor.Y-g, set.Anchor.X+g, set.Anchor.Y+g),
+		nn:        v,
+		members:   members,
+		insq:      true,
+		insAnchor: set.Anchor,
+		insGuard:  g,
+	}
 }
 
 // puncturedByInsert reports whether inserting a point at p can change

@@ -9,6 +9,7 @@ import (
 const (
 	moveResultHit      = "hit"
 	moveResultPrefetch = "prefetch"
+	moveResultRepair   = "repair"
 	moveResultRequery  = "requery"
 )
 
@@ -22,13 +23,16 @@ const (
 
 // metrics holds the manager's always-on instruments. A nil Registry in
 // Options meters into a private registry, so every field is non-nil
-// and the hot path stays branch-free.
+// and the hot path stays branch-free. Every series carries the
+// manager's strategy label, so tpknn and insq managers metered into
+// one registry stay separable.
 type metrics struct {
 	opens  *obs.Counter
 	closes *obs.Counter
 
 	moveHit      *obs.Counter
 	movePrefetch *obs.Counter
+	moveRepair   *obs.Counter
 	moveRequery  *obs.Counter
 
 	invalidations *obs.Counter
@@ -43,43 +47,53 @@ func newMetrics(reg *obs.Registry, m *Manager) *metrics {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	strat := m.strategy
 	met := &metrics{
 		opens: reg.Counter("lbsq_sessions_opened_total",
-			"Continuous-query sessions opened.", nil),
+			"Continuous-query sessions opened.",
+			obs.Labels{"strategy": strat}),
 		closes: reg.Counter("lbsq_sessions_closed_total",
-			"Continuous-query sessions closed or expired.", nil),
+			"Continuous-query sessions closed or expired.",
+			obs.Labels{"strategy": strat}),
 		moveHit: reg.Counter("lbsq_session_moves_total",
 			"Session position updates, by how they were answered.",
-			obs.Labels{"result": moveResultHit}),
+			obs.Labels{"result": moveResultHit, "strategy": strat}),
 		movePrefetch: reg.Counter("lbsq_session_moves_total",
 			"Session position updates, by how they were answered.",
-			obs.Labels{"result": moveResultPrefetch}),
+			obs.Labels{"result": moveResultPrefetch, "strategy": strat}),
+		moveRepair: reg.Counter("lbsq_session_moves_total",
+			"Session position updates, by how they were answered.",
+			obs.Labels{"result": moveResultRepair, "strategy": strat}),
 		moveRequery: reg.Counter("lbsq_session_moves_total",
 			"Session position updates, by how they were answered.",
-			obs.Labels{"result": moveResultRequery}),
+			obs.Labels{"result": moveResultRequery, "strategy": strat}),
 		invalidations: reg.Counter("lbsq_session_invalidations_total",
-			"Armed session regions punctured by Insert/Delete (push invalidations).", nil),
+			"Armed session regions punctured by Insert/Delete (push invalidations).",
+			obs.Labels{"strategy": strat}),
 		pfIssued: reg.Counter("lbsq_session_prefetch_total",
 			"Trajectory-prefetch lifecycle events.",
-			obs.Labels{"event": pfEventIssued}),
+			obs.Labels{"event": pfEventIssued, "strategy": strat}),
 		pfHit: reg.Counter("lbsq_session_prefetch_total",
 			"Trajectory-prefetch lifecycle events.",
-			obs.Labels{"event": pfEventHit}),
+			obs.Labels{"event": pfEventHit, "strategy": strat}),
 		pfWaste: reg.Counter("lbsq_session_prefetch_total",
 			"Trajectory-prefetch lifecycle events.",
-			obs.Labels{"event": pfEventWaste}),
+			obs.Labels{"event": pfEventWaste, "strategy": strat}),
 		pfDropped: reg.Counter("lbsq_session_prefetch_total",
 			"Trajectory-prefetch lifecycle events.",
-			obs.Labels{"event": pfEventDropped}),
+			obs.Labels{"event": pfEventDropped, "strategy": strat}),
 	}
 	reg.GaugeFunc("lbsq_sessions_active",
-		"Currently open continuous-query sessions.", nil,
+		"Currently open continuous-query sessions.",
+		obs.Labels{"strategy": strat},
 		func() float64 { return float64(m.Len()) })
 	reg.GaugeFunc("lbsq_session_region_hit_ratio",
-		"Fraction of session moves answered from the armed region with zero index work.", nil,
+		"Fraction of session moves answered from the armed region with zero index work.",
+		obs.Labels{"strategy": strat},
 		func() float64 {
 			hit := float64(met.moveHit.Value())
-			total := hit + float64(met.movePrefetch.Value()) + float64(met.moveRequery.Value())
+			total := hit + float64(met.movePrefetch.Value()) +
+				float64(met.moveRepair.Value()) + float64(met.moveRequery.Value())
 			if geom.ExactZero(total) {
 				return 0
 			}

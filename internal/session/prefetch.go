@@ -59,7 +59,11 @@ func (s *Session) predictExitLocked(p, delta geom.Point) (geom.Point, bool) {
 // per session is in flight, and the pool is bounded: under overload
 // the prefetch is dropped, never queued.
 func (m *Manager) maybePrefetch(s *Session, p, delta geom.Point) {
-	if m.pfSlots == nil || s.pfBusy || s.invalid.Load() {
+	// INSQ sessions never prefetch: leaving the guard ellipse is
+	// repaired by re-ranking the influential set, so there is no costly
+	// exit to hide, and a prefetched set would need its own mutation
+	// log to stay provably synced.
+	if m.pfSlots == nil || s.pfBusy || s.invalid.Load() || s.usesINSQ() {
 		return
 	}
 	exit, ok := s.predictExitLocked(p, delta)

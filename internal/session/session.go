@@ -24,6 +24,7 @@ import (
 
 	"lbsq/internal/core"
 	"lbsq/internal/geom"
+	"lbsq/internal/insq"
 	"lbsq/internal/obs"
 	"lbsq/internal/qexec"
 	"lbsq/internal/rtree"
@@ -66,6 +67,10 @@ type Options struct {
 	// PrefetchWorkers bounds the background pool computing predicted
 	// next regions (0 selects 4; negative disables prefetch).
 	PrefetchWorkers int
+	// Strategy selects how NN sessions maintain their validity state
+	// between full queries: StrategyTPKNN (default, also selected by
+	// "") or StrategyINSQ. See ParseStrategy.
+	Strategy string
 	// Registry receives the session metrics (nil meters into a private
 	// registry, keeping the hot path branch-free).
 	Registry *obs.Registry
@@ -86,6 +91,7 @@ const tombstoneCap = 8192
 type Manager struct {
 	exec     *qexec.Executor
 	universe geom.Rect
+	strategy string
 
 	ttl         time.Duration
 	maxSessions int
@@ -110,10 +116,18 @@ type Manager struct {
 
 // NewManager returns a session manager executing full queries through
 // exec (which carries the DB's engine, cache and metrics registry).
+// opts.Strategy must name a known strategy (callers validate with
+// ParseStrategy; the facade rejects unknown names before reaching
+// here).
 func NewManager(exec *qexec.Executor, universe geom.Rect, opts Options) *Manager {
+	strategy, err := ParseStrategy(opts.Strategy)
+	if err != nil {
+		panic(err)
+	}
 	m := &Manager{
 		exec:        exec,
 		universe:    universe,
+		strategy:    strategy,
 		ttl:         opts.TTL,
 		maxSessions: opts.MaxSessions,
 		sessions:    make(map[uint64]*Session),
@@ -143,6 +157,9 @@ func (m *Manager) Len() int {
 
 // Epoch returns the current mutation epoch (exposed for tests).
 func (m *Manager) Epoch() uint64 { return m.epoch.Load() }
+
+// Strategy returns the manager's normalized session strategy name.
+func (m *Manager) Strategy() string { return m.strategy }
 
 // Session is one registered continuous query. Its identity (kind, k,
 // extents) is immutable; the cached validity state is guarded by mu and
@@ -180,12 +197,19 @@ type Session struct {
 	last   geom.Point
 	pf     *prefetched
 	pfBusy bool
+
+	// ins is the INSQ influential set (insq strategy NN sessions only),
+	// guarded by mu; log is its pending-mutation side channel, written
+	// by OnInsert/OnDelete under its own mutex so the notification path
+	// never blocks on a Move holding mu through a requery.
+	ins *insq.Set
+	log insqLog
 }
 
 // MoveResult is the answer to one Move (or Open, which behaves as a
 // first Move that always re-queries). Exactly one of Hit, Prefetched,
-// Requeried is set. Validity objects may be shared with the DB's
-// validity cache and other sessions; treat them as read-only.
+// Repaired, Requeried is set. Validity objects may be shared with the
+// DB's validity cache and other sessions; treat them as read-only.
 type MoveResult struct {
 	// Hit reports that the position stayed inside the armed region: the
 	// cached answer is still exact and no index work was done.
@@ -194,6 +218,10 @@ type MoveResult struct {
 	// landed inside a region prefetched along the predicted trajectory,
 	// so no synchronous query was needed.
 	Prefetched bool
+	// Repaired reports that the insq strategy rebuilt the answer by
+	// re-ranking its influential set — no index work, despite a region
+	// exit or invalidation that would have forced tpknn to re-query.
+	Repaired bool
 	// Requeried reports that a full query re-executed.
 	Requeried bool
 	// Invalidated reports that the miss was caused by push invalidation
@@ -365,6 +393,9 @@ func (m *Manager) MoveInto(ctx context.Context, id uint64, p geom.Point, out *Mo
 // moveSlowLocked handles the Move miss paths — prefetch adoption or a
 // synchronous requery — with s.mu held.
 func (m *Manager) moveSlowLocked(ctx context.Context, s *Session, p, delta geom.Point, out *MoveResult) error {
+	if s.usesINSQ() {
+		return m.insqSlowLocked(ctx, s, p, out)
+	}
 	invalidated := s.invalid.Load()
 
 	// Region exit (or push invalidation): try the prefetched region
@@ -398,12 +429,69 @@ func (m *Manager) moveSlowLocked(ctx context.Context, s *Session, p, delta geom.
 	return nil
 }
 
+// insqSlowLocked is the miss path of insq-strategy NN sessions (s.mu
+// held): drain the pending mutation log into the influential set and
+// try to repair it at p — a re-ranking of at most k+slack points, zero
+// index accesses — falling back to a full rebuild only when the set is
+// gone (poisoned), the log overflowed, or p escaped the guard ellipse.
+func (m *Manager) insqSlowLocked(ctx context.Context, s *Session, p geom.Point, out *MoveResult) error {
+	invalidated := s.invalid.Load()
+	epoch0 := m.epoch.Load()
+	if s.ins != nil {
+		overflow := s.log.drain(func(mu insqMut) {
+			if mu.del {
+				s.ins.ApplyDelete(mu.it.ID)
+			} else {
+				s.ins.ApplyInsert(mu.it)
+			}
+		})
+		if !overflow && s.ins.Repair(p) {
+			// The set is exact as of the drain; adoptLocked's epoch
+			// discipline (with insqPoisonLocked on failure) covers
+			// mutations racing the repair, exactly like a requery.
+			s.adoptLocked(core.GuardedValidity(s.ins, m.universe), nil, epoch0)
+			m.met.moveRepair.Inc()
+			s.resultInto(out)
+			out.Repaired = true
+			out.Invalidated = invalidated
+			return nil
+		}
+	}
+	epoch1 := m.epoch.Load()
+	res, err := m.runQuery(ctx, s, p)
+	if err != nil {
+		return err
+	}
+	s.adoptLocked(res.NN, nil, epoch1)
+	m.met.moveRequery.Inc()
+	res.Invalidated = invalidated
+	res.Seq = s.seq.Load()
+	*out = *res
+	return nil
+}
+
 // runQuery executes the session's full query at p through the DB's
 // batch/cache executor.
 func (m *Manager) runQuery(ctx context.Context, s *Session, p geom.Point) (*MoveResult, error) {
 	res := &MoveResult{Requeried: true}
 	switch s.kind {
 	case NN:
+		if s.usesINSQ() {
+			set, cost, err := m.exec.INSQSet(ctx, p, s.k, insq.DefaultSlack(s.k))
+			if err != nil {
+				return nil, err
+			}
+			// The query observed every mutation the pending log describes
+			// (entries are appended only after the mutation is visible in
+			// the index), so the log restarts empty with the new set.
+			// Mutations racing the query are caught by the caller's epoch
+			// check. On the error path above, set and log are untouched
+			// and stay coherent.
+			s.log.clear()
+			s.ins = set
+			res.NN, res.Cost = core.GuardedValidity(set, m.universe), cost
+			return res, nil
+		}
 		v, cost, _, _, err := m.exec.NNCached(ctx, p, s.k)
 		if err != nil {
 			return nil, err
@@ -442,6 +530,12 @@ func (s *Session) resultInto(out *MoveResult) {
 func (s *Session) coversLocked(p geom.Point) bool {
 	switch s.kind {
 	case NN:
+		if s.usesINSQ() {
+			// Covers is exact everywhere by pure distance arithmetic —
+			// no universe clipping involved on either side of the
+			// arm/puncture protocol, so no universe bound is needed.
+			return s.ins != nil && s.ins.Covers(p)
+		}
 		return s.nn != nil && s.m.universe.Contains(p) && s.nn.Valid(p)
 	case Window:
 		return s.win != nil && s.win.Valid(p)
@@ -461,11 +555,13 @@ func (s *Session) adoptLocked(v *core.NNValidity, wv *core.WindowValidity, epoch
 	s.nn, s.win = v, wv
 	s.pf = nil
 	if s.closed.Load() || s.m.epoch.Load() != epoch0 {
+		s.insqPoisonLocked()
 		s.invalid.Store(true)
 		return
 	}
 	a := buildArmed(s, v, wv)
 	if a == nil {
+		s.insqPoisonLocked()
 		s.invalid.Store(true)
 		return
 	}
@@ -477,7 +573,22 @@ func (s *Session) adoptLocked(v *core.NNValidity, wv *core.WindowValidity, epoch
 	// conservatively invalidate. (If the scan did see the entry this
 	// double-invalidates, which is harmless.)
 	if s.m.epoch.Load() != epoch0 {
+		s.insqPoisonLocked()
 		s.m.invalidate(s)
+	}
+}
+
+// insqPoisonLocked discards the influential set when its pending log
+// can no longer be proven complete (s.mu held): Insert/Delete
+// notifications are logged only while an armed entry is published, so
+// whenever a mutation may have landed across an unarmed window, a
+// retained set could later be repaired into a stale answer. Dropping
+// it forces the next slow path into a full rebuild. No-op for other
+// strategies and kinds.
+func (s *Session) insqPoisonLocked() {
+	if s.usesINSQ() {
+		s.ins = nil
+		s.log.clear()
 	}
 }
 
@@ -553,6 +664,17 @@ func (m *Manager) MutationBegin() { m.epoch.Add(1) }
 func (m *Manager) OnInsert(it rtree.Item) {
 	m.epoch.Add(1)
 	for _, a := range m.idx.collect(it.P) {
+		if a.insq {
+			// INSQ: an insert strictly inside the guard joins the
+			// influential set — log it for the next repair and
+			// invalidate (it may displace a member somewhere in the
+			// region). At or beyond the guard it is provably harmless.
+			if it.P.Dist(a.insAnchor) < a.insGuard {
+				a.s.log.append(insqMut{it: it})
+				m.invalidate(a.s)
+			}
+			continue
+		}
 		if a.puncturedByInsert(it.P) {
 			m.invalidate(a.s)
 		}
@@ -566,6 +688,19 @@ func (m *Manager) OnInsert(it rtree.Item) {
 func (m *Manager) OnDelete(it rtree.Item) {
 	m.epoch.Add(1)
 	for _, a := range m.idx.collect(it.P) {
+		if a.insq {
+			// INSQ: any in-set delete must reach the next repair (≤
+			// catches a set element sitting exactly at the guard), but
+			// only a member delete changes the served answer — ghosts
+			// of non-member deletes merely keep Covers conservative.
+			if it.P.Dist(a.insAnchor) <= a.insGuard {
+				a.s.log.append(insqMut{del: true, it: it})
+				if a.holdsMember(it.ID) {
+					m.invalidate(a.s)
+				}
+			}
+			continue
+		}
 		if a.holdsMember(it.ID) {
 			m.invalidate(a.s)
 		}

@@ -1,0 +1,103 @@
+package session
+
+import (
+	"errors"
+	"sync"
+
+	"lbsq/internal/rtree"
+)
+
+// Session strategies: how an NN session maintains its server-side
+// validity state between full queries. Window sessions always use the
+// paper's machinery regardless of strategy.
+const (
+	// StrategyTPKNN is the paper's scheme (the default): each rebuild
+	// runs a kNN query plus TP probes assembling the exact order-k
+	// validity region (core.InfluenceSetKNN).
+	StrategyTPKNN = "tpknn"
+	// StrategyINSQ maintains an INSQ influential neighbor set
+	// (internal/insq): one slightly larger kNN query per rebuild, a
+	// guard distance instead of TP probes, in-region moves answered by
+	// pure distance arithmetic, and churn repaired by re-ranking the
+	// set instead of re-querying.
+	StrategyINSQ = "insq"
+)
+
+// ErrUnknownStrategy reports an unrecognized session strategy name.
+var ErrUnknownStrategy = errors.New(`session: unknown strategy (want "", "tpknn" or "insq")`)
+
+// ParseStrategy normalizes a strategy name: the empty string selects
+// the default (tpknn).
+func ParseStrategy(name string) (string, error) {
+	switch name {
+	case "", StrategyTPKNN:
+		return StrategyTPKNN, nil
+	case StrategyINSQ:
+		return StrategyINSQ, nil
+	}
+	return "", ErrUnknownStrategy
+}
+
+// usesINSQ reports whether this session runs the INSQ strategy (NN
+// sessions under an insq manager; window sessions never do).
+func (s *Session) usesINSQ() bool {
+	return s.kind == NN && s.m.strategy == StrategyINSQ
+}
+
+// insqMut is one pending index mutation relevant to a session's
+// influential set, logged by OnInsert/OnDelete and drained on the next
+// slow path. Applying the log is idempotent, so a drained entry
+// re-observed after a rebuild is harmless.
+type insqMut struct {
+	del bool
+	it  rtree.Item
+}
+
+// insqLogCap bounds the per-session pending log; overflow forces the
+// next slow path into a full rebuild instead of a repair.
+const insqLogCap = 256
+
+// insqLog holds a session's pending mutations under its own mutex, so
+// the Insert/Delete notification path never contends with a Move
+// holding s.mu through a requery.
+type insqLog struct {
+	mu       sync.Mutex
+	pending  []insqMut
+	overflow bool
+}
+
+// append records a mutation (called from OnInsert/OnDelete).
+func (l *insqLog) append(mu insqMut) {
+	l.mu.Lock()
+	if len(l.pending) >= insqLogCap {
+		l.overflow = true
+	} else {
+		l.pending = append(l.pending, mu)
+	}
+	l.mu.Unlock()
+}
+
+// drain applies the pending mutations to the set in arrival order and
+// reports whether the log overflowed (set unusable, rebuild required).
+func (l *insqLog) drain(apply func(insqMut)) bool {
+	l.mu.Lock()
+	pending := l.pending
+	of := l.overflow
+	l.pending, l.overflow = nil, false
+	l.mu.Unlock()
+	if of {
+		return true
+	}
+	for _, mu := range pending {
+		apply(mu)
+	}
+	return false
+}
+
+// clear discards the pending log (called right before a full rebuild,
+// whose query observes the index state the log described).
+func (l *insqLog) clear() {
+	l.mu.Lock()
+	l.pending, l.overflow = nil, false
+	l.mu.Unlock()
+}

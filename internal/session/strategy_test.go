@@ -1,0 +1,281 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"lbsq/internal/geom"
+	"lbsq/internal/rtree"
+)
+
+func TestParseStrategy(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+		err  error
+	}{
+		{"", StrategyTPKNN, nil},
+		{"tpknn", StrategyTPKNN, nil},
+		{"insq", StrategyINSQ, nil},
+		{"voronoi", "", ErrUnknownStrategy},
+		{"INSQ", "", ErrUnknownStrategy},
+		{"tpknn ", "", ErrUnknownStrategy},
+	}
+	for _, c := range cases {
+		got, err := ParseStrategy(c.in)
+		if got != c.want || !errors.Is(err, c.err) {
+			t.Errorf("ParseStrategy(%q) = (%q, %v), want (%q, %v)", c.in, got, err, c.want, c.err)
+		}
+	}
+}
+
+// TestINSQMoveLifecycle walks an insq session through hits, repairs and
+// rebuilds: every answer must match a fresh query, in-region hits and
+// repairs must touch no index node, and both non-requery outcomes must
+// actually occur.
+func TestINSQMoveLifecycle(t *testing.T) {
+	h := newHarness(t, 1500, 47, Options{Strategy: StrategyINSQ})
+	ctx := context.Background()
+	u := h.d.Universe
+	p := u.Center()
+	s, res, err := h.m.OpenNN(ctx, p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Requeried || res.NN == nil {
+		t.Fatalf("open: want initial requery with answer, got %+v", res)
+	}
+	rng := rand.New(rand.NewSource(9))
+	hits, repairs, requeries := 0, 0, 0
+	for i := 0; i < 500; i++ {
+		p = geom.Pt(
+			clamp(p.X+(rng.Float64()-0.5)*u.Width()*0.01, u.MinX, u.MaxX),
+			clamp(p.Y+(rng.Float64()-0.5)*u.Height()*0.01, u.MinY, u.MaxY),
+		)
+		h.srv.Tree.ResetAccesses()
+		mv, err := h.m.Move(ctx, s.ID(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case mv.Hit:
+			hits++
+		case mv.Repaired:
+			repairs++
+		case mv.Requeried:
+			requeries++
+		default:
+			t.Fatalf("step %d: no outcome flag set: %+v", i, mv)
+		}
+		if (mv.Hit || mv.Repaired) && h.srv.Tree.NodeAccesses() != 0 {
+			t.Fatalf("step %d: zero-work outcome %+v performed %d node accesses", i, mv, h.srv.Tree.NodeAccesses())
+		}
+		if want := h.freshNN(t, p, 3); !sameAnswer(p, mv.NN, want) {
+			t.Fatalf("step %d at %v: insq answer diverged from fresh query (%+v)", i, p, mv)
+		}
+	}
+	if hits == 0 || repairs == 0 {
+		t.Fatalf("walk exercised hits=%d repairs=%d requeries=%d; want hits and repairs > 0", hits, repairs, requeries)
+	}
+}
+
+// TestINSQPushInvalidationRepairs checks that churn inside the guard is
+// absorbed by the repair path: an insert that displaces a member and a
+// delete of a member each invalidate the session, and the next move
+// answers correctly by re-ranking the influential set — no index work.
+func TestINSQPushInvalidationRepairs(t *testing.T) {
+	h := newHarness(t, 2000, 53, Options{Strategy: StrategyINSQ})
+	ctx := context.Background()
+	p := h.d.Universe.Center()
+	s, res, err := h.m.OpenNN(ctx, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq0 := res.Seq
+
+	intruder := rtree.Item{ID: 1 << 45, P: p.Add(geom.Pt(1e-7, 1e-7))}
+	h.insert(intruder)
+	if seq, ok, err := h.m.Events(ctx, s.ID(), seq0); err != nil || !ok || seq <= seq0 {
+		t.Fatalf("Events after in-guard insert: seq=%d ok=%v err=%v, want new seq", seq, ok, err)
+	}
+	h.srv.Tree.ResetAccesses()
+	mv, err := h.m.Move(ctx, s.ID(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mv.Repaired || !mv.Invalidated {
+		t.Fatalf("move after in-guard insert: want invalidated repair, got %+v", mv)
+	}
+	if n := h.srv.Tree.NodeAccesses(); n != 0 {
+		t.Fatalf("repair performed %d node accesses, want 0", n)
+	}
+	if mv.NN.Neighbors[0].Item.ID != intruder.ID {
+		t.Fatalf("repair missed the intruder: NN %d, want %d", mv.NN.Neighbors[0].Item.ID, intruder.ID)
+	}
+
+	if !h.delete(intruder) {
+		t.Fatal("intruder not deletable")
+	}
+	h.srv.Tree.ResetAccesses()
+	mv, err = h.m.Move(ctx, s.ID(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mv.Repaired || !mv.Invalidated {
+		t.Fatalf("move after member delete: want invalidated repair, got %+v", mv)
+	}
+	if n := h.srv.Tree.NodeAccesses(); n != 0 {
+		t.Fatalf("repair performed %d node accesses, want 0", n)
+	}
+	if mv.NN.Neighbors[0].Item.ID == intruder.ID {
+		t.Fatal("deleted intruder still reported as NN after repair")
+	}
+	if want := h.freshNN(t, p, 2); !sameAnswer(p, mv.NN, want) {
+		t.Fatal("repaired answer diverged from fresh query")
+	}
+}
+
+// TestStrategiesAgreeOnEveryMove drives a tpknn and an insq session
+// over one identical walk on one identical dataset, interleaved with
+// churn, and requires the exact same kNN answer (as a distance
+// multiset) from both at every step.
+func TestStrategiesAgreeOnEveryMove(t *testing.T) {
+	ht := newHarness(t, 1200, 59, Options{PrefetchWorkers: -1})
+	hi := newHarness(t, 1200, 59, Options{Strategy: StrategyINSQ})
+	ctx := context.Background()
+	u := ht.d.Universe
+	p := u.Center()
+	st, _, err := ht.m.OpenNN(ctx, p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	si, _, err := hi.m.OpenNN(ctx, p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(61))
+	for i := 0; i < 300; i++ {
+		if i%17 == 5 {
+			it := rtree.Item{
+				ID: int64(1<<46) + int64(i),
+				P:  p.Add(geom.Pt((rng.Float64()-0.5)*u.Width()*0.01, (rng.Float64()-0.5)*u.Height()*0.01)),
+			}
+			ht.insert(it)
+			hi.insert(it)
+		}
+		p = geom.Pt(
+			clamp(p.X+(rng.Float64()-0.5)*u.Width()*0.02, u.MinX, u.MaxX),
+			clamp(p.Y+(rng.Float64()-0.5)*u.Height()*0.02, u.MinY, u.MaxY),
+		)
+		mt, err := ht.m.Move(ctx, st.ID(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mi, err := hi.m.Move(ctx, si.ID(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameAnswer(p, mt.NN, mi.NN) {
+			t.Fatalf("step %d at %v: tpknn (%+v) and insq (%+v) answers diverged", i, p, mt, mi)
+		}
+		if want := ht.freshNN(t, p, 4); !sameAnswer(p, mt.NN, want) {
+			t.Fatalf("step %d: tpknn answer diverged from fresh query", i)
+		}
+	}
+}
+
+// TestINSQChurnNeverServesStaleResult is TestChurnNeverServesStaleResult
+// under the insq strategy: movers racing Insert/Delete churn, with the
+// observer's alternating mutations flowing through the pending-mutation
+// log and the repair path instead of full requeries. Run with -race.
+func TestINSQChurnNeverServesStaleResult(t *testing.T) {
+	h := newHarness(t, 2000, 43, Options{Strategy: StrategyINSQ})
+	ctx := context.Background()
+	u := h.d.Universe
+
+	xp := geom.Pt(u.Center().X, u.Center().Y)
+	x := rtree.Item{ID: 1 << 43, P: xp}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			p := geom.Pt(u.MinX+rng.Float64()*u.Width(), u.MinY+rng.Float64()*u.Height())
+			s, _, err := h.m.OpenNN(ctx, p, 2)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p = geom.Pt(
+					clamp(p.X+(rng.Float64()-0.5)*u.Width()*0.02, u.MinX, u.MaxX),
+					clamp(p.Y+(rng.Float64()-0.5)*u.Height()*0.02, u.MinY, u.MaxY),
+				)
+				if _, err := h.m.Move(ctx, s.ID(), p); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(77))
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			it := rtree.Item{
+				ID: int64(1<<44) + int64(i%64),
+				P:  geom.Pt(u.MinX+rng.Float64()*u.Width(), u.MinY+rng.Float64()*u.Height()),
+			}
+			h.insert(it)
+			h.delete(it)
+		}
+	}()
+
+	watcher, _, err := h.m.OpenNN(ctx, xp, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := xp.Add(geom.Pt(u.Width()*1e-10, 0))
+	for round := 0; round < 60; round++ {
+		h.insert(x)
+		mv, err := h.m.Move(ctx, watcher.ID(), probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mv.NN.Neighbors[0].Item.ID != x.ID {
+			t.Fatalf("round %d: X present but Move reports NN %d (%+v)", round, mv.NN.Neighbors[0].Item.ID, mv)
+		}
+		if !h.delete(x) {
+			t.Fatalf("round %d: X vanished", round)
+		}
+		mv, err = h.m.Move(ctx, watcher.ID(), probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mv.NN.Neighbors[0].Item.ID == x.ID {
+			t.Fatalf("round %d: X deleted but Move still reports it (%+v)", round, mv)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -42,10 +42,11 @@ func (c Cell) Contains(p geom.Point) bool { return c.Polygon.Contains(p) }
 func (c Cell) SafeRadius(p geom.Point) float64 { return c.Polygon.DistToBoundary(p) }
 
 // CellOf computes the Voronoi cell of site within universe, using the
-// dataset indexed by tree (which must contain site itself).
-func CellOf(tree *rtree.Tree, site rtree.Item, universe geom.Rect) Cell {
+// dataset behind the index seam (which must contain site itself) — the
+// pointer tree and the flat arena layout work interchangeably.
+func CellOf(ix rtree.Index, site rtree.Item, universe geom.Rect) Cell {
 	pg := universe.Polygon()
-	b := nn.NewBrowser(tree, site.P)
+	b := nn.NewBrowser(ix, site.P)
 	for {
 		nb, ok := b.Next()
 		if !ok {
@@ -88,16 +89,16 @@ func maxVertexDist(pg geom.Polygon, p geom.Point) float64 {
 // point is, by definition, the cell of the query's nearest site).
 type Diagram struct {
 	cells map[int64]Cell
-	sites *rtree.Tree
+	sites rtree.Index
 }
 
-// Build computes the full Voronoi diagram of the items in tree. The
+// Build computes the full Voronoi diagram of the indexed items. The
 // [ZL01] server runs this once at startup; updates require recomputing
 // the affected neighborhood (one of the drawbacks the paper lists).
-func Build(tree *rtree.Tree, universe geom.Rect) *Diagram {
-	d := &Diagram{cells: make(map[int64]Cell, tree.Len()), sites: tree}
-	tree.All(func(it rtree.Item) bool {
-		d.cells[it.ID] = CellOf(tree, it, universe)
+func Build(ix rtree.Index, universe geom.Rect) *Diagram {
+	d := &Diagram{cells: make(map[int64]Cell, ix.Len()), sites: ix}
+	ix.All(func(it rtree.Item) bool {
+		d.cells[it.ID] = CellOf(ix, it, universe)
 		return true
 	})
 	return d
@@ -139,8 +140,8 @@ func (d *Diagram) TotalArea() float64 {
 // bisectors contribute edges to its Voronoi cell. These are exactly the
 // cells an update to the site dirties — the maintenance set a
 // precomputed-diagram server ([ZL01]) must recompute per object move.
-func NeighborsOf(tree *rtree.Tree, site rtree.Item, universe geom.Rect) []rtree.Item {
-	cell := CellOf(tree, site, universe)
+func NeighborsOf(ix rtree.Index, site rtree.Item, universe geom.Rect) []rtree.Item {
+	cell := CellOf(ix, site, universe)
 	if cell.Polygon.IsEmpty() {
 		return nil
 	}
@@ -150,7 +151,7 @@ func NeighborsOf(tree *rtree.Tree, site rtree.Item, universe geom.Rect) []rtree.
 	// (the same security radius that bounds the cell construction).
 	rMax := maxVertexDist(cell.Polygon, site.P)
 	var cands []rtree.Item
-	b := nn.NewBrowser(tree, site.P)
+	b := nn.NewBrowser(ix, site.P)
 	for {
 		nb, ok := b.Next()
 		if !ok || nb.Dist > 2*rMax {

@@ -7,6 +7,7 @@ import (
 
 	"lbsq/internal/geom"
 	"lbsq/internal/rtree"
+	"lbsq/internal/rtree/arena"
 )
 
 var universe = geom.R(0, 0, 1, 1)
@@ -207,5 +208,48 @@ func TestNeighborsOf(t *testing.T) {
 	avg := float64(totN) / float64(trials)
 	if avg < 4 || avg > 8 {
 		t.Errorf("average neighbor count = %.2f, expected ≈ 6", avg)
+	}
+}
+
+// TestArenaLayoutParity checks the Index-seam migration: cells, the
+// full diagram and the Delaunay neighbor sets must be identical whether
+// computed over the pointer tree or its frozen arena.
+func TestArenaLayoutParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tree, items := buildTree(rng, 400)
+	ar := arena.Freeze(tree)
+	for _, it := range items[:60] {
+		pc := CellOf(tree, it, universe)
+		ac := CellOf(ar, it, universe)
+		if len(pc.Polygon) != len(ac.Polygon) {
+			t.Fatalf("site %d: vertex counts differ across layouts: %d vs %d", it.ID, len(pc.Polygon), len(ac.Polygon))
+		}
+		if math.Abs(pc.Polygon.Area()-ac.Polygon.Area()) > 1e-12 {
+			t.Fatalf("site %d: cell areas differ across layouts", it.ID)
+		}
+		pn := NeighborsOf(tree, it, universe)
+		an := NeighborsOf(ar, it, universe)
+		if len(pn) != len(an) {
+			t.Fatalf("site %d: neighbor counts differ across layouts: %d vs %d", it.ID, len(pn), len(an))
+		}
+	}
+	pd := Build(tree, universe)
+	ad := Build(ar, universe)
+	if pd.Len() != ad.Len() {
+		t.Fatalf("diagram sizes differ across layouts: %d vs %d", pd.Len(), ad.Len())
+	}
+	if math.Abs(pd.TotalArea()-ad.TotalArea()) > 1e-9 {
+		t.Fatalf("diagram areas differ across layouts")
+	}
+	for trial := 0; trial < 50; trial++ {
+		q := geom.Pt(rng.Float64(), rng.Float64())
+		pc, err1 := pd.Locate(q)
+		ac, err2 := ad.Locate(q)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if pc.Site.ID != ac.Site.ID {
+			t.Fatalf("located sites differ across layouts at %v", q)
+		}
 	}
 }

@@ -64,6 +64,27 @@ var ErrNotDurable = errors.New("DB has no data directory (set Options.DataDir or
 // are LayoutPointer, LayoutArena, and the empty string (default).
 var ErrUnknownLayout = errors.New(`unknown Options.Layout (want "", "pointer" or "arena")`)
 
+// ErrUnknownSessionStrategy is returned by Open (and friends) when
+// Options.SessionStrategy names a strategy this build does not know.
+// Valid values are SessionStrategyTPKNN, SessionStrategyINSQ, and the
+// empty string (default).
+var ErrUnknownSessionStrategy = errors.New(`unknown Options.SessionStrategy (want "", "tpknn" or "insq")`)
+
+// Session strategies selectable with Options.SessionStrategy.
+const (
+	// SessionStrategyTPKNN maintains NN sessions with the paper's
+	// machinery: each rebuild runs a kNN query plus time-parameterized
+	// probes assembling the exact order-k validity region. The default.
+	SessionStrategyTPKNN = sess.StrategyTPKNN
+	// SessionStrategyINSQ maintains NN sessions with an INSQ-style
+	// influential neighbor set [Li+16]: one slightly larger kNN query
+	// per rebuild, a guard distance instead of TP probes, in-region
+	// moves answered by pure distance arithmetic, and churn repaired by
+	// re-ranking the set (SessionMove.Repaired) instead of re-querying.
+	// Incompatible with Shards > 1. Window sessions are unaffected.
+	SessionStrategyINSQ = sess.StrategyINSQ
+)
+
 // Index layouts selectable with Options.Layout.
 const (
 	// LayoutPointer is the classic mutable R*-tree of linked nodes:
@@ -249,6 +270,13 @@ type Options struct {
 	// (OpenSession returns ErrSessionLimit beyond it). Zero selects a
 	// generous default.
 	MaxSessions int
+	// SessionStrategy selects how NN sessions maintain their validity
+	// state between full queries: SessionStrategyTPKNN (the paper's
+	// scheme; also selected by "") or SessionStrategyINSQ (influential
+	// neighbor sets with repair instead of requery). Unknown values are
+	// rejected with ErrUnknownSessionStrategy; SessionStrategyINSQ is
+	// incompatible with Shards > 1.
+	SessionStrategy string
 	// DataDir, if non-empty, makes the DB durable: Open seeds the
 	// directory with a checkpoint of the dataset, every Insert/Delete is
 	// write-ahead logged there before it is acknowledged, and OpenDir
@@ -322,6 +350,12 @@ func (o *Options) validate() error {
 	if o.Layout == LayoutArena && o.Shards > 1 {
 		return fmt.Errorf("lbsq: Layout %q is incompatible with Shards > 1: %w", o.Layout, ErrShardedUnsupported)
 	}
+	if _, err := sess.ParseStrategy(o.SessionStrategy); err != nil {
+		return fmt.Errorf("lbsq: SessionStrategy %q: %w", o.SessionStrategy, ErrUnknownSessionStrategy)
+	}
+	if o.SessionStrategy == SessionStrategyINSQ && o.Shards > 1 {
+		return fmt.Errorf("lbsq: SessionStrategy %q is incompatible with Shards > 1: %w", o.SessionStrategy, ErrShardedUnsupported)
+	}
 	return nil
 }
 
@@ -379,6 +413,7 @@ func (db *DB) instrument(o *Options) *DB {
 		TTL:             o.SessionTTL,
 		MaxSessions:     o.MaxSessions,
 		PrefetchWorkers: o.SessionPrefetchWorkers,
+		Strategy:        o.SessionStrategy,
 		Registry:        db.reg,
 	})
 	return db
@@ -1030,7 +1065,7 @@ func (db *DB) NewZL01Client(maxSpeed float64) (*ZL01Client, error) {
 	if db.server == nil {
 		return nil, fmt.Errorf("lbsq: NewZL01Client: %w", ErrShardedUnsupported)
 	}
-	s, err := core.NewZL01Server(db.server.Tree, db.server.Universe, maxSpeed)
+	s, err := core.NewZL01Server(db.server.Index, db.server.Universe, maxSpeed)
 	if err != nil {
 		return nil, err
 	}

@@ -34,9 +34,9 @@ type Session struct {
 }
 
 // SessionMove is the answer to one session position update. Exactly
-// one of Hit, Prefetched, Requeried is set; NN or Window carries the
-// current result according to the session's query kind. Validity
-// objects may be shared with the DB's caches — treat them as
+// one of Hit, Prefetched, Repaired, Requeried is set; NN or Window
+// carries the current result according to the session's query kind.
+// Validity objects may be shared with the DB's caches — treat them as
 // read-only.
 type SessionMove struct {
 	// Hit: the position stayed inside the stored validity region; the
@@ -45,6 +45,10 @@ type SessionMove struct {
 	// Prefetched: the position left the region but landed in the
 	// trajectory-prefetched next region; no synchronous query ran.
 	Prefetched bool
+	// Repaired: the SessionStrategyINSQ strategy re-ranked its
+	// influential neighbor set instead of re-querying — zero index node
+	// accesses despite a region exit or invalidation.
+	Repaired bool
 	// Requeried: a full query re-executed and re-armed the session.
 	Requeried bool
 	// Invalidated: the preceding miss was caused by a push
@@ -75,6 +79,7 @@ func fillSessionMove(out *SessionMove, r *sess.MoveResult) {
 	*out = SessionMove{
 		Hit:         r.Hit,
 		Prefetched:  r.Prefetched,
+		Repaired:    r.Repaired,
 		Requeried:   r.Requeried,
 		Invalidated: r.Invalidated,
 		Seq:         r.Seq,
@@ -145,6 +150,10 @@ func (s *Session) Close() error { return s.db.sess.Close(s.id) }
 
 // ActiveSessions returns the number of open continuous-query sessions.
 func (db *DB) ActiveSessions() int { return db.sess.Len() }
+
+// SessionStrategy returns the DB's normalized NN session strategy
+// (SessionStrategyTPKNN or SessionStrategyINSQ).
+func (db *DB) SessionStrategy() string { return db.sess.Strategy() }
 
 // MoveSession is the id-addressed form of Session.Move, for callers
 // (like the HTTP layer) that track sessions by identifier.

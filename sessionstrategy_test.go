@@ -1,0 +1,117 @@
+package lbsq
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestSessionStrategyValidation table-drives Options.SessionStrategy
+// acceptance: known strategies open, unknown ones fail with
+// ErrUnknownSessionStrategy, and insq refuses sharding.
+func TestSessionStrategyValidation(t *testing.T) {
+	items, uni := UniformDataset(500, 3)
+	cases := []struct {
+		name    string
+		opts    Options
+		wantErr error
+		want    string
+	}{
+		{"default", Options{}, nil, SessionStrategyTPKNN},
+		{"tpknn", Options{SessionStrategy: SessionStrategyTPKNN}, nil, SessionStrategyTPKNN},
+		{"insq", Options{SessionStrategy: SessionStrategyINSQ}, nil, SessionStrategyINSQ},
+		{"unknown", Options{SessionStrategy: "voronoi"}, ErrUnknownSessionStrategy, ""},
+		{"case-sensitive", Options{SessionStrategy: "INSQ"}, ErrUnknownSessionStrategy, ""},
+		{"insq-sharded", Options{SessionStrategy: SessionStrategyINSQ, Shards: 4}, ErrShardedUnsupported, ""},
+		{"tpknn-sharded", Options{SessionStrategy: SessionStrategyTPKNN, Shards: 4}, nil, SessionStrategyTPKNN},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			db, err := Open(items, uni, &tc.opts)
+			if tc.wantErr != nil {
+				if !errors.Is(err, tc.wantErr) {
+					t.Fatalf("Open err = %v, want %v", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := db.SessionStrategy(); got != tc.want {
+				t.Fatalf("SessionStrategy() = %q, want %q", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestSessionStrategyINSQEndToEnd drives an insq session through the
+// public facade: hits and repairs answer without index work, and churn
+// around the client flows through the push-invalidation + repair path.
+func TestSessionStrategyINSQEndToEnd(t *testing.T) {
+	items, uni := UniformDataset(3000, 11)
+	db, err := Open(items, uni, &Options{SessionStrategy: SessionStrategyINSQ})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	p := uni.Center()
+	s, res, err := db.OpenSession(ctx, p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Requeried || res.NN == nil {
+		t.Fatalf("open: want initial requery, got %+v", res)
+	}
+	defer s.Close()
+
+	// An insert right at the client displaces a member; the next move
+	// must absorb it by repair, not a full requery.
+	intruder := Item{ID: 1 << 50, P: Pt(p.X+1e-9, p.Y)}
+	if err := db.Insert(intruder); err != nil {
+		t.Fatal(err)
+	}
+	mv, err := s.Move(ctx, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mv.Repaired || !mv.Invalidated {
+		t.Fatalf("move after in-guard insert: want invalidated repair, got %+v", mv)
+	}
+	found := false
+	for _, nb := range mv.NN.Neighbors {
+		if nb.Item.ID == intruder.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("repaired answer misses the inserted item: %+v", mv.NN.Neighbors)
+	}
+	if mv.Cost.ResultNA != 0 {
+		t.Fatalf("repair cost %d node accesses, want 0", mv.Cost.ResultNA)
+	}
+
+	// Deleting it again repairs back to the original members.
+	if ok, err := db.Delete(intruder); err != nil || !ok {
+		t.Fatalf("Delete = %v, %v", ok, err)
+	}
+	mv, err = s.Move(ctx, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mv.Repaired || !mv.Invalidated {
+		t.Fatalf("move after member delete: want invalidated repair, got %+v", mv)
+	}
+	for _, nb := range mv.NN.Neighbors {
+		if nb.Item.ID == intruder.ID {
+			t.Fatal("deleted item still in repaired answer")
+		}
+	}
+	// A micro-move inside the guard is a plain hit.
+	mv, err = s.Move(ctx, Pt(p.X+uni.Width()*1e-9, p.Y))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mv.Hit {
+		t.Fatalf("micro-move: want hit, got %+v", mv)
+	}
+}
